@@ -1,0 +1,213 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (§5), the ablation studies called out in DESIGN.md,
+   and compiler-phase microbenchmarks (Bechamel).
+
+   Usage:
+     bench/main.exe                 -- all paper tables on ref inputs
+     bench/main.exe --quick         -- train-sized inputs (fast smoke run)
+     bench/main.exe --table fig10   -- a single table
+     bench/main.exe --micro         -- Bechamel compiler-phase benches
+
+   Tables: smvp fig10 fig11 fig12 heuristics rse
+           ablate-cspec ablate-alat micro *)
+
+open Spec_driver
+
+let quick = ref false
+let tables = ref []
+
+let section title = Printf.printf "\n== %s ==\n%!" title
+
+let all_results =
+  lazy
+    (List.map
+       (fun w ->
+         let t0 = Unix.gettimeofday () in
+         let b = Experiments.run_workload ~quick:!quick w in
+         Printf.eprintf "  [%s done in %.1fs]\n%!"
+           w.Spec_workloads.Workloads.name
+           (Unix.gettimeofday () -. t0);
+         b)
+       Spec_workloads.Workloads.all)
+
+let table_smvp () =
+  section "Section 5.1 case study: speculative register promotion in equake's smvp";
+  let b =
+    List.find (fun b -> b.Experiments.wname = "equake") (Lazy.force all_results)
+  in
+  let s = Experiments.smvp_case_study b in
+  Printf.printf
+    "loads replaced by checks:                      %5.1f%%   (paper: 39.8%%)\n\
+     speculative speedup over base:                 %+5.1f%%   (paper: +6%%)\n\
+     no-check upper bound (hand-tuned) speedup:     %+5.1f%%   (paper: +14%%)\n"
+    s.Experiments.checks_pct s.Experiments.spec_speedup
+    s.Experiments.tuned_speedup
+
+let table_fig10 () =
+  section "Figure 10: speculative register promotion vs O3 base (profile-driven)";
+  print_endline Experiments.fig10_header;
+  List.iter (fun b -> print_endline (Experiments.fig10_row b))
+    (Lazy.force all_results)
+
+let table_fig11 () =
+  section "Figure 11: dynamic check loads and mis-speculation ratio";
+  print_endline Experiments.fig11_header;
+  List.iter (fun b -> print_endline (Experiments.fig11_row b))
+    (Lazy.force all_results)
+
+let table_fig12 () =
+  section "Figure 12: potential vs achieved load reduction";
+  print_endline Experiments.fig12_header;
+  List.iter (fun b -> print_endline (Experiments.fig12_row b))
+    (Lazy.force all_results)
+
+let table_heuristics () =
+  section "Section 5.2: heuristic rules vs alias profile";
+  print_endline Experiments.heuristics_header;
+  List.iter (fun b -> print_endline (Experiments.heuristics_row b))
+    (Lazy.force all_results)
+
+let table_rse () =
+  section "Section 5.2: register-stack (RSE) pressure";
+  print_endline Experiments.rse_header;
+  List.iter (fun b -> print_endline (Experiments.rse_row b))
+    (Lazy.force all_results)
+
+let table_ablate_cspec () =
+  section "Ablation: control speculation on/off (speculative PRE)";
+  Printf.printf
+    "benchmark | loads (cspec on) | loads (off) | cycles (on) | cycles (off)\n";
+  List.iter
+    (fun w ->
+      let name, l_on, l_off, c_on, c_off =
+        Experiments.ablate_control_spec ~quick:!quick w
+      in
+      Printf.printf "%-9s | %16d | %11d | %11d | %12d\n" name l_on l_off c_on
+        c_off)
+    Spec_workloads.Workloads.all
+
+let table_ablate_alat () =
+  section "Ablation: ALAT capacity vs mis-speculation (equake)";
+  Printf.printf "entries | checks | check misses\n";
+  List.iter
+    (fun (entries, checks, misses) ->
+      Printf.printf "%7d | %6d | %12d\n" entries checks misses)
+    (Experiments.ablate_alat ~quick:!quick
+       (Spec_workloads.Workloads.find "equake")
+       [ 4; 8; 16; 32; 64 ])
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of compiler phases                         *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "Compiler-phase microbenchmarks (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let src =
+    Spec_workloads.Workloads.train_source
+      (Spec_workloads.Workloads.find "equake")
+  in
+  let tests =
+    Test.make_grouped ~name:"phases"
+      [ Test.make ~name:"frontend: parse+typecheck+lower"
+          (Staged.stage (fun () -> ignore (Spec_ir.Lower.compile src)));
+        Test.make ~name:"alias: steensgaard+modref+chi/mu"
+          (Staged.stage (fun () ->
+               let p = Spec_ir.Lower.compile src in
+               ignore (Spec_alias.Annotate.run p)));
+        Test.make ~name:"ssa: hssa construction"
+          (Staged.stage (fun () ->
+               let p = Spec_ir.Lower.compile src in
+               let _ = Spec_alias.Annotate.run p in
+               Spec_ir.Sir.iter_funcs
+                 (fun f ->
+                   ignore (Spec_cfg.Cfg_utils.split_critical_edges f : int))
+                 p;
+               ignore (Spec_ssa.Build_ssa.build p)));
+        Test.make ~name:"pipeline: full heuristic PRE (3 rounds)"
+          (Staged.stage (fun () ->
+               let p = Spec_ir.Lower.compile src in
+               ignore (Pipeline.optimize p Pipeline.Spec_heuristic)));
+        Test.make ~name:"codegen: lower optimized SIR to ITL"
+          (Staged.stage
+             (let p = Spec_ir.Lower.compile src in
+              let r = Pipeline.optimize p Pipeline.Spec_heuristic in
+              fun () -> ignore (Spec_codegen.Codegen.lower r.Pipeline.prog))) ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] -> Printf.printf "%-45s %12.0f ns/run\n" name est
+      | Some _ | None -> Printf.printf "%-45s (no estimate)\n" name)
+    (List.sort compare rows)
+
+let table_ablate_threshold () =
+  section
+    "Ablation: alias-likeliness threshold (speculate past rare real aliases)";
+  Printf.printf "threshold | loads | checks | misses | cycles\n";
+  List.iter
+    (fun (t, loads, checks, misses, cycles) ->
+      Printf.printf "%9.2f | %5d | %6d | %6d | %6d\n" t loads checks misses
+        cycles)
+    (Experiments.ablate_threshold [ 0.0; 0.01; 0.05; 0.10; 0.50 ])
+
+let table_ablate_sched () =
+  section "Ablation: local list scheduling on the speculative build";
+  Printf.printf "benchmark | cycles (unscheduled) | cycles (scheduled) | gain %%\n";
+  List.iter
+    (fun w ->
+      let name, plain, sched = Experiments.ablate_schedule ~quick:!quick w in
+      Printf.printf "%-9s | %20d | %18d | %+6.1f\n" name plain sched
+        (100. *. (float_of_int plain /. float_of_int sched -. 1.)))
+    Spec_workloads.Workloads.all
+
+let known_tables =
+  [ "smvp", table_smvp; "fig10", table_fig10; "fig11", table_fig11;
+    "fig12", table_fig12; "heuristics", table_heuristics; "rse", table_rse;
+    "ablate-cspec", table_ablate_cspec; "ablate-alat", table_ablate_alat;
+    "ablate-threshold", table_ablate_threshold;
+    "ablate-sched", table_ablate_sched; "micro", micro ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec parse = function
+    | [] -> ()
+    | "--full" :: rest -> quick := false; parse rest
+    | "--quick" :: rest -> quick := true; parse rest
+    | "--micro" :: rest -> tables := "micro" :: !tables; parse rest
+    | "--table" :: t :: rest -> tables := t :: !tables; parse rest
+    | a :: rest ->
+      Printf.eprintf "ignoring unknown argument %s\n" a;
+      parse rest
+  in
+  parse (List.tl args);
+  Printf.printf
+    "specpre benchmark harness (%s inputs)\n\
+     Reproduces: Lin, Chen, Hsu, Yew, Ju, Ngai, Chan.\n\
+     \"A Compiler Framework for Speculative Analysis and Optimizations\", \
+     PLDI 2003.\n"
+    (if !quick then "train/quick" else "ref/full");
+  let to_run =
+    if !tables = [] then
+      [ "smvp"; "fig10"; "fig11"; "fig12"; "heuristics"; "rse";
+        "ablate-cspec"; "ablate-alat"; "ablate-threshold"; "ablate-sched";
+        "micro" ]
+    else List.rev !tables
+  in
+  List.iter
+    (fun t ->
+      match List.assoc_opt t known_tables with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown table %s (known: %s)\n" t
+          (String.concat ", " (List.map fst known_tables)))
+    to_run

@@ -1,0 +1,176 @@
+(* speccc: command-line driver for the speculative compiler.
+
+   Compile a mini-C source file, optionally profile it, optimize it under a
+   chosen speculation policy, and run it on the reference interpreter or
+   the ITL machine simulator.
+
+     speccc run prog.c                      interpret, print output
+     speccc run --machine prog.c            simulate on the ITL machine
+     speccc dump --phase ssa prog.c         print IR after a phase
+     speccc opt --mode heuristic prog.c     optimize and print final IR
+     speccc stats --mode profile prog.c     perf counters for all variants
+*)
+
+open Cmdliner
+open Spec_ir
+open Spec_driver
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let src_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"mini-C source file")
+
+let mode_arg =
+  Arg.(value
+       & opt (enum [ "none", `None; "base", `Base; "profile", `Profile;
+                     "heuristic", `Heuristic; "aggressive", `Aggressive ])
+           `Base
+       & info [ "mode"; "m" ] ~docv:"MODE"
+           ~doc:"speculation policy: none, base, profile, heuristic, \
+                 aggressive")
+
+let variant_of_mode src = function
+  | `None -> Pipeline.Noopt
+  | `Base -> Pipeline.Base
+  | `Profile ->
+    let prof = Pipeline.profile_of_source src in
+    Pipeline.Spec_profile prof
+  | `Heuristic -> Pipeline.Spec_heuristic
+  | `Aggressive -> Pipeline.Aggressive
+
+let optimize_src src mode =
+  let variant = variant_of_mode src mode in
+  let prof = Pipeline.profile_of_source src in
+  Pipeline.compile_and_optimize ~edge_profile:(Some prof) src variant
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let machine =
+    Arg.(value & flag & info [ "machine" ] ~doc:"run on the ITL machine \
+                                                 simulator (with counters)")
+  in
+  let action file mode machine =
+    let src = read_file file in
+    let r = optimize_src src mode in
+    if machine then begin
+      let m = Spec_machine.Machine.run_sir r.Pipeline.prog in
+      print_string m.Spec_machine.Machine.output;
+      let p = m.Spec_machine.Machine.perf in
+      Printf.eprintf
+        "cycles=%d insns=%d loads=%d checks=%d check-misses=%d stores=%d\n"
+        p.Spec_machine.Machine.cycles p.Spec_machine.Machine.insns
+        (Spec_machine.Machine.loads_retired p)
+        p.Spec_machine.Machine.checks p.Spec_machine.Machine.check_misses
+        p.Spec_machine.Machine.stores
+    end
+    else begin
+      let out = Spec_prof.Interp.run r.Pipeline.prog in
+      print_string out.Spec_prof.Interp.output
+    end;
+    0
+  in
+  Cmd.v (Cmd.info "run" ~doc:"compile, optimize and execute a program")
+    Term.(const action $ src_arg $ mode_arg $ machine)
+
+(* ---- dump ---- *)
+
+let dump_cmd =
+  let phase =
+    Arg.(value
+         & opt (enum [ "ast", `Ast; "sir", `Sir; "chimu", `Chimu;
+                       "ssa", `Ssa; "opt", `Opt; "itl", `Itl ])
+             `Opt
+         & info [ "phase"; "p" ] ~docv:"PHASE"
+             ~doc:"ast, sir, chimu, ssa, opt (post-PRE), itl")
+  in
+  let action file mode phase =
+    let src = read_file file in
+    (match phase with
+     | `Ast ->
+       let ast = Parser.parse src in
+       Printf.printf "(%d top-level declarations parsed)\n" (List.length ast)
+     | `Sir ->
+       let p = Lower.compile src in
+       print_endline (Pp.prog_to_string p)
+     | `Chimu ->
+       let p = Lower.compile src in
+       let _ = Spec_alias.Annotate.run p in
+       print_endline (Pp.prog_to_string p)
+     | `Ssa ->
+       let p = Lower.compile src in
+       let annot = Spec_alias.Annotate.run p in
+       let mode' =
+         match mode with
+         | `Heuristic | `Aggressive -> Spec_spec.Flags.Heuristic_spec
+         | `Profile ->
+           Spec_spec.Flags.Profile_spec (Pipeline.profile_of_source src)
+         | `None | `Base -> Spec_spec.Flags.Nonspec
+       in
+       Spec_spec.Flags.assign p annot mode';
+       Sir.iter_funcs
+         (fun f -> ignore (Spec_cfg.Cfg_utils.split_critical_edges f : int))
+         p;
+       ignore (Spec_ssa.Build_ssa.build p);
+       print_endline (Pp.prog_to_string p)
+     | `Opt ->
+       let r = optimize_src src mode in
+       print_endline (Pp.prog_to_string r.Pipeline.prog)
+     | `Itl ->
+       let r = optimize_src src mode in
+       let mp = Spec_codegen.Codegen.lower r.Pipeline.prog in
+       List.iter
+         (fun name ->
+           let f = Hashtbl.find mp.Spec_codegen.Itl.mp_funcs name in
+           Fmt.pr "%a@." Spec_codegen.Itl.pp_mfunc f)
+         mp.Spec_codegen.Itl.mp_order);
+    0
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"print the IR after a compilation phase")
+    Term.(const action $ src_arg $ mode_arg $ phase)
+
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let action file =
+    let src = read_file file in
+    let prof = Pipeline.profile_of_source src in
+    Printf.printf "%-10s %10s %10s %8s %8s %8s %8s\n" "variant" "cycles"
+      "insns" "loads" "checks" "misses" "stores";
+    List.iter
+      (fun (name, variant) ->
+        let r =
+          Pipeline.compile_and_optimize ~edge_profile:(Some prof) src variant
+        in
+        let m = Spec_machine.Machine.run_sir r.Pipeline.prog in
+        let p = m.Spec_machine.Machine.perf in
+        Printf.printf "%-10s %10d %10d %8d %8d %8d %8d\n" name
+          p.Spec_machine.Machine.cycles p.Spec_machine.Machine.insns
+          (Spec_machine.Machine.loads_retired p)
+          p.Spec_machine.Machine.checks p.Spec_machine.Machine.check_misses
+          p.Spec_machine.Machine.stores)
+      [ "noopt", Pipeline.Noopt; "base", Pipeline.Base;
+        "profile", Pipeline.Spec_profile prof;
+        "heuristic", Pipeline.Spec_heuristic;
+        "aggressive", Pipeline.Aggressive ];
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"machine counters for every pipeline variant")
+    Term.(const action $ src_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "speccc" ~version:"1.0"
+       ~doc:"speculative-SSAPRE compiler for the mini-C language \
+             (PLDI 2003 reproduction)")
+    [ run_cmd; dump_cmd; stats_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/alias_profile_report.ml: Array Fmt Hashtbl List Loc Lower Printf Profile Profiler Sir Spec_ir Spec_prof Spec_workloads String Sys Workloads

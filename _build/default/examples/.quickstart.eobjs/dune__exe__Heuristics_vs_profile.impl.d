@@ -1,0 +1,1 @@
+examples/heuristics_vs_profile.ml: List Machine Pipeline Printf Spec_driver Spec_machine

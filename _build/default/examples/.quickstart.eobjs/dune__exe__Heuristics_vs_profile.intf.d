@@ -1,0 +1,1 @@
+examples/heuristics_vs_profile.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Hashtbl Lower Pipeline Pp Printf Sir Spec_alias Spec_cfg Spec_codegen Spec_driver Spec_ir Spec_machine Spec_spec Spec_ssa String

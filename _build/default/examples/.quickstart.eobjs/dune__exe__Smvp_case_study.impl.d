@@ -1,0 +1,1 @@
+examples/smvp_case_study.ml: Array Experiments List Printf Spec_driver Spec_machine Spec_workloads Sys Workloads

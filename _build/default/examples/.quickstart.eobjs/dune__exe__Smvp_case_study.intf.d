@@ -1,0 +1,1 @@
+examples/smvp_case_study.mli:

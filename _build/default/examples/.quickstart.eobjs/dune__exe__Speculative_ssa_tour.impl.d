@@ -1,0 +1,1 @@
+examples/speculative_ssa_tour.ml: Lower Pipeline Pp Printf Sir Spec_alias Spec_cfg Spec_driver Spec_ir Spec_prof Spec_spec Spec_ssa String

@@ -1,0 +1,1 @@
+examples/speculative_ssa_tour.mli:

@@ -1,0 +1,1 @@
+examples/store_promotion.ml: Lower Machine Pipeline Pp Printf Sir Spec_driver Spec_ir Spec_machine Spec_prof

@@ -1,0 +1,68 @@
+(* Heuristic rules vs alias profile (§3.2.1 vs §3.2.2), including what
+   happens when speculation is wrong.
+
+   The program's store target depends on the input: during profiling
+   (train) it never aliases the hot load; on the measured (ref) input it
+   occasionally does.  The profile-driven compiler speculates — as the
+   paper argues it should, because profile information is inherently
+   input-sensitive and data speculation is what makes using it safe — and
+   the ALAT check recovers when the alias materializes.
+
+   Run with: dune exec examples/heuristics_vs_profile.exe *)
+
+open Spec_driver
+open Spec_machine
+
+(* REGION selects how often the store really aliases the speculated load:
+   0 while profiling, ~3% on the measured input. *)
+let source ~alias_pm =
+  Printf.sprintf
+    "int g; int decoy; \n\
+     int main(){ int s; s = 0; g = 1; int* w; w = &decoy; \n\
+    \  for (int i = 0; i < 2000; i++) { \n\
+    \    if (rnd(1000) < %d) w = &g; else w = &decoy; \n\
+    \    s = s + g;        // speculated load \n\
+    \    *w = i;           // rarely clobbers g \n\
+    \    s = s + g;        // checked reload \n\
+    \  } \n\
+    \  print_int(s); print_int(g); return 0; }"
+    alias_pm
+
+let run_variant src variant =
+  let prof = Pipeline.profile_of_source (source ~alias_pm:0) in
+  let r = Pipeline.compile_and_optimize ~edge_profile:(Some prof) src variant in
+  Machine.run_sir r.Pipeline.prog
+
+let () =
+  let train = source ~alias_pm:0 in
+  let ref_input = source ~alias_pm:30 in
+  let prof = Pipeline.profile_of_source train in
+
+  Printf.printf "Profiling input: the store never touches g.\n";
+  Printf.printf "Measured input: the store hits g ~3%% of the time.\n\n";
+
+  let variants =
+    [ "base (no data spec)", Pipeline.Base;
+      "profile-driven", Pipeline.Spec_profile prof;
+      "heuristic rules", Pipeline.Spec_heuristic ]
+  in
+  Printf.printf "%-22s %9s %8s %8s %10s %8s\n" "pipeline" "cycles" "loads"
+    "checks" "misses" "output ok";
+  let baseline = ref "" in
+  List.iter
+    (fun (name, v) ->
+      let m = run_variant ref_input v in
+      let p = m.Machine.perf in
+      if !baseline = "" then baseline := m.Machine.output;
+      Printf.printf "%-22s %9d %8d %8d %10d %8s\n" name
+        p.Machine.cycles
+        (Machine.loads_retired p)
+        p.Machine.checks p.Machine.check_misses
+        (if m.Machine.output = !baseline then "yes" else "NO!");
+      assert (m.Machine.output = !baseline))
+    variants;
+  Printf.printf
+    "\nBoth speculative pipelines eliminate the redundant loads; the \
+     mis-speculated\niterations (~3%%) reload through the failed check and \
+     the program output is\nbit-identical to the baseline — the property \
+     the paper's framework guarantees\nvia the ALAT.\n"

@@ -1,0 +1,1 @@
+lib/alias/annotate.ml: Hashtbl List Loc Modref Printf Sir Spec_ir Steensgaard Symtab Types Vec

@@ -1,0 +1,1 @@
+lib/alias/modref.ml: Hashtbl List Sir Spec_ir Steensgaard Symtab Vec

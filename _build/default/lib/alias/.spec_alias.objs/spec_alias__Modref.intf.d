@@ -1,0 +1,1 @@
+lib/alias/modref.mli: Spec_ir Steensgaard

@@ -1,0 +1,1 @@
+lib/alias/steensgaard.ml: Hashtbl List Sir Spec_ir Symtab Vec

@@ -1,0 +1,1 @@
+lib/alias/steensgaard.mli: Spec_ir

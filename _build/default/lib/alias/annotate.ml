@@ -1,0 +1,213 @@
+(** HSSA χ/μ list construction (pre-SSA).
+
+    Following Chow et al.'s HSSA and §3.2 of the paper:
+    - every alias class accessed in a function gets a *virtual variable*;
+    - an indirect store gets a χ for the class's virtual variable and for
+      every type-compatible, visible member variable of its class;
+    - an indirect load gets the corresponding μ list;
+    - a direct store to an aliased variable gets a χ for its class's
+      virtual variable (it may change the value seen by indirect loads);
+    - a call gets χ/μ lists from the callee's interprocedural mod/ref
+      summary.
+
+    Lists are built in terms of original variables; SSA renaming later
+    rewrites the operands to versions.  Speculation flags are assigned
+    afterwards by [Spec_spec] from profiles or heuristic rules. *)
+
+open Spec_ir
+
+type info = {
+  sol : Steensgaard.solution;
+  modref : Modref.t;
+  vv_of_class : (string * int, int) Hashtbl.t;  (* (func, class) -> vv id *)
+  site_vv : (int, int) Hashtbl.t;               (* site -> vv id *)
+  accessed : (int, unit) Hashtbl.t;             (* classes with indirect refs *)
+  refined : (int, Loc.t) Hashtbl.t;
+      (* flow-sensitive refinement: sites with a definite unique target
+         (Figure 4's last stage); their chi/mu lists shrink accordingly *)
+  prog : Sir.prog;
+}
+
+(* members of a refined site: just the definite target, when it is a
+   visible variable; a definite heap object contributes no variable *)
+let refined_members info (f : Sir.func) site =
+  match Hashtbl.find_opt info.refined site with
+  | Some (Loc.Lvar x) when Modref.visible_in info.prog f x -> Some [ x ]
+  | Some (Loc.Lvar _) | Some (Loc.Lheap _) -> Some []
+  | None -> None
+
+let vv info (f : Sir.func) cls =
+  match Hashtbl.find_opt info.vv_of_class (f.Sir.fname, cls) with
+  | Some v -> v
+  | None ->
+    let v =
+      Symtab.add info.prog.Sir.syms
+        ~name:(Printf.sprintf "v$%d" cls)
+        ~ty:Types.Tint ~storage:Symtab.Svirtual ~func:(Some f.Sir.fname) ()
+    in
+    Hashtbl.replace info.vv_of_class (f.Sir.fname, cls) v.Symtab.vid;
+    v.Symtab.vid
+
+(** Member variables of class [cls] that a reference of type [ty] inside
+    [f] may access: type-compatible (the baseline type-based
+    disambiguation) and visible in [f]. *)
+let relevant_members info (f : Sir.func) cls ty =
+  List.filter
+    (fun vid ->
+      let v = Symtab.var info.prog.Sir.syms vid in
+      Modref.visible_in info.prog f vid
+      && (match ty with
+          | None -> true
+          | Some t -> Types.compatible t v.Symtab.velt))
+    (Steensgaard.vars_in_class info.sol cls)
+
+let mk_mu v = { Sir.mu_opnd = v; Sir.mu_var = v; Sir.mu_spec = false }
+let mk_chi v =
+  { Sir.chi_lhs = v; Sir.chi_rhs = v; Sir.chi_var = v; Sir.chi_spec = false }
+
+let annotate_stmt info (f : Sir.func) (s : Sir.stmt) =
+  let mus = ref [] and chis = ref [] in
+  let add_mu v = if not (List.exists (fun m -> m.Sir.mu_var = v) !mus) then
+      mus := mk_mu v :: !mus in
+  let add_chi v = if not (List.exists (fun c -> c.Sir.chi_var = v) !chis) then
+      chis := mk_chi v :: !chis in
+  (* μ from indirect loads anywhere in the statement's expressions *)
+  let scan_expr e =
+    Sir.iter_subexprs
+      (function
+        | Sir.Ilod (ty, _, site) ->
+          (match Steensgaard.class_of_site info.sol site with
+           | Some cls ->
+             let v = vv info f cls in
+             Hashtbl.replace info.site_vv site v;
+             add_mu v;
+             let members =
+               match refined_members info f site with
+               | Some ms -> ms
+               | None -> relevant_members info f cls (Some ty)
+             in
+             List.iter add_mu members
+           | None -> ())
+        | _ -> ())
+      e
+  in
+  List.iter scan_expr (Sir.stmt_exprs s.Sir.kind);
+  (match s.Sir.kind with
+   | Sir.Istr (ty, _, _, site) ->
+     (match Steensgaard.class_of_site info.sol site with
+      | Some cls ->
+        let v = vv info f cls in
+        Hashtbl.replace info.site_vv site v;
+        add_chi v;
+        let members =
+          match refined_members info f site with
+          | Some ms -> ms
+          | None -> relevant_members info f cls (Some ty)
+        in
+        List.iter add_chi members
+      | None -> ())
+   | Sir.Stid (v, _) when Symtab.is_mem info.prog.Sir.syms v ->
+     (* a direct store to an aliased variable may change what indirect
+        loads of its class observe *)
+     (match Steensgaard.class_of_var info.sol v with
+      | Some cls when Hashtbl.mem info.accessed cls -> add_chi (vv info f cls)
+      | Some _ | None -> ())
+   | Sir.Call { callee; _ } when not (Sir.is_builtin callee) ->
+     let cs = Modref.get info.modref callee in
+     List.iter
+       (fun cls ->
+         add_chi (vv info f cls);
+         List.iter add_chi (relevant_members info f cls None))
+       cs.Modref.mod_classes;
+     List.iter
+       (fun cls ->
+         add_mu (vv info f cls);
+         List.iter add_mu (relevant_members info f cls None))
+       cs.Modref.ref_classes;
+     List.iter
+       (fun v -> if Modref.visible_in info.prog f v then add_chi v)
+       cs.Modref.mod_vars;
+     List.iter
+       (fun v -> if Modref.visible_in info.prog f v then add_mu v)
+       cs.Modref.ref_vars
+   | Sir.Stid _ | Sir.Call _ | Sir.Snop -> ());
+  let by_var_mu a b = compare a.Sir.mu_var b.Sir.mu_var in
+  let by_var_chi a b = compare a.Sir.chi_var b.Sir.chi_var in
+  s.Sir.mus <- List.sort by_var_mu !mus;
+  s.Sir.chis <- List.sort by_var_chi !chis
+
+(** Terminator expressions can contain indirect loads too; attach their μs
+    to a fresh trailing no-op statement so SSA sees the uses. *)
+let annotate_term info (f : Sir.func) (b : Sir.bb) =
+  let has_ilod =
+    List.exists
+      (fun e ->
+        let found = ref false in
+        Sir.iter_subexprs
+          (function Sir.Ilod _ -> found := true | _ -> ())
+          e;
+        !found)
+      (Sir.term_exprs b.Sir.term)
+  in
+  if has_ilod then begin
+    let s = Sir.new_stmt info.prog Sir.Snop in
+    let saved = s.Sir.kind in
+    ignore saved;
+    (* reuse statement-level scanning by temporarily viewing the terminator
+       expression as a statement expression *)
+    let mus = ref [] in
+    let add_mu v =
+      if not (List.exists (fun m -> m.Sir.mu_var = v) !mus) then
+        mus := mk_mu v :: !mus
+    in
+    List.iter
+      (fun e ->
+        Sir.iter_subexprs
+          (function
+            | Sir.Ilod (ty, _, site) ->
+              (match Steensgaard.class_of_site info.sol site with
+               | Some cls ->
+                 let v = vv info f cls in
+                 Hashtbl.replace info.site_vv site v;
+                 add_mu v;
+                 List.iter add_mu (relevant_members info f cls (Some ty))
+               | None -> ())
+            | _ -> ())
+          e)
+      (Sir.term_exprs b.Sir.term);
+    s.Sir.mus <- List.sort (fun a b -> compare a.Sir.mu_var b.Sir.mu_var) !mus;
+    b.Sir.stmts <- b.Sir.stmts @ [ s ]
+  end
+
+(** Run the full alias pipeline and annotate every statement.
+    [refinements] carries flow-sensitive definite-target facts from a
+    previous SSA round (see [Spec_ssa.Refine]). *)
+let run ?refinements (prog : Sir.prog) : info =
+  let sol = Steensgaard.solve prog in
+  let modref = Modref.compute prog sol in
+  let accessed = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace accessed c ())
+    (Steensgaard.accessed_classes sol);
+  let refined =
+    match refinements with Some r -> r | None -> Hashtbl.create 4
+  in
+  let info =
+    { sol; modref; vv_of_class = Hashtbl.create 16;
+      site_vv = Hashtbl.create 64; accessed; refined; prog }
+  in
+  Sir.iter_funcs
+    (fun f ->
+      Vec.iter
+        (fun (b : Sir.bb) ->
+          List.iter (annotate_stmt info f) b.Sir.stmts;
+          annotate_term info f b)
+        f.Sir.fblocks)
+    prog;
+  info
+
+(** Virtual variable of an indirect-reference site, if classified. *)
+let site_virtual info site = Hashtbl.find_opt info.site_vv site
+
+(** Definite unique target of a site, when flow-sensitive refinement
+    established one. *)
+let site_definite info site = Hashtbl.find_opt info.refined site

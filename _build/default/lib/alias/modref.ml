@@ -1,0 +1,99 @@
+(** Interprocedural mod/ref summaries.
+
+    For each function, the set of alias classes and global variables it may
+    modify or reference, transitively through calls.  Call statements get
+    their χ/μ lists from the callee's summary, which keeps call-killed
+    value numbers precise enough for PRE across calls (the paper's rule 3
+    then decides how speculative optimization treats them). *)
+
+open Spec_ir
+
+type summary = {
+  mutable mod_classes : int list;
+  mutable ref_classes : int list;
+  mutable mod_vars : int list;    (* directly stored memory-resident vars *)
+  mutable ref_vars : int list;
+}
+
+type t = (string, summary) Hashtbl.t
+
+let get (t : t) fname : summary =
+  match Hashtbl.find_opt t fname with
+  | Some s -> s
+  | None ->
+    let s = { mod_classes = []; ref_classes = []; mod_vars = []; ref_vars = [] } in
+    Hashtbl.replace t fname s;
+    s
+
+let add_uniq x l = if List.mem x l then l else x :: l
+
+let compute (prog : Sir.prog) (sol : Steensgaard.solution) : t =
+  let t : t = Hashtbl.create 16 in
+  let changed = ref true in
+  (* local effects + transitive closure over the call graph, iterated to a
+     fixpoint (handles recursion) *)
+  while !changed do
+    changed := false;
+    Sir.iter_funcs
+      (fun f ->
+        let s = get t f.Sir.fname in
+        let grow setter getter v =
+          let cur = getter s in
+          if not (List.mem v cur) then begin
+            setter s (add_uniq v cur);
+            changed := true
+          end
+        in
+        let add_mod_class c =
+          grow (fun s v -> s.mod_classes <- v) (fun s -> s.mod_classes) c in
+        let add_ref_class c =
+          grow (fun s v -> s.ref_classes <- v) (fun s -> s.ref_classes) c in
+        let add_mod_var v =
+          grow (fun s v -> s.mod_vars <- v) (fun s -> s.mod_vars) v in
+        let add_ref_var v =
+          grow (fun s v -> s.ref_vars <- v) (fun s -> s.ref_vars) v in
+        let scan_expr e =
+          Sir.iter_subexprs
+            (function
+              | Sir.Ilod (_, _, site) ->
+                (match Steensgaard.class_of_site sol site with
+                 | Some c -> add_ref_class c
+                 | None -> ())
+              | Sir.Lod v when Symtab.is_mem prog.Sir.syms v -> add_ref_var v
+              | _ -> ())
+            e
+        in
+        Vec.iter
+          (fun (b : Sir.bb) ->
+            List.iter
+              (fun st ->
+                List.iter scan_expr (Sir.stmt_exprs st.Sir.kind);
+                match st.Sir.kind with
+                | Sir.Istr (_, _, _, site) ->
+                  (match Steensgaard.class_of_site sol site with
+                   | Some c -> add_mod_class c
+                   | None -> ())
+                | Sir.Stid (v, _) when Symtab.is_mem prog.Sir.syms v ->
+                  add_mod_var v
+                | Sir.Call { callee; _ } when not (Sir.is_builtin callee) ->
+                  let cs = get t callee in
+                  List.iter add_mod_class cs.mod_classes;
+                  List.iter add_ref_class cs.ref_classes;
+                  List.iter add_mod_var cs.mod_vars;
+                  List.iter add_ref_var cs.ref_vars
+                | _ -> ())
+              b.Sir.stmts;
+            List.iter scan_expr (Sir.term_exprs b.Sir.term))
+          f.Sir.fblocks)
+      prog
+  done;
+  t
+
+(** Variables of interest at a call inside [caller]: globals plus the
+    caller's own memory-resident locals (other functions' dead locals are
+    invisible to the caller's SSA). *)
+let visible_in prog (caller : Sir.func) vid =
+  let v = Symtab.var prog.Sir.syms vid in
+  match v.Symtab.vfunc with
+  | None -> true
+  | Some f -> f = caller.Sir.fname

@@ -1,0 +1,21 @@
+(** Interprocedural mod/ref summaries: per function, the alias classes and
+    global variables it may modify or reference, transitively through
+    calls (fixpoint over the call graph, so recursion is handled). *)
+
+type summary = {
+  mutable mod_classes : int list;
+  mutable ref_classes : int list;
+  mutable mod_vars : int list;
+  mutable ref_vars : int list;
+}
+
+type t
+
+(** Summary of a function (empty if never computed). *)
+val get : t -> string -> summary
+
+val compute : Spec_ir.Sir.prog -> Steensgaard.solution -> t
+
+(** Is a variable visible inside [caller] (a global or one of the caller's
+    own locals)? *)
+val visible_in : Spec_ir.Sir.prog -> Spec_ir.Sir.func -> int -> bool

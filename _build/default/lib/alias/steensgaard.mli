@@ -1,0 +1,32 @@
+(** Equivalence-class-based (Steensgaard) points-to analysis — the
+    paper's baseline alias analysis (§3.2).
+
+    Unification-based, flow- and context-insensitive: memory locations are
+    partitioned into classes; every indirect-reference site is associated
+    with the class its address may point into.  Classes feed the HSSA
+    virtual variables and the initial χ/μ lists. *)
+
+type solution
+
+(** Solve the whole program in (near-)linear time. *)
+val solve : Spec_ir.Sir.prog -> solution
+
+(** Alias class accessed by an indirect-reference site, if the site was
+    seen by the analysis. *)
+val class_of_site : solution -> int -> int option
+
+(** Memory-resident variables that may live in a class, sorted by id. *)
+val vars_in_class : solution -> int -> int list
+
+(** Heap allocation sites that may live in a class, sorted. *)
+val heap_sites_in_class : solution -> int -> int list
+
+(** Class containing a memory-resident variable, when any pointer may
+    reach it. *)
+val class_of_var : solution -> int -> int option
+
+(** May two indirect sites access the same class? *)
+val sites_may_alias : solution -> int -> int -> bool
+
+(** All classes accessed by at least one indirect site, sorted. *)
+val accessed_classes : solution -> int list

@@ -1,0 +1,1 @@
+lib/cfg/cfg_utils.ml: Array Dom Hashtbl List Printf Sir Spec_ir

@@ -1,0 +1,1 @@
+lib/cfg/cfg_utils.mli: Dom Spec_ir

@@ -1,0 +1,131 @@
+(** CFG normalization utilities: critical-edge splitting (required before
+    SSAPRE insertion and before out-of-SSA copy placement) and natural-loop
+    detection (used by the loop-aware heuristics and by tests). *)
+
+open Spec_ir
+
+(** Split every critical edge (from a block with several successors to a
+    block with several predecessors) by inserting an empty block.
+    Returns the number of edges split. *)
+let split_critical_edges (f : Sir.func) : int =
+  Sir.recompute_preds f;
+  let split = ref 0 in
+  let n = Sir.n_blocks f in
+  for b = 0 to n - 1 do
+    let blk = Sir.block f b in
+    match blk.Sir.term with
+    | Sir.Tcond (e, t, e') when t <> e' ->
+      let maybe_split target =
+        let tgt = Sir.block f target in
+        if List.length tgt.Sir.preds >= 2 then begin
+          let nb = Sir.new_bb f in
+          nb.Sir.term <- Sir.Tgoto target;
+          incr split;
+          nb.Sir.bid
+        end
+        else target
+      in
+      let t' = maybe_split t in
+      let e2 = maybe_split e' in
+      if t' <> t || e2 <> e' then blk.Sir.term <- Sir.Tcond (e, t', e2)
+    | Sir.Tcond _ | Sir.Tgoto _ | Sir.Tret _ -> ()
+  done;
+  Sir.recompute_preds f;
+  !split
+
+type loop = {
+  header : int;
+  body : int list;       (** blocks in the loop, including the header *)
+  back_edges : int list; (** sources of back edges into the header *)
+  depth : int;           (** nesting depth, 1 = outermost *)
+}
+
+(** Natural loops from back edges (edges whose target dominates the source).
+    Loops sharing a header are merged. *)
+let natural_loops (f : Sir.func) (dom : Dom.t) : loop list =
+  let n = Sir.n_blocks f in
+  let by_header = Hashtbl.create 8 in
+  for b = 0 to n - 1 do
+    List.iter
+      (fun s ->
+        if Dom.dominates dom s b then begin
+          (* b -> s is a back edge with header s *)
+          let body = Hashtbl.create 8 in
+          Hashtbl.replace body s ();
+          let stack = ref [ b ] in
+          while !stack <> [] do
+            match !stack with
+            | [] -> ()
+            | x :: rest ->
+              stack := rest;
+              if not (Hashtbl.mem body x) then begin
+                Hashtbl.replace body x ();
+                List.iter (fun p -> stack := p :: !stack)
+                  (Sir.block f x).Sir.preds
+              end
+          done;
+          let prev =
+            match Hashtbl.find_opt by_header s with
+            | Some (bodies, backs) -> bodies, backs
+            | None -> [], []
+          in
+          Hashtbl.replace by_header s
+            (Hashtbl.fold (fun k () acc -> k :: acc) body [] :: fst prev,
+             b :: snd prev)
+        end)
+      (Sir.succs (Sir.block f b))
+  done;
+  let loops =
+    Hashtbl.fold
+      (fun header (bodies, backs) acc ->
+        let body =
+          List.sort_uniq compare (List.concat bodies)
+        in
+        { header; body; back_edges = backs; depth = 0 } :: acc)
+      by_header []
+  in
+  (* nesting depth: count how many loops contain each header *)
+  List.map
+    (fun l ->
+      let depth =
+        List.length
+          (List.filter (fun l' -> List.mem l.header l'.body) loops)
+      in
+      { l with depth })
+    loops
+  |> List.sort (fun a b -> compare a.header b.header)
+
+(** Loop nesting depth of every block (0 = not in any loop). *)
+let loop_depths (f : Sir.func) (dom : Dom.t) : int array =
+  let n = Sir.n_blocks f in
+  let depths = Array.make n 0 in
+  List.iter
+    (fun l -> List.iter (fun b -> depths.(b) <- depths.(b) + 1) l.body)
+    (natural_loops f dom);
+  depths
+
+(** Check structural CFG invariants; raises [Failure] with a description on
+    violation.  Used by tests and as a debugging aid between passes. *)
+let validate (f : Sir.func) =
+  let n = Sir.n_blocks f in
+  (* range checks first; only then is it safe to recompute preds *)
+  for b = 0 to n - 1 do
+    let blk = Sir.block f b in
+    if blk.Sir.bid <> b then failwith "block id does not match table index";
+    List.iter
+      (fun s ->
+        if s < 0 || s >= n then
+          failwith (Printf.sprintf "B%d has out-of-range successor %d" b s))
+      (Sir.succs blk)
+  done;
+  Sir.recompute_preds f;
+  for b = 0 to n - 1 do
+    List.iter
+      (fun s ->
+        if not (List.mem b (Sir.block f s).Sir.preds) then
+          failwith (Printf.sprintf "edge B%d->B%d missing from preds" b s))
+      (Sir.succs (Sir.block f b))
+  done;
+  let rpo, _ = Dom.compute_rpo f in
+  if Array.length rpo = 0 || rpo.(0) <> Sir.entry_bid then
+    failwith "entry block is not first in RPO"

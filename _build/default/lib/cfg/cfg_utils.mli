@@ -1,0 +1,22 @@
+(** CFG normalization and structure utilities. *)
+
+(** Split every critical edge by inserting an empty block; returns the
+    number of edges split.  Required before SSAPRE insertion (insertions
+    land at predecessor ends) and idempotent. *)
+val split_critical_edges : Spec_ir.Sir.func -> int
+
+type loop = {
+  header : int;
+  body : int list;        (** blocks in the loop, including the header *)
+  back_edges : int list;  (** sources of back edges into the header *)
+  depth : int;            (** nesting depth, 1 = outermost *)
+}
+
+(** Natural loops from back edges; loops sharing a header are merged. *)
+val natural_loops : Spec_ir.Sir.func -> Dom.t -> loop list
+
+(** Loop nesting depth of every block (0 = not in any loop). *)
+val loop_depths : Spec_ir.Sir.func -> Dom.t -> int array
+
+(** Check structural CFG invariants; raises [Failure] on violation. *)
+val validate : Spec_ir.Sir.func -> unit

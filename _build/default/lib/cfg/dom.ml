@@ -1,0 +1,171 @@
+(** Dominator analysis: immediate dominators by the Cooper–Harvey–Kennedy
+    iterative algorithm, the dominator tree, dominance frontiers, and
+    iterated dominance frontiers (DF+), the insertion-point engine for both
+    SSA phi insertion and SSAPRE Phi insertion. *)
+
+open Spec_ir
+
+type t = {
+  func : Sir.func;
+  rpo : int array;              (** blocks in reverse postorder *)
+  rpo_index : int array;        (** block id -> position in [rpo] *)
+  idom : int array;             (** immediate dominator; entry maps to itself *)
+  children : int list array;    (** dominator-tree children *)
+  df : int list array;          (** dominance frontier per block *)
+  dt_pre : int array;           (** dominator-tree preorder number *)
+  dt_last : int array;          (** max preorder number in the subtree *)
+}
+
+let compute_rpo (f : Sir.func) =
+  let n = Sir.n_blocks f in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs (Sir.succs (Sir.block f b));
+      order := b :: !order
+    end
+  in
+  dfs Sir.entry_bid;
+  let rpo = Array.of_list !order in
+  let rpo_index = Array.make n (-1) in
+  Array.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  rpo, rpo_index
+
+(** Cooper–Harvey–Kennedy "engineered" iterative dominator computation. *)
+let compute_idom (f : Sir.func) rpo rpo_index =
+  let n = Sir.n_blocks f in
+  let idom = Array.make n (-1) in
+  idom.(Sir.entry_bid) <- Sir.entry_bid;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while rpo_index.(!a) > rpo_index.(!b) do a := idom.(!a) done;
+      while rpo_index.(!b) > rpo_index.(!a) do b := idom.(!b) done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> Sir.entry_bid then begin
+          let preds =
+            List.filter (fun p -> idom.(p) >= 0) (Sir.block f b).Sir.preds
+          in
+          match preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if idom.(b) <> new_idom then begin
+              idom.(b) <- new_idom;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  idom
+
+let compute_df (f : Sir.func) idom =
+  let n = Sir.n_blocks f in
+  let df = Array.make n [] in
+  for b = 0 to n - 1 do
+    (* walk from every predecessor; for single-pred blocks (other than a
+       back edge into the entry) the walk is empty, so this is cheap *)
+    let preds = (Sir.block f b).Sir.preds in
+    let add runner =
+      if not (List.mem b df.(runner)) then df.(runner) <- b :: df.(runner)
+    in
+    if preds <> [] then
+      List.iter
+        (fun p ->
+          if idom.(p) >= 0 then
+            if b = Sir.entry_bid then begin
+              (* back edge into the entry: no strict dominator of the entry
+                 exists, so the walk includes every dominator of [p] up to
+                 and including the entry itself *)
+              let runner = ref p in
+              let fin = ref false in
+              while not !fin do
+                add !runner;
+                if !runner = Sir.entry_bid then fin := true
+                else runner := idom.(!runner)
+              done
+            end
+            else begin
+              let runner = ref p in
+              while !runner <> idom.(b) do
+                add !runner;
+                runner := idom.(!runner)
+              done
+            end)
+        preds
+  done;
+  df
+
+let compute (f : Sir.func) : t =
+  Sir.recompute_preds f;
+  let n = Sir.n_blocks f in
+  let rpo, rpo_index = compute_rpo f in
+  let idom = compute_idom f rpo rpo_index in
+  let children = Array.make n [] in
+  Array.iter
+    (fun b ->
+      if b <> Sir.entry_bid && idom.(b) >= 0 then
+        children.(idom.(b)) <- b :: children.(idom.(b)))
+    rpo;
+  (* keep children sorted for deterministic traversals *)
+  Array.iteri (fun i c -> children.(i) <- List.sort compare c) children;
+  let df = compute_df f idom in
+  let dt_pre = Array.make n (-1) in
+  let dt_last = Array.make n (-1) in
+  let counter = ref 0 in
+  let rec number b =
+    dt_pre.(b) <- !counter;
+    incr counter;
+    List.iter number children.(b);
+    dt_last.(b) <- !counter - 1
+  in
+  number Sir.entry_bid;
+  { func = f; rpo; rpo_index; idom; children; df; dt_pre; dt_last }
+
+let idom t b = t.idom.(b)
+
+(** [dominates t a b]: block [a] dominates block [b] (reflexive). *)
+let dominates t a b =
+  t.dt_pre.(b) >= 0 && t.dt_pre.(a) >= 0
+  && t.dt_pre.(a) <= t.dt_pre.(b)
+  && t.dt_last.(b) <= t.dt_last.(a)
+
+let strictly_dominates t a b = a <> b && dominates t a b
+
+let dominance_frontier t b = t.df.(b)
+
+(** Iterated dominance frontier of a set of blocks. *)
+let df_plus t (blocks : int list) : int list =
+  let n = Array.length t.df in
+  let in_set = Array.make n false in
+  let worklist = Queue.create () in
+  List.iter (fun b -> Queue.add b worklist) blocks;
+  let result = ref [] in
+  while not (Queue.is_empty worklist) do
+    let b = Queue.pop worklist in
+    List.iter
+      (fun d ->
+        if not in_set.(d) then begin
+          in_set.(d) <- true;
+          result := d :: !result;
+          Queue.add d worklist
+        end)
+      t.df.(b)
+  done;
+  List.sort compare !result
+
+(** Dominator-tree preorder walk, the traversal order of SSA renaming. *)
+let preorder t : int list =
+  let rec go b = b :: List.concat_map go t.children.(b) in
+  go Sir.entry_bid
+
+let reverse_postorder t = Array.to_list t.rpo

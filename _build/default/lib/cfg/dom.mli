@@ -1,0 +1,46 @@
+(** Dominator analysis.
+
+    Immediate dominators are computed with the Cooper–Harvey–Kennedy
+    iterative algorithm; the module also exposes the dominator tree,
+    dominance frontiers, and iterated dominance frontiers — the insertion
+    engine behind both SSA phi placement and SSAPRE Phi placement. *)
+
+type t = {
+  func : Spec_ir.Sir.func;
+  rpo : int array;             (** blocks in reverse postorder *)
+  rpo_index : int array;       (** block id -> position in [rpo] *)
+  idom : int array;            (** immediate dominator; entry maps to itself *)
+  children : int list array;   (** dominator-tree children, sorted *)
+  df : int list array;         (** dominance frontier per block *)
+  dt_pre : int array;          (** dominator-tree preorder number *)
+  dt_last : int array;         (** max preorder number within the subtree *)
+}
+
+(** Reverse postorder over reachable blocks, plus the inverse index.
+    Exposed for tests and for passes that need an RPO without full
+    dominance. *)
+val compute_rpo : Spec_ir.Sir.func -> int array * int array
+
+(** Compute dominators, the dominator tree, and dominance frontiers.
+    Recomputes predecessor lists first. *)
+val compute : Spec_ir.Sir.func -> t
+
+(** Immediate dominator of a block ([-1] for unreachable blocks). *)
+val idom : t -> int -> int
+
+(** [dominates t a b] — block [a] dominates block [b] (reflexively).
+    Constant time via preorder intervals. *)
+val dominates : t -> int -> int -> bool
+
+val strictly_dominates : t -> int -> int -> bool
+
+val dominance_frontier : t -> int -> int list
+
+(** Iterated dominance frontier (DF+) of a block set, sorted. *)
+val df_plus : t -> int list -> int list
+
+(** Dominator-tree preorder walk starting at the entry — the traversal
+    order of SSA renaming. *)
+val preorder : t -> int list
+
+val reverse_postorder : t -> int list

@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Array Hashtbl Itl List Option Sir Spec_ir Symtab Types

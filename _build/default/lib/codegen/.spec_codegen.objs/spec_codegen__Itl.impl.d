@@ -1,0 +1,1 @@
+lib/codegen/itl.ml: Array Fmt Hashtbl List Spec_ir

@@ -1,0 +1,1 @@
+lib/codegen/schedule.ml: Array Hashtbl Itl List Option Spec_ir

@@ -1,0 +1,96 @@
+(** ITL: the EPIC-like target instruction set.
+
+    A deliberately small Itanium-flavoured ISA with the features the paper
+    depends on: regular, advanced (ld.a), check (ld.c), and
+    control-speculative (ld.s) loads, plus ALAT-invalidating stores.
+    Registers are virtual and per-activation (modelling the register
+    stack); the register-stack accounting in {!Codegen} reports frame
+    sizes for the paper's RSE-pressure discussion (§5.2). *)
+
+type reg = int
+
+(** Load kinds mirror the IA-64 data/control speculation forms. *)
+type lkind =
+  | Lnorm            (** ld *)
+  | Ladv             (** ld.a — loads and allocates an ALAT entry *)
+  | Lchk             (** ld.c — reloads only if the ALAT entry is gone *)
+  | Lspec            (** ld.s — non-faulting control-speculative load *)
+  | Lsa              (** ld.sa — non-faulting advanced load (control+data) *)
+
+type insn =
+  | Movi of reg * Spec_ir.Sir.const
+  | Mov of reg * reg
+  | Lea of reg * int
+      (** address of a memory-resident variable (data segment or current
+          frame); stands for the addl/movl address formation on IA-64 *)
+  | Ld of { dst : reg; addr : reg; fp : bool; kind : lkind }
+  | St of { src : reg; addr : reg; fp : bool }
+  | Alu of Spec_ir.Sir.binop * bool * reg * reg * reg
+      (** op, fp, dst, src1, src2 *)
+  | Un of Spec_ir.Sir.unop * bool * reg * reg
+  | Call of { callee : string; args : reg list; ret : reg option; site : int }
+
+type term =
+  | Tbr of int                  (** unconditional branch to block *)
+  | Tbc of reg * int * int      (** conditional branch *)
+  | Tret of reg option
+
+type mblock = { mutable insns : insn list; mutable mterm : term }
+
+type mfunc = {
+  mf_name : string;
+  mf_formals : reg list;
+  mf_blocks : mblock array;
+  mf_nregs : int;               (** registers in this activation frame *)
+}
+
+type mprog = {
+  mp_funcs : (string, mfunc) Hashtbl.t;
+  mp_order : string list;
+  mp_sir : Spec_ir.Sir.prog;    (** for global layout and symbol info *)
+}
+
+let lkind_str = function
+  | Lnorm -> "ld" | Ladv -> "ld.a" | Lchk -> "ld.c" | Lspec -> "ld.s"
+  | Lsa -> "ld.sa"
+
+let pp_insn fmt = function
+  | Movi (d, Spec_ir.Sir.Cint i) -> Fmt.pf fmt "movi r%d = %d" d i
+  | Movi (d, Spec_ir.Sir.Cflt f) -> Fmt.pf fmt "movf r%d = %g" d f
+  | Mov (d, s) -> Fmt.pf fmt "mov r%d = r%d" d s
+  | Lea (d, v) -> Fmt.pf fmt "lea r%d = &var%d" d v
+  | Ld { dst; addr; fp; kind } ->
+    Fmt.pf fmt "%s%s r%d = [r%d]" (lkind_str kind) (if fp then "f" else "")
+      dst addr
+  | St { src; addr; fp } ->
+    Fmt.pf fmt "st%s [r%d] = r%d" (if fp then "f" else "") addr src
+  | Alu (op, fp, d, a, b) ->
+    Fmt.pf fmt "%s%s r%d = r%d, r%d" (Spec_ir.Pp.binop_str op)
+      (if fp then "f" else "") d a b
+  | Un (op, fp, d, s) ->
+    Fmt.pf fmt "%s%s r%d = r%d" (Spec_ir.Pp.unop_str op)
+      (if fp then "f" else "") d s
+  | Call { callee; args; ret; _ } ->
+    (match ret with
+     | Some r -> Fmt.pf fmt "call r%d = %s(%a)" r callee
+                   (Fmt.list ~sep:Fmt.comma (fun fmt r -> Fmt.pf fmt "r%d" r))
+                   args
+     | None -> Fmt.pf fmt "call %s(%a)" callee
+                 (Fmt.list ~sep:Fmt.comma (fun fmt r -> Fmt.pf fmt "r%d" r))
+                 args)
+
+let pp_term fmt = function
+  | Tbr b -> Fmt.pf fmt "br B%d" b
+  | Tbc (r, t, e) -> Fmt.pf fmt "br.cond r%d ? B%d : B%d" r t e
+  | Tret (Some r) -> Fmt.pf fmt "ret r%d" r
+  | Tret None -> Fmt.string fmt "ret"
+
+let pp_mfunc fmt (f : mfunc) =
+  Fmt.pf fmt "@[<v>%s: (%d regs)@ " f.mf_name f.mf_nregs;
+  Array.iteri
+    (fun i b ->
+      Fmt.pf fmt "@[<v2>B%d:@ " i;
+      List.iter (fun ins -> Fmt.pf fmt "%a@ " pp_insn ins) b.insns;
+      Fmt.pf fmt "%a@]@ " pp_term b.mterm)
+    f.mf_blocks;
+  Fmt.pf fmt "@]"

@@ -1,0 +1,156 @@
+(** Local (within-block) list scheduling for ITL.
+
+    The paper's Figure 3 lists instruction scheduling among the consumers
+    of the speculative framework; in ORC the scheduler is what finally
+    hides the latency of the loads PRE could not remove.  This pass
+    reorders each block by latency-weighted critical-path list scheduling
+    so that independent work fills load-delay slots.
+
+    Reordering discipline:
+    - register true/anti/output dependences are respected;
+    - memory-touching instructions (loads of any kind, stores, calls)
+      keep their original relative order — this preserves ALAT and cache
+      behaviour exactly, so the transformation is observationally
+      invisible except in cycle counts.  Speculative *cross-store* load
+      hoisting is the job of the PRE phase (which inserts the checks that
+      make it safe); the scheduler only exploits the freedom that is
+      already safe. *)
+
+open Itl
+
+type stats = { mutable blocks : int; mutable moved : int }
+
+let defs_of = function
+  | Movi (d, _) | Mov (d, _) | Lea (d, _) | Un (_, _, d, _) -> [ d ]
+  | Ld { dst; _ } -> [ dst ]
+  | Alu (_, _, d, _, _) -> [ d ]
+  | St _ -> []
+  | Call { ret; _ } -> (match ret with Some r -> [ r ] | None -> [])
+
+let uses_of = function
+  | Movi _ | Lea _ -> []
+  | Mov (_, s) | Un (_, _, _, s) -> [ s ]
+  | Ld { addr; dst; kind; _ } ->
+    (* a check load consumes its own destination's prior value *)
+    if kind = Lchk then [ addr; dst ] else [ addr ]
+  | Alu (_, _, _, a, b) -> [ a; b ]
+  | St { src; addr; _ } -> [ src; addr ]
+  | Call { args; _ } -> args
+
+let touches_memory = function
+  | Ld _ | St _ | Call _ -> true
+  | Movi _ | Mov _ | Lea _ | Alu _ | Un _ -> false
+
+(* optimistic latency estimate, mirroring the machine model's L1 case *)
+let latency_of = function
+  | Ld { fp = true; kind = Lchk; _ } | Ld { fp = false; kind = Lchk; _ } -> 1
+  | Ld { fp = true; _ } -> 9
+  | Ld { fp = false; _ } -> 2
+  | Alu ((Spec_ir.Sir.Lt | Spec_ir.Sir.Le | Spec_ir.Sir.Gt | Spec_ir.Sir.Ge
+         | Spec_ir.Sir.Eq | Spec_ir.Sir.Ne), _, _, _, _) -> 1
+  | Alu (_, true, _, _, _) | Un (_, true, _, _) -> 4
+  | _ -> 1
+
+let schedule_block (st : stats) (b : mblock) =
+  let insns = Array.of_list b.insns in
+  let n = Array.length insns in
+  if n > 1 then begin
+    st.blocks <- st.blocks + 1;
+    (* dependence edges i -> j (i must precede j) *)
+    let succs = Array.make n [] in
+    let npreds = Array.make n 0 in
+    let add_edge i j =
+      if not (List.mem j succs.(i)) then begin
+        succs.(i) <- j :: succs.(i);
+        npreds.(j) <- npreds.(j) + 1
+      end
+    in
+    let last_def : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    let last_uses : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+    let last_mem = ref (-1) in
+    for j = 0 to n - 1 do
+      let i = insns.(j) in
+      List.iter
+        (fun r ->
+          (* RAW *)
+          (match Hashtbl.find_opt last_def r with
+           | Some d -> add_edge d j
+           | None -> ());
+          let cur =
+            match Hashtbl.find_opt last_uses r with Some l -> l | None -> []
+          in
+          Hashtbl.replace last_uses r (j :: cur))
+        (uses_of i);
+      List.iter
+        (fun r ->
+          (* WAW *)
+          (match Hashtbl.find_opt last_def r with
+           | Some d -> add_edge d j
+           | None -> ());
+          (* WAR *)
+          (match Hashtbl.find_opt last_uses r with
+           | Some us -> List.iter (fun u -> if u <> j then add_edge u j) us
+           | None -> ());
+          Hashtbl.replace last_def r j;
+          Hashtbl.replace last_uses r [])
+        (defs_of i);
+      if touches_memory i then begin
+        if !last_mem >= 0 then add_edge !last_mem j;
+        last_mem := j
+      end
+    done;
+    (* priority: latency-weighted height to the end of the block *)
+    let height = Array.make n 0 in
+    for j = n - 1 downto 0 do
+      let h =
+        List.fold_left (fun acc s -> max acc height.(s)) 0 succs.(j)
+      in
+      height.(j) <- h + latency_of insns.(j)
+    done;
+    (* greedy list scheduling *)
+    let scheduled = ref [] in
+    let remaining = ref n in
+    let ready = ref [] in
+    for j = 0 to n - 1 do
+      if npreds.(j) = 0 then ready := j :: !ready
+    done;
+    while !remaining > 0 do
+      match !ready with
+      | [] -> failwith "Schedule: dependence cycle"
+      | _ ->
+        (* pick the ready instruction with the greatest height; break ties
+           by original position for determinism *)
+        let best =
+          List.fold_left
+            (fun acc j ->
+              match acc with
+              | None -> Some j
+              | Some k ->
+                if height.(j) > height.(k)
+                   || (height.(j) = height.(k) && j < k)
+                then Some j
+                else acc)
+            None !ready
+        in
+        let j = Option.get best in
+        ready := List.filter (fun x -> x <> j) !ready;
+        scheduled := j :: !scheduled;
+        decr remaining;
+        List.iter
+          (fun s ->
+            npreds.(s) <- npreds.(s) - 1;
+            if npreds.(s) = 0 then ready := s :: !ready)
+          succs.(j)
+    done;
+    let order = List.rev !scheduled in
+    List.iteri (fun pos j -> if pos <> j then st.moved <- st.moved + 1) order;
+    b.insns <- List.map (fun j -> insns.(j)) order
+  end
+
+(** Schedule every block of every function in place. *)
+let run (mp : mprog) : stats =
+  let st = { blocks = 0; moved = 0 } in
+  Hashtbl.iter
+    (fun _ (f : mfunc) -> Array.iter (schedule_block st) f.mf_blocks)
+    mp.mp_funcs;
+  st

@@ -1,0 +1,12 @@
+(** Local (within-block) latency-weighted list scheduling for ITL.
+
+    Register dependences are respected and memory-touching instructions
+    keep their relative order, so ALAT/cache behaviour — and therefore
+    every counter except cycles — is untouched.  The pass fills load-delay
+    slots with independent work, the role the paper assigns to the
+    scheduler downstream of speculative PRE. *)
+
+type stats = { mutable blocks : int; mutable moved : int }
+
+(** Schedule every block of every function, in place. *)
+val run : Itl.mprog -> stats

@@ -1,0 +1,1 @@
+lib/driver/experiments.ml: List Load_reuse Lower Machine Pipeline Printf Profiler Spec_codegen Spec_ir Spec_machine Spec_prof Spec_spec Spec_ssapre Spec_workloads Workloads

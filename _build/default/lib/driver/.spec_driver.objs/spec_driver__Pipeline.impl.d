@@ -1,0 +1,1 @@
+lib/driver/pipeline.ml: Cfg_utils Flags Hashtbl List Lower Profile Profiler Sir Spec_alias Spec_cfg Spec_ir Spec_prof Spec_spec Spec_ssa Spec_ssapre Ssapre Vec

@@ -1,0 +1,1 @@
+lib/driver/pipeline.mli: Spec_ir Spec_prof Spec_spec Spec_ssapre

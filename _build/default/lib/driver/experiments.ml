@@ -1,0 +1,275 @@
+(** Experiment harness: regenerates every table and figure of the paper's
+    evaluation (§5) on the workload kernels.
+
+    Methodology, as in the paper: profiles (edge + alias) are collected on
+    each kernel's *train* input; every pipeline variant is compiled with
+    that profile and measured on the *ref* input on the ITL machine
+    simulator.  All variants must produce the reference output — the
+    harness asserts this, so every experiment run doubles as an
+    end-to-end correctness check of speculation and recovery. *)
+
+open Spec_ir
+open Spec_prof
+open Spec_machine
+open Spec_workloads
+
+type run = {
+  r_machine : Machine.result;
+  r_stats : Spec_ssapre.Ssapre.stats;
+}
+
+type bench_result = {
+  wname : string;
+  fp : bool;
+  noopt : run;
+  base : run;
+  prof_spec : run;
+  heur_spec : run;
+  aggressive : run;
+  reuse_frac : float;  (** simulation-based potential load reuse (Fig 12a) *)
+}
+
+let machine_config = ref Machine.default_config
+
+(** Compile the ref input under [variant] and run it on the machine.
+    Every variant gets the local list scheduler, like the paper's O3
+    baseline (ORC schedules everything). *)
+let run_variant ?(quick = false) (w : Workloads.workload) profile variant : run =
+  let params = if quick then w.Workloads.train else w.Workloads.ref_ in
+  let prog = Lower.compile (w.Workloads.source params) in
+  let r =
+    Pipeline.optimize ~edge_profile:(Some profile) prog variant
+  in
+  let mp = Spec_codegen.Codegen.lower r.Pipeline.prog in
+  ignore (Spec_codegen.Schedule.run mp : Spec_codegen.Schedule.stats);
+  let m = Machine.run ~config:!machine_config mp in
+  { r_machine = m; r_stats = r.Pipeline.stats }
+
+let run_workload ?(quick = false) (w : Workloads.workload) : bench_result =
+  let train_prog = Lower.compile (Workloads.train_source w) in
+  let profile, _ = Profiler.profile train_prog in
+  let noopt = run_variant ~quick w profile Pipeline.Noopt in
+  let base = run_variant ~quick w profile Pipeline.Base in
+  let prof_spec = run_variant ~quick w profile (Pipeline.Spec_profile profile) in
+  let heur_spec = run_variant ~quick w profile Pipeline.Spec_heuristic in
+  let aggressive = run_variant ~quick w profile Pipeline.Aggressive in
+  (* correctness gate: every variant reproduces the unoptimized output *)
+  let expect = noopt.r_machine.Machine.output in
+  List.iter
+    (fun (name, r) ->
+      if r.r_machine.Machine.output <> expect then
+        failwith
+          (Printf.sprintf "experiment %s: variant %s diverged" w.Workloads.name
+             name))
+    [ "base", base; "profile", prof_spec; "heuristic", heur_spec ];
+  (* the aggressive upper bound is only correct when no aliasing actually
+     occurs; kernels with real aliasing legitimately diverge there *)
+  (* Fig 12a: load-reuse potential, measured on the base-optimized program *)
+  let params = if quick then w.Workloads.train else w.Workloads.ref_ in
+  let reuse_prog = Lower.compile (w.Workloads.source params) in
+  let rr = Pipeline.optimize ~edge_profile:(Some profile) reuse_prog Pipeline.Base in
+  let lr, _ = Load_reuse.analyse rr.Pipeline.prog in
+  { wname = w.Workloads.name; fp = w.Workloads.fp; noopt; base; prof_spec;
+    heur_spec; aggressive; reuse_frac = Load_reuse.reuse_fraction lr }
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pct x = 100. *. x
+
+let load_reduction ~(base : run) ~(spec : run) =
+  let lb = Machine.loads_retired base.r_machine.Machine.perf in
+  let ls = Machine.loads_retired spec.r_machine.Machine.perf in
+  if lb = 0 then 0. else pct (1. -. float_of_int ls /. float_of_int lb)
+
+let speedup ~(base : run) ~(spec : run) =
+  let cb = base.r_machine.Machine.perf.Machine.cycles in
+  let cs = spec.r_machine.Machine.perf.Machine.cycles in
+  if cs = 0 then 0. else pct (float_of_int cb /. float_of_int cs -. 1.)
+
+let data_cycle_reduction ~(base : run) ~(spec : run) =
+  let db = base.r_machine.Machine.perf.Machine.data_cycles in
+  let ds = spec.r_machine.Machine.perf.Machine.data_cycles in
+  if db = 0 then 0. else pct (1. -. float_of_int ds /. float_of_int db)
+
+let check_pct (r : run) =
+  let p = r.r_machine.Machine.perf in
+  let total = Machine.loads_retired_with_checks p in
+  if total = 0 then 0. else pct (float_of_int p.Machine.checks /. float_of_int total)
+
+let misspec_ratio (r : run) =
+  let p = r.r_machine.Machine.perf in
+  if p.Machine.checks = 0 then 0.
+  else pct (float_of_int p.Machine.check_misses /. float_of_int p.Machine.checks)
+
+(* ------------------------------------------------------------------ *)
+(* Tables                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig10_header =
+  "benchmark | load reduction % | speedup % | data-access-cycle reduction %"
+
+let fig10_row (b : bench_result) =
+  Printf.sprintf "%-9s | %16.1f | %9.1f | %29.1f" b.wname
+    (load_reduction ~base:b.base ~spec:b.prof_spec)
+    (speedup ~base:b.base ~spec:b.prof_spec)
+    (data_cycle_reduction ~base:b.base ~spec:b.prof_spec)
+
+let fig11_header =
+  "benchmark | check loads / loads retired % | mis-speculation ratio %"
+
+let fig11_row (b : bench_result) =
+  Printf.sprintf "%-9s | %29.2f | %23.2f" b.wname (check_pct b.prof_spec)
+    (misspec_ratio b.prof_spec)
+
+let fig12_header =
+  "benchmark | potential (load-reuse sim) % | potential (aggressive promo) % | achieved %"
+
+let fig12_row (b : bench_result) =
+  Printf.sprintf "%-9s | %28.1f | %30.1f | %10.1f" b.wname
+    (pct b.reuse_frac)
+    (load_reduction ~base:b.base ~spec:b.aggressive)
+    (load_reduction ~base:b.base ~spec:b.prof_spec)
+
+let heuristics_header =
+  "benchmark | profile: loads% / speedup% | heuristic: loads% / speedup%"
+
+let heuristics_row (b : bench_result) =
+  Printf.sprintf "%-9s | %10.1f / %8.1f | %12.1f / %8.1f" b.wname
+    (load_reduction ~base:b.base ~spec:b.prof_spec)
+    (speedup ~base:b.base ~spec:b.prof_spec)
+    (load_reduction ~base:b.base ~spec:b.heur_spec)
+    (speedup ~base:b.base ~spec:b.heur_spec)
+
+let rse_header =
+  "benchmark | base max stacked regs | spec max stacked regs | spec RSE stall cycles"
+
+let rse_row (b : bench_result) =
+  Printf.sprintf "%-9s | %21d | %21d | %21d" b.wname
+    b.base.r_machine.Machine.perf.Machine.max_stacked_regs
+    b.prof_spec.r_machine.Machine.perf.Machine.max_stacked_regs
+    b.prof_spec.r_machine.Machine.perf.Machine.rse_stall_cycles
+
+(** §5.1 case study on the equake smvp kernel. *)
+type smvp_study = {
+  checks_pct : float;        (** % of load-class operations that are checks *)
+  spec_speedup : float;      (** speculative vs base *)
+  tuned_speedup : float;     (** aggressive ("hand-tuned") vs base *)
+}
+
+let smvp_case_study (b : bench_result) : smvp_study =
+  { checks_pct = check_pct b.prof_spec;
+    spec_speedup = speedup ~base:b.base ~spec:b.prof_spec;
+    tuned_speedup = speedup ~base:b.base ~spec:b.aggressive }
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (§6 of DESIGN.md)                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Control-speculation ablation: speculative PRE with and without
+    insertion at non-downsafe Phis. *)
+let ablate_control_spec ?(quick = false) (w : Workloads.workload) =
+  let train_prog = Lower.compile (Workloads.train_source w) in
+  let profile, _ = Profiler.profile train_prog in
+  let params = if quick then w.Workloads.train else w.Workloads.ref_ in
+  let run ~control_spec =
+    let prog = Lower.compile (w.Workloads.source params) in
+    let config =
+      { (Spec_ssapre.Ssapre.default_config Spec_spec.Flags.Nonspec) with
+        Spec_ssapre.Ssapre.control_spec }
+    in
+    let r =
+      Pipeline.optimize ~config:(Some config) ~edge_profile:(Some profile)
+        prog (Pipeline.Spec_profile profile)
+    in
+    Machine.run ~config:!machine_config
+      (Spec_codegen.Codegen.lower r.Pipeline.prog)
+  in
+  let with_cs = run ~control_spec:true in
+  let without_cs = run ~control_spec:false in
+  (w.Workloads.name,
+   Machine.loads_retired with_cs.Machine.perf,
+   Machine.loads_retired without_cs.Machine.perf,
+   with_cs.Machine.perf.Machine.cycles,
+   without_cs.Machine.perf.Machine.cycles)
+
+(** Degree-of-likeliness threshold ablation (§3.1's "the compiler can use
+    the profiling information ... to specify the degree of likeliness").
+
+    A synthetic kernel whose store truly aliases the hot load in a small
+    fraction of executions, on the training input as well.  With the
+    default threshold (0 = "any observed alias is likely") the profile
+    blocks speculation; raising the threshold trades a small
+    mis-speculation rate for the load reduction.  Returns
+    (threshold, loads, checks, misses, cycles) rows. *)
+let ablate_threshold ?(alias_permille = 30) thresholds =
+  let src =
+    Printf.sprintf
+      "int g; int decoy;        int main(){ int s; s = 0; g = 1; int* w; w = &decoy;        for (int i = 0; i < 4000; i++) {          if (rnd(1000) < %d) w = &g; else w = &decoy;          s = s + g; *w = i; s = s + g; }        print_int(s); print_int(g); return 0; }"
+      alias_permille
+  in
+  let profile = Pipeline.profile_of_source src in
+  List.map
+    (fun threshold ->
+      let prog = Lower.compile src in
+      let config =
+        { (Spec_ssapre.Ssapre.default_config Spec_spec.Flags.Nonspec) with
+          Spec_ssapre.Ssapre.alias_threshold = threshold }
+      in
+      let r =
+        Pipeline.optimize ~config:(Some config) ~edge_profile:(Some profile)
+          prog (Pipeline.Spec_profile profile)
+      in
+      let m =
+        Machine.run ~config:!machine_config
+          (Spec_codegen.Codegen.lower r.Pipeline.prog)
+      in
+      let p = m.Machine.perf in
+      (threshold, Machine.loads_retired p, p.Machine.checks,
+       p.Machine.check_misses, p.Machine.cycles))
+    thresholds
+
+(** Local-scheduling ablation: cycles with and without the ITL list
+    scheduler, on the profile-speculative build. *)
+let ablate_schedule ?(quick = false) (w : Workloads.workload) =
+  let train_prog = Lower.compile (Workloads.train_source w) in
+  let profile, _ = Profiler.profile train_prog in
+  let params = if quick then w.Workloads.train else w.Workloads.ref_ in
+  let build () =
+    let prog = Lower.compile (w.Workloads.source params) in
+    let r =
+      Pipeline.optimize ~edge_profile:(Some profile) prog
+        (Pipeline.Spec_profile profile)
+    in
+    Spec_codegen.Codegen.lower r.Pipeline.prog
+  in
+  let plain = Machine.run ~config:!machine_config (build ()) in
+  let mp = build () in
+  ignore (Spec_codegen.Schedule.run mp : Spec_codegen.Schedule.stats);
+  let sched = Machine.run ~config:!machine_config mp in
+  if plain.Machine.output <> sched.Machine.output then
+    failwith ("scheduling changed behaviour on " ^ w.Workloads.name);
+  (w.Workloads.name, plain.Machine.perf.Machine.cycles,
+   sched.Machine.perf.Machine.cycles)
+
+(** ALAT capacity ablation: mis-speculation ratio vs table size. *)
+let ablate_alat ?(quick = false) (w : Workloads.workload) sizes =
+  let train_prog = Lower.compile (Workloads.train_source w) in
+  let profile, _ = Profiler.profile train_prog in
+  let params = if quick then w.Workloads.train else w.Workloads.ref_ in
+  List.map
+    (fun entries ->
+      let prog = Lower.compile (w.Workloads.source params) in
+      let r =
+        Pipeline.optimize ~edge_profile:(Some profile) prog
+          (Pipeline.Spec_profile profile)
+      in
+      let m =
+        Machine.run
+          ~config:{ !machine_config with Machine.alat_entries = entries }
+          (Spec_codegen.Codegen.lower r.Pipeline.prog)
+      in
+      let p = m.Machine.perf in
+      (entries, p.Machine.checks, p.Machine.check_misses))
+    sizes

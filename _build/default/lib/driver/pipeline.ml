@@ -1,0 +1,139 @@
+(** Compilation pipelines.
+
+    A pipeline takes a freshly lowered SIR program through the paper's
+    analysis and optimization stack:
+
+      alias analysis -> χ/μ annotation -> speculation flags -> HSSA ->
+      speculative SSAPRE -> out of SSA
+
+    repeated for a few rounds so loads nested inside other loads (e.g.
+    [A\[i\]\[j\]], which is an iload of an iload) get promoted outside-in.
+    The resulting program still runs on the reference interpreter and can
+    be lowered to the ITL machine. *)
+
+open Spec_ir
+open Spec_cfg
+open Spec_prof
+open Spec_spec
+open Spec_ssapre
+
+type variant =
+  | Base                         (** -O3-like: nonspeculative PRE *)
+  | Spec_profile of Profile.t    (** data speculation from alias profile *)
+  | Spec_heuristic               (** data speculation from heuristic rules *)
+  | Aggressive                   (** upper bound: ignore aliases, no checks *)
+  | Noopt                        (** no PRE at all *)
+
+let variant_name = function
+  | Base -> "base"
+  | Spec_profile _ -> "profile"
+  | Spec_heuristic -> "heuristic"
+  | Aggressive -> "aggressive"
+  | Noopt -> "noopt"
+
+(** The Aggressive variant reuses the heuristic speculation machinery but
+    drops the checks afterwards — it models the paper's §5.3 "aggressive
+    register promotion" upper bound, which allocates memory references to
+    registers without considering potential aliasing (correct only when no
+    aliasing actually occurs at runtime). *)
+let strip_checks (prog : Sir.prog) =
+  Sir.iter_funcs
+    (fun f ->
+      Vec.iter
+        (fun (b : Sir.bb) ->
+          b.Sir.stmts <-
+            List.filter
+              (fun (s : Sir.stmt) -> s.Sir.mark <> Sir.Mchk)
+              b.Sir.stmts)
+        f.Sir.fblocks)
+    prog
+
+type result = {
+  prog : Sir.prog;
+  stats : Ssapre.stats;
+  variant : variant;
+}
+
+let mode_of_variant = function
+  | Base | Noopt -> Flags.Nonspec
+  | Spec_profile p -> Flags.Profile_spec p
+  | Spec_heuristic | Aggressive -> Flags.Heuristic_spec
+
+(** Run the optimizer on [prog] (destructively).  [rounds] bounds the
+    outside-in promotion depth; [edge_profile] enables control
+    speculation. *)
+let optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
+    ?(strength = true) (prog : Sir.prog) (variant : variant) : result =
+  let mode = mode_of_variant variant in
+  let base_cfg =
+    match config with
+    | Some c -> c
+    | None -> Ssapre.default_config mode
+  in
+  let cfg = { base_cfg with Ssapre.mode } in
+  (match edge_profile with
+   | Some p -> Profile.annotate_block_freqs p prog
+   | None -> ());
+  let total = ref Ssapre.zero_stats in
+  (* flow-sensitive refinement prepass (Figure 4's last stage): build SSA
+     once, record definite pointer targets, and feed them to every
+     annotation round *)
+  let refinements =
+    if variant = Noopt then Hashtbl.create 1
+    else begin
+      ignore (Spec_alias.Annotate.run prog : Spec_alias.Annotate.info);
+      Sir.iter_funcs
+        (fun f -> ignore (Cfg_utils.split_critical_edges f : int))
+        prog;
+      ignore (Spec_ssa.Build_ssa.build prog);
+      let r = Spec_ssa.Refine.compute prog in
+      Spec_ssa.Out_of_ssa.run prog;
+      r
+    end
+  in
+  if variant <> Noopt then
+    for _round = 1 to rounds do
+      let annot = Spec_alias.Annotate.run ~refinements prog in
+      Flags.assign ~threshold:cfg.Ssapre.alias_threshold prog annot mode;
+      Sir.iter_funcs
+        (fun f -> ignore (Cfg_utils.split_critical_edges f : int))
+        prog;
+      ignore (Spec_ssa.Build_ssa.build prog);
+      Sir.iter_funcs
+        (fun f ->
+          let st = Ssapre.run_func prog annot cfg f in
+          total := Ssapre.add_stats !total st)
+        prog;
+      Spec_ssa.Out_of_ssa.run prog
+    done;
+  (* store promotion (SPRE of stores): runs on the de-versioned program
+     with a fresh annotation; speculative policies allow promotion past
+     unlikely-aliasing stores with ld.c recovery *)
+  if variant <> Noopt then begin
+    let annot = Spec_alias.Annotate.run ~refinements prog in
+    let kctx =
+      Spec_spec.Kills.create ~alias_threshold:cfg.Ssapre.alias_threshold prog
+        annot mode
+    in
+    ignore (Spec_ssapre.Store_promo.run prog annot kctx
+            : Spec_ssapre.Store_promo.stats)
+  end;
+  if variant <> Noopt && strength then
+    ignore (Spec_ssapre.Strength.run prog : Spec_ssapre.Strength.stats);
+  if variant <> Noopt then
+    ignore (Spec_ssapre.Cleanup.run prog : Spec_ssapre.Cleanup.stats);
+  if variant = Aggressive then strip_checks prog;
+  { prog; stats = !total; variant }
+
+(** Convenience: compile source and optimize. *)
+let compile_and_optimize ?rounds ?config ?edge_profile ?strength src variant =
+  let prog = Lower.compile src in
+  optimize ?rounds ?config ?edge_profile ?strength prog variant
+
+(** Profile a fresh compile of [src] (with whatever input [main] selects)
+    and return the profile for feeding a [Spec_profile] pipeline of
+    another compile. *)
+let profile_of_source ?fuel src =
+  let prog = Lower.compile src in
+  let prof, _ = Profiler.profile ?fuel prog in
+  prof

@@ -1,0 +1,56 @@
+(** Compilation pipelines: the paper's analysis and optimization stack
+
+      alias analysis -> chi/mu annotation -> speculation flags -> HSSA ->
+      speculative SSAPRE -> out of SSA
+
+    iterated for a few rounds (so loads nested inside other loads promote
+    outside-in), preceded by a flow-sensitive refinement prepass and
+    followed by strength reduction. *)
+
+type variant =
+  | Base                                    (** O3-like nonspeculative PRE *)
+  | Spec_profile of Spec_prof.Profile.t     (** data speculation from profile *)
+  | Spec_heuristic                          (** data speculation from rules *)
+  | Aggressive                              (** §5.3 no-check upper bound *)
+  | Noopt                                   (** no PRE at all *)
+
+val variant_name : variant -> string
+
+(** Drop every check statement — the Aggressive variant's second step;
+    correct only when no aliasing actually occurs at runtime. *)
+val strip_checks : Spec_ir.Sir.prog -> unit
+
+type result = {
+  prog : Spec_ir.Sir.prog;
+  stats : Spec_ssapre.Ssapre.stats;
+  variant : variant;
+}
+
+val mode_of_variant : variant -> Spec_spec.Flags.mode
+
+(** Optimize [prog] destructively.  [rounds] bounds outside-in promotion
+    depth (default 3); [edge_profile] enables control speculation and
+    block frequencies; [config] overrides the SSAPRE configuration;
+    [strength] toggles strength reduction + LFTR (default on). *)
+val optimize :
+  ?rounds:int ->
+  ?config:Spec_ssapre.Ssapre.config option ->
+  ?edge_profile:Spec_prof.Profile.t option ->
+  ?strength:bool ->
+  Spec_ir.Sir.prog ->
+  variant ->
+  result
+
+val compile_and_optimize :
+  ?rounds:int ->
+  ?config:Spec_ssapre.Ssapre.config option ->
+  ?edge_profile:Spec_prof.Profile.t option ->
+  ?strength:bool ->
+  string ->
+  variant ->
+  result
+
+(** Profile a fresh compile of the source (with whatever input its [main]
+    selects); feed the result to a [Spec_profile] pipeline of another
+    compile of the same source. *)
+val profile_of_source : ?fuel:int -> string -> Spec_prof.Profile.t

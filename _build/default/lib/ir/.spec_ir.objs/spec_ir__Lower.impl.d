@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Ast Hashtbl List Parser Printf Sir Symtab Types Vec

@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Fmt List Sir Symtab Types Vec

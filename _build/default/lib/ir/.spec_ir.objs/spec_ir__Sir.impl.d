@@ -1,0 +1,1 @@
+lib/ir/sir.ml: Hashtbl List Symtab Types Vec

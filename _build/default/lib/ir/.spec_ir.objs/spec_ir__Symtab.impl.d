@@ -1,0 +1,1 @@
+lib/ir/symtab.ml: Printf Types Vec

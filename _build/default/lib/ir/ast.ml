@@ -1,0 +1,56 @@
+(** Abstract syntax of the mini-C source language accepted by the frontend.
+
+    The language is the subset of C that the paper's workloads need:
+    [int]/[float] scalars (both 64-bit), pointers, one-dimensional arrays,
+    heap allocation via [malloc], function calls, and structured control
+    flow.  Logical [&&]/[||] are strict (no short-circuit); this keeps the
+    lowered CFG simple and is documented in the README. *)
+
+type ty = Aint | Aflt | Aptr of ty
+
+type pos = int  (** 1-based source line *)
+
+type expr =
+  | Eint of pos * int
+  | Eflt of pos * float
+  | Evar of pos * string
+  | Eun of pos * string * expr          (** "-", "!", "*", "&" *)
+  | Ebin of pos * string * expr * expr
+  | Eidx of pos * expr * expr           (** a[i] *)
+  | Ecall of pos * string * expr list
+  | Ecast of pos * ty * expr
+
+type stmt =
+  | Sblock of stmt list
+  | Sif of pos * expr * stmt * stmt option
+  | Swhile of pos * expr * stmt
+  | Sfor of pos * stmt option * expr option * stmt option * stmt
+  | Sreturn of pos * expr option
+  | Sdecl of pos * ty * string * int option * expr option
+      (** [ty name [size]? = init?] — local declaration; [size] makes it a
+          stack array *)
+  | Sassign of pos * expr * expr        (** lvalue = expr *)
+  | Sexpr of pos * expr                 (** expression statement (calls) *)
+  | Sbreak of pos
+  | Scontinue of pos
+
+type decl =
+  | Dglobal of pos * ty * string * int option
+  | Dfunc of pos * ty option * string * (ty * string) list * stmt list
+      (** return type ([None] = void), name, formals, body *)
+
+type program = decl list
+
+exception Frontend_error of int * string
+
+let error pos fmt = Fmt.kstr (fun s -> raise (Frontend_error (pos, s))) fmt
+
+let rec pp_ty fmt = function
+  | Aint -> Fmt.string fmt "int"
+  | Aflt -> Fmt.string fmt "float"
+  | Aptr t -> Fmt.pf fmt "%a*" pp_ty t
+
+let rec to_ir_ty = function
+  | Aint -> Types.Tint
+  | Aflt -> Types.Tflt
+  | Aptr t -> Types.Tptr (to_ir_ty t)

@@ -1,0 +1,102 @@
+(** Hand-written lexer for the mini-C frontend. *)
+
+type token =
+  | Tint_lit of int
+  | Tflt_lit of float
+  | Tident of string
+  | Tkw of string
+  | Tpunct of string
+  | Teof
+
+type lexeme = { tok : token; line : int }
+
+let keywords =
+  [ "int"; "float"; "void"; "if"; "else"; "while"; "for"; "return";
+    "break"; "continue" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+(* Multi-character punctuation, longest first. *)
+let puncts2 =
+  [ "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "+="; "-="; "*="; "/=";
+    "++"; "--" ]
+
+let tokenize (src : string) : lexeme list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let emit tok = toks := { tok; line = !line } :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let fin = ref false in
+      while not !fin do
+        if !i + 1 >= n then
+          raise (Ast.Frontend_error (!line, "unterminated comment"))
+        else if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          i := !i + 2; fin := true
+        end else begin
+          if src.[!i] = '\n' then incr line;
+          incr i
+        end
+      done
+    end
+    else if is_digit c
+         || (c = '.' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let start = !i in
+      let is_flt = ref false in
+      while !i < n
+            && (is_digit src.[!i] || src.[!i] = '.' || src.[!i] = 'e'
+                || src.[!i] = 'E'
+                || ((src.[!i] = '+' || src.[!i] = '-')
+                    && !i > start
+                    && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E'))) do
+        if src.[!i] = '.' || src.[!i] = 'e' || src.[!i] = 'E' then
+          is_flt := true;
+        incr i
+      done;
+      let s = String.sub src start (!i - start) in
+      if !is_flt then emit (Tflt_lit (float_of_string s))
+      else emit (Tint_lit (int_of_string s))
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && is_alnum src.[!i] do incr i done;
+      let s = String.sub src start (!i - start) in
+      if List.mem s keywords then emit (Tkw s) else emit (Tident s)
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some p when List.mem p puncts2 -> emit (Tpunct p); i := !i + 2
+      | _ ->
+        (match c with
+         | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '=' | '!' | '&' | '|'
+         | '^' | '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' ->
+           emit (Tpunct (String.make 1 c)); incr i
+         | _ ->
+           raise (Ast.Frontend_error
+                    (!line, Printf.sprintf "unexpected character %C" c)))
+    end
+  done;
+  emit Teof;
+  List.rev !toks
+
+let token_str = function
+  | Tint_lit i -> string_of_int i
+  | Tflt_lit f -> string_of_float f
+  | Tident s -> s
+  | Tkw s -> s
+  | Tpunct s -> Printf.sprintf "%S" s
+  | Teof -> "<eof>"

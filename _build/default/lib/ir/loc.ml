@@ -1,0 +1,19 @@
+(** Abstract memory locations (LOCs), the points-to targets of the paper's
+    alias profile (after Ghiya et al.): named program variables and heap
+    objects named by their allocation site. *)
+
+type t =
+  | Lvar of int     (** memory-resident variable, by original variable id *)
+  | Lheap of int    (** heap object, named by its allocation (call) site *)
+
+let compare = compare
+let equal (a : t) b = a = b
+
+let pp syms fmt = function
+  | Lvar v -> Fmt.string fmt (Symtab.name syms v)
+  | Lheap site -> Fmt.pf fmt "heap@%d" site
+
+module Set = Set.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)

@@ -1,0 +1,108 @@
+(** Pretty-printing of SIR programs, including HSSA annotations
+    (phi nodes, mu/chi lists, speculation flags and marks). *)
+
+open Sir
+
+let pp_const fmt = function
+  | Cint i -> Fmt.int fmt i
+  | Cflt f -> Fmt.pf fmt "%g" f
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+
+let unop_str = function
+  | Neg -> "-" | Lnot -> "!" | I2f -> "(float)" | F2i -> "(int)"
+
+let pp_var syms fmt v = Fmt.string fmt (Symtab.name syms v)
+
+let rec pp_expr syms fmt = function
+  | Const c -> pp_const fmt c
+  | Lod v -> pp_var syms fmt v
+  | Ilod (t, a, s) -> Fmt.pf fmt "*{%a@@%d}(%a)" Types.pp t s (pp_expr syms) a
+  | Lda v -> Fmt.pf fmt "&%a" (pp_var syms) v
+  | Unop (o, _, e) -> Fmt.pf fmt "%s(%a)" (unop_str o) (pp_expr syms) e
+  | Binop (o, _, a, b) ->
+    Fmt.pf fmt "(%a %s %a)" (pp_expr syms) a (binop_str o) (pp_expr syms) b
+
+let pp_mu syms fmt m =
+  Fmt.pf fmt "mu%s(%a)" (if m.mu_spec then "s" else "") (pp_var syms) m.mu_opnd
+
+let pp_chi syms fmt c =
+  Fmt.pf fmt "%a <- chi%s(%a)" (pp_var syms) c.chi_lhs
+    (if c.chi_spec then "s" else "") (pp_var syms) c.chi_rhs
+
+let mark_str = function
+  | Mnone -> ""
+  | Madv -> " [ld.a]"
+  | Mchk -> " [ld.c]"
+  | Mcspec -> " [ld.s]"
+  | Msa -> " [ld.sa]"
+
+let pp_stmt syms fmt s =
+  let pp_lists fmt () =
+    if s.mark = Mchk && s.check_of >= 0 then
+      Fmt.pf fmt " (covers s%d)" s.check_of;
+    if s.mus <> [] then
+      Fmt.pf fmt "  {%a}" (Fmt.list ~sep:Fmt.comma (pp_mu syms)) s.mus;
+    if s.chis <> [] then
+      Fmt.pf fmt "  {%a}" (Fmt.list ~sep:Fmt.comma (pp_chi syms)) s.chis
+  in
+  (match s.kind with
+   | Stid (v, e) ->
+     Fmt.pf fmt "%a = %a%s" (pp_var syms) v (pp_expr syms) e (mark_str s.mark)
+   | Istr (t, a, v, site) ->
+     Fmt.pf fmt "*{%a@@%d}(%a) = %a" Types.pp t site (pp_expr syms) a
+       (pp_expr syms) v
+   | Call { callee; args; ret; _ } ->
+     (match ret with
+      | Some r -> Fmt.pf fmt "%a = " (pp_var syms) r
+      | None -> ());
+     Fmt.pf fmt "%s(%a)" callee
+       (Fmt.list ~sep:Fmt.comma (pp_expr syms)) args
+   | Snop -> Fmt.string fmt "nop");
+  pp_lists fmt ()
+
+let pp_phi syms fmt p =
+  Fmt.pf fmt "%a = phi(%a)%s" (pp_var syms) p.phi_lhs
+    (Fmt.array ~sep:Fmt.comma (pp_var syms)) p.phi_args
+    (if p.phi_live then "" else " [dead]")
+
+let pp_term syms fmt = function
+  | Tgoto b -> Fmt.pf fmt "goto B%d" b
+  | Tcond (e, t, e') -> Fmt.pf fmt "if %a then B%d else B%d" (pp_expr syms) e t e'
+  | Tret None -> Fmt.string fmt "ret"
+  | Tret (Some e) -> Fmt.pf fmt "ret %a" (pp_expr syms) e
+
+let pp_bb syms fmt b =
+  Fmt.pf fmt "@[<v2>B%d:  (preds %a, freq %.0f)@ " b.bid
+    (Fmt.list ~sep:Fmt.comma Fmt.int) b.preds b.freq;
+  List.iter (fun p -> Fmt.pf fmt "%a@ " (pp_phi syms) p) b.phis;
+  List.iter
+    (fun s ->
+      match s.kind with
+      | Snop when s.chis = [] && s.mus = [] -> ()
+      | _ -> Fmt.pf fmt "%a@ " (pp_stmt syms) s)
+    b.stmts;
+  Fmt.pf fmt "%a@]" (pp_term syms) b.term
+
+let pp_func syms fmt f =
+  Fmt.pf fmt "@[<v>func %s(%a) : %a {@ " f.fname
+    (Fmt.list ~sep:Fmt.comma (pp_var syms)) f.fformals Types.pp f.fret;
+  Vec.iter (fun b -> Fmt.pf fmt "%a@ " (pp_bb syms) b) f.fblocks;
+  Fmt.pf fmt "}@]"
+
+let pp_prog fmt p =
+  List.iter
+    (fun g ->
+      let v = Symtab.var p.syms g in
+      Fmt.pf fmt "global %a %s[%d]@."
+        Types.pp v.Symtab.vty v.Symtab.vname v.Symtab.vsize)
+    p.globals;
+  iter_funcs (fun f -> Fmt.pf fmt "%a@.@." (pp_func p.syms) f) p
+
+let func_to_string syms f = Fmt.str "%a" (pp_func syms) f
+let prog_to_string p = Fmt.str "%a" pp_prog p
+let expr_to_string syms e = Fmt.str "%a" (pp_expr syms) e
+let stmt_to_string syms s = Fmt.str "%a" (pp_stmt syms) s

@@ -1,0 +1,284 @@
+(** SIR: the mid-level intermediate representation.
+
+    SIR mirrors the slice of ORC's WHIRL that the paper's algorithms operate
+    on: a control-flow graph of basic blocks whose statements carry
+    expression *trees*; direct loads/stores of named variables; indirect
+    loads/stores through arbitrary address expressions; and calls.  After
+    HSSA construction, statements additionally carry [mu] (may-use) and
+    [chi] (may-def) operand lists and blocks carry phi nodes; the
+    speculation flags of the paper's speculative SSA form live on those
+    [mu]/[chi] operands. *)
+
+type const = Cint of int | Cflt of float
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Band | Bor | Bxor | Shl | Shr
+
+type unop = Neg | Lnot | I2f | F2i
+
+type expr =
+  | Const of const
+  | Lod of int
+      (** direct load of variable (by id).  For register-resident variables
+          this is just a use; for memory-resident ones it is a memory load. *)
+  | Ilod of Types.ty * expr * int
+      (** [Ilod (ty, addr, site)]: indirect load of a [ty] value from the
+          address computed by [addr].  [site] uniquely identifies this
+          static memory reference for alias profiling. *)
+  | Lda of int
+      (** address of a memory-resident variable *)
+  | Unop of unop * Types.ty * expr
+  | Binop of binop * Types.ty * expr * expr
+
+(** May-use operand: variable [mu_opnd] (an SSA version of [mu_var]) may be
+    referenced here.  [mu_spec] is the paper's speculation flag: the use is
+    highly likely to be substantiated at runtime. *)
+type mu = { mutable mu_opnd : int; mu_var : int; mutable mu_spec : bool }
+
+(** May-def operand: this statement may update [chi_var]; in SSA form it
+    defines version [chi_lhs] from [chi_rhs].  An unflagged chi is a
+    *speculative weak update* that speculative optimizations may ignore. *)
+type chi = {
+  mutable chi_lhs : int;
+  mutable chi_rhs : int;
+  chi_var : int;
+  mutable chi_spec : bool;
+}
+
+(** Speculation marks attached to statements by the CodeMotion step.
+    [Madv] becomes an advanced load (ld.a), [Mchk] a check load (ld.c),
+    [Mcspec] marks a control-speculatively inserted computation (ld.s), and
+    [Msa] a combined control+data speculative advanced load (ld.sa). *)
+type spec_mark = Mnone | Madv | Mchk | Mcspec | Msa
+
+type call_info = {
+  callee : string;
+  args : expr list;
+  ret : int option;
+  csite : int;
+}
+
+type stmt_kind =
+  | Stid of int * expr                    (** x = e *)
+  | Istr of Types.ty * expr * expr * int  (** *(addr) = value, at site *)
+  | Call of call_info
+  | Snop
+
+type stmt = {
+  sid : int;
+  mutable kind : stmt_kind;
+  mutable mus : mu list;
+  mutable chis : chi list;
+  mutable mark : spec_mark;
+  mutable check_of : int;
+      (** for [Mchk] statements: the statement id of the weak update this
+          check guards, [-1] otherwise *)
+}
+
+type phi = {
+  phi_var : int;                    (** original variable *)
+  mutable phi_lhs : int;            (** defined SSA version *)
+  mutable phi_args : int array;     (** one version per predecessor *)
+  mutable phi_live : bool;
+}
+
+type term =
+  | Tgoto of int
+  | Tcond of expr * int * int   (** condition, then-target, else-target *)
+  | Tret of expr option
+
+type bb = {
+  bid : int;
+  mutable phis : phi list;
+  mutable stmts : stmt list;
+  mutable term : term;
+  mutable preds : int list;     (** maintained by {!recompute_preds} *)
+  mutable freq : float;         (** execution frequency from edge profile *)
+}
+
+type func = {
+  fname : string;
+  fret : Types.ty;
+  fformals : int list;
+  fblocks : bb Vec.t;           (** indexed by block id *)
+  mutable flocals : int list;
+}
+
+let entry_bid = 0
+
+(** Static memory-reference and call sites, the units the alias profiler
+    keys its measurements on. *)
+type site_kind = Kiload | Kistore | Kcall
+
+type site_info = {
+  si_id : int;
+  si_kind : site_kind;
+  si_func : string;
+  si_line : int;
+}
+
+type prog = {
+  syms : Symtab.t;
+  mutable globals : int list;
+  funcs : (string, func) Hashtbl.t;
+  mutable func_order : string list;
+  sites : (int, site_info) Hashtbl.t;
+  mutable next_site : int;
+  mutable next_stmt : int;
+  mutable next_label : int;
+}
+
+let create_prog () =
+  { syms = Symtab.create (); globals = []; funcs = Hashtbl.create 16;
+    func_order = []; sites = Hashtbl.create 64; next_site = 0;
+    next_stmt = 0; next_label = 0 }
+
+let new_site ?(func = "?") ?(line = 0) ?(kind = Kiload) p =
+  let s = p.next_site in
+  p.next_site <- s + 1;
+  Hashtbl.replace p.sites s
+    { si_id = s; si_kind = kind; si_func = func; si_line = line };
+  s
+
+let site_info p s = Hashtbl.find_opt p.sites s
+
+let new_stmt p kind =
+  let sid = p.next_stmt in
+  p.next_stmt <- sid + 1;
+  { sid; kind; mus = []; chis = []; mark = Mnone; check_of = -1 }
+
+let dummy_bb =
+  { bid = -1; phis = []; stmts = []; term = Tret None; preds = []; freq = 0. }
+
+let new_bb f =
+  let bid = Vec.length f.fblocks in
+  let b = { bid; phis = []; stmts = []; term = Tret None; preds = [];
+            freq = 0. } in
+  Vec.push f.fblocks b;
+  b
+
+let block f bid = Vec.get f.fblocks bid
+let n_blocks f = Vec.length f.fblocks
+
+let create_func p ~name ~ret ~formals =
+  let f = { fname = name; fret = ret; fformals = formals;
+            fblocks = Vec.create dummy_bb; flocals = [] } in
+  ignore (new_bb f : bb);                      (* entry block, id 0 *)
+  Hashtbl.replace p.funcs name f;
+  p.func_order <- p.func_order @ [ name ];
+  f
+
+let find_func p name =
+  match Hashtbl.find_opt p.funcs name with
+  | Some f -> f
+  | None -> invalid_arg ("Sir.find_func: no function " ^ name)
+
+let iter_funcs f p =
+  List.iter (fun name -> f (Hashtbl.find p.funcs name)) p.func_order
+
+let succs_of_term = function
+  | Tgoto b -> [ b ]
+  | Tcond (_, t, e) -> if t = e then [ t ] else [ t; e ]
+  | Tret _ -> []
+
+let succs b = succs_of_term b.term
+
+let recompute_preds f =
+  Vec.iter (fun b -> b.preds <- []) f.fblocks;
+  Vec.iter
+    (fun b ->
+      List.iter
+        (fun s -> let sb = block f s in sb.preds <- sb.preds @ [ b.bid ])
+        (succs b))
+    f.fblocks
+
+(* ------------------------------------------------------------------ *)
+(* Expression utilities                                               *)
+(* ------------------------------------------------------------------ *)
+
+let expr_ty syms = function
+  | Const (Cint _) -> Types.Tint
+  | Const (Cflt _) -> Types.Tflt
+  | Lod v -> Symtab.ty syms v
+  | Ilod (t, _, _) -> t
+  | Lda v -> Types.Tptr (Symtab.var syms v).Symtab.velt
+  | Unop (_, t, _) -> t
+  | Binop (_, t, _, _) -> t
+
+(** Iterate over every variable use in an expression (not addresses taken). *)
+let rec iter_expr_uses f = function
+  | Const _ | Lda _ -> ()
+  | Lod v -> f v
+  | Ilod (_, a, _) -> iter_expr_uses f a
+  | Unop (_, _, e) -> iter_expr_uses f e
+  | Binop (_, _, a, b) -> iter_expr_uses f a; iter_expr_uses f b
+
+let rec map_expr_uses f = function
+  | (Const _ | Lda _) as e -> e
+  | Lod v -> Lod (f v)
+  | Ilod (t, a, s) -> Ilod (t, map_expr_uses f a, s)
+  | Unop (o, t, e) -> Unop (o, t, map_expr_uses f e)
+  | Binop (o, t, a, b) -> Binop (o, t, map_expr_uses f a, map_expr_uses f b)
+
+let rec iter_subexprs f e =
+  f e;
+  match e with
+  | Const _ | Lod _ | Lda _ -> ()
+  | Ilod (_, a, _) -> iter_subexprs f a
+  | Unop (_, _, x) -> iter_subexprs f x
+  | Binop (_, _, a, b) -> iter_subexprs f a; iter_subexprs f b
+
+(** All expressions directly contained in a statement kind. *)
+let stmt_exprs = function
+  | Stid (_, e) -> [ e ]
+  | Istr (_, a, v, _) -> [ a; v ]
+  | Call c -> c.args
+  | Snop -> []
+
+let term_exprs = function
+  | Tcond (e, _, _) -> [ e ]
+  | Tret (Some e) -> [ e ]
+  | Tgoto _ | Tret None -> []
+
+(** Variable directly defined by a statement, if any (not chi defs). *)
+let stmt_def = function
+  | Stid (v, _) -> Some v
+  | Call { ret; _ } -> ret
+  | Istr _ | Snop -> None
+
+let map_stmt_exprs f = function
+  | Stid (v, e) -> Stid (v, f e)
+  | Istr (t, a, v, s) -> Istr (t, f a, f v, s)
+  | Call c -> Call { c with args = List.map f c.args }
+  | Snop -> Snop
+
+let map_term_exprs f = function
+  | Tcond (e, a, b) -> Tcond (f e, a, b)
+  | Tret (Some e) -> Tret (Some (f e))
+  | (Tgoto _ | Tret None) as t -> t
+
+(** Indirect-reference sites contained in an expression. *)
+let expr_sites e =
+  let acc = ref [] in
+  iter_subexprs (function Ilod (_, _, s) -> acc := s :: !acc | _ -> ()) e;
+  !acc
+
+let rec expr_equal a b =
+  match a, b with
+  | Const x, Const y -> x = y
+  | Lod x, Lod y | Lda x, Lda y -> x = y
+  | Ilod (t1, a1, _), Ilod (t2, a2, _) -> t1 = t2 && expr_equal a1 a2
+  | Unop (o1, t1, e1), Unop (o2, t2, e2) ->
+    o1 = o2 && t1 = t2 && expr_equal e1 e2
+  | Binop (o1, t1, a1, b1), Binop (o2, t2, a2, b2) ->
+    o1 = o2 && t1 = t2 && expr_equal a1 a2 && expr_equal b1 b2
+  | (Const _ | Lod _ | Lda _ | Ilod _ | Unop _ | Binop _), _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Builtin functions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let builtins = [ "malloc"; "print_int"; "print_flt"; "seed"; "rnd" ]
+let is_builtin name = List.mem name builtins

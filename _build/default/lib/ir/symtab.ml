@@ -1,0 +1,83 @@
+(** Program-wide variable table.
+
+    Every variable — global, local, formal, compiler temporary, HSSA virtual
+    variable, and every SSA version of any of these — is registered here and
+    identified by a dense integer id.  SSA versions carry a pointer to their
+    original variable ([vorig]) so analyses can recover the underlying
+    storage location. *)
+
+type storage =
+  | Sglobal          (** program-lifetime, memory resident *)
+  | Slocal           (** stack local *)
+  | Sformal          (** incoming parameter *)
+  | Stemp            (** compiler-generated temporary, register resident *)
+  | Svirtual         (** HSSA virtual variable standing for an alias class *)
+
+type var = {
+  vid : int;
+  vname : string;
+  vty : Types.ty;
+  vstorage : storage;
+  vfunc : string option;       (** owning function; [None] for globals *)
+  vsize : int;                 (** byte size; larger than one cell for arrays *)
+  velt : Types.ty;             (** element type for arrays; [vty] otherwise *)
+  varray : bool;               (** declared as an array *)
+  mutable vaddr_taken : bool;
+  vorig : int;                 (** original variable id; [vid] if not a version *)
+  vver : int;                  (** SSA version number; 0 before renaming *)
+}
+
+type t = { vars : var Vec.t }
+
+let dummy_var =
+  { vid = -1; vname = "?"; vty = Types.Tvoid; vstorage = Stemp; vfunc = None;
+    vsize = 0; velt = Types.Tvoid; varray = false; vaddr_taken = false;
+    vorig = -1; vver = 0 }
+
+let create () = { vars = Vec.create dummy_var }
+
+let var t id = Vec.get t.vars id
+let count t = Vec.length t.vars
+
+let add t ~name ~ty ~storage ~func ?(size = Types.size_of ty) ?(elt = ty)
+    ?(is_array = false) () =
+  let vid = Vec.length t.vars in
+  let v = { vid; vname = name; vty = ty; vstorage = storage; vfunc = func;
+            vsize = size; velt = elt; varray = is_array;
+            vaddr_taken = false; vorig = vid; vver = 0 } in
+  Vec.push t.vars v;
+  v
+
+(** Register a fresh SSA version of variable [orig_id]. *)
+let add_version t ~orig_id ~ver =
+  let o = var t orig_id in
+  assert (o.vorig = o.vid);
+  let vid = Vec.length t.vars in
+  let v = { o with vid; vver = ver;
+            vname = Printf.sprintf "%s.%d" o.vname ver; vorig = o.vid } in
+  Vec.push t.vars v;
+  v
+
+let orig t id = var t (var t id).vorig
+
+(** A variable lives in memory (has an addressable cell) rather than being
+    purely register-resident.  Globals, arrays, and address-taken locals are
+    memory resident; other locals, formals and temps live in registers. *)
+let is_mem t id =
+  let v = orig t id in
+  match v.vstorage with
+  | Sglobal -> true
+  | Slocal | Sformal -> v.vaddr_taken || v.varray
+  | Stemp -> false
+  | Svirtual -> false
+
+let is_virtual t id = (var t id).vstorage = Svirtual
+
+let set_addr_taken t id =
+  let v = orig t id in
+  v.vaddr_taken <- true
+
+let name t id = (var t id).vname
+let ty t id = (var t id).vty
+
+let iter f t = Vec.iter f t.vars

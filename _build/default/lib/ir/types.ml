@@ -1,0 +1,56 @@
+(** Value and object types of the SIR intermediate representation.
+
+    The representation deliberately keeps a small universe of machine types:
+    64-bit integers, 64-bit floats, and pointers.  Every scalar occupies one
+    8-byte cell so that the reference interpreter and the machine simulator
+    can share a flat, cell-addressed memory model. *)
+
+type ty =
+  | Tint                      (** 64-bit signed integer *)
+  | Tflt                      (** 64-bit IEEE float *)
+  | Tptr of ty                (** pointer to [ty] *)
+  | Tvoid                     (** no value; only as a function return type *)
+
+(** Size in bytes of a value of type [ty].  All scalars are one cell. *)
+let size_of = function
+  | Tint | Tflt | Tptr _ -> 8
+  | Tvoid -> 0
+
+let cell_size = 8
+
+let is_fp = function Tflt -> true | Tint | Tptr _ | Tvoid -> false
+
+let is_ptr = function Tptr _ -> true | Tint | Tflt | Tvoid -> false
+
+(** Type pointed to by a pointer type. Raises [Invalid_argument] otherwise. *)
+let deref = function
+  | Tptr t -> t
+  | (Tint | Tflt | Tvoid) as t ->
+    invalid_arg (Printf.sprintf "Types.deref: not a pointer (%s)"
+                   (match t with Tint -> "int" | Tflt -> "float"
+                               | Tvoid -> "void" | Tptr _ -> assert false))
+
+let rec pp fmt = function
+  | Tint -> Fmt.string fmt "int"
+  | Tflt -> Fmt.string fmt "float"
+  | Tptr t -> Fmt.pf fmt "%a*" pp t
+  | Tvoid -> Fmt.string fmt "void"
+
+let to_string t = Fmt.str "%a" pp t
+
+let equal (a : ty) (b : ty) = a = b
+
+(** Two types are access-compatible when a memory cell written at one type
+    may legitimately be read at the other.  Used by the type-based
+    disambiguation in the alias analysis: references of incompatible types
+    are assumed not to alias, mirroring the type-based alias analysis the
+    paper's baseline compiler uses. *)
+let compatible a b =
+  match a, b with
+  | Tint, Tint | Tflt, Tflt -> true
+  | Tptr _, Tptr _ -> true
+  (* Pointers are stored as integer cells; int<->ptr access is allowed,
+     matching C programs that round-trip pointers through integers. *)
+  | Tint, Tptr _ | Tptr _, Tint -> true
+  | Tflt, (Tint | Tptr _ | Tvoid) | (Tint | Tptr _ | Tvoid), Tflt -> false
+  | Tvoid, _ | _, Tvoid -> false

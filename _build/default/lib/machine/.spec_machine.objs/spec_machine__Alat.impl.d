@@ -1,0 +1,1 @@
+lib/machine/alat.ml: Array Spec_ir

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Alat Array Buffer Cache Fmt Hashtbl List Memory Pp Printf Sir Spec_codegen Spec_ir Spec_prof Symtab Types

@@ -1,0 +1,92 @@
+(** Advanced Load Address Table model.
+
+    A small set-associative table of advanced-load entries, as on
+    Itanium: [ld.a] allocates an entry tagged by its destination register
+    and recording the accessed address; stores look the table up by
+    address and invalidate overlapping entries; [ld.c] searches by
+    register tag — a surviving entry means the speculation held and the
+    check costs nothing, a missing entry means the value must be
+    reloaded.  Entries are also lost to capacity eviction, which the
+    ALAT-size ablation experiment measures. *)
+
+type entry = {
+  mutable tag_frame : int;   (* activation serial: models distinct
+                                physical registers under the register stack *)
+  mutable tag_reg : int;
+  mutable addr : int;
+  mutable valid : bool;
+}
+
+type t = {
+  sets : entry array array;      (* [n_sets][assoc] *)
+  n_sets : int;
+  assoc : int;
+  mutable next_victim : int;
+  mutable inserts : int;
+  mutable store_invalidations : int;
+  mutable capacity_evictions : int;
+}
+
+let create ?(entries = 32) ?(assoc = 2) () =
+  let n_sets = max 1 (entries / assoc) in
+  { sets =
+      Array.init n_sets (fun _ ->
+          Array.init assoc (fun _ ->
+              { tag_frame = -1; tag_reg = -1; addr = 0; valid = false }));
+    n_sets; assoc; next_victim = 0;
+    inserts = 0; store_invalidations = 0; capacity_evictions = 0 }
+
+let set_index t addr = (addr lsr 3) land (t.n_sets - 1)
+
+(** Allocate an entry for an advanced load. *)
+let insert t ~frame ~reg ~addr =
+  t.inserts <- t.inserts + 1;
+  (* an existing entry with the same register tag is replaced *)
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun e ->
+          if e.valid && e.tag_frame = frame && e.tag_reg = reg then
+            e.valid <- false)
+        set)
+    t.sets;
+  let set = t.sets.(set_index t addr) in
+  let victim =
+    let rec find i = if i >= t.assoc then None
+      else if not set.(i).valid then Some set.(i) else find (i + 1)
+    in
+    match find 0 with
+    | Some e -> e
+    | None ->
+      t.capacity_evictions <- t.capacity_evictions + 1;
+      t.next_victim <- (t.next_victim + 1) mod t.assoc;
+      set.(t.next_victim)
+  in
+  victim.tag_frame <- frame;
+  victim.tag_reg <- reg;
+  victim.addr <- addr;
+  victim.valid <- true
+
+(** A store to [addr] of [bytes] invalidates overlapping entries. *)
+let invalidate_store t ~addr ~bytes =
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun e ->
+          if e.valid && e.addr < addr + bytes
+             && addr < e.addr + Spec_ir.Types.cell_size
+          then begin
+            e.valid <- false;
+            t.store_invalidations <- t.store_invalidations + 1
+          end)
+        set)
+    t.sets
+
+(** Check load: does the entry for (frame, reg) survive? *)
+let check t ~frame ~reg =
+  Array.exists
+    (fun set ->
+      Array.exists
+        (fun e -> e.valid && e.tag_frame = frame && e.tag_reg = reg)
+        set)
+    t.sets

@@ -1,0 +1,39 @@
+(** Advanced Load Address Table model (IA-64-style).
+
+    [ld.a] allocates an entry tagged by its destination register and the
+    accessed address; stores invalidate overlapping entries; [ld.c]
+    queries by register tag — a surviving entry means the data
+    speculation held. Entries are also lost to capacity eviction, which
+    the ALAT-size ablation measures. *)
+
+type entry = {
+  mutable tag_frame : int;
+  mutable tag_reg : int;
+  mutable addr : int;
+  mutable valid : bool;
+}
+
+type t = {
+  sets : entry array array;
+  n_sets : int;
+  assoc : int;
+  mutable next_victim : int;
+  mutable inserts : int;
+  mutable store_invalidations : int;
+  mutable capacity_evictions : int;
+}
+
+(** [create ~entries ~assoc ()] — default 32 entries, 2-way. *)
+val create : ?entries:int -> ?assoc:int -> unit -> t
+
+(** Allocate an entry for an advanced load.  An existing entry with the
+    same (frame, reg) tag is replaced; a full set evicts a victim.
+    [frame] is the activation serial, standing in for the distinct
+    physical registers of the register stack. *)
+val insert : t -> frame:int -> reg:int -> addr:int -> unit
+
+(** A store of [bytes] at [addr] invalidates every overlapping entry. *)
+val invalidate_store : t -> addr:int -> bytes:int -> unit
+
+(** Check-load query: does the entry for (frame, reg) survive? *)
+val check : t -> frame:int -> reg:int -> bool

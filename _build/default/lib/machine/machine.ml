@@ -1,0 +1,420 @@
+(** ITL machine simulator.
+
+    Executes ITL programs over the shared flat memory model while running
+    a cycle-approximate in-order core model:
+
+    - single-issue, non-blocking loads: an instruction stalls only when a
+      source register is not ready yet (scoreboarding), which is when load
+      latency becomes visible;
+    - two-level cache with Itanium-flavoured latencies (int L1 hit = 2
+      cycles, FP loads bypass L1 and hit L2 = 9 cycles);
+    - the ALAT: ld.a allocates entries, stores invalidate them, ld.c
+      costs nothing when the entry survives and reloads otherwise;
+    - register-stack accounting with spill cycles when the stacked
+      register demand exceeds the physical stacked file.
+
+    Absolute cycle counts are not meant to match Itanium hardware; the
+    mechanisms (what costs what, what invalidates what) are faithful, so
+    relative effects — the paper's metrics — carry over. *)
+
+open Spec_ir
+open Spec_prof
+
+exception Machine_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Machine_error s)) fmt
+
+type counters = {
+  mutable insns : int;
+  mutable cycles : int;
+  mutable data_cycles : int;        (* stall cycles waiting on loads *)
+  mutable loads_plain : int;
+  mutable loads_adv : int;
+  mutable loads_spec : int;
+  mutable checks : int;
+  mutable check_misses : int;
+  mutable stores : int;
+  mutable branches : int;
+  mutable rse_stall_cycles : int;
+  mutable max_stacked_regs : int;
+}
+
+let fresh_counters () =
+  { insns = 0; cycles = 0; data_cycles = 0; loads_plain = 0; loads_adv = 0;
+    loads_spec = 0; checks = 0; check_misses = 0; stores = 0; branches = 0;
+    rse_stall_cycles = 0; max_stacked_regs = 0 }
+
+(** All loads that actually accessed memory. *)
+let loads_retired c = c.loads_plain + c.loads_adv + c.loads_spec + c.check_misses
+
+(** All retired load-class instructions including successful checks
+    (Figure 11's denominator). *)
+let loads_retired_with_checks c = loads_retired c + (c.checks - c.check_misses)
+
+type result = {
+  ret_int : int;
+  output : string;
+  perf : counters;
+  alat : Alat.t;
+}
+
+type config = {
+  physical_stacked_regs : int;
+  alat_entries : int;
+  call_overhead : int;
+  heap_bytes : int;
+  fuel : int;
+  issue_width : int;
+}
+
+let default_config =
+  { physical_stacked_regs = 96; alat_entries = 32; call_overhead = 2;
+    heap_bytes = 24 * 1024 * 1024; fuel = 400_000_000; issue_width = 2 }
+
+type frame = {
+  fr_serial : int;
+  ints : int array;
+  flts : float array;
+  ready : int array;               (* cycle when register becomes ready *)
+  prod_load : bool array;          (* producer was a load *)
+  addrs : (int, int) Hashtbl.t;    (* memory-resident local -> address *)
+}
+
+type state = {
+  mp : Spec_codegen.Itl.mprog;
+  mem : Memory.t;
+  cache : Cache.t;
+  alat : Alat.t;
+  cfg : config;
+  ctrs : counters;
+  out : Buffer.t;
+  mutable clock : int;
+  mutable slot : int;                (* issue slots used in current cycle *)
+  mutable rng : int;
+  mutable fuel : int;
+  mutable frame_serial : int;
+  mutable stacked_regs : int;
+}
+
+let is_cmp = function
+  | Sir.Lt | Sir.Le | Sir.Gt | Sir.Ge | Sir.Eq | Sir.Ne -> true
+  | Sir.Add | Sir.Sub | Sir.Mul | Sir.Div | Sir.Rem
+  | Sir.Band | Sir.Bor | Sir.Bxor | Sir.Shl | Sir.Shr -> false
+
+(* timing: issue the instruction, stalling until sources are ready.
+   [free] instructions (successful checks) retire without consuming an
+   issue slot, per the paper's "a successful check costs 0 cycles". *)
+let issue ?(free = false) st (fr : frame) ~srcs ~dst ~latency ~is_load =
+  st.ctrs.insns <- st.ctrs.insns + 1;
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then error "machine out of fuel";
+  let start =
+    List.fold_left (fun acc r -> max acc fr.ready.(r)) st.clock srcs
+  in
+  let stall = start - st.clock in
+  if stall > 0
+     && List.exists (fun r -> fr.prod_load.(r) && fr.ready.(r) > st.clock) srcs
+  then st.ctrs.data_cycles <- st.ctrs.data_cycles + stall;
+  if stall > 0 then begin
+    st.clock <- start;
+    st.slot <- 0
+  end;
+  if not free then begin
+    st.slot <- st.slot + 1;
+    if st.slot >= st.cfg.issue_width then begin
+      st.slot <- 0;
+      st.clock <- st.clock + 1
+    end
+  end;
+  if dst >= 0 then begin
+    fr.ready.(dst) <- start + max latency 1;
+    fr.prod_load.(dst) <- is_load
+  end
+
+let var_addr st (fr : frame) vid =
+  let v = Symtab.var st.mp.Spec_codegen.Itl.mp_sir.Sir.syms vid in
+  match v.Symtab.vstorage with
+  | Symtab.Sglobal -> Memory.global_addr st.mem vid
+  | _ ->
+    (match Hashtbl.find_opt fr.addrs vid with
+     | Some a -> a
+     | None -> error "machine: no slot for %s" v.Symtab.vname)
+
+let do_load st (fr : frame) ~fp ~spec addr =
+  if fp then
+    (if spec then Memory.load_flt_spec st.mem addr
+     else Memory.load_flt st.mem addr)
+    |> fun f -> `F f
+  else
+    (if spec then Memory.load_int_spec st.mem addr
+     else Memory.load_int st.mem addr)
+    |> fun i -> `I i
+
+let rec exec_insn st (fr : frame) (i : Spec_codegen.Itl.insn) =
+  let open Spec_codegen.Itl in
+  match i with
+  | Movi (d, Sir.Cint v) ->
+    issue st fr ~srcs:[] ~dst:d ~latency:1 ~is_load:false;
+    fr.ints.(d) <- v
+  | Movi (d, Sir.Cflt v) ->
+    issue st fr ~srcs:[] ~dst:d ~latency:1 ~is_load:false;
+    fr.flts.(d) <- v
+  | Mov (d, s) ->
+    issue st fr ~srcs:[ s ] ~dst:d ~latency:1 ~is_load:false;
+    fr.ints.(d) <- fr.ints.(s);
+    fr.flts.(d) <- fr.flts.(s)
+  | Lea (d, vid) ->
+    issue st fr ~srcs:[] ~dst:d ~latency:1 ~is_load:false;
+    fr.ints.(d) <- var_addr st fr vid
+  | Ld { dst; addr; fp; kind } -> exec_load st fr ~dst ~addr ~fp ~kind
+  | St { src; addr; fp } ->
+    issue st fr ~srcs:[ src; addr ] ~dst:(-1) ~latency:1 ~is_load:false;
+    st.ctrs.stores <- st.ctrs.stores + 1;
+    let a = fr.ints.(addr) in
+    if fp then Memory.store_flt st.mem a fr.flts.(src)
+    else Memory.store_int st.mem a fr.ints.(src);
+    Cache.store st.cache a;
+    Alat.invalidate_store st.alat ~addr:a ~bytes:Types.cell_size
+  | Alu (op, fp, d, a, b) ->
+    let latency = if fp && not (is_cmp op) then 4 else 1 in
+    issue st fr ~srcs:[ a; b ] ~dst:d ~latency ~is_load:false;
+    if fp then begin
+      let va = fr.flts.(a) and vb = fr.flts.(b) in
+      match op with
+      | Sir.Add -> fr.flts.(d) <- va +. vb
+      | Sir.Sub -> fr.flts.(d) <- va -. vb
+      | Sir.Mul -> fr.flts.(d) <- va *. vb
+      | Sir.Div -> fr.flts.(d) <- va /. vb
+      | Sir.Lt -> fr.ints.(d) <- (if va < vb then 1 else 0)
+      | Sir.Le -> fr.ints.(d) <- (if va <= vb then 1 else 0)
+      | Sir.Gt -> fr.ints.(d) <- (if va > vb then 1 else 0)
+      | Sir.Ge -> fr.ints.(d) <- (if va >= vb then 1 else 0)
+      | Sir.Eq -> fr.ints.(d) <- (if va = vb then 1 else 0)
+      | Sir.Ne -> fr.ints.(d) <- (if va <> vb then 1 else 0)
+      | Sir.Rem | Sir.Band | Sir.Bor | Sir.Bxor | Sir.Shl | Sir.Shr ->
+        error "machine: fp alu %s" (Pp.binop_str op)
+    end
+    else begin
+      let va = fr.ints.(a) and vb = fr.ints.(b) in
+      match op with
+      | Sir.Add -> fr.ints.(d) <- va + vb
+      | Sir.Sub -> fr.ints.(d) <- va - vb
+      | Sir.Mul -> fr.ints.(d) <- va * vb
+      | Sir.Div ->
+        if vb = 0 then error "machine: division by zero";
+        fr.ints.(d) <- va / vb
+      | Sir.Rem ->
+        if vb = 0 then error "machine: remainder by zero";
+        fr.ints.(d) <- va mod vb
+      | Sir.Band -> fr.ints.(d) <- va land vb
+      | Sir.Bor -> fr.ints.(d) <- va lor vb
+      | Sir.Bxor -> fr.ints.(d) <- va lxor vb
+      | Sir.Shl -> fr.ints.(d) <- va lsl (vb land 63)
+      | Sir.Shr -> fr.ints.(d) <- va asr (vb land 63)
+      | Sir.Lt -> fr.ints.(d) <- (if va < vb then 1 else 0)
+      | Sir.Le -> fr.ints.(d) <- (if va <= vb then 1 else 0)
+      | Sir.Gt -> fr.ints.(d) <- (if va > vb then 1 else 0)
+      | Sir.Ge -> fr.ints.(d) <- (if va >= vb then 1 else 0)
+      | Sir.Eq -> fr.ints.(d) <- (if va = vb then 1 else 0)
+      | Sir.Ne -> fr.ints.(d) <- (if va <> vb then 1 else 0)
+    end
+  | Un (op, fp, d, s) ->
+    let latency = if fp then 4 else 1 in
+    issue st fr ~srcs:[ s ] ~dst:d ~latency ~is_load:false;
+    (match op with
+     | Sir.Neg -> if fp then fr.flts.(d) <- -.fr.flts.(s)
+       else fr.ints.(d) <- -fr.ints.(s)
+     | Sir.Lnot -> fr.ints.(d) <- (if fr.ints.(s) = 0 then 1 else 0)
+     | Sir.I2f -> fr.flts.(d) <- float_of_int fr.ints.(s)
+     | Sir.F2i -> fr.ints.(d) <- int_of_float fr.flts.(s))
+  | Call { callee; args; ret; site } -> exec_call st fr ~callee ~args ~ret ~site
+
+and exec_load st fr ~dst ~addr ~fp ~kind =
+  let open Spec_codegen.Itl in
+  let a = fr.ints.(addr) in
+  match kind with
+  | Lchk ->
+    st.ctrs.checks <- st.ctrs.checks + 1;
+    if Alat.check st.alat ~frame:fr.fr_serial ~reg:dst then
+      (* speculation held: value already in dst, the check is free *)
+      issue ~free:true st fr ~srcs:[] ~dst:(-1) ~latency:0 ~is_load:false
+    else begin
+      st.ctrs.check_misses <- st.ctrs.check_misses + 1;
+      let latency = Cache.load_latency st.cache ~fp a in
+      issue st fr ~srcs:[ addr ] ~dst ~latency ~is_load:true;
+      (match do_load st fr ~fp ~spec:false a with
+       | `I v -> fr.ints.(dst) <- v
+       | `F v -> fr.flts.(dst) <- v);
+      (* re-arm: a reloading ld.c behaves like ld.a for later checks *)
+      Alat.insert st.alat ~frame:fr.fr_serial ~reg:dst ~addr:a
+    end
+  | (Lnorm | Ladv | Lspec | Lsa) as k ->
+    (match k with
+     | Lnorm -> st.ctrs.loads_plain <- st.ctrs.loads_plain + 1
+     | Ladv -> st.ctrs.loads_adv <- st.ctrs.loads_adv + 1
+     | Lspec | Lsa -> st.ctrs.loads_spec <- st.ctrs.loads_spec + 1
+     | Lchk -> assert false);
+    let spec = k = Lspec || k = Lsa in
+    let latency = Cache.load_latency st.cache ~fp a in
+    issue st fr ~srcs:[ addr ] ~dst ~latency ~is_load:true;
+    (match do_load st fr ~fp ~spec a with
+     | `I v -> fr.ints.(dst) <- v
+     | `F v -> fr.flts.(dst) <- v);
+    if k = Ladv || k = Lsa then
+      Alat.insert st.alat ~frame:fr.fr_serial ~reg:dst ~addr:a
+
+and exec_call st fr ~callee ~args ~ret ~site =
+  let open Spec_codegen.Itl in
+  let arg_vals = List.map (fun r -> (fr.ints.(r), fr.flts.(r))) args in
+  issue st fr ~srcs:args ~dst:(-1) ~latency:1 ~is_load:false;
+  if Sir.is_builtin callee then begin
+    let result =
+      match callee, arg_vals with
+      | "malloc", [ (bytes, _) ] -> Memory.malloc st.mem ~site bytes
+      | "print_int", [ (v, _) ] ->
+        Buffer.add_string st.out (string_of_int v);
+        Buffer.add_char st.out '\n';
+        0
+      | "print_flt", [ (_, v) ] ->
+        Buffer.add_string st.out (Printf.sprintf "%.6g" v);
+        Buffer.add_char st.out '\n';
+        0
+      | "seed", [ (s, _) ] -> st.rng <- s; 0
+      | "rnd", [ (m, _) ] ->
+        if m <= 0 then error "machine: rnd bound";
+        st.rng <- (st.rng * 0x5851F42D4C957F2D + 0x14057B7EF767814F) land max_int;
+        (st.rng lsr 29) mod m
+      | _ -> error "machine: bad builtin call %s/%d" callee (List.length args)
+    in
+    match ret with
+    | Some r ->
+      fr.ready.(r) <- st.clock;
+      fr.prod_load.(r) <- false;
+      fr.ints.(r) <- result
+    | None -> ()
+  end
+  else begin
+    st.clock <- st.clock + st.cfg.call_overhead;
+    let rv, rf = exec_func st callee arg_vals in
+    st.clock <- st.clock + 1;
+    match ret with
+    | Some r ->
+      fr.ready.(r) <- st.clock;
+      fr.prod_load.(r) <- false;
+      fr.ints.(r) <- rv;
+      fr.flts.(r) <- rf
+    | None -> ()
+  end
+
+and exec_func st name arg_vals : int * float =
+  let mf =
+    match Hashtbl.find_opt st.mp.Spec_codegen.Itl.mp_funcs name with
+    | Some f -> f
+    | None -> error "machine: unknown function %s" name
+  in
+  let sf = Sir.find_func st.mp.Spec_codegen.Itl.mp_sir name in
+  let syms = st.mp.Spec_codegen.Itl.mp_sir.Sir.syms in
+  st.frame_serial <- st.frame_serial + 1;
+  let n = max 1 mf.Spec_codegen.Itl.mf_nregs in
+  let fr =
+    { fr_serial = st.frame_serial;
+      ints = Array.make n 0; flts = Array.make n 0.;
+      ready = Array.make n 0; prod_load = Array.make n false;
+      addrs = Hashtbl.create 8 }
+  in
+  (* register-stack accounting *)
+  st.stacked_regs <- st.stacked_regs + n;
+  if st.stacked_regs > st.ctrs.max_stacked_regs then
+    st.ctrs.max_stacked_regs <- st.stacked_regs;
+  if st.stacked_regs > st.cfg.physical_stacked_regs then begin
+    let spill = min n (st.stacked_regs - st.cfg.physical_stacked_regs) in
+    st.ctrs.rse_stall_cycles <- st.ctrs.rse_stall_cycles + (2 * spill);
+    st.clock <- st.clock + (2 * spill)
+  end;
+  let mark = Memory.stack_mark st.mem in
+  (* stack slots for memory-resident locals *)
+  List.iter
+    (fun vid ->
+      if Symtab.is_mem syms vid then begin
+        let v = Symtab.var syms vid in
+        Hashtbl.replace fr.addrs vid
+          (Memory.push_frame_var st.mem vid
+             (max Types.cell_size v.Symtab.vsize))
+      end)
+    sf.Sir.flocals;
+  (* bind formals *)
+  (try
+     List.iter2
+       (fun vid (vi, vf) ->
+         if Symtab.is_mem syms vid then begin
+           let v = Symtab.var syms vid in
+           let a =
+             Memory.push_frame_var st.mem vid
+               (max Types.cell_size v.Symtab.vsize)
+           in
+           Hashtbl.replace fr.addrs vid a;
+           if Types.is_fp v.Symtab.vty then Memory.store_flt st.mem a vf
+           else Memory.store_int st.mem a vi
+         end)
+       sf.Sir.fformals arg_vals
+   with Invalid_argument _ -> error "machine: arity mismatch for %s" name);
+  (* register formals *)
+  List.iter2
+    (fun r (vi, vf) ->
+      if r >= 0 && r < n then begin
+        fr.ints.(r) <- vi;
+        fr.flts.(r) <- vf
+      end)
+    mf.Spec_codegen.Itl.mf_formals arg_vals;
+  let result = exec_blocks st fr mf in
+  Memory.pop_frame st.mem mark;
+  st.stacked_regs <- st.stacked_regs - n;
+  result
+
+and exec_blocks st (fr : frame) (mf : Spec_codegen.Itl.mfunc) : int * float =
+  let open Spec_codegen.Itl in
+  let rec run bid =
+    let b = mf.mf_blocks.(bid) in
+    List.iter (exec_insn st fr) b.insns;
+    match b.mterm with
+    | Tbr t ->
+      st.ctrs.branches <- st.ctrs.branches + 1;
+      st.clock <- st.clock + 1;
+      run t
+    | Tbc (c, t, e) ->
+      st.ctrs.branches <- st.ctrs.branches + 1;
+      issue st fr ~srcs:[ c ] ~dst:(-1) ~latency:1 ~is_load:false;
+      run (if fr.ints.(c) <> 0 then t else e)
+    | Tret None -> (0, 0.)
+    | Tret (Some r) ->
+      issue st fr ~srcs:[ r ] ~dst:(-1) ~latency:1 ~is_load:false;
+      (fr.ints.(r), fr.flts.(r))
+  in
+  run 0
+
+(** Compile-free execution entry: run an ITL program from [main]. *)
+let run ?(config = default_config) (mp : Spec_codegen.Itl.mprog) : result =
+  let st =
+    { mp;
+      mem = Memory.create ~heap_bytes:config.heap_bytes
+          mp.Spec_codegen.Itl.mp_sir;
+      cache = Cache.create ();
+      alat = Alat.create ~entries:config.alat_entries ();
+      cfg = config;
+      ctrs = fresh_counters ();
+      out = Buffer.create 256;
+      clock = 0;
+      slot = 0;
+      rng = 88172645463325252;
+      fuel = config.fuel;
+      frame_serial = 0;
+      stacked_regs = 0 }
+  in
+  let ri, _ = exec_func st "main" [] in
+  st.ctrs.cycles <- st.clock;
+  { ret_int = ri; output = Buffer.contents st.out; perf = st.ctrs;
+    alat = st.alat }
+
+(** Convenience: lower an (out-of-SSA) SIR program and run it. *)
+let run_sir ?config (prog : Sir.prog) : result =
+  run ?config (Spec_codegen.Codegen.lower prog)

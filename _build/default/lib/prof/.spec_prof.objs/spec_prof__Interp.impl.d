@@ -1,0 +1,1 @@
+lib/prof/interp.ml: Buffer Fmt Hashtbl List Memory Printf Sir Spec_ir Symtab Types

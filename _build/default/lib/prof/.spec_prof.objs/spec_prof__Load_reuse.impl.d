@@ -1,0 +1,1 @@
+lib/prof/load_reuse.ml: Hashtbl Interp List Pp Sir Spec_ir Vec

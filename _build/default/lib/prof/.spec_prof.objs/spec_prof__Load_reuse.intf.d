@@ -1,0 +1,1 @@
+lib/prof/load_reuse.mli: Hashtbl Interp Spec_ir

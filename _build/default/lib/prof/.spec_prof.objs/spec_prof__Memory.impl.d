@@ -1,0 +1,1 @@
+lib/prof/memory.ml: Array Fmt Hashtbl List Loc Sir Spec_ir Symtab Types

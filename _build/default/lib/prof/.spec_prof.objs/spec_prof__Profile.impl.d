@@ -1,0 +1,1 @@
+lib/prof/profile.ml: Hashtbl List Loc Sir Spec_ir Vec

@@ -1,0 +1,1 @@
+lib/prof/profiler.ml: Interp List Memory Profile Sir Spec_ir

@@ -1,0 +1,30 @@
+(** Simulation-based potential-load-reuse analysis (the first estimation
+    method of the paper's §5.3, after Bodik et al.): a dynamic load counts
+    as a potential reuse when the previous load of the same address in its
+    lexical equivalence class produced the same value within the same
+    procedure invocation. *)
+
+type t = {
+  mutable total_loads : int;
+  mutable reused_loads : int;
+  classes : (string, class_state) Hashtbl.t;
+  class_key : (int, string) Hashtbl.t;
+  mutable cur_invocation : int;
+  prog : Spec_ir.Sir.prog;
+}
+
+and class_state = {
+  mutable last : (int * Interp.value) option;
+  mutable invocation : int;
+}
+
+val create : Spec_ir.Sir.prog -> t
+
+(** Wire the analyser into interpreter hooks (composes with existing
+    hooks). *)
+val instrument : t -> Interp.hooks -> unit
+
+val reuse_fraction : t -> float
+
+(** Run a program with load-reuse instrumentation. *)
+val analyse : ?fuel:int -> Spec_ir.Sir.prog -> t * Interp.result

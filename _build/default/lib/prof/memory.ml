@@ -1,0 +1,172 @@
+(** Flat cell-addressed memory shared by the reference interpreter and the
+    machine simulator.
+
+    The address space is split into a data segment (globals), a stack, and a
+    heap.  Every scalar occupies one 8-byte cell; integer and float cells
+    are stored unboxed in two parallel arrays (the typed source language
+    never reads a cell at a different scalar kind than it was written, the
+    same assumption the type-based alias analysis makes).
+
+    The memory also resolves addresses to abstract memory locations (LOCs)
+    for the alias profiler. *)
+
+open Spec_ir
+
+let data_base = 0x1000
+let stack_base = 0x100_000
+let stack_limit = 0x400_000
+let heap_base = 0x1_000_000
+
+type t = {
+  ints : int array;
+  flts : float array;
+  size : int;                          (* in bytes *)
+  (* LOC resolution *)
+  data_locs : int array;               (* data cell index -> var id *)
+  mutable stack_locs : int array;      (* stack cell index -> var id, -1 none *)
+  mutable heap_allocs : (int * int * int) array;
+      (* (start addr, byte length, alloc site), sorted by start *)
+  mutable heap_n : int;
+  mutable sp : int;                    (* next free stack address *)
+  mutable hp : int;                    (* next free heap address *)
+  global_addr : (int, int) Hashtbl.t;  (* var id -> address *)
+}
+
+exception Fault of string
+
+let fault fmt = Fmt.kstr (fun s -> raise (Fault s)) fmt
+
+(** Create a memory image with the program's globals laid out in the data
+    segment.  [heap_bytes] bounds heap allocation. *)
+let create ?(heap_bytes = 24 * 1024 * 1024) (p : Sir.prog) : t =
+  let size = heap_base + heap_bytes in
+  let cells = size / Types.cell_size in
+  let data_cells = (stack_base - data_base) / Types.cell_size in
+  let stack_cells = (stack_limit - stack_base) / Types.cell_size in
+  let m =
+    { ints = Array.make cells 0;
+      flts = Array.make cells 0.;
+      size;
+      data_locs = Array.make data_cells (-1);
+      stack_locs = Array.make stack_cells (-1);
+      heap_allocs = Array.make 64 (0, 0, 0);
+      heap_n = 0;
+      sp = stack_base;
+      hp = heap_base;
+      global_addr = Hashtbl.create 16 }
+  in
+  let next = ref data_base in
+  List.iter
+    (fun g ->
+      let v = Symtab.var p.Sir.syms g in
+      Hashtbl.replace m.global_addr g !next;
+      let cells_used = max 1 (v.Symtab.vsize / Types.cell_size) in
+      for c = 0 to cells_used - 1 do
+        m.data_locs.((!next - data_base) / Types.cell_size + c) <- g
+      done;
+      next := !next + cells_used * Types.cell_size)
+    p.Sir.globals;
+  if !next > stack_base then fault "data segment overflow";
+  m
+
+let check m addr what =
+  if addr < data_base || addr + Types.cell_size > m.size then
+    fault "%s at invalid address 0x%x" what addr;
+  if addr mod Types.cell_size <> 0 then
+    fault "%s at unaligned address 0x%x" what addr
+
+let cell addr = addr / Types.cell_size
+
+let load_int m addr = check m addr "load"; m.ints.(cell addr)
+let load_flt m addr = check m addr "load"; m.flts.(cell addr)
+let store_int m addr v = check m addr "store"; m.ints.(cell addr) <- v
+let store_flt m addr v = check m addr "store"; m.flts.(cell addr) <- v
+
+(** Non-faulting load for control-speculatively hoisted code (ld.s
+    semantics: a bad address defers the fault; the value is never consumed
+    on the mis-speculated path). *)
+let load_int_spec m addr =
+  if addr < data_base || addr + Types.cell_size > m.size
+     || addr mod Types.cell_size <> 0
+  then 0
+  else m.ints.(cell addr)
+
+let load_flt_spec m addr =
+  if addr < data_base || addr + Types.cell_size > m.size
+     || addr mod Types.cell_size <> 0
+  then 0.
+  else m.flts.(cell addr)
+
+let global_addr m vid =
+  match Hashtbl.find_opt m.global_addr vid with
+  | Some a -> a
+  | None -> fault "global %d has no address" vid
+
+(* ---- stack frames ---- *)
+
+(** Allocate [bytes] of stack for variable [vid]; returns the address. *)
+let push_frame_var m vid bytes =
+  let addr = m.sp in
+  if addr + bytes > stack_limit then fault "stack overflow";
+  m.sp <- m.sp + bytes;
+  for c = 0 to (bytes / Types.cell_size) - 1 do
+    m.stack_locs.((addr - stack_base) / Types.cell_size + c) <- vid
+  done;
+  addr
+
+let stack_mark m = m.sp
+
+let pop_frame m mark =
+  (* stale [stack_locs] entries above the mark are cleared lazily: they are
+     overwritten on the next push; clear eagerly for LOC accuracy *)
+  for c = (mark - stack_base) / Types.cell_size
+      to (m.sp - stack_base) / Types.cell_size - 1 do
+    m.stack_locs.(c) <- -1
+  done;
+  m.sp <- mark
+
+(* ---- heap ---- *)
+
+let malloc m ~site bytes =
+  let bytes = max Types.cell_size ((bytes + 7) / 8 * 8) in
+  let addr = m.hp in
+  if addr + bytes > m.size then fault "heap exhausted";
+  m.hp <- m.hp + bytes;
+  if m.heap_n = Array.length m.heap_allocs then begin
+    let a = Array.make (2 * m.heap_n) (0, 0, 0) in
+    Array.blit m.heap_allocs 0 a 0 m.heap_n;
+    m.heap_allocs <- a
+  end;
+  m.heap_allocs.(m.heap_n) <- (addr, bytes, site);
+  m.heap_n <- m.heap_n + 1;
+  addr
+
+(* ---- LOC resolution ---- *)
+
+(** Resolve an address to its abstract memory location. *)
+let loc_of_addr m addr : Loc.t option =
+  if addr >= data_base && addr < stack_base then begin
+    let v = m.data_locs.(cell (addr - data_base)) in
+    if v >= 0 then Some (Loc.Lvar v) else None
+  end
+  else if addr >= stack_base && addr < stack_limit then begin
+    let v = m.stack_locs.(cell (addr - stack_base)) in
+    if v >= 0 then Some (Loc.Lvar v) else None
+  end
+  else if addr >= heap_base && addr < m.hp then begin
+    (* binary search over allocations *)
+    let lo = ref 0 and hi = ref (m.heap_n - 1) in
+    let found = ref None in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let start, len, site = m.heap_allocs.(mid) in
+      if addr < start then hi := mid - 1
+      else if addr >= start + len then lo := mid + 1
+      else begin
+        found := Some (Loc.Lheap site);
+        lo := !hi + 1
+      end
+    done;
+    !found
+  end
+  else None

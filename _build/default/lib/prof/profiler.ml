@@ -1,0 +1,45 @@
+(** Profiling driver: runs a program under the interpreter with
+    instrumentation wired to a {!Profile.t}, maintaining the dynamic
+    call-site stack so call-site mod/ref LOC sets accumulate the effects of
+    entire call subtrees (the paper's per-call-site side-effect LOC
+    sets, §3.2.1). *)
+
+open Spec_ir
+
+(** Run [prog] and collect edge + alias profiles.  The profile describes
+    the run with whatever inputs the program's [main] sets up; workloads
+    profile with their train input and measure with their ref input by
+    switching an input-selection global. *)
+let profile ?(fuel = 200_000_000) ?(heap_bytes = 24 * 1024 * 1024)
+    (prog : Sir.prog) : Profile.t * Interp.result =
+  let prof = Profile.create () in
+  let mem_ref = ref None in
+  let call_stack = ref [] in
+  let hooks = Interp.no_hooks () in
+  hooks.Interp.on_memory <- (fun m -> mem_ref := Some m);
+  hooks.Interp.on_edge <-
+    (fun ~func ~src ~dst -> Profile.record_edge prof ~func ~src ~dst);
+  hooks.Interp.on_entry <- (fun ~func -> Profile.record_entry prof ~func);
+  hooks.Interp.on_call <-
+    (fun ~site ~callee:_ -> call_stack := site :: !call_stack);
+  hooks.Interp.on_call_ret <-
+    (fun ~site:_ ~callee:_ ->
+      match !call_stack with
+      | _ :: rest -> call_stack := rest
+      | [] -> ());
+  hooks.Interp.on_mem <-
+    (fun ~site ~addr ~is_store ->
+      let loc =
+        match !mem_ref with
+        | Some m -> Memory.loc_of_addr m addr
+        | None -> None
+      in
+      (match site with
+       | Some s -> Profile.record_ref prof ~site:s ~loc
+       | None -> ());
+      List.iter
+        (fun cs -> Profile.record_call_effect prof ~site:cs ~loc ~is_store)
+        !call_stack);
+  let result = Interp.run ~fuel ~heap_bytes ~hooks prog in
+  Profile.annotate_block_freqs prof prog;
+  prof, result

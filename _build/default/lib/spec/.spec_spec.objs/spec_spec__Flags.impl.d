@@ -1,0 +1,1 @@
+lib/spec/flags.ml: List Loc Profile Sir Spec_alias Spec_ir Spec_prof Symtab Vec

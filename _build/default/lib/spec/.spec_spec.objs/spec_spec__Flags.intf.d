@@ -1,0 +1,1 @@
+lib/spec/flags.mli: Spec_alias Spec_ir Spec_prof

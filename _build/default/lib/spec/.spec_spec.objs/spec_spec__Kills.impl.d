@@ -1,0 +1,1 @@
+lib/spec/kills.ml: Flags Hashtbl List Loc Pp Profile Sir Spec_alias Spec_ir Spec_prof Symtab

@@ -1,0 +1,1 @@
+lib/spec/kills.mli: Flags Spec_alias Spec_ir

@@ -1,0 +1,137 @@
+(** Speculative SSA form: assignment of speculation flags to χ/μ operands
+    (§3.2.1 and §3.2.2 of the paper).
+
+    A flagged χ (written χs) is an update that is *highly likely* to happen
+    at runtime and must not be ignored; an unflagged χ is a *speculative
+    weak update* that speculative optimizations may ignore at the price of
+    a runtime check.  Flags come from either the alias profile or the
+    paper's three heuristic rules:
+
+    1. two indirect references with an identical address expression are
+       highly likely to access the same location;
+    2. two direct references of the same variable are highly likely to
+       hold the same value;
+    3. call side effects are always assumed highly likely (all call χs
+       become χs; μ lists stay unflagged).
+
+    Virtual-variable operands always keep their flag set: they carry the
+    non-speculative (conservative) value chain that the baseline analysis
+    uses. *)
+
+open Spec_ir
+open Spec_prof
+
+type mode =
+  | Nonspec               (** baseline: every may-alias kills *)
+  | Profile_spec of Profile.t
+  | Heuristic_spec
+
+let mode_name = function
+  | Nonspec -> "nonspec"
+  | Profile_spec _ -> "profile"
+  | Heuristic_spec -> "heuristic"
+
+(** LOC of a memory-resident variable. *)
+let var_loc syms vid = Loc.Lvar (Symtab.orig syms vid).Symtab.vid
+
+let assign_stmt ?(threshold = 0.) prog (annot : Spec_alias.Annotate.info)
+    mode (s : Sir.stmt) =
+  let syms = prog.Sir.syms in
+  let is_vv v = Symtab.is_virtual syms v in
+  let flag_all value =
+    List.iter
+      (fun (c : Sir.chi) ->
+        c.Sir.chi_spec <- value || is_vv c.Sir.chi_var)
+      s.Sir.chis;
+    List.iter
+      (fun (m : Sir.mu) -> m.Sir.mu_spec <- value || is_vv m.Sir.mu_var)
+      s.Sir.mus
+  in
+  match mode with
+  | Nonspec -> flag_all true
+  | Heuristic_spec ->
+    (match s.Sir.kind with
+     | Sir.Call _ ->
+       (* rule 3: call side effects are highly likely *)
+       List.iter (fun (c : Sir.chi) -> c.Sir.chi_spec <- true) s.Sir.chis;
+       List.iter
+         (fun (m : Sir.mu) -> m.Sir.mu_spec <- is_vv m.Sir.mu_var)
+         s.Sir.mus
+     | Sir.Istr _ | Sir.Stid _ | Sir.Snop ->
+       (* rules 1 and 2: non-call updates between identical references are
+          speculatively ignorable, so real-variable χ/μ stay unflagged *)
+       flag_all false)
+  | Profile_spec prof ->
+    let flag_by_locs site =
+      let locs = Profile.locs_at prof site in
+      if Loc.Set.is_empty locs then
+        (* never executed during profiling: no speculation evidence *)
+        flag_all true
+      else begin
+        (* the degree-of-likeliness knob: a relation observed in at most
+           [threshold] of the site's executions stays speculative *)
+        let likely v = Profile.loc_fraction prof site (var_loc syms v) > threshold in
+        List.iter
+          (fun (c : Sir.chi) ->
+            c.Sir.chi_spec <- is_vv c.Sir.chi_var || likely c.Sir.chi_var)
+          s.Sir.chis;
+        List.iter
+          (fun (m : Sir.mu) ->
+            m.Sir.mu_spec <- is_vv m.Sir.mu_var || likely m.Sir.mu_var)
+          s.Sir.mus
+      end
+    in
+    (match s.Sir.kind with
+     | Sir.Istr (_, _, _, site) -> flag_by_locs site
+     | Sir.Call { csite; _ } ->
+       let mods = Profile.call_mod_locs prof csite in
+       let refs = Profile.call_ref_locs prof csite in
+       List.iter
+         (fun (c : Sir.chi) ->
+           c.Sir.chi_spec <-
+             is_vv c.Sir.chi_var
+             || Loc.Set.mem (var_loc syms c.Sir.chi_var) mods)
+         s.Sir.chis;
+       List.iter
+         (fun (m : Sir.mu) ->
+           m.Sir.mu_spec <-
+             is_vv m.Sir.mu_var
+             || Loc.Set.mem (var_loc syms m.Sir.mu_var) refs)
+         s.Sir.mus
+     | Sir.Stid _ | Sir.Snop ->
+       (* μ lists on load-carrying statements: flag by each iload's profile;
+          conservatively flag by union of the statement's iload sites *)
+       let sites = ref [] in
+       List.iter
+         (fun e ->
+           Sir.iter_subexprs
+             (function
+               | Sir.Ilod (_, _, st) -> sites := st :: !sites
+               | _ -> ())
+             e)
+         (Sir.stmt_exprs s.Sir.kind);
+       let locs =
+         List.fold_left
+           (fun acc st -> Loc.Set.union acc (Profile.locs_at prof st))
+           Loc.Set.empty !sites
+       in
+       if !sites = [] then flag_all true
+       else
+         List.iter
+           (fun (m : Sir.mu) ->
+             m.Sir.mu_spec <-
+               is_vv m.Sir.mu_var
+               || Loc.Set.mem (var_loc syms m.Sir.mu_var) locs)
+           s.Sir.mus)
+
+(** Assign speculation flags program-wide.  Must run after χ/μ annotation
+    and before (or after) SSA renaming — flags live on the operand records
+    that renaming preserves. *)
+let assign ?threshold prog annot mode =
+  Sir.iter_funcs
+    (fun f ->
+      Vec.iter
+        (fun (b : Sir.bb) ->
+          List.iter (assign_stmt ?threshold prog annot mode) b.Sir.stmts)
+        f.Sir.fblocks)
+    prog

@@ -1,0 +1,32 @@
+(** Speculative SSA form: speculation-flag assignment to χ/μ operands
+    (§3.2.1–§3.2.2 of the paper).
+
+    A flagged χ (χs) is highly likely to be substantiated at runtime and
+    must not be ignored; an unflagged χ is a speculative weak update that
+    speculative optimization may ignore at the price of a runtime check. *)
+
+type mode =
+  | Nonspec
+      (** baseline: every may-alias operand is flagged (kills) *)
+  | Profile_spec of Spec_prof.Profile.t
+      (** flags from the alias profile's LOC sets (§3.2.1) *)
+  | Heuristic_spec
+      (** flags from the paper's three heuristic rules (§3.2.2) *)
+
+val mode_name : mode -> string
+
+(** LOC of a memory-resident variable (by any of its SSA versions). *)
+val var_loc : Spec_ir.Symtab.t -> int -> Spec_ir.Loc.t
+
+(** Assign speculation flags to every statement's χ/μ operands.  Must run
+    after χ/μ annotation; flags survive SSA renaming (they live on the
+    operand records).  [threshold] is the degree-of-likeliness knob: an
+    alias relation observed in at most this fraction of a site's profiled
+    executions stays speculative (default 0 = the paper's "observed at
+    all" criterion). *)
+val assign :
+  ?threshold:float ->
+  Spec_ir.Sir.prog ->
+  Spec_alias.Annotate.info ->
+  mode ->
+  unit

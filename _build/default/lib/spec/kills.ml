@@ -1,0 +1,172 @@
+(** Kill classification for candidate expressions under speculation.
+
+    The SSAPRE Rename step asks, for every statement crossed while an
+    expression's value is on the rename stack: does this statement kill
+    the value strongly (a real redefinition), weakly (a may-alias update
+    the chosen speculation policy says is unlikely — the paper's
+    speculative weak update), or not at all?
+
+    The verdicts are exactly the χ/μ speculation-flag semantics of
+    {!Flags}, expressed as a per-(statement, expression) query so that
+    heap-object aliasing (which the paper's footnote 1 excludes from χ/μ
+    lists because heap objects have no variable names) is covered by the
+    same policy via profiled LOC sets. *)
+
+open Spec_ir
+open Spec_prof
+
+type verdict = Knone | Kweak | Kstrong
+
+(** What kind of memory value a candidate expression denotes. *)
+type target =
+  | Tpure                      (** no memory access: killed only by leaf redefs *)
+  | Tvar of int                (** direct load of memory-resident variable *)
+  | Tsite of int               (** indirect load, by site id *)
+
+let worst a b =
+  match a, b with
+  | Kstrong, _ | _, Kstrong -> Kstrong
+  | Kweak, _ | _, Kweak -> Kweak
+  | Knone, Knone -> Knone
+
+type ctx = {
+  prog : Sir.prog;
+  annot : Spec_alias.Annotate.info;
+  mode : Flags.mode;
+  addr_key : (int, string) Hashtbl.t;  (* istore/iload site -> address key *)
+  alias_threshold : float;
+      (** degree-of-likeliness knob: an alias relation observed in at most
+          this fraction of a site's profiled executions is still treated
+          as unlikely (speculative weak update).  0.0 = the paper's
+          default ("exists during profiling" means likely). *)
+}
+
+let create ?(alias_threshold = 0.) prog annot mode =
+  { prog; annot; mode; addr_key = Hashtbl.create 64; alias_threshold }
+
+(* Deversioned textual address key for heuristic rule 1 ("identical address
+   expression"). *)
+let key_of_addr ctx (a : Sir.expr) =
+  let syms = ctx.prog.Sir.syms in
+  let dv = Sir.map_expr_uses (fun v -> (Symtab.orig syms v).Symtab.vid) a in
+  Pp.expr_to_string syms dv
+
+let register_site_addr ctx site (a : Sir.expr) =
+  if not (Hashtbl.mem ctx.addr_key site) then
+    Hashtbl.replace ctx.addr_key site (key_of_addr ctx a)
+
+let site_addr_key ctx site = Hashtbl.find_opt ctx.addr_key site
+
+let chi_on ctx (s : Sir.stmt) v =
+  let syms = ctx.prog.Sir.syms in
+  let ov = (Symtab.orig syms v).Symtab.vid in
+  List.find_opt (fun (c : Sir.chi) -> c.Sir.chi_var = ov) s.Sir.chis
+
+let chi_on_vv_of_site ctx (s : Sir.stmt) site =
+  match Spec_alias.Annotate.site_virtual ctx.annot site with
+  | None -> None
+  | Some vv -> chi_on ctx s vv
+
+(** Classify the memory effect of statement [s] on a candidate whose
+    target is [tgt].  Leaf (address operand) redefinitions are handled
+    separately by the caller. *)
+let classify ctx (tgt : target) (s : Sir.stmt) : verdict =
+  let syms = ctx.prog.Sir.syms in
+  match tgt with
+  | Tpure -> Knone
+  | Tvar g -> (
+      (* value of variable g: a direct store is a strong kill (caller sees
+         it as a leaf redefinition as well); a χ on g kills per its flag *)
+      match s.Sir.kind with
+      | Sir.Stid (v, _) when (Symtab.orig syms v).Symtab.vid = g -> Kstrong
+      | _ ->
+        (match chi_on ctx s g with
+         | Some c -> if c.Sir.chi_spec then Kstrong else Kweak
+         | None -> Knone))
+  | Tsite l -> (
+      let same_class_chi = chi_on_vv_of_site ctx s l in
+      (* flow-sensitive refinement: when both sides have definite targets,
+         the static analysis already disambiguates them, in every mode *)
+      let definite_verdict =
+        match s.Sir.kind with
+        | Sir.Istr (_, _, _, store_site) -> (
+            match
+              Spec_alias.Annotate.site_definite ctx.annot store_site,
+              Spec_alias.Annotate.site_definite ctx.annot l
+            with
+            | Some a, Some b ->
+              Some (if Loc.equal a b then Kstrong else Knone)
+            | _ -> None)
+        | _ -> None
+      in
+      match definite_verdict with
+      | Some v -> v
+      | None ->
+      match ctx.mode with
+      | Flags.Nonspec -> (
+          match same_class_chi with Some _ -> Kstrong | None -> Knone)
+      | Flags.Heuristic_spec -> (
+          match s.Sir.kind with
+          | Sir.Call _ -> (
+              (* rule 3: calls that may touch the class kill strongly *)
+              match same_class_chi with Some _ -> Kstrong | None -> Knone)
+          | Sir.Istr (_, _, _, store_site) -> (
+              match same_class_chi with
+              | None -> Knone
+              | Some _ ->
+                (* rule 1: identical address syntax = same location *)
+                (match site_addr_key ctx store_site, site_addr_key ctx l with
+                 | Some ks, Some kl when ks = kl -> Kstrong
+                 | _ -> Kweak))
+          | Sir.Stid _ | Sir.Snop -> (
+              match same_class_chi with Some _ -> Kweak | None -> Knone))
+      | Flags.Profile_spec prof -> (
+          let load_locs = Profile.locs_at prof l in
+          if Loc.Set.is_empty load_locs then
+            (* the load never executed while profiling: no evidence *)
+            match same_class_chi with Some _ -> Kstrong | None -> Knone
+          else
+            match s.Sir.kind with
+            | Sir.Istr (_, _, _, store_site) -> (
+                match same_class_chi with
+                | None -> Knone
+                | Some _ ->
+                  let store_locs = Profile.locs_at prof store_site in
+                  if Loc.Set.is_empty store_locs then Kstrong
+                  else if
+                    Profile.overlap_fraction prof store_site load_locs
+                    > ctx.alias_threshold
+                  then Kstrong
+                  else Kweak)
+            | Sir.Stid (v, _) when Symtab.is_mem syms v -> (
+                let g = (Symtab.orig syms v).Symtab.vid in
+                if Loc.Set.mem (Loc.Lvar g) load_locs then Kstrong
+                else
+                  match same_class_chi with
+                  | Some _ -> Kweak
+                  | None -> Knone)
+            | Sir.Call { csite; _ } -> (
+                match same_class_chi with
+                | None -> Knone
+                | Some _ ->
+                  let mods = Profile.call_mod_locs prof csite in
+                  if not (Loc.Set.is_empty (Loc.Set.inter load_locs mods))
+                  then Kstrong
+                  else Kweak)
+            | Sir.Stid _ | Sir.Snop -> Knone))
+
+(** Classify the effect of [s] on an address/operand leaf variable [v]
+    (an SSA version): strong on direct redefinition or flagged χ, weak on
+    unflagged χ. *)
+let classify_leaf ctx (v_orig : int) (s : Sir.stmt) : verdict =
+  let syms = ctx.prog.Sir.syms in
+  let direct =
+    match Sir.stmt_def s.Sir.kind with
+    | Some d -> (Symtab.orig syms d).Symtab.vid = v_orig
+    | None -> false
+  in
+  if direct then Kstrong
+  else
+    match chi_on ctx s v_orig with
+    | Some c -> if c.Sir.chi_spec then Kstrong else Kweak
+    | None -> Knone

@@ -1,0 +1,48 @@
+(** Kill classification for PRE candidate expressions under speculation.
+
+    For every statement crossed while an expression's value is live on the
+    SSAPRE rename stack, the classifier answers: does this statement kill
+    the value strongly (a real redefinition), weakly (a may-alias update
+    the speculation policy deems unlikely — the paper's speculative weak
+    update), or not at all?  The verdicts realize the χ/μ speculation-flag
+    semantics of {!Flags} as a per-(statement, expression) query, which
+    also covers heap-object aliasing through profiled LOC sets. *)
+
+type verdict = Knone | Kweak | Kstrong
+
+(** What kind of memory value a candidate expression denotes. *)
+type target =
+  | Tpure        (** no memory access: killed only by operand redefinition *)
+  | Tvar of int  (** direct load of a memory-resident variable (orig id) *)
+  | Tsite of int (** indirect load, by site id *)
+
+(** Most severe of two verdicts. *)
+val worst : verdict -> verdict -> verdict
+
+type ctx
+
+(** [create prog annot mode] builds a classification context.
+    [alias_threshold] is the degree-of-likeliness knob: an alias relation
+    observed in at most this fraction of a site's profiled executions is
+    still treated as unlikely (0.0, the default, reproduces the paper's
+    "exists during profiling" criterion). *)
+val create :
+  ?alias_threshold:float ->
+  Spec_ir.Sir.prog ->
+  Spec_alias.Annotate.info ->
+  Flags.mode ->
+  ctx
+
+(** Record the (deversioned, textual) address expression of a site, for
+    heuristic rule 1's identical-address-syntax test. *)
+val register_site_addr : ctx -> int -> Spec_ir.Sir.expr -> unit
+
+val site_addr_key : ctx -> int -> string option
+
+(** Memory effect of a statement on a candidate with the given target.
+    Operand (leaf) redefinitions are the caller's concern. *)
+val classify : ctx -> target -> Spec_ir.Sir.stmt -> verdict
+
+(** Effect of a statement on an operand variable (by original id): strong
+    on direct redefinition or flagged χ, weak on an unflagged χ. *)
+val classify_leaf : ctx -> int -> Spec_ir.Sir.stmt -> verdict

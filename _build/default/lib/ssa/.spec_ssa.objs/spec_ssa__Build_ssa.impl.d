@@ -1,0 +1,1 @@
+lib/ssa/build_ssa.ml: Array Dom Hashtbl List Sir Spec_cfg Spec_ir Symtab Vec

@@ -1,0 +1,1 @@
+lib/ssa/out_of_ssa.ml: List Option Sir Spec_ir Symtab Vec

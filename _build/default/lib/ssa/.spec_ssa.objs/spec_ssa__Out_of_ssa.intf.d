@@ -1,0 +1,1 @@
+lib/ssa/out_of_ssa.mli: Spec_ir

@@ -1,0 +1,1 @@
+lib/ssa/refine.ml: Hashtbl List Loc Sir Spec_ir Symtab Types Vec

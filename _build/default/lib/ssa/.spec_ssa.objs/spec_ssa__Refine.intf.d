@@ -1,0 +1,1 @@
+lib/ssa/refine.mli: Hashtbl Spec_ir

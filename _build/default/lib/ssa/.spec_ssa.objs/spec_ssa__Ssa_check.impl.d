@@ -1,0 +1,1 @@
+lib/ssa/ssa_check.ml: Array Dom Fmt Hashtbl List Sir Spec_cfg Spec_ir Symtab Vec

@@ -1,0 +1,1 @@
+lib/ssa/ssa_check.mli: Spec_cfg Spec_ir

@@ -1,0 +1,178 @@
+(** HSSA construction: phi insertion at iterated dominance frontiers
+    (Cytron et al.) over *all* variables — real scalars, memory-resident
+    variables, and the virtual variables introduced by the alias phase —
+    followed by stack-based renaming in dominator-tree preorder.
+
+    χ operands are definitions (the statement may update the variable);
+    μ operands are uses.  After renaming, every [Lod], [Stid] target,
+    χ lhs/rhs, μ operand, and phi lhs/arg refers to an SSA version
+    variable whose [vorig] points back to the underlying variable. *)
+
+open Spec_ir
+open Spec_cfg
+
+type t = {
+  prog : Sir.prog;
+  func : Sir.func;
+  dom : Dom.t;
+}
+
+(* Variables defined / used in a function, by original id. *)
+let collect_vars (prog : Sir.prog) (f : Sir.func) =
+  let syms = prog.Sir.syms in
+  let defs = Hashtbl.create 64 in     (* var -> def block list *)
+  let used = Hashtbl.create 64 in
+  let add_def v b =
+    let v = (Symtab.orig syms v).Symtab.vid in
+    let cur = match Hashtbl.find_opt defs v with Some l -> l | None -> [] in
+    if not (List.mem b cur) then Hashtbl.replace defs v (b :: cur)
+  in
+  let add_use v =
+    let v = (Symtab.orig syms v).Symtab.vid in
+    Hashtbl.replace used v ()
+  in
+  Vec.iter
+    (fun (b : Sir.bb) ->
+      let bid = b.Sir.bid in
+      List.iter
+        (fun (s : Sir.stmt) ->
+          List.iter (Sir.iter_expr_uses add_use) (Sir.stmt_exprs s.Sir.kind);
+          (match Sir.stmt_def s.Sir.kind with
+           | Some v -> add_def v bid
+           | None -> ());
+          List.iter (fun m -> add_use m.Sir.mu_var) s.Sir.mus;
+          List.iter (fun c -> add_def c.Sir.chi_var bid; add_use c.Sir.chi_var)
+            s.Sir.chis)
+        b.Sir.stmts;
+      List.iter (Sir.iter_expr_uses add_use) (Sir.term_exprs b.Sir.term))
+    f.Sir.fblocks;
+  List.iter (fun v -> add_def v Sir.entry_bid) f.Sir.fformals;
+  defs, used
+
+let insert_phis (prog : Sir.prog) (f : Sir.func) (dom : Dom.t) =
+  let defs, used = collect_vars prog f in
+  Hashtbl.iter
+    (fun v def_blocks ->
+      (* semi-pruned: skip variables never used in this function *)
+      if Hashtbl.mem used v || List.length def_blocks > 1 then
+        List.iter
+          (fun b ->
+            let blk = Sir.block f b in
+            if not (List.exists (fun p -> p.Sir.phi_var = v) blk.Sir.phis)
+            then begin
+              let n = List.length blk.Sir.preds in
+              blk.Sir.phis <-
+                { Sir.phi_var = v; Sir.phi_lhs = v;
+                  Sir.phi_args = Array.make n v; Sir.phi_live = true }
+                :: blk.Sir.phis
+            end)
+          (Dom.df_plus dom def_blocks))
+    defs
+
+let rename (prog : Sir.prog) (f : Sir.func) (dom : Dom.t) =
+  let syms = prog.Sir.syms in
+  let n_orig = Symtab.count syms in
+  let stacks : int list array = Array.make n_orig [] in
+  let counters : int array = Array.make n_orig 0 in
+  let top v =
+    let v = (Symtab.orig syms v).Symtab.vid in
+    match stacks.(v) with
+    | top :: _ -> top
+    | [] -> v     (* version 0: the original variable itself *)
+  in
+  let push_new v =
+    let v = (Symtab.orig syms v).Symtab.vid in
+    counters.(v) <- counters.(v) + 1;
+    let ver = Symtab.add_version syms ~orig_id:v ~ver:counters.(v) in
+    stacks.(v) <- ver.Symtab.vid :: stacks.(v);
+    ver.Symtab.vid
+  in
+  let rename_expr e = Sir.map_expr_uses top e in
+  let rec walk bid =
+    let b = Sir.block f bid in
+    let pushed = ref [] in
+    let note v = pushed := (Symtab.orig syms v).Symtab.vid :: !pushed in
+    (* phis define new versions *)
+    List.iter
+      (fun (p : Sir.phi) ->
+        p.Sir.phi_lhs <- push_new p.Sir.phi_var;
+        note p.Sir.phi_var)
+      b.Sir.phis;
+    (* formals at entry *)
+    if bid = Sir.entry_bid then
+      List.iter
+        (fun v ->
+          let nv = push_new v in
+          note v;
+          (* the formal's incoming value *is* version 1; remember mapping *)
+          ignore nv)
+        f.Sir.fformals;
+    List.iter
+      (fun (s : Sir.stmt) ->
+        (* uses first *)
+        s.Sir.kind <- Sir.map_stmt_exprs rename_expr s.Sir.kind;
+        List.iter (fun m -> m.Sir.mu_opnd <- top m.Sir.mu_var) s.Sir.mus;
+        (* direct definition *)
+        (match s.Sir.kind with
+         | Sir.Stid (v, e) ->
+           let nv = push_new v in
+           note v;
+           s.Sir.kind <- Sir.Stid (nv, e)
+         | Sir.Call c ->
+           (match c.Sir.ret with
+            | Some r ->
+              let nr = push_new r in
+              note r;
+              s.Sir.kind <- Sir.Call { c with Sir.ret = Some nr }
+            | None -> ())
+         | Sir.Istr _ | Sir.Snop -> ());
+        (* chi definitions come after the statement *)
+        List.iter
+          (fun (c : Sir.chi) ->
+            c.Sir.chi_rhs <- top c.Sir.chi_var;
+            c.Sir.chi_lhs <- push_new c.Sir.chi_var;
+            note c.Sir.chi_var)
+          s.Sir.chis)
+      b.Sir.stmts;
+    b.Sir.term <- Sir.map_term_exprs rename_expr b.Sir.term;
+    (* fill phi operands in successors *)
+    List.iter
+      (fun sid ->
+        let sb = Sir.block f sid in
+        let pred_index =
+          let rec idx i = function
+            | [] -> -1
+            | p :: _ when p = bid -> i
+            | _ :: rest -> idx (i + 1) rest
+          in
+          idx 0 sb.Sir.preds
+        in
+        if pred_index >= 0 then
+          List.iter
+            (fun (p : Sir.phi) -> p.Sir.phi_args.(pred_index) <- top p.Sir.phi_var)
+            sb.Sir.phis)
+      (Sir.succs b);
+    List.iter walk dom.Dom.children.(bid);
+    List.iter
+      (fun v ->
+        match stacks.(v) with
+        | _ :: rest -> stacks.(v) <- rest
+        | [] -> assert false)
+      !pushed
+  in
+  walk Sir.entry_bid
+
+(** Build HSSA form for one function.  Assumes χ/μ lists are already
+    attached (see [Spec_alias.Annotate]) and critical edges are split. *)
+let build_func (prog : Sir.prog) (f : Sir.func) : t =
+  Sir.recompute_preds f;
+  let dom = Dom.compute f in
+  insert_phis prog f dom;
+  rename prog f dom;
+  { prog; func = f; dom }
+
+(** Build HSSA for every function in the program. *)
+let build (prog : Sir.prog) : t list =
+  let acc = ref [] in
+  Sir.iter_funcs (fun f -> acc := build_func prog f :: !acc) prog;
+  List.rev !acc

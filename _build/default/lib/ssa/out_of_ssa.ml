@@ -1,0 +1,47 @@
+(** Translation out of HSSA back to executable SIR.
+
+    The optimizer's transformations preserve the *single-location
+    discipline*: every SSA version of a variable still denotes the value
+    the underlying variable holds at that program point (PRE only adds
+    fresh temporaries, saves/reloads of them, and check statements; it
+    never replaces one variable's use by another variable).  De-versioning
+    every variable back to its original and dropping phi nodes and χ/μ
+    annotations is therefore a correct (and copy-free) out-of-SSA
+    translation.  {!Ssa_check} plus differential execution in the test
+    suite guard this invariant. *)
+
+open Spec_ir
+
+let deversion syms v = (Symtab.orig syms v).Symtab.vid
+
+let run_func (prog : Sir.prog) (f : Sir.func) =
+  let syms = prog.Sir.syms in
+  let dv v = deversion syms v in
+  let dv_expr e = Sir.map_expr_uses dv e in
+  Vec.iter
+    (fun (b : Sir.bb) ->
+      b.Sir.phis <- [];
+      b.Sir.stmts <-
+        List.filter_map
+          (fun (s : Sir.stmt) ->
+            s.Sir.mus <- [];
+            s.Sir.chis <- [];
+            (match s.Sir.kind with
+             | Sir.Stid (v, e) -> s.Sir.kind <- Sir.Stid (dv v, dv_expr e)
+             | Sir.Istr (t, a, e, site) ->
+               s.Sir.kind <- Sir.Istr (t, dv_expr a, dv_expr e, site)
+             | Sir.Call c ->
+               s.Sir.kind <-
+                 Sir.Call
+                   { c with
+                     Sir.args = List.map dv_expr c.Sir.args;
+                     Sir.ret = Option.map dv c.Sir.ret }
+             | Sir.Snop -> ());
+            match s.Sir.kind with
+            | Sir.Snop -> None            (* drop annotation carriers *)
+            | _ -> Some s)
+          b.Sir.stmts;
+      b.Sir.term <- Sir.map_term_exprs dv_expr b.Sir.term)
+    f.Sir.fblocks
+
+let run (prog : Sir.prog) = Sir.iter_funcs (run_func prog) prog

@@ -1,0 +1,8 @@
+(** Translation out of HSSA back to executable SIR by total de-versioning:
+    every SSA version maps back to its original variable, and phi nodes
+    and χ/μ annotations are dropped.  Sound because the optimizer's
+    transformations preserve the single-location discipline (they only add
+    fresh temporaries; see the .ml header for the argument). *)
+
+val run_func : Spec_ir.Sir.prog -> Spec_ir.Sir.func -> unit
+val run : Spec_ir.Sir.prog -> unit

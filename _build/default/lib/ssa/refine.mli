@@ -1,0 +1,13 @@
+(** Flow-sensitive pointer refinement (the last stage of the paper's
+    Figure 4): resolve SSA address expressions to definite abstract
+    locations through use-def chains, so the next χ/μ annotation round can
+    shrink a site's operand lists to its unique target. *)
+
+(** Scan a program in SSA form; returns [site -> definite LOC] for every
+    indirect-reference site whose address resolves uniquely.  When [acc]
+    is given, facts accumulate into it (sites keep ids across pipeline
+    rounds); a site that no longer resolves is removed. *)
+val compute :
+  ?acc:(int, Spec_ir.Loc.t) Hashtbl.t ->
+  Spec_ir.Sir.prog ->
+  (int, Spec_ir.Loc.t) Hashtbl.t

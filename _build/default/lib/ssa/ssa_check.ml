@@ -1,0 +1,128 @@
+(** SSA-form verification.
+
+    Checks the invariants later phases rely on:
+    - every SSA version has exactly one definition point
+      (phi, direct definition, χ, formal, or "version 0" = the original);
+    - every use is dominated by its definition;
+    - phi operand versions are live out of the corresponding predecessor.
+
+    Raises [Failure] with a description on the first violation. *)
+
+open Spec_ir
+open Spec_cfg
+
+type def_site =
+  | Dphi of int                (* block *)
+  | Dstmt of int * int         (* block, stmt id *)
+  | Dformal
+  | Dnone                      (* version 0 *)
+
+let check_func (prog : Sir.prog) (f : Sir.func) (dom : Dom.t) =
+  let syms = prog.Sir.syms in
+  let defs : (int, def_site) Hashtbl.t = Hashtbl.create 64 in
+  let fail fmt = Fmt.kstr failwith fmt in
+  let define v site =
+    if (Symtab.var syms v).Symtab.vver = 0 then
+      fail "definition targets version-0 variable %s" (Symtab.name syms v);
+    match Hashtbl.find_opt defs v with
+    | Some _ -> fail "%s defined more than once" (Symtab.name syms v)
+    | None -> Hashtbl.replace defs v site
+  in
+  Vec.iter
+    (fun (b : Sir.bb) ->
+      List.iter
+        (fun (p : Sir.phi) ->
+          if Array.length p.Sir.phi_args <> List.length b.Sir.preds then
+            fail "phi for %s in B%d has %d args but %d preds"
+              (Symtab.name syms p.Sir.phi_var) b.Sir.bid
+              (Array.length p.Sir.phi_args) (List.length b.Sir.preds);
+          define p.Sir.phi_lhs (Dphi b.Sir.bid))
+        b.Sir.phis;
+      List.iter
+        (fun (s : Sir.stmt) ->
+          (match Sir.stmt_def s.Sir.kind with
+           | Some v -> define v (Dstmt (b.Sir.bid, s.Sir.sid))
+           | None -> ());
+          List.iter
+            (fun (c : Sir.chi) -> define c.Sir.chi_lhs (Dstmt (b.Sir.bid, s.Sir.sid)))
+            s.Sir.chis)
+        b.Sir.stmts)
+    f.Sir.fblocks;
+  List.iter (fun v -> ignore v) f.Sir.fformals;
+  (* use-site dominance: walk statements in block order, tracking
+     statement position *)
+  let def_of v =
+    match Hashtbl.find_opt defs v with
+    | Some d -> d
+    | None ->
+      if (Symtab.var syms v).Symtab.vver = 0 then Dnone
+      else if List.exists
+                (fun fv ->
+                  (Symtab.var syms v).Symtab.vorig
+                  = (Symtab.orig syms fv).Symtab.vid)
+                f.Sir.fformals
+      then Dformal
+      else Dnone
+  in
+  let check_use ~bid ~pos v =
+    match def_of v with
+    | Dnone | Dformal -> ()
+    | Dphi db ->
+      if not (Dom.dominates dom db bid) then
+        fail "use of %s in B%d not dominated by its phi in B%d"
+          (Symtab.name syms v) bid db
+    | Dstmt (db, sid) ->
+      if db = bid then begin
+        (* same block: definition must come earlier *)
+        let b = Sir.block f bid in
+        let def_pos = ref (-1) and use_ok = ref false in
+        List.iteri
+          (fun i (s : Sir.stmt) -> if s.Sir.sid = sid then def_pos := i)
+          b.Sir.stmts;
+        (* strict: a statement's uses are evaluated before its defs *)
+        if !def_pos >= 0 && pos > !def_pos then use_ok := true;
+        (* a chi def used by the same statement's own expressions is wrong,
+           but chi_rhs refers to the pre-statement version, checked via pos *)
+        if not !use_ok then
+          fail "use of %s in B%d precedes its definition" (Symtab.name syms v)
+            bid
+      end
+      else if not (Dom.dominates dom db bid) then
+        fail "use of %s in B%d not dominated by its def in B%d"
+          (Symtab.name syms v) bid db
+  in
+  Vec.iter
+    (fun (b : Sir.bb) ->
+      List.iteri
+        (fun pos (s : Sir.stmt) ->
+          let use v = check_use ~bid:b.Sir.bid ~pos v in
+          List.iter (Sir.iter_expr_uses use) (Sir.stmt_exprs s.Sir.kind);
+          List.iter (fun m -> use m.Sir.mu_opnd) s.Sir.mus;
+          List.iter (fun (c : Sir.chi) -> use c.Sir.chi_rhs) s.Sir.chis)
+        b.Sir.stmts;
+      let npos = List.length b.Sir.stmts in
+      List.iter
+        (Sir.iter_expr_uses (fun v -> check_use ~bid:b.Sir.bid ~pos:npos v))
+        (Sir.term_exprs b.Sir.term);
+      (* phi operands must be available at the end of each predecessor *)
+      List.iteri
+        (fun i pred ->
+          List.iter
+            (fun (p : Sir.phi) ->
+              let v = p.Sir.phi_args.(i) in
+              match def_of v with
+              | Dnone | Dformal -> ()
+              | Dphi db | Dstmt (db, _) ->
+                if not (Dom.dominates dom db pred) then
+                  fail "phi operand %s for edge B%d->B%d not available"
+                    (Symtab.name syms v) pred b.Sir.bid)
+            b.Sir.phis)
+        b.Sir.preds)
+    f.Sir.fblocks
+
+let check (prog : Sir.prog) =
+  Sir.iter_funcs
+    (fun f ->
+      let dom = Dom.compute f in
+      check_func prog f dom)
+    prog

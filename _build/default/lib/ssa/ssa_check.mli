@@ -1,0 +1,6 @@
+(** SSA-form verification: single definitions, uses dominated by their
+    definitions, phi operands available out of the matching predecessor.
+    Raises [Failure] with a description on the first violation. *)
+
+val check_func : Spec_ir.Sir.prog -> Spec_ir.Sir.func -> Spec_cfg.Dom.t -> unit
+val check : Spec_ir.Sir.prog -> unit

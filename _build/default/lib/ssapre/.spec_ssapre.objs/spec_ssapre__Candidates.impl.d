@@ -1,0 +1,1 @@
+lib/ssapre/candidates.ml: Buffer Hashtbl List Pp Sir Spec_ir Spec_spec Symtab Types

@@ -1,0 +1,1 @@
+lib/ssapre/candidates.mli: Hashtbl Spec_ir Spec_spec

@@ -1,0 +1,1 @@
+lib/ssapre/cleanup.ml: Array Hashtbl Int List Set Sir Spec_cfg Spec_ir Symtab Types Vec

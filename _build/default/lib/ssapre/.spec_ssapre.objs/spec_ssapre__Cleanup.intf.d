@@ -1,0 +1,1 @@
+lib/ssapre/cleanup.mli: Spec_ir

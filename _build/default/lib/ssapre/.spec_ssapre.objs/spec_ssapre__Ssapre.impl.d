@@ -1,0 +1,1 @@
+lib/ssapre/ssapre.ml: Array Candidates Dom Flags Hashtbl Kills List Printf Sir Spec_alias Spec_cfg Spec_ir Spec_spec Symtab Vec

@@ -1,0 +1,1 @@
+lib/ssapre/ssapre.mli: Spec_alias Spec_ir Spec_spec

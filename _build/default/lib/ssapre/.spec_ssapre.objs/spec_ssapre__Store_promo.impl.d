@@ -1,0 +1,1 @@
+lib/ssapre/store_promo.ml: Cfg_utils Dom Hashtbl Kills List Loc Pp Printf Sir Spec_alias Spec_cfg Spec_ir Spec_spec Symtab Types

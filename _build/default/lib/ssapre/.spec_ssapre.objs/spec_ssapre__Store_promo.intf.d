@@ -1,0 +1,1 @@
+lib/ssapre/store_promo.mli: Spec_alias Spec_ir Spec_spec

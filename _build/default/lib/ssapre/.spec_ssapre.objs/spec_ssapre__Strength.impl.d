@@ -1,0 +1,1 @@
+lib/ssapre/strength.ml: Cfg_utils Dom Hashtbl List Printf Sir Spec_cfg Spec_ir Symtab Types Vec

@@ -1,0 +1,1 @@
+lib/ssapre/strength.mli: Spec_ir

@@ -1,0 +1,121 @@
+(** PRE candidate expressions and their lexical keys.
+
+    SSAPRE works one lexically-identified expression at a time.  A
+    candidate is a *maximal first-order* expression: an indirect load whose
+    address is pure (no memory access), a direct load of a memory-resident
+    variable, or (when arithmetic PRE is enabled) a maximal pure arithmetic
+    subtree.  Loads nested inside other loads become candidates in a later
+    round, after the inner load has been PREed into a temporary. *)
+
+open Spec_ir
+
+(** Pure expressions touch no memory: constants, addresses, and
+    register-resident variable reads. *)
+let rec is_pure syms (e : Sir.expr) =
+  match e with
+  | Sir.Const _ | Sir.Lda _ -> true
+  | Sir.Lod v -> not (Symtab.is_mem syms v)
+  | Sir.Unop (_, _, x) -> is_pure syms x
+  | Sir.Binop (_, _, a, b) -> is_pure syms a && is_pure syms b
+  | Sir.Ilod _ -> false
+
+let rec is_const = function
+  | Sir.Const _ -> true
+  | Sir.Unop (_, _, x) -> is_const x
+  | Sir.Binop (_, _, a, b) -> is_const a && is_const b
+  | Sir.Lod _ | Sir.Lda _ | Sir.Ilod _ -> false
+
+(** Deversioned lexical key: two occurrences with the same key denote the
+    same static expression. *)
+let key_of syms (e : Sir.expr) =
+  let dv = Sir.map_expr_uses (fun v -> (Symtab.orig syms v).Symtab.vid) e in
+  let buf = Buffer.create 32 in
+  let rec go = function
+    | Sir.Const (Sir.Cint i) -> Buffer.add_string buf ("#" ^ string_of_int i)
+    | Sir.Const (Sir.Cflt f) -> Buffer.add_string buf ("#f" ^ string_of_float f)
+    | Sir.Lod v -> Buffer.add_string buf ("v" ^ string_of_int v)
+    | Sir.Lda v -> Buffer.add_string buf ("&" ^ string_of_int v)
+    | Sir.Ilod (t, a, _) ->
+      Buffer.add_string buf ("*[" ^ Types.to_string t ^ "]");
+      Buffer.add_char buf '(';
+      go a;
+      Buffer.add_char buf ')'
+    | Sir.Unop (o, _, x) ->
+      Buffer.add_string buf (Pp.unop_str o);
+      Buffer.add_char buf '(';
+      go x;
+      Buffer.add_char buf ')'
+    | Sir.Binop (o, t, a, b) ->
+      Buffer.add_char buf '(';
+      go a;
+      Buffer.add_string buf (Pp.binop_str o ^ Types.to_string t);
+      go b;
+      Buffer.add_char buf ')'
+  in
+  go dv;
+  Buffer.contents buf
+
+(** Deversioned original-variable leaves of an expression. *)
+let leaves syms (e : Sir.expr) =
+  let acc = ref [] in
+  Sir.iter_expr_uses
+    (fun v ->
+      let ov = (Symtab.orig syms v).Symtab.vid in
+      if not (List.mem ov !acc) then acc := ov :: !acc)
+    e;
+  List.sort compare !acc
+
+(** Is [e] a candidate (at the top of its subtree)? *)
+let classify syms ~arith_pre (e : Sir.expr) : Spec_spec.Kills.target option =
+  match e with
+  | Sir.Ilod (_, a, site) when is_pure syms a ->
+    Some (Spec_spec.Kills.Tsite site)
+  | Sir.Lod v when Symtab.is_mem syms v ->
+    Some (Spec_spec.Kills.Tvar (Symtab.orig syms v).Symtab.vid)
+  | Sir.Binop (_, _, a, b)
+    when arith_pre && is_pure syms e && not (is_const e)
+         && not (is_const a && is_const b) ->
+    Some Spec_spec.Kills.Tpure
+  | _ -> None
+
+(** Visit the maximal candidate subexpressions of [e] in deterministic
+    (pre-order, left-to-right) order.  [f key target expr] is called for
+    each; non-candidates are descended into. *)
+let rec iter_candidates syms ~arith_pre f (e : Sir.expr) =
+  match classify syms ~arith_pre e with
+  | Some target -> f (key_of syms e) target e
+  | None -> (
+      match e with
+      | Sir.Const _ | Sir.Lod _ | Sir.Lda _ -> ()
+      | Sir.Ilod (_, a, _) -> iter_candidates syms ~arith_pre f a
+      | Sir.Unop (_, _, x) -> iter_candidates syms ~arith_pre f x
+      | Sir.Binop (_, _, a, b) ->
+        iter_candidates syms ~arith_pre f a;
+        iter_candidates syms ~arith_pre f b)
+
+(** Rewrite the maximal candidates of [e]: [f key idx expr] returns
+    [Some e'] to replace the [idx]-th candidate with key [key], or [None]
+    to keep it.  Traversal order matches {!iter_candidates}; [idx] counts
+    candidates *with the same key* within one enclosing statement, tracked
+    by the caller-supplied counter table. *)
+let rewrite_candidates syms ~arith_pre (counts : (string, int) Hashtbl.t) f e =
+  let rec go e =
+    match classify syms ~arith_pre e with
+    | Some _ ->
+      let key = key_of syms e in
+      let idx =
+        match Hashtbl.find_opt counts key with Some i -> i | None -> 0
+      in
+      Hashtbl.replace counts key (idx + 1);
+      (match f key idx e with Some e' -> e' | None -> e)
+    | None -> (
+        match e with
+        | Sir.Const _ | Sir.Lod _ | Sir.Lda _ -> e
+        | Sir.Ilod (t, a, s) -> Sir.Ilod (t, go a, s)
+        | Sir.Unop (o, t, x) -> Sir.Unop (o, t, go x)
+        | Sir.Binop (o, t, a, b) ->
+          let a' = go a in
+          let b' = go b in
+          Sir.Binop (o, t, a', b'))
+  in
+  go e

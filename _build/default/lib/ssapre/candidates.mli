@@ -1,0 +1,35 @@
+(** PRE candidate expressions and their lexical keys.
+
+    A candidate is a maximal first-order expression: an indirect load with
+    a pure address, a direct load of a memory-resident variable, or (when
+    arithmetic PRE is on) a maximal pure arithmetic subtree.  Loads nested
+    inside other loads become candidates in a later pipeline round. *)
+
+(** Pure expressions touch no memory. *)
+val is_pure : Spec_ir.Symtab.t -> Spec_ir.Sir.expr -> bool
+
+val is_const : Spec_ir.Sir.expr -> bool
+
+(** Deversioned lexical key: equal keys = same static expression. *)
+val key_of : Spec_ir.Symtab.t -> Spec_ir.Sir.expr -> string
+
+(** Deversioned original-variable leaves, sorted. *)
+val leaves : Spec_ir.Symtab.t -> Spec_ir.Sir.expr -> int list
+
+(** Candidate classification of a (sub)expression at its root. *)
+val classify :
+  Spec_ir.Symtab.t -> arith_pre:bool -> Spec_ir.Sir.expr ->
+  Spec_spec.Kills.target option
+
+(** Visit maximal candidates in deterministic preorder. *)
+val iter_candidates :
+  Spec_ir.Symtab.t -> arith_pre:bool ->
+  (string -> Spec_spec.Kills.target -> Spec_ir.Sir.expr -> unit) ->
+  Spec_ir.Sir.expr -> unit
+
+(** Rewrite maximal candidates; traversal matches {!iter_candidates} and
+    the per-key occurrence counter is threaded through [counts]. *)
+val rewrite_candidates :
+  Spec_ir.Symtab.t -> arith_pre:bool -> (string, int) Hashtbl.t ->
+  (string -> int -> Spec_ir.Sir.expr -> Spec_ir.Sir.expr option) ->
+  Spec_ir.Sir.expr -> Spec_ir.Sir.expr

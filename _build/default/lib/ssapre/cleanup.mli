@@ -1,0 +1,13 @@
+(** Scalar cleanup: constant folding, block-local copy/constant
+    propagation, and liveness-based dead-code elimination over
+    register-resident variables.  Statements with speculation marks are
+    never deleted, and a check load's destination counts as used (ld.c
+    conditionally preserves it). *)
+
+type stats = {
+  mutable folded : int;
+  mutable propagated : int;
+  mutable removed : int;
+}
+
+val run : Spec_ir.Sir.prog -> stats

@@ -1,0 +1,906 @@
+(** Speculative SSAPRE: the six-step SSAPRE algorithm (Kennedy et al.,
+    TOPLAS 21(3)) extended with the paper's control- and data-speculation
+    support.
+
+    Φ-Insertion and Rename follow the enhanced algorithms of the paper's
+    Appendices A and B: definition chains are traced *through* speculative
+    weak updates (unflagged χs), which exposes speculatively redundant
+    occurrences; CodeMotion then emits check statements (ld.c) for
+    speculative reloads and marks the reaching computations as advanced
+    loads (ld.a).  Control speculation permits insertion at non-downsafe
+    Φs when the edge profile says the insertion paths are cold.
+
+    The engine processes one function at a time, assuming HSSA form with
+    χ/μ lists and speculation flags assigned.  Its rewrites deliberately
+    produce "flat" (non-SSA-maintained) temporaries; the pipeline
+    de-versions the function immediately afterwards (see
+    [Spec_ssa.Out_of_ssa] for why this is sound). *)
+
+open Spec_ir
+open Spec_cfg
+open Spec_spec
+
+type config = {
+  mode : Flags.mode;
+  control_spec : bool;
+  cspec_always : bool;
+      (** force insertion at non-downsafe Φs regardless of profile (tests) *)
+  cspec_ratio : float;
+      (** insert speculatively when insertion-edge frequency is below this
+          fraction of the Φ block's frequency *)
+  arith_pre : bool;
+  alias_threshold : float;
+      (** alias relations observed in at most this fraction of profiled
+          executions are still speculated over (see [Spec_spec.Kills]) *)
+}
+
+let default_config mode =
+  { mode; control_spec = true; cspec_always = false; cspec_ratio = 0.5;
+    arith_pre = true; alias_threshold = 0. }
+
+(* ------------------------------------------------------------------ *)
+(* Occurrence structures                                               *)
+(* ------------------------------------------------------------------ *)
+
+type place = Pstmt of Sir.stmt | Pterm
+
+type real_occ = {
+  ro_bb : int;
+  ro_place : place;
+  ro_idx : int;                    (* nth same-key candidate in the place *)
+  ro_expr : Sir.expr;
+  mutable ro_cls : int;
+  mutable ro_def : def option;
+  mutable ro_weaks : Sir.stmt list;
+  mutable ro_used : bool;
+}
+
+and phi_occ = {
+  po_bb : int;
+  po_cls : int;
+  po_opnds : opnd array;
+  mutable po_ds : bool;
+  mutable po_cba : bool;
+  mutable po_later : bool;
+  mutable po_wba : bool;
+  mutable po_cspec : bool;
+  mutable po_live : bool;
+}
+
+and opnd = {
+  mutable op_def : def option;        (* None = bottom *)
+  mutable op_has_real_use : bool;
+  mutable op_expr : Sir.expr option;  (* insertion expression at pred end *)
+  mutable op_weaks : Sir.stmt list;
+  mutable op_insert : bool;
+}
+
+and def = Dreal of real_occ | Dphi of phi_occ
+
+type item = {
+  it_key : string;
+  it_proto : Sir.expr;                   (* deversioned representative *)
+  it_target : Kills.target;
+  it_leaves : int list;                  (* orig ids of pure leaves *)
+  mutable it_reals : real_occ list;      (* reverse collection order *)
+  it_phis : (int, phi_occ) Hashtbl.t;    (* bb -> phi *)
+  mutable it_next_cls : int;
+  mutable it_temp : int;                 (* temp var id, -1 until created *)
+  mutable it_has_checks : bool;
+}
+
+type stack_entry =
+  | Ebot
+  | Ereal of { cls : int; occ : real_occ; weaks : Sir.stmt list }
+  | Ephi of { cls : int; phi : phi_occ; weaks : Sir.stmt list }
+
+(* ------------------------------------------------------------------ *)
+(* Per-function context                                                *)
+(* ------------------------------------------------------------------ *)
+
+type vdef =
+  | Vphi of Sir.phi * int
+  | Vchi of Sir.stmt * Sir.chi
+  | Vdirect
+  | Vnone
+
+type fctx = {
+  prog : Sir.prog;
+  func : Sir.func;
+  dom : Dom.t;
+  cfg : config;
+  kctx : Kills.ctx;
+  items : (string, item) Hashtbl.t;
+  mutable item_list : item list;
+  (* occurrences grouped by statement id / terminator block *)
+  stmt_occs : (int, (item * real_occ) list) Hashtbl.t;
+  term_occs : (int, (item * real_occ) list) Hashtbl.t;
+  version_def : (int, vdef) Hashtbl.t;
+  end_version : (int * int, int) Hashtbl.t;  (* (bb, orig) -> version *)
+  mutable stats_checks : int;
+  mutable stats_reloads : int;
+  mutable stats_saves : int;
+  mutable stats_inserts : int;
+  mutable stats_cspec_phis : int;
+}
+
+let syms_of ctx = ctx.prog.Sir.syms
+
+(* ---- step 0: collect candidates & auxiliary tables ---- *)
+
+let get_item ctx key target expr =
+  match Hashtbl.find_opt ctx.items key with
+  | Some it -> it
+  | None ->
+    let syms = syms_of ctx in
+    let proto =
+      Sir.map_expr_uses (fun v -> (Symtab.orig syms v).Symtab.vid) expr
+    in
+    let it =
+      { it_key = key; it_proto = proto; it_target = target;
+        it_leaves = Candidates.leaves syms expr; it_reals = [];
+        it_phis = Hashtbl.create 4; it_next_cls = 0; it_temp = -1;
+        it_has_checks = false }
+    in
+    Hashtbl.replace ctx.items key it;
+    ctx.item_list <- it :: ctx.item_list;
+    it
+
+let collect_occurrences ctx =
+  let syms = syms_of ctx in
+  let arith_pre = ctx.cfg.arith_pre in
+  Vec.iter
+    (fun (b : Sir.bb) ->
+      List.iter
+        (fun (s : Sir.stmt) ->
+          (* register istore address keys for heuristic rule 1 *)
+          (match s.Sir.kind with
+           | Sir.Istr (_, a, _, site) -> Kills.register_site_addr ctx.kctx site a
+           | _ -> ());
+          List.iter
+            (Sir.iter_subexprs (function
+              | Sir.Ilod (_, a, site) -> Kills.register_site_addr ctx.kctx site a
+              | _ -> ()))
+            (Sir.stmt_exprs s.Sir.kind);
+          if s.Sir.mark = Sir.Mnone then begin
+            let counts = Hashtbl.create 4 in
+            List.iter
+              (Candidates.iter_candidates syms ~arith_pre (fun key target e ->
+                   let idx =
+                     match Hashtbl.find_opt counts key with
+                     | Some i -> i | None -> 0
+                   in
+                   Hashtbl.replace counts key (idx + 1);
+                   let it = get_item ctx key target e in
+                   let occ =
+                     { ro_bb = b.Sir.bid; ro_place = Pstmt s; ro_idx = idx;
+                       ro_expr = e; ro_cls = -1; ro_def = None; ro_weaks = [];
+                       ro_used = false }
+                   in
+                   it.it_reals <- occ :: it.it_reals;
+                   let cur =
+                     match Hashtbl.find_opt ctx.stmt_occs s.Sir.sid with
+                     | Some l -> l | None -> []
+                   in
+                   Hashtbl.replace ctx.stmt_occs s.Sir.sid
+                     (cur @ [ (it, occ) ])))
+              (Sir.stmt_exprs s.Sir.kind)
+          end)
+        b.Sir.stmts;
+      (* terminator occurrences *)
+      let counts = Hashtbl.create 4 in
+      List.iter
+        (fun e ->
+          Sir.iter_subexprs
+            (function
+              | Sir.Ilod (_, a, site) -> Kills.register_site_addr ctx.kctx site a
+              | _ -> ())
+            e;
+          Candidates.iter_candidates syms ~arith_pre
+            (fun key target sub ->
+              let idx =
+                match Hashtbl.find_opt counts key with Some i -> i | None -> 0
+              in
+              Hashtbl.replace counts key (idx + 1);
+              let it = get_item ctx key target sub in
+              let occ =
+                { ro_bb = b.Sir.bid; ro_place = Pterm; ro_idx = idx;
+                  ro_expr = sub; ro_cls = -1; ro_def = None; ro_weaks = [];
+                  ro_used = false }
+              in
+              it.it_reals <- occ :: it.it_reals;
+              let cur =
+                match Hashtbl.find_opt ctx.term_occs b.Sir.bid with
+                | Some l -> l | None -> []
+              in
+              Hashtbl.replace ctx.term_occs b.Sir.bid (cur @ [ (it, occ) ]))
+            e)
+        (Sir.term_exprs b.Sir.term))
+    ctx.func.Sir.fblocks;
+  ctx.item_list <- List.rev ctx.item_list;
+  List.iter (fun it -> it.it_reals <- List.rev it.it_reals) ctx.item_list
+
+let build_version_def ctx =
+  Vec.iter
+    (fun (b : Sir.bb) ->
+      List.iter
+        (fun (p : Sir.phi) ->
+          Hashtbl.replace ctx.version_def p.Sir.phi_lhs (Vphi (p, b.Sir.bid)))
+        b.Sir.phis;
+      List.iter
+        (fun (s : Sir.stmt) ->
+          (match Sir.stmt_def s.Sir.kind with
+           | Some v -> Hashtbl.replace ctx.version_def v Vdirect
+           | None -> ());
+          List.iter
+            (fun (c : Sir.chi) ->
+              Hashtbl.replace ctx.version_def c.Sir.chi_lhs (Vchi (s, c)))
+            s.Sir.chis)
+        b.Sir.stmts)
+    ctx.func.Sir.fblocks
+
+(* versions current at the end of each block, for every original var *)
+let build_end_versions ctx =
+  let syms = syms_of ctx in
+  let stacks : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let push orig v =
+    let cur = match Hashtbl.find_opt stacks orig with Some l -> l | None -> [] in
+    Hashtbl.replace stacks orig (v :: cur)
+  in
+  let pop orig =
+    match Hashtbl.find_opt stacks orig with
+    | Some (_ :: rest) -> Hashtbl.replace stacks orig rest
+    | _ -> ()
+  in
+  let orig_of v = (Symtab.orig syms v).Symtab.vid in
+  let rec walk bid =
+    let b = Sir.block ctx.func bid in
+    let pushed = ref [] in
+    let def v =
+      let ov = orig_of v in
+      push ov v;
+      pushed := ov :: !pushed
+    in
+    List.iter (fun (p : Sir.phi) -> def p.Sir.phi_lhs) b.Sir.phis;
+    if bid = Sir.entry_bid then begin
+      (* formals were renamed to version 1 at entry *)
+      Vec.iter
+        (fun (v : Symtab.var) ->
+          if v.Symtab.vver = 1
+             && List.exists
+                  (fun fv -> orig_of fv = v.Symtab.vorig)
+                  ctx.func.Sir.fformals
+          then def v.Symtab.vid)
+        syms.Symtab.vars
+    end;
+    List.iter
+      (fun (s : Sir.stmt) ->
+        (match Sir.stmt_def s.Sir.kind with Some v -> def v | None -> ());
+        List.iter (fun (c : Sir.chi) -> def c.Sir.chi_lhs) s.Sir.chis)
+      b.Sir.stmts;
+    (* snapshot: record tops for all vars with an active stack *)
+    Hashtbl.iter
+      (fun orig stack ->
+        match stack with
+        | v :: _ -> Hashtbl.replace ctx.end_version (bid, orig) v
+        | [] -> ())
+      stacks;
+    List.iter walk ctx.dom.Dom.children.(bid);
+    List.iter pop !pushed
+  in
+  walk Sir.entry_bid
+
+let version_at_end ctx bid orig =
+  match Hashtbl.find_opt ctx.end_version (bid, orig) with
+  | Some v -> v
+  | None -> orig
+
+(* ---- step 1: Phi insertion ---- *)
+
+(* Appendix A: trace a version's definition through speculative weak
+   updates; collect the blocks of the phis reached, recursively. *)
+let rec phi_blocks_of_version ctx (it : item) v acc =
+  match Hashtbl.find_opt ctx.version_def v with
+  | None | Some Vnone | Some Vdirect -> acc
+  | Some (Vphi (p, bb)) ->
+    if List.mem bb !acc then acc
+    else begin
+      acc := bb :: !acc;
+      Array.iter (fun arg -> ignore (phi_blocks_of_version ctx it arg acc))
+        p.Sir.phi_args;
+      acc
+    end
+  | Some (Vchi (s, c)) ->
+    let weak =
+      match it.it_target with
+      | Kills.Tsite _ when Symtab.is_virtual (syms_of ctx) c.Sir.chi_var ->
+        Kills.classify ctx.kctx it.it_target s = Kills.Kweak
+      | _ -> not c.Sir.chi_spec
+    in
+    if weak then phi_blocks_of_version ctx it c.Sir.chi_rhs acc else acc
+
+let insert_phis ctx =
+  List.iter
+    (fun (it : item) ->
+      let occ_blocks =
+        List.sort_uniq compare (List.map (fun o -> o.ro_bb) it.it_reals)
+      in
+      let blocks = ref (Dom.df_plus ctx.dom occ_blocks) in
+      (* variable-phi-triggered insertion, through weak updates *)
+      List.iter
+        (fun (occ : real_occ) ->
+          let extra = ref [] in
+          Sir.iter_expr_uses
+            (fun v -> ignore (phi_blocks_of_version ctx it v extra))
+            occ.ro_expr;
+          (* the memory dimension: trace the virtual variable's chain from
+             this occurrence's mu operand *)
+          (match it.it_target, occ.ro_place with
+           | Kills.Tsite _site, Pstmt s ->
+             List.iter
+               (fun (m : Sir.mu) ->
+                 if Symtab.is_virtual (syms_of ctx) m.Sir.mu_var then
+                   ignore (phi_blocks_of_version ctx it m.Sir.mu_opnd extra))
+               s.Sir.mus
+           | Kills.Tvar _, Pstmt s ->
+             List.iter
+               (fun (m : Sir.mu) ->
+                 ignore (phi_blocks_of_version ctx it m.Sir.mu_opnd extra))
+               s.Sir.mus
+           | _ -> ());
+          (* DF+ of trigger blocks as well, then union *)
+          List.iter
+            (fun bb -> if not (List.mem bb !blocks) then blocks := bb :: !blocks)
+            !extra;
+          List.iter
+            (fun bb -> if not (List.mem bb !blocks) then blocks := bb :: !blocks)
+            (Dom.df_plus ctx.dom !extra))
+        it.it_reals;
+      List.iter
+        (fun bb ->
+          if not (Hashtbl.mem it.it_phis bb) then begin
+            let n = List.length (Sir.block ctx.func bb).Sir.preds in
+            if n > 0 then begin
+              let phi =
+                { po_bb = bb; po_cls = it.it_next_cls;
+                  po_opnds =
+                    Array.init n (fun _ ->
+                        { op_def = None; op_has_real_use = false;
+                          op_expr = None; op_weaks = []; op_insert = false });
+                  po_ds = true; po_cba = true; po_later = true;
+                  po_wba = false; po_cspec = false; po_live = false }
+              in
+              it.it_next_cls <- it.it_next_cls + 1;
+              Hashtbl.replace it.it_phis bb phi
+            end
+          end)
+        !blocks)
+    ctx.item_list
+
+(* ---- step 2: rename (event-driven walk) ---- *)
+
+let rename ctx =
+  let items = Array.of_list ctx.item_list in
+  let n_items = Array.length items in
+  let stacks : stack_entry list array = Array.make n_items [] in
+  let item_index = Hashtbl.create 16 in
+  Array.iteri (fun i it -> Hashtbl.replace item_index it.it_key i) items;
+  let idx_of it = Hashtbl.find item_index it.it_key in
+  let new_cls it =
+    let c = it.it_next_cls in
+    it.it_next_cls <- c + 1;
+    c
+  in
+  let process_occ (it : item) (occ : real_occ) =
+    let i = idx_of it in
+    (match stacks.(i) with
+     | [] | Ebot :: _ ->
+       occ.ro_cls <- new_cls it;
+       occ.ro_def <- None;
+       occ.ro_weaks <- [];
+       stacks.(i) <- Ereal { cls = occ.ro_cls; occ; weaks = [] } :: stacks.(i)
+     | Ereal { cls; occ = d; weaks } :: _ ->
+       occ.ro_cls <- cls;
+       occ.ro_def <- Some (Dreal d);
+       occ.ro_weaks <- weaks;
+       (* the occurrence re-establishes the value: checks cover the weaks *)
+       stacks.(i) <- Ereal { cls; occ; weaks = [] } :: stacks.(i)
+     | Ephi { cls; phi; weaks } :: _ ->
+       occ.ro_cls <- cls;
+       occ.ro_def <- Some (Dphi phi);
+       occ.ro_weaks <- weaks;
+       stacks.(i) <- Ereal { cls; occ; weaks = [] } :: stacks.(i))
+  in
+  let seed_not_downsafe i =
+    match stacks.(i) with
+    | Ephi { phi; _ } :: _ -> phi.po_ds <- false
+    | _ -> ()
+  in
+  let process_kills (s : Sir.stmt) =
+    Array.iteri
+      (fun i it ->
+        match stacks.(i) with
+        | [] | Ebot :: _ -> ()
+        | (Ereal _ | Ephi _) :: _ ->
+          let leaf_verdict =
+            List.fold_left
+              (fun acc leaf ->
+                Kills.worst acc (Kills.classify_leaf ctx.kctx leaf s))
+              Kills.Knone it.it_leaves
+          in
+          let mem_verdict = Kills.classify ctx.kctx it.it_target s in
+          (match Kills.worst leaf_verdict mem_verdict with
+           | Kills.Knone -> ()
+           | Kills.Kstrong ->
+             seed_not_downsafe i;
+             stacks.(i) <- Ebot :: stacks.(i)
+           | Kills.Kweak ->
+             (match stacks.(i) with
+              | Ereal { cls; occ; weaks } :: _ ->
+                stacks.(i) <- Ereal { cls; occ; weaks = s :: weaks } :: stacks.(i)
+              | Ephi { cls; phi; weaks } :: _ ->
+                stacks.(i) <- Ephi { cls; phi; weaks = s :: weaks } :: stacks.(i)
+              | _ -> ())))
+      items
+  in
+  let assign_phi_opnds bid =
+    let b = Sir.block ctx.func bid in
+    List.iter
+      (fun succ ->
+        let sb = Sir.block ctx.func succ in
+        let pred_index =
+          let rec idx i = function
+            | [] -> -1
+            | p :: _ when p = bid -> i
+            | _ :: rest -> idx (i + 1) rest
+          in
+          idx 0 sb.Sir.preds
+        in
+        if pred_index >= 0 then
+          Array.iteri
+            (fun i it ->
+              match Hashtbl.find_opt it.it_phis succ with
+              | None -> ()
+              | Some phi ->
+                let op = phi.po_opnds.(pred_index) in
+                (* capture the insertion expression: leaf versions current
+                   at the end of this predecessor *)
+                let expr_here =
+                  Sir.map_expr_uses
+                    (fun ov -> version_at_end ctx bid ov)
+                    it.it_proto
+                in
+                op.op_expr <- Some expr_here;
+                (match stacks.(i) with
+                 | [] | Ebot :: _ ->
+                   op.op_def <- None
+                 | Ereal { occ; weaks; _ } :: _ ->
+                   op.op_def <- Some (Dreal occ);
+                   op.op_has_real_use <- true;
+                   op.op_weaks <- weaks
+                 | Ephi { phi = p'; weaks; _ } :: _ ->
+                   op.op_def <- Some (Dphi p');
+                   op.op_has_real_use <- false;
+                   op.op_weaks <- weaks))
+            items)
+      (Sir.succs b)
+  in
+  let rec walk bid =
+    let saved = Array.copy stacks in
+    let b = Sir.block ctx.func bid in
+    (* item phis at this block start new classes *)
+    Array.iteri
+      (fun i it ->
+        match Hashtbl.find_opt it.it_phis bid with
+        | Some phi ->
+          stacks.(i) <- Ephi { cls = phi.po_cls; phi; weaks = [] } :: stacks.(i)
+        | None -> ())
+      items;
+    List.iter
+      (fun (s : Sir.stmt) ->
+        (match Hashtbl.find_opt ctx.stmt_occs s.Sir.sid with
+         | Some occs -> List.iter (fun (it, occ) -> process_occ it occ) occs
+         | None -> ());
+        process_kills s)
+      b.Sir.stmts;
+    (match Hashtbl.find_opt ctx.term_occs bid with
+     | Some occs -> List.iter (fun (it, occ) -> process_occ it occ) occs
+     | None -> ());
+    (match b.Sir.term with
+     | Sir.Tret _ ->
+       (* exposed at exit: phis on top without a real use are not downsafe *)
+       Array.iteri (fun i _ -> seed_not_downsafe i) items
+     | Sir.Tgoto _ | Sir.Tcond _ -> ());
+    assign_phi_opnds bid;
+    List.iter walk ctx.dom.Dom.children.(bid);
+    Array.blit saved 0 stacks 0 n_items
+  in
+  walk Sir.entry_bid
+
+(* ---- steps 3-4: DownSafety, CanBeAvail, Later ---- *)
+
+let iter_phis it f = Hashtbl.iter (fun _ p -> f p) it.it_phis
+
+let downsafety ctx =
+  List.iter
+    (fun it ->
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        iter_phis it (fun p ->
+            if not p.po_ds then
+              Array.iter
+                (fun op ->
+                  if not op.op_has_real_use then
+                    match op.op_def with
+                    | Some (Dphi p') when p'.po_ds ->
+                      p'.po_ds <- false;
+                      changed := true
+                    | _ -> ())
+                p.po_opnds)
+      done)
+    ctx.item_list
+
+(* control speculation: may we insert at a non-downsafe phi? *)
+let cspec_allowed ctx (it : item) (p : phi_occ) =
+  ctx.cfg.control_spec
+  && (match it.it_target with
+      | Kills.Tpure -> true    (* pure arithmetic cannot fault *)
+      | Kills.Tsite _ | Kills.Tvar _ -> true)
+  && (ctx.cfg.cspec_always
+      ||
+      let b = Sir.block ctx.func p.po_bb in
+      let phi_freq = b.Sir.freq in
+      if phi_freq <= 0. then false
+      else begin
+        (* cost: frequency of operand edges that would need insertion *)
+        let cost = ref 0. in
+        List.iteri
+          (fun i pred ->
+            let op = p.po_opnds.(i) in
+            let needs =
+              match op.op_def with
+              | None -> true
+              | Some (Dphi _) -> not op.op_has_real_use
+              | Some (Dreal _) -> false
+            in
+            if needs then cost := !cost +. (Sir.block ctx.func pred).Sir.freq)
+          b.Sir.preds;
+        !cost < ctx.cfg.cspec_ratio *. phi_freq
+      end)
+
+let availability ctx =
+  List.iter
+    (fun it ->
+      (* treat profitable non-downsafe phis as speculation candidates *)
+      iter_phis it (fun p ->
+          if not p.po_ds && cspec_allowed ctx it p then begin
+            p.po_cspec <- true
+          end);
+      let safe p = p.po_ds || p.po_cspec in
+      (* CanBeAvail *)
+      iter_phis it (fun p ->
+          if not (safe p)
+             && Array.exists (fun op -> op.op_def = None) p.po_opnds
+          then p.po_cba <- false);
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        iter_phis it (fun p ->
+            if p.po_cba && not (safe p) then begin
+              let dead_operand =
+                Array.exists
+                  (fun op ->
+                    (not op.op_has_real_use)
+                    &&
+                    match op.op_def with
+                    | Some (Dphi p') -> not p'.po_cba
+                    | _ -> false)
+                  p.po_opnds
+              in
+              if dead_operand then begin
+                p.po_cba <- false;
+                changed := true
+              end
+            end)
+      done;
+      (* Later *)
+      iter_phis it (fun p -> p.po_later <- p.po_cba);
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        iter_phis it (fun p ->
+            if p.po_later then begin
+              let must_now =
+                Array.exists
+                  (fun op ->
+                    match op.op_def with
+                    | Some _ when op.op_has_real_use -> true
+                    | Some (Dphi p') -> p'.po_cba && not p'.po_later
+                    | _ -> false)
+                  p.po_opnds
+              in
+              if must_now then begin
+                p.po_later <- false;
+                changed := true
+              end
+            end)
+      done;
+      iter_phis it (fun p ->
+          p.po_wba <- p.po_cba && not p.po_later;
+          if p.po_wba && p.po_cspec && not p.po_ds then
+            ctx.stats_cspec_phis <- ctx.stats_cspec_phis + 1;
+          if p.po_wba then
+            Array.iter
+              (fun op ->
+                op.op_insert <-
+                  (match op.op_def with
+                   | None -> true
+                   | Some (Dphi p') ->
+                     (not op.op_has_real_use) && not p'.po_wba
+                   | Some (Dreal _) -> false))
+              p.po_opnds))
+    ctx.item_list
+
+(* ---- steps 5-6: finalize + code motion ---- *)
+
+let is_avail_reload (occ : real_occ) =
+  match occ.ro_def with
+  | Some (Dreal _) -> true
+  | Some (Dphi p) -> p.po_wba
+  | None -> false
+
+(* mark liveness of the value web feeding the given definition *)
+let rec mark_def_used (d : def) =
+  match d with
+  | Dreal occ -> occ.ro_used <- true
+  | Dphi p ->
+    if not p.po_live then begin
+      p.po_live <- true;
+      Array.iter
+        (fun op ->
+          if not op.op_insert then
+            match op.op_def with
+            | Some d' -> mark_def_used d'
+            | None -> ())
+        p.po_opnds
+    end
+
+let new_temp ctx (it : item) =
+  if it.it_temp < 0 then begin
+    let syms = syms_of ctx in
+    let ty = Sir.expr_ty syms it.it_proto in
+    let v =
+      Symtab.add syms
+        ~name:(Printf.sprintf "t%d" (Symtab.count syms))
+        ~ty ~storage:Symtab.Stemp ~func:(Some ctx.func.Sir.fname) ()
+    in
+    ctx.func.Sir.flocals <- v.Symtab.vid :: ctx.func.Sir.flocals;
+    it.it_temp <- v.Symtab.vid
+  end;
+  it.it_temp
+
+type action = Asave | Areload | Acheck of Sir.stmt list
+
+let code_motion ctx =
+  let syms = syms_of ctx in
+  (* 1. decide reloads and mark used defs *)
+  let transforms : (item * real_occ * action) list ref = ref [] in
+  List.iter
+    (fun it ->
+      List.iter
+        (fun (occ : real_occ) ->
+          if is_avail_reload occ then begin
+            (match occ.ro_def with
+             | Some d -> mark_def_used d
+             | None -> ());
+            if occ.ro_weaks <> [] then begin
+              it.it_has_checks <- true;
+              transforms := (it, occ, Acheck occ.ro_weaks) :: !transforms
+            end
+            else transforms := (it, occ, Areload) :: !transforms
+          end)
+        it.it_reals)
+    ctx.item_list;
+  (* a phi operand whose path passed weak updates needs an edge check *)
+  List.iter
+    (fun it ->
+      iter_phis it (fun p ->
+          if p.po_live && p.po_wba then
+            Array.iter
+              (fun op ->
+                if (not op.op_insert) && op.op_weaks <> [] then
+                  it.it_has_checks <- true)
+              p.po_opnds))
+    ctx.item_list;
+  (* 2. saves: used defining occurrences that are not themselves reloads *)
+  List.iter
+    (fun it ->
+      List.iter
+        (fun (occ : real_occ) ->
+          if occ.ro_used && not (is_avail_reload occ) then
+            transforms := (it, occ, Asave) :: !transforms)
+        it.it_reals)
+    ctx.item_list;
+  (* 3. group rewrites by place *)
+  let by_stmt : (int, (item * real_occ * action) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let by_term : (int, (item * real_occ * action) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun ((_, occ, _) as t) ->
+      match occ.ro_place with
+      | Pstmt s ->
+        let cur =
+          match Hashtbl.find_opt by_stmt s.Sir.sid with
+          | Some l -> l | None -> []
+        in
+        Hashtbl.replace by_stmt s.Sir.sid (t :: cur)
+      | Pterm ->
+        let cur =
+          match Hashtbl.find_opt by_term occ.ro_bb with
+          | Some l -> l | None -> []
+        in
+        Hashtbl.replace by_term occ.ro_bb (t :: cur))
+    !transforms;
+  (* 4. apply rewrites *)
+  let apply_in_exprs rewrites map_exprs =
+    (* rewrites: (key, idx) -> (item, action); returns pre-statements *)
+    let pre = ref [] in
+    let counts = Hashtbl.create 4 in
+    let rewrite key idx e =
+      match Hashtbl.find_opt rewrites (key, idx) with
+      | None -> None
+      | Some (it, action) ->
+        let t = new_temp ctx it in
+        (match action with
+         | Asave ->
+           let s = Sir.new_stmt ctx.prog (Sir.Stid (t, e)) in
+           if it.it_has_checks then s.Sir.mark <- Sir.Madv;
+           pre := !pre @ [ s ];
+           ctx.stats_saves <- ctx.stats_saves + 1
+         | Areload -> ctx.stats_reloads <- ctx.stats_reloads + 1
+         | Acheck weaks ->
+           let s = Sir.new_stmt ctx.prog (Sir.Stid (t, e)) in
+           s.Sir.mark <- Sir.Mchk;
+           (match weaks with
+            | w :: _ -> s.Sir.check_of <- w.Sir.sid
+            | [] -> ());
+           pre := !pre @ [ s ];
+           ctx.stats_checks <- ctx.stats_checks + 1;
+           ctx.stats_reloads <- ctx.stats_reloads + 1);
+        Some (Sir.Lod t)
+    in
+    map_exprs (fun e ->
+        Candidates.rewrite_candidates syms ~arith_pre:ctx.cfg.arith_pre counts
+          rewrite e);
+    !pre
+  in
+  Vec.iter
+    (fun (b : Sir.bb) ->
+      (* statement rewrites *)
+      b.Sir.stmts <-
+        List.concat_map
+          (fun (s : Sir.stmt) ->
+            match Hashtbl.find_opt by_stmt s.Sir.sid with
+            | None -> [ s ]
+            | Some ts ->
+              let rewrites = Hashtbl.create 4 in
+              List.iter
+                (fun (it, occ, action) ->
+                  Hashtbl.replace rewrites (it.it_key, occ.ro_idx) (it, action))
+                ts;
+              let pre =
+                apply_in_exprs rewrites (fun f ->
+                    s.Sir.kind <- Sir.map_stmt_exprs f s.Sir.kind)
+              in
+              pre @ [ s ])
+          b.Sir.stmts;
+      (* terminator rewrites *)
+      (match Hashtbl.find_opt by_term b.Sir.bid with
+       | None -> ()
+       | Some ts ->
+         let rewrites = Hashtbl.create 4 in
+         List.iter
+           (fun (it, occ, action) ->
+             Hashtbl.replace rewrites (it.it_key, occ.ro_idx) (it, action))
+           ts;
+         let pre =
+           apply_in_exprs rewrites (fun f ->
+               b.Sir.term <- Sir.map_term_exprs f b.Sir.term)
+         in
+         b.Sir.stmts <- b.Sir.stmts @ pre))
+    ctx.func.Sir.fblocks;
+  (* 5. phi-operand insertions and edge checks *)
+  List.iter
+    (fun it ->
+      iter_phis it (fun p ->
+          if p.po_live && p.po_wba then begin
+            let b = Sir.block ctx.func p.po_bb in
+            List.iteri
+              (fun i pred ->
+                let op = p.po_opnds.(i) in
+                let emit mark check_of =
+                  match op.op_expr with
+                  | None -> ()
+                  | Some e ->
+                    let t = new_temp ctx it in
+                    let s = Sir.new_stmt ctx.prog (Sir.Stid (t, e)) in
+                    s.Sir.mark <- mark;
+                    s.Sir.check_of <- check_of;
+                    let pb = Sir.block ctx.func pred in
+                    pb.Sir.stmts <- pb.Sir.stmts @ [ s ];
+                    ctx.stats_inserts <- ctx.stats_inserts + 1
+                in
+                if op.op_insert then begin
+                  let mark =
+                    match not p.po_ds, it.it_has_checks with
+                    | true, true -> Sir.Msa      (* ld.sa: both speculations *)
+                    | true, false -> Sir.Mcspec
+                    | false, true -> Sir.Madv
+                    | false, false -> Sir.Mnone
+                  in
+                  emit mark (-1)
+                end
+                else if op.op_weaks <> [] then begin
+                  (* value passed a weak update on this path: validate *)
+                  let check_of =
+                    match op.op_weaks with w :: _ -> w.Sir.sid | [] -> -1
+                  in
+                  emit Sir.Mchk check_of;
+                  ctx.stats_checks <- ctx.stats_checks + 1
+                end)
+              b.Sir.preds
+          end))
+    ctx.item_list
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  checks : int;
+  reloads : int;
+  saves : int;
+  inserts : int;
+  cspec_phis : int;
+  items : int;
+}
+
+let zero_stats =
+  { checks = 0; reloads = 0; saves = 0; inserts = 0; cspec_phis = 0; items = 0 }
+
+let add_stats a b =
+  { checks = a.checks + b.checks; reloads = a.reloads + b.reloads;
+    saves = a.saves + b.saves; inserts = a.inserts + b.inserts;
+    cspec_phis = a.cspec_phis + b.cspec_phis; items = a.items + b.items }
+
+(** Run one SSAPRE pass over a function already in HSSA form with
+    speculation flags assigned.  The function is left in "flat" form:
+    callers must run [Spec_ssa.Out_of_ssa] before executing it. *)
+let run_func (prog : Sir.prog) (annot : Spec_alias.Annotate.info)
+    (cfg : config) (f : Sir.func) : stats =
+  let dom = Dom.compute f in
+  let ctx =
+    { prog; func = f; dom; cfg;
+      kctx = Kills.create ~alias_threshold:cfg.alias_threshold prog annot
+          cfg.mode;
+      items = Hashtbl.create 16; item_list = [];
+      stmt_occs = Hashtbl.create 64; term_occs = Hashtbl.create 16;
+      version_def = Hashtbl.create 128; end_version = Hashtbl.create 256;
+      stats_checks = 0; stats_reloads = 0; stats_saves = 0;
+      stats_inserts = 0; stats_cspec_phis = 0 }
+  in
+  collect_occurrences ctx;
+  build_version_def ctx;
+  build_end_versions ctx;
+  insert_phis ctx;
+  rename ctx;
+  downsafety ctx;
+  availability ctx;
+  code_motion ctx;
+  { checks = ctx.stats_checks; reloads = ctx.stats_reloads;
+    saves = ctx.stats_saves; inserts = ctx.stats_inserts;
+    cspec_phis = ctx.stats_cspec_phis; items = List.length ctx.item_list }

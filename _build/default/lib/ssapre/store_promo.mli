@@ -1,0 +1,17 @@
+(** Speculative register promotion of stores (SPRE of stores, after
+    Lo et al. and the authors' ALAT-based register promotion, CGO'03).
+    See the implementation header for the transformation and its
+    soundness conditions. *)
+
+type stats = {
+  mutable promoted : int;
+  mutable loads_gone : int;
+  mutable stores_gone : int;
+  mutable checks : int;
+}
+
+(** Promote qualifying store groups in every loop, innermost first.
+    Expects de-versioned SIR; the annotation and kill-classification
+    context must be freshly computed for the same program. *)
+val run :
+  Spec_ir.Sir.prog -> Spec_alias.Annotate.info -> Spec_spec.Kills.ctx -> stats

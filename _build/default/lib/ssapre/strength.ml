@@ -1,0 +1,345 @@
+(** Strength reduction and linear function test replacement.
+
+    The paper lists both as SSAPRE-family clients (after Kennedy et al.,
+    CC'98): multiplications of an induction variable by a loop-invariant
+    constant are *speculatively redundant across the injuring definition*
+    (the i = i + c update); the repair code is the incremental update of a
+    strength-reduced temporary.  We implement the classical loop-based
+    formulation over the de-versioned SIR:
+
+    - basic induction variables: register variables with exactly one
+      in-loop definition of the form [i = i + c] (or [i = i - c]);
+    - candidates: [i * k] subexpressions with constant [k] inside the loop
+      (this includes every scaled array index the frontend emits);
+    - transformation: a temporary [t] initialized to [i * k] in the
+      preheader and updated by [t = t + c*k] after the injury, replacing
+      the multiplications;
+    - LFTR: when the only remaining uses of [i] are its own update and the
+      loop exit test [i cmp bound] with a loop-invariant bound, the test is
+      rewritten to [t cmp bound * k] and the dead update removed. *)
+
+open Spec_ir
+open Spec_cfg
+
+type stats = {
+  mutable reduced : int;        (* multiplications strength-reduced *)
+  mutable lftr : int;           (* loop tests replaced *)
+}
+
+(* variables (register-resident) with their in-loop definition statements *)
+let defs_in_loop prog (f : Sir.func) (body : int list) =
+  let defs : (int, Sir.stmt list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun bid ->
+      let b = Sir.block f bid in
+      List.iter
+        (fun (s : Sir.stmt) ->
+          match Sir.stmt_def s.Sir.kind with
+          | Some v ->
+            let v = (Symtab.orig prog.Sir.syms v).Symtab.vid in
+            let cur =
+              match Hashtbl.find_opt defs v with Some l -> l | None -> []
+            in
+            Hashtbl.replace defs v (s :: cur)
+          | None -> ())
+        b.Sir.stmts)
+    body;
+  defs
+
+(* i = i + c / i = i - c / i = c + i *)
+let increment_of prog v (s : Sir.stmt) : int option =
+  let ov = (Symtab.orig prog.Sir.syms v).Symtab.vid in
+  match s.Sir.kind with
+  | Sir.Stid (d, e) when (Symtab.orig prog.Sir.syms d).Symtab.vid = ov -> (
+      match e with
+      | Sir.Binop (Sir.Add, Types.Tint, Sir.Lod u, Sir.Const (Sir.Cint c))
+        when (Symtab.orig prog.Sir.syms u).Symtab.vid = ov -> Some c
+      | Sir.Binop (Sir.Add, Types.Tint, Sir.Const (Sir.Cint c), Sir.Lod u)
+        when (Symtab.orig prog.Sir.syms u).Symtab.vid = ov -> Some c
+      | Sir.Binop (Sir.Sub, Types.Tint, Sir.Lod u, Sir.Const (Sir.Cint c))
+        when (Symtab.orig prog.Sir.syms u).Symtab.vid = ov -> Some (-c)
+      | _ -> None)
+  | _ -> None
+
+(* loop-invariant pure expression: no loads, and none of its variables are
+   defined inside the loop *)
+let is_invariant prog defs e =
+  let ok = ref true in
+  Sir.iter_subexprs
+    (function
+      | Sir.Ilod _ -> ok := false
+      | Sir.Lod v when Symtab.is_mem prog.Sir.syms v -> ok := false
+      | Sir.Lod v ->
+        if Hashtbl.mem defs (Symtab.orig prog.Sir.syms v).Symtab.vid then
+          ok := false
+      | _ -> ())
+    e;
+  !ok
+
+(* candidate forms for IV [iv]: iv*k, (iv+inv)*k, (inv+iv)*k *)
+let candidate_of prog defs iv e =
+  let syms = prog.Sir.syms in
+  let is_iv u = (Symtab.orig syms u).Symtab.vid = iv in
+  match e with
+  | Sir.Binop (Sir.Mul, Types.Tint, Sir.Lod u, Sir.Const (Sir.Cint k))
+    when is_iv u && k <> 0 -> Some (k, None)
+  | Sir.Binop
+      (Sir.Mul, Types.Tint,
+       Sir.Binop (Sir.Add, Types.Tint, Sir.Lod u, inv),
+       Sir.Const (Sir.Cint k))
+    when is_iv u && k <> 0 && is_invariant prog defs inv -> Some (k, Some inv)
+  | Sir.Binop
+      (Sir.Mul, Types.Tint,
+       Sir.Binop (Sir.Add, Types.Tint, inv, Sir.Lod u),
+       Sir.Const (Sir.Cint k))
+    when is_iv u && k <> 0 && is_invariant prog defs inv -> Some (k, Some inv)
+  | _ -> None
+
+(* count uses of [v] in an expression *)
+let uses_in_expr prog v e =
+  let ov = (Symtab.orig prog.Sir.syms v).Symtab.vid in
+  let n = ref 0 in
+  Sir.iter_expr_uses
+    (fun u -> if (Symtab.orig prog.Sir.syms u).Symtab.vid = ov then incr n)
+    e;
+  !n
+
+let rec reduce_loop prog (f : Sir.func) (stats : stats) (l : Cfg_utils.loop) =
+  let syms = prog.Sir.syms in
+  let header = Sir.block f l.Cfg_utils.header in
+  (* unique preheader: the single predecessor outside the loop *)
+  let outside =
+    List.filter (fun p -> not (List.mem p l.Cfg_utils.body)) header.Sir.preds
+  in
+  match outside with
+  | [ ph ] ->
+    let preheader = Sir.block f ph in
+    let defs = defs_in_loop prog f l.Cfg_utils.body in
+    (* basic induction variables *)
+    let ivs =
+      Hashtbl.fold
+        (fun v ss acc ->
+          if Symtab.is_mem syms v then acc
+          else
+            match ss with
+            | [ s ] -> (
+                match increment_of prog v s with
+                | Some c when c <> 0 -> (v, c, s) :: acc
+                | _ -> acc)
+            | _ -> acc)
+        defs []
+    in
+    List.iter
+      (fun (iv, step, inj_stmt) ->
+        let reduced_pairs = ref [] in
+        let inits = ref [] in
+        (* collect linear candidates (k, invariant addend) in the loop *)
+        let ks = ref [] in
+        let have (k, inv) =
+          List.exists
+            (fun (k', inv') ->
+              k = k'
+              && (match inv, inv' with
+                  | None, None -> true
+                  | Some a, Some b -> Sir.expr_equal a b
+                  | None, Some _ | Some _, None -> false))
+            !ks
+        in
+        let scan e =
+          Sir.iter_subexprs
+            (fun sub ->
+              match candidate_of prog defs iv sub with
+              | Some c -> if not (have c) then ks := c :: !ks
+              | None -> ())
+            e
+        in
+        List.iter
+          (fun bid ->
+            let b = Sir.block f bid in
+            List.iter
+              (fun (s : Sir.stmt) ->
+                if s != inj_stmt then
+                  List.iter scan (Sir.stmt_exprs s.Sir.kind))
+              b.Sir.stmts;
+            List.iter scan (Sir.term_exprs b.Sir.term))
+          l.Cfg_utils.body;
+        List.iter
+          (fun ((k, inv) as cand) ->
+            (* the strength-reduced temporary *)
+            let t =
+              Symtab.add syms
+                ~name:(Printf.sprintf "sr%d" (Symtab.count syms))
+                ~ty:Types.Tint ~storage:Symtab.Stemp
+                ~func:(Some f.Sir.fname) ()
+            in
+            f.Sir.flocals <- t.Symtab.vid :: f.Sir.flocals;
+            let tv = t.Symtab.vid in
+            (* preheader: t = (i [+ inv]) * k; invariant operands have
+               their final pre-loop values there *)
+            let base =
+              match inv with
+              | None -> Sir.Lod iv
+              | Some e -> Sir.Binop (Sir.Add, Types.Tint, Sir.Lod iv, e)
+            in
+            let init =
+              Sir.new_stmt prog
+                (Sir.Stid
+                   (tv,
+                    Sir.Binop (Sir.Mul, Types.Tint, base,
+                               Sir.Const (Sir.Cint k))))
+            in
+            preheader.Sir.stmts <- preheader.Sir.stmts @ [ init ];
+            inits := init :: !inits;
+            (* rewrite matching candidates -> t inside the loop *)
+            let rec rw e =
+              match candidate_of prog defs iv e with
+              | Some c when
+                  (match c, cand with
+                   | (k1, None), (k2, None) -> k1 = k2
+                   | (k1, Some a), (k2, Some b) ->
+                     k1 = k2 && Sir.expr_equal a b
+                   | _ -> false) ->
+                stats.reduced <- stats.reduced + 1;
+                Sir.Lod tv
+              | _ ->
+                (match e with
+                 | Sir.Const _ | Sir.Lod _ | Sir.Lda _ -> e
+                 | Sir.Ilod (ty, a, site) -> Sir.Ilod (ty, rw a, site)
+                 | Sir.Unop (o, ty, x) -> Sir.Unop (o, ty, rw x)
+                 | Sir.Binop (o, ty, a, b) -> Sir.Binop (o, ty, rw a, rw b))
+            in
+            List.iter
+              (fun bid ->
+                let b = Sir.block f bid in
+                List.iter
+                  (fun (s : Sir.stmt) ->
+                    if s != inj_stmt then
+                      s.Sir.kind <- Sir.map_stmt_exprs rw s.Sir.kind)
+                  b.Sir.stmts;
+                b.Sir.term <- Sir.map_term_exprs rw b.Sir.term)
+              l.Cfg_utils.body;
+            (* repair after the injuring definition: t = t + step*k *)
+            let repair =
+              Sir.new_stmt prog
+                (Sir.Stid
+                   (tv,
+                    Sir.Binop (Sir.Add, Types.Tint, Sir.Lod tv,
+                               Sir.Const (Sir.Cint (step * k)))))
+            in
+            let inj_bb =
+              List.find
+                (fun bid ->
+                  List.memq inj_stmt (Sir.block f bid).Sir.stmts)
+                l.Cfg_utils.body
+            in
+            let b = Sir.block f inj_bb in
+            b.Sir.stmts <-
+              List.concat_map
+                (fun s -> if s == inj_stmt then [ s; repair ] else [ s ])
+                b.Sir.stmts;
+            (match inv with
+             | None -> reduced_pairs := (k, tv) :: !reduced_pairs
+             | Some _ -> ()))
+          !ks;
+        (* LFTR once, after every multiplication of this IV is reduced;
+           only the pure iv*k form gives a directly comparable test *)
+        (match List.rev !reduced_pairs with
+         | (k, tv) :: _ when k > 0 ->
+           lftr prog f stats l ~iv ~tv ~k ~inj_stmt ~defs
+             ~ignore_stmts:!inits
+         | _ -> ()))
+      ivs
+  | _ -> ()
+
+and lftr prog (f : Sir.func) (stats : stats) (l : Cfg_utils.loop) ~iv ~tv ~k
+    ~inj_stmt ~defs ~ignore_stmts =
+  let syms = prog.Sir.syms in
+  if k <= 0 then ()    (* flipping the comparison for k<0 is not worth it *)
+  else begin
+    let header = Sir.block f l.Cfg_utils.header in
+    match header.Sir.term with
+    | Sir.Tcond
+        (Sir.Binop ((Sir.Lt | Sir.Le | Sir.Gt | Sir.Ge) as cmp, Types.Tint,
+                    Sir.Lod u, bound),
+         tt, ee)
+      when (Symtab.orig syms u).Symtab.vid = iv ->
+      (* the bound must be loop-invariant: no defs of its variables inside *)
+      let invariant = ref true in
+      Sir.iter_expr_uses
+        (fun b ->
+          let ob = (Symtab.orig syms b).Symtab.vid in
+          if Hashtbl.mem defs ob then invariant := false)
+        bound;
+      let pure =
+        let ok = ref true in
+        Sir.iter_subexprs
+          (function
+            | Sir.Ilod _ -> ok := false
+            | Sir.Lod v when Symtab.is_mem syms v -> ok := false
+            | _ -> ())
+          bound;
+        !ok
+      in
+      if !invariant && pure then begin
+        (* are the remaining uses of i only its own update and this test? *)
+        let uses = ref 0 in
+        Vec.iter
+          (fun (b : Sir.bb) ->
+            List.iter
+              (fun (s : Sir.stmt) ->
+                (* the strength-reduction inits read the IV before the
+                   loop; they do not keep the in-loop update alive *)
+                if s != inj_stmt && not (List.memq s ignore_stmts) then
+                  List.iter
+                    (fun e -> uses := !uses + uses_in_expr prog iv e)
+                    (Sir.stmt_exprs s.Sir.kind))
+              b.Sir.stmts;
+            match b.Sir.term with
+            | t when b.Sir.bid = l.Cfg_utils.header -> ignore t
+            | t ->
+              List.iter
+                (fun e -> uses := !uses + uses_in_expr prog iv e)
+                (Sir.term_exprs t))
+          f.Sir.fblocks;
+        if !uses = 0 then begin
+          (* i cmp bound  ==>  t cmp bound * k   (k > 0 preserves order) *)
+          let bound' =
+            match bound with
+            | Sir.Const (Sir.Cint c) -> Sir.Const (Sir.Cint (c * k))
+            | e -> Sir.Binop (Sir.Mul, Types.Tint, e, Sir.Const (Sir.Cint k))
+          in
+          header.Sir.term <-
+            Sir.Tcond
+              (Sir.Binop (cmp, Types.Tint, Sir.Lod tv, bound'), tt, ee);
+          stats.lftr <- stats.lftr + 1;
+          (* the induction variable update is now dead *)
+          let inj_bb =
+            List.find
+              (fun bid -> List.memq inj_stmt (Sir.block f bid).Sir.stmts)
+              l.Cfg_utils.body
+          in
+          let b = Sir.block f inj_bb in
+          b.Sir.stmts <- List.filter (fun s -> s != inj_stmt) b.Sir.stmts
+        end
+      end
+    | _ -> ()
+  end
+
+(** Run strength reduction (with LFTR) on every loop of every function.
+    Expects de-versioned (non-SSA) SIR. *)
+let run (prog : Sir.prog) : stats =
+  let stats = { reduced = 0; lftr = 0 } in
+  Sir.iter_funcs
+    (fun f ->
+      Sir.recompute_preds f;
+      let dom = Dom.compute f in
+      let loops = Cfg_utils.natural_loops f dom in
+      (* innermost first so inner rewrites do not disturb outer IVs *)
+      let loops =
+        List.sort
+          (fun a b -> compare b.Cfg_utils.depth a.Cfg_utils.depth)
+          loops
+      in
+      List.iter (reduce_loop prog f stats) loops)
+    prog;
+  stats

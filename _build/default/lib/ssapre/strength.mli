@@ -1,0 +1,13 @@
+(** Strength reduction and linear function test replacement — the
+    SSAPRE-family clients of §4 beyond PRE itself (after Kennedy et al.,
+    CC'98: the injuring definition/repair-code view of speculative
+    redundancy).  Operates on de-versioned SIR; candidates are the linear
+    forms [iv*k] and [(iv+inv)*k] that scaled addressing produces. *)
+
+type stats = {
+  mutable reduced : int;   (** multiplications strength-reduced *)
+  mutable lftr : int;      (** loop exit tests replaced *)
+}
+
+(** Reduce every natural loop of every function, innermost first. *)
+val run : Spec_ir.Sir.prog -> stats

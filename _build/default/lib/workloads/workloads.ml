@@ -1,0 +1,648 @@
+(** SPEC2000-like workload kernels.
+
+    One kernel per benchmark in the paper's evaluation (§5.2), written in
+    the mini-C frontend.  Each captures the memory-aliasing structure the
+    paper discusses for that program: what the compiler cannot disambiguate
+    (pointers fetched from pointer tables, as with C's multi-level arrays),
+    what actually aliases at runtime, and where the redundant loads are.
+
+    Every kernel comes with a *train* and a *ref* input (sizes and seeds).
+    Profiles are collected on the train input and programs are measured on
+    the ref input, mirroring the paper's methodology — and creating the
+    input-sensitivity that produces real mis-speculation (notably in the
+    gzip and parser kernels, whose ref inputs exhibit aliasing the train
+    inputs never show).
+
+    The pointer-table idiom ([float* fpt\[k\]]; kernels re-fetch their row
+    pointers from it) is what makes the baseline conservative: all pointers
+    fetched from one table fall into one Steensgaard class, exactly like
+    the [double**] rows of equake's [smvp] may alias its output vector. *)
+
+type params = { size : int; reps : int; seed : int }
+
+type workload = {
+  name : string;
+  description : string;
+  fp : bool;                       (** dominated by floating-point loads *)
+  train : params;
+  ref_ : params;
+  source : params -> string;
+}
+
+let sprintf = Printf.sprintf
+
+(* ------------------------------------------------------------------ *)
+(* equake: the smvp sparse matrix-vector kernel of §5.1                 *)
+(* ------------------------------------------------------------------ *)
+
+let equake =
+  { name = "equake";
+    description = "smvp sparse matrix-vector product (§5.1 case study)";
+    fp = true;
+    train = { size = 60; reps = 2; seed = 11 };
+    ref_ = { size = 200; reps = 4; seed = 23 };
+    source =
+      (fun p ->
+        (* DEG fixed at 6, the average row degree in equake's meshes *)
+        sprintf
+          {|
+int NODES; int DEG;
+float* fpt[9];
+int* ipt[2];
+float checksum;
+
+void init() {
+  NODES = %d; DEG = 6;
+  int nnz; nnz = NODES * DEG;
+  ipt[0] = (int*)malloc(nnz * 8);
+  ipt[1] = (int*)malloc((NODES + 1) * 8);
+  // one allocation site per array: heap objects are named by site, and
+  // merging them would destroy the alias profile's resolution
+  fpt[0] = (float*)malloc(nnz * 8);
+  fpt[1] = (float*)malloc(nnz * 8);
+  fpt[2] = (float*)malloc(nnz * 8);
+  fpt[3] = (float*)malloc(NODES * 8);
+  fpt[4] = (float*)malloc(NODES * 8);
+  fpt[5] = (float*)malloc(NODES * 8);
+  fpt[6] = (float*)malloc(NODES * 8);
+  fpt[7] = (float*)malloc(NODES * 8);
+  fpt[8] = (float*)malloc(NODES * 8);
+  int* Acol; Acol = ipt[0];
+  int* Aindex; Aindex = ipt[1];
+  for (int i = 0; i <= NODES; i++) Aindex[i] = i * DEG;
+  int nz; nz = nnz;
+  for (int k = 0; k < nz; k++) Acol[k] = rnd(NODES);
+  float* A0; A0 = fpt[0];
+  float* A1; A1 = fpt[1];
+  float* A2; A2 = fpt[2];
+  for (int k = 0; k < nz; k++) {
+    A0[k] = (float)(rnd(1000)) / 100.0;
+    A1[k] = (float)(rnd(1000)) / 100.0;
+    A2[k] = (float)(rnd(1000)) / 100.0;
+  }
+  float* v0; v0 = fpt[3];
+  float* v1; v1 = fpt[4];
+  float* v2; v2 = fpt[5];
+  float* w0; w0 = fpt[6];
+  float* w1; w1 = fpt[7];
+  float* w2; w2 = fpt[8];
+  for (int i = 0; i < NODES; i++) {
+    v0[i] = (float)(rnd(100)) / 10.0;
+    v1[i] = (float)(rnd(100)) / 10.0;
+    v2[i] = (float)(rnd(100)) / 10.0;
+    w0[i] = 0.0; w1[i] = 0.0; w2[i] = 0.0;
+  }
+}
+
+void smvp() {
+  int* Acol; Acol = ipt[0];
+  int* Aindex; Aindex = ipt[1];
+  float* A0; A0 = fpt[0];
+  float* A1; A1 = fpt[1];
+  float* A2; A2 = fpt[2];
+  float* v0; v0 = fpt[3];
+  float* v1; v1 = fpt[4];
+  float* v2; v2 = fpt[5];
+  float* w0; w0 = fpt[6];
+  float* w1; w1 = fpt[7];
+  float* w2; w2 = fpt[8];
+  for (int i = 0; i < NODES; i++) {
+    int anext; anext = Aindex[i];
+    int alast; alast = Aindex[i + 1];
+    float sum0; sum0 = 0.0;
+    float sum1; sum1 = 0.0;
+    float sum2; sum2 = 0.0;
+    while (anext < alast) {
+      int col; col = Acol[anext];
+      sum0 = sum0 + A0[anext] * v0[col];
+      sum1 = sum1 + A1[anext] * v1[col];
+      sum2 = sum2 + A2[anext] * v2[col];
+      w0[col] = w0[col] + A0[anext] * v0[i];
+      w1[col] = w1[col] + A1[anext] * v1[i];
+      w2[col] = w2[col] + A2[anext] * v2[i];
+      anext++;
+    }
+    w0[i] = w0[i] + sum0;
+    w1[i] = w1[i] + sum1;
+    w2[i] = w2[i] + sum2;
+  }
+}
+
+int main() {
+  seed(%d);
+  init();
+  for (int r = 0; r < %d; r++) smvp();
+  checksum = 0.0;
+  float* w0; w0 = fpt[6];
+  for (int i = 0; i < NODES; i++) checksum = checksum + w0[i];
+  print_flt(checksum);
+  return 0;
+}
+|}
+          p.size p.seed p.reps) }
+
+(* ------------------------------------------------------------------ *)
+(* mcf: network-simplex arc pricing (integer, memory-bound)            *)
+(* ------------------------------------------------------------------ *)
+
+let mcf =
+  { name = "mcf";
+    description = "network simplex arc pricing sweep (pointer-chasing, \
+                   large working set)";
+    fp = false;
+    train = { size = 4000; reps = 3; seed = 5 };
+    ref_ = { size = 60000; reps = 3; seed = 17 };
+    source =
+      (fun p ->
+        sprintf
+          {|
+int NARCS; int NNODES;
+int* tab[5];
+int result;
+
+void init() {
+  NARCS = %d;
+  NNODES = NARCS / 4 + 16;
+  tab[0] = (int*)malloc(NARCS * 8);
+  tab[1] = (int*)malloc(NARCS * 8);
+  tab[2] = (int*)malloc(NARCS * 8);
+  tab[3] = (int*)malloc(NNODES * 8);
+  tab[4] = (int*)malloc(NARCS * 8);
+  int* cost; cost = tab[0];
+  int* tail; tail = tab[1];
+  int* head; head = tab[2];
+  int* pot; pot = tab[3];
+  int* flow; flow = tab[4];
+  for (int a = 0; a < NARCS; a++) {
+    cost[a] = rnd(200) - 100;
+    tail[a] = rnd(NNODES);
+    head[a] = rnd(NNODES);
+    flow[a] = 0;
+  }
+  for (int n = 0; n < NNODES; n++) pot[n] = rnd(50);
+}
+
+int price() {
+  int* cost; cost = tab[0];
+  int* tail; tail = tab[1];
+  int* head; head = tab[2];
+  int* pot; pot = tab[3];
+  int* flow; flow = tab[4];
+  int found; found = 0;
+  for (int a = 0; a < NARCS; a++) {
+    int t; t = tail[a];
+    int h; h = head[a];
+    int red; red = cost[a] + pot[t] - pot[h];
+    if (red < 0) {
+      flow[a] = flow[a] + 1;
+      // reload of cost[a] across the flow store: speculatively redundant
+      found = found + cost[a] + 1;
+    }
+  }
+  return found;
+}
+
+int main() {
+  seed(%d);
+  init();
+  result = 0;
+  for (int r = 0; r < %d; r++) result = result + price();
+  print_int(result);
+  return 0;
+}
+|}
+          p.size p.seed p.reps) }
+
+(* ------------------------------------------------------------------ *)
+(* art: neural-network match/recall scan (floating point)              *)
+(* ------------------------------------------------------------------ *)
+
+let art =
+  { name = "art";
+    description = "ART neural network f1-layer scan";
+    fp = true;
+    train = { size = 40; reps = 3; seed = 3 };
+    ref_ = { size = 120; reps = 6; seed = 31 };
+    source =
+      (fun p ->
+        sprintf
+          {|
+int NN;
+float* net[4];
+float score;
+
+void init() {
+  NN = %d;
+  net[0] = (float*)malloc(NN * NN * 8);
+  net[1] = (float*)malloc(NN * 8);
+  net[2] = (float*)malloc(NN * 8);
+  net[3] = (float*)malloc(NN * 8);
+  float* bus; bus = net[0];
+  float* tds; tds = net[1];
+  for (int k = 0; k < NN * NN; k++) bus[k] = (float)(rnd(100)) / 50.0;
+  for (int j = 0; j < NN; j++) tds[j] = (float)(rnd(100)) / 25.0;
+}
+
+void pass() {
+  float* bus; bus = net[0];
+  float* tds; tds = net[1];
+  float* y; y = net[2];
+  float* u; u = net[3];
+  for (int i = 0; i < NN; i++) {
+    float sum; sum = 0.0;
+    for (int j = 0; j < NN; j++) {
+      // tds[j] read twice per iteration around the y store
+      float w; w = bus[i * NN + j] * tds[j];
+      y[i] = y[i] + w;
+      u[j] = u[j] + tds[j] * 0.5;
+      sum = sum + w;
+    }
+    y[i] = y[i] / (1.0 + sum);
+  }
+}
+
+int main() {
+  seed(%d);
+  init();
+  for (int r = 0; r < %d; r++) pass();
+  score = 0.0;
+  float* y; y = net[2];
+  for (int i = 0; i < NN; i++) score = score + y[i];
+  print_flt(score);
+  return 0;
+}
+|}
+          p.size p.seed p.reps) }
+
+(* ------------------------------------------------------------------ *)
+(* ammp: molecular-dynamics nonbonded force loop (floating point)      *)
+(* ------------------------------------------------------------------ *)
+
+let ammp =
+  { name = "ammp";
+    description = "molecular dynamics neighbour-list force accumulation";
+    fp = true;
+    train = { size = 120; reps = 3; seed = 7 };
+    ref_ = { size = 500; reps = 5; seed = 41 };
+    source =
+      (fun p ->
+        sprintf
+          {|
+int NATOM; int NNBR;
+float* atom[6];
+int* nbr[1];
+float energy;
+
+void init() {
+  NATOM = %d;
+  NNBR = 8;
+  atom[0] = (float*)malloc(NATOM * 8);
+  atom[1] = (float*)malloc(NATOM * 8);
+  atom[2] = (float*)malloc(NATOM * 8);
+  atom[3] = (float*)malloc(NATOM * 8);
+  atom[4] = (float*)malloc(NATOM * 8);
+  atom[5] = (float*)malloc(NATOM * 8);
+  nbr[0] = (int*)malloc(NATOM * NNBR * 8);
+  float* px; px = atom[0];
+  float* py; py = atom[1];
+  float* pz; pz = atom[2];
+  int* nb; nb = nbr[0];
+  for (int i = 0; i < NATOM; i++) {
+    px[i] = (float)(rnd(1000)) / 100.0;
+    py[i] = (float)(rnd(1000)) / 100.0;
+    pz[i] = (float)(rnd(1000)) / 100.0;
+  }
+  for (int k = 0; k < NATOM * NNBR; k++) nb[k] = rnd(NATOM);
+}
+
+void forces() {
+  float* px; px = atom[0];
+  float* py; py = atom[1];
+  float* pz; pz = atom[2];
+  float* fx; fx = atom[3];
+  float* fy; fy = atom[4];
+  float* fz; fz = atom[5];
+  int* nb; nb = nbr[0];
+  for (int i = 0; i < NATOM; i++) {
+    for (int k = 0; k < NNBR; k++) {
+      int j; j = nb[i * NNBR + k];
+      // px[i]/py[i]/pz[i] are loop invariant but the fx/fy/fz stores
+      // may alias them in the baseline's alias classes
+      float dx; dx = px[i] - px[j];
+      float dy; dy = py[i] - py[j];
+      float dz; dz = pz[i] - pz[j];
+      float r2; r2 = dx * dx + dy * dy + dz * dz + 1.0;
+      fx[i] = fx[i] + dx / r2;
+      fy[i] = fy[i] + dy / r2;
+      fz[i] = fz[i] + dz / r2;
+    }
+  }
+}
+
+int main() {
+  seed(%d);
+  init();
+  for (int r = 0; r < %d; r++) forces();
+  energy = 0.0;
+  float* fx; fx = atom[3];
+  for (int i = 0; i < NATOM; i++) energy = energy + fx[i];
+  print_flt(energy);
+  return 0;
+}
+|}
+          p.size p.seed p.reps) }
+
+(* ------------------------------------------------------------------ *)
+(* twolf: placement cost evaluation (integer)                          *)
+(* ------------------------------------------------------------------ *)
+
+let twolf =
+  { name = "twolf";
+    description = "standard-cell placement incremental cost evaluation";
+    fp = false;
+    train = { size = 300; reps = 4; seed = 13 };
+    ref_ = { size = 1500; reps = 8; seed = 53 };
+    source =
+      (fun p ->
+        sprintf
+          {|
+int NCELL;
+int* place[4];
+int cost;
+
+void init() {
+  NCELL = %d;
+  place[0] = (int*)malloc(NCELL * 8);
+  place[1] = (int*)malloc(NCELL * 8);
+  place[2] = (int*)malloc(NCELL * 8);
+  place[3] = (int*)malloc(NCELL * 8);
+  int* x; x = place[0];
+  int* y; y = place[1];
+  int* netof; netof = place[2];
+  int* weight; weight = place[3];
+  for (int c = 0; c < NCELL; c++) {
+    x[c] = rnd(1000);
+    y[c] = rnd(1000);
+    netof[c] = rnd(NCELL);
+    weight[c] = rnd(8) + 1;
+  }
+}
+
+int sweep() {
+  int* x; x = place[0];
+  int* y; y = place[1];
+  int* netof; netof = place[2];
+  int* weight; weight = place[3];
+  int total; total = 0;
+  for (int c = 0; c + 1 < NCELL; c++) {
+    int n; n = netof[c];
+    int dx; dx = x[c] - x[n];
+    int dy; dy = y[c] - y[n];
+    if (dx < 0) dx = -dx;
+    if (dy < 0) dy = -dy;
+    int w; w = weight[c];
+    // accepted move: writes x[c], then re-reads x[c+1] etc.
+    if ((dx + dy) * w > 900) {
+      x[c] = (x[c] + x[n]) / 2;
+      y[c] = (y[c] + y[n]) / 2;
+    }
+    total = total + (dx + dy) * w + weight[c];
+  }
+  return total;
+}
+
+int main() {
+  seed(%d);
+  init();
+  cost = 0;
+  for (int r = 0; r < %d; r++) cost = cost + sweep();
+  print_int(cost);
+  return 0;
+}
+|}
+          p.size p.seed p.reps) }
+
+(* ------------------------------------------------------------------ *)
+(* gzip: longest-match scan (integer, scalar-heavy, rare aliasing)     *)
+(* ------------------------------------------------------------------ *)
+
+let gzip =
+  { name = "gzip";
+    description = "deflate longest_match over the sliding window; on the ref \
+                   input the hash insertion occasionally rewrites the window \
+                   cell a speculated load anchors on (high mis-speculation \
+                   ratio, negligible check volume)";
+    fp = false;
+    train = { size = 2048; reps = 2; seed = 19 };
+    ref_ = { size = 8192; reps = 2; seed = 61 };
+    source =
+      (fun p ->
+        sprintf
+          {|
+int WSIZE;
+int* buf[2];
+int best;
+
+void init() {
+  WSIZE = %d;
+  buf[0] = (int*)malloc(WSIZE * 8);
+  buf[1] = (int*)malloc(WSIZE * 8);
+  int* window; window = buf[0];
+  int* chain; chain = buf[1];
+  for (int i = 0; i < WSIZE; i++) {
+    window[i] = rnd(8);
+    chain[i] = rnd(WSIZE);
+  }
+}
+
+int longest_match(int scan) {
+  int* window; window = buf[0];
+  int* chain; chain = buf[1];
+  int best_len; best_len = 0;
+  int w0; w0 = window[scan];
+  int cur; cur = chain[scan];
+  int tries; tries = 8;
+  while (tries > 0 && cur > 0) {
+    int len; len = 0;
+    while (len < 8 && window[(cur + len) %% WSIZE] == window[(scan + len) %% WSIZE])
+      len = len + 1;
+    if (len > best_len) best_len = len;
+    cur = chain[cur];
+    tries = tries - 1;
+  }
+  // hash insertion: under the train input this always updates the chain,
+  // so the profile says the store never touches the window; on the large
+  // ref input it occasionally rewrites window[scan], the exact cell the
+  // speculated reload below anchors on
+  int* upd; upd = buf[1];
+  int x; x = chain[scan %% 512];
+  if (x > 7700) upd = buf[0];
+  upd[scan] = w0 + 1;
+  return best_len + window[scan];
+}
+
+int main() {
+  seed(%d);
+  init();
+  best = 0;
+  for (int r = 0; r < %d; r++) {
+    for (int s = 0; s + 16 < WSIZE; s = s + 7) best = best + longest_match(s);
+  }
+  print_int(best);
+  return 0;
+}
+|}
+          p.size p.seed p.reps) }
+
+(* ------------------------------------------------------------------ *)
+(* vpr: FPGA routing cost recomputation (mixed int/fp)                 *)
+(* ------------------------------------------------------------------ *)
+
+let vpr =
+  { name = "vpr";
+    description = "FPGA route-cost recomputation over rr-node fanouts \
+                   (one speculated invariant per node, modest gains)";
+    fp = true;
+    train = { size = 250; reps = 3; seed = 29 };
+    ref_ = { size = 1200; reps = 6; seed = 71 };
+    source =
+      (fun p ->
+        sprintf
+          {|
+int NRR;
+float* rr[3];
+int* topo[1];
+float total;
+
+void init() {
+  NRR = %d;
+  rr[0] = (float*)malloc(NRR * 8);
+  rr[1] = (float*)malloc(NRR * 8);
+  rr[2] = (float*)malloc(NRR * 8);
+  topo[0] = (int*)malloc(NRR * 4 * 8);
+  float* base_cost; base_cost = rr[0];
+  float* acc_cost; acc_cost = rr[1];
+  float* pres_cost; pres_cost = rr[2];
+  int* edges; edges = topo[0];
+  for (int i = 0; i < NRR; i++) {
+    base_cost[i] = (float)(rnd(100) + 1) / 10.0;
+    acc_cost[i] = 0.0;
+    pres_cost[i] = 1.0;
+  }
+  for (int k = 0; k < NRR * 4; k++) edges[k] = rnd(NRR);
+}
+
+void route_pass() {
+  float* base_cost; base_cost = rr[0];
+  float* acc_cost; acc_cost = rr[1];
+  float* pres_cost; pres_cost = rr[2];
+  int* edges; edges = topo[0];
+  for (int i = 0; i < NRR; i++) {
+    float pc; pc = pres_cost[i];
+    for (int k = 0; k < 4; k++) {
+      int to; to = edges[i * 4 + k];
+      float c; c = base_cost[to] * pc + base_cost[to] * 0.3;
+      acc_cost[to] = acc_cost[to] + c;
+    }
+    // pres_cost[i] is re-read after the acc_cost stores: speculatively
+    // redundant with the read into pc above
+    pres_cost[i] = pres_cost[i] * 0.99 + 0.01;
+    total = total + pres_cost[i];
+  }
+}
+
+int main() {
+  seed(%d);
+  init();
+  total = 0.0;
+  for (int r = 0; r < %d; r++) route_pass();
+  float check; check = 0.0;
+  float* acc_cost; acc_cost = rr[1];
+  for (int i = 0; i < NRR; i++) check = check + acc_cost[i];
+  print_flt(check + total);
+  return 0;
+}
+|}
+          p.size p.seed p.reps) }
+
+(* ------------------------------------------------------------------ *)
+(* parser: dictionary hash-chain lookups (integer, some real aliasing) *)
+(* ------------------------------------------------------------------ *)
+
+let parser =
+  { name = "parser";
+    description = "dictionary hash-chain probing with an in-place splay of \
+                   hot entries; the ref input's splay occasionally rewrites \
+                   the probed bucket head (small real mis-speculation)";
+    fp = false;
+    train = { size = 1024; reps = 4; seed = 37 };
+    ref_ = { size = 6144; reps = 4; seed = 83 };
+    source =
+      (fun p ->
+        sprintf
+          {|
+int HSIZE;
+int* ht[2];
+int hits;
+
+void init() {
+  HSIZE = %d;
+  ht[0] = (int*)malloc(HSIZE * 8);
+  ht[1] = (int*)malloc(HSIZE * 8);
+  int* keys; keys = ht[0];
+  int* next; next = ht[1];
+  for (int i = 0; i < HSIZE; i++) {
+    keys[i] = rnd(HSIZE);
+    next[i] = rnd(HSIZE);
+  }
+}
+
+int probe(int want) {
+  int* keys; keys = ht[0];
+  int* next; next = ht[1];
+  int home; home = want %% HSIZE;
+  int hk; hk = keys[home];
+  int i; i = home;
+  int steps; steps = 0;
+  int found; found = 0;
+  int last; last = 0;
+  while (steps < 12) {
+    int k; k = keys[i];
+    if (k == want) found = found + 1;
+    last = k;
+    i = next[i];
+    steps = steps + 1;
+  }
+  // splay: under the train input this always rewrites the chain links;
+  // on the ref input it rarely targets the key table and clobbers the
+  // bucket head re-read below
+  int* upd; upd = ht[1];
+  if (last > 6000) upd = ht[0];
+  upd[home] = last;
+  return found + keys[home] + hk;
+}
+
+int main() {
+  seed(%d);
+  init();
+  hits = 0;
+  for (int r = 0; r < %d; r++) {
+    for (int q = 0; q < HSIZE; q = q + 3) hits = hits + probe(q);
+  }
+  print_int(hits);
+  return 0;
+}
+|}
+          p.size p.seed p.reps) }
+
+let all = [ art; ammp; equake; gzip; mcf; parser; twolf; vpr ]
+
+let find name =
+  match List.find_opt (fun w -> w.name = name) all with
+  | Some w -> w
+  | None -> invalid_arg ("Workloads.find: unknown workload " ^ name)
+
+(** Source text for the given input set. *)
+let train_source w = w.source w.train
+
+let ref_source w = w.source w.ref_

@@ -1,0 +1,1 @@
+test/test_alias.ml: Alcotest Annotate Hashtbl List Lower Modref Option Sir Spec_alias Spec_ir Steensgaard Symtab Vec

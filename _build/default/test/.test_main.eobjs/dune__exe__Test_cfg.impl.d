@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Cfg_utils Dom Fun List QCheck QCheck_alcotest Sir Spec_cfg Spec_ir Types

@@ -1,0 +1,1 @@
+test/test_cleanup.ml: Alcotest Fun List Lower Pipeline Printf QCheck QCheck_alcotest Sir Spec_driver Spec_ir Spec_prof Spec_ssapre Vec

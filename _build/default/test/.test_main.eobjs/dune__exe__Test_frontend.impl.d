@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Fmt Hashtbl Lexer List Lower Option Parser Pp Sir Spec_ir String Symtab Types Vec

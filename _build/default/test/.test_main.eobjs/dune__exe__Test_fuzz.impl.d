@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Fun List Lower Pipeline Printf QCheck QCheck_alcotest Random Spec_codegen Spec_driver Spec_ir Spec_machine Spec_prof String

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Hashtbl Interp List Load_reuse Loc Lower Memory Profile Profiler Sir Spec_ir Spec_prof String Symtab Vec

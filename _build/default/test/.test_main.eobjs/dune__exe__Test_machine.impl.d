@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Buffer Fun List Lower Machine Pipeline Printf QCheck QCheck_alcotest Spec_codegen Spec_driver Spec_ir Spec_machine Spec_prof

@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Cfg_utils Hashtbl List Lower Option Pipeline Sir Spec_alias Spec_cfg Spec_driver Spec_ir Spec_prof Spec_spec Spec_ssa Symtab Vec

@@ -1,0 +1,1 @@
+test/test_refine.ml: Alcotest Cfg_utils Experiments Hashtbl List Loc Lower Pipeline Sir Spec_alias Spec_cfg Spec_driver Spec_ir Spec_prof Spec_ssa Symtab Vec

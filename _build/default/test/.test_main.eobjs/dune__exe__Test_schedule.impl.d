@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Codegen Fun List Machine Pipeline Printf QCheck QCheck_alcotest Schedule Spec_codegen Spec_driver Spec_ir Spec_machine

@@ -1,0 +1,1 @@
+test/test_ssa.ml: Alcotest Annotate Build_ssa Cfg_utils Fun List Lower Option Out_of_ssa Printf QCheck QCheck_alcotest Sir Spec_alias Spec_cfg Spec_ir Spec_prof Spec_ssa Ssa_check String Symtab Vec

@@ -1,0 +1,1 @@
+test/test_ssapre.ml: Alcotest Fun List Lower Pipeline Printf QCheck QCheck_alcotest Sir Spec_driver Spec_ir Spec_prof String Vec

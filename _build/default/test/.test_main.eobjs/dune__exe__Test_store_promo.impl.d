@@ -1,0 +1,1 @@
+test/test_store_promo.ml: Alcotest Fun Lower Pipeline Printf QCheck QCheck_alcotest Spec_driver Spec_ir Spec_machine Spec_prof

@@ -1,0 +1,1 @@
+test/test_strength.ml: Alcotest Array Fun List Lower Pipeline Printf QCheck QCheck_alcotest Sir Spec_cfg Spec_driver Spec_ir Spec_machine Spec_prof Spec_ssapre Types Vec

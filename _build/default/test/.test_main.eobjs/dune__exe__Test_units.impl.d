@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest List Loc Lower Sir Spec_ir Spec_machine Spec_prof Spec_spec Spec_ssapre Types Vec

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Experiments Hashtbl List Lower Sir Spec_driver Spec_ir Spec_machine Spec_prof Spec_ssapre Spec_workloads String Workloads

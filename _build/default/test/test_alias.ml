@@ -1,0 +1,286 @@
+(* Tests for Steensgaard points-to, mod/ref summaries, and chi/mu lists. *)
+
+open Spec_ir
+open Spec_alias
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let compile = Lower.compile
+
+let var_by_name p name =
+  let found = ref (-1) in
+  Symtab.iter
+    (fun v -> if v.Symtab.vname = name && v.Symtab.vorig = v.Symtab.vid then
+        found := v.Symtab.vid)
+    p.Sir.syms;
+  if !found < 0 then Alcotest.failf "no variable %s" name;
+  !found
+
+let sites_of_kind p kind =
+  Hashtbl.fold
+    (fun s (si : Sir.site_info) acc ->
+      if si.Sir.si_kind = kind then s :: acc else acc)
+    p.Sir.sites []
+  |> List.sort compare
+
+let test_separate_objects () =
+  let p =
+    compile
+      "int a[8]; int b[8]; \
+       int main(){ int* p; int* q; p = &a[0]; q = &b[0]; \
+       *p = 1; *q = 2; return 0; }"
+  in
+  let sol = Steensgaard.solve p in
+  let stores = sites_of_kind p Sir.Kistore in
+  (match stores with
+   | [ s1; s2 ] ->
+     check_bool "p and q do not alias" false
+       (Steensgaard.sites_may_alias sol s1 s2)
+   | _ -> Alcotest.fail "expected two stores")
+
+let test_unified_objects () =
+  let p =
+    compile
+      "int a[8]; \
+       int main(){ int* p; int* q; p = &a[0]; q = &a[3]; \
+       *p = 1; *q = 2; return 0; }"
+  in
+  let sol = Steensgaard.solve p in
+  let stores = sites_of_kind p Sir.Kistore in
+  (match stores with
+   | [ s1; s2 ] ->
+     check_bool "p and q alias (same object)" true
+       (Steensgaard.sites_may_alias sol s1 s2)
+   | _ -> Alcotest.fail "expected two stores")
+
+let test_assignment_unifies () =
+  let p =
+    compile
+      "int a[8]; int b[8]; \
+       int main(){ int* p; int* q; p = &a[0]; q = &b[0]; q = p; \
+       *p = 1; *q = 2; return 0; }"
+  in
+  let sol = Steensgaard.solve p in
+  let stores = sites_of_kind p Sir.Kistore in
+  (match stores with
+   | [ s1; s2 ] ->
+     (* q = p unifies their targets: Steensgaard merges a and b *)
+     check_bool "after q = p they may alias" true
+       (Steensgaard.sites_may_alias sol s1 s2)
+   | _ -> Alcotest.fail "expected two stores")
+
+let test_class_members () =
+  let p =
+    compile
+      "int g; int h; \
+       int main(){ int* p; if (g) p = &g; else p = &h; *p = 3; return 0; }"
+  in
+  let sol = Steensgaard.solve p in
+  let stores = sites_of_kind p Sir.Kistore in
+  let s = List.hd stores in
+  (match Steensgaard.class_of_site sol s with
+   | Some cls ->
+     let members = Steensgaard.vars_in_class sol cls in
+     let names =
+       List.map (fun v -> Symtab.name p.Sir.syms v) members
+       |> List.sort compare
+     in
+     Alcotest.(check (list string)) "class members" [ "g"; "h" ] names
+   | None -> Alcotest.fail "store site unclassified")
+
+let test_heap_naming () =
+  let p =
+    compile
+      "int main(){ int* p; int* q; \
+       p = (int*)malloc(8); q = (int*)malloc(8); \
+       *p = 1; *q = 2; return 0; }"
+  in
+  let sol = Steensgaard.solve p in
+  let stores = sites_of_kind p Sir.Kistore in
+  (match stores with
+   | [ s1; s2 ] ->
+     check_bool "distinct allocation sites do not alias" false
+       (Steensgaard.sites_may_alias sol s1 s2);
+     (match Steensgaard.class_of_site sol s1 with
+      | Some cls ->
+        check_int "heap class has one alloc site" 1
+          (List.length (Steensgaard.heap_sites_in_class sol cls))
+      | None -> Alcotest.fail "unclassified")
+   | _ -> Alcotest.fail "expected two stores")
+
+let test_call_propagates_pointers () =
+  let p =
+    compile
+      "int g; \
+       void store(int* p, int v){ *p = v; } \
+       int main(){ store(&g, 5); return g; }"
+  in
+  let sol = Steensgaard.solve p in
+  let stores = sites_of_kind p Sir.Kistore in
+  let s = List.hd stores in
+  (match Steensgaard.class_of_site sol s with
+   | Some cls ->
+     let names =
+       List.map (fun v -> Symtab.name p.Sir.syms v)
+         (Steensgaard.vars_in_class sol cls)
+     in
+     check_bool "store in callee reaches g" true (List.mem "g" names)
+   | None -> Alcotest.fail "unclassified")
+
+let test_return_propagates_pointers () =
+  let p =
+    compile
+      "int g; \
+       int* get(){ return &g; } \
+       int main(){ int* p; p = get(); *p = 1; return g; }"
+  in
+  let sol = Steensgaard.solve p in
+  let stores = sites_of_kind p Sir.Kistore in
+  (match Steensgaard.class_of_site sol (List.hd stores) with
+   | Some cls ->
+     let names =
+       List.map (fun v -> Symtab.name p.Sir.syms v)
+         (Steensgaard.vars_in_class sol cls)
+     in
+     check_bool "returned pointer reaches g" true (List.mem "g" names)
+   | None -> Alcotest.fail "unclassified")
+
+(* ---- TBAA / chi-mu lists ---- *)
+
+let test_chi_lists_on_istore () =
+  let p =
+    compile
+      "int g; int h; \
+       int main(){ int* p; if (g) p = &g; else p = &h; *p = 3; \
+       return g + h; }"
+  in
+  let info = Annotate.run p in
+  ignore info;
+  let f = Sir.find_func p "main" in
+  let istore =
+    let found = ref None in
+    Vec.iter
+      (fun (b : Sir.bb) ->
+        List.iter
+          (fun s ->
+            match s.Sir.kind with
+            | Sir.Istr _ -> found := Some s
+            | _ -> ())
+          b.Sir.stmts)
+      f.Sir.fblocks;
+    Option.get !found
+  in
+  let chi_names =
+    List.map (fun c -> Symtab.name p.Sir.syms c.Sir.chi_var) istore.Sir.chis
+    |> List.sort compare
+  in
+  (* chi on g, h, and the virtual variable *)
+  check_int "three chis" 3 (List.length chi_names);
+  check_bool "chi on g" true (List.mem "g" chi_names);
+  check_bool "chi on h" true (List.mem "h" chi_names)
+
+let test_tbaa_filters_incompatible () =
+  let p =
+    compile
+      "int gi; float gf; \
+       int main(){ int* p; float* q; p = &gi; q = &gf; \
+       *q = 1.0; return *p; }"
+  in
+  let info = Annotate.run p in
+  ignore info;
+  let f = Sir.find_func p "main" in
+  let istore =
+    let found = ref None in
+    Vec.iter
+      (fun (b : Sir.bb) ->
+        List.iter
+          (fun s ->
+            match s.Sir.kind with Sir.Istr _ -> found := Some s | _ -> ())
+          b.Sir.stmts)
+      f.Sir.fblocks;
+    Option.get !found
+  in
+  (* float store cannot alias int variable gi even if classes merged *)
+  let chi_names =
+    List.map (fun c -> Symtab.name p.Sir.syms c.Sir.chi_var) istore.Sir.chis
+  in
+  check_bool "no chi on gi (type-based)" false (List.mem "gi" chi_names)
+
+let test_call_chi_from_modref () =
+  let p =
+    compile
+      "int g; int h; \
+       void bump(){ g = g + 1; } \
+       int main(){ h = 2; bump(); return g + h; }"
+  in
+  let info = Annotate.run p in
+  ignore info;
+  let f = Sir.find_func p "main" in
+  let call =
+    let found = ref None in
+    Vec.iter
+      (fun (b : Sir.bb) ->
+        List.iter
+          (fun s ->
+            match s.Sir.kind with
+            | Sir.Call { callee = "bump"; _ } -> found := Some s
+            | _ -> ())
+          b.Sir.stmts)
+      f.Sir.fblocks;
+    Option.get !found
+  in
+  let chi_names =
+    List.map (fun c -> Symtab.name p.Sir.syms c.Sir.chi_var) call.Sir.chis
+  in
+  let mu_names =
+    List.map (fun m -> Symtab.name p.Sir.syms m.Sir.mu_var) call.Sir.mus
+  in
+  check_bool "call chis g" true (List.mem "g" chi_names);
+  check_bool "call refs g" true (List.mem "g" mu_names);
+  check_bool "call does not chi h" false (List.mem "h" chi_names)
+
+let test_modref_transitive () =
+  let p =
+    compile
+      "int g; \
+       void inner(){ g = 1; } \
+       void outer(){ inner(); } \
+       int main(){ outer(); return g; }"
+  in
+  let sol = Steensgaard.solve p in
+  let mr = Modref.compute p sol in
+  let s = Modref.get mr "outer" in
+  check_bool "outer transitively mods g" true
+    (List.mem (var_by_name p "g") s.Modref.mod_vars)
+
+let test_mu_on_iload () =
+  let p =
+    compile
+      "int g; int main(){ int* p; p = &g; return *p; }"
+  in
+  let info = Annotate.run p in
+  ignore info;
+  let f = Sir.find_func p "main" in
+  (* terminator contains the iload: a trailing nop carries the mu list *)
+  let mus = ref [] in
+  Vec.iter
+    (fun (b : Sir.bb) ->
+      List.iter (fun s -> mus := !mus @ s.Sir.mus) b.Sir.stmts)
+    f.Sir.fblocks;
+  let mu_names = List.map (fun m -> Symtab.name p.Sir.syms m.Sir.mu_var) !mus in
+  check_bool "mu on g" true (List.mem "g" mu_names)
+
+let suite =
+  [ Alcotest.test_case "separate objects" `Quick test_separate_objects;
+    Alcotest.test_case "same object" `Quick test_unified_objects;
+    Alcotest.test_case "assignment unifies" `Quick test_assignment_unifies;
+    Alcotest.test_case "class members" `Quick test_class_members;
+    Alcotest.test_case "heap naming" `Quick test_heap_naming;
+    Alcotest.test_case "call propagates" `Quick test_call_propagates_pointers;
+    Alcotest.test_case "return propagates" `Quick test_return_propagates_pointers;
+    Alcotest.test_case "istore chi list" `Quick test_chi_lists_on_istore;
+    Alcotest.test_case "tbaa filters" `Quick test_tbaa_filters_incompatible;
+    Alcotest.test_case "call chi from modref" `Quick test_call_chi_from_modref;
+    Alcotest.test_case "modref transitive" `Quick test_modref_transitive;
+    Alcotest.test_case "mu on iload" `Quick test_mu_on_iload ]

@@ -1,0 +1,239 @@
+(* Tests for dominators, dominance frontiers, loops, edge splitting. *)
+
+open Spec_ir
+open Spec_cfg
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Build a bare CFG function from an adjacency description:
+   [succs.(i)] lists the successors of block i (at most 2). *)
+let mk_cfg (succs : int list array) : Sir.prog * Sir.func =
+  let p = Sir.create_prog () in
+  let f = Sir.create_func p ~name:"t" ~ret:Types.Tint ~formals:[] in
+  for _ = 1 to Array.length succs - 1 do
+    ignore (Sir.new_bb f : Sir.bb)
+  done;
+  Array.iteri
+    (fun i ss ->
+      let b = Sir.block f i in
+      b.Sir.term <-
+        (match ss with
+         | [] -> Sir.Tret (Some (Sir.Const (Sir.Cint 0)))
+         | [ s ] -> Sir.Tgoto s
+         | [ t; e ] -> Sir.Tcond (Sir.Const (Sir.Cint 1), t, e)
+         | _ -> invalid_arg "mk_cfg: at most two successors"))
+    succs;
+  Sir.recompute_preds f;
+  (p, f)
+
+(* Naive quadratic dominance: dataflow Dom(b) = {b} U inter preds. *)
+let naive_dominators (f : Sir.func) : bool array array =
+  let n = Sir.n_blocks f in
+  let dom = Array.init n (fun _ -> Array.make n true) in
+  dom.(Sir.entry_bid) <- Array.init n (fun i -> i = Sir.entry_bid);
+  (* unreachable blocks handled by keeping "all" until proven otherwise *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to n - 1 do
+      if b <> Sir.entry_bid then begin
+        let preds = (Sir.block f b).Sir.preds in
+        if preds <> [] then begin
+          let inter = Array.make n true in
+          List.iter
+            (fun p -> for i = 0 to n - 1 do
+                inter.(i) <- inter.(i) && dom.(p).(i) done)
+            preds;
+          inter.(b) <- true;
+          if inter <> dom.(b) then begin dom.(b) <- inter; changed := true end
+        end
+      end
+    done
+  done;
+  dom
+
+(* The diamond:      0
+                    / \
+                   1   2
+                    \ /
+                     3        *)
+let test_diamond () =
+  let _, f = mk_cfg [| [ 1; 2 ]; [ 3 ]; [ 3 ]; [] |] in
+  let d = Dom.compute f in
+  check_int "idom 1" 0 (Dom.idom d 1);
+  check_int "idom 2" 0 (Dom.idom d 2);
+  check_int "idom 3" 0 (Dom.idom d 3);
+  check_bool "0 dom 3" true (Dom.dominates d 0 3);
+  check_bool "1 !dom 3" false (Dom.dominates d 1 3);
+  Alcotest.(check (list int)) "df 1" [ 3 ] (Dom.dominance_frontier d 1);
+  Alcotest.(check (list int)) "df 2" [ 3 ] (Dom.dominance_frontier d 2);
+  Alcotest.(check (list int)) "df 0" [] (Dom.dominance_frontier d 0)
+
+(* A loop:  0 -> 1 ; 1 -> 2|4 ; 2 -> 3 ; 3 -> 1 ; 4 ret *)
+let test_loop_dom () =
+  let _, f = mk_cfg [| [ 1 ]; [ 2; 4 ]; [ 3 ]; [ 1 ]; [] |] in
+  let d = Dom.compute f in
+  check_int "idom 4" 1 (Dom.idom d 4);
+  check_int "idom 3" 2 (Dom.idom d 3);
+  Alcotest.(check (list int)) "df of back-edge source" [ 1 ]
+    (Dom.dominance_frontier d 3);
+  let loops = Cfg_utils.natural_loops f d in
+  check_int "one loop" 1 (List.length loops);
+  let l = List.hd loops in
+  check_int "loop header" 1 l.Cfg_utils.header;
+  Alcotest.(check (list int)) "loop body" [ 1; 2; 3 ]
+    (List.sort compare l.Cfg_utils.body)
+
+let test_nested_loops () =
+  (* 0 -> 1; 1 -> 2|5; 2 -> 3|4; 3 -> 2; 4 -> 1; 5 ret *)
+  let _, f = mk_cfg [| [ 1 ]; [ 2; 5 ]; [ 3; 4 ]; [ 2 ]; [ 1 ]; [] |] in
+  let d = Dom.compute f in
+  let loops = Cfg_utils.natural_loops f d in
+  check_int "two loops" 2 (List.length loops);
+  let depths = Cfg_utils.loop_depths f d in
+  check_int "inner block depth" 2 depths.(3);
+  check_int "outer block depth" 1 depths.(4);
+  check_int "exit depth" 0 depths.(5)
+
+let test_df_plus () =
+  let _, f = mk_cfg [| [ 1; 2 ]; [ 3 ]; [ 3 ]; [] |] in
+  let d = Dom.compute f in
+  Alcotest.(check (list int)) "df+ {1}" [ 3 ] (Dom.df_plus d [ 1 ]);
+  Alcotest.(check (list int)) "df+ {1;2}" [ 3 ] (Dom.df_plus d [ 1; 2 ])
+
+let test_preorder_covers_all () =
+  let _, f = mk_cfg [| [ 1; 2 ]; [ 3 ]; [ 3 ]; [ 4 ]; [] |] in
+  let d = Dom.compute f in
+  let pre = Dom.preorder d in
+  check_int "preorder covers all blocks" 5 (List.length pre);
+  check_int "starts at entry" 0 (List.hd pre)
+
+let test_split_critical_edges () =
+  (* 0 -> 1|2 ; 1 -> 2 ; 2 ret : edge 0->2 is critical *)
+  let _, f = mk_cfg [| [ 1; 2 ]; [ 2 ]; [] |] in
+  let split = Cfg_utils.split_critical_edges f in
+  check_int "one edge split" 1 split;
+  Cfg_utils.validate f;
+  (* after splitting: no critical edges remain *)
+  check_int "no more critical edges" 0 (Cfg_utils.split_critical_edges f);
+  (* the new block lies between 0 and 2 *)
+  let b0 = Sir.block f 0 in
+  (match b0.Sir.term with
+   | Sir.Tcond (_, _, e) ->
+     let nb = Sir.block f e in
+     Alcotest.(check (list int)) "splitter goes to 2" [ 2 ] (Sir.succs nb)
+   | _ -> Alcotest.fail "entry should stay conditional")
+
+let test_validate_catches_bad_edge () =
+  let _, f = mk_cfg [| [ 1 ]; [] |] in
+  (Sir.block f 0).Sir.term <- Sir.Tgoto 5;
+  (try
+     Cfg_utils.validate f;
+     Alcotest.fail "expected validation failure"
+   with Failure _ -> ())
+
+(* Property: CHK idoms agree with naive dominator sets on random CFGs. *)
+let random_cfg_gen =
+  QCheck.Gen.(
+    sized_size (int_range 2 12) (fun n ->
+        let n = max n 2 in
+        (* every block i>0 gets a random in-edge from a lower block to keep
+           most blocks reachable; extra random edges create joins/loops *)
+        let* targets =
+          array_repeat n (pair (int_bound (n - 1)) (int_bound (n - 1)))
+        in
+        return
+          (Array.init n (fun i ->
+               let t1, t2 = targets.(i) in
+               if i = n - 1 then []
+               else if t1 = t2 then [ ((i + 1 + t1) mod n) ]
+               else [ (i + 1) mod n; t2 ]))))
+
+let prop_dominators_agree =
+  QCheck.Test.make ~count:200 ~name:"CHK idom agrees with naive dataflow"
+    (QCheck.make random_cfg_gen)
+    (fun succs ->
+      let _, f = mk_cfg succs in
+      let d = Dom.compute f in
+      let naive = naive_dominators f in
+      let rpo, _ = Dom.compute_rpo f in
+      let reachable = Array.make (Sir.n_blocks f) false in
+      Array.iter (fun b -> reachable.(b) <- true) rpo;
+      Array.for_all
+        (fun b ->
+          if not reachable.(b) || b = Sir.entry_bid then true
+          else begin
+            (* idom must be the unique closest strict dominator *)
+            let doms = naive.(b) in
+            let id = Dom.idom d b in
+            doms.(id)
+            && id <> b
+            && Array.for_all Fun.id
+                 (Array.mapi
+                    (fun a dom_ab ->
+                      (not dom_ab) || a = b || a = id
+                      || naive.(id).(a))
+                    doms)
+          end)
+        rpo)
+
+let prop_dominates_matches_naive =
+  QCheck.Test.make ~count:200 ~name:"dominates() matches naive sets"
+    (QCheck.make random_cfg_gen)
+    (fun succs ->
+      let _, f = mk_cfg succs in
+      let d = Dom.compute f in
+      let naive = naive_dominators f in
+      let rpo, _ = Dom.compute_rpo f in
+      let reachable = Array.make (Sir.n_blocks f) false in
+      Array.iter (fun b -> reachable.(b) <- true) rpo;
+      let ok = ref true in
+      Array.iter
+        (fun b ->
+          Array.iter
+            (fun a ->
+              if reachable.(a) && Dom.dominates d a b <> naive.(b).(a) then
+                ok := false)
+            rpo)
+        rpo;
+      !ok)
+
+let prop_df_correct =
+  (* b in DF(a) iff a dominates a pred of b but not strictly b *)
+  QCheck.Test.make ~count:200 ~name:"dominance frontier definition"
+    (QCheck.make random_cfg_gen)
+    (fun succs ->
+      let _, f = mk_cfg succs in
+      let d = Dom.compute f in
+      let rpo, _ = Dom.compute_rpo f in
+      let reachable = Array.make (Sir.n_blocks f) false in
+      Array.iter (fun r -> reachable.(r) <- true) rpo;
+      let ok = ref true in
+      Array.iter
+        (fun a ->
+          Array.iter
+            (fun b ->
+              let in_df = List.mem b (Dom.dominance_frontier d a) in
+              let should =
+                List.exists
+                  (fun p -> reachable.(p) && Dom.dominates d a p)
+                  (Sir.block f b).Sir.preds
+                && not (Dom.strictly_dominates d a b)
+              in
+              if in_df <> should then ok := false)
+            rpo)
+        rpo;
+      !ok)
+
+let suite =
+  [ Alcotest.test_case "diamond" `Quick test_diamond;
+    Alcotest.test_case "loop dominators" `Quick test_loop_dom;
+    Alcotest.test_case "nested loops" `Quick test_nested_loops;
+    Alcotest.test_case "iterated DF" `Quick test_df_plus;
+    Alcotest.test_case "preorder" `Quick test_preorder_covers_all;
+    Alcotest.test_case "split critical edges" `Quick test_split_critical_edges;
+    Alcotest.test_case "validate bad edge" `Quick test_validate_catches_bad_edge;
+    QCheck_alcotest.to_alcotest prop_dominators_agree;
+    QCheck_alcotest.to_alcotest prop_dominates_matches_naive;
+    QCheck_alcotest.to_alcotest prop_df_correct ]

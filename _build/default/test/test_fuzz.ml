@@ -1,0 +1,243 @@
+(* Whole-stack differential fuzzing.
+
+   Random structured programs — functions, floats, pointer tables, nested
+   loops, input-dependent aliasing — are compiled under every pipeline
+   variant and executed on both the reference interpreter and the ITL
+   machine.  All observable outputs must be bit-identical to the
+   unoptimized interpreter run.  This exercises, in one property: the
+   frontend, alias analysis, speculative SSA, speculative SSAPRE, store
+   promotion, strength reduction, cleanup, codegen, scheduling, the ALAT,
+   and the interpreter's semantic ALAT. *)
+
+open Spec_ir
+open Spec_driver
+
+let check_bool = Alcotest.(check bool)
+
+(* ---- generator ---- *)
+
+(* a random kernel over a pointer table: every interesting aliasing shape
+   the paper cares about can arise *)
+let gen_program : string QCheck.Gen.t =
+  QCheck.Gen.(
+    let* seed = int_range 1 100000 in
+    let* n = int_range 3 25 in
+    let* alias_pct = int_range 0 100 in
+    let* use_fn = bool in
+    let* use_float = bool in
+    let* inner = int_range 1 4 in
+    let* acc_via_ptr = bool in
+    let* extra_stores = int_range 0 2 in
+    let body_stores =
+      String.concat " "
+        (List.init extra_stores (fun k ->
+             Printf.sprintf "*q = i * %d + j;" (k + 2)))
+    in
+    let fn_def =
+      if use_fn then
+        "int combine(int x, int y){ if (x > y) return x - y; return x + y; } "
+      else ""
+    in
+    let combine a b =
+      if use_fn then Printf.sprintf "combine(%s, %s)" a b
+      else Printf.sprintf "(%s + %s)" a b
+    in
+    let float_part =
+      if use_float then
+        "float* fv; fv = (float*)tab[2]; fv[i % 8] = fv[i % 8] + 0.5; "
+      else ""
+    in
+    let acc_update =
+      if acc_via_ptr then "*acc = *acc + a[j % 16] + i;"
+      else "s = s + a[j % 16] + i;"
+    in
+    return
+      (Printf.sprintf
+         {|
+int* tab[4];
+%s
+int main(){
+  seed(%d);
+  tab[0] = (int*)malloc(128);
+  tab[1] = (int*)malloc(128);
+  tab[2] = (int*)malloc(64);
+  tab[3] = (int*)malloc(8);
+  int* a; a = tab[0];
+  int* b; b = tab[1];
+  int* acc; acc = tab[3];
+  *acc = 0;
+  for (int k = 0; k < 16; k++) { a[k] = rnd(50); b[k] = rnd(50); }
+  int s; s = 0;
+  for (int i = 0; i < %d; i++) {
+    int* q;
+    if (rnd(100) < %d) q = a; else q = b;
+    for (int j = 0; j < %d; j++) {
+      %s
+      q[(i + j) %% 16] = %s;
+      %s
+      %s
+    }
+  }
+  print_int(s + *acc);
+  int t; t = 0;
+  for (int k = 0; k < 16; k++) t = t + a[k] + b[k];
+  print_int(t);
+  return 0;
+}
+|}
+         fn_def seed n alias_pct inner acc_update
+         (combine "a[i % 16]" "b[j % 16]")
+         body_stores float_part))
+
+let variants_of src =
+  let prof = Pipeline.profile_of_source src in
+  [ "base", Pipeline.Base;
+    "profile", Pipeline.Spec_profile prof;
+    "heuristic", Pipeline.Spec_heuristic ]
+  |> List.map (fun (n, v) -> (n, v, prof))
+
+let prop_whole_stack =
+  QCheck.Test.make ~count:120 ~name:"whole-stack differential fuzzing"
+    (QCheck.make ~print:Fun.id gen_program)
+    (fun src ->
+      let expected =
+        (Spec_prof.Interp.run (Lower.compile src)).Spec_prof.Interp.output
+      in
+      List.for_all
+        (fun (_name, variant, prof) ->
+          let r =
+            Pipeline.compile_and_optimize ~edge_profile:(Some prof) src
+              variant
+          in
+          let interp_out =
+            (Spec_prof.Interp.run r.Pipeline.prog).Spec_prof.Interp.output
+          in
+          let mp = Spec_codegen.Codegen.lower r.Pipeline.prog in
+          ignore (Spec_codegen.Schedule.run mp : Spec_codegen.Schedule.stats);
+          let mach_out = (Spec_machine.Machine.run mp).Spec_machine.Machine.output in
+          interp_out = expected && mach_out = expected)
+        (variants_of src))
+
+(* a focused generator for the SSA/PRE corner cases: deep nesting, breaks,
+   early returns, while loops with zero-trip risk *)
+let gen_control : string QCheck.Gen.t =
+  QCheck.Gen.(
+    let* seed = int_range 1 10000 in
+    let* lim = int_range 0 12 in
+    let* brk = int_range 0 20 in
+    let* zero_trip = bool in
+    return
+      (Printf.sprintf
+         {|
+int g; int h;
+int main(){
+  seed(%d);
+  int s; s = 0;
+  g = rnd(10);
+  int* w; w = &h;
+  if (rnd(1000) == 1001) w = &g;
+  int i; i = %s;
+  while (i < %d) {
+    s = s + g;
+    *w = i;
+    if (i == %d) break;
+    if (g > 5) { s = s + 1; } else { s = s - 1; }
+    i = i + 1;
+  }
+  if (s < 0) { print_int(0 - s); return 1; }
+  print_int(s); print_int(h);
+  return 0;
+}
+|}
+         seed
+         (if zero_trip then "100" else "0")
+         lim brk))
+
+let prop_control_shapes =
+  QCheck.Test.make ~count:120 ~name:"control-flow corner cases"
+    (QCheck.make ~print:Fun.id gen_control)
+    (fun src ->
+      let expected =
+        (Spec_prof.Interp.run (Lower.compile src)).Spec_prof.Interp.output
+      in
+      List.for_all
+        (fun (_n, variant, prof) ->
+          let r =
+            Pipeline.compile_and_optimize ~edge_profile:(Some prof) src
+              variant
+          in
+          (Spec_prof.Interp.run r.Pipeline.prog).Spec_prof.Interp.output
+          = expected
+          && (Spec_machine.Machine.run_sir r.Pipeline.prog)
+               .Spec_machine.Machine.output
+             = expected)
+        (variants_of src))
+
+(* recursion + memory: frames, the register stack, per-frame ALAT tags *)
+let gen_recursive : string QCheck.Gen.t =
+  QCheck.Gen.(
+    let* seed = int_range 1 10000 in
+    let* depth = int_range 1 12 in
+    return
+      (Printf.sprintf
+         {|
+int* stackmem[1];
+int walk(int n, int* cells){
+  if (n <= 0) return cells[0];
+  cells[n %% 16] = cells[n %% 16] + n;
+  int below; below = walk(n - 1, cells);
+  return below + cells[n %% 16];
+}
+int main(){
+  seed(%d);
+  stackmem[0] = (int*)malloc(128);
+  int* cells; cells = stackmem[0];
+  for (int k = 0; k < 16; k++) cells[k] = rnd(9);
+  print_int(walk(%d, cells));
+  return 0;
+}
+|}
+         seed depth))
+
+let prop_recursive =
+  QCheck.Test.make ~count:80 ~name:"recursive frames and memory"
+    (QCheck.make ~print:Fun.id gen_recursive)
+    (fun src ->
+      let expected =
+        (Spec_prof.Interp.run (Lower.compile src)).Spec_prof.Interp.output
+      in
+      List.for_all
+        (fun (_n, variant, prof) ->
+          let r =
+            Pipeline.compile_and_optimize ~edge_profile:(Some prof) src
+              variant
+          in
+          (Spec_machine.Machine.run_sir r.Pipeline.prog)
+            .Spec_machine.Machine.output
+          = expected)
+        (variants_of src))
+
+let test_fuzz_smoke () =
+  (* one deterministic instance of each generator, as a fast smoke test *)
+  let pick g = QCheck.Gen.generate1 ~rand:(Random.State.make [| 42 |]) g in
+  List.iter
+    (fun src ->
+      let expected =
+        (Spec_prof.Interp.run (Lower.compile src)).Spec_prof.Interp.output
+      in
+      check_bool "smoke instance agrees" true
+        (List.for_all
+           (fun (_n, v, prof) ->
+             let r =
+               Pipeline.compile_and_optimize ~edge_profile:(Some prof) src v
+             in
+             (Spec_prof.Interp.run r.Pipeline.prog).Spec_prof.Interp.output
+             = expected)
+           (variants_of src)))
+    [ pick gen_program; pick gen_control; pick gen_recursive ]
+
+let suite =
+  [ Alcotest.test_case "fuzz smoke" `Quick test_fuzz_smoke;
+    QCheck_alcotest.to_alcotest prop_whole_stack;
+    QCheck_alcotest.to_alcotest prop_control_shapes;
+    QCheck_alcotest.to_alcotest prop_recursive ]

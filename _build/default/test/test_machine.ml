@@ -1,0 +1,224 @@
+(* Tests for codegen, the ALAT, caches, and the machine simulator:
+   differential execution against the reference interpreter under every
+   pipeline, plus performance-model sanity checks. *)
+
+open Spec_ir
+open Spec_driver
+open Spec_machine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let interp_out p = (Spec_prof.Interp.run p).Spec_prof.Interp.output
+
+let machine_out p = (Machine.run_sir p).Machine.output
+
+let test_machine_basic () =
+  let p = Lower.compile "int main(){ print_int(2 + 3 * 4); return 0; }" in
+  check_str "arith" "14\n" (machine_out p)
+
+let test_machine_matches_interp_suite () =
+  let srcs =
+    [ "int main(){ int s; s = 0; for (int i = 0; i < 10; i++) s += i; \
+       print_int(s); return 0; }";
+      "int a[8]; int main(){ for (int i = 0; i < 8; i++) a[i] = i * i; \
+       int s; s = 0; for (int i = 0; i < 8; i++) s += a[i]; \
+       print_int(s); return 0; }";
+      "float acc; int main(){ float x; x = 0.25; acc = 0.0; \
+       for (int i = 0; i < 12; i++) { acc = acc + x; x = x * 1.5; } \
+       print_flt(acc); return 0; }";
+      "int fib(int n){ if (n < 2) return n; return fib(n-1) + fib(n-2); } \
+       int main(){ print_int(fib(12)); return 0; }";
+      "int main(){ int* p; p = (int*)malloc(64); \
+       for (int i = 0; i < 8; i++) p[i] = 3 * i; \
+       int s; s = 0; for (int i = 0; i < 8; i++) s += p[i]; \
+       print_int(s); return 0; }";
+      "int main(){ seed(7); int s; s = 0; \
+       for (int i = 0; i < 20; i++) s += rnd(100); \
+       print_int(s); return 0; }" ]
+  in
+  List.iter
+    (fun src ->
+      let pi = Lower.compile src in
+      let pm = Lower.compile src in
+      check_str "machine matches interpreter" (interp_out pi) (machine_out pm))
+    srcs
+
+let spec_src =
+  "int g; int h; \
+   int main(){ int s; s = 0; g = 7; int* w; w = &h; \
+   if (rnd(1000) == 999) w = &g; \
+   for (int i = 0; i < 200; i++) { s = s + g; *w = i; } \
+   print_int(s); print_int(h); return 0; }"
+
+let optimize ?edge src variant =
+  let prof = Pipeline.profile_of_source src in
+  let edge_profile = if edge = Some false then None else Some prof in
+  (Pipeline.compile_and_optimize ~edge_profile src variant).Pipeline.prog
+
+let test_machine_runs_speculative_code () =
+  let baseline = interp_out (Lower.compile spec_src) in
+  List.iter
+    (fun variant ->
+      let p = optimize spec_src variant in
+      check_str
+        (Printf.sprintf "machine output under %s" (Pipeline.variant_name variant))
+        baseline (machine_out p))
+    [ Pipeline.Noopt; Pipeline.Base; Pipeline.Spec_heuristic ]
+
+let test_alat_hit_makes_checks_free () =
+  (* no aliasing at runtime: every ld.c must hit *)
+  let p = optimize spec_src Pipeline.Spec_heuristic in
+  let r = Machine.run_sir p in
+  check_bool "checks executed" true (r.Machine.perf.Machine.checks >= 190);
+  check_int "no check misses" 0 r.Machine.perf.Machine.check_misses
+
+let test_alat_miss_recovers () =
+  (* p and q do alias at runtime: the checks must miss and recover *)
+  let src =
+    "int a[4]; int b[4]; \
+     int main(){ int* p; int* q; int x; int y; \
+     p = &a[0]; q = &b[0]; \
+     if (rnd(10) < 100) q = &a[0]; \
+     a[0] = 1; \
+     x = *p; *q = 42; y = *p; \
+     print_int(y); return 0; }"
+  in
+  let p = optimize src Pipeline.Spec_heuristic in
+  let r = Machine.run_sir p in
+  check_str "mis-speculation recovered on machine" "42\n" r.Machine.output;
+  check_bool "at least one check missed" true
+    (r.Machine.perf.Machine.check_misses >= 1)
+
+let test_speculation_reduces_loads_and_cycles () =
+  let base = Machine.run_sir (optimize spec_src Pipeline.Base) in
+  let spec = Machine.run_sir (optimize spec_src Pipeline.Spec_heuristic) in
+  let base_loads = Machine.loads_retired base.Machine.perf in
+  let spec_loads = Machine.loads_retired spec.Machine.perf in
+  check_bool "speculation reduces retired loads" true (spec_loads < base_loads);
+  check_bool "speculation reduces cycles" true
+    (spec.Machine.perf.Machine.cycles < base.Machine.perf.Machine.cycles)
+
+let test_fp_loads_slower_than_int () =
+  let int_src =
+    "int a[64]; int main(){ int s; s = 0; \
+     for (int r = 0; r < 50; r++) for (int i = 0; i < 64; i++) s += a[i]; \
+     print_int(s); return 0; }"
+  in
+  let flt_src =
+    "float a[64]; int main(){ float s; s = 0.0; \
+     for (int r = 0; r < 50; r++) for (int i = 0; i < 64; i++) s = s + a[i]; \
+     print_flt(s); return 0; }"
+  in
+  let ri = Machine.run_sir (Lower.compile int_src) in
+  let rf = Machine.run_sir (Lower.compile flt_src) in
+  check_bool "fp loads cost more cycles" true
+    (rf.Machine.perf.Machine.cycles > ri.Machine.perf.Machine.cycles)
+
+let test_cache_locality_matters () =
+  (* sequential sweep over a big array vs. repeated sweep over a tiny one *)
+  let big =
+    "int a[65536]; int main(){ int s; s = 0; \
+     for (int i = 0; i < 65536; i++) s += a[i]; \
+     print_int(s); return 0; }"
+  in
+  let small =
+    "int a[64]; int main(){ int s; s = 0; \
+     for (int r = 0; r < 1024; r++) for (int i = 0; i < 64; i++) s += a[i]; \
+     print_int(s); return 0; }"
+  in
+  let rb = Machine.run_sir (Lower.compile big) in
+  let rs = Machine.run_sir (Lower.compile small) in
+  (* same load count, worse locality -> more cycles per load *)
+  let cyc_per_load r =
+    float_of_int r.Machine.perf.Machine.cycles
+    /. float_of_int (max 1 (Machine.loads_retired r.Machine.perf))
+  in
+  check_bool "cold misses cost cycles" true (cyc_per_load rb > cyc_per_load rs)
+
+let test_alat_capacity_pressure () =
+  (* more live advanced loads than ALAT entries: checks must start missing
+     when the table is tiny *)
+  let src =
+    (* 40 distinct speculative temps alive across an aliasing store *)
+    let decls = Buffer.create 256 in
+    Buffer.add_string decls "int g[64]; int h; int main(){ int* w; w = &h; \
+      if (rnd(1000) == 999) w = &g[0]; int s; s = 0; \
+      for (int r = 0; r < 50; r++) { ";
+    for k = 0 to 39 do
+      Buffer.add_string decls (Printf.sprintf "s += g[%d]; " k)
+    done;
+    Buffer.add_string decls "*w = r; ";
+    for k = 0 to 39 do
+      Buffer.add_string decls (Printf.sprintf "s += g[%d]; " k)
+    done;
+    Buffer.add_string decls "} print_int(s); return 0; }";
+    Buffer.contents decls
+  in
+  let p = optimize src Pipeline.Spec_heuristic in
+  let big_alat =
+    Machine.run ~config:{ Machine.default_config with Machine.alat_entries = 128 }
+      (Spec_codegen.Codegen.lower p)
+  in
+  let p2 = optimize src Pipeline.Spec_heuristic in
+  let small_alat =
+    Machine.run ~config:{ Machine.default_config with Machine.alat_entries = 8 }
+      (Spec_codegen.Codegen.lower p2)
+  in
+  check_bool "small ALAT misses more" true
+    (small_alat.Machine.perf.Machine.check_misses
+     > big_alat.Machine.perf.Machine.check_misses);
+  (* correctness unaffected by capacity *)
+  check_str "same output" big_alat.Machine.output small_alat.Machine.output
+
+let test_rse_accounting () =
+  let src =
+    "int deep(int n){ int a; int b; int c; int d; \
+     a = n; b = a + 1; c = b + 1; d = c + 1; \
+     if (n <= 0) return d; return deep(n - 1) + a; } \
+     int main(){ print_int(deep(40)); return 0; }"
+  in
+  let r = Machine.run_sir (Lower.compile src) in
+  check_bool "deep recursion stacks registers" true
+    (r.Machine.perf.Machine.max_stacked_regs > 96);
+  check_bool "RSE spills cost cycles" true
+    (r.Machine.perf.Machine.rse_stall_cycles > 0)
+
+(* differential property over random programs, through codegen *)
+let prop_machine_differential =
+  QCheck.Test.make ~count:40
+    ~name:"machine and interpreter agree on random speculative programs"
+    (QCheck.make ~print:Fun.id
+       QCheck.Gen.(
+         let* n = int_range 3 10 in
+         let* alias_pct = int_range 0 100 in
+         return
+           (Printf.sprintf
+              "int a[4]; int b[4]; \
+               int main(){ int* q; int s; s = 0; q = &b[0]; \
+               for (int i = 0; i < %d; i++) { \
+                 if (rnd(100) < %d) q = &a[i %% 4]; else q = &b[i %% 4]; \
+                 *q = i; s += a[0] + a[i %% 4] + b[1]; } \
+               print_int(s); return 0; }"
+              n alias_pct)))
+    (fun src ->
+      let baseline = interp_out (Lower.compile src) in
+      List.for_all
+        (fun variant ->
+          let p = optimize src variant in
+          machine_out p = baseline)
+        [ Pipeline.Base; Pipeline.Spec_heuristic ])
+
+let suite =
+  [ Alcotest.test_case "machine basic" `Quick test_machine_basic;
+    Alcotest.test_case "machine matches interp" `Quick test_machine_matches_interp_suite;
+    Alcotest.test_case "machine speculative code" `Quick test_machine_runs_speculative_code;
+    Alcotest.test_case "ALAT hits are free" `Quick test_alat_hit_makes_checks_free;
+    Alcotest.test_case "ALAT miss recovers" `Quick test_alat_miss_recovers;
+    Alcotest.test_case "spec reduces loads+cycles" `Quick test_speculation_reduces_loads_and_cycles;
+    Alcotest.test_case "fp loads slower" `Quick test_fp_loads_slower_than_int;
+    Alcotest.test_case "cache locality" `Quick test_cache_locality_matters;
+    Alcotest.test_case "ALAT capacity pressure" `Quick test_alat_capacity_pressure;
+    Alcotest.test_case "RSE accounting" `Quick test_rse_accounting;
+    QCheck_alcotest.to_alcotest prop_machine_differential ]

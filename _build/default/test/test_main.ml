@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "specpre"
+    [ ("frontend", Test_frontend.suite);
+      ("cfg", Test_cfg.suite);
+      ("interp", Test_interp.suite);
+      ("alias", Test_alias.suite);
+      ("ssa", Test_ssa.suite);
+      ("ssapre", Test_ssapre.suite);
+      ("strength", Test_strength.suite);
+      ("refine", Test_refine.suite);
+      ("units", Test_units.suite);
+      ("cleanup", Test_cleanup.suite);
+      ("store_promo", Test_store_promo.suite);
+      ("paper", Test_paper_examples.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("machine", Test_machine.suite);
+      ("schedule", Test_schedule.suite);
+      ("workloads", Test_workloads.suite) ]

@@ -1,0 +1,120 @@
+(* Tests for the local ITL list scheduler. *)
+
+open Spec_ir
+open Spec_driver
+open Spec_codegen
+open Spec_machine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let lower_opt src variant =
+  let prof = Pipeline.profile_of_source src in
+  let r =
+    Pipeline.compile_and_optimize ~edge_profile:(Some prof) src variant
+  in
+  Codegen.lower r.Pipeline.prog
+
+let test_semantics_preserved () =
+  let srcs =
+    [ "int a[16]; int main(){ int s; s = 0; \
+       for (int i = 0; i < 16; i++) a[i] = i * 3; \
+       for (int i = 0; i < 16; i++) s += a[i]; \
+       print_int(s); return 0; }";
+      "float v[32]; int main(){ float s; s = 0.0; \
+       for (int i = 0; i < 32; i++) v[i] = (float)(i) / 2.0; \
+       for (int i = 0; i < 32; i++) s = s + v[i] * v[i]; \
+       print_flt(s); return 0; }";
+      "int fib(int n){ if (n < 2) return n; return fib(n-1) + fib(n-2); } \
+       int main(){ print_int(fib(11)); return 0; }" ]
+  in
+  List.iter
+    (fun src ->
+      let plain = lower_opt src Pipeline.Base in
+      let sched = lower_opt src Pipeline.Base in
+      ignore (Schedule.run sched : Schedule.stats);
+      let r1 = Machine.run plain in
+      let r2 = Machine.run sched in
+      check_str "output unchanged" r1.Machine.output r2.Machine.output;
+      (* memory-system behaviour must be identical *)
+      check_int "same loads" (Machine.loads_retired r1.Machine.perf)
+        (Machine.loads_retired r2.Machine.perf);
+      check_int "same stores" r1.Machine.perf.Machine.stores
+        r2.Machine.perf.Machine.stores)
+    srcs
+
+let test_speculative_code_preserved () =
+  let src =
+    "int g; int h; \
+     int main(){ int s; s = 0; g = 7; int* w; w = &h; \
+     if (rnd(1000) == 999) w = &g; \
+     for (int i = 0; i < 100; i++) { s = s + g; *w = i; } \
+     print_int(s); print_int(h); return 0; }"
+  in
+  let plain = lower_opt src Pipeline.Spec_heuristic in
+  let sched = lower_opt src Pipeline.Spec_heuristic in
+  ignore (Schedule.run sched : Schedule.stats);
+  let r1 = Machine.run plain in
+  let r2 = Machine.run sched in
+  check_str "output unchanged" r1.Machine.output r2.Machine.output;
+  (* check/ALAT behaviour is untouched because memory order is kept *)
+  check_int "same checks" r1.Machine.perf.Machine.checks
+    r2.Machine.perf.Machine.checks;
+  check_int "same check misses" r1.Machine.perf.Machine.check_misses
+    r2.Machine.perf.Machine.check_misses
+
+let test_scheduler_hides_latency () =
+  (* a long-latency FP load whose consumer is immediately next, followed
+     by plenty of independent integer work the scheduler can move up *)
+  let src =
+    "float v[8]; int main(){ float acc; acc = 0.0; int k; k = 1; \
+     for (int i = 0; i < 2000; i++) { \
+       acc = acc + v[i % 8] * 2.0; \
+       k = k * 3 + 1; k = k % 1000; k = k + i; k = k % 777; \
+     } \
+     print_flt(acc); print_int(k); return 0; }"
+  in
+  let plain = lower_opt src Pipeline.Base in
+  let sched = lower_opt src Pipeline.Base in
+  let st = Schedule.run sched in
+  check_bool "scheduler moved instructions" true (st.Schedule.moved > 0);
+  let r1 = Machine.run plain in
+  let r2 = Machine.run sched in
+  check_str "output unchanged" r1.Machine.output r2.Machine.output;
+  check_bool "scheduling does not slow the hot loop" true
+    (r2.Machine.perf.Machine.cycles
+     <= r1.Machine.perf.Machine.cycles + r1.Machine.perf.Machine.cycles / 50)
+
+(* property: scheduling never changes observable behaviour *)
+let prop_schedule_differential =
+  QCheck.Test.make ~count:40 ~name:"scheduling preserves behaviour"
+    (QCheck.make ~print:Fun.id
+       QCheck.Gen.(
+         let* n = int_range 3 10 in
+         let* alias_pct = int_range 0 100 in
+         return
+           (Printf.sprintf
+              "int a[4]; int b[4]; \
+               int main(){ int* q; int s; s = 0; q = &b[0]; \
+               for (int i = 0; i < %d; i++) { \
+                 if (rnd(100) < %d) q = &a[i %% 4]; else q = &b[i %% 4]; \
+                 *q = i; s += a[0] + a[i %% 4] + b[1] + i * 5; } \
+               print_int(s); return 0; }"
+              n alias_pct)))
+    (fun src ->
+      let plain = lower_opt src Pipeline.Spec_heuristic in
+      let sched = lower_opt src Pipeline.Spec_heuristic in
+      ignore (Schedule.run sched : Schedule.stats);
+      let r1 = Machine.run plain in
+      let r2 = Machine.run sched in
+      r1.Machine.output = r2.Machine.output
+      && r1.Machine.perf.Machine.checks = r2.Machine.perf.Machine.checks
+      && r1.Machine.perf.Machine.check_misses
+         = r2.Machine.perf.Machine.check_misses)
+
+let suite =
+  [ Alcotest.test_case "semantics preserved" `Quick test_semantics_preserved;
+    Alcotest.test_case "speculative code preserved" `Quick test_speculative_code_preserved;
+    Alcotest.test_case "hides latency" `Quick test_scheduler_hides_latency;
+    QCheck_alcotest.to_alcotest prop_schedule_differential ]
