@@ -7,6 +7,7 @@
      bench/main.exe --quick         -- train-sized inputs (fast smoke run)
      bench/main.exe --table fig10   -- a single table
      bench/main.exe --micro         -- Bechamel compiler-phase benches
+     bench/main.exe --json          -- per-pass timing dump (JSON, stdout)
 
    Tables: smvp fig10 fig11 fig12 heuristics rse
            ablate-cspec ablate-alat micro *)
@@ -150,6 +151,41 @@ let micro () =
       | Some _ | None -> Printf.printf "%-45s (no estimate)\n" name)
     (List.sort compare rows)
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable per-pass timing dump (--json)                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Compile every workload (train input) under every optimizing variant
+    and dump the pass manager's per-pass timings, statistics and
+    analysis-cache counters as JSON on stdout. *)
+let json_dump () =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\"workloads\":[";
+  List.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_char buf ',';
+      let src = Spec_workloads.Workloads.train_source w in
+      let prof = Pipeline.profile_of_source src in
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":%S,\"variants\":["
+           w.Spec_workloads.Workloads.name);
+      List.iteri
+        (fun j (vname, v) ->
+          if j > 0 then Buffer.add_char buf ',';
+          let r =
+            Pipeline.compile_and_optimize ~edge_profile:(Some prof) src v
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "{\"variant\":%S,\"report\":%s}" vname
+               (Passes.report_to_json r.Pipeline.report)))
+        [ "base", Pipeline.Base; "profile", Pipeline.Spec_profile prof;
+          "heuristic", Pipeline.Spec_heuristic;
+          "aggressive", Pipeline.Aggressive ];
+      Buffer.add_string buf "]}")
+    Spec_workloads.Workloads.all;
+  Buffer.add_string buf "]}\n";
+  print_string (Buffer.contents buf)
+
 let table_ablate_threshold () =
   section
     "Ablation: alias-likeliness threshold (speculate past rare real aliases)";
@@ -177,6 +213,8 @@ let known_tables =
     "ablate-threshold", table_ablate_threshold;
     "ablate-sched", table_ablate_sched; "micro", micro ]
 
+let json = ref false
+
 let () =
   let args = Array.to_list Sys.argv in
   let rec parse = function
@@ -184,12 +222,18 @@ let () =
     | "--full" :: rest -> quick := false; parse rest
     | "--quick" :: rest -> quick := true; parse rest
     | "--micro" :: rest -> tables := "micro" :: !tables; parse rest
+    | "--json" :: rest -> json := true; parse rest
     | "--table" :: t :: rest -> tables := t :: !tables; parse rest
     | a :: rest ->
       Printf.eprintf "ignoring unknown argument %s\n" a;
       parse rest
   in
   parse (List.tl args);
+  if !json then begin
+    (* machine-readable mode: nothing but JSON on stdout *)
+    json_dump ();
+    exit 0
+  end;
   Printf.printf
     "specpre benchmark harness (%s inputs)\n\
      Reproduces: Lin, Chen, Hsu, Yew, Ju, Ngai, Chan.\n\

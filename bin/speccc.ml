@@ -35,19 +35,33 @@ let mode_arg =
            ~doc:"speculation policy: none, base, profile, heuristic, \
                  aggressive")
 
-let variant_of_mode src = function
+let variant_of_mode prof = function
   | `None -> Pipeline.Noopt
   | `Base -> Pipeline.Base
-  | `Profile ->
-    let prof = Pipeline.profile_of_source src in
-    Pipeline.Spec_profile prof
+  | `Profile -> Pipeline.Spec_profile prof
   | `Heuristic -> Pipeline.Spec_heuristic
   | `Aggressive -> Pipeline.Aggressive
 
-let optimize_src src mode =
-  let variant = variant_of_mode src mode in
+(* profile exactly once: the same training run seeds both the
+   [Spec_profile] variant (alias profile) and the edge profile for
+   control speculation *)
+let optimize_src ?(verify_each = false) src mode =
   let prof = Pipeline.profile_of_source src in
-  Pipeline.compile_and_optimize ~edge_profile:(Some prof) src variant
+  let variant = variant_of_mode prof mode in
+  Pipeline.compile_and_optimize ~verify_each ~edge_profile:(Some prof) src
+    variant
+
+let verify_arg =
+  Arg.(value & flag
+       & info [ "verify-each" ]
+           ~doc:"validate CFG and SSA invariants between passes; name the \
+                 offending pass on failure")
+
+let timings_arg =
+  Arg.(value & flag
+       & info [ "timings" ]
+           ~doc:"print per-pass wall time, per-pass statistics and \
+                 analysis-cache counters")
 
 (* ---- run ---- *)
 
@@ -56,9 +70,11 @@ let run_cmd =
     Arg.(value & flag & info [ "machine" ] ~doc:"run on the ITL machine \
                                                  simulator (with counters)")
   in
-  let action file mode machine =
+  let action file mode machine verify_each timings =
     let src = read_file file in
-    let r = optimize_src src mode in
+    let r = optimize_src ~verify_each src mode in
+    if timings then
+      prerr_string (Spec_driver.Passes.report_to_string r.Pipeline.report);
     if machine then begin
       let m = Spec_machine.Machine.run_sir r.Pipeline.prog in
       print_string m.Spec_machine.Machine.output;
@@ -77,7 +93,8 @@ let run_cmd =
     0
   in
   Cmd.v (Cmd.info "run" ~doc:"compile, optimize and execute a program")
-    Term.(const action $ src_arg $ mode_arg $ machine)
+    Term.(const action $ src_arg $ mode_arg $ machine $ verify_arg
+          $ timings_arg)
 
 (* ---- dump ---- *)
 
@@ -139,16 +156,19 @@ let dump_cmd =
 (* ---- stats ---- *)
 
 let stats_cmd =
-  let action file =
+  let action file verify_each timings =
     let src = read_file file in
     let prof = Pipeline.profile_of_source src in
     Printf.printf "%-10s %10s %10s %8s %8s %8s %8s\n" "variant" "cycles"
       "insns" "loads" "checks" "misses" "stores";
+    let reports = ref [] in
     List.iter
       (fun (name, variant) ->
         let r =
-          Pipeline.compile_and_optimize ~edge_profile:(Some prof) src variant
+          Pipeline.compile_and_optimize ~verify_each ~edge_profile:(Some prof)
+            src variant
         in
+        reports := (name, r.Pipeline.report) :: !reports;
         let m = Spec_machine.Machine.run_sir r.Pipeline.prog in
         let p = m.Spec_machine.Machine.perf in
         Printf.printf "%-10s %10d %10d %8d %8d %8d %8d\n" name
@@ -160,11 +180,17 @@ let stats_cmd =
         "profile", Pipeline.Spec_profile prof;
         "heuristic", Pipeline.Spec_heuristic;
         "aggressive", Pipeline.Aggressive ];
+    if timings then
+      List.iter
+        (fun (name, report) ->
+          Printf.printf "\n-- %s pass timings --\n%s" name
+            (Spec_driver.Passes.report_to_string report))
+        (List.rev !reports);
     0
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"machine counters for every pipeline variant")
-    Term.(const action $ src_arg)
+    Term.(const action $ src_arg $ verify_arg $ timings_arg)
 
 let main_cmd =
   Cmd.group

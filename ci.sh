@@ -1,0 +1,35 @@
+#!/bin/sh
+# CI entry point: build, run the full test suite, then smoke-test the
+# speccc driver (machine counters + per-pass timings + inter-pass
+# verification) on one workload kernel.
+#
+# Same steps as `dune build @ci`, runnable standalone.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== speccc stats smoke test =="
+tmp="$(mktemp -t speccc-ci-XXXXXX.c)"
+trap 'rm -f "$tmp"' EXIT
+cat > "$tmp" <<'EOF'
+int A[64];
+int total;
+int main() {
+  int i; i = 0;
+  while (i < 64) { A[i] = i * 3; i = i + 1; }
+  total = 0;
+  i = 0;
+  while (i < 64) { total = total + A[i]; i = i + 1; }
+  print_int(total);
+  return 0;
+}
+EOF
+dune exec bin/speccc.exe -- stats --timings --verify-each "$tmp"
+
+echo "== ci ok =="

@@ -181,10 +181,18 @@ let annotate_term info (f : Sir.func) (b : Sir.bb) =
 
 (** Run the full alias pipeline and annotate every statement.
     [refinements] carries flow-sensitive definite-target facts from a
-    previous SSA round (see [Spec_ssa.Refine]). *)
-let run ?refinements (prog : Sir.prog) : info =
-  let sol = Steensgaard.solve prog in
-  let modref = Modref.compute prog sol in
+    previous SSA round (see [Spec_ssa.Refine]).  [points_to] supplies a
+    cached Steensgaard solution and mod/ref summary (sound across the
+    optimizer's transformations, which never create new reference sites);
+    when absent both are solved from scratch. *)
+let run ?refinements ?points_to (prog : Sir.prog) : info =
+  let sol, modref =
+    match points_to with
+    | Some (sol, modref) -> sol, modref
+    | None ->
+      let sol = Steensgaard.solve prog in
+      sol, Modref.compute prog sol
+  in
   let accessed = Hashtbl.create 16 in
   List.iter (fun c -> Hashtbl.replace accessed c ())
     (Steensgaard.accessed_classes sol);

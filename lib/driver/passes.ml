@@ -1,0 +1,558 @@
+(** Pass manager: the compilation stack as first-class, schedulable
+    passes over SIR with cached analyses, per-pass timing/stats, and
+    optional inter-pass IR verification.
+
+    The paper (Figure 3) frames speculative analysis as a framework of
+    cooperating phases; here each phase is a registered, named pass.  The
+    manager owns an analysis cache with a declared invalidation model:
+
+    - {b Points-to} — the Steensgaard solution plus the interprocedural
+      mod/ref summary.  Sound across every transformation in the stack
+      (transforms reuse existing reference sites and never create new
+      address-taken relations), so it is computed once per [optimize]
+      call instead of once per promotion round.
+    - {b Chi-mu} — the χ/μ annotation ([Spec_alias.Annotate.info]).
+      Statement-level lists are wiped by [out-of-ssa] and clobbered by
+      any transform that rewrites memory statements, so those passes
+      invalidate it; within a round annotate/flags/ssapre share one
+      computation.
+    - {b Dominators} — per-function dominator trees, keyed by function
+      name.  Valid while the CFG (block set and edges) is unchanged;
+      only [split-edges] mutates the CFG, and only when it actually
+      splits an edge.
+
+    A pass reports whether it mutated the program and which analyses it
+    clobbered; the manager invalidates exactly those.  Every pass run
+    records wall time and its own counters into a unified {!pass_stat}
+    record (nothing is [ignore]d any more), surfaced via
+    [speccc stats --timings] and [bench/main.exe --json]. *)
+
+open Spec_ir
+open Spec_cfg
+open Spec_spec
+open Spec_ssapre
+
+(* ------------------------------------------------------------------ *)
+(* Analysis cache                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type analysis = Points_to | Chi_mu | Dominators
+
+let analysis_name = function
+  | Points_to -> "points-to"
+  | Chi_mu -> "chi-mu"
+  | Dominators -> "dominators"
+
+(** Recomputation/reuse counters, for observability and for the tests
+    that pin down how much work the cache saves versus the old pipeline
+    (which re-ran Steensgaard every round and rebuilt dominator trees in
+    every client). *)
+type counters = {
+  mutable steensgaard_runs : int;
+  mutable modref_runs : int;
+  mutable annot_runs : int;
+  mutable dom_runs : int;        (** per-function dominator computations *)
+  mutable points_to_hits : int;
+  mutable annot_hits : int;
+  mutable dom_hits : int;
+}
+
+let fresh_counters () =
+  { steensgaard_runs = 0; modref_runs = 0; annot_runs = 0; dom_runs = 0;
+    points_to_hits = 0; annot_hits = 0; dom_hits = 0 }
+
+type cache = {
+  cprog : Sir.prog;
+  mutable points_to :
+    (Spec_alias.Steensgaard.solution * Spec_alias.Modref.t) option;
+  mutable chi_mu : Spec_alias.Annotate.info option;
+  doms : (string, Dom.t) Hashtbl.t;
+  counters : counters;
+}
+
+let create_cache prog =
+  { cprog = prog; points_to = None; chi_mu = None;
+    doms = Hashtbl.create 8; counters = fresh_counters () }
+
+let points_to cache =
+  match cache.points_to with
+  | Some pt ->
+    cache.counters.points_to_hits <- cache.counters.points_to_hits + 1;
+    pt
+  | None ->
+    let sol = Spec_alias.Steensgaard.solve cache.cprog in
+    cache.counters.steensgaard_runs <- cache.counters.steensgaard_runs + 1;
+    let modref = Spec_alias.Modref.compute cache.cprog sol in
+    cache.counters.modref_runs <- cache.counters.modref_runs + 1;
+    let pt = (sol, modref) in
+    cache.points_to <- Some pt;
+    pt
+
+let annot ?refinements cache =
+  match cache.chi_mu with
+  | Some info ->
+    cache.counters.annot_hits <- cache.counters.annot_hits + 1;
+    info
+  | None ->
+    let pt = points_to cache in
+    let info =
+      Spec_alias.Annotate.run ?refinements ~points_to:pt cache.cprog
+    in
+    cache.counters.annot_runs <- cache.counters.annot_runs + 1;
+    cache.chi_mu <- Some info;
+    info
+
+let dom_of cache (f : Sir.func) =
+  match Hashtbl.find_opt cache.doms f.Sir.fname with
+  | Some d ->
+    cache.counters.dom_hits <- cache.counters.dom_hits + 1;
+    d
+  | None ->
+    Sir.recompute_preds f;
+    let d = Dom.compute f in
+    cache.counters.dom_runs <- cache.counters.dom_runs + 1;
+    Hashtbl.replace cache.doms f.Sir.fname d;
+    d
+
+let invalidate cache = function
+  | Points_to -> cache.points_to <- None
+  | Chi_mu -> cache.chi_mu <- None
+  | Dominators -> Hashtbl.reset cache.doms
+
+(* ------------------------------------------------------------------ *)
+(* Pass context, outcomes, registry                                    *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  prog : Sir.prog;
+  cache : cache;
+  mode : Flags.mode;
+  config : Ssapre.config;
+  refinements : (int, Loc.t) Hashtbl.t;
+      (** flow-sensitive definite-target facts, filled by the [refine]
+          pass and consumed by every later χ/μ annotation *)
+  mutable in_ssa : bool;
+      (** true between [build-ssa] and the next SSA-destroying pass;
+          gates the SSA half of inter-pass verification *)
+  mutable ssapre_total : Ssapre.stats;
+      (** aggregated SSAPRE statistics across rounds, for [result] *)
+}
+
+type outcome = {
+  touched : bool;                  (** did the pass mutate the program? *)
+  invalidates : analysis list;     (** cached analyses it clobbered *)
+  counters : (string * int) list;  (** pass-specific statistics *)
+}
+
+let analysis_only = { touched = false; invalidates = []; counters = [] }
+
+type pass = {
+  pname : string;
+  pdescr : string;
+  prun : ctx -> outcome;
+}
+
+let registry : (string, pass) Hashtbl.t = Hashtbl.create 16
+let register p = Hashtbl.replace registry p.pname p
+
+let find_pass name =
+  match Hashtbl.find_opt registry name with
+  | Some p -> p
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Passes.find_pass: unknown pass %S (known: %s)" name
+         (String.concat ", "
+            (List.sort compare
+               (Hashtbl.fold (fun n _ acc -> n :: acc) registry []))))
+
+let pass_names () =
+  List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) registry [])
+
+(* ------------------------------------------------------------------ *)
+(* The registered passes                                               *)
+(* ------------------------------------------------------------------ *)
+
+let count_spec_operands prog =
+  let mus = ref 0 and chis = ref 0 in
+  Sir.iter_funcs
+    (fun f ->
+      Vec.iter
+        (fun (b : Sir.bb) ->
+          List.iter
+            (fun (s : Sir.stmt) ->
+              List.iter
+                (fun (m : Sir.mu) -> if m.Sir.mu_spec then incr mus)
+                s.Sir.mus;
+              List.iter
+                (fun (c : Sir.chi) -> if c.Sir.chi_spec then incr chis)
+                s.Sir.chis)
+            b.Sir.stmts)
+        f.Sir.fblocks)
+    prog;
+  (!mus, !chis)
+
+let count_phis prog =
+  let n = ref 0 in
+  Sir.iter_funcs
+    (fun f ->
+      Vec.iter
+        (fun (b : Sir.bb) -> n := !n + List.length b.Sir.phis)
+        f.Sir.fblocks)
+    prog;
+  !n
+
+(** Drop every check statement — the Aggressive variant's second step;
+    correct only when no aliasing actually occurs at runtime. *)
+let strip_checks (prog : Sir.prog) : int =
+  let stripped = ref 0 in
+  Sir.iter_funcs
+    (fun f ->
+      Vec.iter
+        (fun (b : Sir.bb) ->
+          b.Sir.stmts <-
+            List.filter
+              (fun (s : Sir.stmt) ->
+                let keep = s.Sir.mark <> Sir.Mchk in
+                if not keep then incr stripped;
+                keep)
+              b.Sir.stmts)
+        f.Sir.fblocks)
+    prog;
+  !stripped
+
+let p_annotate =
+  { pname = "annotate";
+    pdescr = "alias classes + interprocedural mod/ref + chi/mu lists";
+    prun =
+      (fun ctx ->
+        let info = annot ~refinements:ctx.refinements ctx.cache in
+        { touched = true;
+          invalidates = [];
+          counters =
+            [ "sites", Hashtbl.length info.Spec_alias.Annotate.site_vv ] }) }
+
+let p_flags =
+  { pname = "flags";
+    pdescr = "speculation-flag assignment to chi/mu operands";
+    prun =
+      (fun ctx ->
+        let info = annot ~refinements:ctx.refinements ctx.cache in
+        Flags.assign ~threshold:ctx.config.Ssapre.alias_threshold ctx.prog
+          info ctx.mode;
+        let mus, chis = count_spec_operands ctx.prog in
+        { touched = true;
+          invalidates = [];
+          counters = [ "flagged-mus", mus; "flagged-chis", chis ] }) }
+
+let p_split_edges =
+  { pname = "split-edges";
+    pdescr = "split critical CFG edges (SSAPRE insertion points)";
+    prun =
+      (fun ctx ->
+        let n = ref 0 in
+        Sir.iter_funcs
+          (fun f -> n := !n + Cfg_utils.split_critical_edges f)
+          ctx.prog;
+        { touched = !n > 0;
+          invalidates = (if !n > 0 then [ Dominators ] else []);
+          counters = [ "edges-split", !n ] }) }
+
+let p_build_ssa =
+  { pname = "build-ssa";
+    pdescr = "HSSA construction (phi insertion + renaming)";
+    prun =
+      (fun ctx ->
+        ignore
+          (Spec_ssa.Build_ssa.build ~dom_of:(dom_of ctx.cache) ctx.prog
+           : Spec_ssa.Build_ssa.t list);
+        ctx.in_ssa <- true;
+        { touched = true;
+          invalidates = [];
+          counters = [ "phis", count_phis ctx.prog ] }) }
+
+let p_refine =
+  { pname = "refine";
+    pdescr = "flow-sensitive pointer refinement (definite targets)";
+    prun =
+      (fun ctx ->
+        ignore
+          (Spec_ssa.Refine.compute ~acc:ctx.refinements ctx.prog
+           : (int, Loc.t) Hashtbl.t);
+        (* later annotations depend on the refinement facts *)
+        { touched = false;
+          invalidates = [ Chi_mu ];
+          counters =
+            [ "refined-sites", Hashtbl.length ctx.refinements ] }) }
+
+let p_ssapre =
+  { pname = "ssapre";
+    pdescr = "speculative SSAPRE (register promotion of loads)";
+    prun =
+      (fun ctx ->
+        let info = annot ~refinements:ctx.refinements ctx.cache in
+        let st = ref Ssapre.zero_stats in
+        Sir.iter_funcs
+          (fun f ->
+            let dom = dom_of ctx.cache f in
+            st :=
+              Ssapre.add_stats !st
+                (Ssapre.run_func ~dom ctx.prog info ctx.config f))
+          ctx.prog;
+        ctx.ssapre_total <- Ssapre.add_stats ctx.ssapre_total !st;
+        (* run_func leaves functions in flat (non-SSA-maintained) form *)
+        ctx.in_ssa <- false;
+        let s = !st in
+        let touched =
+          s.Ssapre.checks + s.Ssapre.reloads + s.Ssapre.saves
+          + s.Ssapre.inserts > 0
+        in
+        { touched;
+          invalidates = (if touched then [ Chi_mu ] else []);
+          counters =
+            [ "items", s.Ssapre.items; "checks", s.Ssapre.checks;
+              "reloads", s.Ssapre.reloads; "saves", s.Ssapre.saves;
+              "inserts", s.Ssapre.inserts;
+              "cspec-phis", s.Ssapre.cspec_phis ] }) }
+
+let p_out_of_ssa =
+  { pname = "out-of-ssa";
+    pdescr = "de-version SIR, drop phis and chi/mu annotations";
+    prun =
+      (fun ctx ->
+        Spec_ssa.Out_of_ssa.run ctx.prog;
+        ctx.in_ssa <- false;
+        (* statement-level chi/mu lists are wiped by de-versioning *)
+        { touched = true; invalidates = [ Chi_mu ]; counters = [] }) }
+
+let p_store_promo =
+  { pname = "store-promo";
+    pdescr = "speculative register promotion of stores (SPRE)";
+    prun =
+      (fun ctx ->
+        let info = annot ~refinements:ctx.refinements ctx.cache in
+        let kctx =
+          Kills.create ~alias_threshold:ctx.config.Ssapre.alias_threshold
+            ctx.prog info ctx.mode
+        in
+        let st =
+          Spec_ssapre.Store_promo.run ~dom_of:(dom_of ctx.cache) ctx.prog
+            info kctx
+        in
+        let touched = st.Store_promo.promoted > 0 in
+        { touched;
+          invalidates = (if touched then [ Chi_mu ] else []);
+          counters =
+            [ "promoted", st.Store_promo.promoted;
+              "loads-gone", st.Store_promo.loads_gone;
+              "stores-gone", st.Store_promo.stores_gone;
+              "checks", st.Store_promo.checks ] }) }
+
+let p_strength =
+  { pname = "strength";
+    pdescr = "strength reduction + linear function test replacement";
+    prun =
+      (fun ctx ->
+        let st =
+          Spec_ssapre.Strength.run ~dom_of:(dom_of ctx.cache) ctx.prog
+        in
+        let touched = st.Strength.reduced + st.Strength.lftr > 0 in
+        { touched;
+          invalidates = (if touched then [ Chi_mu ] else []);
+          counters =
+            [ "reduced", st.Strength.reduced; "lftr", st.Strength.lftr ] }) }
+
+let p_cleanup =
+  { pname = "cleanup";
+    pdescr = "constant folding, copy propagation, dead-code elimination";
+    prun =
+      (fun ctx ->
+        let st = Spec_ssapre.Cleanup.run ctx.prog in
+        let touched =
+          st.Cleanup.folded + st.Cleanup.propagated + st.Cleanup.removed > 0
+        in
+        { touched;
+          invalidates = (if touched then [ Chi_mu ] else []);
+          counters =
+            [ "folded", st.Cleanup.folded;
+              "propagated", st.Cleanup.propagated;
+              "removed", st.Cleanup.removed ] }) }
+
+let p_strip_checks =
+  { pname = "strip-checks";
+    pdescr = "drop runtime checks (Aggressive upper-bound variant)";
+    prun =
+      (fun ctx ->
+        let n = strip_checks ctx.prog in
+        { touched = n > 0;
+          invalidates = (if n > 0 then [ Chi_mu ] else []);
+          counters = [ "stripped", n ] }) }
+
+let () =
+  List.iter register
+    [ p_annotate; p_flags; p_split_edges; p_build_ssa; p_refine; p_ssapre;
+      p_out_of_ssa; p_store_promo; p_strength; p_cleanup; p_strip_checks ]
+
+(* ------------------------------------------------------------------ *)
+(* Manager: scheduling, timing, verification                           *)
+(* ------------------------------------------------------------------ *)
+
+type pass_stat = {
+  ps_pass : string;
+  mutable ps_runs : int;
+  mutable ps_touched : int;     (** runs that reported a mutation *)
+  mutable ps_time : float;      (** accumulated wall time, seconds *)
+  mutable ps_counters : (string * int) list;  (** summed across runs *)
+}
+
+type report = {
+  rp_passes : pass_stat list;   (** in first-run order *)
+  rp_counters : counters;
+  rp_verified : int;            (** inter-pass verification runs *)
+  rp_total_time : float;
+}
+
+let empty_report () =
+  { rp_passes = []; rp_counters = fresh_counters (); rp_verified = 0;
+    rp_total_time = 0. }
+
+(** Raised by [--verify-each] with the name of the offending pass and
+    the underlying invariant violation. *)
+exception Verify_error of string * string
+
+type manager = {
+  mctx : ctx;
+  verify_each : bool;
+  mstats : (string, pass_stat) Hashtbl.t;
+  mutable morder : string list;   (* reverse first-run order *)
+  mutable mverified : int;
+  mutable mtotal : float;
+}
+
+let create ?(verify_each = false) ~mode ~config prog =
+  { mctx =
+      { prog; cache = create_cache prog; mode; config;
+        refinements = Hashtbl.create 16; in_ssa = false;
+        ssapre_total = Ssapre.zero_stats };
+    verify_each; mstats = Hashtbl.create 16; morder = []; mverified = 0;
+    mtotal = 0. }
+
+let context mgr = mgr.mctx
+
+let merge_counters old add =
+  List.fold_left
+    (fun acc (k, v) ->
+      match List.assoc_opt k acc with
+      | Some v0 -> (k, v0 + v) :: List.remove_assoc k acc
+      | None -> acc @ [ (k, v) ])
+    old add
+
+(** Structural IR verification between passes: CFG invariants always,
+    SSA invariants while the program is in SSA form.  Names the pass
+    that broke the IR on failure. *)
+let verify mgr pass_name =
+  mgr.mverified <- mgr.mverified + 1;
+  try
+    Sir.iter_funcs (fun f -> Cfg_utils.validate f) mgr.mctx.prog;
+    if mgr.mctx.in_ssa then
+      Spec_ssa.Ssa_check.check ~dom_of:(dom_of mgr.mctx.cache) mgr.mctx.prog
+  with
+  | Failure msg -> raise (Verify_error (pass_name, msg))
+  | Verify_error _ as e -> raise e
+
+let run_pass mgr name =
+  let p = find_pass name in
+  let t0 = Unix.gettimeofday () in
+  let o = p.prun mgr.mctx in
+  let dt = Unix.gettimeofday () -. t0 in
+  mgr.mtotal <- mgr.mtotal +. dt;
+  let st =
+    match Hashtbl.find_opt mgr.mstats p.pname with
+    | Some st -> st
+    | None ->
+      let st =
+        { ps_pass = p.pname; ps_runs = 0; ps_touched = 0; ps_time = 0.;
+          ps_counters = [] }
+      in
+      Hashtbl.replace mgr.mstats p.pname st;
+      mgr.morder <- p.pname :: mgr.morder;
+      st
+  in
+  st.ps_runs <- st.ps_runs + 1;
+  if o.touched then st.ps_touched <- st.ps_touched + 1;
+  st.ps_time <- st.ps_time +. dt;
+  st.ps_counters <- merge_counters st.ps_counters o.counters;
+  List.iter (invalidate mgr.mctx.cache) o.invalidates;
+  if mgr.verify_each then verify mgr p.pname
+
+let run_passes mgr names = List.iter (run_pass mgr) names
+
+let report mgr =
+  { rp_passes =
+      List.rev_map (fun n -> Hashtbl.find mgr.mstats n) mgr.morder;
+    rp_counters = mgr.mctx.cache.counters;
+    rp_verified = mgr.mverified;
+    rp_total_time = mgr.mtotal }
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let counters_to_string c =
+  Printf.sprintf
+    "analyses: steensgaard=%d modref=%d annotate=%d dom=%d \
+     (hits: points-to=%d annotate=%d dom=%d)"
+    c.steensgaard_runs c.modref_runs c.annot_runs c.dom_runs
+    c.points_to_hits c.annot_hits c.dom_hits
+
+let report_to_string r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-12s %5s %8s  %s\n" "pass" "runs" "ms" "stats");
+  List.iter
+    (fun st ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-12s %5d %8.2f  %s\n" st.ps_pass st.ps_runs
+           (st.ps_time *. 1000.)
+           (String.concat " "
+              (List.map
+                 (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                 st.ps_counters))))
+    r.rp_passes;
+  Buffer.add_string buf
+    (Printf.sprintf "%-12s %5s %8.2f\n" "total" "" (r.rp_total_time *. 1000.));
+  Buffer.add_string buf (counters_to_string r.rp_counters);
+  Buffer.add_char buf '\n';
+  if r.rp_verified > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "inter-pass verification: %d runs, all clean\n"
+         r.rp_verified);
+  Buffer.contents buf
+
+let report_to_json r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"passes\":[";
+  List.iteri
+    (fun i st ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":%S,\"runs\":%d,\"touched\":%d,\"ms\":%.3f,\"stats\":{"
+           st.ps_pass st.ps_runs st.ps_touched (st.ps_time *. 1000.));
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "%S:%d" k v))
+        st.ps_counters;
+      Buffer.add_string buf "}}")
+    r.rp_passes;
+  let c = r.rp_counters in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "],\"analyses\":{\"steensgaard_runs\":%d,\"modref_runs\":%d,\
+        \"annot_runs\":%d,\"dom_runs\":%d,\"points_to_hits\":%d,\
+        \"annot_hits\":%d,\"dom_hits\":%d},\"verified\":%d,\
+        \"total_ms\":%.3f}"
+       c.steensgaard_runs c.modref_runs c.annot_runs c.dom_runs
+       c.points_to_hits c.annot_hits c.dom_hits r.rp_verified
+       (r.rp_total_time *. 1000.));
+  Buffer.contents buf

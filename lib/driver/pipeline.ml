@@ -1,4 +1,4 @@
-(** Compilation pipelines.
+(** Compilation pipelines, scheduled on the {!Passes} manager.
 
     A pipeline takes a freshly lowered SIR program through the paper's
     analysis and optimization stack:
@@ -7,12 +7,16 @@
       speculative SSAPRE -> out of SSA
 
     repeated for a few rounds so loads nested inside other loads (e.g.
-    [A\[i\]\[j\]], which is an iload of an iload) get promoted outside-in.
-    The resulting program still runs on the reference interpreter and can
-    be lowered to the ITL machine. *)
+    [A\[i\]\[j\]], which is an iload of an iload) get promoted outside-in,
+    then store promotion, strength reduction and scalar cleanup.  The
+    schedule is expressed as named passes over a {!Passes.manager}, so
+    expensive analyses (Steensgaard points-to, mod/ref, dominator trees)
+    are computed once and reused across rounds, every pass is timed, and
+    [verify_each] checks IR invariants between passes.  The resulting
+    program still runs on the reference interpreter and can be lowered
+    to the ITL machine. *)
 
 open Spec_ir
-open Spec_cfg
 open Spec_prof
 open Spec_spec
 open Spec_ssapre
@@ -36,22 +40,14 @@ let variant_name = function
     register promotion" upper bound, which allocates memory references to
     registers without considering potential aliasing (correct only when no
     aliasing actually occurs at runtime). *)
-let strip_checks (prog : Sir.prog) =
-  Sir.iter_funcs
-    (fun f ->
-      Vec.iter
-        (fun (b : Sir.bb) ->
-          b.Sir.stmts <-
-            List.filter
-              (fun (s : Sir.stmt) -> s.Sir.mark <> Sir.Mchk)
-              b.Sir.stmts)
-        f.Sir.fblocks)
-    prog
+let strip_checks (prog : Sir.prog) = ignore (Passes.strip_checks prog : int)
 
 type result = {
   prog : Sir.prog;
   stats : Ssapre.stats;
   variant : variant;
+  report : Passes.report;
+      (** per-pass wall time, statistics, and analysis-cache counters *)
 }
 
 let mode_of_variant = function
@@ -59,11 +55,24 @@ let mode_of_variant = function
   | Spec_profile p -> Flags.Profile_spec p
   | Spec_heuristic | Aggressive -> Flags.Heuristic_spec
 
+(** The flow-sensitive refinement prepass (Figure 4's last stage): build
+    SSA once, record definite pointer targets into the manager's
+    refinement table, and drop back out of SSA.  Every later annotation
+    consumes the recorded facts. *)
+let prepass_schedule = [ "annotate"; "split-edges"; "build-ssa"; "refine";
+                         "out-of-ssa" ]
+
+(** One outside-in promotion round. *)
+let round_schedule = [ "annotate"; "flags"; "split-edges"; "build-ssa";
+                       "ssapre"; "out-of-ssa" ]
+
 (** Run the optimizer on [prog] (destructively).  [rounds] bounds the
     outside-in promotion depth; [edge_profile] enables control
-    speculation. *)
+    speculation; [verify_each] validates CFG and SSA invariants between
+    passes, naming the offending pass on failure. *)
 let optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
-    ?(strength = true) (prog : Sir.prog) (variant : variant) : result =
+    ?(strength = true) ?(verify_each = false) (prog : Sir.prog)
+    (variant : variant) : result =
   let mode = mode_of_variant variant in
   let base_cfg =
     match config with
@@ -74,61 +83,31 @@ let optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
   (match edge_profile with
    | Some p -> Profile.annotate_block_freqs p prog
    | None -> ());
-  let total = ref Ssapre.zero_stats in
-  (* flow-sensitive refinement prepass (Figure 4's last stage): build SSA
-     once, record definite pointer targets, and feed them to every
-     annotation round *)
-  let refinements =
-    if variant = Noopt then Hashtbl.create 1
-    else begin
-      ignore (Spec_alias.Annotate.run prog : Spec_alias.Annotate.info);
-      Sir.iter_funcs
-        (fun f -> ignore (Cfg_utils.split_critical_edges f : int))
-        prog;
-      ignore (Spec_ssa.Build_ssa.build prog);
-      let r = Spec_ssa.Refine.compute prog in
-      Spec_ssa.Out_of_ssa.run prog;
-      r
-    end
-  in
-  if variant <> Noopt then
+  if variant = Noopt then
+    { prog; stats = Ssapre.zero_stats; variant;
+      report = Passes.empty_report () }
+  else begin
+    let mgr = Passes.create ~verify_each ~mode ~config:cfg prog in
+    Passes.run_passes mgr prepass_schedule;
     for _round = 1 to rounds do
-      let annot = Spec_alias.Annotate.run ~refinements prog in
-      Flags.assign ~threshold:cfg.Ssapre.alias_threshold prog annot mode;
-      Sir.iter_funcs
-        (fun f -> ignore (Cfg_utils.split_critical_edges f : int))
-        prog;
-      ignore (Spec_ssa.Build_ssa.build prog);
-      Sir.iter_funcs
-        (fun f ->
-          let st = Ssapre.run_func prog annot cfg f in
-          total := Ssapre.add_stats !total st)
-        prog;
-      Spec_ssa.Out_of_ssa.run prog
+      Passes.run_passes mgr round_schedule
     done;
-  (* store promotion (SPRE of stores): runs on the de-versioned program
-     with a fresh annotation; speculative policies allow promotion past
-     unlikely-aliasing stores with ld.c recovery *)
-  if variant <> Noopt then begin
-    let annot = Spec_alias.Annotate.run ~refinements prog in
-    let kctx =
-      Spec_spec.Kills.create ~alias_threshold:cfg.Ssapre.alias_threshold prog
-        annot mode
-    in
-    ignore (Spec_ssapre.Store_promo.run prog annot kctx
-            : Spec_ssapre.Store_promo.stats)
-  end;
-  if variant <> Noopt && strength then
-    ignore (Spec_ssapre.Strength.run prog : Spec_ssapre.Strength.stats);
-  if variant <> Noopt then
-    ignore (Spec_ssapre.Cleanup.run prog : Spec_ssapre.Cleanup.stats);
-  if variant = Aggressive then strip_checks prog;
-  { prog; stats = !total; variant }
+    (* store promotion (SPRE of stores): runs on the de-versioned program
+       with a fresh annotation; speculative policies allow promotion past
+       unlikely-aliasing stores with ld.c recovery *)
+    Passes.run_pass mgr "store-promo";
+    if strength then Passes.run_pass mgr "strength";
+    Passes.run_pass mgr "cleanup";
+    if variant = Aggressive then Passes.run_pass mgr "strip-checks";
+    { prog; stats = (Passes.context mgr).Passes.ssapre_total; variant;
+      report = Passes.report mgr }
+  end
 
 (** Convenience: compile source and optimize. *)
-let compile_and_optimize ?rounds ?config ?edge_profile ?strength src variant =
+let compile_and_optimize ?rounds ?config ?edge_profile ?strength ?verify_each
+    src variant =
   let prog = Lower.compile src in
-  optimize ?rounds ?config ?edge_profile ?strength prog variant
+  optimize ?rounds ?config ?edge_profile ?strength ?verify_each prog variant
 
 (** Profile a fresh compile of [src] (with whatever input [main] selects)
     and return the profile for feeding a [Spec_profile] pipeline of

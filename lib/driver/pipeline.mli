@@ -24,19 +24,29 @@ type result = {
   prog : Spec_ir.Sir.prog;
   stats : Spec_ssapre.Ssapre.stats;
   variant : variant;
+  report : Passes.report;
+      (** per-pass wall time, statistics, and analysis-cache counters *)
 }
 
 val mode_of_variant : variant -> Spec_spec.Flags.mode
 
+(** The pass schedules [optimize] runs on the {!Passes} manager: the
+    refinement prepass and one outside-in promotion round. *)
+val prepass_schedule : string list
+val round_schedule : string list
+
 (** Optimize [prog] destructively.  [rounds] bounds outside-in promotion
     depth (default 3); [edge_profile] enables control speculation and
     block frequencies; [config] overrides the SSAPRE configuration;
-    [strength] toggles strength reduction + LFTR (default on). *)
+    [strength] toggles strength reduction + LFTR (default on);
+    [verify_each] validates CFG and SSA invariants between passes,
+    raising [Passes.Verify_error] naming the offending pass. *)
 val optimize :
   ?rounds:int ->
   ?config:Spec_ssapre.Ssapre.config option ->
   ?edge_profile:Spec_prof.Profile.t option ->
   ?strength:bool ->
+  ?verify_each:bool ->
   Spec_ir.Sir.prog ->
   variant ->
   result
@@ -46,6 +56,7 @@ val compile_and_optimize :
   ?config:Spec_ssapre.Ssapre.config option ->
   ?edge_profile:Spec_prof.Profile.t option ->
   ?strength:bool ->
+  ?verify_each:bool ->
   string ->
   variant ->
   result

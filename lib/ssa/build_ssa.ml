@@ -163,16 +163,23 @@ let rename (prog : Sir.prog) (f : Sir.func) (dom : Dom.t) =
   walk Sir.entry_bid
 
 (** Build HSSA form for one function.  Assumes χ/μ lists are already
-    attached (see [Spec_alias.Annotate]) and critical edges are split. *)
-let build_func (prog : Sir.prog) (f : Sir.func) : t =
-  Sir.recompute_preds f;
-  let dom = Dom.compute f in
+    attached (see [Spec_alias.Annotate]) and critical edges are split.
+    [dom_of] supplies a (possibly cached) dominator tree valid for the
+    function's current CFG; when absent one is computed here. *)
+let build_func ?dom_of (prog : Sir.prog) (f : Sir.func) : t =
+  let dom =
+    match dom_of with
+    | Some get -> get f
+    | None ->
+      Sir.recompute_preds f;
+      Dom.compute f
+  in
   insert_phis prog f dom;
   rename prog f dom;
   { prog; func = f; dom }
 
 (** Build HSSA for every function in the program. *)
-let build (prog : Sir.prog) : t list =
+let build ?dom_of (prog : Sir.prog) : t list =
   let acc = ref [] in
-  Sir.iter_funcs (fun f -> acc := build_func prog f :: !acc) prog;
+  Sir.iter_funcs (fun f -> acc := build_func ?dom_of prog f :: !acc) prog;
   List.rev !acc

@@ -120,9 +120,11 @@ let check_func (prog : Sir.prog) (f : Sir.func) (dom : Dom.t) =
         b.Sir.preds)
     f.Sir.fblocks
 
-let check (prog : Sir.prog) =
+let check ?dom_of (prog : Sir.prog) =
   Sir.iter_funcs
     (fun f ->
-      let dom = Dom.compute f in
+      let dom =
+        match dom_of with Some get -> get f | None -> Dom.compute f
+      in
       check_func prog f dom)
     prog

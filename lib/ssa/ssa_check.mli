@@ -3,4 +3,8 @@
     Raises [Failure] with a description on the first violation. *)
 
 val check_func : Spec_ir.Sir.prog -> Spec_ir.Sir.func -> Spec_cfg.Dom.t -> unit
-val check : Spec_ir.Sir.prog -> unit
+
+(** Check every function.  [dom_of] supplies (possibly cached) dominator
+    trees; when absent they are computed per function. *)
+val check :
+  ?dom_of:(Spec_ir.Sir.func -> Spec_cfg.Dom.t) -> Spec_ir.Sir.prog -> unit

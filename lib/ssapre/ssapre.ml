@@ -880,9 +880,9 @@ let add_stats a b =
 (** Run one SSAPRE pass over a function already in HSSA form with
     speculation flags assigned.  The function is left in "flat" form:
     callers must run [Spec_ssa.Out_of_ssa] before executing it. *)
-let run_func (prog : Sir.prog) (annot : Spec_alias.Annotate.info)
+let run_func ?dom (prog : Sir.prog) (annot : Spec_alias.Annotate.info)
     (cfg : config) (f : Sir.func) : stats =
-  let dom = Dom.compute f in
+  let dom = match dom with Some d -> d | None -> Dom.compute f in
   let ctx =
     { prog; func = f; dom; cfg;
       kctx = Kills.create ~alias_threshold:cfg.alias_threshold prog annot

@@ -34,7 +34,10 @@ val add_stats : stats -> stats -> stats
 
 (** Run one SSAPRE pass over a function in HSSA form with speculation
     flags assigned.  Leaves the function in "flat" (non-SSA-maintained)
-    form: run [Spec_ssa.Out_of_ssa] before executing it. *)
+    form: run [Spec_ssa.Out_of_ssa] before executing it.  [dom] supplies
+    a (possibly cached) dominator tree for the function's current CFG;
+    when absent one is computed. *)
 val run_func :
+  ?dom:Spec_cfg.Dom.t ->
   Spec_ir.Sir.prog -> Spec_alias.Annotate.info -> config -> Spec_ir.Sir.func ->
   stats

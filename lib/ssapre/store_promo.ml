@@ -321,13 +321,18 @@ let promote_loop prog (annot : Spec_alias.Annotate.info) (kctx : Kills.ctx)
 (** Promote store-carrying invariant-address locations in every loop,
     innermost first.  Expects de-versioned SIR; [annot]/[kctx] must be
     freshly computed for the same program. *)
-let run (prog : Sir.prog) (annot : Spec_alias.Annotate.info)
+let run ?dom_of (prog : Sir.prog) (annot : Spec_alias.Annotate.info)
     (kctx : Kills.ctx) : stats =
   let st = { promoted = 0; loads_gone = 0; stores_gone = 0; checks = 0 } in
   Sir.iter_funcs
     (fun f ->
-      Sir.recompute_preds f;
-      let dom = Dom.compute f in
+      let dom =
+        match dom_of with
+        | Some get -> get f
+        | None ->
+          Sir.recompute_preds f;
+          Dom.compute f
+      in
       let loops =
         List.sort
           (fun a b -> compare b.Cfg_utils.depth a.Cfg_utils.depth)

@@ -12,6 +12,9 @@ type stats = {
 
 (** Promote qualifying store groups in every loop, innermost first.
     Expects de-versioned SIR; the annotation and kill-classification
-    context must be freshly computed for the same program. *)
+    context must be freshly computed for the same program.  [dom_of]
+    supplies (possibly cached) dominator trees; when absent they are
+    computed per function. *)
 val run :
+  ?dom_of:(Spec_ir.Sir.func -> Spec_cfg.Dom.t) ->
   Spec_ir.Sir.prog -> Spec_alias.Annotate.info -> Spec_spec.Kills.ctx -> stats

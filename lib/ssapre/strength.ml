@@ -327,12 +327,17 @@ and lftr prog (f : Sir.func) (stats : stats) (l : Cfg_utils.loop) ~iv ~tv ~k
 
 (** Run strength reduction (with LFTR) on every loop of every function.
     Expects de-versioned (non-SSA) SIR. *)
-let run (prog : Sir.prog) : stats =
+let run ?dom_of (prog : Sir.prog) : stats =
   let stats = { reduced = 0; lftr = 0 } in
   Sir.iter_funcs
     (fun f ->
-      Sir.recompute_preds f;
-      let dom = Dom.compute f in
+      let dom =
+        match dom_of with
+        | Some get -> get f
+        | None ->
+          Sir.recompute_preds f;
+          Dom.compute f
+      in
       let loops = Cfg_utils.natural_loops f dom in
       (* innermost first so inner rewrites do not disturb outer IVs *)
       let loops =

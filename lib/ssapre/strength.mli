@@ -9,5 +9,8 @@ type stats = {
   mutable lftr : int;      (** loop exit tests replaced *)
 }
 
-(** Reduce every natural loop of every function, innermost first. *)
-val run : Spec_ir.Sir.prog -> stats
+(** Reduce every natural loop of every function, innermost first.
+    [dom_of] supplies (possibly cached) dominator trees; when absent
+    they are computed per function. *)
+val run :
+  ?dom_of:(Spec_ir.Sir.func -> Spec_cfg.Dom.t) -> Spec_ir.Sir.prog -> stats

@@ -1,0 +1,14 @@
+int A[100];
+int B[100];
+int sum;
+int main() {
+  int i;
+  int j;
+  i = 0;
+  while (i < 100) { A[i] = i; B[i] = i + i; i = i + 1; }
+  sum = 0;
+  j = 0;
+  while (j < 100) { sum = sum + A[j] + B[j]; j = j + 1; }
+  print_int(sum);
+  return 0;
+}

@@ -15,4 +15,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("machine", Test_machine.suite);
       ("schedule", Test_schedule.suite);
+      ("passes", Test_passes.suite);
       ("workloads", Test_workloads.suite) ]
