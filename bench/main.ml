@@ -1,41 +1,72 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation section (§5), the ablation studies called out in DESIGN.md,
-   and compiler-phase microbenchmarks (Bechamel).
+   and compiler-phase / execution-engine microbenchmarks (Bechamel).
 
    Usage:
      bench/main.exe                 -- all paper tables on ref inputs
      bench/main.exe --quick         -- train-sized inputs (fast smoke run)
+     bench/main.exe --jobs 4       -- fan workloads/variants out to 4 domains
      bench/main.exe --table fig10   -- a single table
-     bench/main.exe --micro         -- Bechamel compiler-phase benches
-     bench/main.exe --json          -- per-pass timing dump (JSON, stdout)
+     bench/main.exe --micro         -- Bechamel phase + engine benches
+     bench/main.exe --json          -- bench dump (JSON on stdout, and
+                                       written to BENCH_<date>.json;
+                                       --json-file PATH overrides the
+                                       destination, "-" = stdout only)
 
    Tables: smvp fig10 fig11 fig12 heuristics rse
-           ablate-cspec ablate-alat micro *)
+           ablate-cspec ablate-alat ablate-threshold ablate-sched micro
+
+   Workload results are computed per-workload on demand and memoized, so
+   `--table smvp` only runs equake; table output is deterministic in
+   [--jobs] (see Parpool). *)
 
 open Spec_driver
 
 let quick = ref false
 let tables = ref []
+let jobs = ref 1
+let json = ref false
+let json_file = ref None
 
 let section title = Printf.printf "\n== %s ==\n%!" title
 
-let all_results =
-  lazy
-    (List.map
-       (fun w ->
-         let t0 = Unix.gettimeofday () in
-         let b = Experiments.run_workload ~quick:!quick w in
-         Printf.eprintf "  [%s done in %.1fs]\n%!"
-           w.Spec_workloads.Workloads.name
-           (Unix.gettimeofday () -. t0);
-         b)
-       Spec_workloads.Workloads.all)
+(* ------------------------------------------------------------------ *)
+(* Per-workload memoized results                                       *)
+(* ------------------------------------------------------------------ *)
+
+let result_tbl : (string, Experiments.bench_result) Hashtbl.t =
+  Hashtbl.create 16
+
+(** Results for [ws], computing (in parallel) only those not already
+    cached.  Output order follows [ws]. *)
+let results_of (ws : Spec_workloads.Workloads.workload list) :
+    Experiments.bench_result list =
+  let missing =
+    List.filter
+      (fun w -> not (Hashtbl.mem result_tbl w.Spec_workloads.Workloads.name))
+      ws
+  in
+  if missing <> [] then begin
+    let computed = Experiments.run_workloads ~quick:!quick missing in
+    List.iter2
+      (fun w b ->
+        Hashtbl.replace result_tbl w.Spec_workloads.Workloads.name b;
+        Printf.eprintf "  [%s done in %.1fs]\n%!"
+          w.Spec_workloads.Workloads.name b.Experiments.total_wall_s)
+      missing computed
+  end;
+  List.map
+    (fun w -> Hashtbl.find result_tbl w.Spec_workloads.Workloads.name)
+    ws
+
+let all_results () = results_of Spec_workloads.Workloads.all
+
+let result_of name =
+  List.hd (results_of [ Spec_workloads.Workloads.find name ])
 
 let table_smvp () =
   section "Section 5.1 case study: speculative register promotion in equake's smvp";
-  let b =
-    List.find (fun b -> b.Experiments.wname = "equake") (Lazy.force all_results)
-  in
+  let b = result_of "equake" in
   let s = Experiments.smvp_case_study b in
   Printf.printf
     "loads replaced by checks:                      %5.1f%%   (paper: 39.8%%)\n\
@@ -47,45 +78,40 @@ let table_smvp () =
 let table_fig10 () =
   section "Figure 10: speculative register promotion vs O3 base (profile-driven)";
   print_endline Experiments.fig10_header;
-  List.iter (fun b -> print_endline (Experiments.fig10_row b))
-    (Lazy.force all_results)
+  List.iter (fun b -> print_endline (Experiments.fig10_row b)) (all_results ())
 
 let table_fig11 () =
   section "Figure 11: dynamic check loads and mis-speculation ratio";
   print_endline Experiments.fig11_header;
-  List.iter (fun b -> print_endline (Experiments.fig11_row b))
-    (Lazy.force all_results)
+  List.iter (fun b -> print_endline (Experiments.fig11_row b)) (all_results ())
 
 let table_fig12 () =
   section "Figure 12: potential vs achieved load reduction";
   print_endline Experiments.fig12_header;
-  List.iter (fun b -> print_endline (Experiments.fig12_row b))
-    (Lazy.force all_results)
+  List.iter (fun b -> print_endline (Experiments.fig12_row b)) (all_results ())
 
 let table_heuristics () =
   section "Section 5.2: heuristic rules vs alias profile";
   print_endline Experiments.heuristics_header;
   List.iter (fun b -> print_endline (Experiments.heuristics_row b))
-    (Lazy.force all_results)
+    (all_results ())
 
 let table_rse () =
   section "Section 5.2: register-stack (RSE) pressure";
   print_endline Experiments.rse_header;
-  List.iter (fun b -> print_endline (Experiments.rse_row b))
-    (Lazy.force all_results)
+  List.iter (fun b -> print_endline (Experiments.rse_row b)) (all_results ())
 
 let table_ablate_cspec () =
   section "Ablation: control speculation on/off (speculative PRE)";
   Printf.printf
     "benchmark | loads (cspec on) | loads (off) | cycles (on) | cycles (off)\n";
   List.iter
-    (fun w ->
-      let name, l_on, l_off, c_on, c_off =
-        Experiments.ablate_control_spec ~quick:!quick w
-      in
+    (fun (name, l_on, l_off, c_on, c_off) ->
       Printf.printf "%-9s | %16d | %11d | %11d | %12d\n" name l_on l_off c_on
         c_off)
-    Spec_workloads.Workloads.all
+    (Parpool.parmap
+       (fun w -> Experiments.ablate_control_spec ~quick:!quick w)
+       Spec_workloads.Workloads.all)
 
 let table_ablate_alat () =
   section "Ablation: ALAT capacity vs mis-speculation (equake)";
@@ -98,13 +124,35 @@ let table_ablate_alat () =
        [ 4; 8; 16; 32; 64 ])
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel microbenchmarks of compiler phases                         *)
+(* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
-let micro () =
-  section "Compiler-phase microbenchmarks (Bechamel)";
+(** Measure a Bechamel grouped test and return (name, ns/run) rows,
+    sorted by name.  Quick mode trims the measurement budget. *)
+let measure tests =
   let open Bechamel in
   let open Toolkit in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    if !quick then Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.filter_map
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] -> Some (name, est)
+      | Some _ | None -> None)
+    (List.sort compare rows)
+
+let micro_phases () =
+  section "Compiler-phase microbenchmarks (Bechamel)";
+  let open Bechamel in
   let src =
     Spec_workloads.Workloads.train_source
       (Spec_workloads.Workloads.find "equake")
@@ -136,55 +184,179 @@ let micro () =
               let r = Pipeline.optimize p Pipeline.Spec_heuristic in
               fun () -> ignore (Spec_codegen.Codegen.lower r.Pipeline.prog))) ]
   in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
-  in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
-  let raw = Benchmark.all cfg instances tests in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
   List.iter
-    (fun (name, v) ->
-      match Analyze.OLS.estimates v with
-      | Some [ est ] -> Printf.printf "%-45s %12.0f ns/run\n" name est
-      | Some _ | None -> Printf.printf "%-45s (no estimate)\n" name)
-    (List.sort compare rows)
+    (fun (name, est) -> Printf.printf "%-45s %12.0f ns/run\n" name est)
+    (measure tests)
+
+(** Throughput of the three execution engines on the equake train
+    kernel: the tree-walking reference interpreter, the pre-compiled
+    interpreter (no hooks), and the resolved ITL machine simulator.
+    Reported as ns/run plus retired statements (or instructions) per
+    second, so engine regressions show up as absolute throughput. *)
+let micro_engines () =
+  section "Execution-engine throughput (Bechamel)";
+  let open Bechamel in
+  let src =
+    Spec_workloads.Workloads.train_source
+      (Spec_workloads.Workloads.find "equake")
+  in
+  let iprog = Spec_ir.Lower.compile src in
+  let compiled = Spec_prof.Interp.compile (Spec_ir.Lower.compile src) in
+  let rp =
+    let p = Spec_ir.Lower.compile src in
+    let r = Pipeline.optimize p Pipeline.Base in
+    let mp = Spec_codegen.Codegen.lower r.Pipeline.prog in
+    ignore (Spec_codegen.Schedule.run mp : Spec_codegen.Schedule.stats);
+    Spec_machine.Machine.resolve mp
+  in
+  let steps =
+    (Spec_prof.Interp.run_compiled compiled).Spec_prof.Interp.counters
+      .Spec_prof.Interp.steps
+  in
+  let insns =
+    (Spec_machine.Machine.run_resolved rp).Spec_machine.Machine.perf
+      .Spec_machine.Machine.insns
+  in
+  let tests =
+    Test.make_grouped ~name:"engines"
+      [ Test.make ~name:"interp-ref: tree-walking oracle"
+          (Staged.stage (fun () -> ignore (Spec_prof.Interp_ref.run iprog)));
+        Test.make ~name:"interp: pre-compiled, no hooks"
+          (Staged.stage (fun () ->
+               ignore (Spec_prof.Interp.run_compiled compiled)));
+        Test.make ~name:"machine: resolved ITL simulator"
+          (Staged.stage (fun () ->
+               ignore (Spec_machine.Machine.run_resolved rp))) ]
+  in
+  let work =
+    [ "engines/interp-ref: tree-walking oracle", (steps, "stmt");
+      "engines/interp: pre-compiled, no hooks", (steps, "stmt");
+      "engines/machine: resolved ITL simulator", (insns, "insn") ]
+  in
+  List.iter
+    (fun (name, est) ->
+      match List.assoc_opt name work with
+      | Some (n, unit_) ->
+        Printf.printf "%-45s %12.0f ns/run  %8.1f M%s/s\n" name est
+          (float_of_int n /. est *. 1e3) unit_
+      | None -> Printf.printf "%-45s %12.0f ns/run\n" name est)
+    (measure tests)
+
+let micro () =
+  micro_phases ();
+  micro_engines ()
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable per-pass timing dump (--json)                      *)
+(* Machine-readable bench dump (--json)                                *)
 (* ------------------------------------------------------------------ *)
 
-(** Compile every workload (train input) under every optimizing variant
-    and dump the pass manager's per-pass timings, statistics and
-    analysis-cache counters as JSON on stdout. *)
-let json_dump () =
-  let buf = Buffer.create 8192 in
-  Buffer.add_string buf "{\"workloads\":[";
+let date_string () =
+  let tm = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+
+let json_of_variant name (r : Experiments.run) =
+  let open Spec_machine in
+  let p = r.Experiments.r_machine.Machine.perf in
+  Printf.sprintf
+    "{\"variant\":%S,\"wall_s\":%.6f,\"cycles\":%d,\"insns\":%d,\
+     \"data_cycles\":%d,\"loads_retired\":%d,\"checks\":%d,\
+     \"check_misses\":%d}"
+    name r.Experiments.r_wall_s p.Machine.cycles p.Machine.insns
+    p.Machine.data_cycles
+    (Machine.loads_retired p)
+    p.Machine.checks p.Machine.check_misses
+
+(** One workload's JSON object: wall time per phase, machine counters per
+    variant, the paper metrics, and the pass manager's per-pass reports
+    (timings + statistics + analysis-cache counters, on the train
+    compile). *)
+let json_of_workload (w : Spec_workloads.Workloads.workload)
+    (b : Experiments.bench_result) =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "{\"name\":%S,\"wall_s\":%.6f,\"profile_wall_s\":%.6f,\"variants\":["
+    b.Experiments.wname b.Experiments.total_wall_s b.Experiments.prof_wall_s;
   List.iteri
-    (fun i w ->
+    (fun i (name, r) ->
       if i > 0 then Buffer.add_char buf ',';
-      let src = Spec_workloads.Workloads.train_source w in
-      let prof = Pipeline.profile_of_source src in
-      Buffer.add_string buf
-        (Printf.sprintf "{\"name\":%S,\"variants\":["
-           w.Spec_workloads.Workloads.name);
-      List.iteri
-        (fun j (vname, v) ->
-          if j > 0 then Buffer.add_char buf ',';
-          let r =
-            Pipeline.compile_and_optimize ~edge_profile:(Some prof) src v
-          in
-          Buffer.add_string buf
-            (Printf.sprintf "{\"variant\":%S,\"report\":%s}" vname
-               (Passes.report_to_json r.Pipeline.report)))
-        [ "base", Pipeline.Base; "profile", Pipeline.Spec_profile prof;
-          "heuristic", Pipeline.Spec_heuristic;
-          "aggressive", Pipeline.Aggressive ];
-      Buffer.add_string buf "]}")
-    Spec_workloads.Workloads.all;
+      Buffer.add_string buf (json_of_variant name r))
+    [ "noopt", b.Experiments.noopt; "base", b.Experiments.base;
+      "profile", b.Experiments.prof_spec;
+      "heuristic", b.Experiments.heur_spec;
+      "aggressive", b.Experiments.aggressive ];
+  Printf.bprintf buf
+    "],\"metrics\":{\"load_reduction_pct\":%.3f,\"speedup_pct\":%.3f,\
+     \"data_cycle_reduction_pct\":%.3f,\"check_pct\":%.3f,\
+     \"misspec_pct\":%.3f,\"reuse_potential_pct\":%.3f},\"passes\":["
+    (Experiments.load_reduction ~base:b.Experiments.base
+       ~spec:b.Experiments.prof_spec)
+    (Experiments.speedup ~base:b.Experiments.base
+       ~spec:b.Experiments.prof_spec)
+    (Experiments.data_cycle_reduction ~base:b.Experiments.base
+       ~spec:b.Experiments.prof_spec)
+    (Experiments.check_pct b.Experiments.prof_spec)
+    (Experiments.misspec_ratio b.Experiments.prof_spec)
+    (100. *. b.Experiments.reuse_frac);
+  let src = Spec_workloads.Workloads.train_source w in
+  let prof = Pipeline.profile_of_source src in
+  List.iteri
+    (fun j (vname, v) ->
+      if j > 0 then Buffer.add_char buf ',';
+      let r = Pipeline.compile_and_optimize ~edge_profile:(Some prof) src v in
+      Printf.bprintf buf "{\"variant\":%S,\"report\":%s}" vname
+        (Passes.report_to_json r.Pipeline.report))
+    [ "base", Pipeline.Base; "profile", Pipeline.Spec_profile prof;
+      "heuristic", Pipeline.Spec_heuristic;
+      "aggressive", Pipeline.Aggressive ];
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(** [--json]: run the harness on every workload and dump the bench
+    trajectory record — printed on stdout and, unless [--json-file -],
+    written to [BENCH_<date>.json] (or the [--json-file] path) so it can
+    be committed as a baseline for future PRs to diff against. *)
+let json_dump () =
+  let t0 = Unix.gettimeofday () in
+  let ws = Spec_workloads.Workloads.all in
+  let results = results_of ws in
+  let blobs =
+    Parpool.parmap
+      (fun (w, b) -> json_of_workload w b)
+      (List.combine ws results)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let buf = Buffer.create 65536 in
+  Printf.bprintf buf
+    "{\"schema\":\"specpre-bench/2\",\"date\":%S,\"inputs\":%S,\
+     \"jobs\":%d,\"harness_wall_s\":%.3f,"
+    (date_string ())
+    (if !quick then "train" else "ref")
+    (Parpool.get_jobs ()) wall;
+  (* wall time of the pre-overhaul harness on this machine, for the
+     speedup trail (see EXPERIMENTS.md) *)
+  if !quick then Buffer.add_string buf "\"pre_pr2_quick_wall_s\":13.194,";
+  Buffer.add_string buf "\"workloads\":[";
+  List.iteri
+    (fun i blob ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf blob)
+    blobs;
   Buffer.add_string buf "]}\n";
-  print_string (Buffer.contents buf)
+  let out = Buffer.contents buf in
+  print_string out;
+  match !json_file with
+  | Some "-" -> ()
+  | dest ->
+    let path =
+      match dest with
+      | Some p -> p
+      | None -> "BENCH_" ^ date_string () ^ ".json"
+    in
+    let oc = open_out path in
+    output_string oc out;
+    close_out oc;
+    Printf.eprintf "wrote %s\n%!" path
 
 let table_ablate_threshold () =
   section
@@ -200,11 +372,12 @@ let table_ablate_sched () =
   section "Ablation: local list scheduling on the speculative build";
   Printf.printf "benchmark | cycles (unscheduled) | cycles (scheduled) | gain %%\n";
   List.iter
-    (fun w ->
-      let name, plain, sched = Experiments.ablate_schedule ~quick:!quick w in
+    (fun (name, plain, sched) ->
       Printf.printf "%-9s | %20d | %18d | %+6.1f\n" name plain sched
         (100. *. (float_of_int plain /. float_of_int sched -. 1.)))
-    Spec_workloads.Workloads.all
+    (Parpool.parmap
+       (fun w -> Experiments.ablate_schedule ~quick:!quick w)
+       Spec_workloads.Workloads.all)
 
 let known_tables =
   [ "smvp", table_smvp; "fig10", table_fig10; "fig11", table_fig11;
@@ -212,8 +385,6 @@ let known_tables =
     "ablate-cspec", table_ablate_cspec; "ablate-alat", table_ablate_alat;
     "ablate-threshold", table_ablate_threshold;
     "ablate-sched", table_ablate_sched; "micro", micro ]
-
-let json = ref false
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -223,12 +394,21 @@ let () =
     | "--quick" :: rest -> quick := true; parse rest
     | "--micro" :: rest -> tables := "micro" :: !tables; parse rest
     | "--json" :: rest -> json := true; parse rest
+    | "--json-file" :: p :: rest -> json_file := Some p; parse rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 -> jobs := n
+       | _ ->
+         Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+         exit 2);
+      parse rest
     | "--table" :: t :: rest -> tables := t :: !tables; parse rest
     | a :: rest ->
       Printf.eprintf "ignoring unknown argument %s\n" a;
       parse rest
   in
   parse (List.tl args);
+  if !jobs > 1 then Parpool.set_jobs !jobs;
   if !json then begin
     (* machine-readable mode: nothing but JSON on stdout *)
     json_dump ();

@@ -32,4 +32,10 @@ int main() {
 EOF
 dune exec bin/speccc.exe -- stats --timings --verify-each "$tmp"
 
+echo "== bench harness smoke (--quick --jobs 2) =="
+# Runs every workload through every pipeline variant on a 2-domain pool;
+# the harness aborts if any variant diverges from the reference output.
+# The JSON bench dump is kept as an artifact.
+dune exec bench/main.exe -- --quick --jobs 2 --json --json-file bench-smoke.json > /dev/null
+
 echo "== ci ok =="

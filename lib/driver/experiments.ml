@@ -16,6 +16,7 @@ open Spec_workloads
 type run = {
   r_machine : Machine.result;
   r_stats : Spec_ssapre.Ssapre.stats;
+  r_wall_s : float;  (** compile + simulate wall time for this variant *)
 }
 
 type bench_result = {
@@ -27,6 +28,9 @@ type bench_result = {
   heur_spec : run;
   aggressive : run;
   reuse_frac : float;  (** simulation-based potential load reuse (Fig 12a) *)
+  prof_wall_s : float;   (** train-input profiling wall time *)
+  total_wall_s : float;  (** whole-workload wall time (sum over tasks when
+                             variants run in parallel) *)
 }
 
 let machine_config = ref Machine.default_config
@@ -35,6 +39,7 @@ let machine_config = ref Machine.default_config
     Every variant gets the local list scheduler, like the paper's O3
     baseline (ORC schedules everything). *)
 let run_variant ?(quick = false) (w : Workloads.workload) profile variant : run =
+  let t0 = Unix.gettimeofday () in
   let params = if quick then w.Workloads.train else w.Workloads.ref_ in
   let prog = Lower.compile (w.Workloads.source params) in
   let r =
@@ -43,16 +48,41 @@ let run_variant ?(quick = false) (w : Workloads.workload) profile variant : run 
   let mp = Spec_codegen.Codegen.lower r.Pipeline.prog in
   ignore (Spec_codegen.Schedule.run mp : Spec_codegen.Schedule.stats);
   let m = Machine.run ~config:!machine_config mp in
-  { r_machine = m; r_stats = r.Pipeline.stats }
+  { r_machine = m; r_stats = r.Pipeline.stats;
+    r_wall_s = Unix.gettimeofday () -. t0 }
+
+(* Fig 12a: load-reuse potential, measured on the base-optimized program *)
+let reuse_fraction ?(quick = false) (w : Workloads.workload) profile : float =
+  let params = if quick then w.Workloads.train else w.Workloads.ref_ in
+  let reuse_prog = Lower.compile (w.Workloads.source params) in
+  let rr = Pipeline.optimize ~edge_profile:(Some profile) reuse_prog Pipeline.Base in
+  let lr, _ = Load_reuse.analyse rr.Pipeline.prog in
+  Load_reuse.reuse_fraction lr
 
 let run_workload ?(quick = false) (w : Workloads.workload) : bench_result =
+  let t0 = Unix.gettimeofday () in
   let train_prog = Lower.compile (Workloads.train_source w) in
   let profile, _ = Profiler.profile train_prog in
-  let noopt = run_variant ~quick w profile Pipeline.Noopt in
-  let base = run_variant ~quick w profile Pipeline.Base in
-  let prof_spec = run_variant ~quick w profile (Pipeline.Spec_profile profile) in
-  let heur_spec = run_variant ~quick w profile Pipeline.Spec_heuristic in
-  let aggressive = run_variant ~quick w profile Pipeline.Aggressive in
+  let prof_wall_s = Unix.gettimeofday () -. t0 in
+  (* The six measurement tasks are independent; fan them out to the
+     domain pool.  [Parpool.parmap] joins in submission order, so the
+     result record — and hence all table output — is identical to the
+     sequential run. *)
+  let tasks =
+    [ (fun () -> `Run (run_variant ~quick w profile Pipeline.Noopt));
+      (fun () -> `Run (run_variant ~quick w profile Pipeline.Base));
+      (fun () -> `Run (run_variant ~quick w profile (Pipeline.Spec_profile profile)));
+      (fun () -> `Run (run_variant ~quick w profile Pipeline.Spec_heuristic));
+      (fun () -> `Run (run_variant ~quick w profile Pipeline.Aggressive));
+      (fun () -> `Reuse (reuse_fraction ~quick w profile)) ]
+  in
+  let noopt, base, prof_spec, heur_spec, aggressive, reuse_frac =
+    match Parpool.parmap (fun f -> f ()) tasks with
+    | [ `Run noopt; `Run base; `Run prof_spec; `Run heur_spec;
+        `Run aggressive; `Reuse reuse_frac ] ->
+      noopt, base, prof_spec, heur_spec, aggressive, reuse_frac
+    | _ -> assert false
+  in
   (* correctness gate: every variant reproduces the unoptimized output *)
   let expect = noopt.r_machine.Machine.output in
   List.iter
@@ -64,13 +94,21 @@ let run_workload ?(quick = false) (w : Workloads.workload) : bench_result =
     [ "base", base; "profile", prof_spec; "heuristic", heur_spec ];
   (* the aggressive upper bound is only correct when no aliasing actually
      occurs; kernels with real aliasing legitimately diverge there *)
-  (* Fig 12a: load-reuse potential, measured on the base-optimized program *)
-  let params = if quick then w.Workloads.train else w.Workloads.ref_ in
-  let reuse_prog = Lower.compile (w.Workloads.source params) in
-  let rr = Pipeline.optimize ~edge_profile:(Some profile) reuse_prog Pipeline.Base in
-  let lr, _ = Load_reuse.analyse rr.Pipeline.prog in
+  let total_wall_s =
+    prof_wall_s
+    +. List.fold_left (fun acc r -> acc +. r.r_wall_s) 0.
+         [ noopt; base; prof_spec; heur_spec; aggressive ]
+  in
   { wname = w.Workloads.name; fp = w.Workloads.fp; noopt; base; prof_spec;
-    heur_spec; aggressive; reuse_frac = Load_reuse.reuse_fraction lr }
+    heur_spec; aggressive; reuse_frac; prof_wall_s; total_wall_s }
+
+(** Run a sweep of workloads on the domain pool; results are in input
+    order, so output is independent of [--jobs].  The per-workload
+    variant fan-out nests inside this one — [Parpool.await] helps with
+    queued tasks, so the nesting cannot deadlock. *)
+let run_workloads ?(quick = false) (ws : Workloads.workload list) :
+    bench_result list =
+  Parpool.parmap (fun w -> run_workload ~quick w) ws
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)

@@ -1,0 +1,172 @@
+(** Fixed domain pool for the experiment harness.
+
+    The harness fans two levels of work out to the pool: the workloads of
+    a sweep, and the five independent pipeline variants within one
+    workload.  Tasks are submitted as futures and joined *in submission
+    order*, so results are deterministic regardless of completion order —
+    table output under [--jobs n] is byte-identical to the sequential
+    run (enforced by [test/test_engines.ml]).
+
+    Determinism argument: every task is a pure function of its inputs
+    (the only module-level mutable state the tasks touch is the
+    {!Memory} image pool, which is mutex-guarded and only recycles
+    scrubbed images), [map] preserves input order when collecting, and
+    nothing reads wall-clock time into results.  Joining therefore
+    commutes with any execution interleaving.
+
+    A blocked [await] *helps*: it pops queued tasks and runs them on the
+    waiting domain.  This keeps nested fan-out (a workload task awaiting
+    its per-variant subtasks) deadlock-free on any pool size, and lets
+    the submitting domain contribute work instead of idling.
+
+    With [jobs = 1] (the default) everything runs inline on the calling
+    domain with zero overhead — no domains are spawned at all. *)
+
+type task = unit -> unit
+
+type pool = {
+  jobs : int;
+  mu : Mutex.t;
+  cv : Condition.t;                 (* signalled on submit and shutdown *)
+  queue : task Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+type 'a state = Pending | Done of 'a | Err of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fmu : Mutex.t;
+  fcv : Condition.t;
+  mutable state : 'a state;
+}
+
+let try_pop p =
+  Mutex.lock p.mu;
+  let t = Queue.take_opt p.queue in
+  Mutex.unlock p.mu;
+  t
+
+let worker p () =
+  let rec loop () =
+    Mutex.lock p.mu;
+    while Queue.is_empty p.queue && not p.stop do
+      Condition.wait p.cv p.mu
+    done;
+    let t = Queue.take_opt p.queue in
+    Mutex.unlock p.mu;
+    match t with
+    | Some t -> t (); loop ()
+    | None -> if not p.stop then loop ()
+  in
+  loop ()
+
+let create ~jobs : pool =
+  let jobs = max 1 jobs in
+  let p =
+    { jobs; mu = Mutex.create (); cv = Condition.create ();
+      queue = Queue.create (); stop = false; domains = [] }
+  in
+  (* the submitting domain helps while awaiting, so spawn jobs-1 workers *)
+  if jobs > 1 then
+    p.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker p));
+  p
+
+let shutdown p =
+  if p.domains <> [] then begin
+    Mutex.lock p.mu;
+    p.stop <- true;
+    Condition.broadcast p.cv;
+    Mutex.unlock p.mu;
+    List.iter Domain.join p.domains;
+    p.domains <- []
+  end
+
+let submit p (f : unit -> 'a) : 'a future =
+  let fut = { fmu = Mutex.create (); fcv = Condition.create ();
+              state = Pending } in
+  let run () =
+    let r = try Done (f ()) with e -> Err (e, Printexc.get_raw_backtrace ()) in
+    Mutex.lock fut.fmu;
+    fut.state <- r;
+    Condition.broadcast fut.fcv;
+    Mutex.unlock fut.fmu
+  in
+  Mutex.lock p.mu;
+  Queue.add run p.queue;
+  Condition.signal p.cv;
+  Mutex.unlock p.mu;
+  fut
+
+let resolved fut =
+  Mutex.lock fut.fmu;
+  let s = fut.state in
+  Mutex.unlock fut.fmu;
+  match s with Pending -> None | s -> Some s
+
+let finish = function
+  | Done v -> v
+  | Err (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+(* Wait for [fut], running queued tasks while it is pending.  If the
+   queue is empty the future's task is already running on some domain
+   (tasks are only ever queued or running), so blocking is safe. *)
+let await p fut =
+  let rec spin () =
+    match resolved fut with
+    | Some s -> finish s
+    | None ->
+      (match try_pop p with
+       | Some t -> t (); spin ()
+       | None ->
+         Mutex.lock fut.fmu;
+         while fut.state = Pending do
+           Condition.wait fut.fcv fut.fmu
+         done;
+         let s = fut.state in
+         Mutex.unlock fut.fmu;
+         finish s)
+  in
+  spin ()
+
+(** Apply [f] to every element, in parallel on the pool; results are in
+    input order.  Exceptions re-raise at the faulty element's position. *)
+let map p f xs =
+  if p.jobs = 1 then List.map f xs
+  else begin
+    let futs = List.map (fun x -> submit p (fun () -> f x)) xs in
+    List.map (await p) futs
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Global pool, configured once from the command line                  *)
+(* ------------------------------------------------------------------ *)
+
+let global : pool option ref = ref None
+let cleanup_registered = ref false
+
+let shutdown_global () =
+  match !global with
+  | Some p -> shutdown p; global := None
+  | None -> ()
+
+(** Set the harness-wide parallelism ([--jobs n]).  [1] tears the pool
+    down and reverts to inline execution. *)
+let set_jobs n =
+  shutdown_global ();
+  if n > 1 then begin
+    global := Some (create ~jobs:n);
+    if not !cleanup_registered then begin
+      cleanup_registered := true;
+      at_exit shutdown_global
+    end
+  end
+
+let get_jobs () = match !global with Some p -> p.jobs | None -> 1
+
+(** [map] on the global pool; inline when no pool is configured. *)
+let parmap f xs =
+  match !global with
+  | Some p -> map p f xs
+  | None -> List.map f xs

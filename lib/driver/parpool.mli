@@ -1,0 +1,43 @@
+(** Fixed domain pool with deterministic join order.
+
+    Work is submitted as futures and collected in submission order, so
+    parallel runs produce byte-identical output to sequential ones; a
+    blocked {!await} helps by running queued tasks, which keeps nested
+    fan-out deadlock-free on any pool size.  See the implementation
+    notes in [parpool.ml] and the architecture section of DESIGN.md. *)
+
+type pool
+
+type 'a future
+
+(** [create ~jobs] spawns [jobs - 1] worker domains (the submitting
+    domain contributes while awaiting).  [jobs <= 1] spawns none and
+    runs everything inline. *)
+val create : jobs:int -> pool
+
+(** Join the workers.  Idempotent.  Outstanding queued tasks are still
+    drained by awaiting their futures, not by the workers. *)
+val shutdown : pool -> unit
+
+val submit : pool -> (unit -> 'a) -> 'a future
+
+(** Wait for a future, helping with queued work meanwhile.  Re-raises
+    the task's exception (with its backtrace) if it failed. *)
+val await : pool -> 'a future -> 'a
+
+(** Parallel [List.map] with results in input order.  Safe to nest:
+    tasks may themselves call [map] on the same pool. *)
+val map : pool -> ('a -> 'b) -> 'a list -> 'b list
+
+(** {2 Global pool}
+
+    The harness configures one process-wide pool from [--jobs]. *)
+
+(** [set_jobs n] replaces the global pool; [n <= 1] reverts to inline
+    execution.  Registers an [at_exit] teardown. *)
+val set_jobs : int -> unit
+
+val get_jobs : unit -> int
+
+(** {!map} on the global pool; plain [List.map] when none is set. *)
+val parmap : ('a -> 'b) -> 'a list -> 'b list

@@ -13,6 +13,16 @@
     - register-stack accounting with spill cycles when the stacked
       register demand exceeds the physical stacked file.
 
+    Like the interpreter ({!Spec_prof.Interp}), the simulator *resolves*
+    the program before executing it: symbol-table traversals ([Lea]
+    address formation, memory-resident locals/formals), callee lookup,
+    and builtin dispatch are all performed once per program, and the
+    per-instruction issue logic is specialized by source-operand count so
+    the hot loop allocates nothing.  The observable results — output and
+    every performance counter — are identical to the tree-resolving
+    simulator this replaced; [test/test_engines.ml] pins them against
+    golden counters recorded from it.
+
     Absolute cycle counts are not meant to match Itanium hardware; the
     mechanisms (what costs what, what invalidates what) are faithful, so
     relative effects — the paper's metrics — carry over. *)
@@ -71,23 +81,194 @@ let default_config =
   { physical_stacked_regs = 96; alat_entries = 32; call_overhead = 2;
     heap_bytes = 24 * 1024 * 1024; fuel = 400_000_000; issue_width = 2 }
 
+(* ------------------------------------------------------------------ *)
+(* Resolved program                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Builtin and user-call dispatch, decided at resolve time. *)
+type rtarget =
+  | Cmalloc of int                  (* allocation site *)
+  | Cprint_int
+  | Cprint_flt
+  | Cseed
+  | Crnd
+  | Cuser of int                    (* index into resolved functions *)
+  | Cunknown of string
+  | Cbad of string * int            (* ill-formed builtin call: name/arity *)
+
+type rinsn =
+  | RMovi_i of int * int
+  | RMovi_f of int * float
+  | RMov of int * int
+  | RLea_g of int * int             (* dst, global vid *)
+  | RLea_s of int * int             (* dst, frame address slot *)
+  | RLea_e of int * string          (* dst, local without a stack slot *)
+  | RLd of { dst : int; addr : int; fp : bool; kind : Spec_codegen.Itl.lkind }
+  | RSt of { src : int; addr : int; fp : bool }
+  | RAlu of Sir.binop * bool * int * int * int
+  | RUn of Sir.unop * bool * int * int
+  | RCall of { target : rtarget; args : int array; ret : int }
+
+type rterm =
+  | RTbr of int
+  | RTbc of int * int * int
+  | RTret_none
+  | RTret of int
+
+type rblock = { r_insns : rinsn array; r_term : rterm }
+
+type rformal =
+  | RFreg                                   (* register-only formal *)
+  | RFmem of { aslot : int; vid : int; bytes : int; fp : bool }
+
+type rfunc = {
+  rf_name : string;
+  rf_nregs : int;                   (* = max 1 mf_nregs, the frame size *)
+  rf_blocks : rblock array;
+  rf_mem_locals : (int * int * int) array;  (* (addr slot, vid, bytes) *)
+  rf_formals : rformal array;
+  rf_formal_regs : int array;       (* per-formal register, -1 if none *)
+  rf_n_addr : int;
+}
+
+type rprog = {
+  r_sir : Sir.prog;
+  rfuncs : rfunc array;
+  r_main : int;
+}
+
+let cell_bytes v = max Types.cell_size v.Symtab.vsize
+
+let resolve_func (mp : Spec_codegen.Itl.mprog) ~func_ix
+    (mf : Spec_codegen.Itl.mfunc) : rfunc =
+  let open Spec_codegen.Itl in
+  let syms = mp.mp_sir.Sir.syms in
+  let sf = Sir.find_func mp.mp_sir mf.mf_name in
+  let addr_slots : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let rf_mem_locals =
+    List.filter_map
+      (fun vid ->
+        if Symtab.is_mem syms vid then begin
+          let slot = Hashtbl.length addr_slots in
+          Hashtbl.replace addr_slots vid slot;
+          Some (slot, vid, cell_bytes (Symtab.var syms vid))
+        end
+        else None)
+      sf.Sir.flocals
+    |> Array.of_list
+  in
+  let rf_formals =
+    List.map
+      (fun vid ->
+        if Symtab.is_mem syms vid then begin
+          let slot = Hashtbl.length addr_slots in
+          Hashtbl.replace addr_slots vid slot;
+          let v = Symtab.var syms vid in
+          RFmem { aslot = slot; vid; bytes = cell_bytes v;
+                  fp = Types.is_fp v.Symtab.vty }
+        end
+        else RFreg)
+      sf.Sir.fformals
+    |> Array.of_list
+  in
+  let resolve_lea d vid =
+    let v = Symtab.var syms vid in
+    match v.Symtab.vstorage with
+    | Symtab.Sglobal -> RLea_g (d, vid)
+    | _ ->
+      (match Hashtbl.find_opt addr_slots vid with
+       | Some s -> RLea_s (d, s)
+       | None -> RLea_e (d, v.Symtab.vname))
+  in
+  let resolve_call ~callee ~args ~ret ~site =
+    let args = Array.of_list args in
+    let ret = match ret with Some r -> r | None -> -1 in
+    let n = Array.length args in
+    let builtin t =
+      if n = 1 then RCall { target = t; args; ret }
+      else RCall { target = Cbad (callee, n); args; ret }
+    in
+    match callee with
+    | "malloc" -> builtin (Cmalloc site)
+    | "print_int" -> builtin Cprint_int
+    | "print_flt" -> builtin Cprint_flt
+    | "seed" -> builtin Cseed
+    | "rnd" -> builtin Crnd
+    | name ->
+      let target =
+        match func_ix name with
+        | Some ix -> Cuser ix
+        | None -> Cunknown name
+      in
+      RCall { target; args; ret }
+  in
+  let resolve_insn = function
+    | Movi (d, Sir.Cint v) -> RMovi_i (d, v)
+    | Movi (d, Sir.Cflt v) -> RMovi_f (d, v)
+    | Mov (d, s) -> RMov (d, s)
+    | Lea (d, vid) -> resolve_lea d vid
+    | Ld { dst; addr; fp; kind } -> RLd { dst; addr; fp; kind }
+    | St { src; addr; fp } -> RSt { src; addr; fp }
+    | Alu (op, fp, d, a, b) -> RAlu (op, fp, d, a, b)
+    | Un (op, fp, d, s) -> RUn (op, fp, d, s)
+    | Call { callee; args; ret; site } -> resolve_call ~callee ~args ~ret ~site
+  in
+  let rf_blocks =
+    Array.map
+      (fun b ->
+        { r_insns = Array.of_list (List.map resolve_insn b.insns);
+          r_term =
+            (match b.mterm with
+             | Tbr t -> RTbr t
+             | Tbc (c, t, e) -> RTbc (c, t, e)
+             | Tret None -> RTret_none
+             | Tret (Some r) -> RTret r) })
+      mf.mf_blocks
+  in
+  { rf_name = mf.mf_name; rf_nregs = max 1 mf.mf_nregs; rf_blocks;
+    rf_mem_locals; rf_formals;
+    rf_formal_regs = Array.of_list mf.mf_formals;
+    rf_n_addr = Hashtbl.length addr_slots }
+
+(** Resolve a whole ITL program: one pass over the instructions. *)
+let resolve (mp : Spec_codegen.Itl.mprog) : rprog =
+  let open Spec_codegen.Itl in
+  let order = mp.mp_order in
+  let ix_of = Hashtbl.create 16 in
+  List.iteri (fun i name -> Hashtbl.replace ix_of name i) order;
+  let func_ix name = Hashtbl.find_opt ix_of name in
+  let rfuncs =
+    Array.of_list
+      (List.map
+         (fun name ->
+           resolve_func mp ~func_ix (Hashtbl.find mp.mp_funcs name))
+         order)
+  in
+  { r_sir = mp.mp_sir; rfuncs;
+    r_main = (match func_ix "main" with Some i -> i | None -> -1) }
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
 type frame = {
   fr_serial : int;
   ints : int array;
   flts : float array;
   ready : int array;               (* cycle when register becomes ready *)
   prod_load : bool array;          (* producer was a load *)
-  addrs : (int, int) Hashtbl.t;    (* memory-resident local -> address *)
+  addrs : int array;               (* memory-resident local -> address *)
 }
 
 type state = {
-  mp : Spec_codegen.Itl.mprog;
+  rp : rprog;
   mem : Memory.t;
   cache : Cache.t;
   alat : Alat.t;
   cfg : config;
   ctrs : counters;
   out : Buffer.t;
+  globals : int array;             (* global vid -> address, -1 if absent *)
   mutable clock : int;
   mutable slot : int;                (* issue slots used in current cycle *)
   mutable rng : int;
@@ -102,82 +283,116 @@ let is_cmp = function
   | Sir.Band | Sir.Bor | Sir.Bxor | Sir.Shl | Sir.Shr -> false
 
 (* timing: issue the instruction, stalling until sources are ready.
-   [free] instructions (successful checks) retire without consuming an
-   issue slot, per the paper's "a successful check costs 0 cycles". *)
-let issue ?(free = false) st (fr : frame) ~srcs ~dst ~latency ~is_load =
+   Specialized by source count so the hot path allocates no operand
+   lists.  Successful checks issue [free]: they retire without consuming
+   an issue slot, per the paper's "a successful check costs 0 cycles". *)
+
+let charge st =
   st.ctrs.insns <- st.ctrs.insns + 1;
   st.fuel <- st.fuel - 1;
-  if st.fuel <= 0 then error "machine out of fuel";
-  let start =
-    List.fold_left (fun acc r -> max acc fr.ready.(r)) st.clock srcs
-  in
-  let stall = start - st.clock in
-  if stall > 0
-     && List.exists (fun r -> fr.prod_load.(r) && fr.ready.(r) > st.clock) srcs
-  then st.ctrs.data_cycles <- st.ctrs.data_cycles + stall;
-  if stall > 0 then begin
-    st.clock <- start;
-    st.slot <- 0
-  end;
-  if not free then begin
-    st.slot <- st.slot + 1;
-    if st.slot >= st.cfg.issue_width then begin
-      st.slot <- 0;
-      st.clock <- st.clock + 1
-    end
-  end;
+  if st.fuel <= 0 then error "machine out of fuel"
+
+let advance_slot st =
+  st.slot <- st.slot + 1;
+  if st.slot >= st.cfg.issue_width then begin
+    st.slot <- 0;
+    st.clock <- st.clock + 1
+  end
+
+let set_dst (fr : frame) dst start latency is_load =
   if dst >= 0 then begin
-    fr.ready.(dst) <- start + max latency 1;
+    fr.ready.(dst) <- start + (if latency > 1 then latency else 1);
     fr.prod_load.(dst) <- is_load
   end
 
-let var_addr st (fr : frame) vid =
-  let v = Symtab.var st.mp.Spec_codegen.Itl.mp_sir.Sir.syms vid in
-  match v.Symtab.vstorage with
-  | Symtab.Sglobal -> Memory.global_addr st.mem vid
-  | _ ->
-    (match Hashtbl.find_opt fr.addrs vid with
-     | Some a -> a
-     | None -> error "machine: no slot for %s" v.Symtab.vname)
+let issue0 st (fr : frame) ~dst ~latency ~is_load =
+  charge st;
+  let start = st.clock in
+  advance_slot st;
+  set_dst fr dst start latency is_load
 
-let do_load st (fr : frame) ~fp ~spec addr =
-  if fp then
-    (if spec then Memory.load_flt_spec st.mem addr
-     else Memory.load_flt st.mem addr)
-    |> fun f -> `F f
-  else
-    (if spec then Memory.load_int_spec st.mem addr
-     else Memory.load_int st.mem addr)
-    |> fun i -> `I i
+(* a successful check: retires for free *)
+let issue_free st =
+  charge st
 
-let rec exec_insn st (fr : frame) (i : Spec_codegen.Itl.insn) =
-  let open Spec_codegen.Itl in
+let issue1 st (fr : frame) ~src ~dst ~latency ~is_load =
+  charge st;
+  let clock = st.clock in
+  let rdy = fr.ready.(src) in
+  let start = if rdy > clock then rdy else clock in
+  if start > clock then begin
+    if fr.prod_load.(src) then
+      st.ctrs.data_cycles <- st.ctrs.data_cycles + (start - clock);
+    st.clock <- start;
+    st.slot <- 0
+  end;
+  advance_slot st;
+  set_dst fr dst start latency is_load
+
+let issue2 st (fr : frame) ~src1 ~src2 ~dst ~latency ~is_load =
+  charge st;
+  let clock = st.clock in
+  let r1 = fr.ready.(src1) and r2 = fr.ready.(src2) in
+  let rdy = if r1 > r2 then r1 else r2 in
+  let start = if rdy > clock then rdy else clock in
+  if start > clock then begin
+    if (fr.prod_load.(src1) && r1 > clock)
+       || (fr.prod_load.(src2) && r2 > clock) then
+      st.ctrs.data_cycles <- st.ctrs.data_cycles + (start - clock);
+    st.clock <- start;
+    st.slot <- 0
+  end;
+  advance_slot st;
+  set_dst fr dst start latency is_load
+
+(* calls keep the general list form; they are rare *)
+let issue_n st (fr : frame) ~(srcs : int array) =
+  charge st;
+  let clock = st.clock in
+  let start = Array.fold_left (fun acc r -> max acc fr.ready.(r)) clock srcs in
+  if start > clock then begin
+    if Array.exists (fun r -> fr.prod_load.(r) && fr.ready.(r) > clock) srcs
+    then st.ctrs.data_cycles <- st.ctrs.data_cycles + (start - clock);
+    st.clock <- start;
+    st.slot <- 0
+  end;
+  advance_slot st
+
+let lea_addr st (fr : frame) = function
+  | RLea_g (_, vid) ->
+    let a = st.globals.(vid) in
+    if a >= 0 then a else Memory.global_addr st.mem vid
+  | RLea_s (_, s) -> fr.addrs.(s)
+  | RLea_e (_, name) -> error "machine: no slot for %s" name
+  | _ -> assert false
+
+let rec exec_insn st (fr : frame) (i : rinsn) =
   match i with
-  | Movi (d, Sir.Cint v) ->
-    issue st fr ~srcs:[] ~dst:d ~latency:1 ~is_load:false;
+  | RMovi_i (d, v) ->
+    issue0 st fr ~dst:d ~latency:1 ~is_load:false;
     fr.ints.(d) <- v
-  | Movi (d, Sir.Cflt v) ->
-    issue st fr ~srcs:[] ~dst:d ~latency:1 ~is_load:false;
+  | RMovi_f (d, v) ->
+    issue0 st fr ~dst:d ~latency:1 ~is_load:false;
     fr.flts.(d) <- v
-  | Mov (d, s) ->
-    issue st fr ~srcs:[ s ] ~dst:d ~latency:1 ~is_load:false;
+  | RMov (d, s) ->
+    issue1 st fr ~src:s ~dst:d ~latency:1 ~is_load:false;
     fr.ints.(d) <- fr.ints.(s);
     fr.flts.(d) <- fr.flts.(s)
-  | Lea (d, vid) ->
-    issue st fr ~srcs:[] ~dst:d ~latency:1 ~is_load:false;
-    fr.ints.(d) <- var_addr st fr vid
-  | Ld { dst; addr; fp; kind } -> exec_load st fr ~dst ~addr ~fp ~kind
-  | St { src; addr; fp } ->
-    issue st fr ~srcs:[ src; addr ] ~dst:(-1) ~latency:1 ~is_load:false;
+  | (RLea_g (d, _) | RLea_s (d, _) | RLea_e (d, _)) as lea ->
+    issue0 st fr ~dst:d ~latency:1 ~is_load:false;
+    fr.ints.(d) <- lea_addr st fr lea
+  | RLd { dst; addr; fp; kind } -> exec_load st fr ~dst ~addr ~fp ~kind
+  | RSt { src; addr; fp } ->
+    issue2 st fr ~src1:src ~src2:addr ~dst:(-1) ~latency:1 ~is_load:false;
     st.ctrs.stores <- st.ctrs.stores + 1;
     let a = fr.ints.(addr) in
     if fp then Memory.store_flt st.mem a fr.flts.(src)
     else Memory.store_int st.mem a fr.ints.(src);
     Cache.store st.cache a;
     Alat.invalidate_store st.alat ~addr:a ~bytes:Types.cell_size
-  | Alu (op, fp, d, a, b) ->
+  | RAlu (op, fp, d, a, b) ->
     let latency = if fp && not (is_cmp op) then 4 else 1 in
-    issue st fr ~srcs:[ a; b ] ~dst:d ~latency ~is_load:false;
+    issue2 st fr ~src1:a ~src2:b ~dst:d ~latency ~is_load:false;
     if fp then begin
       let va = fr.flts.(a) and vb = fr.flts.(b) in
       match op with
@@ -218,16 +433,16 @@ let rec exec_insn st (fr : frame) (i : Spec_codegen.Itl.insn) =
       | Sir.Eq -> fr.ints.(d) <- (if va = vb then 1 else 0)
       | Sir.Ne -> fr.ints.(d) <- (if va <> vb then 1 else 0)
     end
-  | Un (op, fp, d, s) ->
+  | RUn (op, fp, d, s) ->
     let latency = if fp then 4 else 1 in
-    issue st fr ~srcs:[ s ] ~dst:d ~latency ~is_load:false;
+    issue1 st fr ~src:s ~dst:d ~latency ~is_load:false;
     (match op with
      | Sir.Neg -> if fp then fr.flts.(d) <- -.fr.flts.(s)
        else fr.ints.(d) <- -fr.ints.(s)
      | Sir.Lnot -> fr.ints.(d) <- (if fr.ints.(s) = 0 then 1 else 0)
      | Sir.I2f -> fr.flts.(d) <- float_of_int fr.ints.(s)
      | Sir.F2i -> fr.ints.(d) <- int_of_float fr.flts.(s))
-  | Call { callee; args; ret; site } -> exec_call st fr ~callee ~args ~ret ~site
+  | RCall { target; args; ret } -> exec_call st fr ~target ~args ~ret
 
 and exec_load st fr ~dst ~addr ~fp ~kind =
   let open Spec_codegen.Itl in
@@ -237,14 +452,13 @@ and exec_load st fr ~dst ~addr ~fp ~kind =
     st.ctrs.checks <- st.ctrs.checks + 1;
     if Alat.check st.alat ~frame:fr.fr_serial ~reg:dst then
       (* speculation held: value already in dst, the check is free *)
-      issue ~free:true st fr ~srcs:[] ~dst:(-1) ~latency:0 ~is_load:false
+      issue_free st
     else begin
       st.ctrs.check_misses <- st.ctrs.check_misses + 1;
       let latency = Cache.load_latency st.cache ~fp a in
-      issue st fr ~srcs:[ addr ] ~dst ~latency ~is_load:true;
-      (match do_load st fr ~fp ~spec:false a with
-       | `I v -> fr.ints.(dst) <- v
-       | `F v -> fr.flts.(dst) <- v);
+      issue1 st fr ~src:addr ~dst ~latency ~is_load:true;
+      if fp then fr.flts.(dst) <- Memory.load_flt st.mem a
+      else fr.ints.(dst) <- Memory.load_int st.mem a;
       (* re-arm: a reloading ld.c behaves like ld.a for later checks *)
       Alat.insert st.alat ~frame:fr.fr_serial ~reg:dst ~addr:a
     end
@@ -256,71 +470,70 @@ and exec_load st fr ~dst ~addr ~fp ~kind =
      | Lchk -> assert false);
     let spec = k = Lspec || k = Lsa in
     let latency = Cache.load_latency st.cache ~fp a in
-    issue st fr ~srcs:[ addr ] ~dst ~latency ~is_load:true;
-    (match do_load st fr ~fp ~spec a with
-     | `I v -> fr.ints.(dst) <- v
-     | `F v -> fr.flts.(dst) <- v);
+    issue1 st fr ~src:addr ~dst ~latency ~is_load:true;
+    if fp then
+      fr.flts.(dst) <-
+        (if spec then Memory.load_flt_spec st.mem a
+         else Memory.load_flt st.mem a)
+    else
+      fr.ints.(dst) <-
+        (if spec then Memory.load_int_spec st.mem a
+         else Memory.load_int st.mem a);
     if k = Ladv || k = Lsa then
       Alat.insert st.alat ~frame:fr.fr_serial ~reg:dst ~addr:a
 
-and exec_call st fr ~callee ~args ~ret ~site =
-  let open Spec_codegen.Itl in
-  let arg_vals = List.map (fun r -> (fr.ints.(r), fr.flts.(r))) args in
-  issue st fr ~srcs:args ~dst:(-1) ~latency:1 ~is_load:false;
-  if Sir.is_builtin callee then begin
-    let result =
-      match callee, arg_vals with
-      | "malloc", [ (bytes, _) ] -> Memory.malloc st.mem ~site bytes
-      | "print_int", [ (v, _) ] ->
-        Buffer.add_string st.out (string_of_int v);
-        Buffer.add_char st.out '\n';
-        0
-      | "print_flt", [ (_, v) ] ->
-        Buffer.add_string st.out (Printf.sprintf "%.6g" v);
-        Buffer.add_char st.out '\n';
-        0
-      | "seed", [ (s, _) ] -> st.rng <- s; 0
-      | "rnd", [ (m, _) ] ->
-        if m <= 0 then error "machine: rnd bound";
-        st.rng <- (st.rng * 0x5851F42D4C957F2D + 0x14057B7EF767814F) land max_int;
-        (st.rng lsr 29) mod m
-      | _ -> error "machine: bad builtin call %s/%d" callee (List.length args)
-    in
-    match ret with
-    | Some r ->
-      fr.ready.(r) <- st.clock;
-      fr.prod_load.(r) <- false;
-      fr.ints.(r) <- result
-    | None -> ()
-  end
-  else begin
-    st.clock <- st.clock + st.cfg.call_overhead;
-    let rv, rf = exec_func st callee arg_vals in
-    st.clock <- st.clock + 1;
-    match ret with
-    | Some r ->
-      fr.ready.(r) <- st.clock;
-      fr.prod_load.(r) <- false;
-      fr.ints.(r) <- rv;
-      fr.flts.(r) <- rf
-    | None -> ()
-  end
-
-and exec_func st name arg_vals : int * float =
-  let mf =
-    match Hashtbl.find_opt st.mp.Spec_codegen.Itl.mp_funcs name with
-    | Some f -> f
-    | None -> error "machine: unknown function %s" name
+and exec_call st fr ~target ~args ~ret =
+  issue_n st fr ~srcs:args;
+  let set_builtin_ret result =
+    if ret >= 0 then begin
+      fr.ready.(ret) <- st.clock;
+      fr.prod_load.(ret) <- false;
+      fr.ints.(ret) <- result
+    end
   in
-  let sf = Sir.find_func st.mp.Spec_codegen.Itl.mp_sir name in
-  let syms = st.mp.Spec_codegen.Itl.mp_sir.Sir.syms in
+  match target with
+  | Cmalloc site ->
+    set_builtin_ret (Memory.malloc st.mem ~site fr.ints.(args.(0)))
+  | Cprint_int ->
+    Buffer.add_string st.out (string_of_int fr.ints.(args.(0)));
+    Buffer.add_char st.out '\n';
+    set_builtin_ret 0
+  | Cprint_flt ->
+    Buffer.add_string st.out (Printf.sprintf "%.6g" fr.flts.(args.(0)));
+    Buffer.add_char st.out '\n';
+    set_builtin_ret 0
+  | Cseed ->
+    st.rng <- fr.ints.(args.(0));
+    set_builtin_ret 0
+  | Crnd ->
+    let m = fr.ints.(args.(0)) in
+    if m <= 0 then error "machine: rnd bound";
+    st.rng <- (st.rng * 0x5851F42D4C957F2D + 0x14057B7EF767814F) land max_int;
+    set_builtin_ret ((st.rng lsr 29) mod m)
+  | Cbad (callee, n) -> error "machine: bad builtin call %s/%d" callee n
+  | Cunknown name ->
+    st.clock <- st.clock + st.cfg.call_overhead;
+    error "machine: unknown function %s" name
+  | Cuser ix ->
+    st.clock <- st.clock + st.cfg.call_overhead;
+    let rv, rf = exec_func st fr ix args in
+    st.clock <- st.clock + 1;
+    if ret >= 0 then begin
+      fr.ready.(ret) <- st.clock;
+      fr.prod_load.(ret) <- false;
+      fr.ints.(ret) <- rv;
+      fr.flts.(ret) <- rf
+    end
+
+and exec_func st (caller : frame) ix (args : int array) : int * float =
+  let rf = st.rp.rfuncs.(ix) in
   st.frame_serial <- st.frame_serial + 1;
-  let n = max 1 mf.Spec_codegen.Itl.mf_nregs in
+  let n = rf.rf_nregs in
   let fr =
     { fr_serial = st.frame_serial;
       ints = Array.make n 0; flts = Array.make n 0.;
       ready = Array.make n 0; prod_load = Array.make n false;
-      addrs = Hashtbl.create 8 }
+      addrs = (if rf.rf_n_addr = 0 then [||] else Array.make rf.rf_n_addr 0) }
   in
   (* register-stack accounting *)
   st.stacked_regs <- st.stacked_regs + n;
@@ -333,76 +546,73 @@ and exec_func st name arg_vals : int * float =
   end;
   let mark = Memory.stack_mark st.mem in
   (* stack slots for memory-resident locals *)
-  List.iter
-    (fun vid ->
-      if Symtab.is_mem syms vid then begin
-        let v = Symtab.var syms vid in
-        Hashtbl.replace fr.addrs vid
-          (Memory.push_frame_var st.mem vid
-             (max Types.cell_size v.Symtab.vsize))
-      end)
-    sf.Sir.flocals;
-  (* bind formals *)
-  (try
-     List.iter2
-       (fun vid (vi, vf) ->
-         if Symtab.is_mem syms vid then begin
-           let v = Symtab.var syms vid in
-           let a =
-             Memory.push_frame_var st.mem vid
-               (max Types.cell_size v.Symtab.vsize)
-           in
-           Hashtbl.replace fr.addrs vid a;
-           if Types.is_fp v.Symtab.vty then Memory.store_flt st.mem a vf
-           else Memory.store_int st.mem a vi
-         end)
-       sf.Sir.fformals arg_vals
-   with Invalid_argument _ -> error "machine: arity mismatch for %s" name);
-  (* register formals *)
-  List.iter2
-    (fun r (vi, vf) ->
-      if r >= 0 && r < n then begin
-        fr.ints.(r) <- vi;
-        fr.flts.(r) <- vf
-      end)
-    mf.Spec_codegen.Itl.mf_formals arg_vals;
-  let result = exec_blocks st fr mf in
+  Array.iter
+    (fun (slot, vid, bytes) ->
+      fr.addrs.(slot) <- Memory.push_frame_var st.mem vid bytes)
+    rf.rf_mem_locals;
+  (* bind formals: memory-resident formals spill to their slot; every
+     formal with an in-range register is also bound to it *)
+  let nf = Array.length rf.rf_formals in
+  if nf <> Array.length args then
+    error "machine: arity mismatch for %s" rf.rf_name;
+  for k = 0 to nf - 1 do
+    (match rf.rf_formals.(k) with
+     | RFreg -> ()
+     | RFmem { aslot; vid; bytes; fp } ->
+       let a = Memory.push_frame_var st.mem vid bytes in
+       fr.addrs.(aslot) <- a;
+       if fp then Memory.store_flt st.mem a caller.flts.(args.(k))
+       else Memory.store_int st.mem a caller.ints.(args.(k)));
+    let r = rf.rf_formal_regs.(k) in
+    if r >= 0 && r < n then begin
+      fr.ints.(r) <- caller.ints.(args.(k));
+      fr.flts.(r) <- caller.flts.(args.(k))
+    end
+  done;
+  let result = exec_blocks st fr rf in
   Memory.pop_frame st.mem mark;
   st.stacked_regs <- st.stacked_regs - n;
   result
 
-and exec_blocks st (fr : frame) (mf : Spec_codegen.Itl.mfunc) : int * float =
-  let open Spec_codegen.Itl in
+and exec_blocks st (fr : frame) (rf : rfunc) : int * float =
   let rec run bid =
-    let b = mf.mf_blocks.(bid) in
-    List.iter (exec_insn st fr) b.insns;
-    match b.mterm with
-    | Tbr t ->
+    let b = rf.rf_blocks.(bid) in
+    let insns = b.r_insns in
+    for k = 0 to Array.length insns - 1 do
+      exec_insn st fr insns.(k)
+    done;
+    match b.r_term with
+    | RTbr t ->
       st.ctrs.branches <- st.ctrs.branches + 1;
       st.clock <- st.clock + 1;
       run t
-    | Tbc (c, t, e) ->
+    | RTbc (c, t, e) ->
       st.ctrs.branches <- st.ctrs.branches + 1;
-      issue st fr ~srcs:[ c ] ~dst:(-1) ~latency:1 ~is_load:false;
+      issue1 st fr ~src:c ~dst:(-1) ~latency:1 ~is_load:false;
       run (if fr.ints.(c) <> 0 then t else e)
-    | Tret None -> (0, 0.)
-    | Tret (Some r) ->
-      issue st fr ~srcs:[ r ] ~dst:(-1) ~latency:1 ~is_load:false;
+    | RTret_none -> (0, 0.)
+    | RTret r ->
+      issue1 st fr ~src:r ~dst:(-1) ~latency:1 ~is_load:false;
       (fr.ints.(r), fr.flts.(r))
   in
   run 0
 
-(** Compile-free execution entry: run an ITL program from [main]. *)
-let run ?(config = default_config) (mp : Spec_codegen.Itl.mprog) : result =
+(** Run a resolved program from [main]. *)
+let run_resolved ?(config = default_config) (rp : rprog) : result =
+  if rp.r_main < 0 then error "machine: unknown function main";
+  let mem = Memory.create ~heap_bytes:config.heap_bytes rp.r_sir in
+  let globals = Array.make (Symtab.count rp.r_sir.Sir.syms) (-1) in
+  List.iter
+    (fun g -> globals.(g) <- Memory.global_addr mem g)
+    rp.r_sir.Sir.globals;
   let st =
-    { mp;
-      mem = Memory.create ~heap_bytes:config.heap_bytes
-          mp.Spec_codegen.Itl.mp_sir;
+    { rp; mem;
       cache = Cache.create ();
       alat = Alat.create ~entries:config.alat_entries ();
       cfg = config;
       ctrs = fresh_counters ();
       out = Buffer.create 256;
+      globals;
       clock = 0;
       slot = 0;
       rng = 88172645463325252;
@@ -410,10 +620,23 @@ let run ?(config = default_config) (mp : Spec_codegen.Itl.mprog) : result =
       frame_serial = 0;
       stacked_regs = 0 }
   in
-  let ri, _ = exec_func st "main" [] in
+  (* main has no caller: bind its (empty) args from a dummy frame *)
+  let dummy =
+    { fr_serial = 0; ints = [||]; flts = [||]; ready = [||];
+      prod_load = [||]; addrs = [||] }
+  in
+  let ri, _ = exec_func st dummy rp.r_main [||] in
   st.ctrs.cycles <- st.clock;
-  { ret_int = ri; output = Buffer.contents st.out; perf = st.ctrs;
-    alat = st.alat }
+  let r =
+    { ret_int = ri; output = Buffer.contents st.out; perf = st.ctrs;
+      alat = st.alat }
+  in
+  Memory.release st.mem;
+  r
+
+(** Resolve and run an ITL program from [main]. *)
+let run ?config (mp : Spec_codegen.Itl.mprog) : result =
+  run_resolved ?config (resolve mp)
 
 (** Convenience: lower an (out-of-SSA) SIR program and run it. *)
 let run_sir ?config (prog : Sir.prog) : result =

@@ -30,11 +30,69 @@ type t = {
   mutable sp : int;                    (* next free stack address *)
   mutable hp : int;                    (* next free heap address *)
   global_addr : (int, int) Hashtbl.t;  (* var id -> address *)
+  (* high-water marks, so a recycled image only re-zeroes what the
+     previous run actually dirtied (see the pool below) *)
+  mutable hw_cell : int;               (* exclusive bound of written cells *)
+  mutable data_hw : int;               (* data_locs cells used by layout *)
+  mutable stack_hw : int;              (* exclusive bound of stack_locs use *)
 }
 
 exception Fault of string
 
 let fault fmt = Fmt.kstr (fun s -> raise (Fault s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Image pool                                                          *)
+(*                                                                     *)
+(* A fresh image is two ~size/8-element arrays — 80 MB of zeroing for  *)
+(* the default 24 MB heap — and the experiment harness creates one per *)
+(* profiling or simulation run.  Instead of paying that alloc+zero     *)
+(* cost every time, [release] parks an image in a small pool and       *)
+(* [create] revives one of matching size, re-zeroing only the cells    *)
+(* the previous run wrote (tracked by the high-water marks).  The pool *)
+(* is shared across domains and guarded by a mutex; the arrays of a    *)
+(* pooled image are owned by exactly one run at a time.                *)
+(* ------------------------------------------------------------------ *)
+
+let pool : t list ref = ref []
+let pool_mu = Mutex.create ()
+let pool_cap = 4
+
+(** Return [m] to the image pool.  The caller must not touch [m] again:
+    the engines call this once a run is over, after which any [t] handed
+    out through hooks (e.g. {!Spec_prof.Interp.hooks.on_memory}) is dead. *)
+let release (m : t) =
+  Mutex.lock pool_mu;
+  if List.length !pool < pool_cap then pool := m :: !pool;
+  Mutex.unlock pool_mu
+
+let take_pooled size =
+  Mutex.lock pool_mu;
+  let rec pick acc = function
+    | [] -> pool := List.rev acc; None
+    | m :: rest when m.size = size ->
+      pool := List.rev_append acc rest;
+      Some m
+    | m :: rest -> pick (m :: acc) rest
+  in
+  let r = pick [] !pool in
+  Mutex.unlock pool_mu;
+  r
+
+(* Scrub the regions the previous run dirtied, bringing the image back
+   to the all-zeros state a fresh allocation guarantees. *)
+let scrub (m : t) =
+  Array.fill m.ints 0 m.hw_cell 0;
+  Array.fill m.flts 0 m.hw_cell 0.;
+  Array.fill m.data_locs 0 m.data_hw (-1);
+  Array.fill m.stack_locs 0 m.stack_hw (-1);
+  m.heap_n <- 0;
+  m.sp <- stack_base;
+  m.hp <- heap_base;
+  Hashtbl.reset m.global_addr;
+  m.hw_cell <- 0;
+  m.data_hw <- 0;
+  m.stack_hw <- 0
 
 (** Create a memory image with the program's globals laid out in the data
     segment.  [heap_bytes] bounds heap allocation. *)
@@ -44,16 +102,22 @@ let create ?(heap_bytes = 24 * 1024 * 1024) (p : Sir.prog) : t =
   let data_cells = (stack_base - data_base) / Types.cell_size in
   let stack_cells = (stack_limit - stack_base) / Types.cell_size in
   let m =
-    { ints = Array.make cells 0;
-      flts = Array.make cells 0.;
-      size;
-      data_locs = Array.make data_cells (-1);
-      stack_locs = Array.make stack_cells (-1);
-      heap_allocs = Array.make 64 (0, 0, 0);
-      heap_n = 0;
-      sp = stack_base;
-      hp = heap_base;
-      global_addr = Hashtbl.create 16 }
+    match take_pooled size with
+    | Some m -> scrub m; m
+    | None ->
+      { ints = Array.make cells 0;
+        flts = Array.make cells 0.;
+        size;
+        data_locs = Array.make data_cells (-1);
+        stack_locs = Array.make stack_cells (-1);
+        heap_allocs = Array.make 64 (0, 0, 0);
+        heap_n = 0;
+        sp = stack_base;
+        hp = heap_base;
+        global_addr = Hashtbl.create 16;
+        hw_cell = 0;
+        data_hw = 0;
+        stack_hw = 0 }
   in
   let next = ref data_base in
   List.iter
@@ -66,6 +130,7 @@ let create ?(heap_bytes = 24 * 1024 * 1024) (p : Sir.prog) : t =
       done;
       next := !next + cells_used * Types.cell_size)
     p.Sir.globals;
+  m.data_hw <- (!next - data_base) / Types.cell_size;
   if !next > stack_base then fault "data segment overflow";
   m
 
@@ -79,8 +144,20 @@ let cell addr = addr / Types.cell_size
 
 let load_int m addr = check m addr "load"; m.ints.(cell addr)
 let load_flt m addr = check m addr "load"; m.flts.(cell addr)
-let store_int m addr v = check m addr "store"; m.ints.(cell addr) <- v
-let store_flt m addr v = check m addr "store"; m.flts.(cell addr) <- v
+
+let touch m c = if c >= m.hw_cell then m.hw_cell <- c + 1
+
+let store_int m addr v =
+  check m addr "store";
+  let c = cell addr in
+  touch m c;
+  m.ints.(c) <- v
+
+let store_flt m addr v =
+  check m addr "store";
+  let c = cell addr in
+  touch m c;
+  m.flts.(c) <- v
 
 (** Non-faulting load for control-speculatively hoisted code (ld.s
     semantics: a bad address defers the fault; the value is never consumed
@@ -109,9 +186,12 @@ let push_frame_var m vid bytes =
   let addr = m.sp in
   if addr + bytes > stack_limit then fault "stack overflow";
   m.sp <- m.sp + bytes;
-  for c = 0 to (bytes / Types.cell_size) - 1 do
-    m.stack_locs.((addr - stack_base) / Types.cell_size + c) <- vid
+  let base_cell = (addr - stack_base) / Types.cell_size in
+  let ncells = bytes / Types.cell_size in
+  for c = 0 to ncells - 1 do
+    m.stack_locs.(base_cell + c) <- vid
   done;
+  if base_cell + ncells > m.stack_hw then m.stack_hw <- base_cell + ncells;
   addr
 
 let stack_mark m = m.sp

@@ -1,0 +1,224 @@
+(* Differential suite for the pre-compiled execution engines (PR 2).
+
+   The fast engines ({!Interp}'s pre-compiled interpreter and the
+   resolved {!Machine} simulator) must be observationally identical to
+   the seed's tree-walking semantics:
+
+   - [Interp] vs [Interp_ref] (the frozen seed-semantics oracle): for
+     every workload under every pipeline variant, program output, return
+     value and every counter (steps, mem_loads, mem_stores, branches,
+     calls, check_stmts) must agree exactly.
+
+   - [Machine]: every perf counter plus the program's return value must
+     match the goldens below, which were captured from the seed
+     simulator (pre-overhaul machine.ml) on the train inputs.
+
+   - The parallel harness must be deterministic: rendered table rows
+     from a [--jobs 4] sweep are byte-identical to the sequential run,
+     and [Parpool] preserves submission order, nests, and propagates
+     exceptions. *)
+
+open Spec_ir
+open Spec_prof
+open Spec_driver
+
+let find = Spec_workloads.Workloads.find
+let wname w = w.Spec_workloads.Workloads.name
+
+(* ------------------------------------------------------------------ *)
+(* Parpool units                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let with_jobs n f =
+  Parpool.set_jobs n;
+  Fun.protect ~finally:(fun () -> Parpool.set_jobs 1) f
+
+let pool_order () =
+  Alcotest.(check int) "inline by default" 1 (Parpool.get_jobs ());
+  with_jobs 4 (fun () ->
+      Alcotest.(check int) "jobs set" 4 (Parpool.get_jobs ());
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int)) "submission order preserved"
+        (List.map (fun x -> x * x) xs)
+        (Parpool.parmap (fun x -> x * x) xs);
+      (* nested fan-out: a task awaiting subtasks must help, not deadlock *)
+      let nested =
+        Parpool.parmap
+          (fun i ->
+            List.fold_left ( + ) 0
+              (Parpool.parmap (fun j -> i * j) (List.init 10 Fun.id)))
+          xs
+      in
+      Alcotest.(check (list int)) "nested map" (List.map (fun i -> i * 45) xs)
+        nested)
+
+let pool_exn () =
+  with_jobs 2 (fun () ->
+      match Parpool.parmap (fun x -> if x = 3 then failwith "boom" else x)
+              (List.init 8 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected the task's exception to propagate"
+      | exception Failure m -> Alcotest.(check string) "exn payload" "boom" m)
+
+(* ------------------------------------------------------------------ *)
+(* Interp vs Interp_ref differential                                   *)
+(* ------------------------------------------------------------------ *)
+
+let variants profile =
+  [ "noopt", Pipeline.Noopt; "base", Pipeline.Base;
+    "profile", Pipeline.Spec_profile profile;
+    "heuristic", Pipeline.Spec_heuristic;
+    "aggressive", Pipeline.Aggressive ]
+
+let check_engines_agree ctx prog =
+  let a = Interp.run prog in
+  let b = Interp_ref.run prog in
+  Alcotest.(check string) (ctx ^ ": output") b.Interp_ref.output
+    a.Interp.output;
+  (match a.Interp.ret, b.Interp_ref.ret with
+   | Interp.Vint x, Interp_ref.Vint y ->
+     Alcotest.(check int) (ctx ^ ": ret") y x
+   | Interp.Vflt x, Interp_ref.Vflt y ->
+     Alcotest.(check bool) (ctx ^ ": float ret") true (compare x y = 0)
+   | _ -> Alcotest.fail (ctx ^ ": return-value kind mismatch"));
+  let ca = a.Interp.counters and cb = b.Interp_ref.counters in
+  List.iter
+    (fun (n, got, want) ->
+      Alcotest.(check int) (Printf.sprintf "%s: %s" ctx n) want got)
+    [ "steps", ca.Interp.steps, cb.Interp_ref.steps;
+      "mem_loads", ca.Interp.mem_loads, cb.Interp_ref.mem_loads;
+      "mem_stores", ca.Interp.mem_stores, cb.Interp_ref.mem_stores;
+      "branches", ca.Interp.branches, cb.Interp_ref.branches;
+      "calls", ca.Interp.calls, cb.Interp_ref.calls;
+      "check_stmts", ca.Interp.check_stmts, cb.Interp_ref.check_stmts ]
+
+let diff_workload w () =
+  let train_prog = Lower.compile (Spec_workloads.Workloads.train_source w) in
+  let profile, _ = Profiler.profile train_prog in
+  List.iter
+    (fun (vname, v) ->
+      let prog = Lower.compile (Spec_workloads.Workloads.train_source w) in
+      let r = Pipeline.optimize ~edge_profile:(Some profile) prog v in
+      check_engines_agree (wname w ^ "/" ^ vname) r.Pipeline.prog)
+    (variants profile)
+
+(* ------------------------------------------------------------------ *)
+(* Machine goldens (captured from the seed simulator, train inputs)    *)
+(* ------------------------------------------------------------------ *)
+
+(* (insns, cycles, data_cycles, loads_plain, loads_adv, loads_spec,
+    checks, check_misses, stores, branches, rse_stall_cycles,
+    max_stacked_regs, ret_int) *)
+let machine_goldens = [
+  ("art", "noopt", (244128, 299132, 111876, 37348, 0, 0, 0, 0, 11406, 20063, 28, 101, 0));
+  ("art", "base", (155829, 247360, 98421, 24221, 0, 0, 0, 0, 11406, 20063, 0, 80, 0));
+  ("art", "profile", (155829, 228185, 98426, 14621, 4800, 0, 4800, 0, 11406, 20063, 0, 79, 0));
+  ("art", "heuristic", (155829, 232455, 83516, 9701, 4920, 0, 9600, 4800, 11406, 20063, 0, 79, 0));
+  ("art", "aggressive", (136629, 222855, 83036, 9701, 4920, 0, 0, 0, 11406, 20063, 0, 79, 0));
+  ("ammp", "noopt", (249962, 297496, 103064, 38682, 0, 0, 0, 0, 10090, 14063, 334, 149, 0));
+  ("ammp", "base", (167249, 254739, 89577, 29073, 0, 3, 0, 0, 10090, 14063, 124, 113, 0));
+  ("ammp", "profile", (169409, 255837, 92457, 20433, 0, 1083, 8640, 2, 10090, 14063, 142, 116, 0));
+  ("ammp", "heuristic", (183089, 212711, 31017, 11793, 0, 2163, 23040, 14400, 10090, 14063, 172, 121, 0));
+  ("ammp", "aggressive", (137009, 169494, 31032, 11793, 0, 2163, 0, 0, 10090, 14063, 124, 113, 0));
+  ("equake", "noopt", (91992, 97395, 24222, 13011, 0, 0, 0, 0, 4455, 4765, 714, 251, 0));
+  ("equake", "base", (72875, 84019, 23245, 11560, 0, 0, 0, 0, 4455, 4765, 452, 192, 0));
+  ("equake", "profile", (76475, 77195, 21090, 6520, 1440, 360, 5040, 3, 4455, 4765, 464, 192, 0));
+  ("equake", "heuristic", (76475, 77195, 21090, 6520, 1440, 360, 5040, 3, 4455, 4765, 464, 192, 0));
+  ("equake", "aggressive", (66395, 72123, 20365, 6520, 1440, 360, 0, 0, 4455, 4765, 436, 192, 0));
+  ("gzip", "noopt", (299530, 234031, 30162, 35054, 0, 0, 0, 0, 5264, 34479, 11640, 106, 0));
+  ("gzip", "base", (269072, 198986, 15654, 19258, 0, 583, 0, 0, 5264, 39356, 4656, 100, 0));
+  ("gzip", "profile", (269654, 197874, 14220, 18094, 582, 583, 582, 0, 5264, 39356, 4656, 100, 0));
+  ("gzip", "heuristic", (269654, 197874, 14220, 18094, 582, 583, 582, 0, 5264, 39356, 4656, 100, 0));
+  ("gzip", "aggressive", (267326, 193218, 14220, 18094, 582, 583, 0, 0, 5264, 39356, 1164, 97, 0));
+  ("mcf", "noopt", (617846, 448544, 82036, 96985, 0, 0, 0, 0, 22994, 69036, 52, 122, 0));
+  ("mcf", "base", (459996, 365439, 51328, 71963, 0, 0, 0, 0, 22994, 75069, 0, 91, 0));
+  ("mcf", "profile", (459996, 353505, 39394, 53996, 12000, 0, 5967, 0, 22994, 75069, 0, 91, 0));
+  ("mcf", "heuristic", (459996, 353505, 39394, 53996, 12000, 0, 5967, 0, 22994, 75069, 0, 91, 0));
+  ("mcf", "aggressive", (448062, 347538, 39394, 53996, 12000, 0, 0, 0, 22994, 75069, 0, 91, 0));
+  ("parser", "noopt", (354405, 306484, 48867, 46858, 0, 0, 0, 0, 4788, 60574, 0, 70, 0));
+  ("parser", "base", (339363, 310963, 42086, 41044, 0, 1, 0, 0, 4788, 78336, 0, 65, 0));
+  ("parser", "profile", (340731, 309658, 40781, 38308, 1368, 1, 1368, 0, 4788, 78336, 0, 65, 0));
+  ("parser", "heuristic", (340731, 309658, 40781, 38308, 1368, 1, 1368, 0, 4788, 78336, 0, 65, 0));
+  ("parser", "aggressive", (335259, 306922, 40781, 38308, 1368, 1, 0, 0, 4788, 78336, 0, 62, 0));
+  ("twolf", "noopt", (92124, 61932, 6862, 12518, 0, 0, 0, 0, 2368, 9926, 96, 108, 0));
+  ("twolf", "base", (79608, 55886, 2982, 8943, 0, 0, 0, 0, 2368, 11688, 8, 97, 0));
+  ("twolf", "profile", (79608, 54720, 2403, 3618, 3588, 0, 1737, 0, 2368, 11688, 0, 95, 0));
+  ("twolf", "heuristic", (79608, 54720, 2403, 3618, 3588, 0, 1737, 0, 2368, 11688, 0, 95, 0));
+  ("twolf", "aggressive", (72660, 51825, 2403, 3618, 3588, 0, 0, 0, 2368, 11688, 0, 86, 0));
+  ("vpr", "noopt", (149926, 174721, 40524, 18528, 0, 0, 0, 0, 6256, 17273, 58, 113, 0));
+  ("vpr", "base", (119907, 148888, 36010, 12273, 0, 0, 0, 0, 6256, 17273, 0, 86, 0));
+  ("vpr", "profile", (125157, 151138, 36010, 10773, 750, 0, 3000, 0, 6256, 17273, 0, 86, 0));
+  ("vpr", "heuristic", (125157, 151138, 36010, 10773, 750, 0, 3000, 0, 6256, 17273, 0, 86, 0));
+  ("vpr", "aggressive", (119157, 148138, 36010, 10773, 750, 0, 0, 0, 6256, 17273, 0, 85, 0));
+]
+
+let tuple_to_list (a, b, c, d, e, f, g, h, i, j, k, l, m) =
+  [ a; b; c; d; e; f; g; h; i; j; k; l; m ]
+
+let golden_workload w () =
+  let open Spec_machine in
+  Experiments.machine_config := Machine.default_config;
+  let b = Experiments.run_workload ~quick:true w in
+  List.iter
+    (fun (vname, (r : Experiments.run)) ->
+      let p = r.Experiments.r_machine.Machine.perf in
+      let got =
+        [ p.Machine.insns; p.Machine.cycles; p.Machine.data_cycles;
+          p.Machine.loads_plain; p.Machine.loads_adv; p.Machine.loads_spec;
+          p.Machine.checks; p.Machine.check_misses; p.Machine.stores;
+          p.Machine.branches; p.Machine.rse_stall_cycles;
+          p.Machine.max_stacked_regs;
+          r.Experiments.r_machine.Machine.ret_int ]
+      in
+      let want =
+        tuple_to_list
+          (List.assoc vname
+             (List.filter_map
+                (fun (n, v, t) -> if n = wname w then Some (v, t) else None)
+                machine_goldens))
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s/%s machine counters" (wname w) vname)
+        want got)
+    [ "noopt", b.Experiments.noopt; "base", b.Experiments.base;
+      "profile", b.Experiments.prof_spec;
+      "heuristic", b.Experiments.heur_spec;
+      "aggressive", b.Experiments.aggressive ]
+
+(* ------------------------------------------------------------------ *)
+(* --jobs determinism                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let render_tables (bs : Experiments.bench_result list) =
+  String.concat "\n"
+    (List.concat_map
+       (fun b ->
+         [ Experiments.fig10_row b; Experiments.fig11_row b;
+           Experiments.fig12_row b; Experiments.heuristics_row b;
+           Experiments.rse_row b ])
+       bs)
+
+let jobs_determinism () =
+  let ws = List.map find [ "art"; "equake"; "mcf" ] in
+  let seq = Experiments.run_workloads ~quick:true ws in
+  let par = with_jobs 4 (fun () -> Experiments.run_workloads ~quick:true ws) in
+  Alcotest.(check string) "table rows identical under --jobs 4"
+    (render_tables seq) (render_tables par)
+
+let suite =
+  [ Alcotest.test_case "parpool: order + nested fan-out" `Quick pool_order;
+    Alcotest.test_case "parpool: exception propagation" `Quick pool_exn ]
+  @ List.map
+      (fun w ->
+        Alcotest.test_case
+          ("interp differential: " ^ wname w)
+          `Slow (diff_workload w))
+      Spec_workloads.Workloads.all
+  @ List.map
+      (fun w ->
+        Alcotest.test_case
+          ("machine goldens: " ^ wname w)
+          `Slow (golden_workload w))
+      Spec_workloads.Workloads.all
+  @ [ Alcotest.test_case "harness deterministic under --jobs" `Slow
+        jobs_determinism ]

@@ -16,4 +16,5 @@ let () =
       ("machine", Test_machine.suite);
       ("schedule", Test_schedule.suite);
       ("passes", Test_passes.suite);
-      ("workloads", Test_workloads.suite) ]
+      ("workloads", Test_workloads.suite);
+      ("engines", Test_engines.suite) ]
