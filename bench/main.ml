@@ -8,12 +8,18 @@
      bench/main.exe --jobs 4       -- fan workloads/variants out to 4 domains
      bench/main.exe --table fig10   -- a single table
      bench/main.exe --micro         -- Bechamel phase + engine benches
+     bench/main.exe --stress        -- misspeculation stress sweep (ALAT
+                                       fault injection + adversarial
+                                       profiles; --stress-seed N picks the
+                                       fault streams, default 1)
      bench/main.exe --json          -- bench dump (JSON on stdout, and
                                        written to BENCH_<date>.json;
                                        --json-file PATH overrides the
-                                       destination, "-" = stdout only)
+                                       destination, "-" = stdout only;
+                                       combined with --stress the dump
+                                       gains a "stress" section)
 
-   Tables: smvp fig10 fig11 fig12 heuristics rse
+   Tables: smvp fig10 fig11 fig12 heuristics rse stress
            ablate-cspec ablate-alat ablate-threshold ablate-sched micro
 
    Workload results are computed per-workload on demand and memoized, so
@@ -27,6 +33,8 @@ let tables = ref []
 let jobs = ref 1
 let json = ref false
 let json_file = ref None
+let stress = ref false
+let stress_seed = ref 1
 
 let section title = Printf.printf "\n== %s ==\n%!" title
 
@@ -112,6 +120,42 @@ let table_ablate_cspec () =
     (Parpool.parmap
        (fun w -> Experiments.ablate_control_spec ~quick:!quick w)
        Spec_workloads.Workloads.all)
+
+(* ------------------------------------------------------------------ *)
+(* Misspeculation stress sweep (--stress)                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Memoized stress cells so the table and the JSON section share one
+    sweep.  Every grid point asserts bit-identical outputs against the
+    unoptimized oracle; [Experiments.Stress_divergence] escapes and
+    fails the run (that is the CI gate). *)
+let stress_cells_tbl : Experiments.stress_cell list option ref = ref None
+
+let stress_cells () =
+  match !stress_cells_tbl with
+  | Some cells -> cells
+  | None ->
+    let cells =
+      Experiments.run_stress ~quick:!quick ~seed:!stress_seed
+        Spec_workloads.Workloads.all
+    in
+    stress_cells_tbl := Some cells;
+    cells
+
+let table_stress () =
+  section
+    (Printf.sprintf
+       "Misspeculation stress: ALAT fault injection + adversarial profiles \
+        (seed %d)"
+       !stress_seed);
+  let cells = stress_cells () in
+  print_endline Experiments.stress_header;
+  List.iter
+    (fun c -> print_endline (Experiments.stress_row cells c))
+    cells;
+  Printf.printf
+    "(%d cells, every output bit-identical to the unoptimized oracle)\n"
+    (List.length cells)
 
 let table_ablate_alat () =
   section "Ablation: ALAT capacity vs mis-speculation (equake)";
@@ -255,95 +299,36 @@ let date_string () =
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
 
-let json_of_variant name (r : Experiments.run) =
-  let open Spec_machine in
-  let p = r.Experiments.r_machine.Machine.perf in
-  Printf.sprintf
-    "{\"variant\":%S,\"wall_s\":%.6f,\"cycles\":%d,\"insns\":%d,\
-     \"data_cycles\":%d,\"loads_retired\":%d,\"checks\":%d,\
-     \"check_misses\":%d}"
-    name r.Experiments.r_wall_s p.Machine.cycles p.Machine.insns
-    p.Machine.data_cycles
-    (Machine.loads_retired p)
-    p.Machine.checks p.Machine.check_misses
-
-(** One workload's JSON object: wall time per phase, machine counters per
-    variant, the paper metrics, and the pass manager's per-pass reports
-    (timings + statistics + analysis-cache counters, on the train
-    compile). *)
-let json_of_workload (w : Spec_workloads.Workloads.workload)
-    (b : Experiments.bench_result) =
-  let buf = Buffer.create 4096 in
-  Printf.bprintf buf
-    "{\"name\":%S,\"wall_s\":%.6f,\"profile_wall_s\":%.6f,\"variants\":["
-    b.Experiments.wname b.Experiments.total_wall_s b.Experiments.prof_wall_s;
-  List.iteri
-    (fun i (name, r) ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf (json_of_variant name r))
-    [ "noopt", b.Experiments.noopt; "base", b.Experiments.base;
-      "profile", b.Experiments.prof_spec;
-      "heuristic", b.Experiments.heur_spec;
-      "aggressive", b.Experiments.aggressive ];
-  Printf.bprintf buf
-    "],\"metrics\":{\"load_reduction_pct\":%.3f,\"speedup_pct\":%.3f,\
-     \"data_cycle_reduction_pct\":%.3f,\"check_pct\":%.3f,\
-     \"misspec_pct\":%.3f,\"reuse_potential_pct\":%.3f},\"passes\":["
-    (Experiments.load_reduction ~base:b.Experiments.base
-       ~spec:b.Experiments.prof_spec)
-    (Experiments.speedup ~base:b.Experiments.base
-       ~spec:b.Experiments.prof_spec)
-    (Experiments.data_cycle_reduction ~base:b.Experiments.base
-       ~spec:b.Experiments.prof_spec)
-    (Experiments.check_pct b.Experiments.prof_spec)
-    (Experiments.misspec_ratio b.Experiments.prof_spec)
-    (100. *. b.Experiments.reuse_frac);
-  let src = Spec_workloads.Workloads.train_source w in
-  let prof = Pipeline.profile_of_source src in
-  List.iteri
-    (fun j (vname, v) ->
-      if j > 0 then Buffer.add_char buf ',';
-      let r = Pipeline.compile_and_optimize ~edge_profile:(Some prof) src v in
-      Printf.bprintf buf "{\"variant\":%S,\"report\":%s}" vname
-        (Passes.report_to_json r.Pipeline.report))
-    [ "base", Pipeline.Base; "profile", Pipeline.Spec_profile prof;
-      "heuristic", Pipeline.Spec_heuristic;
-      "aggressive", Pipeline.Aggressive ];
-  Buffer.add_string buf "]}";
-  Buffer.contents buf
-
 (** [--json]: run the harness on every workload and dump the bench
-    trajectory record — printed on stdout and, unless [--json-file -],
-    written to [BENCH_<date>.json] (or the [--json-file] path) so it can
-    be committed as a baseline for future PRs to diff against. *)
+    trajectory record (see {!Bench_json} for the schema) — printed on
+    stdout and, unless [--json-file -], written to [BENCH_<date>.json]
+    (or the [--json-file] path) so it can be committed as a baseline for
+    future PRs to diff against.  With [--stress] the dump also carries
+    the stress sweep. *)
 let json_dump () =
   let t0 = Unix.gettimeofday () in
   let ws = Spec_workloads.Workloads.all in
   let results = results_of ws in
   let blobs =
     Parpool.parmap
-      (fun (w, b) -> json_of_workload w b)
+      (fun (w, b) -> Bench_json.workload_json w b)
       (List.combine ws results)
   in
+  let stress_blob =
+    if !stress then
+      Some (Bench_json.stress_json ~seed:!stress_seed (stress_cells ()))
+    else None
+  in
   let wall = Unix.gettimeofday () -. t0 in
-  let buf = Buffer.create 65536 in
-  Printf.bprintf buf
-    "{\"schema\":\"specpre-bench/2\",\"date\":%S,\"inputs\":%S,\
-     \"jobs\":%d,\"harness_wall_s\":%.3f,"
-    (date_string ())
-    (if !quick then "train" else "ref")
-    (Parpool.get_jobs ()) wall;
-  (* wall time of the pre-overhaul harness on this machine, for the
-     speedup trail (see EXPERIMENTS.md) *)
-  if !quick then Buffer.add_string buf "\"pre_pr2_quick_wall_s\":13.194,";
-  Buffer.add_string buf "\"workloads\":[";
-  List.iteri
-    (fun i blob ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf blob)
-    blobs;
-  Buffer.add_string buf "]}\n";
-  let out = Buffer.contents buf in
+  let out =
+    Bench_json.dump ~date:(date_string ())
+      ~inputs:(if !quick then "train" else "ref")
+      ~jobs:(Parpool.get_jobs ()) ~harness_wall_s:wall
+      (* wall time of the pre-overhaul harness on this machine, for the
+         speedup trail (see EXPERIMENTS.md) *)
+      ?pre_pr2_quick_wall_s:(if !quick then Some 13.194 else None)
+      ?stress:stress_blob blobs
+  in
   print_string out;
   match !json_file with
   | Some "-" -> ()
@@ -384,7 +369,8 @@ let known_tables =
     "fig12", table_fig12; "heuristics", table_heuristics; "rse", table_rse;
     "ablate-cspec", table_ablate_cspec; "ablate-alat", table_ablate_alat;
     "ablate-threshold", table_ablate_threshold;
-    "ablate-sched", table_ablate_sched; "micro", micro ]
+    "ablate-sched", table_ablate_sched; "micro", micro;
+    "stress", table_stress ]
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -393,6 +379,14 @@ let () =
     | "--full" :: rest -> quick := false; parse rest
     | "--quick" :: rest -> quick := true; parse rest
     | "--micro" :: rest -> tables := "micro" :: !tables; parse rest
+    | "--stress" :: rest -> stress := true; parse rest
+    | "--stress-seed" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n -> stress_seed := n
+       | _ ->
+         Printf.eprintf "--stress-seed expects an integer, got %s\n" n;
+         exit 2);
+      parse rest
     | "--json" :: rest -> json := true; parse rest
     | "--json-file" :: p :: rest -> json_file := Some p; parse rest
     | "--jobs" :: n :: rest ->
@@ -421,7 +415,8 @@ let () =
      PLDI 2003.\n"
     (if !quick then "train/quick" else "ref/full");
   let to_run =
-    if !tables = [] then
+    if !stress && !tables = [] then [ "stress" ]
+    else if !tables = [] then
       [ "smvp"; "fig10"; "fig11"; "fig12"; "heuristics"; "rse";
         "ablate-cspec"; "ablate-alat"; "ablate-threshold"; "ablate-sched";
         "micro" ]

@@ -6,6 +6,7 @@
 
      speccc run prog.c                      interpret, print output
      speccc run --machine prog.c            simulate on the ITL machine
+     speccc run --faults inv=10000 prog.c   misspeculation stress run
      speccc dump --phase ssa prog.c         print IR after a phase
      speccc opt --mode heuristic prog.c     optimize and print final IR
      speccc stats --mode profile prog.c     perf counters for all variants
@@ -45,11 +46,11 @@ let variant_of_mode prof = function
 (* profile exactly once: the same training run seeds both the
    [Spec_profile] variant (alias profile) and the edge profile for
    control speculation *)
-let optimize_src ?(verify_each = false) src mode =
+let optimize_src ?(verify_each = false) ?perturb src mode =
   let prof = Pipeline.profile_of_source src in
   let variant = variant_of_mode prof mode in
-  Pipeline.compile_and_optimize ~verify_each ~edge_profile:(Some prof) src
-    variant
+  Pipeline.compile_and_optimize ~verify_each ~edge_profile:(Some prof)
+    ?perturb src variant
 
 let verify_arg =
   Arg.(value & flag
@@ -65,18 +66,63 @@ let timings_arg =
 
 (* ---- run ---- *)
 
+let faults_arg =
+  Arg.(value & opt (some string) None
+       & info [ "faults" ] ~docv:"SPEC"
+           ~doc:"misspeculation fault plan: comma-separated $(b,flush=K) \
+                 (full ALAT flush every K time units), $(b,inv=PPM) \
+                 (per-time-unit random entry invalidation), $(b,alat=N) \
+                 (shrink the machine ALAT to N entries), \
+                 $(b,adv=invert|drop:PPM|none) (adversarial speculation \
+                 flags).  Deterministic for a given --stress-seed.")
+
+let stress_seed_arg =
+  Arg.(value & opt int 1
+       & info [ "stress-seed" ] ~docv:"N"
+           ~doc:"seed for the --faults random streams (default 1)")
+
 let run_cmd =
   let machine =
     Arg.(value & flag & info [ "machine" ] ~doc:"run on the ITL machine \
                                                  simulator (with counters)")
   in
-  let action file mode machine verify_each timings =
+  let action file mode machine verify_each timings faults stress_seed =
     let src = read_file file in
-    let r = optimize_src ~verify_each src mode in
+    let plan =
+      match faults with
+      | None -> Spec_stress.Faults.null stress_seed
+      | Some spec ->
+        (match Spec_stress.Faults.parse ~seed:stress_seed spec with
+         | Ok p -> p
+         | Error msg ->
+           Printf.eprintf "speccc: bad --faults spec: %s\n" msg;
+           exit 2)
+    in
+    let perturb =
+      Spec_spec.Flags.perturbation ~seed:stress_seed
+        ~scope:[ Filename.basename file; "speccc" ]
+        plan.Spec_stress.Faults.adversary
+    in
+    let r = optimize_src ~verify_each ?perturb src mode in
     if timings then
       prerr_string (Spec_driver.Passes.report_to_string r.Pipeline.report);
+    (match perturb with
+     | Some p ->
+       Printf.eprintf "adversary-flips=%d\n" (Spec_spec.Flags.flipped p)
+     | None -> ());
     if machine then begin
-      let m = Spec_machine.Machine.run_sir r.Pipeline.prog in
+      let config =
+        match plan.Spec_stress.Faults.alat_entries with
+        | Some n ->
+          { Spec_machine.Machine.default_config with
+            Spec_machine.Machine.alat_entries = n }
+        | None -> Spec_machine.Machine.default_config
+      in
+      let mf =
+        Spec_stress.Faults.injector_opt plan
+          ~scope:[ Filename.basename file; "speccc"; "machine" ]
+      in
+      let m = Spec_machine.Machine.run_sir ~config ?faults:mf r.Pipeline.prog in
       print_string m.Spec_machine.Machine.output;
       let p = m.Spec_machine.Machine.perf in
       Printf.eprintf
@@ -84,17 +130,35 @@ let run_cmd =
         p.Spec_machine.Machine.cycles p.Spec_machine.Machine.insns
         (Spec_machine.Machine.loads_retired p)
         p.Spec_machine.Machine.checks p.Spec_machine.Machine.check_misses
-        p.Spec_machine.Machine.stores
+        p.Spec_machine.Machine.stores;
+      (match mf with
+       | Some inj ->
+         Printf.eprintf "alat-flushes=%d alat-invalidations=%d\n"
+           (Spec_stress.Faults.flushes inj)
+           (Spec_stress.Faults.invalidations inj)
+       | None -> ())
     end
     else begin
-      let out = Spec_prof.Interp.run r.Pipeline.prog in
-      print_string out.Spec_prof.Interp.output
+      let fi =
+        Spec_stress.Faults.injector_opt plan
+          ~scope:[ Filename.basename file; "speccc"; "interp" ]
+      in
+      let out = Spec_prof.Interp.run ?faults:fi r.Pipeline.prog in
+      print_string out.Spec_prof.Interp.output;
+      (match fi with
+       | Some inj ->
+         Printf.eprintf
+           "check-reloads=%d alat-flushes=%d alat-invalidations=%d\n"
+           out.Spec_prof.Interp.counters.Spec_prof.Interp.check_reloads
+           (Spec_stress.Faults.flushes inj)
+           (Spec_stress.Faults.invalidations inj)
+       | None -> ())
     end;
     0
   in
   Cmd.v (Cmd.info "run" ~doc:"compile, optimize and execute a program")
     Term.(const action $ src_arg $ mode_arg $ machine $ verify_arg
-          $ timings_arg)
+          $ timings_arg $ faults_arg $ stress_seed_arg)
 
 (* ---- dump ---- *)
 

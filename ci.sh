@@ -32,10 +32,19 @@ int main() {
 EOF
 dune exec bin/speccc.exe -- stats --timings --verify-each "$tmp"
 
-echo "== bench harness smoke (--quick --jobs 2) =="
-# Runs every workload through every pipeline variant on a 2-domain pool;
-# the harness aborts if any variant diverges from the reference output.
-# The JSON bench dump is kept as an artifact.
-dune exec bench/main.exe -- --quick --jobs 2 --json --json-file bench-smoke.json > /dev/null
+echo "== speccc misspeculation stress smoke (--faults) =="
+# Deterministic fault injection through the CLI: chaos invalidation,
+# periodic flushes and an adversarial profile on the same kernel; the
+# program output must stay correct under every fault source.
+dune exec bin/speccc.exe -- run --machine --mode profile \
+  --faults "flush=64,inv=100000,adv=invert" --stress-seed 7 "$tmp"
+
+echo "== bench harness smoke (--quick --stress --jobs 2) =="
+# Runs every workload through every pipeline variant on a 2-domain pool,
+# plus the misspeculation stress grid; the harness aborts if any variant
+# diverges from the reference output or any stress point diverges from
+# the unoptimized oracle.  The JSON bench dump (stress section included)
+# is kept as an artifact.
+dune exec bench/main.exe -- --quick --jobs 2 --stress --json --json-file bench-smoke.json > /dev/null
 
 echo "== ci ok =="

@@ -1,0 +1,410 @@
+(** Machine-readable bench dump (schema [specpre-bench/2]): emission,
+    parsing, and validation.
+
+    The [--json] harness mode writes a trajectory record
+    ([BENCH_<date>.json]) that later PRs diff against, so its shape is a
+    contract: {!validate} pins the field names and types of every
+    section, and the test suite golden-checks both the committed
+    baselines and a freshly emitted dump against it.  The parser is a
+    small recursive-descent JSON reader (no external JSON dependency in
+    the tree) that accepts exactly the JSON subset the emitter produces
+    plus standard escapes. *)
+
+open Spec_workloads
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let variant_json name (r : Experiments.run) =
+  let open Spec_machine in
+  let p = r.Experiments.r_machine.Machine.perf in
+  Printf.sprintf
+    "{\"variant\":%S,\"wall_s\":%.6f,\"cycles\":%d,\"insns\":%d,\
+     \"data_cycles\":%d,\"loads_retired\":%d,\"checks\":%d,\
+     \"check_misses\":%d}"
+    name r.Experiments.r_wall_s p.Machine.cycles p.Machine.insns
+    p.Machine.data_cycles
+    (Machine.loads_retired p)
+    p.Machine.checks p.Machine.check_misses
+
+(** One workload's JSON object: wall time per phase, machine counters per
+    variant, the paper metrics, and the pass manager's per-pass reports
+    (timings + statistics + analysis-cache counters, on the train
+    compile). *)
+let workload_json (w : Workloads.workload) (b : Experiments.bench_result) =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "{\"name\":%S,\"wall_s\":%.6f,\"profile_wall_s\":%.6f,\"variants\":["
+    b.Experiments.wname b.Experiments.total_wall_s b.Experiments.prof_wall_s;
+  List.iteri
+    (fun i (name, r) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (variant_json name r))
+    [ "noopt", b.Experiments.noopt; "base", b.Experiments.base;
+      "profile", b.Experiments.prof_spec;
+      "heuristic", b.Experiments.heur_spec;
+      "aggressive", b.Experiments.aggressive ];
+  Printf.bprintf buf
+    "],\"metrics\":{\"load_reduction_pct\":%.3f,\"speedup_pct\":%.3f,\
+     \"data_cycle_reduction_pct\":%.3f,\"check_pct\":%.3f,\
+     \"misspec_pct\":%.3f,\"reuse_potential_pct\":%.3f},\"passes\":["
+    (Experiments.load_reduction ~base:b.Experiments.base
+       ~spec:b.Experiments.prof_spec)
+    (Experiments.speedup ~base:b.Experiments.base
+       ~spec:b.Experiments.prof_spec)
+    (Experiments.data_cycle_reduction ~base:b.Experiments.base
+       ~spec:b.Experiments.prof_spec)
+    (Experiments.check_pct b.Experiments.prof_spec)
+    (Experiments.misspec_ratio b.Experiments.prof_spec)
+    (100. *. b.Experiments.reuse_frac);
+  let src = Workloads.train_source w in
+  let prof = Pipeline.profile_of_source src in
+  List.iteri
+    (fun j (vname, v) ->
+      if j > 0 then Buffer.add_char buf ',';
+      let r = Pipeline.compile_and_optimize ~edge_profile:(Some prof) src v in
+      Printf.bprintf buf "{\"variant\":%S,\"report\":%s}" vname
+        (Passes.report_to_json r.Pipeline.report))
+    [ "base", Pipeline.Base; "profile", Pipeline.Spec_profile prof;
+      "heuristic", Pipeline.Spec_heuristic;
+      "aggressive", Pipeline.Aggressive ];
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let stress_cell_json (cells : Experiments.stress_cell list)
+    (c : Experiments.stress_cell) =
+  Printf.sprintf
+    "{\"workload\":%S,\"point\":%S,\"variant\":%S,\"adv_flips\":%d,\
+     \"checks\":%d,\"check_misses\":%d,\"hit_rate_pct\":%.3f,\
+     \"cycles\":%d,\"insns\":%d,\"cycle_overhead_pct\":%.3f,\
+     \"machine_flushes\":%d,\"machine_invalidations\":%d,\
+     \"interp_checks\":%d,\"interp_reloads\":%d,\"interp_flushes\":%d,\
+     \"interp_invalidations\":%d}"
+    c.Experiments.sc_workload c.Experiments.sc_point c.Experiments.sc_variant
+    c.Experiments.sc_adv_flips c.Experiments.sc_checks
+    c.Experiments.sc_misses
+    (Experiments.stress_hit_rate c)
+    c.Experiments.sc_cycles c.Experiments.sc_insns
+    (Experiments.stress_overhead cells c)
+    c.Experiments.sc_m_flushes c.Experiments.sc_m_invs
+    c.Experiments.sc_i_checks c.Experiments.sc_i_reloads
+    c.Experiments.sc_i_flushes c.Experiments.sc_i_invs
+
+(** The [--stress] sweep as a JSON object: the seed plus one flat cell
+    per (workload, grid point, variant), in sweep order. *)
+let stress_json ~seed (cells : Experiments.stress_cell list) =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "{\"seed\":%d,\"cells\":[" seed;
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (stress_cell_json cells c))
+    cells;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(** Assemble the top-level dump.  [workloads] are pre-rendered
+    {!workload_json} blobs; [stress] is a pre-rendered {!stress_json}
+    blob.  [date] is supplied by the caller (the library stays
+    clock-free). *)
+let dump ~date ~inputs ~jobs ~harness_wall_s ?pre_pr2_quick_wall_s ?stress
+    (workloads : string list) =
+  let buf = Buffer.create 65536 in
+  Printf.bprintf buf
+    "{\"schema\":\"specpre-bench/2\",\"date\":%S,\"inputs\":%S,\
+     \"jobs\":%d,\"harness_wall_s\":%.3f,"
+    date inputs jobs harness_wall_s;
+  (match pre_pr2_quick_wall_s with
+   | Some w -> Printf.bprintf buf "\"pre_pr2_quick_wall_s\":%.3f," w
+   | None -> ());
+  Buffer.add_string buf "\"workloads\":[";
+  List.iteri
+    (fun i blob ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf blob)
+    workloads;
+  Buffer.add_string buf "]";
+  (match stress with
+   | Some s ->
+     Buffer.add_string buf ",\"stress\":";
+     Buffer.add_string buf s
+   | None -> ());
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : (json, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "at %d: %s" !pos msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail (Printf.sprintf "expected %c, got %c" c c')
+    | None -> fail (Printf.sprintf "expected %c, got end of input" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n
+       && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some '"' -> Buffer.add_char buf '"'; advance ()
+         | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+         | Some '/' -> Buffer.add_char buf '/'; advance ()
+         | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+         | Some 't' -> Buffer.add_char buf '\t'; advance ()
+         | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+         | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+         | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+         | Some 'u' ->
+           advance ();
+           if !pos + 4 > n then fail "truncated \\u escape";
+           let hex = String.sub s !pos 4 in
+           (match int_of_string_opt ("0x" ^ hex) with
+            | Some code when code < 0x80 ->
+              Buffer.add_char buf (Char.chr code)
+            | Some _ ->
+              (* the emitter never produces non-ASCII escapes *)
+              Buffer.add_string buf ("\\u" ^ hex)
+            | None -> fail "bad \\u escape");
+           pos := !pos + 4
+         | _ -> fail "bad escape");
+        go ()
+      | Some c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    let rec go () =
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+') -> advance (); go ()
+      | Some ('.' | 'e' | 'E') -> is_float := true; advance (); go ()
+      | _ -> ()
+    in
+    go ();
+    let tok = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "bad number %s" tok)
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> fail (Printf.sprintf "bad number %s" tok)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); Obj [] end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); members ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected , or } in object"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); Arr [] end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elements ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected , or ] in array"
+        in
+        elements ();
+        Arr (List.rev !items)
+      end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected %c" c)
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing data at %d" !pos)
+    else Ok v
+  with Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Schema validation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+exception Invalid of string
+
+(** The pinned [specpre-bench/2] shape.  A field is described by its name
+    and a type tag; [`Num] accepts ints where floats are expected (JSON
+    does not distinguish) but not the reverse, so counter fields stay
+    integers. *)
+let field path name ty fields =
+  let where = String.concat "." (List.rev (name :: path)) in
+  match List.assoc_opt name fields with
+  | None -> raise (Invalid (Printf.sprintf "missing field %s" where))
+  | Some v ->
+    (match ty, v with
+     | `Str, Str _ | `Int, Int _ | `Num, (Int _ | Float _)
+     | `Arr, Arr _ | `Obj, Obj _ -> v
+     | _ ->
+       raise
+         (Invalid (Printf.sprintf "field %s has the wrong type" where)))
+
+let as_obj path what = function
+  | Obj fields -> fields
+  | _ ->
+    raise
+      (Invalid
+         (Printf.sprintf "%s is not an object at %s" what
+            (String.concat "." (List.rev path))))
+
+let as_arr = function Arr items -> items | _ -> assert false
+
+let validate_variant path v =
+  let f = as_obj path "variant entry" v in
+  ignore (field path "variant" `Str f);
+  ignore (field path "wall_s" `Num f);
+  List.iter
+    (fun name -> ignore (field path name `Int f))
+    [ "cycles"; "insns"; "data_cycles"; "loads_retired"; "checks";
+      "check_misses" ]
+
+let validate_workload i v =
+  let path = [ Printf.sprintf "workloads[%d]" i ] in
+  let f = as_obj path "workload entry" v in
+  ignore (field path "name" `Str f);
+  ignore (field path "wall_s" `Num f);
+  ignore (field path "profile_wall_s" `Num f);
+  let variants = as_arr (field path "variants" `Arr f) in
+  if List.length variants <> 5 then
+    raise
+      (Invalid
+         (Printf.sprintf "workloads[%d].variants: expected 5 entries" i));
+  List.iter (validate_variant ("variants" :: path)) variants;
+  let metrics =
+    as_obj ("metrics" :: path) "metrics" (field path "metrics" `Obj f)
+  in
+  List.iter
+    (fun name -> ignore (field ("metrics" :: path) name `Num metrics))
+    [ "load_reduction_pct"; "speedup_pct"; "data_cycle_reduction_pct";
+      "check_pct"; "misspec_pct"; "reuse_potential_pct" ];
+  let passes = as_arr (field path "passes" `Arr f) in
+  List.iter
+    (fun p ->
+      let pf = as_obj ("passes" :: path) "passes entry" p in
+      ignore (field ("passes" :: path) "variant" `Str pf);
+      ignore (field ("passes" :: path) "report" `Obj pf))
+    passes
+
+let validate_stress_cell i v =
+  let path = [ Printf.sprintf "stress.cells[%d]" i ] in
+  let f = as_obj path "stress cell" v in
+  List.iter
+    (fun name -> ignore (field path name `Str f))
+    [ "workload"; "point"; "variant" ];
+  List.iter
+    (fun name -> ignore (field path name `Int f))
+    [ "adv_flips"; "checks"; "check_misses"; "cycles"; "insns";
+      "machine_flushes"; "machine_invalidations"; "interp_checks";
+      "interp_reloads"; "interp_flushes"; "interp_invalidations" ];
+  List.iter
+    (fun name -> ignore (field path name `Num f))
+    [ "hit_rate_pct"; "cycle_overhead_pct" ]
+
+(** Validate a parsed dump against the [specpre-bench/2] schema.  The
+    [stress] section is optional (present only for [--stress] runs) but
+    fully pinned when present. *)
+let validate (v : json) : (unit, string) result =
+  try
+    let f = as_obj [] "bench dump" v in
+    (match field [] "schema" `Str f with
+     | Str "specpre-bench/2" -> ()
+     | Str other ->
+       raise (Invalid (Printf.sprintf "unknown schema %S" other))
+     | _ -> assert false);
+    ignore (field [] "date" `Str f);
+    (match field [] "inputs" `Str f with
+     | Str ("train" | "ref") -> ()
+     | Str other ->
+       raise (Invalid (Printf.sprintf "inputs must be train|ref, got %S" other))
+     | _ -> assert false);
+    ignore (field [] "jobs" `Int f);
+    ignore (field [] "harness_wall_s" `Num f);
+    let workloads = as_arr (field [] "workloads" `Arr f) in
+    List.iteri validate_workload workloads;
+    (match List.assoc_opt "stress" f with
+     | None -> ()
+     | Some sv ->
+       let sf = as_obj [ "stress" ] "stress" sv in
+       ignore (field [ "stress" ] "seed" `Int sf);
+       let cells = as_arr (field [ "stress" ] "cells" `Arr sf) in
+       List.iteri validate_stress_cell cells);
+    Ok ()
+  with Invalid msg -> Error msg
+
+(** Parse and validate in one step (the golden-file check). *)
+let check (s : string) : (unit, string) result =
+  match parse s with
+  | Error msg -> Error ("parse error " ^ msg)
+  | Ok v -> validate v

@@ -1,0 +1,45 @@
+(** Machine-readable bench dump (schema [specpre-bench/2]): emission,
+    parsing, and validation.  See [bench/main.ml] for the harness side
+    and [test/test_stress.ml] for the golden schema check. *)
+
+(** {1 Emission} *)
+
+val variant_json : string -> Experiments.run -> string
+
+val workload_json :
+  Spec_workloads.Workloads.workload -> Experiments.bench_result -> string
+
+val stress_cell_json :
+  Experiments.stress_cell list -> Experiments.stress_cell -> string
+
+val stress_json : seed:int -> Experiments.stress_cell list -> string
+
+(** Assemble the top-level dump from pre-rendered section blobs.
+    [date] is supplied by the caller so the library stays clock-free. *)
+val dump :
+  date:string -> inputs:string -> jobs:int -> harness_wall_s:float ->
+  ?pre_pr2_quick_wall_s:float -> ?stress:string -> string list -> string
+
+(** {1 Parsing} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val parse : string -> (json, string) result
+
+(** {1 Schema validation} *)
+
+(** Validate a parsed dump against the pinned [specpre-bench/2] shape:
+    every field name and type of the top level, workload entries,
+    variant counters, metrics, pass reports, and (when present) the
+    [stress] section. *)
+val validate : json -> (unit, string) result
+
+(** Parse and validate in one step. *)
+val check : string -> (unit, string) result

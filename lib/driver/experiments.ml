@@ -291,6 +291,240 @@ let ablate_schedule ?(quick = false) (w : Workloads.workload) =
   (w.Workloads.name, plain.Machine.perf.Machine.cycles,
    sched.Machine.perf.Machine.cycles)
 
+(* ------------------------------------------------------------------ *)
+(* Misspeculation stress sweep (DESIGN.md §3.3)                        *)
+(* ------------------------------------------------------------------ *)
+
+(** One point of the misspeculation grid: a label and a fault plan. *)
+type stress_point = {
+  sp_label : string;
+  sp_plan : Spec_stress.Faults.plan;
+}
+
+(** The default grid: no faults (must reproduce the baseline numbers
+    bit-for-bit), per-cycle chaos invalidation at 1%/10%/50%, a full
+    flush every 64 cycles (context-switch pressure), a 4-entry ALAT
+    (capacity pressure, machine only), and an adversarially inverted
+    profile — alone and combined with 10% chaos. *)
+let stress_grid ~seed () =
+  let p = Spec_stress.Faults.null seed in
+  [ { sp_label = "0%"; sp_plan = p };
+    { sp_label = "inv-1%";
+      sp_plan = { p with Spec_stress.Faults.inv_ppm = 10_000 } };
+    { sp_label = "inv-10%";
+      sp_plan = { p with Spec_stress.Faults.inv_ppm = 100_000 } };
+    { sp_label = "inv-50%";
+      sp_plan = { p with Spec_stress.Faults.inv_ppm = 500_000 } };
+    { sp_label = "flush-64";
+      sp_plan = { p with Spec_stress.Faults.flush_period = 64 } };
+    { sp_label = "alat-4";
+      sp_plan = { p with Spec_stress.Faults.alat_entries = Some 4 } };
+    { sp_label = "adv-invert";
+      sp_plan = { p with Spec_stress.Faults.adversary =
+                           Spec_stress.Faults.Adv_invert } };
+    { sp_label = "adv+inv-10%";
+      sp_plan = { p with Spec_stress.Faults.adversary =
+                           Spec_stress.Faults.Adv_invert;
+                         Spec_stress.Faults.inv_ppm = 100_000 } } ]
+
+(** One (workload, point, variant) measurement: both engines ran to
+    completion with outputs bit-identical to the unoptimized oracle. *)
+type stress_cell = {
+  sc_workload : string;
+  sc_point : string;
+  sc_variant : string;
+  sc_adv_flips : int;   (** speculation flags the adversary corrupted *)
+  sc_checks : int;      (** machine ld.c executed *)
+  sc_misses : int;      (** machine ld.c whose entry was gone: reloads *)
+  sc_cycles : int;
+  sc_insns : int;
+  sc_m_flushes : int;   (** injected full flushes, machine ALAT *)
+  sc_m_invs : int;      (** injected chaos invalidations, machine ALAT *)
+  sc_i_checks : int;    (** interpreter check statements executed *)
+  sc_i_reloads : int;   (** interpreter check reloads *)
+  sc_i_flushes : int;   (** injected full flushes, semantic ALAT *)
+  sc_i_invs : int;      (** injected chaos invalidations, semantic ALAT *)
+}
+
+(** Check-load hit rate of a cell on the machine, in percent. *)
+let stress_hit_rate (c : stress_cell) =
+  if c.sc_checks = 0 then 100.
+  else pct (1. -. float_of_int c.sc_misses /. float_of_int c.sc_checks)
+
+exception Stress_divergence of string
+
+let stress_diverged ~workload ~variant ~point ~engine =
+  raise
+    (Stress_divergence
+       (Printf.sprintf
+          "stress %s/%s@%s: %s output diverged from the unoptimized oracle"
+          workload variant point engine))
+
+(* Run every grid point of one (workload, variant) pair.  The program is
+   compiled once per distinct adversary (runtime-only fault points share
+   the honest compile) and re-run with a fresh, scope-derived injector
+   per point and engine, so results do not depend on point order or on
+   which pool worker executes the task. *)
+let stress_variant ~quick ~seed ~oracle (w : Workloads.workload) profile
+    points (vname, variant) : stress_cell list =
+  let params = if quick then w.Workloads.train else w.Workloads.ref_ in
+  let compile_for adv =
+    let prog = Lower.compile (w.Workloads.source params) in
+    let perturb =
+      Spec_spec.Flags.perturbation ~seed ~scope:[ w.Workloads.name; vname ]
+        adv
+    in
+    let r = Pipeline.optimize ~edge_profile:(Some profile) ?perturb prog variant in
+    let flips =
+      match perturb with Some p -> Spec_spec.Flags.flipped p | None -> 0
+    in
+    let mp = Spec_codegen.Codegen.lower r.Pipeline.prog in
+    ignore (Spec_codegen.Schedule.run mp : Spec_codegen.Schedule.stats);
+    (Machine.resolve mp, Interp.compile r.Pipeline.prog, flips)
+  in
+  let adversaries =
+    List.sort_uniq compare
+      (List.map (fun pt -> pt.sp_plan.Spec_stress.Faults.adversary) points)
+  in
+  let compiled = List.map (fun adv -> (adv, compile_for adv)) adversaries in
+  (* the Aggressive variant has no checks, so it cannot recover from a
+     wrong profile: adversarial points are skipped for it, and under
+     runtime interference it is held to its own fault-free output (it
+     legitimately diverges from the oracle on kernels with real
+     aliasing, as in the main harness's correctness gate) *)
+  let aggressive = variant = Pipeline.Aggressive in
+  List.concat_map
+    (fun pt ->
+      let plan = pt.sp_plan in
+      if aggressive
+         && plan.Spec_stress.Faults.adversary <> Spec_stress.Faults.Adv_none
+      then []
+      else begin
+        let rp, cprog, flips =
+          match List.assoc plan.Spec_stress.Faults.adversary compiled with
+          | c -> c
+        in
+        let scope tail =
+          [ w.Workloads.name; vname; pt.sp_label; tail ]
+        in
+        let mf =
+          Spec_stress.Faults.injector_opt plan ~scope:(scope "machine")
+        in
+        let cfg =
+          match plan.Spec_stress.Faults.alat_entries with
+          | Some n -> { !machine_config with Machine.alat_entries = n }
+          | None -> !machine_config
+        in
+        let m = Machine.run_resolved ~config:cfg ?faults:mf rp in
+        if m.Machine.output <> oracle then
+          stress_diverged ~workload:w.Workloads.name ~variant:vname
+            ~point:pt.sp_label ~engine:"machine";
+        let fi =
+          Spec_stress.Faults.injector_opt plan ~scope:(scope "interp")
+        in
+        let i = Interp.run_compiled ?faults:fi cprog in
+        if i.Interp.output <> oracle then
+          stress_diverged ~workload:w.Workloads.name ~variant:vname
+            ~point:pt.sp_label ~engine:"interp";
+        let p = m.Machine.perf in
+        let ic = i.Interp.counters in
+        let injected f = function None -> 0 | Some inj -> f inj in
+        [ { sc_workload = w.Workloads.name;
+            sc_point = pt.sp_label;
+            sc_variant = vname;
+            sc_adv_flips = flips;
+            sc_checks = p.Machine.checks;
+            sc_misses = p.Machine.check_misses;
+            sc_cycles = p.Machine.cycles;
+            sc_insns = p.Machine.insns;
+            sc_m_flushes = injected Spec_stress.Faults.flushes mf;
+            sc_m_invs = injected Spec_stress.Faults.invalidations mf;
+            sc_i_checks = ic.Interp.check_stmts;
+            sc_i_reloads = ic.Interp.check_reloads;
+            sc_i_flushes = injected Spec_stress.Faults.flushes fi;
+            sc_i_invs = injected Spec_stress.Faults.invalidations fi } ]
+      end)
+    points
+
+(** Stress-sweep one workload: every variant × grid point, outputs
+    asserted bit-identical to the unoptimized oracle at every point
+    (raises {!Stress_divergence} otherwise).  Variants fan out on the
+    domain pool; the grid runs inside each variant task with
+    scope-derived fault streams, so cell order and content are
+    independent of [--jobs]. *)
+let stress_workload ?(quick = false) ?(seed = 1) ?points
+    (w : Workloads.workload) : stress_cell list =
+  let points = match points with Some p -> p | None -> stress_grid ~seed () in
+  let train_prog = Lower.compile (Workloads.train_source w) in
+  let profile, _ = Profiler.profile train_prog in
+  let params = if quick then w.Workloads.train else w.Workloads.ref_ in
+  let oracle_run () =
+    let prog = Lower.compile (w.Workloads.source params) in
+    let r = Pipeline.optimize ~edge_profile:(Some profile) prog Pipeline.Noopt in
+    let mp = Spec_codegen.Codegen.lower r.Pipeline.prog in
+    ignore (Spec_codegen.Schedule.run mp : Spec_codegen.Schedule.stats);
+    Machine.run ~config:!machine_config mp
+  in
+  let oracle = (oracle_run ()).Machine.output in
+  let variants =
+    [ ("base", Pipeline.Base);
+      ("profile", Pipeline.Spec_profile profile);
+      ("heuristic", Pipeline.Spec_heuristic);
+      ("aggressive", Pipeline.Aggressive) ]
+  in
+  let tasks =
+    List.map
+      (fun v () ->
+        match v with
+        | ("aggressive", variant) ->
+          (* self-oracle: run the fault-free point once to learn the
+             variant's own reference output, then sweep against it *)
+          let prog = Lower.compile (w.Workloads.source params) in
+          let r =
+            Pipeline.optimize ~edge_profile:(Some profile) prog variant
+          in
+          let mp = Spec_codegen.Codegen.lower r.Pipeline.prog in
+          ignore (Spec_codegen.Schedule.run mp : Spec_codegen.Schedule.stats);
+          let self = (Machine.run ~config:!machine_config mp).Machine.output in
+          stress_variant ~quick ~seed ~oracle:self w profile points
+            ("aggressive", variant)
+        | v -> stress_variant ~quick ~seed ~oracle w profile points v)
+      variants
+  in
+  List.concat (Parpool.parmap (fun f -> f ()) tasks)
+
+(** Stress-sweep a list of workloads (deterministic under any
+    [--jobs N]); cells are grouped by workload in input order. *)
+let run_stress ?(quick = false) ?(seed = 1) ?points
+    (ws : Workloads.workload list) : stress_cell list =
+  List.concat
+    (Parpool.parmap (fun w -> stress_workload ~quick ~seed ?points w) ws)
+
+(** Cycle overhead of a cell versus the same (workload, variant) at the
+    zero-fault point, in percent; 0 when the baseline cell is absent. *)
+let stress_overhead (cells : stress_cell list) (c : stress_cell) =
+  match
+    List.find_opt
+      (fun b ->
+        b.sc_workload = c.sc_workload && b.sc_variant = c.sc_variant
+        && b.sc_point = "0%")
+      cells
+  with
+  | Some b when b.sc_cycles > 0 ->
+    pct (float_of_int c.sc_cycles /. float_of_int b.sc_cycles -. 1.)
+  | _ -> 0.
+
+let stress_header =
+  "workload  | point       | variant    | checks | misses |  hit% | reloads |  cycles |  ovh% | inj m(f/i) | inj i(f/i)"
+
+let stress_row (cells : stress_cell list) (c : stress_cell) =
+  Printf.sprintf
+    "%-9s | %-11s | %-10s | %6d | %6d | %5.1f | %7d | %7d | %5.1f | %4d/%-5d | %4d/%-5d"
+    c.sc_workload c.sc_point c.sc_variant c.sc_checks c.sc_misses
+    (stress_hit_rate c) c.sc_i_reloads c.sc_cycles
+    (stress_overhead cells c) c.sc_m_flushes c.sc_m_invs c.sc_i_flushes
+    c.sc_i_invs
+
 (** ALAT capacity ablation: mis-speculation ratio vs table size. *)
 let ablate_alat ?(quick = false) (w : Workloads.workload) sizes =
   let train_prog = Lower.compile (Workloads.train_source w) in

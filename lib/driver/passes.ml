@@ -131,6 +131,8 @@ type ctx = {
   refinements : (int, Loc.t) Hashtbl.t;
       (** flow-sensitive definite-target facts, filled by the [refine]
           pass and consumed by every later χ/μ annotation *)
+  perturb : Flags.perturbation option;
+      (** adversarial corruption of the flag assignment (stress runs) *)
   mutable in_ssa : bool;
       (** true between [build-ssa] and the next SSA-destroying pass;
           gates the SSA half of inter-pass verification *)
@@ -237,12 +239,16 @@ let p_flags =
     prun =
       (fun ctx ->
         let info = annot ~refinements:ctx.refinements ctx.cache in
-        Flags.assign ~threshold:ctx.config.Ssapre.alias_threshold ctx.prog
-          info ctx.mode;
+        Flags.assign ~threshold:ctx.config.Ssapre.alias_threshold
+          ?perturb:ctx.perturb ctx.prog info ctx.mode;
         let mus, chis = count_spec_operands ctx.prog in
         { touched = true;
           invalidates = [];
-          counters = [ "flagged-mus", mus; "flagged-chis", chis ] }) }
+          counters =
+            (match ctx.perturb with
+             | Some p -> [ "flagged-mus", mus; "flagged-chis", chis;
+                           "adversary-flips", Flags.flipped p ]
+             | None -> [ "flagged-mus", mus; "flagged-chis", chis ]) }) }
 
 let p_split_edges =
   { pname = "split-edges";
@@ -332,7 +338,7 @@ let p_store_promo =
         let info = annot ~refinements:ctx.refinements ctx.cache in
         let kctx =
           Kills.create ~alias_threshold:ctx.config.Ssapre.alias_threshold
-            ctx.prog info ctx.mode
+            ?adversary:ctx.perturb ctx.prog info ctx.mode
         in
         let st =
           Spec_ssapre.Store_promo.run ~dom_of:(dom_of ctx.cache) ctx.prog
@@ -428,10 +434,10 @@ type manager = {
   mutable mtotal : float;
 }
 
-let create ?(verify_each = false) ~mode ~config prog =
+let create ?(verify_each = false) ?perturb ~mode ~config prog =
   { mctx =
       { prog; cache = create_cache prog; mode; config;
-        refinements = Hashtbl.create 16; in_ssa = false;
+        refinements = Hashtbl.create 16; perturb; in_ssa = false;
         ssapre_total = Ssapre.zero_stats };
     verify_each; mstats = Hashtbl.create 16; morder = []; mverified = 0;
     mtotal = 0. }

@@ -56,6 +56,7 @@ type ctx = {
   mode : Spec_spec.Flags.mode;
   config : Spec_ssapre.Ssapre.config;
   refinements : (int, Spec_ir.Loc.t) Hashtbl.t;
+  perturb : Spec_spec.Flags.perturbation option;
   mutable in_ssa : bool;
   mutable ssapre_total : Spec_ssapre.Ssapre.stats;
 }
@@ -108,6 +109,7 @@ type manager
 
 val create :
   ?verify_each:bool ->
+  ?perturb:Spec_spec.Flags.perturbation ->
   mode:Spec_spec.Flags.mode ->
   config:Spec_ssapre.Ssapre.config ->
   Spec_ir.Sir.prog ->

@@ -69,9 +69,11 @@ let round_schedule = [ "annotate"; "flags"; "split-edges"; "build-ssa";
 (** Run the optimizer on [prog] (destructively).  [rounds] bounds the
     outside-in promotion depth; [edge_profile] enables control
     speculation; [verify_each] validates CFG and SSA invariants between
-    passes, naming the offending pass on failure. *)
+    passes, naming the offending pass on failure; [perturb]
+    adversarially corrupts the speculation-flag assignment (stress
+    harness). *)
 let optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
-    ?(strength = true) ?(verify_each = false) (prog : Sir.prog)
+    ?(strength = true) ?(verify_each = false) ?perturb (prog : Sir.prog)
     (variant : variant) : result =
   let mode = mode_of_variant variant in
   let base_cfg =
@@ -79,7 +81,13 @@ let optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
     | Some c -> c
     | None -> Ssapre.default_config mode
   in
-  let cfg = { base_cfg with Ssapre.mode } in
+  let cfg =
+    (* an explicit config keeps its own adversary; the optimize-level
+       [perturb] wins when supplied (stress harness) *)
+    match perturb with
+    | Some _ -> { base_cfg with Ssapre.mode; Ssapre.adversary = perturb }
+    | None -> { base_cfg with Ssapre.mode }
+  in
   (match edge_profile with
    | Some p -> Profile.annotate_block_freqs p prog
    | None -> ());
@@ -87,7 +95,7 @@ let optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
     { prog; stats = Ssapre.zero_stats; variant;
       report = Passes.empty_report () }
   else begin
-    let mgr = Passes.create ~verify_each ~mode ~config:cfg prog in
+    let mgr = Passes.create ~verify_each ?perturb ~mode ~config:cfg prog in
     Passes.run_passes mgr prepass_schedule;
     for _round = 1 to rounds do
       Passes.run_passes mgr round_schedule
@@ -105,9 +113,10 @@ let optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
 
 (** Convenience: compile source and optimize. *)
 let compile_and_optimize ?rounds ?config ?edge_profile ?strength ?verify_each
-    src variant =
+    ?perturb src variant =
   let prog = Lower.compile src in
-  optimize ?rounds ?config ?edge_profile ?strength ?verify_each prog variant
+  optimize ?rounds ?config ?edge_profile ?strength ?verify_each ?perturb prog
+    variant
 
 (** Profile a fresh compile of [src] (with whatever input [main] selects)
     and return the profile for feeding a [Spec_profile] pipeline of

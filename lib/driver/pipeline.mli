@@ -40,13 +40,16 @@ val round_schedule : string list
     block frequencies; [config] overrides the SSAPRE configuration;
     [strength] toggles strength reduction + LFTR (default on);
     [verify_each] validates CFG and SSA invariants between passes,
-    raising [Passes.Verify_error] naming the offending pass. *)
+    raising [Passes.Verify_error] naming the offending pass; [perturb]
+    adversarially corrupts the speculation-flag assignment (stress
+    harness — outputs must stay correct, only slower). *)
 val optimize :
   ?rounds:int ->
   ?config:Spec_ssapre.Ssapre.config option ->
   ?edge_profile:Spec_prof.Profile.t option ->
   ?strength:bool ->
   ?verify_each:bool ->
+  ?perturb:Spec_spec.Flags.perturbation ->
   Spec_ir.Sir.prog ->
   variant ->
   result
@@ -57,6 +60,7 @@ val compile_and_optimize :
   ?edge_profile:Spec_prof.Profile.t option ->
   ?strength:bool ->
   ?verify_each:bool ->
+  ?perturb:Spec_spec.Flags.perturbation ->
   string ->
   variant ->
   result

@@ -4,7 +4,11 @@
     accessed address; stores invalidate overlapping entries; [ld.c]
     queries by register tag — a surviving entry means the data
     speculation held. Entries are also lost to capacity eviction, which
-    the ALAT-size ablation measures. *)
+    the ALAT-size ablation measures, and to injected interference when a
+    stress plan is attached (see {!Spec_stress.Faults}).
+
+    Insert and check resolve the (frame, reg) tag through a hash index,
+    so advanced loads are O(1) rather than a scan of every entry. *)
 
 type entry = {
   mutable tag_frame : int;
@@ -18,6 +22,8 @@ type t = {
   n_sets : int;
   assoc : int;
   mutable next_victim : int;
+  tags : (int * int, entry) Hashtbl.t;
+  mutable faults : Spec_stress.Faults.injector option;
   mutable inserts : int;
   mutable store_invalidations : int;
   mutable capacity_evictions : int;
@@ -25,6 +31,13 @@ type t = {
 
 (** [create ~entries ~assoc ()] — default 32 entries, 2-way. *)
 val create : ?entries:int -> ?assoc:int -> unit -> t
+
+(** Attach (or clear) a fault injector; faults fire from {!interfere}. *)
+val set_faults : t -> Spec_stress.Faults.injector option -> unit
+
+(** Advance injected interference (flushes, chaos invalidation) to the
+    machine clock.  No-op when no injector is attached. *)
+val interfere : t -> now:int -> unit
 
 (** Allocate an entry for an advanced load.  An existing entry with the
     same (frame, reg) tag is replaced; a full set evicts a victim.
@@ -37,3 +50,6 @@ val invalidate_store : t -> addr:int -> bytes:int -> unit
 
 (** Check-load query: does the entry for (frame, reg) survive? *)
 val check : t -> frame:int -> reg:int -> bool
+
+(** Number of live (valid) entries. *)
+val live : t -> int

@@ -389,6 +389,7 @@ let rec exec_insn st (fr : frame) (i : rinsn) =
     if fp then Memory.store_flt st.mem a fr.flts.(src)
     else Memory.store_int st.mem a fr.ints.(src);
     Cache.store st.cache a;
+    Alat.interfere st.alat ~now:st.clock;
     Alat.invalidate_store st.alat ~addr:a ~bytes:Types.cell_size
   | RAlu (op, fp, d, a, b) ->
     let latency = if fp && not (is_cmp op) then 4 else 1 in
@@ -450,6 +451,7 @@ and exec_load st fr ~dst ~addr ~fp ~kind =
   match kind with
   | Lchk ->
     st.ctrs.checks <- st.ctrs.checks + 1;
+    Alat.interfere st.alat ~now:st.clock;
     if Alat.check st.alat ~frame:fr.fr_serial ~reg:dst then
       (* speculation held: value already in dst, the check is free *)
       issue_free st
@@ -479,8 +481,10 @@ and exec_load st fr ~dst ~addr ~fp ~kind =
       fr.ints.(dst) <-
         (if spec then Memory.load_int_spec st.mem a
          else Memory.load_int st.mem a);
-    if k = Ladv || k = Lsa then
+    if k = Ladv || k = Lsa then begin
+      Alat.interfere st.alat ~now:st.clock;
       Alat.insert st.alat ~frame:fr.fr_serial ~reg:dst ~addr:a
+    end
 
 and exec_call st fr ~target ~args ~ret =
   issue_n st fr ~srcs:args;
@@ -597,8 +601,10 @@ and exec_blocks st (fr : frame) (rf : rfunc) : int * float =
   in
   run 0
 
-(** Run a resolved program from [main]. *)
-let run_resolved ?(config = default_config) (rp : rprog) : result =
+(** Run a resolved program from [main].  [faults] attaches a stress
+    injector to the ALAT (see {!Spec_stress.Faults}); capacity pressure
+    is applied by the caller through [config.alat_entries]. *)
+let run_resolved ?(config = default_config) ?faults (rp : rprog) : result =
   if rp.r_main < 0 then error "machine: unknown function main";
   let mem = Memory.create ~heap_bytes:config.heap_bytes rp.r_sir in
   let globals = Array.make (Symtab.count rp.r_sir.Sir.syms) (-1) in
@@ -620,6 +626,7 @@ let run_resolved ?(config = default_config) (rp : rprog) : result =
       frame_serial = 0;
       stacked_regs = 0 }
   in
+  Alat.set_faults st.alat faults;
   (* main has no caller: bind its (empty) args from a dummy frame *)
   let dummy =
     { fr_serial = 0; ints = [||]; flts = [||]; ready = [||];
@@ -635,9 +642,9 @@ let run_resolved ?(config = default_config) (rp : rprog) : result =
   r
 
 (** Resolve and run an ITL program from [main]. *)
-let run ?config (mp : Spec_codegen.Itl.mprog) : result =
-  run_resolved ?config (resolve mp)
+let run ?config ?faults (mp : Spec_codegen.Itl.mprog) : result =
+  run_resolved ?config ?faults (resolve mp)
 
 (** Convenience: lower an (out-of-SSA) SIR program and run it. *)
-let run_sir ?config (prog : Sir.prog) : result =
-  run ?config (Spec_codegen.Codegen.lower prog)
+let run_sir ?config ?faults (prog : Sir.prog) : result =
+  run ?config ?faults (Spec_codegen.Codegen.lower prog)

@@ -78,6 +78,9 @@ type counters = {
       (** executions of ld.c-marked statements; their reloads are counted
           in [mem_loads] too, but cost nothing on the machine when the
           ALAT check succeeds *)
+  mutable check_reloads : int;
+      (** ld.c executions whose ALAT entry was gone (a real intervening
+          alias, or injected interference) and had to reload *)
 }
 
 type result = {
@@ -492,6 +495,10 @@ type state = {
      effects belong to the machine model, not the language semantics. *)
   alat : (int * int, int) Hashtbl.t;
   mutable frame_serial : int;
+  (* injected ALAT interference (stress runs only); time is counted in
+     ALAT operations since the interpreter has no cycle clock *)
+  finj : Spec_stress.Faults.injector option;
+  mutable fevents : int;
 }
 
 type frame = {
@@ -504,15 +511,42 @@ type frame = {
 
 let no_addrs : int array = [||]
 
+(* Interference only removes entries, so a faulted run reloads values
+   that are current in memory — observable behavior is unchanged.  The
+   chaos victim is the k-th entry in [Hashtbl] fold order, which is a
+   pure function of the table's (deterministic) history. *)
+let alat_interfere st =
+  match st.finj with
+  | None -> ()
+  | Some inj ->
+    st.fevents <- st.fevents + 1;
+    Spec_stress.Faults.advance inj ~upto:st.fevents
+      ~flush:(fun () -> Hashtbl.reset st.alat)
+      ~invalidate:(fun rng ->
+        let n = Hashtbl.length st.alat in
+        if n > 0 then begin
+          let k = Spec_stress.Srng.below rng n in
+          let i = ref 0 and victim = ref None in
+          Hashtbl.iter
+            (fun key _ -> if !i = k then victim := Some key; incr i)
+            st.alat;
+          match !victim with
+          | Some key -> Hashtbl.remove st.alat key
+          | None -> ()
+        end)
+
 let alat_arm st serial tvid addr =
+  alat_interfere st;
   Hashtbl.replace st.alat (serial, tvid) addr
 
 let alat_check st serial tvid addr =
+  alat_interfere st;
   match Hashtbl.find_opt st.alat (serial, tvid) with
   | Some a -> a = addr
   | None -> false
 
 let alat_invalidate st addr =
+  alat_interfere st;
   let stale =
     Hashtbl.fold
       (fun k a acc -> if a = addr then k :: acc else acc)
@@ -681,6 +715,7 @@ let rec exec_stmt st (fr : frame) (s : cstmt) : unit =
   | CSchk_ilod { tvid; slot; fp; a; site; which } ->
     let addr = eval_i st fr a in
     if not (alat_check st fr.serial tvid addr) then begin
+      st.ctrs.check_reloads <- st.ctrs.check_reloads + 1;
       st.ctrs.mem_loads <- st.ctrs.mem_loads + 1;
       if st.instr then st.hooks.on_mem ~site:(Some site) ~addr ~is_store:false;
       if fp then begin
@@ -700,6 +735,7 @@ let rec exec_stmt st (fr : frame) (s : cstmt) : unit =
   | CSchk_lod { tvid; slot; fp; vr } ->
     let addr = resolve_addr st fr vr in
     if not (alat_check st fr.serial tvid addr) then begin
+      st.ctrs.check_reloads <- st.ctrs.check_reloads + 1;
       if st.instr then st.hooks.on_mem ~site:None ~addr ~is_store:false;
       st.ctrs.mem_loads <- st.ctrs.mem_loads + 1;
       if fp then fr.flts.(slot) <- Memory.load_flt st.mem addr
@@ -856,8 +892,9 @@ and exec_blocks st (fr : frame) : value =
 (* ------------------------------------------------------------------ *)
 
 (** Run a pre-compiled program.  Omitting [hooks] selects the
-    uninstrumented fast path (no closure is ever invoked). *)
-let run_compiled ?(fuel = 200_000_000) ?hooks
+    uninstrumented fast path (no closure is ever invoked).  [faults]
+    attaches injected ALAT interference for stress runs. *)
+let run_compiled ?(fuel = 200_000_000) ?hooks ?faults
     ?(heap_bytes = 24 * 1024 * 1024) (comp : compiled) : result =
   if comp.main_ix < 0 then error "program has no main function";
   let instr, hooks =
@@ -872,9 +909,10 @@ let run_compiled ?(fuel = 200_000_000) ?hooks
   let st =
     { comp; mem; hooks; instr;
       ctrs = { steps = 0; mem_loads = 0; mem_stores = 0; branches = 0;
-               calls = 0; check_stmts = 0 };
+               calls = 0; check_stmts = 0; check_reloads = 0 };
       out = Buffer.create 256; globals; rng = 88172645463325252; fuel;
-      alat = Hashtbl.create 32; frame_serial = 0 }
+      alat = Hashtbl.create 32; frame_serial = 0;
+      finj = faults; fevents = 0 }
   in
   if instr then hooks.on_memory st.mem;
   let ret = exec_func st comp.main_ix no_addrs no_flts in
@@ -886,7 +924,7 @@ let run_compiled ?(fuel = 200_000_000) ?hooks
     program is compiled first (one cheap pass); callers that execute the
     same program repeatedly can {!compile} once and use
     {!run_compiled}. *)
-let run ?fuel ?hooks ?heap_bytes (p : Sir.prog) : result =
+let run ?fuel ?hooks ?faults ?heap_bytes (p : Sir.prog) : result =
   if not (Hashtbl.mem p.Sir.funcs "main") then
     error "program has no main function";
-  run_compiled ?fuel ?hooks ?heap_bytes (compile p)
+  run_compiled ?fuel ?hooks ?faults ?heap_bytes (compile p)

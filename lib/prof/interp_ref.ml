@@ -32,6 +32,7 @@ type counters = {
   mutable branches : int;
   mutable calls : int;
   mutable check_stmts : int;
+  mutable check_reloads : int;
 }
 
 type result = {
@@ -53,6 +54,10 @@ type state = {
      effects belong to the machine model, not the language semantics. *)
   alat : (int * int, int) Hashtbl.t;
   mutable frame_serial : int;
+  (* injected ALAT interference (stress runs only); time counted in ALAT
+     operations, mirroring Interp so both engines stay comparable *)
+  finj : Spec_stress.Faults.injector option;
+  mutable fevents : int;
 }
 
 type frame = {
@@ -62,15 +67,40 @@ type frame = {
   addrs : (int, int) Hashtbl.t;        (* memory-resident locals -> address *)
 }
 
+(* Interference only removes entries: a faulted run reloads values that
+   are current in memory, so observable behavior is unchanged. *)
+let alat_interfere st =
+  match st.finj with
+  | None -> ()
+  | Some inj ->
+    st.fevents <- st.fevents + 1;
+    Spec_stress.Faults.advance inj ~upto:st.fevents
+      ~flush:(fun () -> Hashtbl.reset st.alat)
+      ~invalidate:(fun rng ->
+        let n = Hashtbl.length st.alat in
+        if n > 0 then begin
+          let k = Spec_stress.Srng.below rng n in
+          let i = ref 0 and victim = ref None in
+          Hashtbl.iter
+            (fun key _ -> if !i = k then victim := Some key; incr i)
+            st.alat;
+          match !victim with
+          | Some key -> Hashtbl.remove st.alat key
+          | None -> ()
+        end)
+
 let alat_arm st (fr : frame) tvid addr =
+  alat_interfere st;
   Hashtbl.replace st.alat (fr.serial, tvid) addr
 
 let alat_check st (fr : frame) tvid addr =
+  alat_interfere st;
   match Hashtbl.find_opt st.alat (fr.serial, tvid) with
   | Some a -> a = addr
   | None -> false
 
 let alat_invalidate st addr =
+  alat_interfere st;
   let stale =
     Hashtbl.fold
       (fun k a acc -> if a = addr then k :: acc else acc)
@@ -188,6 +218,7 @@ let rec eval st frame ~spec (e : Sir.expr) : value =
     invalidated by an intervening aliasing store (IA-64 semantics). *)
 and exec_check st frame ~tvid ~vid ~addr ~reload =
   if not (alat_check st frame tvid addr) then begin
+    st.ctrs.check_reloads <- st.ctrs.check_reloads + 1;
     write_reg st frame vid (reload ());
     alat_arm st frame tvid addr
   end
@@ -341,17 +372,19 @@ and exec_blocks st frame : value =
   in
   run_block Sir.entry_bid
 
-(** Run [main].  [fuel] bounds the number of executed statements. *)
-let run ?(fuel = 200_000_000) ?(heap_bytes = 24 * 1024 * 1024)
+(** Run [main].  [fuel] bounds the number of executed statements.
+    [faults] attaches injected ALAT interference for stress runs. *)
+let run ?(fuel = 200_000_000) ?faults ?(heap_bytes = 24 * 1024 * 1024)
     (p : Sir.prog) : result =
   if not (Hashtbl.mem p.Sir.funcs "main") then
     error "program has no main function";
   let st =
     { prog = p; mem = Memory.create ~heap_bytes p;
       ctrs = { steps = 0; mem_loads = 0; mem_stores = 0; branches = 0;
-               calls = 0; check_stmts = 0 };
+               calls = 0; check_stmts = 0; check_reloads = 0 };
       out = Buffer.create 256; rng = 88172645463325252; fuel;
-      alat = Hashtbl.create 32; frame_serial = 0 }
+      alat = Hashtbl.create 32; frame_serial = 0;
+      finj = faults; fevents = 0 }
   in
   let ret = call_user st "main" [] in
   let r = { ret; output = Buffer.contents st.out; counters = st.ctrs } in

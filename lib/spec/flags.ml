@@ -124,14 +124,80 @@ let assign_stmt ?(threshold = 0.) prog (annot : Spec_alias.Annotate.info)
                || Loc.Set.mem (var_loc syms m.Sir.mu_var) locs)
            s.Sir.mus)
 
+(* ------------------------------------------------------------------ *)
+(* Adversarial perturbation (stress harness)                           *)
+(* ------------------------------------------------------------------ *)
+
+type perturbation = {
+  prng : Spec_stress.Srng.t;
+  padv : Spec_stress.Faults.adversary;
+  mutable flipped : int;
+}
+
+let perturbation ~seed ~scope adv =
+  match (adv : Spec_stress.Faults.adversary) with
+  | Spec_stress.Faults.Adv_none -> None
+  | _ ->
+    Some
+      { prng = Spec_stress.Srng.of_path seed ("adversary" :: scope);
+        padv = adv; flipped = 0 }
+
+let flipped p = p.flipped
+
+(* Attack the flag assignment after the honest policy ran: clear (always
+   under [Adv_invert], probabilistically under [Adv_drop]) every
+   real-variable flag the policy set, so the compiler speculates exactly
+   where the profile/heuristic said a real alias is likely — the
+   recovery path must then fire at high rates.  Virtual variables keep
+   their flags set: they carry the conservative value chain the
+   framework's correctness argument relies on, so perturbing them would
+   not model a wrong profile but a broken compiler. *)
+let perturb_stmt p syms (s : Sir.stmt) =
+  let is_vv = Symtab.is_virtual syms in
+  let attack current =
+    match p.padv with
+    | Spec_stress.Faults.Adv_none -> current
+    | Spec_stress.Faults.Adv_invert ->
+      if current then p.flipped <- p.flipped + 1;
+      false
+    | Spec_stress.Faults.Adv_drop ppm ->
+      if current && Spec_stress.Srng.chance p.prng ~ppm then begin
+        p.flipped <- p.flipped + 1;
+        false
+      end
+      else current
+  in
+  List.iter
+    (fun (c : Sir.chi) ->
+      if not (is_vv c.Sir.chi_var) then c.Sir.chi_spec <- attack c.Sir.chi_spec)
+    s.Sir.chis;
+  List.iter
+    (fun (m : Sir.mu) ->
+      if not (is_vv m.Sir.mu_var) then m.Sir.mu_spec <- attack m.Sir.mu_spec)
+    s.Sir.mus
+
 (** Assign speculation flags program-wide.  Must run after χ/μ annotation
     and before (or after) SSA renaming — flags live on the operand records
-    that renaming preserves. *)
-let assign ?threshold prog annot mode =
+    that renaming preserves.  [perturb] adversarially corrupts the result
+    for the speculative modes (stress harness): the framework must stay
+    correct — only slower — under an arbitrarily wrong flag assignment,
+    because every ignored weak update is guarded by a check load. *)
+let assign ?threshold ?perturb prog annot mode =
+  let perturb =
+    (* the baseline (Nonspec) assignment is not a speculation policy;
+       adversarial profiles only make sense against speculative modes *)
+    match mode with Nonspec -> None | _ -> perturb
+  in
   Sir.iter_funcs
     (fun f ->
       Vec.iter
         (fun (b : Sir.bb) ->
-          List.iter (assign_stmt ?threshold prog annot mode) b.Sir.stmts)
+          List.iter
+            (fun s ->
+              assign_stmt ?threshold prog annot mode s;
+              match perturb with
+              | Some p -> perturb_stmt p prog.Sir.syms s
+              | None -> ())
+            b.Sir.stmts)
         f.Sir.fblocks)
     prog

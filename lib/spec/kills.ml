@@ -39,10 +39,42 @@ type ctx = {
           this fraction of a site's profiled executions is still treated
           as unlikely (speculative weak update).  0.0 = the paper's
           default ("exists during profiling" means likely). *)
+  adversary : Flags.perturbation option;
+      (** stress harness: corrupt the mode-derived heap-aliasing verdicts
+          (flag-derived verdicts are already corrupted by
+          {!Flags.assign}'s perturbation, so they are not attacked twice) *)
 }
 
-let create ?(alias_threshold = 0.) prog annot mode =
-  { prog; annot; mode; addr_key = Hashtbl.create 64; alias_threshold }
+let create ?(alias_threshold = 0.) ?adversary prog annot mode =
+  let adversary =
+    match mode with Flags.Nonspec -> None | _ -> adversary
+  in
+  { prog; annot; mode; addr_key = Hashtbl.create 64; alias_threshold;
+    adversary }
+
+(* Adversarial corruption of a may-alias policy verdict: likely aliases
+   are downgraded to unlikely (always under [Adv_invert], with the given
+   probability under [Adv_drop]), so speculation crosses exactly the
+   updates the profile says do alias at runtime.  [Knone] (no alias
+   relation at all) stays — inventing relations models a broken
+   analysis, not a wrong profile.  Statically disambiguated
+   definitely-aliasing pairs are attacked like profiled ones: forcing
+   speculation across a known alias is the worst case the recovery path
+   must absorb.  Every resulting [Kweak] is still guarded by a check
+   load, so outputs are preserved and only recovery cost grows. *)
+let attack ctx (v : verdict) : verdict =
+  match ctx.adversary with
+  | None -> v
+  | Some p ->
+    (match v, p.Flags.padv with
+     | Kstrong, Spec_stress.Faults.Adv_invert ->
+       p.Flags.flipped <- p.Flags.flipped + 1;
+       Kweak
+     | Kstrong, Spec_stress.Faults.Adv_drop ppm
+       when Spec_stress.Srng.chance p.Flags.prng ~ppm ->
+       p.Flags.flipped <- p.Flags.flipped + 1;
+       Kweak
+     | v, _ -> v)
 
 (* Deversioned textual address key for heuristic rule 1 ("identical address
    expression"). *)
@@ -100,8 +132,9 @@ let classify ctx (tgt : target) (s : Sir.stmt) : verdict =
         | _ -> None
       in
       match definite_verdict with
-      | Some v -> v
+      | Some v -> attack ctx v
       | None ->
+      attack ctx @@
       match ctx.mode with
       | Flags.Nonspec -> (
           match same_class_chi with Some _ -> Kstrong | None -> Knone)

@@ -25,9 +25,12 @@ type ctx
     [alias_threshold] is the degree-of-likeliness knob: an alias relation
     observed in at most this fraction of a site's profiled executions is
     still treated as unlikely (0.0, the default, reproduces the paper's
-    "exists during profiling" criterion). *)
+    "exists during profiling" criterion).  [adversary] corrupts the
+    mode-derived heap-aliasing verdicts (stress harness); it is ignored
+    under [Nonspec]. *)
 val create :
   ?alias_threshold:float ->
+  ?adversary:Flags.perturbation ->
   Spec_ir.Sir.prog ->
   Spec_alias.Annotate.info ->
   Flags.mode ->

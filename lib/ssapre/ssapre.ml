@@ -32,11 +32,14 @@ type config = {
   alias_threshold : float;
       (** alias relations observed in at most this fraction of profiled
           executions are still speculated over (see [Spec_spec.Kills]) *)
+  adversary : Flags.perturbation option;
+      (** stress harness: corrupt the kill-classification verdicts (see
+          [Spec_spec.Kills.create]) *)
 }
 
 let default_config mode =
   { mode; control_spec = true; cspec_always = false; cspec_ratio = 0.5;
-    arith_pre = true; alias_threshold = 0. }
+    arith_pre = true; alias_threshold = 0.; adversary = None }
 
 (* ------------------------------------------------------------------ *)
 (* Occurrence structures                                               *)
@@ -885,8 +888,8 @@ let run_func ?dom (prog : Sir.prog) (annot : Spec_alias.Annotate.info)
   let dom = match dom with Some d -> d | None -> Dom.compute f in
   let ctx =
     { prog; func = f; dom; cfg;
-      kctx = Kills.create ~alias_threshold:cfg.alias_threshold prog annot
-          cfg.mode;
+      kctx = Kills.create ~alias_threshold:cfg.alias_threshold
+          ?adversary:cfg.adversary prog annot cfg.mode;
       items = Hashtbl.create 16; item_list = [];
       stmt_occs = Hashtbl.create 64; term_occs = Hashtbl.create 16;
       version_def = Hashtbl.create 128; end_version = Hashtbl.create 256;

@@ -16,6 +16,9 @@ type config = {
       (** also PRE pure arithmetic expressions (not just loads) *)
   alias_threshold : float;
       (** degree-of-likeliness knob, see [Spec_spec.Kills.create] *)
+  adversary : Spec_spec.Flags.perturbation option;
+      (** stress harness: corrupt kill-classification verdicts, see
+          [Spec_spec.Kills.create] *)
 }
 
 val default_config : Spec_spec.Flags.mode -> config

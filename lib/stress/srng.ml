@@ -1,0 +1,61 @@
+(** Splittable deterministic RNG (SplitMix64-style).
+
+    State advances by a per-stream odd increment ("gamma"); outputs are
+    a finalizing mix of the state.  Deriving a stream from a label path
+    hashes the labels (FNV-1a, fixed here rather than [Hashtbl.hash] so
+    the sequence is pinned independent of the OCaml runtime) into both
+    the initial state and the gamma, so streams for distinct paths are
+    independent and reproducible across processes and [--jobs N]. *)
+
+type t = { mutable state : int; gamma : int }
+
+(* 64-bit golden-gamma and mix constants, truncated to OCaml's 63-bit
+   native int.  All arithmetic is modular in the native int width, which
+   is the same on every 64-bit platform. *)
+let golden_gamma = 0x1F39_2491_AB32_5DA9
+let mix_c1 = 0x2E25_1B27_B492_DB8D
+let mix_c2 = 0x1B03_7387_12F8_4E6D
+
+let mix z =
+  let z = (z lxor (z lsr 30)) * mix_c1 in
+  let z = (z lxor (z lsr 27)) * mix_c2 in
+  z lxor (z lsr 31)
+
+(* FNV-1a over the bytes of a string, folded into an accumulator. *)
+let fnv_string acc s =
+  let h = ref acc in
+  String.iter
+    (fun c ->
+      h := (!h lxor Char.code c) * 0x100_0000_01B3;
+      (* keep a separator's worth of avalanche per byte *)
+      h := !h lxor (!h lsr 29))
+    s;
+  (* separator between labels so ["ab";"c"] <> ["a";"bc"] *)
+  (!h lxor 0xFF) * 0x100_0000_01B3
+
+let make seed = { state = mix (seed * golden_gamma); gamma = golden_gamma }
+
+let of_path seed labels =
+  let h = List.fold_left fnv_string (mix (seed lxor 0x5EED_FACE)) labels in
+  (* gamma must be odd for the increment to have full period *)
+  { state = mix h; gamma = mix (h lxor golden_gamma) lor 1 }
+
+let next_raw t =
+  t.state <- t.state + t.gamma;
+  mix t.state
+
+let split t label =
+  let h = fnv_string (next_raw t) label in
+  { state = mix h; gamma = mix (h lxor golden_gamma) lor 1 }
+
+let bits t = next_raw t land max_int
+
+let below t n =
+  if n <= 0 then invalid_arg "Srng.below";
+  (* rejection-free modulo is fine for the small ranges used here *)
+  bits t mod n
+
+let chance t ~ppm =
+  if ppm <= 0 then false
+  else if ppm >= 1_000_000 then true
+  else below t 1_000_000 < ppm

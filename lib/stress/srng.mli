@@ -1,0 +1,33 @@
+(** Splittable deterministic RNG for fault injection (SplitMix64-style).
+
+    Every fault source in the stress harness draws from a stream derived
+    from [(master seed, path of string labels)].  Because a stream's
+    identity depends only on those labels — never on how many draws some
+    other stream has made, nor on which {!Spec_driver.Parpool} worker
+    runs the task — any [--jobs N] produces byte-identical fault
+    sequences.  Streams derived from distinct paths are statistically
+    independent (distinct gamma/odd increments). *)
+
+type t
+
+(** [make seed] — root stream for a master seed. *)
+val make : int -> t
+
+(** [of_path seed labels] — the stream for a labelled task, e.g.
+    [of_path 1 ["equake"; "profile"; "inv-10%"]].  Same seed and labels
+    always yield the same stream, in any process and at any
+    parallelism. *)
+val of_path : int -> string list -> t
+
+(** [split t label] — derive an independent child stream without
+    disturbing [t]'s own sequence. *)
+val split : t -> string -> t
+
+(** Next 62 uniformly random non-negative bits. *)
+val bits : t -> int
+
+(** [below t n] — uniform in [\[0, n)]. [n > 0]. *)
+val below : t -> int -> int
+
+(** [chance t ~ppm] — true with probability [ppm] / 1_000_000. *)
+val chance : t -> ppm:int -> bool

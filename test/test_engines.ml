@@ -90,7 +90,8 @@ let check_engines_agree ctx prog =
       "mem_stores", ca.Interp.mem_stores, cb.Interp_ref.mem_stores;
       "branches", ca.Interp.branches, cb.Interp_ref.branches;
       "calls", ca.Interp.calls, cb.Interp_ref.calls;
-      "check_stmts", ca.Interp.check_stmts, cb.Interp_ref.check_stmts ]
+      "check_stmts", ca.Interp.check_stmts, cb.Interp_ref.check_stmts;
+      "check_reloads", ca.Interp.check_reloads, cb.Interp_ref.check_reloads ]
 
 let diff_workload w () =
   let train_prog = Lower.compile (Spec_workloads.Workloads.train_source w) in

@@ -109,13 +109,29 @@ let prop_whole_stack =
             Pipeline.compile_and_optimize ~edge_profile:(Some prof) src
               variant
           in
-          let interp_out =
-            (Spec_prof.Interp.run r.Pipeline.prog).Spec_prof.Interp.output
+          (* the pre-compiled interpreter on both of its code paths: the
+             bare fast path and the instrumented path (hooks present flip
+             [instr] even when every closure is a no-op) *)
+          let cp = Spec_prof.Interp.compile r.Pipeline.prog in
+          let fast_off =
+            (Spec_prof.Interp.run_compiled cp).Spec_prof.Interp.output
+          in
+          let fast_on =
+            (Spec_prof.Interp.run_compiled
+               ~hooks:(Spec_prof.Interp.no_hooks ()) cp)
+              .Spec_prof.Interp.output
+          in
+          (* the tree-walking reference oracle on the same optimized
+             program *)
+          let ref_out =
+            (Spec_prof.Interp_ref.run r.Pipeline.prog)
+              .Spec_prof.Interp_ref.output
           in
           let mp = Spec_codegen.Codegen.lower r.Pipeline.prog in
           ignore (Spec_codegen.Schedule.run mp : Spec_codegen.Schedule.stats);
           let mach_out = (Spec_machine.Machine.run mp).Spec_machine.Machine.output in
-          interp_out = expected && mach_out = expected)
+          fast_off = expected && fast_on = expected && ref_out = expected
+          && mach_out = expected)
         (variants_of src))
 
 (* a focused generator for the SSA/PRE corner cases: deep nesting, breaks,

@@ -185,6 +185,108 @@ let test_rse_accounting () =
   check_bool "RSE spills cost cycles" true
     (r.Machine.perf.Machine.rse_stall_cycles > 0)
 
+(* ---- ALAT unit tests (direct table model, no machine run) ---- *)
+
+(* entries=4, assoc=2 -> two sets; set index is (addr lsr 3) land 1, so
+   addresses 0,16,32,48 share set 0 and 8,24,40 share set 1 *)
+let small_alat () = Alat.create ~entries:4 ~assoc:2 ()
+
+let test_alat_same_reg_reinsert () =
+  let t = small_alat () in
+  Alat.insert t ~frame:0 ~reg:5 ~addr:0;
+  Alat.insert t ~frame:0 ~reg:5 ~addr:16;
+  (* the re-insert replaces, it does not occupy a second slot *)
+  check_int "single live entry" 1 (Alat.live t);
+  check_int "replacement is not a capacity eviction" 0 t.Alat.capacity_evictions;
+  check_bool "tag still present" true (Alat.check t ~frame:0 ~reg:5);
+  (* the entry now guards the new address, not the old one *)
+  Alat.invalidate_store t ~addr:0 ~bytes:8;
+  check_bool "store to the old address is harmless" true
+    (Alat.check t ~frame:0 ~reg:5);
+  Alat.invalidate_store t ~addr:16 ~bytes:8;
+  check_bool "store to the new address invalidates" false
+    (Alat.check t ~frame:0 ~reg:5)
+
+let test_alat_store_cell_boundary () =
+  (* an entry guards the cell [addr, addr + cell_size) *)
+  let cell = Spec_ir.Types.cell_size in
+  let hit addr bytes =
+    let t = small_alat () in
+    Alat.insert t ~frame:0 ~reg:1 ~addr:(cell * 2);
+    Alat.invalidate_store t ~addr ~bytes;
+    not (Alat.check t ~frame:0 ~reg:1)
+  in
+  check_bool "store inside the cell invalidates" true (hit (cell * 2) 1);
+  check_bool "store straddling the upper boundary invalidates" true
+    (hit ((cell * 3) - 1) 2);
+  check_bool "store ending exactly at the cell start is harmless" false
+    (hit cell cell);
+  check_bool "store starting exactly past the cell is harmless" false
+    (hit (cell * 3) cell);
+  check_bool "store straddling the lower boundary invalidates" true
+    (hit ((cell * 2) - 1) 2)
+
+let test_alat_round_robin_eviction () =
+  let t = small_alat () in
+  (* fill set 0, then overflow it twice: the global round-robin victim
+     counter is bumped before use, so the second slot goes first *)
+  Alat.insert t ~frame:0 ~reg:1 ~addr:0;
+  Alat.insert t ~frame:0 ~reg:2 ~addr:16;
+  Alat.insert t ~frame:0 ~reg:3 ~addr:32;
+  check_int "first overflow evicts" 1 t.Alat.capacity_evictions;
+  check_bool "round-robin victim is slot 1 (reg 2)" false
+    (Alat.check t ~frame:0 ~reg:2);
+  check_bool "slot 0 (reg 1) survives the first eviction" true
+    (Alat.check t ~frame:0 ~reg:1);
+  Alat.insert t ~frame:0 ~reg:4 ~addr:48;
+  check_int "second overflow evicts" 2 t.Alat.capacity_evictions;
+  check_bool "victim rotation reaches slot 0 (reg 1)" false
+    (Alat.check t ~frame:0 ~reg:1);
+  check_bool "reg 3 survives" true (Alat.check t ~frame:0 ~reg:3);
+  check_bool "reg 4 survives" true (Alat.check t ~frame:0 ~reg:4);
+  check_int "set never holds more than assoc entries" 2 (Alat.live t)
+
+let test_alat_frame_tag_collision () =
+  (* the same register number in two activations must not collide *)
+  let t = small_alat () in
+  Alat.insert t ~frame:1 ~reg:5 ~addr:0;
+  Alat.insert t ~frame:2 ~reg:5 ~addr:16;
+  check_int "both activations live" 2 (Alat.live t);
+  check_bool "frame 1 hit" true (Alat.check t ~frame:1 ~reg:5);
+  check_bool "frame 2 hit" true (Alat.check t ~frame:2 ~reg:5);
+  Alat.invalidate_store t ~addr:0 ~bytes:4;
+  check_bool "store kills only the matching activation" false
+    (Alat.check t ~frame:1 ~reg:5);
+  check_bool "the other activation survives" true
+    (Alat.check t ~frame:2 ~reg:5)
+
+let test_alat_counter_pinning () =
+  (* regression for the O(1) tag-index insert: the counter stream of a
+     mixed insert/replace/evict/store sequence is pinned exactly *)
+  let t = small_alat () in
+  Alat.insert t ~frame:0 ~reg:1 ~addr:0;    (* set 0, slot 0 *)
+  Alat.insert t ~frame:0 ~reg:2 ~addr:8;    (* set 1, slot 0 *)
+  Alat.insert t ~frame:0 ~reg:1 ~addr:16;   (* same tag: replace in set 0 *)
+  Alat.insert t ~frame:0 ~reg:3 ~addr:32;   (* set 0, slot 1 *)
+  Alat.insert t ~frame:0 ~reg:4 ~addr:48;   (* set 0 full: evict slot 1 *)
+  check_int "inserts" 5 t.Alat.inserts;
+  check_int "capacity evictions" 1 t.Alat.capacity_evictions;
+  check_bool "evicted tag gone" false (Alat.check t ~frame:0 ~reg:3);
+  check_bool "replaced tag live at its new address" true
+    (Alat.check t ~frame:0 ~reg:1);
+  Alat.invalidate_store t ~addr:16 ~bytes:4;
+  check_int "store invalidations" 1 t.Alat.store_invalidations;
+  check_bool "store killed the replaced tag" false
+    (Alat.check t ~frame:0 ~reg:1);
+  check_int "survivors" 2 (Alat.live t);
+  (* stale tag fields on an invalidated slot must not shadow the live
+     mapping owned by a newer entry (the tag-index consistency rule) *)
+  Alat.insert t ~frame:0 ~reg:7 ~addr:0;
+  Alat.insert t ~frame:0 ~reg:7 ~addr:24;   (* moves tag (0,7) to set 1 *)
+  Alat.insert t ~frame:0 ~reg:9 ~addr:0;    (* reuses the stale set-0 slot *)
+  check_bool "moved tag still resolves" true (Alat.check t ~frame:0 ~reg:7);
+  check_bool "new tag resolves" true (Alat.check t ~frame:0 ~reg:9)
+
 (* differential property over random programs, through codegen *)
 let prop_machine_differential =
   QCheck.Test.make ~count:40
@@ -220,5 +322,10 @@ let suite =
     Alcotest.test_case "fp loads slower" `Quick test_fp_loads_slower_than_int;
     Alcotest.test_case "cache locality" `Quick test_cache_locality_matters;
     Alcotest.test_case "ALAT capacity pressure" `Quick test_alat_capacity_pressure;
+    Alcotest.test_case "ALAT same-register re-insert" `Quick test_alat_same_reg_reinsert;
+    Alcotest.test_case "ALAT store at cell boundary" `Quick test_alat_store_cell_boundary;
+    Alcotest.test_case "ALAT round-robin eviction" `Quick test_alat_round_robin_eviction;
+    Alcotest.test_case "ALAT frame-tag collision" `Quick test_alat_frame_tag_collision;
+    Alcotest.test_case "ALAT counter pinning" `Quick test_alat_counter_pinning;
     Alcotest.test_case "RSE accounting" `Quick test_rse_accounting;
     QCheck_alcotest.to_alcotest prop_machine_differential ]

@@ -17,4 +17,5 @@ let () =
       ("schedule", Test_schedule.suite);
       ("passes", Test_passes.suite);
       ("workloads", Test_workloads.suite);
-      ("engines", Test_engines.suite) ]
+      ("engines", Test_engines.suite);
+      ("stress", Test_stress.suite) ]
