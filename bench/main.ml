@@ -19,7 +19,12 @@
                                        combined with --stress the dump
                                        gains a "stress" section)
 
-   Tables: smvp fig10 fig11 fig12 heuristics rse stress
+     bench/main.exe --fdo           -- persistent-FDO warm-vs-cold compile
+                                       cache bench (also available as
+                                       --table fdo; with --json the dump
+                                       gains an "fdo" section)
+
+   Tables: smvp fig10 fig11 fig12 heuristics rse stress fdo
            ablate-cspec ablate-alat ablate-threshold ablate-sched micro
 
    Workload results are computed per-workload on demand and memoized, so
@@ -35,6 +40,7 @@ let json = ref false
 let json_file = ref None
 let stress = ref false
 let stress_seed = ref 1
+let fdo = ref false
 
 let section title = Printf.printf "\n== %s ==\n%!" title
 
@@ -155,6 +161,54 @@ let table_stress () =
     cells;
   Printf.printf
     "(%d cells, every output bit-identical to the unoptimized oracle)\n"
+    (List.length cells)
+
+(* ------------------------------------------------------------------ *)
+(* Persistent FDO: warm-vs-cold compile cache (--table fdo)             *)
+(* ------------------------------------------------------------------ *)
+
+(** Memoized warm-vs-cold cells so the table and the JSON section share
+    one sweep.  Each cell asserts the warm compile hit the cache, ran
+    zero passes and reproduced the cold program exactly; a violation
+    fails the run. *)
+let fdo_cells_tbl : Experiments.fdo_result list option ref = ref None
+
+let fdo_cells () =
+  match !fdo_cells_tbl with
+  | Some cells -> cells
+  | None ->
+    let cells =
+      Experiments.run_fdos ~quick:!quick Spec_workloads.Workloads.all
+    in
+    List.iter
+      (fun (f : Experiments.fdo_result) ->
+        if not f.Experiments.f_warm_hit then
+          failwith
+            (Printf.sprintf "fdo %s: warm compile missed the cache"
+               f.Experiments.f_wname);
+        if f.Experiments.f_warm_passes <> 0 then
+          failwith
+            (Printf.sprintf "fdo %s: warm compile ran %d passes"
+               f.Experiments.f_wname f.Experiments.f_warm_passes);
+        if not f.Experiments.f_identical then
+          failwith
+            (Printf.sprintf
+               "fdo %s: warm program differs from the cold compile"
+               f.Experiments.f_wname))
+      cells;
+    fdo_cells_tbl := Some cells;
+    cells
+
+let table_fdo () =
+  section
+    "Persistent FDO: warm vs cold compiles through the content-addressed \
+     cache";
+  let cells = fdo_cells () in
+  print_endline Experiments.fdo_header;
+  List.iter (fun f -> print_endline (Experiments.fdo_row f)) cells;
+  Printf.printf
+    "(%d workloads; every warm compile hit, ran zero passes, and matched \
+     the cold program exactly)\n"
     (List.length cells)
 
 let table_ablate_alat () =
@@ -319,6 +373,11 @@ let json_dump () =
       Some (Bench_json.stress_json ~seed:!stress_seed (stress_cells ()))
     else None
   in
+  let fdo_blob =
+    if !fdo || List.mem "fdo" !tables then
+      Some (Bench_json.fdo_json (fdo_cells ()))
+    else None
+  in
   let wall = Unix.gettimeofday () -. t0 in
   let out =
     Bench_json.dump ~date:(date_string ())
@@ -327,7 +386,7 @@ let json_dump () =
       (* wall time of the pre-overhaul harness on this machine, for the
          speedup trail (see EXPERIMENTS.md) *)
       ?pre_pr2_quick_wall_s:(if !quick then Some 13.194 else None)
-      ?stress:stress_blob blobs
+      ?stress:stress_blob ?fdo:fdo_blob blobs
   in
   print_string out;
   match !json_file with
@@ -370,7 +429,7 @@ let known_tables =
     "ablate-cspec", table_ablate_cspec; "ablate-alat", table_ablate_alat;
     "ablate-threshold", table_ablate_threshold;
     "ablate-sched", table_ablate_sched; "micro", micro;
-    "stress", table_stress ]
+    "stress", table_stress; "fdo", table_fdo ]
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -380,6 +439,7 @@ let () =
     | "--quick" :: rest -> quick := true; parse rest
     | "--micro" :: rest -> tables := "micro" :: !tables; parse rest
     | "--stress" :: rest -> stress := true; parse rest
+    | "--fdo" :: rest -> fdo := true; parse rest
     | "--stress-seed" :: n :: rest ->
       (match int_of_string_opt n with
        | Some n -> stress_seed := n
@@ -416,10 +476,11 @@ let () =
     (if !quick then "train/quick" else "ref/full");
   let to_run =
     if !stress && !tables = [] then [ "stress" ]
+    else if !fdo && !tables = [] then [ "fdo" ]
     else if !tables = [] then
       [ "smvp"; "fig10"; "fig11"; "fig12"; "heuristics"; "rse";
         "ablate-cspec"; "ablate-alat"; "ablate-threshold"; "ablate-sched";
-        "micro" ]
+        "fdo"; "micro" ]
     else List.rev !tables
   in
   List.iter

@@ -7,10 +7,20 @@
      speccc run prog.c                      interpret, print output
      speccc run --machine prog.c            simulate on the ITL machine
      speccc run --faults inv=10000 prog.c   misspeculation stress run
+     speccc run --cache-dir .speccc-cache prog.c   warm compiles skip passes
      speccc dump --phase ssa prog.c         print IR after a phase
-     speccc opt --mode heuristic prog.c     optimize and print final IR
      speccc stats --mode profile prog.c     perf counters for all variants
-*)
+     speccc profile record prog.c -o p.sprof    persist a training run
+     speccc profile merge -o m.sprof a.sprof b.sprof
+     speccc profile stale-check p.sprof edited.c
+
+   Persistent FDO: a training run's profile can be saved to a *.sprof
+   store (--profile-out), merged across runs with optional exponential
+   decay, and fed back to later compiles (--profile-in) — including of
+   edited sources, where stale-profile matching re-binds what it can and
+   conservatively forgoes speculation elsewhere.  --cache-dir enables
+   the content-addressed compile cache: an unchanged (source, variant,
+   profile) triple skips every optimization pass. *)
 
 open Cmdliner
 open Spec_ir
@@ -43,14 +53,62 @@ let variant_of_mode prof = function
   | `Heuristic -> Pipeline.Spec_heuristic
   | `Aggressive -> Pipeline.Aggressive
 
-(* profile exactly once: the same training run seeds both the
-   [Spec_profile] variant (alias profile) and the edge profile for
-   control speculation *)
-let optimize_src ?(verify_each = false) ?perturb src mode =
-  let prof = Pipeline.profile_of_source src in
-  let variant = variant_of_mode prof mode in
-  Pipeline.compile_and_optimize ~verify_each ~edge_profile:(Some prof)
-    ?perturb src variant
+(* ---- persistent-FDO plumbing ---- *)
+
+let load_store path =
+  match Spec_fdo.Store.load path with
+  | Ok s -> s
+  | Error msg ->
+    Printf.eprintf "speccc: %s: %s\n" path msg;
+    exit 2
+
+type evidence = {
+  ev_prof : Spec_prof.Profile.t;
+  ev_digest : string option;   (** store digest, keys the compile cache *)
+}
+
+(* Profile evidence for one invocation, computed exactly once: the same
+   training run (or persisted store) seeds the Spec_profile variant, the
+   edge profile for control speculation, and the compile-cache key.
+   Fresh runs are round-tripped through the store so that a compile fed
+   by --profile-in of the recorded store makes identical decisions. *)
+let evidence ?profile_in ?profile_out src =
+  match profile_in with
+  | Some path ->
+    let store = load_store path in
+    let prog = Lower.compile src in
+    let prof, mr = Spec_fdo.Store.bind store prog in
+    let rate = Spec_fdo.Store.match_rate mr in
+    if rate < 1.0 then
+      Printf.eprintf "profile: stale store %s: %.1f%% of sites matched\n"
+        path (100. *. rate);
+    (match profile_out with
+     | Some out -> Spec_fdo.Store.save out store
+     | None -> ());
+    { ev_prof = prof; ev_digest = Some (Spec_fdo.Store.digest store) }
+  | None ->
+    let prog, prof0, _ = Pipeline.train src in
+    let store = Spec_fdo.Store.of_profile prog prof0 in
+    (match profile_out with
+     | Some out -> Spec_fdo.Store.save out store
+     | None -> ());
+    let prof, _ = Spec_fdo.Store.bind store prog in
+    { ev_prof = prof; ev_digest = Some (Spec_fdo.Store.digest store) }
+
+let optimize_src ?(verify_each = false) ?perturb ?cache ?threshold ~ev src
+    mode =
+  let variant = variant_of_mode ev.ev_prof mode in
+  let config =
+    match threshold with
+    | None -> None
+    | Some t ->
+      Some
+        { (Spec_ssapre.Ssapre.default_config (Pipeline.mode_of_variant variant))
+          with Spec_ssapre.Ssapre.alias_threshold = t }
+  in
+  Pipeline.compile_and_optimize ~verify_each ~config
+    ~edge_profile:(Some ev.ev_prof) ?perturb ?cache
+    ?profile_digest:ev.ev_digest src variant
 
 let verify_arg =
   Arg.(value & flag
@@ -63,6 +121,39 @@ let timings_arg =
        & info [ "timings" ]
            ~doc:"print per-pass wall time, per-pass statistics and \
                  analysis-cache counters")
+
+let profile_in_arg =
+  Arg.(value & opt (some file) None
+       & info [ "profile-in" ] ~docv:"FILE"
+           ~doc:"feed a persisted profile store (*.sprof) to the compile \
+                 instead of a fresh training run; stale sites are matched \
+                 by stable key and unmatched ones forgo speculation")
+
+let profile_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "profile-out" ] ~docv:"FILE"
+           ~doc:"persist this invocation's profile store (*.sprof)")
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"content-addressed compile cache; a hit skips every \
+                 optimization pass (counters go to stderr)")
+
+let threshold_arg =
+  Arg.(value & opt (some float) None
+       & info [ "threshold" ] ~docv:"X"
+           ~doc:"speculation frequency threshold: flag an alias as likely \
+                 (chi-s) only when the profile says it substantiates more \
+                 than this fraction of executions")
+
+let open_cache dir = Option.map Spec_fdo.Cache.create dir
+
+let report_cache cache =
+  match cache with
+  | Some c ->
+    Printf.eprintf "cache: %s\n" (Spec_fdo.Cache.stats_to_string c)
+  | None -> ()
 
 (* ---- run ---- *)
 
@@ -86,7 +177,8 @@ let run_cmd =
     Arg.(value & flag & info [ "machine" ] ~doc:"run on the ITL machine \
                                                  simulator (with counters)")
   in
-  let action file mode machine verify_each timings faults stress_seed =
+  let action file mode machine verify_each timings faults stress_seed
+      profile_in profile_out cache_dir threshold =
     let src = read_file file in
     let plan =
       match faults with
@@ -103,9 +195,14 @@ let run_cmd =
         ~scope:[ Filename.basename file; "speccc" ]
         plan.Spec_stress.Faults.adversary
     in
-    let r = optimize_src ~verify_each ?perturb src mode in
+    let cache = open_cache cache_dir in
+    let ev = evidence ?profile_in ?profile_out src in
+    let r =
+      optimize_src ~verify_each ?perturb ?cache ?threshold ~ev src mode
+    in
     if timings then
       prerr_string (Spec_driver.Passes.report_to_string r.Pipeline.report);
+    report_cache cache;
     (match perturb with
      | Some p ->
        Printf.eprintf "adversary-flips=%d\n" (Spec_spec.Flags.flipped p)
@@ -158,7 +255,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"compile, optimize and execute a program")
     Term.(const action $ src_arg $ mode_arg $ machine $ verify_arg
-          $ timings_arg $ faults_arg $ stress_seed_arg)
+          $ timings_arg $ faults_arg $ stress_seed_arg $ profile_in_arg
+          $ profile_out_arg $ cache_dir_arg $ threshold_arg)
 
 (* ---- dump ---- *)
 
@@ -171,8 +269,12 @@ let dump_cmd =
          & info [ "phase"; "p" ] ~docv:"PHASE"
              ~doc:"ast, sir, chimu, ssa, opt (post-PRE), itl")
   in
-  let action file mode phase =
+  let action file mode phase profile_in profile_out cache_dir threshold =
     let src = read_file file in
+    (* one training run (or store load) per invocation, and only for the
+       phases that need evidence at all *)
+    let ev = lazy (evidence ?profile_in ?profile_out src) in
+    let cache = open_cache cache_dir in
     (match phase with
      | `Ast ->
        let ast = Parser.parse src in
@@ -191,20 +293,22 @@ let dump_cmd =
          match mode with
          | `Heuristic | `Aggressive -> Spec_spec.Flags.Heuristic_spec
          | `Profile ->
-           Spec_spec.Flags.Profile_spec (Pipeline.profile_of_source src)
+           Spec_spec.Flags.Profile_spec (Lazy.force ev).ev_prof
          | `None | `Base -> Spec_spec.Flags.Nonspec
        in
-       Spec_spec.Flags.assign p annot mode';
+       Spec_spec.Flags.assign ?threshold p annot mode';
        Sir.iter_funcs
          (fun f -> ignore (Spec_cfg.Cfg_utils.split_critical_edges f : int))
          p;
        ignore (Spec_ssa.Build_ssa.build p);
        print_endline (Pp.prog_to_string p)
      | `Opt ->
-       let r = optimize_src src mode in
+       let r = optimize_src ?cache ?threshold ~ev:(Lazy.force ev) src mode in
+       report_cache cache;
        print_endline (Pp.prog_to_string r.Pipeline.prog)
      | `Itl ->
-       let r = optimize_src src mode in
+       let r = optimize_src ?cache ?threshold ~ev:(Lazy.force ev) src mode in
+       report_cache cache;
        let mp = Spec_codegen.Codegen.lower r.Pipeline.prog in
        List.iter
          (fun name ->
@@ -215,23 +319,26 @@ let dump_cmd =
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"print the IR after a compilation phase")
-    Term.(const action $ src_arg $ mode_arg $ phase)
+    Term.(const action $ src_arg $ mode_arg $ phase $ profile_in_arg
+          $ profile_out_arg $ cache_dir_arg $ threshold_arg)
 
 (* ---- stats ---- *)
 
 let stats_cmd =
-  let action file verify_each timings =
+  let action file verify_each timings profile_in profile_out cache_dir
+      threshold =
     let src = read_file file in
-    let prof = Pipeline.profile_of_source src in
+    let ev = evidence ?profile_in ?profile_out src in
+    let cache = open_cache cache_dir in
     Printf.printf "%-10s %10s %10s %8s %8s %8s %8s\n" "variant" "cycles"
       "insns" "loads" "checks" "misses" "stores";
     let reports = ref [] in
     List.iter
-      (fun (name, variant) ->
+      (fun mode ->
         let r =
-          Pipeline.compile_and_optimize ~verify_each ~edge_profile:(Some prof)
-            src variant
+          optimize_src ~verify_each ?cache ?threshold ~ev src mode
         in
+        let name = Pipeline.variant_name r.Pipeline.variant in
         reports := (name, r.Pipeline.report) :: !reports;
         let m = Spec_machine.Machine.run_sir r.Pipeline.prog in
         let p = m.Spec_machine.Machine.perf in
@@ -240,10 +347,8 @@ let stats_cmd =
           (Spec_machine.Machine.loads_retired p)
           p.Spec_machine.Machine.checks p.Spec_machine.Machine.check_misses
           p.Spec_machine.Machine.stores)
-      [ "noopt", Pipeline.Noopt; "base", Pipeline.Base;
-        "profile", Pipeline.Spec_profile prof;
-        "heuristic", Pipeline.Spec_heuristic;
-        "aggressive", Pipeline.Aggressive ];
+      [ `None; `Base; `Profile; `Heuristic; `Aggressive ];
+    report_cache cache;
     if timings then
       List.iter
         (fun (name, report) ->
@@ -254,13 +359,115 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"machine counters for every pipeline variant")
-    Term.(const action $ src_arg $ verify_arg $ timings_arg)
+    Term.(const action $ src_arg $ verify_arg $ timings_arg $ profile_in_arg
+          $ profile_out_arg $ cache_dir_arg $ threshold_arg)
+
+(* ---- profile ---- *)
+
+let out_arg =
+  Arg.(required & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"output store (*.sprof)")
+
+let profile_record_cmd =
+  let action file out =
+    let src = read_file file in
+    let prog, prof, _ = Pipeline.train src in
+    let store = Spec_fdo.Store.of_profile prog prof in
+    Spec_fdo.Store.save out store;
+    Printf.printf "%s\ndigest %s\n" (Spec_fdo.Store.summary store)
+      (Spec_fdo.Store.digest store);
+    0
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"run the training interpreter once and persist the profile")
+    Term.(const action $ src_arg $ out_arg)
+
+let profile_merge_cmd =
+  let stores_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"STORE"
+           ~doc:"profile stores (*.sprof), oldest first")
+  in
+  let decay_arg =
+    Arg.(value & opt (some float) None
+         & info [ "decay" ] ~docv:"LAMBDA"
+             ~doc:"exponential decay in [0,1]: down-weight the \
+                   accumulated evidence by LAMBDA before each younger \
+                   store is merged in")
+  in
+  let action out decay paths =
+    let stores = List.map load_store paths in
+    let merged =
+      match stores with
+      | [] -> assert false
+      | first :: rest ->
+        List.fold_left
+          (fun acc s ->
+            let acc =
+              match decay with
+              | Some lambda -> Spec_fdo.Store.decay ~lambda acc
+              | None -> acc
+            in
+            Spec_fdo.Store.merge acc s)
+          first rest
+    in
+    Spec_fdo.Store.save out merged;
+    Printf.printf "%s\ndigest %s\n" (Spec_fdo.Store.summary merged)
+      (Spec_fdo.Store.digest merged);
+    0
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:"merge profile stores (commutative unless --decay is given)")
+    Term.(const action $ out_arg $ decay_arg $ stores_arg)
+
+let store_pos_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"STORE"
+         ~doc:"profile store (*.sprof)")
+
+let profile_show_cmd =
+  let action path =
+    let store = load_store path in
+    Printf.printf "%s\ndigest %s\n" (Spec_fdo.Store.summary store)
+      (Spec_fdo.Store.digest store);
+    0
+  in
+  Cmd.v (Cmd.info "show" ~doc:"summarize a profile store")
+    Term.(const action $ store_pos_arg)
+
+let profile_stale_check_cmd =
+  let src_pos1 =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"FILE"
+           ~doc:"mini-C source to match the store against")
+  in
+  let action store_path file =
+    let store = load_store store_path in
+    let src = read_file file in
+    let prog = Lower.compile src in
+    let _, mr = Spec_fdo.Store.bind store prog in
+    print_endline (Spec_fdo.Store.report_to_string mr);
+    Printf.printf "match-rate %.4f\n" (Spec_fdo.Store.match_rate mr);
+    0
+  in
+  Cmd.v
+    (Cmd.info "stale-check"
+       ~doc:"report how much of a store still matches a (possibly \
+             edited) source; unmatched sites forgo speculation")
+    Term.(const action $ store_pos_arg $ src_pos1)
+
+let profile_cmd =
+  Cmd.group
+    (Cmd.info "profile"
+       ~doc:"record, merge, inspect and stale-check persistent profile \
+             stores")
+    [ profile_record_cmd; profile_merge_cmd; profile_show_cmd;
+      profile_stale_check_cmd ]
 
 let main_cmd =
   Cmd.group
     (Cmd.info "speccc" ~version:"1.0"
        ~doc:"speculative-SSAPRE compiler for the mini-C language \
              (PLDI 2003 reproduction)")
-    [ run_cmd; dump_cmd; stats_cmd ]
+    [ run_cmd; dump_cmd; stats_cmd; profile_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

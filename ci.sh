@@ -39,6 +39,13 @@ echo "== speccc misspeculation stress smoke (--faults) =="
 dune exec bin/speccc.exe -- run --machine --mode profile \
   --faults "flush=64,inv=100000,adv=invert" --stress-seed 7 "$tmp"
 
+echo "== persistent FDO smoke (profile store + compile cache) =="
+# Record two training profiles, merge them with decay, stale-check the
+# merged store against the source, then compile twice through the
+# content-addressed cache: the warm compile must hit (zero passes run)
+# and print the same program output.
+sh test/ci_fdo.sh _build/default/bin/speccc.exe "$tmp"
+
 echo "== bench harness smoke (--quick --stress --jobs 2) =="
 # Runs every workload through every pipeline variant on a 2-domain pool,
 # plus the misspeculation stress grid; the harness aborts if any variant

@@ -124,11 +124,26 @@ let annotate_stmt info (f : Sir.func) (s : Sir.stmt) =
          add_mu (vv info f cls);
          List.iter add_mu (relevant_members info f cls None))
        cs.Modref.ref_classes;
+     (* a named variable the callee accesses directly is also observed
+        by this function's indirect references through its alias class:
+        without the virtual-variable chi/mu here, a load of [*p] with
+        [p -> g] would keep its version across a call that writes [g]
+        directly, and PRE would wrongly treat the reload as redundant *)
+     let vv_of_var v =
+       match Steensgaard.class_of_var info.sol v with
+       | Some cls when Hashtbl.mem info.accessed cls ->
+         Some (vv info f cls)
+       | Some _ | None -> None
+     in
      List.iter
-       (fun v -> if Modref.visible_in info.prog f v then add_chi v)
+       (fun v ->
+         if Modref.visible_in info.prog f v then add_chi v;
+         Option.iter add_chi (vv_of_var v))
        cs.Modref.mod_vars;
      List.iter
-       (fun v -> if Modref.visible_in info.prog f v then add_mu v)
+       (fun v ->
+         if Modref.visible_in info.prog f v then add_mu v;
+         Option.iter add_mu (vv_of_var v))
        cs.Modref.ref_vars
    | Sir.Stid _ | Sir.Call _ | Sir.Snop -> ());
   let by_var_mu a b = compare a.Sir.mu_var b.Sir.mu_var in

@@ -59,7 +59,9 @@ let workload_json (w : Workloads.workload) (b : Experiments.bench_result) =
     (Experiments.misspec_ratio b.Experiments.prof_spec)
     (100. *. b.Experiments.reuse_frac);
   let src = Workloads.train_source w in
-  let prof = Pipeline.profile_of_source src in
+  (* the harness profiled this workload already — reuse its training
+     profile rather than running the interpreter a second time *)
+  let prof = b.Experiments.train_profile in
   List.iteri
     (fun j (vname, v) ->
       if j > 0 then Buffer.add_char buf ',';
@@ -104,12 +106,36 @@ let stress_json ~seed (cells : Experiments.stress_cell list) =
   Buffer.add_string buf "]}";
   Buffer.contents buf
 
+let fdo_cell_json (f : Experiments.fdo_result) =
+  Printf.sprintf
+    "{\"workload\":%S,\"cold_wall_s\":%.6f,\"warm_wall_s\":%.6f,\
+     \"hits\":%d,\"misses\":%d,\"stores\":%d,\"evictions\":%d,\
+     \"cold_pass_runs\":%d,\"warm_pass_runs\":%d,\"warm_hit\":%b,\
+     \"identical\":%b,\"match_rate\":%.6f}"
+    f.Experiments.f_wname f.Experiments.f_cold_s f.Experiments.f_warm_s
+    f.Experiments.f_hits f.Experiments.f_misses f.Experiments.f_stores
+    f.Experiments.f_evictions f.Experiments.f_cold_passes
+    f.Experiments.f_warm_passes f.Experiments.f_warm_hit
+    f.Experiments.f_identical f.Experiments.f_match_rate
+
+(** The warm-vs-cold compile-cache sweep as a JSON object. *)
+let fdo_json (cells : Experiments.fdo_result list) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\"workloads\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (fdo_cell_json f))
+    cells;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
 (** Assemble the top-level dump.  [workloads] are pre-rendered
-    {!workload_json} blobs; [stress] is a pre-rendered {!stress_json}
-    blob.  [date] is supplied by the caller (the library stays
-    clock-free). *)
+    {!workload_json} blobs; [stress] and [fdo] are pre-rendered
+    {!stress_json} / {!fdo_json} blobs.  [date] is supplied by the
+    caller (the library stays clock-free). *)
 let dump ~date ~inputs ~jobs ~harness_wall_s ?pre_pr2_quick_wall_s ?stress
-    (workloads : string list) =
+    ?fdo (workloads : string list) =
   let buf = Buffer.create 65536 in
   Printf.bprintf buf
     "{\"schema\":\"specpre-bench/2\",\"date\":%S,\"inputs\":%S,\
@@ -128,6 +154,11 @@ let dump ~date ~inputs ~jobs ~harness_wall_s ?pre_pr2_quick_wall_s ?stress
   (match stress with
    | Some s ->
      Buffer.add_string buf ",\"stress\":";
+     Buffer.add_string buf s
+   | None -> ());
+  (match fdo with
+   | Some s ->
+     Buffer.add_string buf ",\"fdo\":";
      Buffer.add_string buf s
    | None -> ());
   Buffer.add_string buf "}\n";
@@ -372,9 +403,31 @@ let validate_stress_cell i v =
     (fun name -> ignore (field path name `Num f))
     [ "hit_rate_pct"; "cycle_overhead_pct" ]
 
+let validate_fdo_cell i v =
+  let path = [ Printf.sprintf "fdo.workloads[%d]" i ] in
+  let f = as_obj path "fdo cell" v in
+  ignore (field path "workload" `Str f);
+  List.iter
+    (fun name -> ignore (field path name `Num f))
+    [ "cold_wall_s"; "warm_wall_s"; "match_rate" ];
+  List.iter
+    (fun name -> ignore (field path name `Int f))
+    [ "hits"; "misses"; "stores"; "evictions"; "cold_pass_runs";
+      "warm_pass_runs" ];
+  List.iter
+    (fun name ->
+      match List.assoc_opt name f with
+      | Some (Bool _) -> ()
+      | _ ->
+        raise
+          (Invalid
+             (Printf.sprintf "field %s.%s must be a boolean"
+                (String.concat "." (List.rev path)) name)))
+    [ "warm_hit"; "identical" ]
+
 (** Validate a parsed dump against the [specpre-bench/2] schema.  The
-    [stress] section is optional (present only for [--stress] runs) but
-    fully pinned when present. *)
+    [stress] and [fdo] sections are optional (present only for
+    [--stress] / [--table fdo] runs) but fully pinned when present. *)
 let validate (v : json) : (unit, string) result =
   try
     let f = as_obj [] "bench dump" v in
@@ -400,6 +453,12 @@ let validate (v : json) : (unit, string) result =
        ignore (field [ "stress" ] "seed" `Int sf);
        let cells = as_arr (field [ "stress" ] "cells" `Arr sf) in
        List.iteri validate_stress_cell cells);
+    (match List.assoc_opt "fdo" f with
+     | None -> ()
+     | Some fv ->
+       let ff = as_obj [ "fdo" ] "fdo" fv in
+       let cells = as_arr (field [ "fdo" ] "workloads" `Arr ff) in
+       List.iteri validate_fdo_cell cells);
     Ok ()
   with Invalid msg -> Error msg
 

@@ -31,6 +31,10 @@ type bench_result = {
   prof_wall_s : float;   (** train-input profiling wall time *)
   total_wall_s : float;  (** whole-workload wall time (sum over tasks when
                              variants run in parallel) *)
+  train_profile : Profile.t;
+      (** the training run's profile — collected exactly once per
+          workload; downstream consumers (JSON pass reports, FDO bench)
+          reuse it instead of re-running the interpreter *)
 }
 
 let machine_config = ref Machine.default_config
@@ -100,7 +104,8 @@ let run_workload ?(quick = false) (w : Workloads.workload) : bench_result =
          [ noopt; base; prof_spec; heur_spec; aggressive ]
   in
   { wname = w.Workloads.name; fp = w.Workloads.fp; noopt; base; prof_spec;
-    heur_spec; aggressive; reuse_frac; prof_wall_s; total_wall_s }
+    heur_spec; aggressive; reuse_frac; prof_wall_s; total_wall_s;
+    train_profile = profile }
 
 (** Run a sweep of workloads on the domain pool; results are in input
     order, so output is independent of [--jobs].  The per-workload
@@ -524,6 +529,104 @@ let stress_row (cells : stress_cell list) (c : stress_cell) =
     (stress_hit_rate c) c.sc_i_reloads c.sc_cycles
     (stress_overhead cells c) c.sc_m_flushes c.sc_m_invs c.sc_i_flushes
     c.sc_i_invs
+
+(* ------------------------------------------------------------------ *)
+(* Persistent FDO: warm-vs-cold compile bench (DESIGN.md §3.4)          *)
+(* ------------------------------------------------------------------ *)
+
+(** One workload's warm-vs-cold comparison: the same profile-fed compile
+    run twice against a fresh compile cache.  The cold run populates the
+    cache; the warm run must hit, run zero passes, and reproduce the
+    cold program exactly. *)
+type fdo_result = {
+  f_wname : string;
+  f_cold_s : float;        (** cold compile wall time (miss + store) *)
+  f_warm_s : float;        (** warm compile wall time (hit) *)
+  f_hits : int;
+  f_misses : int;
+  f_stores : int;
+  f_evictions : int;
+  f_cold_passes : int;     (** pass runs in the cold compile's report *)
+  f_warm_passes : int;     (** pass runs in the warm report — must be 0 *)
+  f_warm_hit : bool;       (** the warm compile came out of the cache *)
+  f_identical : bool;      (** warm program prints identically to cold *)
+  f_match_rate : float;    (** store self-match rate — must be 1.0 *)
+}
+
+let total_pass_runs (r : Passes.report) =
+  List.fold_left (fun acc ps -> acc + ps.Passes.ps_runs) 0 r.Passes.rp_passes
+
+let rm_rf_cache dir =
+  (match Sys.readdir dir with
+   | files ->
+     Array.iter
+       (fun f ->
+         try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       files
+   | exception Sys_error _ -> ());
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+(** Warm-vs-cold compile of one workload through the persistent-FDO
+    path: train once, persist the profile through the {!Spec_fdo.Store}
+    round-trip (as [speccc --profile-out]/[--profile-in] would), then
+    compile the ref source twice against a fresh cache. *)
+let run_fdo ?(quick = false) (w : Workloads.workload) : fdo_result =
+  let train_prog = Lower.compile (Workloads.train_source w) in
+  let profile0, _ = Profiler.profile train_prog in
+  let store = Spec_fdo.Store.of_profile train_prog profile0 in
+  let profile, mr = Spec_fdo.Store.bind store train_prog in
+  let digest = Spec_fdo.Store.digest store in
+  let params = if quick then w.Workloads.train else w.Workloads.ref_ in
+  let src = w.Workloads.source params in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "speccc-fdo-%d-%s" (Unix.getpid ()) w.Workloads.name)
+  in
+  rm_rf_cache dir;
+  let cache = Spec_fdo.Cache.create dir in
+  let compile () =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Pipeline.compile_and_optimize ~edge_profile:(Some profile) ~cache
+        ~profile_digest:digest src (Pipeline.Spec_profile profile)
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let cold, cold_s = compile () in
+  let warm, warm_s = compile () in
+  rm_rf_cache dir;
+  let st = Spec_fdo.Cache.stats cache in
+  { f_wname = w.Workloads.name;
+    f_cold_s = cold_s;
+    f_warm_s = warm_s;
+    f_hits = st.Spec_fdo.Cache.hits;
+    f_misses = st.Spec_fdo.Cache.misses;
+    f_stores = st.Spec_fdo.Cache.stores;
+    f_evictions = st.Spec_fdo.Cache.evictions;
+    f_cold_passes = total_pass_runs cold.Pipeline.report;
+    f_warm_passes = total_pass_runs warm.Pipeline.report;
+    f_warm_hit = warm.Pipeline.from_cache;
+    f_identical =
+      Pp.prog_to_string warm.Pipeline.prog
+      = Pp.prog_to_string cold.Pipeline.prog;
+    f_match_rate = Spec_fdo.Store.match_rate mr }
+
+(** Warm-vs-cold sweep on the domain pool; results in input order. *)
+let run_fdos ?(quick = false) (ws : Workloads.workload list) :
+    fdo_result list =
+  Parpool.parmap (fun w -> run_fdo ~quick w) ws
+
+let fdo_header =
+  "benchmark |  cold ms |  warm ms | speedup | hit | passes c/w | identical | match%"
+
+let fdo_row (f : fdo_result) =
+  Printf.sprintf "%-9s | %8.2f | %8.2f | %6.1fx | %3s | %6d/%-3d | %9s | %5.1f"
+    f.f_wname (1000. *. f.f_cold_s) (1000. *. f.f_warm_s)
+    (if f.f_warm_s > 0. then f.f_cold_s /. f.f_warm_s else 0.)
+    (if f.f_warm_hit then "yes" else "NO")
+    f.f_cold_passes f.f_warm_passes
+    (if f.f_identical then "yes" else "NO")
+    (100. *. f.f_match_rate)
 
 (** ALAT capacity ablation: mis-speculation ratio vs table size. *)
 let ablate_alat ?(quick = false) (w : Workloads.workload) sizes =

@@ -48,6 +48,9 @@ type result = {
   variant : variant;
   report : Passes.report;
       (** per-pass wall time, statistics, and analysis-cache counters *)
+  from_cache : bool;
+      (** true when the optimized program came out of the compile cache
+          (the report is then empty: no passes ran) *)
 }
 
 let mode_of_variant = function
@@ -93,7 +96,7 @@ let optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
    | None -> ());
   if variant = Noopt then
     { prog; stats = Ssapre.zero_stats; variant;
-      report = Passes.empty_report () }
+      report = Passes.empty_report (); from_cache = false }
   else begin
     let mgr = Passes.create ~verify_each ?perturb ~mode ~config:cfg prog in
     Passes.run_passes mgr prepass_schedule;
@@ -108,20 +111,155 @@ let optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
     Passes.run_pass mgr "cleanup";
     if variant = Aggressive then Passes.run_pass mgr "strip-checks";
     { prog; stats = (Passes.context mgr).Passes.ssapre_total; variant;
-      report = Passes.report mgr }
+      report = Passes.report mgr; from_cache = false }
   end
 
-(** Convenience: compile source and optimize. *)
-let compile_and_optimize ?rounds ?config ?edge_profile ?strength ?verify_each
-    ?perturb src variant =
+(* ------------------------------------------------------------------ *)
+(* Compile cache (persistent FDO)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Cached-compile artifact: the optimized program, its SSAPRE totals,
+    and the cold compile's pass report (kept as provenance — a warm
+    compile runs zero passes, so its own report is empty). *)
+type artifact = {
+  a_stats : Ssapre.stats;
+  a_report_json : string;
+  a_prog : Sir.prog;
+}
+
+let artifact_version = "specart/1"
+
+let write_artifact (r : result) : string =
+  let buf = Buffer.create 65536 in
+  Printf.bprintf buf "%s\n" artifact_version;
+  let s = r.stats in
+  Printf.bprintf buf "stats %d %d %d %d %d %d\n" s.Ssapre.checks
+    s.Ssapre.reloads s.Ssapre.saves s.Ssapre.inserts s.Ssapre.cspec_phis
+    s.Ssapre.items;
+  Printf.bprintf buf "report %s\n"
+    (Spec_fdo.Textio.quote (Passes.report_to_json r.report));
+  Printf.bprintf buf "prog %s\n"
+    (Spec_fdo.Textio.quote (Spec_fdo.Sir_io.write r.prog));
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+let read_artifact (s : string) : (artifact, string) Stdlib.result =
+  let open Spec_fdo in
+  let lx = Textio.make s in
+  try
+    Textio.expect lx artifact_version;
+    Textio.expect lx "stats";
+    let checks = Textio.int_tok lx in
+    let reloads = Textio.int_tok lx in
+    let saves = Textio.int_tok lx in
+    let inserts = Textio.int_tok lx in
+    let cspec_phis = Textio.int_tok lx in
+    let items = Textio.int_tok lx in
+    Textio.expect lx "report";
+    let a_report_json = Textio.token lx in
+    Textio.expect lx "prog";
+    let prog_text = Textio.token lx in
+    Textio.expect lx "end";
+    if not (Textio.at_eof lx) then Textio.fail lx "trailing data";
+    (match Spec_fdo.Sir_io.read prog_text with
+     | Ok a_prog ->
+       Ok { a_stats =
+              { Ssapre.checks; reloads; saves; inserts; cspec_phis; items };
+            a_report_json; a_prog }
+     | Error e -> Error e)
+  with Textio.Error msg -> Error msg
+
+(* Everything that determines the optimized output goes into the key:
+   schema versions, the source text, the variant and its knobs, and the
+   digest of the profile evidence.  [verify_each] is excluded (it checks
+   invariants; it never changes the output). *)
+let cache_key ~rounds ~strength ~(config : Ssapre.config) ~variant
+    ~edge_profile ~profile_digest src =
+  let fp =
+    String.concat "\x00"
+      [ artifact_version; Spec_fdo.Sir_io.version; src; variant_name variant;
+        string_of_int rounds; string_of_bool strength;
+        string_of_bool config.Ssapre.control_spec;
+        string_of_bool config.Ssapre.cspec_always;
+        Printf.sprintf "%h" config.Ssapre.cspec_ratio;
+        string_of_bool config.Ssapre.arith_pre;
+        Printf.sprintf "%h" config.Ssapre.alias_threshold;
+        (if edge_profile then "ep" else "-");
+        (match profile_digest with Some d -> d | None -> "-") ]
+  in
+  Digest.to_hex (Digest.string fp)
+
+(** Convenience: compile source and optimize.
+
+    With [cache], look the compile up in the content-addressed cache
+    first: a hit deserializes the optimized program and skips every
+    pass.  [profile_digest] must identify the profile evidence (the
+    {!Spec_fdo.Store} digest) whenever a profile feeds the compile —
+    without it, profile-fed compiles bypass the cache rather than risk
+    serving an artifact built from different evidence.  Adversarial
+    perturbation always bypasses the cache (stress runs are meant to be
+    recomputed). *)
+let compile_and_optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
+    ?(strength = true) ?verify_each ?perturb ?cache ?profile_digest src
+    variant =
+  let cold () =
+    let prog = Lower.compile src in
+    optimize ~rounds ~config ~edge_profile ~strength ?verify_each ?perturb
+      prog variant
+  in
+  let cfg =
+    match config with
+    | Some c -> c
+    | None -> Ssapre.default_config (mode_of_variant variant)
+  in
+  let needs_digest =
+    (match variant with Spec_profile _ -> true | _ -> false)
+    || edge_profile <> None
+  in
+  let bypass =
+    perturb <> None
+    || cfg.Ssapre.adversary <> None
+    || (needs_digest && profile_digest = None)
+  in
+  match cache with
+  | Some c when not bypass ->
+    let key =
+      cache_key ~rounds ~strength ~config:cfg ~variant
+        ~edge_profile:(edge_profile <> None) ~profile_digest src
+    in
+    (match Spec_fdo.Cache.find c key with
+     | Some data ->
+       (match read_artifact data with
+        | Ok a ->
+          { prog = a.a_prog; stats = a.a_stats; variant;
+            report = Passes.empty_report (); from_cache = true }
+        | Error _ ->
+          (* corrupt artifact: recount as a miss and recompile over it *)
+          let st = Spec_fdo.Cache.stats c in
+          st.Spec_fdo.Cache.hits <- st.Spec_fdo.Cache.hits - 1;
+          st.Spec_fdo.Cache.misses <- st.Spec_fdo.Cache.misses + 1;
+          let r = cold () in
+          Spec_fdo.Cache.store c key (write_artifact r);
+          r)
+     | None ->
+       let r = cold () in
+       Spec_fdo.Cache.store c key (write_artifact r);
+       r)
+  | _ -> cold ()
+
+(** Compile [src] and run it under the instrumented training
+    interpreter once, returning the lowered program (needed to key
+    stored profiles by site), the profile, and the training run's
+    result.  The single profiling entry point: callers thread the
+    triple through instead of re-running the interpreter. *)
+let train ?fuel src =
   let prog = Lower.compile src in
-  optimize ?rounds ?config ?edge_profile ?strength ?verify_each ?perturb prog
-    variant
+  let prof, res = Profiler.profile ?fuel prog in
+  (prog, prof, res)
 
 (** Profile a fresh compile of [src] (with whatever input [main] selects)
     and return the profile for feeding a [Spec_profile] pipeline of
     another compile. *)
 let profile_of_source ?fuel src =
-  let prog = Lower.compile src in
-  let prof, _ = Profiler.profile ?fuel prog in
+  let _, prof, _ = train ?fuel src in
   prof

@@ -26,6 +26,9 @@ type result = {
   variant : variant;
   report : Passes.report;
       (** per-pass wall time, statistics, and analysis-cache counters *)
+  from_cache : bool;
+      (** true when the optimized program came out of the compile cache
+          (the report is then empty: no passes ran) *)
 }
 
 val mode_of_variant : variant -> Spec_spec.Flags.mode
@@ -54,6 +57,37 @@ val optimize :
   variant ->
   result
 
+(** Cached-compile artifact ([specart/1]): the optimized program, its
+    SSAPRE totals, and the cold compile's pass report as provenance. *)
+type artifact = {
+  a_stats : Spec_ssapre.Ssapre.stats;
+  a_report_json : string;
+  a_prog : Spec_ir.Sir.prog;
+}
+
+val artifact_version : string
+val write_artifact : result -> string
+val read_artifact : string -> (artifact, string) Stdlib.result
+
+(** Content-addressed cache key over every compile input: schema
+    versions, source text, variant + knobs, and the digest of the
+    profile evidence (a {!Spec_fdo.Store} digest). *)
+val cache_key :
+  rounds:int ->
+  strength:bool ->
+  config:Spec_ssapre.Ssapre.config ->
+  variant:variant ->
+  edge_profile:bool ->
+  profile_digest:string option ->
+  string ->
+  string
+
+(** Compile source and optimize.  With [cache], consult the compile
+    cache first — a hit deserializes the optimized program and skips
+    every pass (the result carries [from_cache = true] and an empty
+    report).  [profile_digest] must identify the profile evidence
+    whenever a profile feeds the compile; profile-fed compiles without
+    it, and any adversarially perturbed compile, bypass the cache. *)
 val compile_and_optimize :
   ?rounds:int ->
   ?config:Spec_ssapre.Ssapre.config option ->
@@ -61,9 +95,21 @@ val compile_and_optimize :
   ?strength:bool ->
   ?verify_each:bool ->
   ?perturb:Spec_spec.Flags.perturbation ->
+  ?cache:Spec_fdo.Cache.t ->
+  ?profile_digest:string ->
   string ->
   variant ->
   result
+
+(** Compile the source and run it once under the instrumented training
+    interpreter: the lowered program (the site table stored profiles are
+    keyed against), the collected profile, and the training run's
+    result.  The single profiling entry point — callers thread the
+    triple through instead of re-running the interpreter. *)
+val train :
+  ?fuel:int ->
+  string ->
+  Spec_ir.Sir.prog * Spec_prof.Profile.t * Spec_prof.Interp.result
 
 (** Profile a fresh compile of the source (with whatever input its [main]
     selects); feed the result to a [Spec_profile] pipeline of another

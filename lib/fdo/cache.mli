@@ -1,0 +1,29 @@
+(** Content-addressed compile cache: a blob store keyed by hex digests
+    the caller computes over every compile input (source, pipeline
+    variant, merged-profile digest, schema version).  Atomic writes,
+    corrupt/missing entries read as misses, optional LRU entry cap. *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+  mutable evictions : int;
+}
+
+type t
+
+(** Open (creating if needed) a cache directory.  [max_entries] caps the
+    number of artifacts; the oldest by mtime are evicted on store. *)
+val create : ?max_entries:int -> string -> t
+
+val stats : t -> stats
+val stats_to_string : t -> string
+
+(** Look up an artifact; counts a hit or miss, refreshes mtime on hit. *)
+val find : t -> string -> string option
+
+(** Store an artifact under a key (atomic; then evicts past the cap). *)
+val store : t -> string -> string -> unit
+
+(** Number of artifacts currently on disk. *)
+val length : t -> int

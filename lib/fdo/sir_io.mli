@@ -1,0 +1,15 @@
+(** Full-fidelity SIR serialization ([specsir/1]) for the compile
+    cache.  [read] of [write] reconstructs the program exactly —
+    variable table (including SSA versions and temporaries), sites,
+    statement ids, speculation marks, check links, block frequencies and
+    predecessor lists — so a cache hit is indistinguishable from a fresh
+    compile, down to pretty-printed output. *)
+
+val version : string
+
+(** Deterministic: equal programs serialize to byte-identical strings. *)
+val write : Spec_ir.Sir.prog -> string
+
+(** Parse what {!write} emits; [Error] describes the first offending
+    line (corrupt artifacts are treated as cache misses upstream). *)
+val read : string -> (Spec_ir.Sir.prog, string) result

@@ -1,0 +1,26 @@
+(** Token-level reader/writer helpers for the FDO on-disk formats. *)
+
+exception Error of string
+
+(** Deterministic quoting: double-quoted with backslash escapes (quote,
+    backslash, newline, tab, hex byte). *)
+val quote : string -> string
+
+type lexer
+
+val make : string -> lexer
+val fail : lexer -> string -> 'a
+val at_eof : lexer -> bool
+
+(** Next token: a bare word or the contents of a quoted string. *)
+val token : lexer -> string
+
+(** Next token, which must equal the argument. *)
+val expect : lexer -> string -> unit
+
+val int_tok : lexer -> int
+
+(** Hex-float ([%h]) tokens; round-trip exactly. *)
+val float_tok : lexer -> float
+
+val bool_tok : lexer -> bool

@@ -1,0 +1,14 @@
+(** Profiling driver: run a program under the interpreter with
+    instrumentation wired to a {!Profile.t}, maintaining the dynamic
+    call-site stack so call-site mod/ref LOC sets accumulate the effects
+    of entire call subtrees (§3.2.1). *)
+
+(** Run the program and collect edge + alias profiles, with whatever
+    inputs its [main] sets up (workloads select train vs ref inputs
+    through a global).  Also annotates the program's block frequencies
+    from the collected edge profile. *)
+val profile :
+  ?fuel:int ->
+  ?heap_bytes:int ->
+  Spec_ir.Sir.prog ->
+  Profile.t * Interp.result

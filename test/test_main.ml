@@ -18,4 +18,5 @@ let () =
       ("passes", Test_passes.suite);
       ("workloads", Test_workloads.suite);
       ("engines", Test_engines.suite);
-      ("stress", Test_stress.suite) ]
+      ("stress", Test_stress.suite);
+      ("fdo", Test_fdo.suite) ]
