@@ -23,8 +23,14 @@
                                        cache bench (also available as
                                        --table fdo; with --json the dump
                                        gains an "fdo" section)
+     bench/main.exe --compile-bench -- compile throughput: cold heuristic
+                                       compiles at --jobs 1 vs --jobs N
+                                       (N from --jobs, default 4), asserting
+                                       byte-identical output; also --table
+                                       compile; with --json the dump gains
+                                       a "compile" section
 
-   Tables: smvp fig10 fig11 fig12 heuristics rse stress fdo
+   Tables: smvp fig10 fig11 fig12 heuristics rse stress fdo compile
            ablate-cspec ablate-alat ablate-threshold ablate-sched micro
 
    Workload results are computed per-workload on demand and memoized, so
@@ -41,6 +47,7 @@ let json_file = ref None
 let stress = ref false
 let stress_seed = ref 1
 let fdo = ref false
+let compile_bench = ref false
 
 let section title = Printf.printf "\n== %s ==\n%!" title
 
@@ -211,6 +218,52 @@ let table_fdo () =
      the cold program exactly)\n"
     (List.length cells)
 
+(* ------------------------------------------------------------------ *)
+(* Compile throughput: parallel per-function pipeline (--compile-bench) *)
+(* ------------------------------------------------------------------ *)
+
+(** Memoized compile-throughput cells so the table and the JSON section
+    share one sweep.  Every cell asserts the parallel compile printed a
+    byte-identical program to the sequential one; a divergence fails the
+    run (that is the CI gate).  The parallel leg uses [--jobs] when
+    given, else 4 domains. *)
+let compile_cells_tbl : Experiments.compile_result list option ref = ref None
+
+let compile_cells () =
+  match !compile_cells_tbl with
+  | Some cells -> cells
+  | None ->
+    let n = if !jobs > 1 then !jobs else 4 in
+    let cells =
+      Experiments.run_compile_bench ~quick:!quick ~jobs:n
+        Spec_workloads.Workloads.all
+    in
+    List.iter
+      (fun (c : Experiments.compile_result) ->
+        if not c.Experiments.c_identical then
+          failwith
+            (Printf.sprintf
+               "compile-bench %s: --jobs %d program diverged from --jobs 1"
+               c.Experiments.c_wname c.Experiments.c_jobs))
+      cells;
+    compile_cells_tbl := Some cells;
+    cells
+
+let table_compile () =
+  let cells = compile_cells () in
+  let n = match cells with c :: _ -> c.Experiments.c_jobs | [] -> 1 in
+  section
+    (Printf.sprintf
+       "Compile throughput: per-function pipeline at --jobs 1 vs --jobs %d"
+       n);
+  print_endline Experiments.compile_header;
+  List.iter (fun c -> print_endline (Experiments.compile_row c)) cells;
+  Printf.printf
+    "(total speedup %.2fx over %d workloads; every parallel program \
+     byte-identical to the sequential compile)\n"
+    (Experiments.compile_total_speedup cells)
+    (List.length cells)
+
 let table_ablate_alat () =
   section "Ablation: ALAT capacity vs mis-speculation (equake)";
   Printf.printf "entries | checks | check misses\n";
@@ -378,6 +431,11 @@ let json_dump () =
       Some (Bench_json.fdo_json (fdo_cells ()))
     else None
   in
+  let compile_blob =
+    if !compile_bench || List.mem "compile" !tables then
+      Some (Bench_json.compile_json (compile_cells ()))
+    else None
+  in
   let wall = Unix.gettimeofday () -. t0 in
   let out =
     Bench_json.dump ~date:(date_string ())
@@ -386,7 +444,7 @@ let json_dump () =
       (* wall time of the pre-overhaul harness on this machine, for the
          speedup trail (see EXPERIMENTS.md) *)
       ?pre_pr2_quick_wall_s:(if !quick then Some 13.194 else None)
-      ?stress:stress_blob ?fdo:fdo_blob blobs
+      ?stress:stress_blob ?fdo:fdo_blob ?compile:compile_blob blobs
   in
   print_string out;
   match !json_file with
@@ -429,7 +487,7 @@ let known_tables =
     "ablate-cspec", table_ablate_cspec; "ablate-alat", table_ablate_alat;
     "ablate-threshold", table_ablate_threshold;
     "ablate-sched", table_ablate_sched; "micro", micro;
-    "stress", table_stress; "fdo", table_fdo ]
+    "stress", table_stress; "fdo", table_fdo; "compile", table_compile ]
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -440,6 +498,7 @@ let () =
     | "--micro" :: rest -> tables := "micro" :: !tables; parse rest
     | "--stress" :: rest -> stress := true; parse rest
     | "--fdo" :: rest -> fdo := true; parse rest
+    | "--compile-bench" :: rest -> compile_bench := true; parse rest
     | "--stress-seed" :: n :: rest ->
       (match int_of_string_opt n with
        | Some n -> stress_seed := n
@@ -477,10 +536,11 @@ let () =
   let to_run =
     if !stress && !tables = [] then [ "stress" ]
     else if !fdo && !tables = [] then [ "fdo" ]
+    else if !compile_bench && !tables = [] then [ "compile" ]
     else if !tables = [] then
       [ "smvp"; "fig10"; "fig11"; "fig12"; "heuristics"; "rse";
         "ablate-cspec"; "ablate-alat"; "ablate-threshold"; "ablate-sched";
-        "fdo"; "micro" ]
+        "fdo"; "compile"; "micro" ]
     else List.rev !tables
   in
   List.iter

@@ -110,6 +110,21 @@ let optimize_src ?(verify_each = false) ?perturb ?cache ?threshold ~ev src
     ~edge_profile:(Some ev.ev_prof) ?perturb ?cache
     ?profile_digest:ev.ev_digest src variant
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"compile with N domains: the per-function portion of each \
+                 pipeline segment fans out to a fixed pool while \
+                 whole-program analyses stay sequential; the optimized \
+                 program is byte-identical for every N")
+
+let set_jobs jobs =
+  if jobs < 1 then begin
+    Printf.eprintf "speccc: --jobs must be >= 1\n";
+    exit 2
+  end;
+  Parpool.set_jobs jobs
+
 let verify_arg =
   Arg.(value & flag
        & info [ "verify-each" ]
@@ -177,8 +192,9 @@ let run_cmd =
     Arg.(value & flag & info [ "machine" ] ~doc:"run on the ITL machine \
                                                  simulator (with counters)")
   in
-  let action file mode machine verify_each timings faults stress_seed
+  let action file mode machine verify_each timings jobs faults stress_seed
       profile_in profile_out cache_dir threshold =
+    set_jobs jobs;
     let src = read_file file in
     let plan =
       match faults with
@@ -255,8 +271,9 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"compile, optimize and execute a program")
     Term.(const action $ src_arg $ mode_arg $ machine $ verify_arg
-          $ timings_arg $ faults_arg $ stress_seed_arg $ profile_in_arg
-          $ profile_out_arg $ cache_dir_arg $ threshold_arg)
+          $ timings_arg $ jobs_arg $ faults_arg $ stress_seed_arg
+          $ profile_in_arg $ profile_out_arg $ cache_dir_arg
+          $ threshold_arg)
 
 (* ---- dump ---- *)
 
@@ -269,7 +286,9 @@ let dump_cmd =
          & info [ "phase"; "p" ] ~docv:"PHASE"
              ~doc:"ast, sir, chimu, ssa, opt (post-PRE), itl")
   in
-  let action file mode phase profile_in profile_out cache_dir threshold =
+  let action file mode phase jobs profile_in profile_out cache_dir
+      threshold =
+    set_jobs jobs;
     let src = read_file file in
     (* one training run (or store load) per invocation, and only for the
        phases that need evidence at all *)
@@ -319,14 +338,16 @@ let dump_cmd =
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"print the IR after a compilation phase")
-    Term.(const action $ src_arg $ mode_arg $ phase $ profile_in_arg
-          $ profile_out_arg $ cache_dir_arg $ threshold_arg)
+    Term.(const action $ src_arg $ mode_arg $ phase $ jobs_arg
+          $ profile_in_arg $ profile_out_arg $ cache_dir_arg
+          $ threshold_arg)
 
 (* ---- stats ---- *)
 
 let stats_cmd =
-  let action file verify_each timings profile_in profile_out cache_dir
+  let action file verify_each timings jobs profile_in profile_out cache_dir
       threshold =
+    set_jobs jobs;
     let src = read_file file in
     let ev = evidence ?profile_in ?profile_out src in
     let cache = open_cache cache_dir in
@@ -359,8 +380,9 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"machine counters for every pipeline variant")
-    Term.(const action $ src_arg $ verify_arg $ timings_arg $ profile_in_arg
-          $ profile_out_arg $ cache_dir_arg $ threshold_arg)
+    Term.(const action $ src_arg $ verify_arg $ timings_arg $ jobs_arg
+          $ profile_in_arg $ profile_out_arg $ cache_dir_arg
+          $ threshold_arg)
 
 (* ---- profile ---- *)
 

@@ -54,4 +54,12 @@ echo "== bench harness smoke (--quick --stress --jobs 2) =="
 # is kept as an artifact.
 dune exec bench/main.exe -- --quick --jobs 2 --stress --json --json-file bench-smoke.json > /dev/null
 
+echo "== compile-throughput smoke (--compile-bench --quick --jobs 2) =="
+# Cold-compiles every workload's throughput unit at --jobs 1 and
+# --jobs 2 and hard-fails unless the parallel program is byte-identical
+# to the sequential one.  The compile-throughput JSON (with per-pass
+# breakdowns) is kept as an artifact.
+dune exec bench/main.exe -- --compile-bench --quick --jobs 2 --json \
+  --json-file compile-smoke.json > /dev/null
+
 echo "== ci ok =="

@@ -130,12 +130,42 @@ let fdo_json (cells : Experiments.fdo_result list) =
   Buffer.add_string buf "]}";
   Buffer.contents buf
 
+let compile_cell_json (c : Experiments.compile_result) =
+  Printf.sprintf
+    "{\"workload\":%S,\"funcs\":%d,\"seq_wall_s\":%.6f,\"par_wall_s\":%.6f,\
+     \"speedup\":%.3f,\"seq_alloc_words\":%.0f,\"identical\":%b,\
+     \"report\":%s}"
+    c.Experiments.c_wname c.Experiments.c_funcs c.Experiments.c_seq_s
+    c.Experiments.c_par_s
+    (Experiments.compile_speedup c)
+    c.Experiments.c_seq_alloc_w c.Experiments.c_identical
+    (Passes.report_to_json c.Experiments.c_report)
+
+(** The [--compile-bench] sweep as a JSON object: the parallel leg's
+    domain count, the aggregate sweep speedup, and one cell per workload
+    with the sequential compile's pass breakdown. *)
+let compile_json (cells : Experiments.compile_result list) =
+  let buf = Buffer.create 4096 in
+  let jobs =
+    match cells with c :: _ -> c.Experiments.c_jobs | [] -> 1
+  in
+  Printf.bprintf buf "{\"jobs\":%d,\"total_speedup\":%.3f,\"workloads\":["
+    jobs
+    (Experiments.compile_total_speedup cells);
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (compile_cell_json c))
+    cells;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
 (** Assemble the top-level dump.  [workloads] are pre-rendered
-    {!workload_json} blobs; [stress] and [fdo] are pre-rendered
-    {!stress_json} / {!fdo_json} blobs.  [date] is supplied by the
-    caller (the library stays clock-free). *)
+    {!workload_json} blobs; [stress], [fdo] and [compile] are
+    pre-rendered {!stress_json} / {!fdo_json} / {!compile_json} blobs.
+    [date] is supplied by the caller (the library stays clock-free). *)
 let dump ~date ~inputs ~jobs ~harness_wall_s ?pre_pr2_quick_wall_s ?stress
-    ?fdo (workloads : string list) =
+    ?fdo ?compile (workloads : string list) =
   let buf = Buffer.create 65536 in
   Printf.bprintf buf
     "{\"schema\":\"specpre-bench/2\",\"date\":%S,\"inputs\":%S,\
@@ -159,6 +189,11 @@ let dump ~date ~inputs ~jobs ~harness_wall_s ?pre_pr2_quick_wall_s ?stress
   (match fdo with
    | Some s ->
      Buffer.add_string buf ",\"fdo\":";
+     Buffer.add_string buf s
+   | None -> ());
+  (match compile with
+   | Some s ->
+     Buffer.add_string buf ",\"compile\":";
      Buffer.add_string buf s
    | None -> ());
   Buffer.add_string buf "}\n";
@@ -425,9 +460,27 @@ let validate_fdo_cell i v =
                 (String.concat "." (List.rev path)) name)))
     [ "warm_hit"; "identical" ]
 
+let validate_compile_cell i v =
+  let path = [ Printf.sprintf "compile.workloads[%d]" i ] in
+  let f = as_obj path "compile cell" v in
+  ignore (field path "workload" `Str f);
+  ignore (field path "funcs" `Int f);
+  List.iter
+    (fun name -> ignore (field path name `Num f))
+    [ "seq_wall_s"; "par_wall_s"; "speedup"; "seq_alloc_words" ];
+  (match List.assoc_opt "identical" f with
+   | Some (Bool _) -> ()
+   | _ ->
+     raise
+       (Invalid
+          (Printf.sprintf "field %s.identical must be a boolean"
+             (String.concat "." (List.rev path)))));
+  ignore (field path "report" `Obj f)
+
 (** Validate a parsed dump against the [specpre-bench/2] schema.  The
-    [stress] and [fdo] sections are optional (present only for
-    [--stress] / [--table fdo] runs) but fully pinned when present. *)
+    [stress], [fdo] and [compile] sections are optional (present only
+    for [--stress] / [--table fdo] / [--compile-bench] runs) but fully
+    pinned when present. *)
 let validate (v : json) : (unit, string) result =
   try
     let f = as_obj [] "bench dump" v in
@@ -459,6 +512,14 @@ let validate (v : json) : (unit, string) result =
        let ff = as_obj [ "fdo" ] "fdo" fv in
        let cells = as_arr (field [ "fdo" ] "workloads" `Arr ff) in
        List.iteri validate_fdo_cell cells);
+    (match List.assoc_opt "compile" f with
+     | None -> ()
+     | Some cv ->
+       let cf = as_obj [ "compile" ] "compile" cv in
+       ignore (field [ "compile" ] "jobs" `Int cf);
+       ignore (field [ "compile" ] "total_speedup" `Num cf);
+       let cells = as_arr (field [ "compile" ] "workloads" `Arr cf) in
+       List.iteri validate_compile_cell cells);
     Ok ()
   with Invalid msg -> Error msg
 

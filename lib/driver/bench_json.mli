@@ -19,12 +19,19 @@ val fdo_cell_json : Experiments.fdo_result -> string
 (** The warm-vs-cold compile-cache sweep as a JSON object. *)
 val fdo_json : Experiments.fdo_result list -> string
 
+val compile_cell_json : Experiments.compile_result -> string
+
+(** The [--compile-bench] throughput sweep as a JSON object: parallel
+    domain count, aggregate speedup, and one cell per workload with the
+    sequential compile's pass breakdown. *)
+val compile_json : Experiments.compile_result list -> string
+
 (** Assemble the top-level dump from pre-rendered section blobs.
     [date] is supplied by the caller so the library stays clock-free. *)
 val dump :
   date:string -> inputs:string -> jobs:int -> harness_wall_s:float ->
   ?pre_pr2_quick_wall_s:float -> ?stress:string -> ?fdo:string ->
-  string list -> string
+  ?compile:string -> string list -> string
 
 (** {1 Parsing} *)
 
@@ -44,7 +51,7 @@ val parse : string -> (json, string) result
 (** Validate a parsed dump against the pinned [specpre-bench/2] shape:
     every field name and type of the top level, workload entries,
     variant counters, metrics, pass reports, and (when present) the
-    [stress] and [fdo] sections. *)
+    [stress], [fdo] and [compile] sections. *)
 val validate : json -> (unit, string) result
 
 (** Parse and validate in one step. *)

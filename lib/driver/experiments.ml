@@ -628,6 +628,166 @@ let fdo_row (f : fdo_result) =
     (if f.f_identical then "yes" else "NO")
     (100. *. f.f_match_rate)
 
+(* ------------------------------------------------------------------ *)
+(* Compile-throughput bench (parallel per-function pipeline)           *)
+(* ------------------------------------------------------------------ *)
+
+(** One workload's cold-compile throughput comparison: the heuristic
+    pipeline (no profile needed — pure compile cost) run at [--jobs 1]
+    and at [--jobs N] against the same source.  The optimized programs
+    must print byte-identically; the sequential run also records its
+    allocation footprint and per-pass breakdown (the dense-internals
+    metrics). *)
+type compile_result = {
+  c_wname : string;
+  c_funcs : int;            (** functions in the lowered program *)
+  c_jobs : int;             (** domain count of the parallel measurement *)
+  c_seq_s : float;          (** best cold-compile wall, jobs = 1 *)
+  c_par_s : float;          (** best cold-compile wall, jobs = N *)
+  c_seq_alloc_w : float;    (** words allocated by one sequential compile *)
+  c_identical : bool;       (** parallel output byte-identical to sequential *)
+  c_report : Passes.report; (** the sequential compile's pass breakdown *)
+}
+
+(* A compile-throughput unit: [copies] renamed copies of a kernel's
+   source concatenated into one translation unit, plus a driver [main]
+   invoking each copy.  Per-function parallelism needs many functions to
+   chew on, and the workload kernels have only a handful each — so the
+   bench scales them the way a real translation unit grows: more
+   functions, not bigger ones.  Renaming is plain alpha-renaming of the
+   kernel's top-level names (functions and globals), discovered from a
+   probe compile; builtins are untouched. *)
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let rename_idents names suffix src =
+  let n = String.length src in
+  let buf = Buffer.create (n + 256) in
+  let i = ref 0 in
+  while !i < n do
+    if is_ident_char src.[!i] then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      let tok = String.sub src !i (!j - !i) in
+      Buffer.add_string buf tok;
+      if List.mem tok names then Buffer.add_string buf suffix;
+      i := !j
+    end
+    else begin
+      Buffer.add_char buf src.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let compile_unit ~copies src =
+  let probe = Lower.compile src in
+  let names =
+    let globals = ref [] in
+    Symtab.iter
+      (fun v ->
+        if v.Symtab.vstorage = Symtab.Sglobal then
+          globals := v.Symtab.vname :: !globals)
+      probe.Sir.syms;
+    probe.Sir.func_order @ !globals
+  in
+  let buf = Buffer.create (copies * (String.length src + 64)) in
+  for k = 0 to copies - 1 do
+    Buffer.add_string buf (rename_idents names (Printf.sprintf "_%d" k) src);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf "int main() {\n";
+  for k = 0 to copies - 1 do
+    Printf.bprintf buf "  main_%d();\n" k
+  done;
+  Buffer.add_string buf "  return 0;\n}\n";
+  Buffer.contents buf
+
+(* One cold compile: lower outside the timed region (the bench measures
+   the optimizer, not the frontend), then the full heuristic pipeline. *)
+let compile_once src =
+  let prog = Lower.compile src in
+  let t0 = Unix.gettimeofday () in
+  let r = Pipeline.optimize prog Pipeline.Spec_heuristic in
+  (Unix.gettimeofday () -. t0, r)
+
+(* Best-of-[reps] cold compile at the current pool size.  The repeats
+   absorb scheduler noise; every repetition starts from a fresh lowered
+   program, so each one is a genuinely cold compile. *)
+let best_compile ~reps src =
+  let dt0, r0 = compile_once src in
+  let rec go i ((bdt, _) as acc) =
+    if i >= reps then acc
+    else
+      let dt, r = compile_once src in
+      go (i + 1) (if dt < bdt then (dt, r) else acc)
+  in
+  go 1 (dt0, r0)
+
+(** Compile-throughput measurement of one workload.  Flips the global
+    pool between the two legs, so it must not itself run on the pool;
+    the caller restores the pool afterwards. *)
+let compile_workload ?(quick = false) ~jobs (w : Workloads.workload) :
+    compile_result =
+  let params = if quick then w.Workloads.train else w.Workloads.ref_ in
+  let copies = if quick then 6 else 24 in
+  let src = compile_unit ~copies (w.Workloads.source params) in
+  let reps = if quick then 1 else 3 in
+  Parpool.set_jobs 1;
+  (* allocation words measured on a dedicated run: [Gc.allocated_bytes]
+     counts the calling domain only, which is exact when jobs = 1 *)
+  let a0 = Gc.allocated_bytes () in
+  let _, _ = compile_once src in
+  let alloc_w =
+    (Gc.allocated_bytes () -. a0) /. float_of_int (Sys.word_size / 8)
+  in
+  let seq_s, seq_r = best_compile ~reps src in
+  Parpool.set_jobs jobs;
+  let par_s, par_r = best_compile ~reps src in
+  { c_wname = w.Workloads.name;
+    c_funcs = List.length seq_r.Pipeline.prog.Sir.func_order;
+    c_jobs = jobs;
+    c_seq_s = seq_s;
+    c_par_s = par_s;
+    c_seq_alloc_w = alloc_w;
+    c_identical =
+      Pp.prog_to_string par_r.Pipeline.prog
+      = Pp.prog_to_string seq_r.Pipeline.prog;
+    c_report = seq_r.Pipeline.report }
+
+(** Sweep the compile bench over [ws].  Runs strictly sequentially (each
+    measurement owns the global pool) and restores the pool size the
+    harness configured before returning. *)
+let run_compile_bench ?(quick = false) ?(jobs = 4)
+    (ws : Workloads.workload list) : compile_result list =
+  let prev = Parpool.get_jobs () in
+  let results = List.map (fun w -> compile_workload ~quick ~jobs w) ws in
+  Parpool.set_jobs prev;
+  results
+
+let compile_speedup (c : compile_result) =
+  if c.c_par_s > 0. then c.c_seq_s /. c.c_par_s else 0.
+
+(** Aggregate sweep speedup: total sequential wall over total parallel
+    wall (the whole-sweep number the acceptance gate checks). *)
+let compile_total_speedup (cells : compile_result list) =
+  let seq = List.fold_left (fun a c -> a +. c.c_seq_s) 0. cells in
+  let par = List.fold_left (fun a c -> a +. c.c_par_s) 0. cells in
+  if par > 0. then seq /. par else 0.
+
+let compile_header =
+  "benchmark | funcs |  seq ms |  par ms | speedup | alloc Mwords | identical"
+
+let compile_row (c : compile_result) =
+  Printf.sprintf "%-9s | %5d | %7.2f | %7.2f | %6.2fx | %12.2f | %9s"
+    c.c_wname c.c_funcs (1000. *. c.c_seq_s) (1000. *. c.c_par_s)
+    (compile_speedup c)
+    (c.c_seq_alloc_w /. 1e6)
+    (if c.c_identical then "yes" else "NO")
+
 (** ALAT capacity ablation: mis-speculation ratio vs table size. *)
 let ablate_alat ?(quick = false) (w : Workloads.workload) sizes =
   let train_prog = Lower.compile (Workloads.train_source w) in

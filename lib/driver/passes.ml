@@ -465,32 +465,492 @@ let verify mgr pass_name =
   | Failure msg -> raise (Verify_error (pass_name, msg))
   | Verify_error _ as e -> raise e
 
+(* One run's worth of bookkeeping for pass [name]: wall time, touched
+   flag, and counters, merged into the manager's stats table. *)
+let record_run mgr name ~dt ~touched ~counters =
+  mgr.mtotal <- mgr.mtotal +. dt;
+  let st =
+    match Hashtbl.find_opt mgr.mstats name with
+    | Some st -> st
+    | None ->
+      let st =
+        { ps_pass = name; ps_runs = 0; ps_touched = 0; ps_time = 0.;
+          ps_counters = [] }
+      in
+      Hashtbl.replace mgr.mstats name st;
+      mgr.morder <- name :: mgr.morder;
+      st
+  in
+  st.ps_runs <- st.ps_runs + 1;
+  if touched then st.ps_touched <- st.ps_touched + 1;
+  st.ps_time <- st.ps_time +. dt;
+  st.ps_counters <- merge_counters st.ps_counters counters
+
 let run_pass mgr name =
   let p = find_pass name in
   let t0 = Unix.gettimeofday () in
   let o = p.prun mgr.mctx in
   let dt = Unix.gettimeofday () -. t0 in
-  mgr.mtotal <- mgr.mtotal +. dt;
-  let st =
-    match Hashtbl.find_opt mgr.mstats p.pname with
-    | Some st -> st
-    | None ->
-      let st =
-        { ps_pass = p.pname; ps_runs = 0; ps_touched = 0; ps_time = 0.;
-          ps_counters = [] }
-      in
-      Hashtbl.replace mgr.mstats p.pname st;
-      mgr.morder <- p.pname :: mgr.morder;
-      st
-  in
-  st.ps_runs <- st.ps_runs + 1;
-  if o.touched then st.ps_touched <- st.ps_touched + 1;
-  st.ps_time <- st.ps_time +. dt;
-  st.ps_counters <- merge_counters st.ps_counters o.counters;
+  record_run mgr p.pname ~dt ~touched:o.touched ~counters:o.counters;
   List.iter (invalidate mgr.mctx.cache) o.invalidates;
   if mgr.verify_each then verify mgr p.pname
 
 let run_passes mgr names = List.iter (run_pass mgr) names
+
+(* ------------------------------------------------------------------ *)
+(* Fused per-function segments (parallel pipeline)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The pass-at-a-time schedule above is whole-program: every pass
+   commits its SSA versions and temporaries into the shared symbol
+   table before the next pass starts.  The fused segments below run the
+   per-function portion of the pipeline — split-edges, build-ssa, and
+   the SSAPRE-family clients down to out-of-ssa — as one task per
+   function, on a *view* of the program: a record copy whose symbol
+   table is cloned and whose statement counter is snapshotted, while
+   the function bodies (owned exclusively by their task) are mutated in
+   place.  Whole-program analyses (annotate, flags) stay sequential
+   barriers between segments.
+
+   Determinism: tasks are joined in submission order ([Parpool.map]),
+   and all cross-task allocation — surviving temporaries, statement
+   ids, refinement facts, dominator-cache entries, counters — is
+   committed sequentially in [func_order] after the join.  The jobs=1
+   path runs the identical task/commit machinery inline, so [--jobs n]
+   output is byte-identical to [--jobs 1] by construction.
+
+   This is also the dense-optimizer win on a single thread: SSA
+   versions live and die inside a task's cloned table, so the shared
+   symbol table only ever grows by surviving temporaries and the
+   rename/occurrence structures stay small. *)
+
+type seg_step = {
+  sg_name : string;
+  sg_dt : float;
+  sg_touched : bool;
+  sg_counters : (string * int) list;
+}
+
+type seg_result = {
+  sr_fname : string;
+  sr_view : Sir.prog;                      (* the task's program view *)
+  sr_dom : Dom.t;                          (* valid for the final CFG *)
+  sr_dom_ran : int;                        (* dominator computations *)
+  sr_dom_hit : int;                        (* cache reuses *)
+  sr_steps : seg_step list;                (* in schedule order *)
+  sr_refine : (int * Loc.t option) list;   (* prepass only *)
+  sr_ssapre : Ssapre.stats;                (* rounds only *)
+  sr_verified : int;                       (* in-task verification runs *)
+}
+
+let count_phis_func (f : Sir.func) =
+  let n = ref 0 in
+  Vec.iter (fun (b : Sir.bb) -> n := !n + List.length b.Sir.phis) f.Sir.fblocks;
+  !n
+
+(* A task-private step recorder + in-task verification.  Verification
+   failures surface as [Verify_error] through the pool's ordered join,
+   so the reported pass is deterministic. *)
+type stepper = {
+  step : 'a. string -> (unit -> bool * (string * int) list * 'a) -> 'a;
+}
+
+let seg_env ~verify_each view f =
+  let steps = ref [] in
+  let verified = ref 0 in
+  let step name thunk =
+    let t0 = Unix.gettimeofday () in
+    let touched, counters, x = thunk () in
+    steps :=
+      { sg_name = name; sg_dt = Unix.gettimeofday () -. t0;
+        sg_touched = touched; sg_counters = counters }
+      :: !steps;
+    x
+  in
+  let check name ~ssa_dom =
+    if verify_each then begin
+      incr verified;
+      try
+        Cfg_utils.validate f;
+        match ssa_dom with
+        | Some dom -> Spec_ssa.Ssa_check.check_func view f dom
+        | None -> ()
+      with Failure msg -> raise (Verify_error (name, msg))
+    end
+  in
+  (steps, verified, { step }, check)
+
+(* Shared head of the prepass/round segments: split critical edges,
+   then produce a dominator tree — reusing [dom_cached] when the task
+   split nothing — and build HSSA. *)
+let seg_split_and_ssa ~(sp : stepper)
+    ~(check : string -> ssa_dom:Dom.t option -> unit) ~dom_cached view
+    (f : Sir.func) =
+  let nsplit =
+    sp.step "split-edges" (fun () ->
+        let n = Cfg_utils.split_critical_edges f in
+        (n > 0, [ ("edges-split", n) ], n))
+  in
+  check "split-edges" ~ssa_dom:None;
+  let bt, dom, dom_ran, dom_hit =
+    sp.step "build-ssa" (fun () ->
+        let dom, ran, hit =
+          match dom_cached with
+          | Some d when nsplit = 0 -> (d, 0, 1)
+          | _ ->
+            Sir.recompute_preds f;
+            (Dom.compute f, 1, 0)
+        in
+        let bt = Spec_ssa.Build_ssa.build_func ~dom_of:(fun _ -> dom) view f in
+        (true, [ ("phis", count_phis_func f) ], (bt, dom, ran, hit)))
+  in
+  check "build-ssa" ~ssa_dom:(Some dom);
+  (bt, dom, dom_ran, dom_hit)
+
+let prepass_task ~verify_each ~dom_cached (view : Sir.prog) (f : Sir.func) :
+    seg_result =
+  let steps, verified, sp, check = seg_env ~verify_each view f in
+  let _bt, dom, dom_ran, dom_hit =
+    seg_split_and_ssa ~sp ~check ~dom_cached view f
+  in
+  let decisions =
+    sp.step "refine" (fun () ->
+        let d = Spec_ssa.Refine.compute_func view.Sir.syms f in
+        (* the "refined-sites" counter is global; recorded at commit *)
+        (false, [], d))
+  in
+  check "refine" ~ssa_dom:(Some dom);
+  sp.step "out-of-ssa" (fun () ->
+      Spec_ssa.Out_of_ssa.run_func view f;
+      (true, [], ()));
+  check "out-of-ssa" ~ssa_dom:None;
+  { sr_fname = f.Sir.fname; sr_view = view; sr_dom = dom; sr_dom_ran = dom_ran;
+    sr_dom_hit = dom_hit; sr_steps = List.rev !steps; sr_refine = decisions;
+    sr_ssapre = Ssapre.zero_stats; sr_verified = !verified }
+
+let round_task ~verify_each ~dom_cached ~annot_info ~config (view : Sir.prog)
+    (f : Sir.func) : seg_result =
+  let steps, verified, sp, check = seg_env ~verify_each view f in
+  let bt, dom, dom_ran, dom_hit =
+    seg_split_and_ssa ~sp ~check ~dom_cached view f
+  in
+  let st =
+    sp.step "ssapre" (fun () ->
+        let st =
+          Ssapre.run_func ~dom ~formals:bt.Spec_ssa.Build_ssa.formals_v1 view
+            annot_info config f
+        in
+        let touched =
+          st.Ssapre.checks + st.Ssapre.reloads + st.Ssapre.saves
+          + st.Ssapre.inserts > 0
+        in
+        ( touched,
+          [ ("items", st.Ssapre.items); ("checks", st.Ssapre.checks);
+            ("reloads", st.Ssapre.reloads); ("saves", st.Ssapre.saves);
+            ("inserts", st.Ssapre.inserts);
+            ("cspec-phis", st.Ssapre.cspec_phis) ],
+          st ))
+  in
+  (* run_func leaves the function flat: CFG checks only from here on *)
+  check "ssapre" ~ssa_dom:None;
+  sp.step "out-of-ssa" (fun () ->
+      Spec_ssa.Out_of_ssa.run_func view f;
+      (true, [], ()));
+  check "out-of-ssa" ~ssa_dom:None;
+  { sr_fname = f.Sir.fname; sr_view = view; sr_dom = dom; sr_dom_ran = dom_ran;
+    sr_dom_hit = dom_hit; sr_steps = List.rev !steps; sr_refine = [];
+    sr_ssapre = st; sr_verified = !verified }
+
+let post_task ~verify_each ~dom_cached ~annot_info ~config ~perturb ~strength
+    ~strip (view : Sir.prog) (f : Sir.func) : seg_result =
+  let steps, verified, sp, check = seg_env ~verify_each view f in
+  let dom, dom_ran, dom_hit =
+    match dom_cached with
+    | Some d -> (d, 0, 1)
+    | None ->
+      Sir.recompute_preds f;
+      (Dom.compute f, 1, 0)
+  in
+  sp.step "store-promo" (fun () ->
+      let kctx =
+        Kills.create ~alias_threshold:config.Ssapre.alias_threshold
+          ?adversary:perturb view annot_info config.Ssapre.mode
+      in
+      let st = Store_promo.run_func ~dom view annot_info kctx f in
+      ( st.Store_promo.promoted > 0,
+        [ ("promoted", st.Store_promo.promoted);
+          ("loads-gone", st.Store_promo.loads_gone);
+          ("stores-gone", st.Store_promo.stores_gone);
+          ("checks", st.Store_promo.checks) ],
+        () ));
+  check "store-promo" ~ssa_dom:None;
+  if strength then begin
+    sp.step "strength" (fun () ->
+        let st = Strength.run_func ~dom view f in
+        ( st.Strength.reduced + st.Strength.lftr > 0,
+          [ ("reduced", st.Strength.reduced); ("lftr", st.Strength.lftr) ],
+          () ));
+    check "strength" ~ssa_dom:None
+  end;
+  sp.step "cleanup" (fun () ->
+      let st = Cleanup.run_func view f in
+      ( st.Cleanup.folded + st.Cleanup.propagated + st.Cleanup.removed > 0,
+        [ ("folded", st.Cleanup.folded);
+          ("propagated", st.Cleanup.propagated);
+          ("removed", st.Cleanup.removed) ],
+        () ));
+  check "cleanup" ~ssa_dom:None;
+  if strip then begin
+    sp.step "strip-checks" (fun () ->
+        let n = ref 0 in
+        Vec.iter
+          (fun (b : Sir.bb) ->
+            b.Sir.stmts <-
+              List.filter
+                (fun (s : Sir.stmt) ->
+                  let keep = s.Sir.mark <> Sir.Mchk in
+                  if not keep then incr n;
+                  keep)
+                b.Sir.stmts)
+          f.Sir.fblocks;
+        (!n > 0, [ ("stripped", !n) ], ()));
+    check "strip-checks" ~ssa_dom:None
+  end;
+  { sr_fname = f.Sir.fname; sr_view = view; sr_dom = dom; sr_dom_ran = dom_ran;
+    sr_dom_hit = dom_hit; sr_steps = List.rev !steps; sr_refine = [];
+    sr_ssapre = Ssapre.zero_stats; sr_verified = !verified }
+
+(* Fan one task per function out to the domain pool.  Each task clones
+   the symbol table and snapshots the statement counter itself (reads
+   of the shared structures are safe: nothing writes them until the
+   sequential commit).  Adversarial runs share one perturbation RNG, so
+   they stay inline regardless of the pool size to keep the draw order
+   deterministic. *)
+let seg_map mgr (task : Sir.prog -> Sir.func -> seg_result) : seg_result list =
+  let ctx = mgr.mctx in
+  let prog = ctx.prog in
+  let adversarial =
+    ctx.perturb <> None || ctx.config.Ssapre.adversary <> None
+  in
+  let run name =
+    let f = Hashtbl.find prog.Sir.funcs name in
+    let view = { prog with Sir.syms = Symtab.clone prog.Sir.syms } in
+    task view f
+  in
+  if adversarial then List.map run prog.Sir.func_order
+  else Parpool.parmap run prog.Sir.func_order
+
+(* Sequential, func_order commit of everything the tasks allocated:
+
+   - Surviving new variables (temporaries; every SSA version has been
+     de-versioned away inside the segment) are re-allocated into the
+     real symbol table.  Their names are re-derived as the task-side
+     prefix plus the *committed* id, preserving the sequential scheme
+     where a temp is named after its own id.
+   - New statements get fresh ids from the real counter in block order;
+     [check_of] references into the segment are remapped along.
+   - Refinement facts, dominator-cache entries, analysis counters and
+     SSAPRE totals merge in the same order. *)
+let seg_commit mgr ~vbase ~sbase (results : seg_result list) =
+  let ctx = mgr.mctx in
+  let prog = ctx.prog in
+  let syms = prog.Sir.syms in
+  List.iter
+    (fun r ->
+      let f = Hashtbl.find prog.Sir.funcs r.sr_fname in
+      let view = r.sr_view in
+      let vsyms = view.Sir.syms in
+      let vcount = Symtab.count vsyms in
+      (* surviving new variables *)
+      let vmap =
+        if vcount > vbase then Array.make (vcount - vbase) (-1) else [||]
+      in
+      for vid = vbase to vcount - 1 do
+        let v = Symtab.var vsyms vid in
+        if v.Symtab.vorig = v.Symtab.vid then begin
+          let prefix =
+            let n = v.Symtab.vname in
+            let len = ref (String.length n) in
+            while
+              !len > 0
+              && match n.[!len - 1] with '0' .. '9' -> true | _ -> false
+            do
+              decr len
+            done;
+            String.sub n 0 !len
+          in
+          let nv =
+            Symtab.add syms
+              ~name:(prefix ^ string_of_int (Symtab.count syms))
+              ~ty:v.Symtab.vty ~storage:v.Symtab.vstorage ~func:v.Symtab.vfunc
+              ~size:v.Symtab.vsize ~elt:v.Symtab.velt
+              ~is_array:v.Symtab.varray ()
+          in
+          vmap.(vid - vbase) <- nv.Symtab.vid
+        end
+      done;
+      let mv v =
+        if v >= vbase then begin
+          let nv = vmap.(v - vbase) in
+          assert (nv >= 0);     (* versions never survive a segment *)
+          nv
+        end
+        else v
+      in
+      (* new statement ids, allocated in block/statement order *)
+      let nstmts = view.Sir.next_stmt - sbase in
+      let smap = if nstmts > 0 then Array.make nstmts (-1) else [||] in
+      if nstmts > 0 then
+        Vec.iter
+          (fun (b : Sir.bb) ->
+            List.iter
+              (fun (s : Sir.stmt) ->
+                if s.Sir.sid >= sbase then begin
+                  smap.(s.Sir.sid - sbase) <- prog.Sir.next_stmt;
+                  prog.Sir.next_stmt <- prog.Sir.next_stmt + 1
+                end)
+              b.Sir.stmts)
+          f.Sir.fblocks;
+      let remap_vars = Array.length vmap > 0 in
+      if remap_vars || nstmts > 0 then
+        Vec.iter
+          (fun (b : Sir.bb) ->
+            b.Sir.stmts <-
+              List.map
+                (fun (s : Sir.stmt) ->
+                  let kind =
+                    if not remap_vars then s.Sir.kind
+                    else
+                      let k =
+                        Sir.map_stmt_exprs (Sir.map_expr_uses mv) s.Sir.kind
+                      in
+                      match k with
+                      | Sir.Stid (v, e) when v >= vbase ->
+                        Sir.Stid (mv v, e)
+                      | Sir.Call ({ Sir.ret = Some v; _ } as c)
+                        when v >= vbase ->
+                        Sir.Call { c with Sir.ret = Some (mv v) }
+                      | k -> k
+                  in
+                  let sid =
+                    if s.Sir.sid >= sbase then smap.(s.Sir.sid - sbase)
+                    else s.Sir.sid
+                  in
+                  let check_of =
+                    if s.Sir.check_of >= sbase then
+                      smap.(s.Sir.check_of - sbase)
+                    else s.Sir.check_of
+                  in
+                  if
+                    sid = s.Sir.sid && check_of = s.Sir.check_of
+                    && kind == s.Sir.kind
+                  then s
+                  else { s with Sir.sid; Sir.kind; Sir.check_of })
+                b.Sir.stmts;
+            if remap_vars then
+              b.Sir.term <- Sir.map_term_exprs (Sir.map_expr_uses mv) b.Sir.term)
+          f.Sir.fblocks;
+      if remap_vars then f.Sir.flocals <- List.map mv f.Sir.flocals;
+      (* analyses, facts, totals *)
+      Hashtbl.replace ctx.cache.doms r.sr_fname r.sr_dom;
+      let c = ctx.cache.counters in
+      c.dom_runs <- c.dom_runs + r.sr_dom_ran;
+      c.dom_hits <- c.dom_hits + r.sr_dom_hit;
+      Spec_ssa.Refine.merge_into ctx.refinements r.sr_refine;
+      ctx.ssapre_total <- Ssapre.add_stats ctx.ssapre_total r.sr_ssapre;
+      mgr.mverified <- mgr.mverified + r.sr_verified)
+    results
+
+(* Record each sub-pass once per segment invocation: times are summed
+   across tasks (CPU seconds — under --jobs n the wall time is lower),
+   counters merge in any order (they are sums), touched is an OR. *)
+let seg_record mgr step_names (results : seg_result list) =
+  List.iter
+    (fun name ->
+      let dt = ref 0. and touched = ref false and counters = ref [] in
+      List.iter
+        (fun r ->
+          List.iter
+            (fun s ->
+              if s.sg_name = name then begin
+                dt := !dt +. s.sg_dt;
+                if s.sg_touched then touched := true;
+                counters := merge_counters !counters s.sg_counters
+              end)
+            r.sr_steps)
+        results;
+      let counters =
+        if name = "refine" then
+          [ ("refined-sites", Hashtbl.length mgr.mctx.refinements) ]
+        else !counters
+      in
+      record_run mgr name ~dt:!dt ~touched:!touched ~counters)
+    step_names
+
+let seg_run mgr step_names task =
+  let ctx = mgr.mctx in
+  let vbase = Symtab.count ctx.prog.Sir.syms in
+  let sbase = ctx.prog.Sir.next_stmt in
+  let results = seg_map mgr task in
+  seg_commit mgr ~vbase ~sbase results;
+  seg_record mgr step_names results;
+  (* statement-level chi/mu lists are wiped inside the segment *)
+  invalidate ctx.cache Chi_mu;
+  ctx.in_ssa <- false
+
+(** The refinement prepass as one fused parallel segment: an [annotate]
+    barrier, then per-function split-edges / build-ssa / refine /
+    out-of-ssa tasks.  Equivalent to scheduling
+    [Pipeline.prepass_schedule] pass-at-a-time, except that SSA versions
+    stay task-local. *)
+let fused_prepass mgr =
+  let ctx = mgr.mctx in
+  run_pass mgr "annotate";
+  let verify_each = mgr.verify_each in
+  seg_run mgr [ "split-edges"; "build-ssa"; "refine"; "out-of-ssa" ]
+    (fun view f ->
+      prepass_task ~verify_each
+        ~dom_cached:(Hashtbl.find_opt ctx.cache.doms f.Sir.fname) view f)
+
+(** One promotion round as a fused parallel segment: [annotate] and
+    [flags] barriers, then per-function split-edges / build-ssa / ssapre
+    / out-of-ssa tasks. *)
+let fused_round mgr =
+  let ctx = mgr.mctx in
+  run_pass mgr "annotate";
+  run_pass mgr "flags";
+  let annot_info = annot ~refinements:ctx.refinements ctx.cache in
+  let verify_each = mgr.verify_each and config = ctx.config in
+  seg_run mgr [ "split-edges"; "build-ssa"; "ssapre"; "out-of-ssa" ]
+    (fun view f ->
+      round_task ~verify_each
+        ~dom_cached:(Hashtbl.find_opt ctx.cache.doms f.Sir.fname)
+        ~annot_info ~config view f)
+
+(** The post-rounds tail as a fused parallel segment: an [annotate]
+    barrier (the store promoter's annotation), then per-function
+    store-promo / strength / cleanup / strip-checks tasks. *)
+let fused_post mgr ~strength ~strip =
+  let ctx = mgr.mctx in
+  (* barrier annotation, timed under store-promo as in the sequential
+     schedule (where the pass's own run pays for the cache miss) *)
+  let t0 = Unix.gettimeofday () in
+  let annot_info = annot ~refinements:ctx.refinements ctx.cache in
+  let annot_dt = Unix.gettimeofday () -. t0 in
+  let verify_each = mgr.verify_each in
+  let config = ctx.config and perturb = ctx.perturb in
+  let names =
+    [ "store-promo" ] @ (if strength then [ "strength" ] else [])
+    @ [ "cleanup" ] @ (if strip then [ "strip-checks" ] else [])
+  in
+  seg_run mgr names (fun view f ->
+      post_task ~verify_each
+        ~dom_cached:(Hashtbl.find_opt ctx.cache.doms f.Sir.fname)
+        ~annot_info ~config ~perturb ~strength ~strip view f);
+  (match Hashtbl.find_opt mgr.mstats "store-promo" with
+   | Some st -> st.ps_time <- st.ps_time +. annot_dt
+   | None -> ());
+  mgr.mtotal <- mgr.mtotal +. annot_dt
 
 let report mgr =
   { rp_passes =

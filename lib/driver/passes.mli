@@ -120,6 +120,30 @@ val run_pass : manager -> string -> unit
 val run_passes : manager -> string list -> unit
 val report : manager -> report
 
+(** {1 Fused per-function segments (parallel pipeline)}
+
+    Each entry runs its whole-program barrier passes sequentially, then
+    fans the per-function portion out to the {!Parpool} global pool —
+    one task per function on a program view with a cloned symbol table
+    — and commits results deterministically in [func_order], so
+    [--jobs n] output is byte-identical to [--jobs 1].  SSA versions
+    stay task-local: only surviving temporaries reach the shared symbol
+    table.  Sub-pass stats are recorded under the same names as the
+    registered passes, one run per segment invocation. *)
+
+(** [annotate] barrier, then per-function
+    split-edges / build-ssa / refine / out-of-ssa. *)
+val fused_prepass : manager -> unit
+
+(** [annotate] + [flags] barriers, then per-function
+    split-edges / build-ssa / ssapre / out-of-ssa. *)
+val fused_round : manager -> unit
+
+(** [annotate] barrier (timed under store-promo, as in the sequential
+    schedule), then per-function store-promo / strength? / cleanup /
+    strip-checks?. *)
+val fused_post : manager -> strength:bool -> strip:bool -> unit
+
 val counters_to_string : counters -> string
 val report_to_string : report -> string
 val report_to_json : report -> string

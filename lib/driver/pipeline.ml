@@ -99,17 +99,18 @@ let optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
       report = Passes.empty_report (); from_cache = false }
   else begin
     let mgr = Passes.create ~verify_each ?perturb ~mode ~config:cfg prog in
-    Passes.run_passes mgr prepass_schedule;
+    (* the same logical schedule as [prepass_schedule] / [round_schedule],
+       fused: whole-program analyses run as sequential barriers and the
+       per-function segment in between fans out to the [Parpool] global
+       pool ([--jobs n]), joining deterministically in function order *)
+    Passes.fused_prepass mgr;
     for _round = 1 to rounds do
-      Passes.run_passes mgr round_schedule
+      Passes.fused_round mgr
     done;
     (* store promotion (SPRE of stores): runs on the de-versioned program
        with a fresh annotation; speculative policies allow promotion past
        unlikely-aliasing stores with ld.c recovery *)
-    Passes.run_pass mgr "store-promo";
-    if strength then Passes.run_pass mgr "strength";
-    Passes.run_pass mgr "cleanup";
-    if variant = Aggressive then Passes.run_pass mgr "strip-checks";
+    Passes.fused_post mgr ~strength ~strip:(variant = Aggressive);
     { prog; stats = (Passes.context mgr).Passes.ssapre_total; variant;
       report = Passes.report mgr; from_cache = false }
   end
@@ -127,7 +128,10 @@ type artifact = {
   a_prog : Sir.prog;
 }
 
-let artifact_version = "specart/1"
+(* /2: the fused parallel pipeline renames temporaries after their
+   committed ids and renumbers segment-allocated statement ids, so
+   optimized programs differ textually from /1 artifacts. *)
+let artifact_version = "specart/2"
 
 let write_artifact (r : result) : string =
   let buf = Buffer.create 65536 in

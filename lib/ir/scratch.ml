@@ -1,0 +1,59 @@
+(** Domain-local pools of per-function scratch buffers.
+
+    The SSA construction and SSAPRE steps need several id-indexed arrays
+    and bitsets per function per round; allocating them fresh each time
+    dominates the optimizer's minor-heap traffic.  Buffers are pooled per
+    domain (no locking, no sharing), handed out dirty — callers must
+    initialize the prefix they use — and returned with [give_*].  The
+    pool keeps at most a handful of buffers per kind; anything beyond
+    that is dropped for the GC. *)
+
+let max_pooled = 8
+
+type pools = {
+  mutable ints : int array list;
+  mutable bytes : Bytes.t list;
+}
+
+let key : pools Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { ints = []; bytes = [] })
+
+(* first pooled buffer with capacity >= n, or a fresh one; contents are
+   arbitrary *)
+let pick get set make length n =
+  let p = Domain.DLS.get key in
+  let rec go acc = function
+    | [] ->
+      set p (List.rev acc);
+      make (max n 64)
+    | a :: rest when length a >= n ->
+      set p (List.rev_append acc rest);
+      a
+    | a :: rest -> go (a :: acc) rest
+  in
+  go [] (get p)
+
+let put get set length a =
+  let p = Domain.DLS.get key in
+  if List.length (get p) < max_pooled && length a > 0 then set p (a :: get p)
+
+(** An int array of length >= [n], dirty. *)
+let take_ints n =
+  pick (fun p -> p.ints) (fun p l -> p.ints <- l)
+    (fun n -> Array.make n 0) Array.length n
+
+let give_ints a =
+  put (fun p -> p.ints) (fun p l -> p.ints <- l) Array.length a
+
+(** A byte buffer of length >= [n] with the first [n] bytes zeroed — the
+    usual bitset/flag-row starting state. *)
+let take_bytes n =
+  let b =
+    pick (fun p -> p.bytes) (fun p l -> p.bytes <- l)
+      Bytes.create Bytes.length n
+  in
+  Bytes.fill b 0 n '\000';
+  b
+
+let give_bytes b =
+  put (fun p -> p.bytes) (fun p l -> p.bytes <- l) Bytes.length b

@@ -58,6 +58,13 @@ let add_version t ~orig_id ~ver =
   Vec.push t.vars v;
   v
 
+(** Snapshot for a per-function compile task: a new table over a copied
+    vector, sharing the [var] records.  Ids allocated in the clone do not
+    appear in the original (and vice versa); the task's surviving
+    temporaries are re-allocated into the real table when the task's
+    results are committed. *)
+let clone t = { vars = Vec.copy t.vars }
+
 let orig t id = var t (var t id).vorig
 
 (** A variable lives in memory (has an addressable cell) rather than being

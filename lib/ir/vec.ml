@@ -34,6 +34,10 @@ let push_get v x =
   let i = v.len in
   push v x; i
 
+(** Shallow copy: a new vector over a fresh backing array; elements are
+    shared.  Pushes to either side are invisible to the other. *)
+let copy v = { data = Array.copy v.data; len = v.len; dummy = v.dummy }
+
 let iter f v = for i = 0 to v.len - 1 do f v.data.(i) done
 let iteri f v = for i = 0 to v.len - 1 do f i v.data.(i) done
 

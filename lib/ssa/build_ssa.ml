@@ -6,7 +6,13 @@
     χ operands are definitions (the statement may update the variable);
     μ operands are uses.  After renaming, every [Lod], [Stid] target,
     χ lhs/rhs, μ operand, and phi lhs/arg refers to an SSA version
-    variable whose [vorig] points back to the underlying variable. *)
+    variable whose [vorig] points back to the underlying variable.
+
+    Internals are dense: the variables a function touches are interned
+    into consecutive *local indices* in first-occurrence order, so the
+    phi worklist, rename stacks and version counters are small arrays
+    indexed by local id instead of hashtables keyed by the whole symbol
+    table.  Scratch buffers come from the domain-local {!Scratch} pool. *)
 
 open Spec_ir
 open Spec_cfg
@@ -15,22 +21,50 @@ type t = {
   prog : Sir.prog;
   func : Sir.func;
   dom : Dom.t;
+  formals_v1 : (int * int) list;
+      (** original formal id -> the vid of its entry version (version 1);
+          consumers (SSAPRE's Φ-operand versioning) use this instead of
+          scanning the whole symbol table for formal versions *)
 }
 
-(* Variables defined / used in a function, by original id. *)
-let collect_vars (prog : Sir.prog) (f : Sir.func) =
+(* Variables of one function, interned densely in first-touch order. *)
+type interner = {
+  syms : Symtab.t;
+  local_of : int array;            (* orig vid -> local index, or -1 *)
+  locals : int array;              (* local index -> orig vid *)
+  mutable n_loc : int;
+  used : Bytes.t;                  (* per local: referenced in the function *)
+  def_blocks : int list array;     (* per local: distinct def blocks *)
+}
+
+let intern (it : interner) v =
+  let v = (Symtab.orig it.syms v).Symtab.vid in
+  let l = it.local_of.(v) in
+  if l >= 0 then l
+  else begin
+    let l = it.n_loc in
+    it.local_of.(v) <- l;
+    it.locals.(l) <- v;
+    it.n_loc <- l + 1;
+    l
+  end
+
+(* Collect every variable defined / used in [f], with def blocks. *)
+let collect_vars (prog : Sir.prog) (f : Sir.func) : interner =
   let syms = prog.Sir.syms in
-  let defs = Hashtbl.create 64 in     (* var -> def block list *)
-  let used = Hashtbl.create 64 in
+  let ns = Symtab.count syms in
+  let local_of = Scratch.take_ints ns in
+  Array.fill local_of 0 ns (-1);
+  let it =
+    { syms; local_of; locals = Scratch.take_ints ns; n_loc = 0;
+      used = Scratch.take_bytes ns; def_blocks = Array.make (max ns 1) [] }
+  in
   let add_def v b =
-    let v = (Symtab.orig syms v).Symtab.vid in
-    let cur = match Hashtbl.find_opt defs v with Some l -> l | None -> [] in
-    if not (List.mem b cur) then Hashtbl.replace defs v (b :: cur)
+    let l = intern it v in
+    let cur = it.def_blocks.(l) in
+    if not (List.mem b cur) then it.def_blocks.(l) <- b :: cur
   in
-  let add_use v =
-    let v = (Symtab.orig syms v).Symtab.vid in
-    Hashtbl.replace used v ()
-  in
+  let add_use v = Bytes.unsafe_set it.used (intern it v) '\001' in
   Vec.iter
     (fun (b : Sir.bb) ->
       let bid = b.Sir.bid in
@@ -47,65 +81,115 @@ let collect_vars (prog : Sir.prog) (f : Sir.func) =
       List.iter (Sir.iter_expr_uses add_use) (Sir.term_exprs b.Sir.term))
     f.Sir.fblocks;
   List.iter (fun v -> add_def v Sir.entry_bid) f.Sir.fformals;
-  defs, used
+  it
 
-let insert_phis (prog : Sir.prog) (f : Sir.func) (dom : Dom.t) =
-  let defs, used = collect_vars prog f in
-  Hashtbl.iter
-    (fun v def_blocks ->
-      (* semi-pruned: skip variables never used in this function *)
-      if Hashtbl.mem used v || List.length def_blocks > 1 then
+let release (it : interner) =
+  Scratch.give_ints it.local_of;
+  Scratch.give_ints it.locals;
+  Scratch.give_bytes it.used
+
+(* Iterated dominance frontier phi insertion with a dense worklist: one
+   queue and two flag rows (queued-ever, has-phi) shared across all
+   variables, reset via the queued list between variables. *)
+let insert_phis (f : Sir.func) (dom : Dom.t) (it : interner) =
+  let nb = Sir.n_blocks f in
+  let queue = Scratch.take_ints nb in
+  let queued = Scratch.take_bytes nb in
+  let has_phi = Scratch.take_bytes nb in
+  for l = 0 to it.n_loc - 1 do
+    let def_blocks = it.def_blocks.(l) in
+    (* semi-pruned: skip variables never used in this function *)
+    if (Bytes.unsafe_get it.used l = '\001'
+        || match def_blocks with [] | [ _ ] -> false | _ -> true)
+       && def_blocks <> []
+    then begin
+      let v = it.locals.(l) in
+      let tail = ref 0 in
+      let n_queued = ref 0 in
+      let enqueue b =
+        if Bytes.unsafe_get queued b = '\000' then begin
+          Bytes.unsafe_set queued b '\001';
+          queue.(!tail) <- b;
+          incr tail
+        end
+      in
+      List.iter enqueue def_blocks;
+      let head = ref 0 in
+      while !head < !tail do
+        let x = queue.(!head) in
+        incr head;
         List.iter
-          (fun b ->
-            let blk = Sir.block f b in
-            if not (List.exists (fun p -> p.Sir.phi_var = v) blk.Sir.phis)
-            then begin
-              let n = List.length blk.Sir.preds in
-              blk.Sir.phis <-
-                { Sir.phi_var = v; Sir.phi_lhs = v;
-                  Sir.phi_args = Array.make n v; Sir.phi_live = true }
-                :: blk.Sir.phis
+          (fun y ->
+            if Bytes.unsafe_get has_phi y = '\000' then begin
+              Bytes.unsafe_set has_phi y '\001';
+              let blk = Sir.block f y in
+              if not (List.exists (fun p -> p.Sir.phi_var = v) blk.Sir.phis)
+              then begin
+                let n = List.length blk.Sir.preds in
+                blk.Sir.phis <-
+                  { Sir.phi_var = v; Sir.phi_lhs = v;
+                    Sir.phi_args = Array.make n v; Sir.phi_live = true }
+                  :: blk.Sir.phis
+              end;
+              enqueue y
             end)
-          (Dom.df_plus dom def_blocks))
-    defs
+          dom.Dom.df.(x)
+      done;
+      n_queued := !tail;
+      for i = 0 to !n_queued - 1 do
+        let b = queue.(i) in
+        Bytes.unsafe_set queued b '\000';
+        Bytes.unsafe_set has_phi b '\000'
+      done
+    end
+  done;
+  Scratch.give_ints queue;
+  Scratch.give_bytes queued;
+  Scratch.give_bytes has_phi
 
-let rename (prog : Sir.prog) (f : Sir.func) (dom : Dom.t) =
+let rename (prog : Sir.prog) (f : Sir.func) (dom : Dom.t) (it : interner) :
+    (int * int) list =
   let syms = prog.Sir.syms in
-  let n_orig = Symtab.count syms in
-  let stacks : int list array = Array.make n_orig [] in
-  let counters : int array = Array.make n_orig 0 in
+  let n_loc = it.n_loc in
+  let stacks : int list array = Array.make (max n_loc 1) [] in
+  let counters = Scratch.take_ints n_loc in
+  Array.fill counters 0 n_loc 0;
+  let formals_v1 = ref [] in
   let top v =
-    let v = (Symtab.orig syms v).Symtab.vid in
-    match stacks.(v) with
-    | top :: _ -> top
-    | [] -> v     (* version 0: the original variable itself *)
+    let l = it.local_of.((Symtab.orig syms v).Symtab.vid) in
+    if l < 0 then v
+    else
+      match stacks.(l) with
+      | top :: _ -> top
+      | [] -> it.locals.(l)     (* version 0: the original variable itself *)
   in
   let push_new v =
-    let v = (Symtab.orig syms v).Symtab.vid in
-    counters.(v) <- counters.(v) + 1;
-    let ver = Symtab.add_version syms ~orig_id:v ~ver:counters.(v) in
-    stacks.(v) <- ver.Symtab.vid :: stacks.(v);
+    let l = intern it v in
+    counters.(l) <- counters.(l) + 1;
+    let ver =
+      Symtab.add_version syms ~orig_id:it.locals.(l) ~ver:counters.(l)
+    in
+    stacks.(l) <- ver.Symtab.vid :: stacks.(l);
     ver.Symtab.vid
   in
   let rename_expr e = Sir.map_expr_uses top e in
   let rec walk bid =
     let b = Sir.block f bid in
     let pushed = ref [] in
-    let note v = pushed := (Symtab.orig syms v).Symtab.vid :: !pushed in
+    let note v = pushed := intern it v :: !pushed in
     (* phis define new versions *)
     List.iter
       (fun (p : Sir.phi) ->
         p.Sir.phi_lhs <- push_new p.Sir.phi_var;
         note p.Sir.phi_var)
       b.Sir.phis;
-    (* formals at entry *)
+    (* formals at entry: the incoming value *is* version 1 *)
     if bid = Sir.entry_bid then
       List.iter
         (fun v ->
           let nv = push_new v in
           note v;
-          (* the formal's incoming value *is* version 1; remember mapping *)
-          ignore nv)
+          formals_v1 := (v, nv) :: !formals_v1)
         f.Sir.fformals;
     List.iter
       (fun (s : Sir.stmt) ->
@@ -154,13 +238,15 @@ let rename (prog : Sir.prog) (f : Sir.func) (dom : Dom.t) =
       (Sir.succs b);
     List.iter walk dom.Dom.children.(bid);
     List.iter
-      (fun v ->
-        match stacks.(v) with
-        | _ :: rest -> stacks.(v) <- rest
+      (fun l ->
+        match stacks.(l) with
+        | _ :: rest -> stacks.(l) <- rest
         | [] -> assert false)
       !pushed
   in
-  walk Sir.entry_bid
+  walk Sir.entry_bid;
+  Scratch.give_ints counters;
+  List.rev !formals_v1
 
 (** Build HSSA form for one function.  Assumes χ/μ lists are already
     attached (see [Spec_alias.Annotate]) and critical edges are split.
@@ -174,9 +260,11 @@ let build_func ?dom_of (prog : Sir.prog) (f : Sir.func) : t =
       Sir.recompute_preds f;
       Dom.compute f
   in
-  insert_phis prog f dom;
-  rename prog f dom;
-  { prog; func = f; dom }
+  let it = collect_vars prog f in
+  insert_phis f dom it;
+  let formals_v1 = rename prog f dom it in
+  release it;
+  { prog; func = f; dom; formals_v1 }
 
 (** Build HSSA for every function in the program. *)
 let build ?dom_of (prog : Sir.prog) : t list =

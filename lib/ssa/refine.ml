@@ -66,39 +66,52 @@ let rec resolve syms defs ~fuel (e : Sir.expr) : Loc.t option =
     | Sir.Unop (_, _, x) -> resolve syms defs ~fuel:(fuel - 1) x
     | Sir.Const _ | Sir.Binop _ | Sir.Ilod _ -> None
 
+(** Scan one function in SSA form; returns the refinement decisions for
+    every indirect-reference site it contains, in scan order:
+    [Some loc] when the site's address resolves uniquely, [None] when it
+    does not (and any previously recorded fact must be dropped).  Sites
+    are function-disjoint, so decisions from different functions can be
+    merged into a shared table in any function order. *)
+let compute_func (syms : Symtab.t) (f : Sir.func) :
+    (int * Loc.t option) list =
+  let defs = build_defs f in
+  let out = ref [] in
+  let record site l = out := (site, l) :: !out in
+  let scan_expr e =
+    Sir.iter_subexprs
+      (function
+        | Sir.Ilod (_, a, site) -> record site (resolve syms defs ~fuel:16 a)
+        | _ -> ())
+      e
+  in
+  Vec.iter
+    (fun (b : Sir.bb) ->
+      List.iter
+        (fun (s : Sir.stmt) ->
+          List.iter scan_expr (Sir.stmt_exprs s.Sir.kind);
+          match s.Sir.kind with
+          | Sir.Istr (_, a, _, site) -> record site (resolve syms defs ~fuel:16 a)
+          | _ -> ())
+        b.Sir.stmts;
+      List.iter scan_expr (Sir.term_exprs b.Sir.term))
+    f.Sir.fblocks;
+  List.rev !out
+
+(** Apply one function's decisions to the accumulated site table. *)
+let merge_into acc decisions =
+  List.iter
+    (function
+      | site, Some l -> Hashtbl.replace acc site l
+      | site, None -> Hashtbl.remove acc site)
+    decisions
+
 (** Scan a program in SSA form; returns [site -> definite LOC] for every
     indirect-reference site whose address has a unique resolvable
     target.  Accumulates into [acc] when given (sites keep their ids
     across pipeline rounds). *)
 let compute ?(acc = Hashtbl.create 32) (prog : Sir.prog) :
     (int, Loc.t) Hashtbl.t =
-  let syms = prog.Sir.syms in
   Sir.iter_funcs
-    (fun f ->
-      let defs = build_defs f in
-      let scan_expr e =
-        Sir.iter_subexprs
-          (function
-            | Sir.Ilod (_, a, site) -> (
-                match resolve syms defs ~fuel:16 a with
-                | Some l -> Hashtbl.replace acc site l
-                | None -> Hashtbl.remove acc site)
-            | _ -> ())
-          e
-      in
-      Vec.iter
-        (fun (b : Sir.bb) ->
-          List.iter
-            (fun (s : Sir.stmt) ->
-              List.iter scan_expr (Sir.stmt_exprs s.Sir.kind);
-              match s.Sir.kind with
-              | Sir.Istr (_, a, _, site) -> (
-                  match resolve syms defs ~fuel:16 a with
-                  | Some l -> Hashtbl.replace acc site l
-                  | None -> Hashtbl.remove acc site)
-              | _ -> ())
-            b.Sir.stmts;
-          List.iter scan_expr (Sir.term_exprs b.Sir.term))
-        f.Sir.fblocks)
+    (fun f -> merge_into acc (compute_func prog.Sir.syms f))
     prog;
   acc

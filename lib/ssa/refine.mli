@@ -11,3 +11,14 @@ val compute :
   ?acc:(int, Spec_ir.Loc.t) Hashtbl.t ->
   Spec_ir.Sir.prog ->
   (int, Spec_ir.Loc.t) Hashtbl.t
+
+(** Per-function variant for the parallel pipeline: scan one function and
+    return its refinement decisions in scan order ([Some loc] = record,
+    [None] = retract).  Sites are function-disjoint, so decision lists
+    from different functions commute. *)
+val compute_func :
+  Spec_ir.Symtab.t -> Spec_ir.Sir.func -> (int * Spec_ir.Loc.t option) list
+
+(** Apply a decision list to an accumulated [site -> LOC] table. *)
+val merge_into :
+  (int, Spec_ir.Loc.t) Hashtbl.t -> (int * Spec_ir.Loc.t option) list -> unit

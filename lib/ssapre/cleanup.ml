@@ -265,6 +265,33 @@ let dce_func (st : stats) (prog : Sir.prog) (f : Sir.func) =
     b.Sir.stmts <- List.filter_map (fun (s, k) -> if k then Some s else None) kept
   done
 
+(** Run folding, local propagation, and DCE on one function to a
+    (bounded) fixpoint.  Cleanup carries no cross-function state, so
+    running the three iterations per function is equivalent to the
+    whole-program [run] below (which interleaves functions per
+    iteration). *)
+let run_func (prog : Sir.prog) (f : Sir.func) : stats =
+  let st = { folded = 0; propagated = 0; removed = 0 } in
+  let syms = prog.Sir.syms in
+  for _pass = 1 to 3 do
+    Vec.iter
+      (fun (b : Sir.bb) ->
+        List.iter
+          (fun (s : Sir.stmt) ->
+            s.Sir.kind <- Sir.map_stmt_exprs (fold_expr st) s.Sir.kind)
+          b.Sir.stmts;
+        b.Sir.term <- Sir.map_term_exprs (fold_expr st) b.Sir.term;
+        propagate_block st syms b)
+      f.Sir.fblocks;
+    dce_func st prog f
+  done;
+  st
+
+let add_stats (a : stats) (b : stats) =
+  a.folded <- a.folded + b.folded;
+  a.propagated <- a.propagated + b.propagated;
+  a.removed <- a.removed + b.removed
+
 (** Run folding, local propagation, and DCE to a (bounded) fixpoint. *)
 let run (prog : Sir.prog) : stats =
   let st = { folded = 0; propagated = 0; removed = 0 } in

@@ -11,3 +11,10 @@ type stats = {
 }
 
 val run : Spec_ir.Sir.prog -> stats
+
+(** Per-function variant for the parallel pipeline; equivalent to [run]
+    restricted to one function (cleanup has no cross-function state). *)
+val run_func : Spec_ir.Sir.prog -> Spec_ir.Sir.func -> stats
+
+(** Accumulate [b]'s counters into [a]. *)
+val add_stats : stats -> stats -> unit

@@ -81,6 +81,7 @@ and opnd = {
 and def = Dreal of real_occ | Dphi of phi_occ
 
 type item = {
+  it_id : int;                           (* dense index, creation order *)
   it_key : string;
   it_proto : Sir.expr;                   (* deversioned representative *)
   it_target : Kills.target;
@@ -118,8 +119,14 @@ type fctx = {
   (* occurrences grouped by statement id / terminator block *)
   stmt_occs : (int, (item * real_occ) list) Hashtbl.t;
   term_occs : (int, (item * real_occ) list) Hashtbl.t;
-  version_def : (int, vdef) Hashtbl.t;
-  end_version : (int * int, int) Hashtbl.t;  (* (bb, orig) -> version *)
+  (* version vid -> its definition; dense over the post-rename symtab *)
+  mutable vdefs : vdef array;
+  (* versions current at block ends, dense rows over the interned proto
+     variables: ev_rows.(bb * ev_n + slot), -1 = version 0 (the original) *)
+  ev_index : int array;            (* orig vid -> slot, or -1; pooled *)
+  ev_origs : int array;            (* slot -> orig vid; pooled *)
+  mutable ev_n : int;
+  mutable ev_rows : int array;     (* pooled *)
   mutable stats_checks : int;
   mutable stats_reloads : int;
   mutable stats_saves : int;
@@ -140,7 +147,8 @@ let get_item ctx key target expr =
       Sir.map_expr_uses (fun v -> (Symtab.orig syms v).Symtab.vid) expr
     in
     let it =
-      { it_key = key; it_proto = proto; it_target = target;
+      { it_id = Hashtbl.length ctx.items; it_key = key; it_proto = proto;
+        it_target = target;
         it_leaves = Candidates.leaves syms expr; it_reals = [];
         it_phis = Hashtbl.create 4; it_next_cls = 0; it_temp = -1;
         it_has_checks = false }
@@ -185,8 +193,8 @@ let collect_occurrences ctx =
                      match Hashtbl.find_opt ctx.stmt_occs s.Sir.sid with
                      | Some l -> l | None -> []
                    in
-                   Hashtbl.replace ctx.stmt_occs s.Sir.sid
-                     (cur @ [ (it, occ) ])))
+                   (* prepended; reversed once collection is complete *)
+                   Hashtbl.replace ctx.stmt_occs s.Sir.sid ((it, occ) :: cur)))
               (Sir.stmt_exprs s.Sir.kind)
           end)
         b.Sir.stmts;
@@ -216,169 +224,229 @@ let collect_occurrences ctx =
                 match Hashtbl.find_opt ctx.term_occs b.Sir.bid with
                 | Some l -> l | None -> []
               in
-              Hashtbl.replace ctx.term_occs b.Sir.bid (cur @ [ (it, occ) ]))
+              Hashtbl.replace ctx.term_occs b.Sir.bid ((it, occ) :: cur))
             e)
         (Sir.term_exprs b.Sir.term))
     ctx.func.Sir.fblocks;
   ctx.item_list <- List.rev ctx.item_list;
-  List.iter (fun it -> it.it_reals <- List.rev it.it_reals) ctx.item_list
+  List.iter (fun it -> it.it_reals <- List.rev it.it_reals) ctx.item_list;
+  Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) ctx.stmt_occs;
+  Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) ctx.term_occs
 
 let build_version_def ctx =
+  let vdefs = Array.make (Symtab.count (syms_of ctx)) Vnone in
   Vec.iter
     (fun (b : Sir.bb) ->
       List.iter
-        (fun (p : Sir.phi) ->
-          Hashtbl.replace ctx.version_def p.Sir.phi_lhs (Vphi (p, b.Sir.bid)))
+        (fun (p : Sir.phi) -> vdefs.(p.Sir.phi_lhs) <- Vphi (p, b.Sir.bid))
         b.Sir.phis;
       List.iter
         (fun (s : Sir.stmt) ->
           (match Sir.stmt_def s.Sir.kind with
-           | Some v -> Hashtbl.replace ctx.version_def v Vdirect
+           | Some v -> vdefs.(v) <- Vdirect
            | None -> ());
           List.iter
-            (fun (c : Sir.chi) ->
-              Hashtbl.replace ctx.version_def c.Sir.chi_lhs (Vchi (s, c)))
+            (fun (c : Sir.chi) -> vdefs.(c.Sir.chi_lhs) <- Vchi (s, c))
             s.Sir.chis)
         b.Sir.stmts)
-    ctx.func.Sir.fblocks
+    ctx.func.Sir.fblocks;
+  ctx.vdefs <- vdefs
 
-(* versions current at the end of each block, for every original var *)
-let build_end_versions ctx =
+(* Intern the variables the items' prototype expressions read; only their
+   block-end versions are ever queried (by [assign_phi_opnds]). *)
+let intern_proto_vars ctx =
+  List.iter
+    (fun it ->
+      Sir.iter_expr_uses
+        (fun ov ->
+          if ctx.ev_index.(ov) < 0 then begin
+            ctx.ev_index.(ov) <- ctx.ev_n;
+            ctx.ev_origs.(ctx.ev_n) <- ov;
+            ctx.ev_n <- ctx.ev_n + 1
+          end)
+        it.it_proto)
+    ctx.item_list
+
+(* versions of the interned proto variables current at each block's end *)
+let build_end_versions ?formals ctx =
   let syms = syms_of ctx in
-  let stacks : (int, int list) Hashtbl.t = Hashtbl.create 64 in
-  let push orig v =
-    let cur = match Hashtbl.find_opt stacks orig with Some l -> l | None -> [] in
-    Hashtbl.replace stacks orig (v :: cur)
-  in
-  let pop orig =
-    match Hashtbl.find_opt stacks orig with
-    | Some (_ :: rest) -> Hashtbl.replace stacks orig rest
-    | _ -> ()
-  in
-  let orig_of v = (Symtab.orig syms v).Symtab.vid in
-  let rec walk bid =
-    let b = Sir.block ctx.func bid in
-    let pushed = ref [] in
-    let def v =
-      let ov = orig_of v in
-      push ov v;
-      pushed := ov :: !pushed
+  let nb = Sir.n_blocks ctx.func in
+  let ev_n = ctx.ev_n in
+  let rows = Scratch.take_ints (max (nb * ev_n) 1) in
+  Array.fill rows 0 (nb * ev_n) (-1);
+  ctx.ev_rows <- rows;
+  if ev_n > 0 then begin
+    let stacks : int list array = Array.make ev_n [] in
+    let orig_of v = (Symtab.orig syms v).Symtab.vid in
+    let formal_v1s =
+      (* formals were renamed to version 1 at entry; the SSA builder hands
+         us the mapping, sparing a scan of the whole symbol table *)
+      match formals with
+      | Some l -> List.map snd l
+      | None ->
+        let acc = ref [] in
+        Vec.iter
+          (fun (v : Symtab.var) ->
+            if v.Symtab.vver = 1
+               && List.exists
+                    (fun fv -> orig_of fv = v.Symtab.vorig)
+                    ctx.func.Sir.fformals
+            then acc := v.Symtab.vid :: !acc)
+          syms.Symtab.vars;
+        List.rev !acc
     in
-    List.iter (fun (p : Sir.phi) -> def p.Sir.phi_lhs) b.Sir.phis;
-    if bid = Sir.entry_bid then begin
-      (* formals were renamed to version 1 at entry *)
-      Vec.iter
-        (fun (v : Symtab.var) ->
-          if v.Symtab.vver = 1
-             && List.exists
-                  (fun fv -> orig_of fv = v.Symtab.vorig)
-                  ctx.func.Sir.fformals
-          then def v.Symtab.vid)
-        syms.Symtab.vars
-    end;
-    List.iter
-      (fun (s : Sir.stmt) ->
-        (match Sir.stmt_def s.Sir.kind with Some v -> def v | None -> ());
-        List.iter (fun (c : Sir.chi) -> def c.Sir.chi_lhs) s.Sir.chis)
-      b.Sir.stmts;
-    (* snapshot: record tops for all vars with an active stack *)
-    Hashtbl.iter
-      (fun orig stack ->
-        match stack with
-        | v :: _ -> Hashtbl.replace ctx.end_version (bid, orig) v
-        | [] -> ())
-      stacks;
-    List.iter walk ctx.dom.Dom.children.(bid);
-    List.iter pop !pushed
-  in
-  walk Sir.entry_bid
+    let rec walk bid =
+      let b = Sir.block ctx.func bid in
+      let pushed = ref [] in
+      let def v =
+        let k = ctx.ev_index.(orig_of v) in
+        if k >= 0 then begin
+          stacks.(k) <- v :: stacks.(k);
+          pushed := k :: !pushed
+        end
+      in
+      List.iter (fun (p : Sir.phi) -> def p.Sir.phi_lhs) b.Sir.phis;
+      if bid = Sir.entry_bid then List.iter def formal_v1s;
+      List.iter
+        (fun (s : Sir.stmt) ->
+          (match Sir.stmt_def s.Sir.kind with Some v -> def v | None -> ());
+          List.iter (fun (c : Sir.chi) -> def c.Sir.chi_lhs) s.Sir.chis)
+        b.Sir.stmts;
+      (* snapshot the tops into this block's row *)
+      let base = bid * ev_n in
+      for k = 0 to ev_n - 1 do
+        match stacks.(k) with
+        | v :: _ -> rows.(base + k) <- v
+        | [] -> ()
+      done;
+      List.iter walk ctx.dom.Dom.children.(bid);
+      List.iter
+        (fun k ->
+          match stacks.(k) with
+          | _ :: rest -> stacks.(k) <- rest
+          | [] -> assert false)
+        !pushed
+    in
+    walk Sir.entry_bid
+  end
 
 let version_at_end ctx bid orig =
-  match Hashtbl.find_opt ctx.end_version (bid, orig) with
-  | Some v -> v
-  | None -> orig
+  let k = ctx.ev_index.(orig) in
+  if k < 0 then orig
+  else
+    match ctx.ev_rows.(bid * ctx.ev_n + k) with
+    | -1 -> orig
+    | v -> v
 
 (* ---- step 1: Phi insertion ---- *)
 
-(* Appendix A: trace a version's definition through speculative weak
-   updates; collect the blocks of the phis reached, recursively. *)
-let rec phi_blocks_of_version ctx (it : item) v acc =
-  match Hashtbl.find_opt ctx.version_def v with
-  | None | Some Vnone | Some Vdirect -> acc
-  | Some (Vphi (p, bb)) ->
-    if List.mem bb !acc then acc
-    else begin
-      acc := bb :: !acc;
-      Array.iter (fun arg -> ignore (phi_blocks_of_version ctx it arg acc))
-        p.Sir.phi_args;
-      acc
-    end
-  | Some (Vchi (s, c)) ->
-    let weak =
-      match it.it_target with
-      | Kills.Tsite _ when Symtab.is_virtual (syms_of ctx) c.Sir.chi_var ->
-        Kills.classify ctx.kctx it.it_target s = Kills.Kweak
-      | _ -> not c.Sir.chi_spec
-    in
-    if weak then phi_blocks_of_version ctx it c.Sir.chi_rhs acc else acc
+(* Phi insertion with one dense worklist per item.  The result set is
 
+     E ∪ DF+(occ_blocks ∪ E)
+
+   where E is the set of phi blocks reached by the Appendix-A traces
+   (definition chains followed *through* speculative weak updates).
+   Since iterated dominance frontiers distribute over union this equals
+   the reference formulation DF+(occ) ∪ E ∪ DF+(E).  One queue plus two
+   flag rows ([queued] = ever enqueued, [has] = in the result) replace
+   the per-item association lists; the traces all run before the DF
+   propagation, so [has] doubles as the trace-visited set. *)
 let insert_phis ctx =
+  let nb = Sir.n_blocks ctx.func in
+  let queue = Scratch.take_ints nb in
+  let queued = Scratch.take_bytes nb in
+  let has = Scratch.take_bytes nb in
   List.iter
     (fun (it : item) ->
-      let occ_blocks =
-        List.sort_uniq compare (List.map (fun o -> o.ro_bb) it.it_reals)
+      let tail = ref 0 in
+      let enqueue b =
+        if Bytes.unsafe_get queued b = '\000' then begin
+          Bytes.unsafe_set queued b '\001';
+          queue.(!tail) <- b;
+          incr tail
+        end
       in
-      let blocks = ref (Dom.df_plus ctx.dom occ_blocks) in
-      (* variable-phi-triggered insertion, through weak updates *)
+      let add_result b =
+        if Bytes.unsafe_get has b = '\000' then begin
+          Bytes.unsafe_set has b '\001';
+          enqueue b
+        end
+      in
+      (* Appendix A: trace a version's definition through speculative weak
+         updates; phi blocks reached join the result (and the queue). *)
+      let rec trace v =
+        match ctx.vdefs.(v) with
+        | Vnone | Vdirect -> ()
+        | Vphi (p, bb) ->
+          if Bytes.unsafe_get has bb = '\000' then begin
+            add_result bb;
+            Array.iter trace p.Sir.phi_args
+          end
+        | Vchi (s, c) ->
+          let weak =
+            match it.it_target with
+            | Kills.Tsite _ when Symtab.is_virtual (syms_of ctx) c.Sir.chi_var
+              ->
+              Kills.classify ctx.kctx it.it_target s = Kills.Kweak
+            | _ -> not c.Sir.chi_spec
+          in
+          if weak then trace c.Sir.chi_rhs
+      in
+      (* occurrence blocks seed the DF propagation but are not results *)
+      List.iter (fun (o : real_occ) -> enqueue o.ro_bb) it.it_reals;
       List.iter
         (fun (occ : real_occ) ->
-          let extra = ref [] in
-          Sir.iter_expr_uses
-            (fun v -> ignore (phi_blocks_of_version ctx it v extra))
-            occ.ro_expr;
+          Sir.iter_expr_uses trace occ.ro_expr;
           (* the memory dimension: trace the virtual variable's chain from
              this occurrence's mu operand *)
-          (match it.it_target, occ.ro_place with
-           | Kills.Tsite _site, Pstmt s ->
-             List.iter
-               (fun (m : Sir.mu) ->
-                 if Symtab.is_virtual (syms_of ctx) m.Sir.mu_var then
-                   ignore (phi_blocks_of_version ctx it m.Sir.mu_opnd extra))
-               s.Sir.mus
-           | Kills.Tvar _, Pstmt s ->
-             List.iter
-               (fun (m : Sir.mu) ->
-                 ignore (phi_blocks_of_version ctx it m.Sir.mu_opnd extra))
-               s.Sir.mus
-           | _ -> ());
-          (* DF+ of trigger blocks as well, then union *)
-          List.iter
-            (fun bb -> if not (List.mem bb !blocks) then blocks := bb :: !blocks)
-            !extra;
-          List.iter
-            (fun bb -> if not (List.mem bb !blocks) then blocks := bb :: !blocks)
-            (Dom.df_plus ctx.dom !extra))
+          match it.it_target, occ.ro_place with
+          | Kills.Tsite _site, Pstmt s ->
+            List.iter
+              (fun (m : Sir.mu) ->
+                if Symtab.is_virtual (syms_of ctx) m.Sir.mu_var then
+                  trace m.Sir.mu_opnd)
+              s.Sir.mus
+          | Kills.Tvar _, Pstmt s ->
+            List.iter (fun (m : Sir.mu) -> trace m.Sir.mu_opnd) s.Sir.mus
+          | _ -> ())
         it.it_reals;
-      List.iter
-        (fun bb ->
-          if not (Hashtbl.mem it.it_phis bb) then begin
-            let n = List.length (Sir.block ctx.func bb).Sir.preds in
-            if n > 0 then begin
-              let phi =
-                { po_bb = bb; po_cls = it.it_next_cls;
-                  po_opnds =
-                    Array.init n (fun _ ->
-                        { op_def = None; op_has_real_use = false;
-                          op_expr = None; op_weaks = []; op_insert = false });
-                  po_ds = true; po_cba = true; po_later = true;
-                  po_wba = false; po_cspec = false; po_live = false }
-              in
-              it.it_next_cls <- it.it_next_cls + 1;
-              Hashtbl.replace it.it_phis bb phi
-            end
-          end)
-        !blocks)
-    ctx.item_list
+      let head = ref 0 in
+      while !head < !tail do
+        let x = queue.(!head) in
+        incr head;
+        List.iter add_result ctx.dom.Dom.df.(x)
+      done;
+      (* create phis in queue (= discovery) order: deterministic *)
+      for i = 0 to !tail - 1 do
+        let bb = queue.(i) in
+        if Bytes.unsafe_get has bb = '\001'
+           && not (Hashtbl.mem it.it_phis bb)
+        then begin
+          let n = List.length (Sir.block ctx.func bb).Sir.preds in
+          if n > 0 then begin
+            let phi =
+              { po_bb = bb; po_cls = it.it_next_cls;
+                po_opnds =
+                  Array.init n (fun _ ->
+                      { op_def = None; op_has_real_use = false;
+                        op_expr = None; op_weaks = []; op_insert = false });
+                po_ds = true; po_cba = true; po_later = true;
+                po_wba = false; po_cspec = false; po_live = false }
+            in
+            it.it_next_cls <- it.it_next_cls + 1;
+            Hashtbl.replace it.it_phis bb phi
+          end
+        end
+      done;
+      for i = 0 to !tail - 1 do
+        let b = queue.(i) in
+        Bytes.unsafe_set queued b '\000';
+        Bytes.unsafe_set has b '\000'
+      done)
+    ctx.item_list;
+  Scratch.give_ints queue;
+  Scratch.give_bytes queued;
+  Scratch.give_bytes has
 
 (* ---- step 2: rename (event-driven walk) ---- *)
 
@@ -386,9 +454,9 @@ let rename ctx =
   let items = Array.of_list ctx.item_list in
   let n_items = Array.length items in
   let stacks : stack_entry list array = Array.make n_items [] in
-  let item_index = Hashtbl.create 16 in
-  Array.iteri (fun i it -> Hashtbl.replace item_index it.it_key i) items;
-  let idx_of it = Hashtbl.find item_index it.it_key in
+  (* [it_id] is the item's creation rank, which is exactly its index in
+     [item_list] (and hence [items]) — no keyed lookup needed *)
+  let idx_of (it : item) = it.it_id in
   let new_cls it =
     let c = it.it_next_cls in
     it.it_next_cls <- c + 1;
@@ -762,7 +830,7 @@ let code_motion ctx =
          | Asave ->
            let s = Sir.new_stmt ctx.prog (Sir.Stid (t, e)) in
            if it.it_has_checks then s.Sir.mark <- Sir.Madv;
-           pre := !pre @ [ s ];
+           pre := s :: !pre;
            ctx.stats_saves <- ctx.stats_saves + 1
          | Areload -> ctx.stats_reloads <- ctx.stats_reloads + 1
          | Acheck weaks ->
@@ -771,7 +839,7 @@ let code_motion ctx =
            (match weaks with
             | w :: _ -> s.Sir.check_of <- w.Sir.sid
             | [] -> ());
-           pre := !pre @ [ s ];
+           pre := s :: !pre;
            ctx.stats_checks <- ctx.stats_checks + 1;
            ctx.stats_reloads <- ctx.stats_reloads + 1);
         Some (Sir.Lod t)
@@ -779,7 +847,7 @@ let code_motion ctx =
     map_exprs (fun e ->
         Candidates.rewrite_candidates syms ~arith_pre:ctx.cfg.arith_pre counts
           rewrite e);
-    !pre
+    List.rev !pre
   in
   Vec.iter
     (fun (b : Sir.bb) ->
@@ -883,27 +951,36 @@ let add_stats a b =
 (** Run one SSAPRE pass over a function already in HSSA form with
     speculation flags assigned.  The function is left in "flat" form:
     callers must run [Spec_ssa.Out_of_ssa] before executing it. *)
-let run_func ?dom (prog : Sir.prog) (annot : Spec_alias.Annotate.info)
-    (cfg : config) (f : Sir.func) : stats =
+let run_func ?dom ?formals (prog : Sir.prog)
+    (annot : Spec_alias.Annotate.info) (cfg : config) (f : Sir.func) : stats =
   let dom = match dom with Some d -> d | None -> Dom.compute f in
+  let ns = Symtab.count prog.Sir.syms in
+  let ev_index = Scratch.take_ints (max ns 1) in
+  Array.fill ev_index 0 ns (-1);
   let ctx =
     { prog; func = f; dom; cfg;
       kctx = Kills.create ~alias_threshold:cfg.alias_threshold
           ?adversary:cfg.adversary prog annot cfg.mode;
       items = Hashtbl.create 16; item_list = [];
       stmt_occs = Hashtbl.create 64; term_occs = Hashtbl.create 16;
-      version_def = Hashtbl.create 128; end_version = Hashtbl.create 256;
+      vdefs = [||];
+      ev_index; ev_origs = Scratch.take_ints (max ns 1); ev_n = 0;
+      ev_rows = [||];
       stats_checks = 0; stats_reloads = 0; stats_saves = 0;
       stats_inserts = 0; stats_cspec_phis = 0 }
   in
   collect_occurrences ctx;
   build_version_def ctx;
-  build_end_versions ctx;
+  intern_proto_vars ctx;
+  build_end_versions ?formals ctx;
   insert_phis ctx;
   rename ctx;
   downsafety ctx;
   availability ctx;
   code_motion ctx;
+  Scratch.give_ints ctx.ev_index;
+  Scratch.give_ints ctx.ev_origs;
+  Scratch.give_ints ctx.ev_rows;
   { checks = ctx.stats_checks; reloads = ctx.stats_reloads;
     saves = ctx.stats_saves; inserts = ctx.stats_inserts;
     cspec_phis = ctx.stats_cspec_phis; items = List.length ctx.item_list }

@@ -39,8 +39,11 @@ val add_stats : stats -> stats -> stats
     flags assigned.  Leaves the function in "flat" (non-SSA-maintained)
     form: run [Spec_ssa.Out_of_ssa] before executing it.  [dom] supplies
     a (possibly cached) dominator tree for the function's current CFG;
-    when absent one is computed. *)
+    when absent one is computed.  [formals] is [Spec_ssa.Build_ssa]'s
+    formal-to-entry-version mapping ([formals_v1]); when absent the
+    symbol table is scanned for the entry versions instead. *)
 val run_func :
   ?dom:Spec_cfg.Dom.t ->
+  ?formals:(int * int) list ->
   Spec_ir.Sir.prog -> Spec_alias.Annotate.info -> config -> Spec_ir.Sir.func ->
   stats

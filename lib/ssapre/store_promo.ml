@@ -318,6 +318,28 @@ let promote_loop prog (annot : Spec_alias.Annotate.info) (kctx : Kills.ctx)
     Hashtbl.iter try_group groups
   | _ -> ()
 
+(** Promote store-carrying invariant-address locations in one function's
+    loops, innermost first.  [prog] may be a per-task view of the real
+    program (cloned symbol table, private statement counter); [kctx]
+    must be private to the task — its site-address table is mutated. *)
+let run_func ?dom (prog : Sir.prog) (annot : Spec_alias.Annotate.info)
+    (kctx : Kills.ctx) (f : Sir.func) : stats =
+  let st = { promoted = 0; loads_gone = 0; stores_gone = 0; checks = 0 } in
+  let dom =
+    match dom with
+    | Some d -> d
+    | None ->
+      Sir.recompute_preds f;
+      Dom.compute f
+  in
+  let loops =
+    List.sort
+      (fun a b -> compare b.Cfg_utils.depth a.Cfg_utils.depth)
+      (Cfg_utils.natural_loops f dom)
+  in
+  List.iter (promote_loop prog annot kctx st f dom) loops;
+  st
+
 (** Promote store-carrying invariant-address locations in every loop,
     innermost first.  Expects de-versioned SIR; [annot]/[kctx] must be
     freshly computed for the same program. *)
@@ -326,18 +348,11 @@ let run ?dom_of (prog : Sir.prog) (annot : Spec_alias.Annotate.info)
   let st = { promoted = 0; loads_gone = 0; stores_gone = 0; checks = 0 } in
   Sir.iter_funcs
     (fun f ->
-      let dom =
-        match dom_of with
-        | Some get -> get f
-        | None ->
-          Sir.recompute_preds f;
-          Dom.compute f
-      in
-      let loops =
-        List.sort
-          (fun a b -> compare b.Cfg_utils.depth a.Cfg_utils.depth)
-          (Cfg_utils.natural_loops f dom)
-      in
-      List.iter (promote_loop prog annot kctx st f dom) loops)
+      let dom = Option.map (fun get -> get f) dom_of in
+      let fst_ = run_func ?dom prog annot kctx f in
+      st.promoted <- st.promoted + fst_.promoted;
+      st.loads_gone <- st.loads_gone + fst_.loads_gone;
+      st.stores_gone <- st.stores_gone + fst_.stores_gone;
+      st.checks <- st.checks + fst_.checks)
     prog;
   st

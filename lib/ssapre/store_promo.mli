@@ -18,3 +18,11 @@ type stats = {
 val run :
   ?dom_of:(Spec_ir.Sir.func -> Spec_cfg.Dom.t) ->
   Spec_ir.Sir.prog -> Spec_alias.Annotate.info -> Spec_spec.Kills.ctx -> stats
+
+(** Per-function variant for the parallel pipeline.  [prog] may be a
+    per-task view (cloned symbol table, private statement counter);
+    [kctx] must be private to the task. *)
+val run_func :
+  ?dom:Spec_cfg.Dom.t ->
+  Spec_ir.Sir.prog -> Spec_alias.Annotate.info -> Spec_spec.Kills.ctx ->
+  Spec_ir.Sir.func -> stats

@@ -325,26 +325,37 @@ and lftr prog (f : Sir.func) (stats : stats) (l : Cfg_utils.loop) ~iv ~tv ~k
     | _ -> ()
   end
 
+(** Run strength reduction (with LFTR) on one function's loops,
+    innermost first.  [prog] may be a per-task view of the real program
+    (cloned symbol table, private statement counter). *)
+let run_func ?dom (prog : Sir.prog) (f : Sir.func) : stats =
+  let stats = { reduced = 0; lftr = 0 } in
+  let dom =
+    match dom with
+    | Some d -> d
+    | None ->
+      Sir.recompute_preds f;
+      Dom.compute f
+  in
+  let loops = Cfg_utils.natural_loops f dom in
+  (* innermost first so inner rewrites do not disturb outer IVs *)
+  let loops =
+    List.sort
+      (fun a b -> compare b.Cfg_utils.depth a.Cfg_utils.depth)
+      loops
+  in
+  List.iter (reduce_loop prog f stats) loops;
+  stats
+
 (** Run strength reduction (with LFTR) on every loop of every function.
     Expects de-versioned (non-SSA) SIR. *)
 let run ?dom_of (prog : Sir.prog) : stats =
   let stats = { reduced = 0; lftr = 0 } in
   Sir.iter_funcs
     (fun f ->
-      let dom =
-        match dom_of with
-        | Some get -> get f
-        | None ->
-          Sir.recompute_preds f;
-          Dom.compute f
-      in
-      let loops = Cfg_utils.natural_loops f dom in
-      (* innermost first so inner rewrites do not disturb outer IVs *)
-      let loops =
-        List.sort
-          (fun a b -> compare b.Cfg_utils.depth a.Cfg_utils.depth)
-          loops
-      in
-      List.iter (reduce_loop prog f stats) loops)
+      let dom = Option.map (fun get -> get f) dom_of in
+      let fst_ = run_func ?dom prog f in
+      stats.reduced <- stats.reduced + fst_.reduced;
+      stats.lftr <- stats.lftr + fst_.lftr)
     prog;
   stats

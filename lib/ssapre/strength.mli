@@ -14,3 +14,8 @@ type stats = {
     they are computed per function. *)
 val run :
   ?dom_of:(Spec_ir.Sir.func -> Spec_cfg.Dom.t) -> Spec_ir.Sir.prog -> stats
+
+(** Per-function variant for the parallel pipeline.  [prog] may be a
+    per-task view (cloned symbol table, private statement counter). *)
+val run_func :
+  ?dom:Spec_cfg.Dom.t -> Spec_ir.Sir.prog -> Spec_ir.Sir.func -> stats

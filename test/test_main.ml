@@ -9,6 +9,7 @@ let () =
       ("strength", Test_strength.suite);
       ("refine", Test_refine.suite);
       ("units", Test_units.suite);
+      ("dense", Test_dense.suite);
       ("cleanup", Test_cleanup.suite);
       ("store_promo", Test_store_promo.suite);
       ("paper", Test_paper_examples.suite);
@@ -16,6 +17,7 @@ let () =
       ("machine", Test_machine.suite);
       ("schedule", Test_schedule.suite);
       ("passes", Test_passes.suite);
+      ("parallel", Test_parallel_compile.suite);
       ("workloads", Test_workloads.suite);
       ("engines", Test_engines.suite);
       ("stress", Test_stress.suite);
