@@ -29,15 +29,25 @@
                                        byte-identical output; also --table
                                        compile; with --json the dump gains
                                        a "compile" section
+     bench/main.exe --backend B     -- core model: inorder (default), ooo,
+                                       or both.  "both" runs every selected
+                                       table per backend, hard-fails if the
+                                       backends disagree on program output
+                                       or instruction counts, and adds the
+                                       in-order-vs-OoO comparison table (also
+                                       --table backends; with --json the
+                                       dump gains a "backends" section)
 
-   Tables: smvp fig10 fig11 fig12 heuristics rse stress fdo compile
+   Tables: smvp fig10 fig11 fig12 heuristics rse stress fdo compile backends
            ablate-cspec ablate-alat ablate-threshold ablate-sched micro
 
-   Workload results are computed per-workload on demand and memoized, so
-   `--table smvp` only runs equake; table output is deterministic in
-   [--jobs] (see Parpool). *)
+   Workload results are computed per-(workload, backend) on demand and
+   memoized, so `--table smvp` only runs equake on the in-order core;
+   table output is deterministic in [--jobs] (see Parpool). *)
 
 open Spec_driver
+
+module Machine = Spec_machine.Machine
 
 let quick = ref false
 let tables = ref []
@@ -48,6 +58,9 @@ let stress = ref false
 let stress_seed = ref 1
 let fdo = ref false
 let compile_bench = ref false
+let backends : Machine.backend list ref = ref [ Machine.Inorder ]
+
+let both_backends () = List.length !backends > 1
 
 let section title = Printf.printf "\n== %s ==\n%!" title
 
@@ -55,35 +68,67 @@ let section title = Printf.printf "\n== %s ==\n%!" title
 (* Per-workload memoized results                                       *)
 (* ------------------------------------------------------------------ *)
 
-let result_tbl : (string, Experiments.bench_result) Hashtbl.t =
+let result_tbl : (string * Machine.backend, Experiments.bench_result)
+    Hashtbl.t =
   Hashtbl.create 16
 
-(** Results for [ws], computing (in parallel) only those not already
-    cached.  Output order follows [ws]. *)
-let results_of (ws : Spec_workloads.Workloads.workload list) :
+(** Results for [ws] on [backend], computing (in parallel) only those
+    not already cached.  Output order follows [ws]. *)
+let results_on backend (ws : Spec_workloads.Workloads.workload list) :
     Experiments.bench_result list =
+  let key w = (w.Spec_workloads.Workloads.name, backend) in
   let missing =
-    List.filter
-      (fun w -> not (Hashtbl.mem result_tbl w.Spec_workloads.Workloads.name))
-      ws
+    List.filter (fun w -> not (Hashtbl.mem result_tbl (key w))) ws
   in
   if missing <> [] then begin
-    let computed = Experiments.run_workloads ~quick:!quick missing in
+    let computed = Experiments.run_workloads ~quick:!quick ~backend missing in
     List.iter2
       (fun w b ->
-        Hashtbl.replace result_tbl w.Spec_workloads.Workloads.name b;
-        Printf.eprintf "  [%s done in %.1fs]\n%!"
-          w.Spec_workloads.Workloads.name b.Experiments.total_wall_s)
+        Hashtbl.replace result_tbl (key w) b;
+        Printf.eprintf "  [%s/%s done in %.1fs]\n%!"
+          w.Spec_workloads.Workloads.name
+          (Machine.backend_name backend)
+          b.Experiments.total_wall_s)
       missing computed
   end;
-  List.map
-    (fun w -> Hashtbl.find result_tbl w.Spec_workloads.Workloads.name)
-    ws
+  List.map (fun w -> Hashtbl.find result_tbl (key w)) ws
 
-let all_results () = results_of Spec_workloads.Workloads.all
+(** Run [f backend results] for every selected backend over all
+    workloads, labelling the output per backend when more than one core
+    model is selected. *)
+let per_backend_all (f : Experiments.bench_result list -> unit) =
+  List.iter
+    (fun backend ->
+      if both_backends () then
+        Printf.printf "-- backend: %s --\n" (Machine.backend_name backend);
+      f (results_on backend Spec_workloads.Workloads.all))
+    !backends
 
-let result_of name =
-  List.hd (results_of [ Spec_workloads.Workloads.find name ])
+let result_of ?(backend = Machine.Inorder) name =
+  List.hd (results_on backend [ Spec_workloads.Workloads.find name ])
+
+(** The in-order/OoO pairs for the comparison table and the JSON
+    [backends] section — and the hard agreement gate: any program-output
+    or instruction-count disagreement between the cores fails the run. *)
+let backend_pairs () =
+  let inorder = results_on Machine.Inorder Spec_workloads.Workloads.all in
+  let ooo = results_on Machine.Ooo Spec_workloads.Workloads.all in
+  List.iter2
+    (fun a b -> Experiments.check_backend_agreement a b)
+    inorder ooo;
+  List.combine inorder ooo
+
+let table_backends () =
+  section "In-order EPIC core vs out-of-order control (profile-driven spec)";
+  let pairs = backend_pairs () in
+  print_endline Experiments.backends_header;
+  List.iter
+    (fun (inorder, ooo) ->
+      print_endline (Experiments.backends_row ~inorder ~ooo))
+    pairs;
+  Printf.printf
+    "(%d workloads, every output byte-identical across backends)\n"
+    (List.length pairs)
 
 let table_smvp () =
   section "Section 5.1 case study: speculative register promotion in equake's smvp";
@@ -98,29 +143,34 @@ let table_smvp () =
 
 let table_fig10 () =
   section "Figure 10: speculative register promotion vs O3 base (profile-driven)";
-  print_endline Experiments.fig10_header;
-  List.iter (fun b -> print_endline (Experiments.fig10_row b)) (all_results ())
+  per_backend_all (fun results ->
+      print_endline Experiments.fig10_header;
+      List.iter (fun b -> print_endline (Experiments.fig10_row b)) results)
 
 let table_fig11 () =
   section "Figure 11: dynamic check loads and mis-speculation ratio";
-  print_endline Experiments.fig11_header;
-  List.iter (fun b -> print_endline (Experiments.fig11_row b)) (all_results ())
+  per_backend_all (fun results ->
+      print_endline Experiments.fig11_header;
+      List.iter (fun b -> print_endline (Experiments.fig11_row b)) results)
 
 let table_fig12 () =
   section "Figure 12: potential vs achieved load reduction";
-  print_endline Experiments.fig12_header;
-  List.iter (fun b -> print_endline (Experiments.fig12_row b)) (all_results ())
+  per_backend_all (fun results ->
+      print_endline Experiments.fig12_header;
+      List.iter (fun b -> print_endline (Experiments.fig12_row b)) results)
 
 let table_heuristics () =
   section "Section 5.2: heuristic rules vs alias profile";
-  print_endline Experiments.heuristics_header;
-  List.iter (fun b -> print_endline (Experiments.heuristics_row b))
-    (all_results ())
+  per_backend_all (fun results ->
+      print_endline Experiments.heuristics_header;
+      List.iter (fun b -> print_endline (Experiments.heuristics_row b))
+        results)
 
 let table_rse () =
   section "Section 5.2: register-stack (RSE) pressure";
-  print_endline Experiments.rse_header;
-  List.iter (fun b -> print_endline (Experiments.rse_row b)) (all_results ())
+  per_backend_all (fun results ->
+      print_endline Experiments.rse_header;
+      List.iter (fun b -> print_endline (Experiments.rse_row b)) results)
 
 let table_ablate_cspec () =
   section "Ablation: control speculation on/off (speculative PRE)";
@@ -142,18 +192,24 @@ let table_ablate_cspec () =
     sweep.  Every grid point asserts bit-identical outputs against the
     unoptimized oracle; [Experiments.Stress_divergence] escapes and
     fails the run (that is the CI gate). *)
-let stress_cells_tbl : Experiments.stress_cell list option ref = ref None
+let stress_cells_tbl :
+    (Machine.backend, Experiments.stress_cell list) Hashtbl.t =
+  Hashtbl.create 2
 
-let stress_cells () =
-  match !stress_cells_tbl with
+let stress_cells backend =
+  match Hashtbl.find_opt stress_cells_tbl backend with
   | Some cells -> cells
   | None ->
     let cells =
-      Experiments.run_stress ~quick:!quick ~seed:!stress_seed
+      Experiments.run_stress ~quick:!quick ~seed:!stress_seed ~backend
         Spec_workloads.Workloads.all
     in
-    stress_cells_tbl := Some cells;
+    Hashtbl.replace stress_cells_tbl backend cells;
     cells
+
+(** Stress cells for every selected backend, in backend order (the JSON
+    section carries one flat list; each cell names its backend). *)
+let all_stress_cells () = List.concat_map stress_cells !backends
 
 let table_stress () =
   section
@@ -161,14 +217,19 @@ let table_stress () =
        "Misspeculation stress: ALAT fault injection + adversarial profiles \
         (seed %d)"
        !stress_seed);
-  let cells = stress_cells () in
-  print_endline Experiments.stress_header;
   List.iter
-    (fun c -> print_endline (Experiments.stress_row cells c))
-    cells;
-  Printf.printf
-    "(%d cells, every output bit-identical to the unoptimized oracle)\n"
-    (List.length cells)
+    (fun backend ->
+      if both_backends () then
+        Printf.printf "-- backend: %s --\n" (Machine.backend_name backend);
+      let cells = stress_cells backend in
+      print_endline Experiments.stress_header;
+      List.iter
+        (fun c -> print_endline (Experiments.stress_row cells c))
+        cells;
+      Printf.printf
+        "(%d cells, every output bit-identical to the unoptimized oracle)\n"
+        (List.length cells))
+    !backends
 
 (* ------------------------------------------------------------------ *)
 (* Persistent FDO: warm-vs-cold compile cache (--table fdo)             *)
@@ -415,15 +476,25 @@ let date_string () =
 let json_dump () =
   let t0 = Unix.gettimeofday () in
   let ws = Spec_workloads.Workloads.all in
-  let results = results_of ws in
   let blobs =
-    Parpool.parmap
-      (fun (w, b) -> Bench_json.workload_json w b)
-      (List.combine ws results)
+    List.concat_map
+      (fun backend ->
+        let results = results_on backend ws in
+        Parpool.parmap
+          (fun (w, b) -> Bench_json.workload_json w b)
+          (List.combine ws results))
+      !backends
+  in
+  (* under --backend both the agreement gate runs before anything is
+     written: a backend divergence must fail the dump, not be recorded *)
+  let backends_blob =
+    if both_backends () then
+      Some (Bench_json.backends_json (backend_pairs ()))
+    else None
   in
   let stress_blob =
     if !stress then
-      Some (Bench_json.stress_json ~seed:!stress_seed (stress_cells ()))
+      Some (Bench_json.stress_json ~seed:!stress_seed (all_stress_cells ()))
     else None
   in
   let fdo_blob =
@@ -444,7 +515,8 @@ let json_dump () =
       (* wall time of the pre-overhaul harness on this machine, for the
          speedup trail (see EXPERIMENTS.md) *)
       ?pre_pr2_quick_wall_s:(if !quick then Some 13.194 else None)
-      ?stress:stress_blob ?fdo:fdo_blob ?compile:compile_blob blobs
+      ?backends:backends_blob ?stress:stress_blob ?fdo:fdo_blob
+      ?compile:compile_blob blobs
   in
   print_string out;
   match !json_file with
@@ -487,7 +559,8 @@ let known_tables =
     "ablate-cspec", table_ablate_cspec; "ablate-alat", table_ablate_alat;
     "ablate-threshold", table_ablate_threshold;
     "ablate-sched", table_ablate_sched; "micro", micro;
-    "stress", table_stress; "fdo", table_fdo; "compile", table_compile ]
+    "stress", table_stress; "fdo", table_fdo; "compile", table_compile;
+    "backends", table_backends ]
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -505,6 +578,16 @@ let () =
        | _ ->
          Printf.eprintf "--stress-seed expects an integer, got %s\n" n;
          exit 2);
+      parse rest
+    | "--backend" :: b :: rest ->
+      (match b with
+       | "both" -> backends := Machine.all_backends
+       | b ->
+         (match Machine.backend_of_string b with
+          | Some k -> backends := [ k ]
+          | None ->
+            Printf.eprintf "--backend expects inorder|ooo|both, got %s\n" b;
+            exit 2));
       parse rest
     | "--json" :: rest -> json := true; parse rest
     | "--json-file" :: p :: rest -> json_file := Some p; parse rest
@@ -540,7 +623,9 @@ let () =
     else if !tables = [] then
       [ "smvp"; "fig10"; "fig11"; "fig12"; "heuristics"; "rse";
         "ablate-cspec"; "ablate-alat"; "ablate-threshold"; "ablate-sched";
-        "fdo"; "compile"; "micro" ]
+        "fdo"; "compile" ]
+      @ (if both_backends () then [ "backends" ] else [])
+      @ [ "micro" ]
     else List.rev !tables
   in
   List.iter

@@ -6,10 +6,12 @@
 
      speccc run prog.c                      interpret, print output
      speccc run --machine prog.c            simulate on the ITL machine
+     speccc run --machine --backend ooo prog.c   on the out-of-order core
      speccc run --faults inv=10000 prog.c   misspeculation stress run
      speccc run --cache-dir .speccc-cache prog.c   warm compiles skip passes
      speccc dump --phase ssa prog.c         print IR after a phase
      speccc stats --mode profile prog.c     perf counters for all variants
+     speccc stats --backend ooo prog.c      ... on the out-of-order core
      speccc profile record prog.c -o p.sprof    persist a training run
      speccc profile merge -o m.sprof a.sprof b.sprof
      speccc profile stale-check p.sprof edited.c
@@ -187,13 +189,40 @@ let stress_seed_arg =
        & info [ "stress-seed" ] ~docv:"N"
            ~doc:"seed for the --faults random streams (default 1)")
 
+let backend_arg =
+  let backend_conv =
+    let parse s =
+      match Spec_machine.Machine.backend_of_string s with
+      | Some b -> Ok b
+      | None ->
+        Error
+          (`Msg (Printf.sprintf "unknown backend %S (expected inorder|ooo)" s))
+    in
+    let print ppf b =
+      Format.pp_print_string ppf (Spec_machine.Machine.backend_name b)
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(value & opt backend_conv Spec_machine.Machine.Inorder
+       & info [ "backend" ] ~docv:"CORE"
+           ~doc:"machine core model: $(b,inorder) (the paper's in-order \
+                 EPIC machine, default) or $(b,ooo) (out-of-order: \
+                 ROB + LSQ with a memory-dependence predictor)")
+
+(* the in-order core keeps the historical "machine" fault-stream scope;
+   other backends get their own streams *)
+let machine_scope backend =
+  match backend with
+  | Spec_machine.Machine.Inorder -> "machine"
+  | b -> "machine-" ^ Spec_machine.Machine.backend_name b
+
 let run_cmd =
   let machine =
     Arg.(value & flag & info [ "machine" ] ~doc:"run on the ITL machine \
                                                  simulator (with counters)")
   in
-  let action file mode machine verify_each timings jobs faults stress_seed
-      profile_in profile_out cache_dir threshold =
+  let action file mode machine backend verify_each timings jobs faults
+      stress_seed profile_in profile_out cache_dir threshold =
     set_jobs jobs;
     let src = read_file file in
     let plan =
@@ -233,9 +262,12 @@ let run_cmd =
       in
       let mf =
         Spec_stress.Faults.injector_opt plan
-          ~scope:[ Filename.basename file; "speccc"; "machine" ]
+          ~scope:[ Filename.basename file; "speccc"; machine_scope backend ]
       in
-      let m = Spec_machine.Machine.run_sir ~config ?faults:mf r.Pipeline.prog in
+      let m =
+        Spec_machine.Machine.run_sir_on backend ~config ?faults:mf
+          r.Pipeline.prog
+      in
       print_string m.Spec_machine.Machine.output;
       let p = m.Spec_machine.Machine.perf in
       Printf.eprintf
@@ -244,6 +276,12 @@ let run_cmd =
         (Spec_machine.Machine.loads_retired p)
         p.Spec_machine.Machine.checks p.Spec_machine.Machine.check_misses
         p.Spec_machine.Machine.stores;
+      if backend <> Spec_machine.Machine.Inorder then
+        Printf.eprintf
+          "br-mispredicts=%d lsq-replays=%d mdp-poisons=%d\n"
+          p.Spec_machine.Machine.br_mispredicts
+          p.Spec_machine.Machine.lsq_replays
+          p.Spec_machine.Machine.mdp_poisons;
       (match mf with
        | Some inj ->
          Printf.eprintf "alat-flushes=%d alat-invalidations=%d\n"
@@ -270,10 +308,10 @@ let run_cmd =
     0
   in
   Cmd.v (Cmd.info "run" ~doc:"compile, optimize and execute a program")
-    Term.(const action $ src_arg $ mode_arg $ machine $ verify_arg
-          $ timings_arg $ jobs_arg $ faults_arg $ stress_seed_arg
-          $ profile_in_arg $ profile_out_arg $ cache_dir_arg
-          $ threshold_arg)
+    Term.(const action $ src_arg $ mode_arg $ machine $ backend_arg
+          $ verify_arg $ timings_arg $ jobs_arg $ faults_arg
+          $ stress_seed_arg $ profile_in_arg $ profile_out_arg
+          $ cache_dir_arg $ threshold_arg)
 
 (* ---- dump ---- *)
 
@@ -345,12 +383,13 @@ let dump_cmd =
 (* ---- stats ---- *)
 
 let stats_cmd =
-  let action file verify_each timings jobs profile_in profile_out cache_dir
-      threshold =
+  let action file backend verify_each timings jobs profile_in profile_out
+      cache_dir threshold =
     set_jobs jobs;
     let src = read_file file in
     let ev = evidence ?profile_in ?profile_out src in
     let cache = open_cache cache_dir in
+    Printf.printf "backend: %s\n" (Spec_machine.Machine.backend_name backend);
     Printf.printf "%-10s %10s %10s %8s %8s %8s %8s\n" "variant" "cycles"
       "insns" "loads" "checks" "misses" "stores";
     let reports = ref [] in
@@ -361,7 +400,7 @@ let stats_cmd =
         in
         let name = Pipeline.variant_name r.Pipeline.variant in
         reports := (name, r.Pipeline.report) :: !reports;
-        let m = Spec_machine.Machine.run_sir r.Pipeline.prog in
+        let m = Spec_machine.Machine.run_sir_on backend r.Pipeline.prog in
         let p = m.Spec_machine.Machine.perf in
         Printf.printf "%-10s %10d %10d %8d %8d %8d %8d\n" name
           p.Spec_machine.Machine.cycles p.Spec_machine.Machine.insns
@@ -380,8 +419,8 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"machine counters for every pipeline variant")
-    Term.(const action $ src_arg $ verify_arg $ timings_arg $ jobs_arg
-          $ profile_in_arg $ profile_out_arg $ cache_dir_arg
+    Term.(const action $ src_arg $ backend_arg $ verify_arg $ timings_arg
+          $ jobs_arg $ profile_in_arg $ profile_out_arg $ cache_dir_arg
           $ threshold_arg)
 
 (* ---- profile ---- *)

@@ -54,6 +54,15 @@ echo "== bench harness smoke (--quick --stress --jobs 2) =="
 # is kept as an artifact.
 dune exec bench/main.exe -- --quick --jobs 2 --stress --json --json-file bench-smoke.json > /dev/null
 
+echo "== cross-backend smoke (--backend both --quick --jobs 2) =="
+# Runs the quick sweep on both core models (the in-order EPIC machine
+# and the out-of-order control).  The harness hard-fails if the two
+# backends disagree on any program output or instruction count, and the
+# per-backend dump — including the in-order-vs-OoO comparison section —
+# is kept as an artifact.
+dune exec bench/main.exe -- --quick --jobs 2 --backend both --json \
+  --json-file backend-smoke.json > /dev/null
+
 echo "== compile-throughput smoke (--compile-bench --quick --jobs 2) =="
 # Cold-compiles every workload's throughput unit at --jobs 1 and
 # --jobs 2 and hard-fails unless the parallel program is byte-identical

@@ -1,4 +1,4 @@
-(** Machine-readable bench dump (schema [specpre-bench/2]): emission,
+(** Machine-readable bench dump (schema [specpre-bench/3]): emission,
     parsing, and validation.
 
     The [--json] harness mode writes a trajectory record
@@ -8,25 +8,36 @@
     baselines and a freshly emitted dump against it.  The parser is a
     small recursive-descent JSON reader (no external JSON dependency in
     the tree) that accepts exactly the JSON subset the emitter produces
-    plus standard escapes. *)
+    plus standard escapes.
+
+    [specpre-bench/3] (this PR) adds the machine-backend dimension:
+    every workload entry, variant row and stress cell carries a required
+    [backend] field ("inorder" | "ooo"), and a [--backend both] run
+    emits a top-level [backends] comparison section.  /2 dumps are
+    rejected. *)
 
 open Spec_workloads
+
+let schema_tag = "specpre-bench/3"
 
 (* ------------------------------------------------------------------ *)
 (* Emission                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let variant_json name (r : Experiments.run) =
+let variant_json ~backend name (r : Experiments.run) =
   let open Spec_machine in
   let p = r.Experiments.r_machine.Machine.perf in
   Printf.sprintf
-    "{\"variant\":%S,\"wall_s\":%.6f,\"cycles\":%d,\"insns\":%d,\
-     \"data_cycles\":%d,\"loads_retired\":%d,\"checks\":%d,\
-     \"check_misses\":%d}"
-    name r.Experiments.r_wall_s p.Machine.cycles p.Machine.insns
+    "{\"variant\":%S,\"backend\":%S,\"wall_s\":%.6f,\"cycles\":%d,\
+     \"insns\":%d,\"data_cycles\":%d,\"loads_retired\":%d,\"checks\":%d,\
+     \"check_misses\":%d,\"br_mispredicts\":%d,\"lsq_replays\":%d}"
+    name
+    (Machine.backend_name backend)
+    r.Experiments.r_wall_s p.Machine.cycles p.Machine.insns
     p.Machine.data_cycles
     (Machine.loads_retired p)
-    p.Machine.checks p.Machine.check_misses
+    p.Machine.checks p.Machine.check_misses p.Machine.br_mispredicts
+    p.Machine.lsq_replays
 
 (** One workload's JSON object: wall time per phase, machine counters per
     variant, the paper metrics, and the pass manager's per-pass reports
@@ -34,13 +45,17 @@ let variant_json name (r : Experiments.run) =
     compile). *)
 let workload_json (w : Workloads.workload) (b : Experiments.bench_result) =
   let buf = Buffer.create 4096 in
+  let backend = b.Experiments.backend in
   Printf.bprintf buf
-    "{\"name\":%S,\"wall_s\":%.6f,\"profile_wall_s\":%.6f,\"variants\":["
-    b.Experiments.wname b.Experiments.total_wall_s b.Experiments.prof_wall_s;
+    "{\"name\":%S,\"backend\":%S,\"wall_s\":%.6f,\"profile_wall_s\":%.6f,\
+     \"variants\":["
+    b.Experiments.wname
+    (Spec_machine.Machine.backend_name backend)
+    b.Experiments.total_wall_s b.Experiments.prof_wall_s;
   List.iteri
     (fun i (name, r) ->
       if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf (variant_json name r))
+      Buffer.add_string buf (variant_json ~backend name r))
     [ "noopt", b.Experiments.noopt; "base", b.Experiments.base;
       "profile", b.Experiments.prof_spec;
       "heuristic", b.Experiments.heur_spec;
@@ -77,13 +92,14 @@ let workload_json (w : Workloads.workload) (b : Experiments.bench_result) =
 let stress_cell_json (cells : Experiments.stress_cell list)
     (c : Experiments.stress_cell) =
   Printf.sprintf
-    "{\"workload\":%S,\"point\":%S,\"variant\":%S,\"adv_flips\":%d,\
+    "{\"workload\":%S,\"backend\":%S,\"point\":%S,\"variant\":%S,\"adv_flips\":%d,\
      \"checks\":%d,\"check_misses\":%d,\"hit_rate_pct\":%.3f,\
      \"cycles\":%d,\"insns\":%d,\"cycle_overhead_pct\":%.3f,\
      \"machine_flushes\":%d,\"machine_invalidations\":%d,\
      \"interp_checks\":%d,\"interp_reloads\":%d,\"interp_flushes\":%d,\
      \"interp_invalidations\":%d}"
-    c.Experiments.sc_workload c.Experiments.sc_point c.Experiments.sc_variant
+    c.Experiments.sc_workload c.Experiments.sc_backend c.Experiments.sc_point
+    c.Experiments.sc_variant
     c.Experiments.sc_adv_flips c.Experiments.sc_checks
     c.Experiments.sc_misses
     (Experiments.stress_hit_rate c)
@@ -103,6 +119,48 @@ let stress_json ~seed (cells : Experiments.stress_cell list) =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf (stress_cell_json cells c))
     cells;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let backends_entry_json ~(inorder : Experiments.bench_result)
+    ~(ooo : Experiments.bench_result) =
+  let open Spec_machine in
+  let replays (r : Experiments.run) =
+    r.Experiments.r_machine.Machine.perf.Machine.lsq_replays
+  in
+  let win (b : Experiments.bench_result) =
+    Experiments.speedup ~base:b.Experiments.base
+      ~spec:b.Experiments.prof_spec
+  in
+  Printf.sprintf
+    "{\"name\":%S,\"inorder\":{\"speedup_pct\":%.3f,\
+     \"data_cycle_reduction_pct\":%.3f},\"ooo\":{\"speedup_pct\":%.3f,\
+     \"data_cycle_reduction_pct\":%.3f,\"replays_base\":%d,\
+     \"replays_spec\":%d},\"hw_captured_pts\":%.3f}"
+    inorder.Experiments.wname (win inorder)
+    (Experiments.data_cycle_reduction ~base:inorder.Experiments.base
+       ~spec:inorder.Experiments.prof_spec)
+    (win ooo)
+    (Experiments.data_cycle_reduction ~base:ooo.Experiments.base
+       ~spec:ooo.Experiments.prof_spec)
+    (replays ooo.Experiments.base)
+    (replays ooo.Experiments.prof_spec)
+    (win inorder -. win ooo)
+
+(** The [--backend both] in-order-vs-OoO comparison as a JSON object:
+    one entry per workload pairing the two backends' paper metrics, the
+    OoO core's LSQ replay counts on base vs speculative code, and the
+    speedup points the hardware captures on its own
+    ([hw_captured_pts] = in-order speedup − OoO speedup). *)
+let backends_json (pairs :
+    (Experiments.bench_result * Experiments.bench_result) list) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\"workloads\":[";
+  List.iteri
+    (fun i (inorder, ooo) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (backends_entry_json ~inorder ~ooo))
+    pairs;
   Buffer.add_string buf "]}";
   Buffer.contents buf
 
@@ -164,13 +222,13 @@ let compile_json (cells : Experiments.compile_result list) =
     {!workload_json} blobs; [stress], [fdo] and [compile] are
     pre-rendered {!stress_json} / {!fdo_json} / {!compile_json} blobs.
     [date] is supplied by the caller (the library stays clock-free). *)
-let dump ~date ~inputs ~jobs ~harness_wall_s ?pre_pr2_quick_wall_s ?stress
-    ?fdo ?compile (workloads : string list) =
+let dump ~date ~inputs ~jobs ~harness_wall_s ?pre_pr2_quick_wall_s ?backends
+    ?stress ?fdo ?compile (workloads : string list) =
   let buf = Buffer.create 65536 in
   Printf.bprintf buf
-    "{\"schema\":\"specpre-bench/2\",\"date\":%S,\"inputs\":%S,\
+    "{\"schema\":%S,\"date\":%S,\"inputs\":%S,\
      \"jobs\":%d,\"harness_wall_s\":%.3f,"
-    date inputs jobs harness_wall_s;
+    schema_tag date inputs jobs harness_wall_s;
   (match pre_pr2_quick_wall_s with
    | Some w -> Printf.bprintf buf "\"pre_pr2_quick_wall_s\":%.3f," w
    | None -> ());
@@ -181,6 +239,11 @@ let dump ~date ~inputs ~jobs ~harness_wall_s ?pre_pr2_quick_wall_s ?stress
       Buffer.add_string buf blob)
     workloads;
   Buffer.add_string buf "]";
+  (match backends with
+   | Some s ->
+     Buffer.add_string buf ",\"backends\":";
+     Buffer.add_string buf s
+   | None -> ());
   (match stress with
    | Some s ->
      Buffer.add_string buf ",\"stress\":";
@@ -361,7 +424,7 @@ let parse (s : string) : (json, string) result =
 
 exception Invalid of string
 
-(** The pinned [specpre-bench/2] shape.  A field is described by its name
+(** The pinned [specpre-bench/3] shape.  A field is described by its name
     and a type tag; [`Num] accepts ints where floats are expected (JSON
     does not distinguish) but not the reverse, so counter fields stay
     integers. *)
@@ -387,19 +450,31 @@ let as_obj path what = function
 
 let as_arr = function Arr items -> items | _ -> assert false
 
+let validate_backend_name path name f =
+  match field path name `Str f with
+  | Str s when Spec_machine.Machine.backend_of_string s <> None -> ()
+  | Str other ->
+    raise
+      (Invalid
+         (Printf.sprintf "field %s.%s: unknown backend %S"
+            (String.concat "." (List.rev path)) name other))
+  | _ -> assert false
+
 let validate_variant path v =
   let f = as_obj path "variant entry" v in
   ignore (field path "variant" `Str f);
+  validate_backend_name path "backend" f;
   ignore (field path "wall_s" `Num f);
   List.iter
     (fun name -> ignore (field path name `Int f))
     [ "cycles"; "insns"; "data_cycles"; "loads_retired"; "checks";
-      "check_misses" ]
+      "check_misses"; "br_mispredicts"; "lsq_replays" ]
 
 let validate_workload i v =
   let path = [ Printf.sprintf "workloads[%d]" i ] in
   let f = as_obj path "workload entry" v in
   ignore (field path "name" `Str f);
+  validate_backend_name path "backend" f;
   ignore (field path "wall_s" `Num f);
   ignore (field path "profile_wall_s" `Num f);
   let variants = as_arr (field path "variants" `Arr f) in
@@ -429,6 +504,7 @@ let validate_stress_cell i v =
   List.iter
     (fun name -> ignore (field path name `Str f))
     [ "workload"; "point"; "variant" ];
+  validate_backend_name path "backend" f;
   List.iter
     (fun name -> ignore (field path name `Int f))
     [ "adv_flips"; "checks"; "check_misses"; "cycles"; "insns";
@@ -477,15 +553,36 @@ let validate_compile_cell i v =
              (String.concat "." (List.rev path)))));
   ignore (field path "report" `Obj f)
 
-(** Validate a parsed dump against the [specpre-bench/2] schema.  The
-    [stress], [fdo] and [compile] sections are optional (present only
-    for [--stress] / [--table fdo] / [--compile-bench] runs) but fully
-    pinned when present. *)
+let validate_backends_entry i v =
+  let path = [ Printf.sprintf "backends.workloads[%d]" i ] in
+  let f = as_obj path "backends entry" v in
+  ignore (field path "name" `Str f);
+  ignore (field path "hw_captured_pts" `Num f);
+  let side name extra =
+    let sf =
+      as_obj (name :: path) name (field path name `Obj f)
+    in
+    List.iter
+      (fun fl -> ignore (field (name :: path) fl `Num sf))
+      [ "speedup_pct"; "data_cycle_reduction_pct" ];
+    List.iter
+      (fun fl -> ignore (field (name :: path) fl `Int sf))
+      extra
+  in
+  side "inorder" [];
+  side "ooo" [ "replays_base"; "replays_spec" ]
+
+(** Validate a parsed dump against the [specpre-bench/3] schema.  The
+    [backends], [stress], [fdo] and [compile] sections are optional
+    (present only for [--backend both] / [--stress] / [--table fdo] /
+    [--compile-bench] runs) but fully pinned when present.  Older
+    schema tags — including [specpre-bench/2], which lacked the backend
+    dimension — are rejected. *)
 let validate (v : json) : (unit, string) result =
   try
     let f = as_obj [] "bench dump" v in
     (match field [] "schema" `Str f with
-     | Str "specpre-bench/2" -> ()
+     | Str s when s = schema_tag -> ()
      | Str other ->
        raise (Invalid (Printf.sprintf "unknown schema %S" other))
      | _ -> assert false);
@@ -499,6 +596,12 @@ let validate (v : json) : (unit, string) result =
     ignore (field [] "harness_wall_s" `Num f);
     let workloads = as_arr (field [] "workloads" `Arr f) in
     List.iteri validate_workload workloads;
+    (match List.assoc_opt "backends" f with
+     | None -> ()
+     | Some bv ->
+       let bf = as_obj [ "backends" ] "backends" bv in
+       let entries = as_arr (field [ "backends" ] "workloads" `Arr bf) in
+       List.iteri validate_backends_entry entries);
     (match List.assoc_opt "stress" f with
      | None -> ()
      | Some sv ->

@@ -1,10 +1,22 @@
-(** Machine-readable bench dump (schema [specpre-bench/2]): emission,
+(** Machine-readable bench dump (schema [specpre-bench/3]): emission,
     parsing, and validation.  See [bench/main.ml] for the harness side
-    and [test/test_stress.ml] for the golden schema check. *)
+    and [test/test_stress.ml] for the golden schema check.
+
+    /3 adds the machine-backend dimension: workload entries, variant
+    rows and stress cells carry a required [backend] field, variant rows
+    gain the OoO counters ([br_mispredicts], [lsq_replays]), and
+    [--backend both] runs emit a top-level [backends] comparison
+    section.  /2 dumps no longer validate. *)
+
+(** The schema tag emitted and required by this build,
+    ["specpre-bench/3"]. *)
+val schema_tag : string
 
 (** {1 Emission} *)
 
-val variant_json : string -> Experiments.run -> string
+val variant_json :
+  backend:Spec_machine.Machine.backend -> string -> Experiments.run ->
+  string
 
 val workload_json :
   Spec_workloads.Workloads.workload -> Experiments.bench_result -> string
@@ -13,6 +25,13 @@ val stress_cell_json :
   Experiments.stress_cell list -> Experiments.stress_cell -> string
 
 val stress_json : seed:int -> Experiments.stress_cell list -> string
+
+(** The [--backend both] comparison as a JSON object: one entry per
+    workload pairing the in-order and OoO results for the same source —
+    paper metrics per backend, OoO LSQ replays on base vs speculative
+    code, and [hw_captured_pts] (in-order speedup − OoO speedup). *)
+val backends_json :
+  (Experiments.bench_result * Experiments.bench_result) list -> string
 
 val fdo_cell_json : Experiments.fdo_result -> string
 
@@ -30,8 +49,8 @@ val compile_json : Experiments.compile_result list -> string
     [date] is supplied by the caller so the library stays clock-free. *)
 val dump :
   date:string -> inputs:string -> jobs:int -> harness_wall_s:float ->
-  ?pre_pr2_quick_wall_s:float -> ?stress:string -> ?fdo:string ->
-  ?compile:string -> string list -> string
+  ?pre_pr2_quick_wall_s:float -> ?backends:string -> ?stress:string ->
+  ?fdo:string -> ?compile:string -> string list -> string
 
 (** {1 Parsing} *)
 
@@ -48,10 +67,11 @@ val parse : string -> (json, string) result
 
 (** {1 Schema validation} *)
 
-(** Validate a parsed dump against the pinned [specpre-bench/2] shape:
+(** Validate a parsed dump against the pinned [specpre-bench/3] shape:
     every field name and type of the top level, workload entries,
     variant counters, metrics, pass reports, and (when present) the
-    [stress], [fdo] and [compile] sections. *)
+    [backends], [stress], [fdo] and [compile] sections.  Older schema
+    tags are rejected. *)
 val validate : json -> (unit, string) result
 
 (** Parse and validate in one step. *)

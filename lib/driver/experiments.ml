@@ -21,6 +21,7 @@ type run = {
 
 type bench_result = {
   wname : string;
+  backend : Machine.backend;  (** core model the variants ran on *)
   fp : bool;
   noopt : run;
   base : run;
@@ -39,10 +40,12 @@ type bench_result = {
 
 let machine_config = ref Machine.default_config
 
-(** Compile the ref input under [variant] and run it on the machine.
-    Every variant gets the local list scheduler, like the paper's O3
-    baseline (ORC schedules everything). *)
-let run_variant ?(quick = false) (w : Workloads.workload) profile variant : run =
+(** Compile the ref input under [variant] and run it on the machine
+    backend [backend] (default: the in-order EPIC core).  Every variant
+    gets the local list scheduler, like the paper's O3 baseline (ORC
+    schedules everything). *)
+let run_variant ?(quick = false) ?(backend = Machine.Inorder)
+    (w : Workloads.workload) profile variant : run =
   let t0 = Unix.gettimeofday () in
   let params = if quick then w.Workloads.train else w.Workloads.ref_ in
   let prog = Lower.compile (w.Workloads.source params) in
@@ -51,7 +54,7 @@ let run_variant ?(quick = false) (w : Workloads.workload) profile variant : run 
   in
   let mp = Spec_codegen.Codegen.lower r.Pipeline.prog in
   ignore (Spec_codegen.Schedule.run mp : Spec_codegen.Schedule.stats);
-  let m = Machine.run ~config:!machine_config mp in
+  let m = Machine.run_on backend ~config:!machine_config mp in
   { r_machine = m; r_stats = r.Pipeline.stats;
     r_wall_s = Unix.gettimeofday () -. t0 }
 
@@ -63,7 +66,8 @@ let reuse_fraction ?(quick = false) (w : Workloads.workload) profile : float =
   let lr, _ = Load_reuse.analyse rr.Pipeline.prog in
   Load_reuse.reuse_fraction lr
 
-let run_workload ?(quick = false) (w : Workloads.workload) : bench_result =
+let run_workload ?(quick = false) ?(backend = Machine.Inorder)
+    (w : Workloads.workload) : bench_result =
   let t0 = Unix.gettimeofday () in
   let train_prog = Lower.compile (Workloads.train_source w) in
   let profile, _ = Profiler.profile train_prog in
@@ -73,11 +77,11 @@ let run_workload ?(quick = false) (w : Workloads.workload) : bench_result =
      result record — and hence all table output — is identical to the
      sequential run. *)
   let tasks =
-    [ (fun () -> `Run (run_variant ~quick w profile Pipeline.Noopt));
-      (fun () -> `Run (run_variant ~quick w profile Pipeline.Base));
-      (fun () -> `Run (run_variant ~quick w profile (Pipeline.Spec_profile profile)));
-      (fun () -> `Run (run_variant ~quick w profile Pipeline.Spec_heuristic));
-      (fun () -> `Run (run_variant ~quick w profile Pipeline.Aggressive));
+    [ (fun () -> `Run (run_variant ~quick ~backend w profile Pipeline.Noopt));
+      (fun () -> `Run (run_variant ~quick ~backend w profile Pipeline.Base));
+      (fun () -> `Run (run_variant ~quick ~backend w profile (Pipeline.Spec_profile profile)));
+      (fun () -> `Run (run_variant ~quick ~backend w profile Pipeline.Spec_heuristic));
+      (fun () -> `Run (run_variant ~quick ~backend w profile Pipeline.Aggressive));
       (fun () -> `Reuse (reuse_fraction ~quick w profile)) ]
   in
   let noopt, base, prof_spec, heur_spec, aggressive, reuse_frac =
@@ -103,17 +107,17 @@ let run_workload ?(quick = false) (w : Workloads.workload) : bench_result =
     +. List.fold_left (fun acc r -> acc +. r.r_wall_s) 0.
          [ noopt; base; prof_spec; heur_spec; aggressive ]
   in
-  { wname = w.Workloads.name; fp = w.Workloads.fp; noopt; base; prof_spec;
-    heur_spec; aggressive; reuse_frac; prof_wall_s; total_wall_s;
+  { wname = w.Workloads.name; backend; fp = w.Workloads.fp; noopt; base;
+    prof_spec; heur_spec; aggressive; reuse_frac; prof_wall_s; total_wall_s;
     train_profile = profile }
 
 (** Run a sweep of workloads on the domain pool; results are in input
     order, so output is independent of [--jobs].  The per-workload
     variant fan-out nests inside this one — [Parpool.await] helps with
     queued tasks, so the nesting cannot deadlock. *)
-let run_workloads ?(quick = false) (ws : Workloads.workload list) :
-    bench_result list =
-  Parpool.parmap (fun w -> run_workload ~quick w) ws
+let run_workloads ?(quick = false) ?(backend = Machine.Inorder)
+    (ws : Workloads.workload list) : bench_result list =
+  Parpool.parmap (fun w -> run_workload ~quick ~backend w) ws
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -193,6 +197,53 @@ let rse_row (b : bench_result) =
     b.base.r_machine.Machine.perf.Machine.max_stacked_regs
     b.prof_spec.r_machine.Machine.perf.Machine.max_stacked_regs
     b.prof_spec.r_machine.Machine.perf.Machine.rse_stall_cycles
+
+(* ------------------------------------------------------------------ *)
+(* Backend comparison (in-order EPIC vs out-of-order)                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Hard agreement gate: two backends measuring the same workload must
+    report byte-identical program output (and instruction counts — the
+    dynamic trace is shared) for every variant.  Raises on divergence;
+    the bench smoke runs this under [--backend both]. *)
+let check_backend_agreement (a : bench_result) (b : bench_result) =
+  List.iter
+    (fun (vname, sel) ->
+      let ra = (sel a).r_machine and rb = (sel b).r_machine in
+      if ra.Machine.output <> rb.Machine.output then
+        failwith
+          (Printf.sprintf "backend disagreement on %s/%s: %s vs %s output"
+             a.wname vname
+             (Machine.backend_name a.backend)
+             (Machine.backend_name b.backend));
+      if ra.Machine.perf.Machine.insns <> rb.Machine.perf.Machine.insns then
+        failwith
+          (Printf.sprintf
+             "backend disagreement on %s/%s: instruction counts differ"
+             a.wname vname))
+    [ ("noopt", fun r -> r.noopt); ("base", fun r -> r.base);
+      ("profile", fun r -> r.prof_spec); ("heuristic", fun r -> r.heur_spec);
+      ("aggressive", fun r -> r.aggressive) ]
+
+let backends_header =
+  "benchmark | inorder: speedup% / dcyc-red% | ooo: speedup% / dcyc-red% | ooo replays base>spec | hw captured pts"
+
+(** Side-by-side paper metrics: the speculative-vs-base cycle delta on
+    each core.  [hw captured pts] is the in-order win minus the OoO win
+    in percentage points — the part of the compiler's speculation gain
+    that an LSQ + dependence predictor already gets for free; what
+    remains is what ld.a/ld.c still buys on modern hardware. *)
+let backends_row ~(inorder : bench_result) ~(ooo : bench_result) =
+  let replays (r : run) = r.r_machine.Machine.perf.Machine.lsq_replays in
+  let win_in = speedup ~base:inorder.base ~spec:inorder.prof_spec in
+  let win_ooo = speedup ~base:ooo.base ~spec:ooo.prof_spec in
+  Printf.sprintf "%-9s | %13.1f / %13.1f | %9.1f / %13.1f | %10d>%-10d | %15.1f"
+    inorder.wname win_in
+    (data_cycle_reduction ~base:inorder.base ~spec:inorder.prof_spec)
+    win_ooo
+    (data_cycle_reduction ~base:ooo.base ~spec:ooo.prof_spec)
+    (replays ooo.base) (replays ooo.prof_spec)
+    (win_in -. win_ooo)
 
 (** §5.1 case study on the equake smvp kernel. *)
 type smvp_study = {
@@ -336,6 +387,7 @@ let stress_grid ~seed () =
     completion with outputs bit-identical to the unoptimized oracle. *)
 type stress_cell = {
   sc_workload : string;
+  sc_backend : string;  (** machine backend name ("inorder"/"ooo") *)
   sc_point : string;
   sc_variant : string;
   sc_adv_flips : int;   (** speculation flags the adversary corrupted *)
@@ -370,8 +422,8 @@ let stress_diverged ~workload ~variant ~point ~engine =
    the honest compile) and re-run with a fresh, scope-derived injector
    per point and engine, so results do not depend on point order or on
    which pool worker executes the task. *)
-let stress_variant ~quick ~seed ~oracle (w : Workloads.workload) profile
-    points (vname, variant) : stress_cell list =
+let stress_variant ~quick ~seed ~oracle ~backend (w : Workloads.workload)
+    profile points (vname, variant) : stress_cell list =
   let params = if quick then w.Workloads.train else w.Workloads.ref_ in
   let compile_for adv =
     let prog = Lower.compile (w.Workloads.source params) in
@@ -412,15 +464,23 @@ let stress_variant ~quick ~seed ~oracle (w : Workloads.workload) profile
         let scope tail =
           [ w.Workloads.name; vname; pt.sp_label; tail ]
         in
+        (* the in-order core keeps the historical "machine" scope so its
+           fault streams (and hence the committed stress baselines) are
+           unchanged; other backends get their own streams *)
+        let machine_scope =
+          match backend with
+          | Machine.Inorder -> "machine"
+          | b -> "machine-" ^ Machine.backend_name b
+        in
         let mf =
-          Spec_stress.Faults.injector_opt plan ~scope:(scope "machine")
+          Spec_stress.Faults.injector_opt plan ~scope:(scope machine_scope)
         in
         let cfg =
           match plan.Spec_stress.Faults.alat_entries with
           | Some n -> { !machine_config with Machine.alat_entries = n }
           | None -> !machine_config
         in
-        let m = Machine.run_resolved ~config:cfg ?faults:mf rp in
+        let m = Machine.run_resolved_on backend ~config:cfg ?faults:mf rp in
         if m.Machine.output <> oracle then
           stress_diverged ~workload:w.Workloads.name ~variant:vname
             ~point:pt.sp_label ~engine:"machine";
@@ -435,6 +495,7 @@ let stress_variant ~quick ~seed ~oracle (w : Workloads.workload) profile
         let ic = i.Interp.counters in
         let injected f = function None -> 0 | Some inj -> f inj in
         [ { sc_workload = w.Workloads.name;
+            sc_backend = Machine.backend_name backend;
             sc_point = pt.sp_label;
             sc_variant = vname;
             sc_adv_flips = flips;
@@ -458,7 +519,7 @@ let stress_variant ~quick ~seed ~oracle (w : Workloads.workload) profile
     scope-derived fault streams, so cell order and content are
     independent of [--jobs]. *)
 let stress_workload ?(quick = false) ?(seed = 1) ?points
-    (w : Workloads.workload) : stress_cell list =
+    ?(backend = Machine.Inorder) (w : Workloads.workload) : stress_cell list =
   let points = match points with Some p -> p | None -> stress_grid ~seed () in
   let train_prog = Lower.compile (Workloads.train_source w) in
   let profile, _ = Profiler.profile train_prog in
@@ -468,7 +529,7 @@ let stress_workload ?(quick = false) ?(seed = 1) ?points
     let r = Pipeline.optimize ~edge_profile:(Some profile) prog Pipeline.Noopt in
     let mp = Spec_codegen.Codegen.lower r.Pipeline.prog in
     ignore (Spec_codegen.Schedule.run mp : Spec_codegen.Schedule.stats);
-    Machine.run ~config:!machine_config mp
+    Machine.run_on backend ~config:!machine_config mp
   in
   let oracle = (oracle_run ()).Machine.output in
   let variants =
@@ -490,10 +551,12 @@ let stress_workload ?(quick = false) ?(seed = 1) ?points
           in
           let mp = Spec_codegen.Codegen.lower r.Pipeline.prog in
           ignore (Spec_codegen.Schedule.run mp : Spec_codegen.Schedule.stats);
-          let self = (Machine.run ~config:!machine_config mp).Machine.output in
-          stress_variant ~quick ~seed ~oracle:self w profile points
+          let self =
+            (Machine.run_on backend ~config:!machine_config mp).Machine.output
+          in
+          stress_variant ~quick ~seed ~oracle:self ~backend w profile points
             ("aggressive", variant)
-        | v -> stress_variant ~quick ~seed ~oracle w profile points v)
+        | v -> stress_variant ~quick ~seed ~oracle ~backend w profile points v)
       variants
   in
   List.concat (Parpool.parmap (fun f -> f ()) tasks)
@@ -501,9 +564,12 @@ let stress_workload ?(quick = false) ?(seed = 1) ?points
 (** Stress-sweep a list of workloads (deterministic under any
     [--jobs N]); cells are grouped by workload in input order. *)
 let run_stress ?(quick = false) ?(seed = 1) ?points
-    (ws : Workloads.workload list) : stress_cell list =
+    ?(backend = Machine.Inorder) (ws : Workloads.workload list) :
+    stress_cell list =
   List.concat
-    (Parpool.parmap (fun w -> stress_workload ~quick ~seed ?points w) ws)
+    (Parpool.parmap
+       (fun w -> stress_workload ~quick ~seed ?points ~backend w)
+       ws)
 
 (** Cycle overhead of a cell versus the same (workload, variant) at the
     zero-fault point, in percent; 0 when the baseline cell is absent. *)
@@ -511,8 +577,8 @@ let stress_overhead (cells : stress_cell list) (c : stress_cell) =
   match
     List.find_opt
       (fun b ->
-        b.sc_workload = c.sc_workload && b.sc_variant = c.sc_variant
-        && b.sc_point = "0%")
+        b.sc_workload = c.sc_workload && b.sc_backend = c.sc_backend
+        && b.sc_variant = c.sc_variant && b.sc_point = "0%")
       cells
   with
   | Some b when b.sc_cycles > 0 ->

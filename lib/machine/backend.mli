@@ -1,0 +1,160 @@
+(** Shared machine-backend contract: counters, config, the resolved
+    program representation and the {!S} signature each core model
+    implements.  See {!Machine} for the dispatching façade. *)
+
+open Spec_ir
+
+exception Machine_error of string
+
+(** Raise {!Machine_error} with a formatted message. *)
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** {1 Backend identity} *)
+
+type kind =
+  | Inorder  (** the paper's EPIC model: scoreboard + ALAT *)
+  | Ooo  (** modern control: ROB + LSQ + memory-dependence predictor *)
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+
+(** {1 Counters, result, config} *)
+
+type counters = {
+  mutable insns : int;
+  mutable cycles : int;
+  mutable data_cycles : int;  (** stall cycles waiting on loads *)
+  mutable loads_plain : int;
+  mutable loads_adv : int;
+  mutable loads_spec : int;
+  mutable checks : int;
+  mutable check_misses : int;
+  mutable stores : int;
+  mutable branches : int;
+  mutable rse_stall_cycles : int;
+  mutable max_stacked_regs : int;
+  mutable br_mispredicts : int;  (** OoO only; 0 on the in-order core *)
+  mutable lsq_replays : int;  (** OoO memory-order violations replayed *)
+  mutable mdp_poisons : int;  (** OoO injected predictor/LSQ flushes *)
+}
+
+val fresh_counters : unit -> counters
+
+(** All loads that actually accessed memory. *)
+val loads_retired : counters -> int
+
+(** All retired load-class instructions including successful checks
+    (Figure 11's denominator). *)
+val loads_retired_with_checks : counters -> int
+
+type result = {
+  ret_int : int;
+  output : string;
+  perf : counters;
+  alat : Alat.t;
+}
+
+(** Memory-dependence predictor for the out-of-order core's LSQ. *)
+type mdp =
+  | Mdp_none  (** always speculate loads past unresolved stores *)
+  | Mdp_last_violator
+  | Mdp_store_set
+
+type config = {
+  physical_stacked_regs : int;
+  alat_entries : int;
+  call_overhead : int;
+  heap_bytes : int;
+  fuel : int;
+  issue_width : int;  (** in-order issue slots per cycle *)
+  rob_entries : int;  (** OoO reorder-buffer window *)
+  lsq_entries : int;  (** OoO store-queue window *)
+  fetch_width : int;
+  retire_width : int;
+  alu_ports : int;
+  mem_ports : int;
+  br_penalty : int;  (** checkpoint-restore redirect cost *)
+  replay_penalty : int;  (** LSQ violation squash + replay cost *)
+  mdp : mdp;
+}
+
+val default_config : config
+
+(** {1 Resolved program} *)
+
+type rtarget =
+  | Cmalloc of int
+  | Cprint_int
+  | Cprint_flt
+  | Cseed
+  | Crnd
+  | Cuser of int
+  | Cunknown of string
+  | Cbad of string * int
+
+type rinsn =
+  | RMovi_i of int * int
+  | RMovi_f of int * float
+  | RMov of int * int
+  | RLea_g of int * int
+  | RLea_s of int * int
+  | RLea_e of int * string
+  | RLd of { dst : int; addr : int; fp : bool; kind : Spec_codegen.Itl.lkind }
+  | RSt of { src : int; addr : int; fp : bool }
+  | RAlu of Sir.binop * bool * int * int * int
+  | RUn of Sir.unop * bool * int * int
+  | RCall of { target : rtarget; args : int array; ret : int }
+
+type rterm =
+  | RTbr of int
+  | RTbc of int * int * int
+  | RTret_none
+  | RTret of int
+
+type rblock = { r_insns : rinsn array; r_term : rterm }
+
+type rformal =
+  | RFreg
+  | RFmem of { aslot : int; vid : int; bytes : int; fp : bool }
+
+type rfunc = {
+  rf_name : string;
+  rf_nregs : int;
+  rf_blocks : rblock array;
+  rf_mem_locals : (int * int * int) array;
+  rf_formals : rformal array;
+  rf_formal_regs : int array;
+  rf_n_addr : int;
+}
+
+type rprog = {
+  r_sir : Sir.prog;
+  rfuncs : rfunc array;
+  r_main : int;
+}
+
+(** Resolve a whole ITL program: one pass over the instructions. *)
+val resolve : Spec_codegen.Itl.mprog -> rprog
+
+(** {1 Backend signature} *)
+
+(** What a core model must provide.  [faults] attaches a stress
+    injector (see {!Spec_stress.Faults}); capacity pressure is applied
+    by the caller through [config.alat_entries]. *)
+module type S = sig
+  val kind : kind
+
+  val run_resolved :
+    ?config:config -> ?faults:Spec_stress.Faults.injector -> rprog -> result
+
+  (** Resolve and run an ITL program from [main]. *)
+  val run :
+    ?config:config -> ?faults:Spec_stress.Faults.injector ->
+    Spec_codegen.Itl.mprog -> result
+
+  (** Convenience: lower an (out-of-SSA) SIR program and run it. *)
+  val run_sir :
+    ?config:config -> ?faults:Spec_stress.Faults.injector ->
+    Sir.prog -> result
+end

@@ -1,0 +1,8 @@
+(** The in-order EPIC core — the paper's evaluation machine.
+
+    Scoreboarded single-issue timing with non-blocking loads, a
+    two-level cache, the ALAT and register-stack spill accounting.
+    Reproduces the pre-refactor [Machine] counters bit-for-bit
+    (pinned by [test/test_engines.ml] and [test/test_backends.ml]). *)
+
+include Backend.S

@@ -1,0 +1,40 @@
+(** ITL machine simulators behind one backend interface.
+
+    Re-exports the shared backend contract ({!Backend}: counters,
+    config, resolved programs, the {!Backend.S} signature), keeps the
+    in-order EPIC core as the default engine — [run], [run_resolved]
+    and [run_sir] behave exactly as before the backend split — and
+    dispatches to a selected core model via the [*_on] functions.
+
+    Backends agree on architectural semantics (program output, [insns],
+    ALAT behaviour) and differ only in timing; [test/test_backends.ml]
+    enforces both halves of that contract. *)
+
+include module type of struct include Backend end
+
+(** {1 The default engine (the in-order EPIC core)} *)
+
+include Backend.S
+
+(** {1 Backend dispatch} *)
+
+type backend = kind
+
+val all_backends : backend list
+val backend_name : backend -> string
+val backend_of_string : string -> backend option
+
+(** First-class access to a core model. *)
+val engine : backend -> (module Backend.S)
+
+val run_resolved_on :
+  backend -> ?config:config -> ?faults:Spec_stress.Faults.injector ->
+  rprog -> result
+
+val run_on :
+  backend -> ?config:config -> ?faults:Spec_stress.Faults.injector ->
+  Spec_codegen.Itl.mprog -> result
+
+val run_sir_on :
+  backend -> ?config:config -> ?faults:Spec_stress.Faults.injector ->
+  Spec_ir.Sir.prog -> result

@@ -1,0 +1,10 @@
+(** The out-of-order core: ROB + rename + LSQ with a memory-dependence
+    predictor (store-set or last-violator) and branch checkpoint-restore.
+
+    Architecturally identical to {!Inorder} — same program-order
+    functional execution, so output, [insns] and ALAT behaviour match
+    the in-order core exactly — with an out-of-order timing model
+    computed alongside (trace-driven).  Stress-injected ALAT flushes
+    additionally drain the store queue and poison the predictor. *)
+
+include Backend.S

@@ -1,0 +1,305 @@
+(* Backend-interface suite (PR 6).
+
+   The machine is now a backend interface ({!Backend.S}) with two core
+   models: the paper's in-order EPIC machine ({!Inorder}, the default
+   engine) and an out-of-order control ({!Ooo}: ROB + LSQ with a
+   memory-dependence predictor + checkpoint-restore analogues).  The
+   contract this suite enforces:
+
+   - dispatch parity: [Machine.run*] and [Machine.run*_on Inorder] are
+     the same engine, and the in-order goldens of [test_engines.ml]
+     hold bit-for-bit through the dispatch path (drift rejection);
+   - architectural agreement: for every workload under every pipeline
+     variant, the two backends retire the same instruction stream and
+     produce byte-identical program output — only timing may differ;
+   - the OoO memory system: loads issued past unresolved aliasing
+     stores replay ([lsq_replays]), and the memory-dependence
+     predictors (store-set, last-violator) learn to suppress replays
+     without changing program output;
+   - the stress layer maps onto the OoO core: injected ALAT flushes
+     poison the predictor and drain the store queue ([mdp_poisons])
+     instead of being silently ignored, and zero-fault stress points
+     reproduce the unfaulted OoO baseline exactly. *)
+
+open Spec_driver
+open Spec_machine
+open Spec_stress
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let find = Spec_workloads.Workloads.find
+let wname w = w.Spec_workloads.Workloads.name
+
+(* ------------------------------------------------------------------ *)
+(* Backend naming + dispatch parity                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_backend_names () =
+  check_int "two core models" 2 (List.length Machine.all_backends);
+  List.iter
+    (fun b ->
+      match Machine.backend_of_string (Machine.backend_name b) with
+      | Some b' -> check_bool "name round-trips" true (b = b')
+      | None -> Alcotest.failf "%s does not parse" (Machine.backend_name b))
+    Machine.all_backends;
+  check_bool "in-order aliases" true
+    (Machine.backend_of_string "in-order" = Some Machine.Inorder);
+  check_bool "out-of-order aliases" true
+    (Machine.backend_of_string "out-of-order" = Some Machine.Ooo);
+  check_bool "unknown name rejected" true
+    (Machine.backend_of_string "vliw" = None)
+
+let test_default_engine_is_inorder () =
+  (* the façade's default engine must BE the in-order core: same module,
+     not a lookalike (kind comes from [include Inorder]) *)
+  check_bool "Machine.kind" true (Machine.kind = Machine.Inorder);
+  let src = Spec_workloads.Workloads.train_source (find "art") in
+  let r = Pipeline.compile_and_optimize src Pipeline.Base in
+  let direct = Machine.run_sir r.Pipeline.prog in
+  let dispatched = Machine.run_sir_on Machine.Inorder r.Pipeline.prog in
+  check_str "output identical" direct.Machine.output
+    dispatched.Machine.output;
+  check_bool "counters identical" true
+    (direct.Machine.perf = dispatched.Machine.perf)
+
+(* in-order golden drift rejection through the dispatch path: the
+   [test_engines.ml] goldens (captured from the pre-split seed
+   simulator) must hold when the same workload is driven through
+   [run_workload ~backend:Inorder] *)
+let inorder_golden_dispatch w () =
+  Experiments.machine_config := Machine.default_config;
+  let b = Experiments.run_workload ~quick:true ~backend:Machine.Inorder w in
+  List.iter
+    (fun (vname, (r : Experiments.run)) ->
+      let p = r.Experiments.r_machine.Machine.perf in
+      let got =
+        [ p.Machine.insns; p.Machine.cycles; p.Machine.data_cycles;
+          p.Machine.loads_plain; p.Machine.loads_adv; p.Machine.loads_spec;
+          p.Machine.checks; p.Machine.check_misses; p.Machine.stores;
+          p.Machine.branches; p.Machine.rse_stall_cycles;
+          p.Machine.max_stacked_regs;
+          r.Experiments.r_machine.Machine.ret_int ]
+      in
+      let want =
+        Test_engines.tuple_to_list
+          (List.assoc vname
+             (List.filter_map
+                (fun (n, v, t) -> if n = wname w then Some (v, t) else None)
+                Test_engines.machine_goldens))
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s/%s in-order counters via dispatch" (wname w)
+           vname)
+        want got;
+      (* the backend split added OoO-only counters; on the in-order core
+         they must stay dead *)
+      check_int "no br_mispredicts on inorder" 0 p.Machine.br_mispredicts;
+      check_int "no lsq_replays on inorder" 0 p.Machine.lsq_replays;
+      check_int "no mdp_poisons on inorder" 0 p.Machine.mdp_poisons)
+    [ "noopt", b.Experiments.noopt; "base", b.Experiments.base;
+      "profile", b.Experiments.prof_spec;
+      "heuristic", b.Experiments.heur_spec;
+      "aggressive", b.Experiments.aggressive ]
+
+(* ------------------------------------------------------------------ *)
+(* Cross-backend architectural agreement                               *)
+(* ------------------------------------------------------------------ *)
+
+let agreement_workload w () =
+  Experiments.machine_config := Machine.default_config;
+  let a = Experiments.run_workload ~quick:true ~backend:Machine.Inorder w in
+  let b = Experiments.run_workload ~quick:true ~backend:Machine.Ooo w in
+  (* the harness's own hard gate (output + instruction counts) *)
+  Experiments.check_backend_agreement a b;
+  List.iter2
+    (fun (vname, (ri : Experiments.run)) (_, (ro : Experiments.run)) ->
+      let mi = ri.Experiments.r_machine and mo = ro.Experiments.r_machine in
+      let ctx = Printf.sprintf "%s/%s" (wname w) vname in
+      check_str (ctx ^ ": output byte-identical") mi.Machine.output
+        mo.Machine.output;
+      check_int (ctx ^ ": return value") mi.Machine.ret_int
+        mo.Machine.ret_int;
+      let pi = mi.Machine.perf and po = mo.Machine.perf in
+      check_int (ctx ^ ": insns") pi.Machine.insns po.Machine.insns;
+      check_int (ctx ^ ": stores") pi.Machine.stores po.Machine.stores;
+      check_int (ctx ^ ": branches") pi.Machine.branches po.Machine.branches;
+      (* without injected faults both cores see the same program-order
+         ALAT traffic: speculation behaves identically *)
+      check_int (ctx ^ ": checks") pi.Machine.checks po.Machine.checks;
+      check_int (ctx ^ ": check misses") pi.Machine.check_misses
+        po.Machine.check_misses;
+      (* timing is the one thing allowed to differ; it must still be a
+         plausible cycle count, not zero or wildly off-scale (the OoO
+         core may be slower on speculation-heavy variants — replay and
+         mispredict penalties are real costs) *)
+      check_bool (ctx ^ ": ooo cycles sane") true
+        (po.Machine.cycles > 0 && po.Machine.cycles < 8 * pi.Machine.cycles))
+    [ "noopt", a.Experiments.noopt; "base", a.Experiments.base;
+      "profile", a.Experiments.prof_spec;
+      "heuristic", a.Experiments.heur_spec;
+      "aggressive", a.Experiments.aggressive ]
+    [ "noopt", b.Experiments.noopt; "base", b.Experiments.base;
+      "profile", b.Experiments.prof_spec;
+      "heuristic", b.Experiments.heur_spec;
+      "aggressive", b.Experiments.aggressive ]
+
+(* ------------------------------------------------------------------ *)
+(* LSQ misspeculation + memory-dependence prediction                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A store whose address takes a long dependence chain to resolve,
+   immediately followed by a load of A[0] that the OoO core issues
+   underneath it; every third iteration the store actually lands on
+   A[0], so the eager load misspeculates and replays.  The predictors
+   must learn the store-load pair and suppress the replays. *)
+let aliasing_src =
+  "int A[64];\n\
+   int s;\n\
+   int main() {\n\
+  \  int i; int j;\n\
+  \  i = 0; s = 0;\n\
+  \  while (i < 300) {\n\
+  \    j = (i / 3) * 3 - i + 2;\n\
+  \    A[j] = i;\n\
+  \    s = s + A[0];\n\
+  \    i = i + 1;\n\
+  \  }\n\
+  \  print_int(s);\n\
+  \  return 0;\n\
+   }\n"
+
+let ooo_with_mdp mdp =
+  { Machine.default_config with Machine.mdp }
+
+let test_lsq_replay_and_predictors () =
+  let r = Pipeline.compile_and_optimize aliasing_src Pipeline.Base in
+  let inorder = Machine.run_sir r.Pipeline.prog in
+  let run mdp =
+    Machine.run_sir_on Machine.Ooo ~config:(ooo_with_mdp mdp)
+      r.Pipeline.prog
+  in
+  let none = run Machine.Mdp_none in
+  let ss = run Machine.Mdp_store_set in
+  let lv = run Machine.Mdp_last_violator in
+  (* replays are a timing event, never an architectural one *)
+  List.iter
+    (fun (what, (m : Machine.result)) ->
+      check_str (what ^ ": output") inorder.Machine.output m.Machine.output;
+      check_int (what ^ ": insns") inorder.Machine.perf.Machine.insns
+        m.Machine.perf.Machine.insns)
+    [ "mdp=none", none; "mdp=store-set", ss; "mdp=last-violator", lv ];
+  let replays (m : Machine.result) = m.Machine.perf.Machine.lsq_replays in
+  check_bool "unpredicted aliasing loads replay" true (replays none > 0);
+  check_bool "store-set suppresses replays" true
+    (replays ss < replays none);
+  check_bool "last-violator suppresses replays" true
+    (replays lv < replays none);
+  (* waiting on predicted dependences must cost less than replaying
+     every violation *)
+  check_bool "prediction beats replay storms" true
+    (ss.Machine.perf.Machine.cycles <= none.Machine.perf.Machine.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Stress-layer mapping: ALAT faults -> LSQ flush / predictor poison   *)
+(* ------------------------------------------------------------------ *)
+
+let test_faults_poison_predictor () =
+  let r = Pipeline.compile_and_optimize aliasing_src Pipeline.Base in
+  let clean = Machine.run_sir_on Machine.Ooo r.Pipeline.prog in
+  let plan = { (Faults.null 11) with Faults.flush_period = 32 } in
+  let inj () =
+    match Faults.injector_opt plan ~scope:[ "backends-test"; "machine" ] with
+    | Some i -> i
+    | None -> Alcotest.fail "flush plan must build an injector"
+  in
+  let faulted =
+    Machine.run_sir_on Machine.Ooo ~faults:(inj ()) r.Pipeline.prog
+  in
+  (* injected flushes drain the store queue and poison the predictor
+     tables — visible in the counter, invisible in the architecture *)
+  check_bool "flushes poison the mdp" true
+    (faulted.Machine.perf.Machine.mdp_poisons > 0);
+  check_int "clean run has no poisons" 0
+    clean.Machine.perf.Machine.mdp_poisons;
+  check_str "output survives fault injection" clean.Machine.output
+    faulted.Machine.output;
+  check_int "insns survive fault injection" clean.Machine.perf.Machine.insns
+    faulted.Machine.perf.Machine.insns;
+  (* same plan on the in-order core: the ALAT path, not the LSQ path *)
+  let inorder_faulted =
+    Machine.run_sir_on Machine.Inorder ~faults:(inj ()) r.Pipeline.prog
+  in
+  check_str "in-order output survives too" clean.Machine.output
+    inorder_faulted.Machine.output;
+  check_int "no mdp to poison on inorder" 0
+    inorder_faulted.Machine.perf.Machine.mdp_poisons
+
+(* zero-fault stress points on the OoO backend must reproduce the
+   unfaulted OoO baseline exactly (the sweep takes the unfaulted code
+   path, not a faulted path that happens to inject nothing) *)
+let test_ooo_zero_fault_reproduces_baseline () =
+  Experiments.machine_config := Machine.default_config;
+  let w = find "art" in
+  let zero =
+    [ { Experiments.sp_label = "0%";
+        Experiments.sp_plan = Faults.null 1 } ]
+  in
+  let cells =
+    Experiments.stress_workload ~quick:true ~seed:1 ~points:zero
+      ~backend:Machine.Ooo w
+  in
+  check_bool "sweep produced cells" true (cells <> []);
+  let baseline = Experiments.run_workload ~quick:true ~backend:Machine.Ooo w in
+  List.iter
+    (fun (c : Experiments.stress_cell) ->
+      check_str "cells carry the backend" "ooo" c.Experiments.sc_backend;
+      check_int "no adversary flips" 0 c.Experiments.sc_adv_flips;
+      check_int "no injected faults" 0
+        (c.Experiments.sc_m_flushes + c.Experiments.sc_m_invs);
+      let (r : Experiments.run) =
+        match c.Experiments.sc_variant with
+        | "base" -> baseline.Experiments.base
+        | "profile" -> baseline.Experiments.prof_spec
+        | "heuristic" -> baseline.Experiments.heur_spec
+        | "aggressive" -> baseline.Experiments.aggressive
+        | v -> Alcotest.failf "unexpected stress variant %s" v
+      in
+      let p = r.Experiments.r_machine.Machine.perf in
+      check_int
+        (c.Experiments.sc_variant ^ ": cycles reproduce")
+        p.Machine.cycles c.Experiments.sc_cycles;
+      check_int
+        (c.Experiments.sc_variant ^ ": insns reproduce")
+        p.Machine.insns c.Experiments.sc_insns;
+      check_int
+        (c.Experiments.sc_variant ^ ": checks reproduce")
+        p.Machine.checks c.Experiments.sc_checks;
+      check_int
+        (c.Experiments.sc_variant ^ ": misses reproduce")
+        p.Machine.check_misses c.Experiments.sc_misses)
+    cells
+
+let suite =
+  [ Alcotest.test_case "backend names + dispatch" `Quick test_backend_names;
+    Alcotest.test_case "default engine is the in-order core" `Quick
+      test_default_engine_is_inorder;
+    Alcotest.test_case "LSQ replays + memory-dependence predictors" `Quick
+      test_lsq_replay_and_predictors;
+    Alcotest.test_case "injected faults poison the OoO predictor" `Quick
+      test_faults_poison_predictor;
+    Alcotest.test_case "OoO zero-fault stress reproduces baseline" `Slow
+      test_ooo_zero_fault_reproduces_baseline ]
+  @ List.map
+      (fun w ->
+        Alcotest.test_case
+          ("in-order goldens via dispatch: " ^ wname w)
+          `Slow (inorder_golden_dispatch w))
+      (List.map find [ "art"; "equake"; "gzip" ])
+  @ List.map
+      (fun w ->
+        Alcotest.test_case
+          ("backend agreement: " ^ wname w)
+          `Slow (agreement_workload w))
+      Spec_workloads.Workloads.all

@@ -21,4 +21,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("engines", Test_engines.suite);
       ("stress", Test_stress.suite);
-      ("fdo", Test_fdo.suite) ]
+      ("fdo", Test_fdo.suite);
+      ("backends", Test_backends.suite) ]
