@@ -37,9 +37,22 @@
                                        in-order-vs-OoO comparison table (also
                                        --table backends; with --json the
                                        dump gains a "backends" section)
+     bench/main.exe --engine E      -- interpreter engine validating every
+                                       variant: tree (default), vm (the
+                                       threaded-code engine), or both.
+                                       "both" executes each variant on both
+                                       engines and hard-fails on any output
+                                       disagreement with the machine
+     bench/main.exe --table engines -- engine-throughput sweep (oracle vs
+                                       pre-compiled tree vs vm; always in
+                                       the --json dump as "engines")
+     bench/main.exe --table mdp     -- OoO memory-dependence predictor
+                                       sweep (store-set, last-violator,
+                                       none; "mdp" section in the dump)
 
    Tables: smvp fig10 fig11 fig12 heuristics rse stress fdo compile backends
-           ablate-cspec ablate-alat ablate-threshold ablate-sched micro
+           engines mdp ablate-cspec ablate-alat ablate-threshold
+           ablate-sched micro
 
    Workload results are computed per-(workload, backend) on demand and
    memoized, so `--table smvp` only runs equake on the in-order core;
@@ -59,6 +72,7 @@ let stress_seed = ref 1
 let fdo = ref false
 let compile_bench = ref false
 let backends : Machine.backend list ref = ref [ Machine.Inorder ]
+let engines : Experiments.engine list ref = ref [ Experiments.Etree ]
 
 let both_backends () = List.length !backends > 1
 
@@ -81,7 +95,10 @@ let results_on backend (ws : Spec_workloads.Workloads.workload list) :
     List.filter (fun w -> not (Hashtbl.mem result_tbl (key w))) ws
   in
   if missing <> [] then begin
-    let computed = Experiments.run_workloads ~quick:!quick ~backend missing in
+    let computed =
+      Experiments.run_workloads ~quick:!quick ~backend ~engines:!engines
+        missing
+    in
     List.iter2
       (fun w b ->
         Hashtbl.replace result_tbl (key w) b;
@@ -129,6 +146,68 @@ let table_backends () =
   Printf.printf
     "(%d workloads, every output byte-identical across backends)\n"
     (List.length pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Engine throughput + memory-dependence predictor sweeps              *)
+(* ------------------------------------------------------------------ *)
+
+(** Memoized engine-throughput cells so the table and the JSON section
+    share one (strictly sequential — it carries wall times) sweep.
+    Every cell asserts the tree and vm engines reproduced the
+    tree-walking oracle exactly; a divergence fails the run. *)
+let engine_cells_tbl : Experiments.engine_cell list option ref = ref None
+
+let engine_cells () =
+  match !engine_cells_tbl with
+  | Some cells -> cells
+  | None ->
+    let cells =
+      Experiments.run_engine_bench ~quick:!quick
+        ~reps:(if !quick then 3 else 5)
+        Spec_workloads.Workloads.all
+    in
+    engine_cells_tbl := Some cells;
+    cells
+
+let table_engines () =
+  section
+    "Execution-engine throughput: tree-walking oracle vs pre-compiled tree \
+     vs threaded-code vm (best-of wall)";
+  let cells = engine_cells () in
+  print_endline Experiments.engine_header;
+  List.iter (fun c -> print_endline (Experiments.engine_row c)) cells;
+  Printf.printf
+    "(geomean tree/vm %.2fx, oracle/vm %.2fx over %d workloads; every \
+     engine output identical to the oracle)\n"
+    (Experiments.engine_geomean Experiments.engine_tree_over_vm cells)
+    (Experiments.engine_geomean Experiments.engine_ref_over_vm cells)
+    (List.length cells)
+
+(** Memoized memory-dependence-predictor cells (base builds plus the
+    adversarial chain kernel, on the OoO core under each policy);
+    outputs and instruction counts must agree across policies or the
+    sweep fails. *)
+let mdp_cells_tbl : Experiments.mdp_cell list option ref = ref None
+
+let mdp_cells () =
+  match !mdp_cells_tbl with
+  | Some cells -> cells
+  | None ->
+    let cells =
+      Experiments.run_mdp_sweep ~quick:!quick Spec_workloads.Workloads.all
+    in
+    mdp_cells_tbl := Some cells;
+    cells
+
+let table_mdp () =
+  section
+    "OoO memory-dependence predictors (base builds + chain kernel)";
+  let cells = mdp_cells () in
+  print_endline Experiments.mdp_header;
+  List.iter (fun c -> print_endline (Experiments.mdp_row cells c)) cells;
+  Printf.printf
+    "(%d cells; outputs and instruction counts identical across policies)\n"
+    (List.length cells)
 
 let table_smvp () =
   section "Section 5.1 case study: speculative register promotion in equake's smvp";
@@ -400,11 +479,12 @@ let micro_phases () =
     (fun (name, est) -> Printf.printf "%-45s %12.0f ns/run\n" name est)
     (measure tests)
 
-(** Throughput of the three execution engines on the equake train
+(** Throughput of the four execution engines on the equake train
     kernel: the tree-walking reference interpreter, the pre-compiled
-    interpreter (no hooks), and the resolved ITL machine simulator.
-    Reported as ns/run plus retired statements (or instructions) per
-    second, so engine regressions show up as absolute throughput. *)
+    interpreter (no hooks), the threaded-code vm, and the resolved ITL
+    machine simulator.  Reported as ns/run plus retired statements (or
+    instructions) per second, so engine regressions show up as absolute
+    throughput. *)
 let micro_engines () =
   section "Execution-engine throughput (Bechamel)";
   let open Bechamel in
@@ -414,6 +494,7 @@ let micro_engines () =
   in
   let iprog = Spec_ir.Lower.compile src in
   let compiled = Spec_prof.Interp.compile (Spec_ir.Lower.compile src) in
+  let vprog = Spec_prof.Vmcode.compile (Spec_ir.Lower.compile src) in
   let rp =
     let p = Spec_ir.Lower.compile src in
     let r = Pipeline.optimize p Pipeline.Base in
@@ -436,6 +517,9 @@ let micro_engines () =
         Test.make ~name:"interp: pre-compiled, no hooks"
           (Staged.stage (fun () ->
                ignore (Spec_prof.Interp.run_compiled compiled)));
+        Test.make ~name:"vm: threaded-code bytecode"
+          (Staged.stage (fun () ->
+               ignore (Spec_prof.Vm.run_program vprog)));
         Test.make ~name:"machine: resolved ITL simulator"
           (Staged.stage (fun () ->
                ignore (Spec_machine.Machine.run_resolved rp))) ]
@@ -443,6 +527,7 @@ let micro_engines () =
   let work =
     [ "engines/interp-ref: tree-walking oracle", (steps, "stmt");
       "engines/interp: pre-compiled, no hooks", (steps, "stmt");
+      "engines/vm: threaded-code bytecode", (steps, "stmt");
       "engines/machine: resolved ITL simulator", (insns, "insn") ]
   in
   List.iter
@@ -492,6 +577,11 @@ let json_dump () =
       Some (Bench_json.backends_json (backend_pairs ()))
     else None
   in
+  (* the engine-throughput and mdp sweeps are cheap next to the variant
+     matrix, so every dump carries them — the committed baselines keep
+     an engine-speedup trail the same way they keep the harness wall *)
+  let engines_blob = Some (Bench_json.engines_json (engine_cells ())) in
+  let mdp_blob = Some (Bench_json.mdp_json (mdp_cells ())) in
   let stress_blob =
     if !stress then
       Some (Bench_json.stress_json ~seed:!stress_seed (all_stress_cells ()))
@@ -515,7 +605,8 @@ let json_dump () =
       (* wall time of the pre-overhaul harness on this machine, for the
          speedup trail (see EXPERIMENTS.md) *)
       ?pre_pr2_quick_wall_s:(if !quick then Some 13.194 else None)
-      ?backends:backends_blob ?stress:stress_blob ?fdo:fdo_blob
+      ?backends:backends_blob ?engines:engines_blob ?mdp:mdp_blob
+      ?stress:stress_blob ?fdo:fdo_blob
       ?compile:compile_blob blobs
   in
   print_string out;
@@ -560,7 +651,8 @@ let known_tables =
     "ablate-threshold", table_ablate_threshold;
     "ablate-sched", table_ablate_sched; "micro", micro;
     "stress", table_stress; "fdo", table_fdo; "compile", table_compile;
-    "backends", table_backends ]
+    "backends", table_backends; "engines", table_engines;
+    "mdp", table_mdp ]
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -587,6 +679,16 @@ let () =
           | Some k -> backends := [ k ]
           | None ->
             Printf.eprintf "--backend expects inorder|ooo|both, got %s\n" b;
+            exit 2));
+      parse rest
+    | "--engine" :: e :: rest ->
+      (match e with
+       | "both" -> engines := Experiments.all_engines
+       | e ->
+         (match Experiments.engine_of_string e with
+          | Some k -> engines := [ k ]
+          | None ->
+            Printf.eprintf "--engine expects tree|vm|both, got %s\n" e;
             exit 2));
       parse rest
     | "--json" :: rest -> json := true; parse rest
@@ -623,7 +725,7 @@ let () =
     else if !tables = [] then
       [ "smvp"; "fig10"; "fig11"; "fig12"; "heuristics"; "rse";
         "ablate-cspec"; "ablate-alat"; "ablate-threshold"; "ablate-sched";
-        "fdo"; "compile" ]
+        "fdo"; "compile"; "engines"; "mdp" ]
       @ (if both_backends () then [ "backends" ] else [])
       @ [ "micro" ]
     else List.rev !tables

@@ -5,6 +5,8 @@
    the ITL machine simulator.
 
      speccc run prog.c                      interpret, print output
+     speccc run --engine vm prog.c          threaded-code bytecode engine
+     speccc run --engine both prog.c        tree + vm, fail on divergence
      speccc run --machine prog.c            simulate on the ITL machine
      speccc run --machine --backend ooo prog.c   on the out-of-order core
      speccc run --faults inv=10000 prog.c   misspeculation stress run
@@ -216,13 +218,44 @@ let machine_scope backend =
   | Spec_machine.Machine.Inorder -> "machine"
   | b -> "machine-" ^ Spec_machine.Machine.backend_name b
 
+let engine_arg =
+  Arg.(value
+       & opt (enum [ "tree", `Tree; "vm", `Vm; "both", `Both ]) `Tree
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"interpreter engine: $(b,tree) (pre-compiled closure \
+                 tree, default), $(b,vm) (threaded-code bytecode; on a \
+                 --cache-dir hit the bytecode comes straight from the \
+                 cached artifact), or $(b,both) (run both and fail on \
+                 any output disagreement)")
+
+let engine_list = function
+  | `Tree -> [ `Tree ]
+  | `Vm -> [ `Vm ]
+  | `Both -> [ `Tree; `Vm ]
+
+let engine_name = function `Tree -> "tree" | `Vm -> "vm"
+
+(* both engines draw a fresh injector from the same plan and scope, so
+   they see identical deterministic fault streams *)
+let run_engine plan file (r : Pipeline.result) engine =
+  let fi =
+    Spec_stress.Faults.injector_opt plan
+      ~scope:[ Filename.basename file; "speccc"; "interp" ]
+  in
+  let out =
+    match engine with
+    | `Tree -> Spec_prof.Interp.run ?faults:fi r.Pipeline.prog
+    | `Vm -> Spec_prof.Vm.run_program ?faults:fi (Lazy.force r.Pipeline.vm)
+  in
+  (out, fi)
+
 let run_cmd =
   let machine =
     Arg.(value & flag & info [ "machine" ] ~doc:"run on the ITL machine \
                                                  simulator (with counters)")
   in
-  let action file mode machine backend verify_each timings jobs faults
-      stress_seed profile_in profile_out cache_dir threshold =
+  let action file mode machine backend engine verify_each timings jobs
+      faults stress_seed profile_in profile_out cache_dir threshold =
     set_jobs jobs;
     let src = read_file file in
     let plan =
@@ -290,26 +323,45 @@ let run_cmd =
        | None -> ())
     end
     else begin
-      let fi =
-        Spec_stress.Faults.injector_opt plan
-          ~scope:[ Filename.basename file; "speccc"; "interp" ]
+      let results =
+        List.map (fun e -> (e, run_engine plan file r e))
+          (engine_list engine)
       in
-      let out = Spec_prof.Interp.run ?faults:fi r.Pipeline.prog in
-      print_string out.Spec_prof.Interp.output;
-      (match fi with
-       | Some inj ->
-         Printf.eprintf
-           "check-reloads=%d alat-flushes=%d alat-invalidations=%d\n"
-           out.Spec_prof.Interp.counters.Spec_prof.Interp.check_reloads
-           (Spec_stress.Faults.flushes inj)
-           (Spec_stress.Faults.invalidations inj)
-       | None -> ())
+      (match results with
+       | [] -> assert false
+       | (_, (first, _)) :: rest ->
+         List.iter
+           (fun (e, (out, _)) ->
+             if out.Spec_prof.Interp.output
+                <> first.Spec_prof.Interp.output
+             then begin
+               Printf.eprintf
+                 "speccc: engine disagreement: %s output differs from \
+                  tree\n"
+                 (engine_name e);
+               exit 1
+             end)
+           rest;
+         print_string first.Spec_prof.Interp.output);
+      List.iter
+        (fun (e, (out, fi)) ->
+          match fi with
+          | Some inj ->
+            Printf.eprintf
+              "engine=%s check-reloads=%d alat-flushes=%d \
+               alat-invalidations=%d\n"
+              (engine_name e)
+              out.Spec_prof.Interp.counters.Spec_prof.Interp.check_reloads
+              (Spec_stress.Faults.flushes inj)
+              (Spec_stress.Faults.invalidations inj)
+          | None -> ())
+        results
     end;
     0
   in
   Cmd.v (Cmd.info "run" ~doc:"compile, optimize and execute a program")
     Term.(const action $ src_arg $ mode_arg $ machine $ backend_arg
-          $ verify_arg $ timings_arg $ jobs_arg $ faults_arg
+          $ engine_arg $ verify_arg $ timings_arg $ jobs_arg $ faults_arg
           $ stress_seed_arg $ profile_in_arg $ profile_out_arg
           $ cache_dir_arg $ threshold_arg)
 
@@ -383,15 +435,17 @@ let dump_cmd =
 (* ---- stats ---- *)
 
 let stats_cmd =
-  let action file backend verify_each timings jobs profile_in profile_out
-      cache_dir threshold =
+  let action file backend engine verify_each timings jobs profile_in
+      profile_out cache_dir threshold =
     set_jobs jobs;
     let src = read_file file in
     let ev = evidence ?profile_in ?profile_out src in
     let cache = open_cache cache_dir in
-    Printf.printf "backend: %s\n" (Spec_machine.Machine.backend_name backend);
-    Printf.printf "%-10s %10s %10s %8s %8s %8s %8s\n" "variant" "cycles"
-      "insns" "loads" "checks" "misses" "stores";
+    Printf.printf "backend: %s  engine: %s\n"
+      (Spec_machine.Machine.backend_name backend)
+      (String.concat "+" (List.map engine_name (engine_list engine)));
+    Printf.printf "%-10s %10s %10s %8s %8s %8s %8s %10s\n" "variant"
+      "cycles" "insns" "loads" "checks" "misses" "stores" "steps";
     let reports = ref [] in
     List.iter
       (fun mode ->
@@ -401,12 +455,32 @@ let stats_cmd =
         let name = Pipeline.variant_name r.Pipeline.variant in
         reports := (name, r.Pipeline.report) :: !reports;
         let m = Spec_machine.Machine.run_sir_on backend r.Pipeline.prog in
+        (* every requested engine must reproduce the machine's output *)
+        let steps =
+          List.fold_left
+            (fun _ e ->
+              let i =
+                match e with
+                | `Tree -> Spec_prof.Interp.run r.Pipeline.prog
+                | `Vm -> Spec_prof.Vm.run_program (Lazy.force r.Pipeline.vm)
+              in
+              if i.Spec_prof.Interp.output <> m.Spec_machine.Machine.output
+              then begin
+                Printf.eprintf
+                  "speccc: %s: %s engine output diverged from the \
+                   machine\n"
+                  name (engine_name e);
+                exit 1
+              end;
+              i.Spec_prof.Interp.counters.Spec_prof.Interp.steps)
+            0 (engine_list engine)
+        in
         let p = m.Spec_machine.Machine.perf in
-        Printf.printf "%-10s %10d %10d %8d %8d %8d %8d\n" name
+        Printf.printf "%-10s %10d %10d %8d %8d %8d %8d %10d\n" name
           p.Spec_machine.Machine.cycles p.Spec_machine.Machine.insns
           (Spec_machine.Machine.loads_retired p)
           p.Spec_machine.Machine.checks p.Spec_machine.Machine.check_misses
-          p.Spec_machine.Machine.stores)
+          p.Spec_machine.Machine.stores steps)
       [ `None; `Base; `Profile; `Heuristic; `Aggressive ];
     report_cache cache;
     if timings then
@@ -419,9 +493,9 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"machine counters for every pipeline variant")
-    Term.(const action $ src_arg $ backend_arg $ verify_arg $ timings_arg
-          $ jobs_arg $ profile_in_arg $ profile_out_arg $ cache_dir_arg
-          $ threshold_arg)
+    Term.(const action $ src_arg $ backend_arg $ engine_arg $ verify_arg
+          $ timings_arg $ jobs_arg $ profile_in_arg $ profile_out_arg
+          $ cache_dir_arg $ threshold_arg)
 
 (* ---- profile ---- *)
 

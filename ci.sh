@@ -46,6 +46,14 @@ echo "== persistent FDO smoke (profile store + compile cache) =="
 # and print the same program output.
 sh test/ci_fdo.sh _build/default/bin/speccc.exe "$tmp"
 
+echo "== execution-engine smoke (--engine both + vm cache hit) =="
+# The tree and threaded-code vm engines must print identical output
+# (speccc exits nonzero on any disagreement), a second vm compile
+# through the compile cache must hit — executing bytecode deserialized
+# from the cached artifact — and both engines must reproduce the
+# machine's output on every pipeline variant.
+sh test/ci_engine.sh _build/default/bin/speccc.exe "$tmp"
+
 echo "== bench harness smoke (--quick --stress --jobs 2) =="
 # Runs every workload through every pipeline variant on a 2-domain pool,
 # plus the misspeculation stress grid; the harness aborts if any variant

@@ -1,4 +1,4 @@
-(** Machine-readable bench dump (schema [specpre-bench/3]): emission,
+(** Machine-readable bench dump (schema [specpre-bench/4]): emission,
     parsing, and validation.
 
     The [--json] harness mode writes a trajectory record
@@ -10,29 +10,34 @@
     the tree) that accepts exactly the JSON subset the emitter produces
     plus standard escapes.
 
-    [specpre-bench/3] (this PR) adds the machine-backend dimension:
-    every workload entry, variant row and stress cell carries a required
-    [backend] field ("inorder" | "ooo"), and a [--backend both] run
-    emits a top-level [backends] comparison section.  /2 dumps are
-    rejected. *)
+    [specpre-bench/4] (this PR) adds the execution-engine dimension:
+    every variant row carries a required [engine] field naming the
+    interpreter engine(s) that validated it ("tree", "vm" or
+    "tree+vm"), and every dump carries an [engines] throughput section
+    (tree-walking oracle vs pre-compiled tree vs threaded-code vm, with
+    speedups and Mstmt/s / Minsn/s rates) plus an [mdp] section sweeping
+    the OoO core's memory-dependence predictors.  /3 dumps (which
+    lacked the engine dimension) are rejected, as are /2 and older. *)
 
 open Spec_workloads
 
-let schema_tag = "specpre-bench/3"
+let schema_tag = "specpre-bench/4"
 
 (* ------------------------------------------------------------------ *)
 (* Emission                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let variant_json ~backend name (r : Experiments.run) =
+let variant_json ~backend ~engine name (r : Experiments.run) =
   let open Spec_machine in
   let p = r.Experiments.r_machine.Machine.perf in
   Printf.sprintf
-    "{\"variant\":%S,\"backend\":%S,\"wall_s\":%.6f,\"cycles\":%d,\
+    "{\"variant\":%S,\"backend\":%S,\"engine\":%S,\"wall_s\":%.6f,\
+     \"cycles\":%d,\
      \"insns\":%d,\"data_cycles\":%d,\"loads_retired\":%d,\"checks\":%d,\
      \"check_misses\":%d,\"br_mispredicts\":%d,\"lsq_replays\":%d}"
     name
     (Machine.backend_name backend)
+    engine
     r.Experiments.r_wall_s p.Machine.cycles p.Machine.insns
     p.Machine.data_cycles
     (Machine.loads_retired p)
@@ -46,6 +51,7 @@ let variant_json ~backend name (r : Experiments.run) =
 let workload_json (w : Workloads.workload) (b : Experiments.bench_result) =
   let buf = Buffer.create 4096 in
   let backend = b.Experiments.backend in
+  let engine = Experiments.engines_label b.Experiments.engines in
   Printf.bprintf buf
     "{\"name\":%S,\"backend\":%S,\"wall_s\":%.6f,\"profile_wall_s\":%.6f,\
      \"variants\":["
@@ -55,7 +61,7 @@ let workload_json (w : Workloads.workload) (b : Experiments.bench_result) =
   List.iteri
     (fun i (name, r) ->
       if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf (variant_json ~backend name r))
+      Buffer.add_string buf (variant_json ~backend ~engine name r))
     [ "noopt", b.Experiments.noopt; "base", b.Experiments.base;
       "profile", b.Experiments.prof_spec;
       "heuristic", b.Experiments.heur_spec;
@@ -164,6 +170,59 @@ let backends_json (pairs :
   Buffer.add_string buf "]}";
   Buffer.contents buf
 
+let engine_cell_json (c : Experiments.engine_cell) =
+  Printf.sprintf
+    "{\"workload\":%S,\"steps\":%d,\"insns\":%d,\"ref_wall_s\":%.6f,\
+     \"tree_wall_s\":%.6f,\"vm_wall_s\":%.6f,\"tree_over_vm\":%.3f,\
+     \"ref_over_vm\":%.3f,\"vm_mstmt_s\":%.3f,\"vm_minsn_s\":%.3f}"
+    c.Experiments.e_wname c.Experiments.e_steps c.Experiments.e_insns
+    c.Experiments.e_ref_s c.Experiments.e_tree_s c.Experiments.e_vm_s
+    (Experiments.engine_tree_over_vm c)
+    (Experiments.engine_ref_over_vm c)
+    (Experiments.engine_mrate c.Experiments.e_steps c.Experiments.e_vm_s)
+    (Experiments.engine_mrate c.Experiments.e_insns c.Experiments.e_vm_s)
+
+(** The engine-throughput sweep as a JSON object: per-workload wall
+    times for the three engines plus the geometric-mean speedups. *)
+let engines_json (cells : Experiments.engine_cell list) =
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf
+    "{\"geomean_tree_over_vm\":%.3f,\"geomean_ref_over_vm\":%.3f,\
+     \"workloads\":["
+    (Experiments.engine_geomean Experiments.engine_tree_over_vm cells)
+    (Experiments.engine_geomean Experiments.engine_ref_over_vm cells);
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (engine_cell_json c))
+    cells;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let mdp_cell_json (cells : Experiments.mdp_cell list)
+    (c : Experiments.mdp_cell) =
+  Printf.sprintf
+    "{\"workload\":%S,\"mdp\":%S,\"cycles\":%d,\"insns\":%d,\
+     \"lsq_replays\":%d,\"vs_none_pct\":%.3f}"
+    c.Experiments.md_wname
+    (Experiments.mdp_name c.Experiments.md_policy)
+    c.Experiments.md_cycles c.Experiments.md_insns
+    c.Experiments.md_replays
+    (Experiments.mdp_overhead cells c)
+
+(** The memory-dependence-predictor sweep as a JSON object: one cell per
+    (workload, policy) on the OoO core's profile-speculative build. *)
+let mdp_json (cells : Experiments.mdp_cell list) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\"cells\":[";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (mdp_cell_json cells c))
+    cells;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
 let fdo_cell_json (f : Experiments.fdo_result) =
   Printf.sprintf
     "{\"workload\":%S,\"cold_wall_s\":%.6f,\"warm_wall_s\":%.6f,\
@@ -219,11 +278,11 @@ let compile_json (cells : Experiments.compile_result list) =
   Buffer.contents buf
 
 (** Assemble the top-level dump.  [workloads] are pre-rendered
-    {!workload_json} blobs; [stress], [fdo] and [compile] are
-    pre-rendered {!stress_json} / {!fdo_json} / {!compile_json} blobs.
+    {!workload_json} blobs; [engines], [mdp], [stress], [fdo] and
+    [compile] are pre-rendered section blobs from the emitters above.
     [date] is supplied by the caller (the library stays clock-free). *)
 let dump ~date ~inputs ~jobs ~harness_wall_s ?pre_pr2_quick_wall_s ?backends
-    ?stress ?fdo ?compile (workloads : string list) =
+    ?engines ?mdp ?stress ?fdo ?compile (workloads : string list) =
   let buf = Buffer.create 65536 in
   Printf.bprintf buf
     "{\"schema\":%S,\"date\":%S,\"inputs\":%S,\
@@ -242,6 +301,16 @@ let dump ~date ~inputs ~jobs ~harness_wall_s ?pre_pr2_quick_wall_s ?backends
   (match backends with
    | Some s ->
      Buffer.add_string buf ",\"backends\":";
+     Buffer.add_string buf s
+   | None -> ());
+  (match engines with
+   | Some s ->
+     Buffer.add_string buf ",\"engines\":";
+     Buffer.add_string buf s
+   | None -> ());
+  (match mdp with
+   | Some s ->
+     Buffer.add_string buf ",\"mdp\":";
      Buffer.add_string buf s
    | None -> ());
   (match stress with
@@ -424,7 +493,7 @@ let parse (s : string) : (json, string) result =
 
 exception Invalid of string
 
-(** The pinned [specpre-bench/3] shape.  A field is described by its name
+(** The pinned [specpre-bench/4] shape.  A field is described by its name
     and a type tag; [`Num] accepts ints where floats are expected (JSON
     does not distinguish) but not the reverse, so counter fields stay
     integers. *)
@@ -460,10 +529,27 @@ let validate_backend_name path name f =
             (String.concat "." (List.rev path)) name other))
   | _ -> assert false
 
+(* the per-variant engine label: one or more engine names joined by '+'
+   ("tree", "vm", "tree+vm") *)
+let validate_engine_label path name f =
+  match field path name `Str f with
+  | Str s
+    when s <> ""
+         && List.for_all
+              (fun e -> Experiments.engine_of_string e <> None)
+              (String.split_on_char '+' s) -> ()
+  | Str other ->
+    raise
+      (Invalid
+         (Printf.sprintf "field %s.%s: unknown engine %S"
+            (String.concat "." (List.rev path)) name other))
+  | _ -> assert false
+
 let validate_variant path v =
   let f = as_obj path "variant entry" v in
   ignore (field path "variant" `Str f);
   validate_backend_name path "backend" f;
+  validate_engine_label path "engine" f;
   ignore (field path "wall_s" `Num f);
   List.iter
     (fun name -> ignore (field path name `Int f))
@@ -513,6 +599,35 @@ let validate_stress_cell i v =
   List.iter
     (fun name -> ignore (field path name `Num f))
     [ "hit_rate_pct"; "cycle_overhead_pct" ]
+
+let validate_engine_cell i v =
+  let path = [ Printf.sprintf "engines.workloads[%d]" i ] in
+  let f = as_obj path "engine cell" v in
+  ignore (field path "workload" `Str f);
+  List.iter
+    (fun name -> ignore (field path name `Int f))
+    [ "steps"; "insns" ];
+  List.iter
+    (fun name -> ignore (field path name `Num f))
+    [ "ref_wall_s"; "tree_wall_s"; "vm_wall_s"; "tree_over_vm";
+      "ref_over_vm"; "vm_mstmt_s"; "vm_minsn_s" ]
+
+let validate_mdp_cell i v =
+  let path = [ Printf.sprintf "mdp.cells[%d]" i ] in
+  let f = as_obj path "mdp cell" v in
+  ignore (field path "workload" `Str f);
+  (match field path "mdp" `Str f with
+   | Str s when Experiments.mdp_of_string s <> None -> ()
+   | Str other ->
+     raise
+       (Invalid
+          (Printf.sprintf "field %s.mdp: unknown predictor %S"
+             (String.concat "." (List.rev path)) other))
+   | _ -> assert false);
+  List.iter
+    (fun name -> ignore (field path name `Int f))
+    [ "cycles"; "insns"; "lsq_replays" ];
+  ignore (field path "vs_none_pct" `Num f)
 
 let validate_fdo_cell i v =
   let path = [ Printf.sprintf "fdo.workloads[%d]" i ] in
@@ -572,12 +687,12 @@ let validate_backends_entry i v =
   side "inorder" [];
   side "ooo" [ "replays_base"; "replays_spec" ]
 
-(** Validate a parsed dump against the [specpre-bench/3] schema.  The
-    [backends], [stress], [fdo] and [compile] sections are optional
-    (present only for [--backend both] / [--stress] / [--table fdo] /
-    [--compile-bench] runs) but fully pinned when present.  Older
-    schema tags — including [specpre-bench/2], which lacked the backend
-    dimension — are rejected. *)
+(** Validate a parsed dump against the [specpre-bench/4] schema.  The
+    [backends], [engines], [mdp], [stress], [fdo] and [compile]
+    sections are optional (present only when the corresponding sweep
+    ran) but fully pinned when present.  Older schema tags — including
+    [specpre-bench/3], which lacked the engine dimension — are
+    rejected. *)
 let validate (v : json) : (unit, string) result =
   try
     let f = as_obj [] "bench dump" v in
@@ -602,6 +717,21 @@ let validate (v : json) : (unit, string) result =
        let bf = as_obj [ "backends" ] "backends" bv in
        let entries = as_arr (field [ "backends" ] "workloads" `Arr bf) in
        List.iteri validate_backends_entry entries);
+    (match List.assoc_opt "engines" f with
+     | None -> ()
+     | Some ev ->
+       let ef = as_obj [ "engines" ] "engines" ev in
+       List.iter
+         (fun name -> ignore (field [ "engines" ] name `Num ef))
+         [ "geomean_tree_over_vm"; "geomean_ref_over_vm" ];
+       let cells = as_arr (field [ "engines" ] "workloads" `Arr ef) in
+       List.iteri validate_engine_cell cells);
+    (match List.assoc_opt "mdp" f with
+     | None -> ()
+     | Some mv ->
+       let mf = as_obj [ "mdp" ] "mdp" mv in
+       let cells = as_arr (field [ "mdp" ] "cells" `Arr mf) in
+       List.iteri validate_mdp_cell cells);
     (match List.assoc_opt "stress" f with
      | None -> ()
      | Some sv ->

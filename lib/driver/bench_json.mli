@@ -1,22 +1,22 @@
-(** Machine-readable bench dump (schema [specpre-bench/3]): emission,
+(** Machine-readable bench dump (schema [specpre-bench/4]): emission,
     parsing, and validation.  See [bench/main.ml] for the harness side
     and [test/test_stress.ml] for the golden schema check.
 
-    /3 adds the machine-backend dimension: workload entries, variant
-    rows and stress cells carry a required [backend] field, variant rows
-    gain the OoO counters ([br_mispredicts], [lsq_replays]), and
-    [--backend both] runs emit a top-level [backends] comparison
-    section.  /2 dumps no longer validate. *)
+    /4 adds the execution-engine dimension: variant rows carry a
+    required [engine] field ("tree", "vm" or "tree+vm" — the
+    interpreter engine(s) that validated the row against the machine),
+    and dumps carry an [engines] throughput section plus an [mdp]
+    memory-dependence-predictor sweep.  /3 dumps no longer validate. *)
 
 (** The schema tag emitted and required by this build,
-    ["specpre-bench/3"]. *)
+    ["specpre-bench/4"]. *)
 val schema_tag : string
 
 (** {1 Emission} *)
 
 val variant_json :
-  backend:Spec_machine.Machine.backend -> string -> Experiments.run ->
-  string
+  backend:Spec_machine.Machine.backend -> engine:string -> string ->
+  Experiments.run -> string
 
 val workload_json :
   Spec_workloads.Workloads.workload -> Experiments.bench_result -> string
@@ -32,6 +32,19 @@ val stress_json : seed:int -> Experiments.stress_cell list -> string
     code, and [hw_captured_pts] (in-order speedup − OoO speedup). *)
 val backends_json :
   (Experiments.bench_result * Experiments.bench_result) list -> string
+
+val engine_cell_json : Experiments.engine_cell -> string
+
+(** The engine-throughput sweep as a JSON object: per-workload wall
+    times for the tree-walking oracle, the pre-compiled tree engine and
+    the threaded-code vm, plus geometric-mean speedups. *)
+val engines_json : Experiments.engine_cell list -> string
+
+val mdp_cell_json :
+  Experiments.mdp_cell list -> Experiments.mdp_cell -> string
+
+(** The OoO memory-dependence-predictor sweep as a JSON object. *)
+val mdp_json : Experiments.mdp_cell list -> string
 
 val fdo_cell_json : Experiments.fdo_result -> string
 
@@ -49,7 +62,8 @@ val compile_json : Experiments.compile_result list -> string
     [date] is supplied by the caller so the library stays clock-free. *)
 val dump :
   date:string -> inputs:string -> jobs:int -> harness_wall_s:float ->
-  ?pre_pr2_quick_wall_s:float -> ?backends:string -> ?stress:string ->
+  ?pre_pr2_quick_wall_s:float -> ?backends:string -> ?engines:string ->
+  ?mdp:string -> ?stress:string ->
   ?fdo:string -> ?compile:string -> string list -> string
 
 (** {1 Parsing} *)
@@ -67,11 +81,11 @@ val parse : string -> (json, string) result
 
 (** {1 Schema validation} *)
 
-(** Validate a parsed dump against the pinned [specpre-bench/3] shape:
+(** Validate a parsed dump against the pinned [specpre-bench/4] shape:
     every field name and type of the top level, workload entries,
     variant counters, metrics, pass reports, and (when present) the
-    [backends], [stress], [fdo] and [compile] sections.  Older schema
-    tags are rejected. *)
+    [backends], [engines], [mdp], [stress], [fdo] and [compile]
+    sections.  Older schema tags are rejected. *)
 val validate : json -> (unit, string) result
 
 (** Parse and validate in one step. *)

@@ -13,6 +13,34 @@ open Spec_prof
 open Spec_machine
 open Spec_workloads
 
+(** Interpreter-side execution engine: the pre-compiled tree walker
+    ({!Spec_prof.Interp}) or the threaded-code bytecode vm
+    ({!Spec_prof.Vm}).  Every harness measurement validates each variant
+    on the selected engine(s) against the machine's program output, so
+    an engine bug fails the run rather than skewing a table. *)
+type engine = Etree | Evm
+
+let engine_name = function Etree -> "tree" | Evm -> "vm"
+
+let engine_of_string = function
+  | "tree" -> Some Etree
+  | "vm" -> Some Evm
+  | _ -> None
+
+let all_engines = [ Etree; Evm ]
+
+(** Label for a selection of engines as it appears in the bench JSON's
+    per-variant [engine] field: "tree", "vm", or "tree+vm". *)
+let engines_label es = String.concat "+" (List.map engine_name es)
+
+(** Execute an optimized program on [engine].  The vm leg forces the
+    pipeline result's cached bytecode, so a warm compile whose artifact
+    carried a vm section runs without re-lowering. *)
+let engine_exec engine (r : Pipeline.result) : Interp.result =
+  match engine with
+  | Etree -> Interp.run r.Pipeline.prog
+  | Evm -> Vm.run_program (Lazy.force r.Pipeline.vm)
+
 type run = {
   r_machine : Machine.result;
   r_stats : Spec_ssapre.Ssapre.stats;
@@ -22,6 +50,7 @@ type run = {
 type bench_result = {
   wname : string;
   backend : Machine.backend;  (** core model the variants ran on *)
+  engines : engine list;  (** engines that validated every variant *)
   fp : bool;
   noopt : run;
   base : run;
@@ -43,9 +72,12 @@ let machine_config = ref Machine.default_config
 (** Compile the ref input under [variant] and run it on the machine
     backend [backend] (default: the in-order EPIC core).  Every variant
     gets the local list scheduler, like the paper's O3 baseline (ORC
-    schedules everything). *)
+    schedules everything).  The same optimized program is then executed
+    on every selected interpreter engine, which must reproduce the
+    machine's output byte-for-byte — an engine/machine divergence fails
+    the measurement. *)
 let run_variant ?(quick = false) ?(backend = Machine.Inorder)
-    (w : Workloads.workload) profile variant : run =
+    ?(engines = [ Etree ]) (w : Workloads.workload) profile variant : run =
   let t0 = Unix.gettimeofday () in
   let params = if quick then w.Workloads.train else w.Workloads.ref_ in
   let prog = Lower.compile (w.Workloads.source params) in
@@ -55,6 +87,17 @@ let run_variant ?(quick = false) ?(backend = Machine.Inorder)
   let mp = Spec_codegen.Codegen.lower r.Pipeline.prog in
   ignore (Spec_codegen.Schedule.run mp : Spec_codegen.Schedule.stats);
   let m = Machine.run_on backend ~config:!machine_config mp in
+  List.iter
+    (fun e ->
+      let i = engine_exec e r in
+      if i.Interp.output <> m.Machine.output then
+        failwith
+          (Printf.sprintf
+             "experiment %s/%s: %s engine output diverged from the machine"
+             w.Workloads.name
+             (Pipeline.variant_name variant)
+             (engine_name e)))
+    engines;
   { r_machine = m; r_stats = r.Pipeline.stats;
     r_wall_s = Unix.gettimeofday () -. t0 }
 
@@ -67,7 +110,7 @@ let reuse_fraction ?(quick = false) (w : Workloads.workload) profile : float =
   Load_reuse.reuse_fraction lr
 
 let run_workload ?(quick = false) ?(backend = Machine.Inorder)
-    (w : Workloads.workload) : bench_result =
+    ?(engines = [ Etree ]) (w : Workloads.workload) : bench_result =
   let t0 = Unix.gettimeofday () in
   let train_prog = Lower.compile (Workloads.train_source w) in
   let profile, _ = Profiler.profile train_prog in
@@ -77,11 +120,11 @@ let run_workload ?(quick = false) ?(backend = Machine.Inorder)
      result record — and hence all table output — is identical to the
      sequential run. *)
   let tasks =
-    [ (fun () -> `Run (run_variant ~quick ~backend w profile Pipeline.Noopt));
-      (fun () -> `Run (run_variant ~quick ~backend w profile Pipeline.Base));
-      (fun () -> `Run (run_variant ~quick ~backend w profile (Pipeline.Spec_profile profile)));
-      (fun () -> `Run (run_variant ~quick ~backend w profile Pipeline.Spec_heuristic));
-      (fun () -> `Run (run_variant ~quick ~backend w profile Pipeline.Aggressive));
+    [ (fun () -> `Run (run_variant ~quick ~backend ~engines w profile Pipeline.Noopt));
+      (fun () -> `Run (run_variant ~quick ~backend ~engines w profile Pipeline.Base));
+      (fun () -> `Run (run_variant ~quick ~backend ~engines w profile (Pipeline.Spec_profile profile)));
+      (fun () -> `Run (run_variant ~quick ~backend ~engines w profile Pipeline.Spec_heuristic));
+      (fun () -> `Run (run_variant ~quick ~backend ~engines w profile Pipeline.Aggressive));
       (fun () -> `Reuse (reuse_fraction ~quick w profile)) ]
   in
   let noopt, base, prof_spec, heur_spec, aggressive, reuse_frac =
@@ -107,17 +150,18 @@ let run_workload ?(quick = false) ?(backend = Machine.Inorder)
     +. List.fold_left (fun acc r -> acc +. r.r_wall_s) 0.
          [ noopt; base; prof_spec; heur_spec; aggressive ]
   in
-  { wname = w.Workloads.name; backend; fp = w.Workloads.fp; noopt; base;
-    prof_spec; heur_spec; aggressive; reuse_frac; prof_wall_s; total_wall_s;
-    train_profile = profile }
+  { wname = w.Workloads.name; backend; engines; fp = w.Workloads.fp; noopt;
+    base; prof_spec; heur_spec; aggressive; reuse_frac; prof_wall_s;
+    total_wall_s; train_profile = profile }
 
 (** Run a sweep of workloads on the domain pool; results are in input
     order, so output is independent of [--jobs].  The per-workload
     variant fan-out nests inside this one — [Parpool.await] helps with
     queued tasks, so the nesting cannot deadlock. *)
 let run_workloads ?(quick = false) ?(backend = Machine.Inorder)
-    (ws : Workloads.workload list) : bench_result list =
-  Parpool.parmap (fun w -> run_workload ~quick ~backend w) ws
+    ?(engines = [ Etree ]) (ws : Workloads.workload list) :
+    bench_result list =
+  Parpool.parmap (fun w -> run_workload ~quick ~backend ~engines w) ws
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -256,6 +300,254 @@ let smvp_case_study (b : bench_result) : smvp_study =
   { checks_pct = check_pct b.prof_spec;
     spec_speedup = speedup ~base:b.base ~spec:b.prof_spec;
     tuned_speedup = speedup ~base:b.base ~spec:b.aggressive }
+
+(* ------------------------------------------------------------------ *)
+(* Engine throughput (tree-walking oracle vs pre-compiled tree vs vm)  *)
+(* ------------------------------------------------------------------ *)
+
+(** One workload's engine-throughput cell: the same (unoptimized)
+    program executed by the tree-walking oracle ({!Interp_ref}), the
+    pre-compiled tree engine ({!Interp}) and the threaded-code vm
+    ({!Vm}), with best-of-[reps] wall times.  [e_steps] is the number of
+    source statements every engine retires; [e_insns] is the resolved
+    machine's instruction count on the same program — a fixed work
+    measure, so Mstmt/s and Minsn/s rates compare engines on identical
+    work. *)
+type engine_cell = {
+  e_wname : string;
+  e_steps : int;
+  e_insns : int;
+  e_ref_s : float;   (** tree-walking oracle, best-of wall *)
+  e_tree_s : float;  (** pre-compiled tree engine, best-of wall *)
+  e_vm_s : float;    (** threaded-code vm, best-of wall *)
+}
+
+let engine_tree_over_vm (c : engine_cell) =
+  if c.e_vm_s > 0. then c.e_tree_s /. c.e_vm_s else 0.
+
+let engine_ref_over_vm (c : engine_cell) =
+  if c.e_vm_s > 0. then c.e_ref_s /. c.e_vm_s else 0.
+
+(** Throughput of one engine leg in million units per second. *)
+let engine_mrate units wall_s =
+  if wall_s > 0. then float_of_int units /. wall_s /. 1e6 else 0.
+
+let best_of_wall reps f =
+  let rec go i best =
+    if i >= reps then best
+    else begin
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      go (i + 1) (if dt < best then dt else best)
+    end
+  in
+  go 0 infinity
+
+(** Measure one workload's engine throughput.  The first (untimed) run
+    of each engine doubles as the agreement gate: output, return value
+    and retired-statement count must match the tree-walking oracle
+    exactly.  Timed runs are best-of-[reps] and must execute
+    sequentially — the caller must not put this on the domain pool. *)
+let engine_bench_workload ?(quick = false) ?(reps = 5)
+    (w : Workloads.workload) : engine_cell =
+  let params = if quick then w.Workloads.train else w.Workloads.ref_ in
+  let src = w.Workloads.source params in
+  let iprog = Lower.compile src in
+  let compiled = Interp.compile iprog in
+  let vprog = Vmcode.compile iprog in
+  let oracle = Interp_ref.run iprog in
+  let tree = Interp.run_compiled compiled in
+  let vm = Vm.run_program vprog in
+  let agree engine (i : Interp.result) =
+    if i.Interp.output <> oracle.Interp_ref.output
+       || i.Interp.counters.Interp.steps
+          <> oracle.Interp_ref.counters.Interp_ref.steps
+    then
+      failwith
+        (Printf.sprintf
+           "engine bench %s: %s engine diverged from the tree-walking oracle"
+           w.Workloads.name engine)
+  in
+  agree "tree" tree;
+  agree "vm" vm;
+  let insns =
+    let p = Lower.compile src in
+    let r = Pipeline.optimize p Pipeline.Noopt in
+    let mp = Spec_codegen.Codegen.lower r.Pipeline.prog in
+    ignore (Spec_codegen.Schedule.run mp : Spec_codegen.Schedule.stats);
+    (Machine.run ~config:!machine_config mp).Machine.perf.Machine.insns
+  in
+  { e_wname = w.Workloads.name;
+    e_steps = tree.Interp.counters.Interp.steps;
+    e_insns = insns;
+    e_ref_s = best_of_wall reps (fun () -> Interp_ref.run iprog);
+    e_tree_s = best_of_wall reps (fun () -> Interp.run_compiled compiled);
+    e_vm_s = best_of_wall reps (fun () -> Vm.run_program vprog) }
+
+(** Engine-throughput sweep.  Strictly sequential: the cells carry wall
+    times, so the pool would only add scheduler noise. *)
+let run_engine_bench ?(quick = false) ?reps (ws : Workloads.workload list) :
+    engine_cell list =
+  List.map (fun w -> engine_bench_workload ~quick ?reps w) ws
+
+let engine_header =
+  "workload  |   ref ms |  tree ms |    vm ms | tree/vm | ref/vm | vm Mstmt/s | vm Minsn/s"
+
+let engine_row (c : engine_cell) =
+  Printf.sprintf "%-9s | %8.3f | %8.3f | %8.3f | %6.2fx | %5.1fx | %10.1f | %10.1f"
+    c.e_wname (1000. *. c.e_ref_s) (1000. *. c.e_tree_s) (1000. *. c.e_vm_s)
+    (engine_tree_over_vm c) (engine_ref_over_vm c)
+    (engine_mrate c.e_steps c.e_vm_s)
+    (engine_mrate c.e_insns c.e_vm_s)
+
+(** Geometric-mean speedups over a sweep — the headline engine numbers. *)
+let engine_geomean sel (cells : engine_cell list) =
+  match cells with
+  | [] -> 0.
+  | _ ->
+    exp
+      (List.fold_left (fun acc c -> acc +. log (sel c)) 0. cells
+       /. float_of_int (List.length cells))
+
+(* ------------------------------------------------------------------ *)
+(* Memory-dependence-predictor sweep (out-of-order core)               *)
+(* ------------------------------------------------------------------ *)
+
+(** One (workload, predictor) cell of the [--table mdp] sweep: the
+    profile-speculative build on the OoO core under one
+    memory-dependence prediction policy. *)
+type mdp_cell = {
+  md_wname : string;
+  md_policy : Machine.mdp;
+  md_cycles : int;
+  md_insns : int;
+  md_replays : int;  (** LSQ order-violation replays *)
+}
+
+let mdp_name = function
+  | Machine.Mdp_store_set -> "store-set"
+  | Machine.Mdp_last_violator -> "last-violator"
+  | Machine.Mdp_none -> "none"
+
+let mdp_of_string = function
+  | "store-set" -> Some Machine.Mdp_store_set
+  | "last-violator" -> Some Machine.Mdp_last_violator
+  | "none" -> Some Machine.Mdp_none
+  | _ -> None
+
+let all_mdps =
+  [ Machine.Mdp_store_set; Machine.Mdp_last_violator; Machine.Mdp_none ]
+
+(** Sweep one workload's *base* (non-speculative) build across the
+    memory-dependence predictors.  Base is the interesting build: its
+    loads still sit below stores in program order, so the OoO core's
+    eager issue is what discovers the conflicts (on the speculative
+    builds the compiler has already replaced those loads with checks and
+    the LSQ sees nothing — the compile-time/hardware overlap §3.6
+    documents).  The program is compiled and resolved once; every policy
+    re-runs it on the OoO core and must reproduce the same output and
+    instruction count (prediction is a timing-only concern — a
+    difference is a simulator bug and fails the sweep). *)
+let mdp_cells_of ~name (prog : Sir.prog) : mdp_cell list =
+  let mp = Spec_codegen.Codegen.lower prog in
+  ignore (Spec_codegen.Schedule.run mp : Spec_codegen.Schedule.stats);
+  let rp = Machine.resolve mp in
+  let runs =
+    List.map
+      (fun policy ->
+        let config = { !machine_config with Machine.mdp = policy } in
+        (policy, Machine.run_resolved_on Machine.Ooo ~config rp))
+      all_mdps
+  in
+  (match runs with
+   | (_, first) :: rest ->
+     List.iter
+       (fun (policy, m) ->
+         if m.Machine.output <> first.Machine.output then
+           failwith
+             (Printf.sprintf "mdp sweep %s: output differs under %s" name
+                (mdp_name policy));
+         if m.Machine.perf.Machine.insns <> first.Machine.perf.Machine.insns
+         then
+           failwith
+             (Printf.sprintf
+                "mdp sweep %s: instruction count differs under %s" name
+                (mdp_name policy)))
+       rest
+   | [] -> ());
+  List.map
+    (fun (policy, m) ->
+      { md_wname = name;
+        md_policy = policy;
+        md_cycles = m.Machine.perf.Machine.cycles;
+        md_insns = m.Machine.perf.Machine.insns;
+        md_replays = m.Machine.perf.Machine.lsq_replays })
+    runs
+
+let mdp_workload ?(quick = false) (w : Workloads.workload) : mdp_cell list =
+  let train_prog = Lower.compile (Workloads.train_source w) in
+  let profile, _ = Profiler.profile train_prog in
+  let params = if quick then w.Workloads.train else w.Workloads.ref_ in
+  let prog = Lower.compile (w.Workloads.source params) in
+  let r = Pipeline.optimize ~edge_profile:(Some profile) prog Pipeline.Base in
+  mdp_cells_of ~name:w.Workloads.name r.Pipeline.prog
+
+(* The workload kernels never replay — their store addresses resolve
+   inside the OoO window before any conflicting load issues — so an
+   adversarial rider differentiates the predictors: the store address
+   takes a division chain to resolve, the next load issues eagerly
+   underneath it, and every fifth iteration they collide. *)
+let mdp_chain_src n =
+  Printf.sprintf
+    "int A[64];\n\
+     int acc;\n\
+     int main() {\n\
+    \  int i; int j;\n\
+    \  i = 0; acc = 0;\n\
+    \  while (i < %d) {\n\
+    \    j = (i / 5) * 5 - i + 4;\n\
+    \    A[j] = i;\n\
+    \    acc = acc + A[4];\n\
+    \    i = i + 1;\n\
+    \  }\n\
+    \  print_int(acc);\n\
+    \  return 0;\n\
+     }\n"
+    n
+
+let mdp_chain ?(quick = false) () : mdp_cell list =
+  let prog = Lower.compile (mdp_chain_src (if quick then 300 else 2000)) in
+  let r = Pipeline.optimize prog Pipeline.Base in
+  mdp_cells_of ~name:"chain" r.Pipeline.prog
+
+(** Sweep every workload × predictor on the domain pool, plus the
+    adversarial chain kernel; cells are grouped by unit in input order
+    (deterministic in [--jobs]). *)
+let run_mdp_sweep ?(quick = false) (ws : Workloads.workload list) :
+    mdp_cell list =
+  List.concat (Parpool.parmap (fun w -> mdp_workload ~quick w) ws)
+  @ mdp_chain ~quick ()
+
+(** Cycle cost of a cell versus the same workload under [Mdp_none], in
+    percent (negative = the predictor is faster than always-speculate). *)
+let mdp_overhead (cells : mdp_cell list) (c : mdp_cell) =
+  match
+    List.find_opt
+      (fun b -> b.md_wname = c.md_wname && b.md_policy = Machine.Mdp_none)
+      cells
+  with
+  | Some b when b.md_cycles > 0 ->
+    pct (float_of_int c.md_cycles /. float_of_int b.md_cycles -. 1.)
+  | _ -> 0.
+
+let mdp_header =
+  "workload  | predictor     |  cycles | lsq replays | vs none %"
+
+let mdp_row (cells : mdp_cell list) (c : mdp_cell) =
+  Printf.sprintf "%-9s | %-13s | %7d | %11d | %+8.1f"
+    c.md_wname (mdp_name c.md_policy) c.md_cycles c.md_replays
+    (mdp_overhead cells c)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (§6 of DESIGN.md)                                          *)

@@ -51,6 +51,10 @@ type result = {
   from_cache : bool;
       (** true when the optimized program came out of the compile cache
           (the report is then empty: no passes ran) *)
+  vm : Vmcode.program Lazy.t;
+      (** threaded-code lowering of [prog] for the vm engine; already
+          forced on a cache hit whose artifact carried valid bytecode
+          (the [specart/3] vm section), lowered on demand otherwise *)
 }
 
 let mode_of_variant = function
@@ -96,7 +100,8 @@ let optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
    | None -> ());
   if variant = Noopt then
     { prog; stats = Ssapre.zero_stats; variant;
-      report = Passes.empty_report (); from_cache = false }
+      report = Passes.empty_report (); from_cache = false;
+      vm = lazy (Vmcode.compile prog) }
   else begin
     let mgr = Passes.create ~verify_each ?perturb ~mode ~config:cfg prog in
     (* the same logical schedule as [prepass_schedule] / [round_schedule],
@@ -112,7 +117,8 @@ let optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
        unlikely-aliasing stores with ld.c recovery *)
     Passes.fused_post mgr ~strength ~strip:(variant = Aggressive);
     { prog; stats = (Passes.context mgr).Passes.ssapre_total; variant;
-      report = Passes.report mgr; from_cache = false }
+      report = Passes.report mgr; from_cache = false;
+      vm = lazy (Vmcode.compile prog) }
   end
 
 (* ------------------------------------------------------------------ *)
@@ -120,18 +126,24 @@ let optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
 (* ------------------------------------------------------------------ *)
 
 (** Cached-compile artifact: the optimized program, its SSAPRE totals,
-    and the cold compile's pass report (kept as provenance — a warm
-    compile runs zero passes, so its own report is empty). *)
+    the cold compile's pass report (kept as provenance — a warm compile
+    runs zero passes, so its own report is empty), and the threaded-code
+    bytecode lowered from the program, so a warm compile hands the vm
+    engine a ready-to-dispatch program. *)
 type artifact = {
   a_stats : Ssapre.stats;
   a_report_json : string;
   a_prog : Sir.prog;
+  a_vm : Vmcode.program option;
+      (** [None] when the artifact's vm section failed to deserialize —
+          the program itself is still good; the caller lowers fresh *)
 }
 
 (* /2: the fused parallel pipeline renames temporaries after their
    committed ids and renumbers segment-allocated statement ids, so
-   optimized programs differ textually from /1 artifacts. *)
-let artifact_version = "specart/2"
+   optimized programs differ textually from /1 artifacts.
+   /3: a [vm] section carrying the specvm/1 bytecode. *)
+let artifact_version = "specart/3"
 
 let write_artifact (r : result) : string =
   let buf = Buffer.create 65536 in
@@ -144,6 +156,8 @@ let write_artifact (r : result) : string =
     (Spec_fdo.Textio.quote (Passes.report_to_json r.report));
   Printf.bprintf buf "prog %s\n"
     (Spec_fdo.Textio.quote (Spec_fdo.Sir_io.write r.prog));
+  Printf.bprintf buf "vm %s\n"
+    (Spec_fdo.Textio.quote (Spec_fdo.Vm_io.to_text (Lazy.force r.vm)));
   Buffer.add_string buf "end\n";
   Buffer.contents buf
 
@@ -163,13 +177,22 @@ let read_artifact (s : string) : (artifact, string) Stdlib.result =
     let a_report_json = Textio.token lx in
     Textio.expect lx "prog";
     let prog_text = Textio.token lx in
+    Textio.expect lx "vm";
+    let vm_text = Textio.token lx in
     Textio.expect lx "end";
     if not (Textio.at_eof lx) then Textio.fail lx "trailing data";
     (match Spec_fdo.Sir_io.read prog_text with
      | Ok a_prog ->
+       let a_vm =
+         (* a corrupt vm section doesn't poison the artifact: the
+            program deserialized fine, so fall back to fresh lowering *)
+         match Spec_fdo.Vm_io.of_text ~src:a_prog vm_text with
+         | Ok v -> Some v
+         | Error _ -> None
+       in
        Ok { a_stats =
               { Ssapre.checks; reloads; saves; inserts; cspec_phis; items };
-            a_report_json; a_prog }
+            a_report_json; a_prog; a_vm }
      | Error e -> Error e)
   with Textio.Error msg -> Error msg
 
@@ -235,8 +258,13 @@ let compile_and_optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
      | Some data ->
        (match read_artifact data with
         | Ok a ->
+          let vm =
+            match a.a_vm with
+            | Some v -> Lazy.from_val v
+            | None -> lazy (Vmcode.compile a.a_prog)
+          in
           { prog = a.a_prog; stats = a.a_stats; variant;
-            report = Passes.empty_report (); from_cache = true }
+            report = Passes.empty_report (); from_cache = true; vm }
         | Error _ ->
           (* corrupt artifact: recount as a miss and recompile over it *)
           let st = Spec_fdo.Cache.stats c in

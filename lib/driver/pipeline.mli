@@ -29,6 +29,10 @@ type result = {
   from_cache : bool;
       (** true when the optimized program came out of the compile cache
           (the report is then empty: no passes ran) *)
+  vm : Spec_prof.Vmcode.program Lazy.t;
+      (** threaded-code lowering of [prog] for the vm engine; already
+          forced on a cache hit whose artifact carried valid bytecode
+          (the [specart/3] vm section), lowered on demand otherwise *)
 }
 
 val mode_of_variant : variant -> Spec_spec.Flags.mode
@@ -57,12 +61,16 @@ val optimize :
   variant ->
   result
 
-(** Cached-compile artifact ([specart/1]): the optimized program, its
-    SSAPRE totals, and the cold compile's pass report as provenance. *)
+(** Cached-compile artifact ([specart/3]): the optimized program, its
+    SSAPRE totals, the cold compile's pass report as provenance, and the
+    threaded-code bytecode so a warm compile skips vm lowering. *)
 type artifact = {
   a_stats : Spec_ssapre.Ssapre.stats;
   a_report_json : string;
   a_prog : Spec_ir.Sir.prog;
+  a_vm : Spec_prof.Vmcode.program option;
+      (** [None] when the vm section failed to deserialize; the caller
+          lowers fresh from [a_prog] *)
 }
 
 val artifact_version : string

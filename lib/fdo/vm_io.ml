@@ -1,0 +1,127 @@
+(** Bytecode serialization ([specvm/1]) for the content-addressed
+    compile cache.
+
+    A [specart/3] artifact stores the optimized SIR *and* the bytecode
+    {!Spec_prof.Vmcode} lowered from it, so a cache hit hands the vm
+    engine a ready-to-dispatch program with no lowering pass.  Same
+    deterministic token-stream discipline as {!Sir_io}: writer below,
+    recursive-descent reader after it, via {!Textio}; no [Marshal], so
+    artifacts are stable across OCaml versions and safe to inspect.
+
+    The source program is deliberately *not* part of the format — the
+    artifact's own SIR section supplies it at load time ({!of_text}'s
+    [src]), which keeps the two sections from ever disagreeing. *)
+
+module V = Spec_prof.Vmcode
+module I = Spec_prof.Interp
+
+let version = "specvm/1"
+
+(** Serialize the bytecode (without the source program — the cache
+    artifact stores the optimized SIR alongside it). *)
+let to_text (p : V.program) : string =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "%s\n" version;
+  Printf.bprintf buf "main %d\n" p.V.vmain;
+  Printf.bprintf buf "fpool %d" (Array.length p.V.fpool);
+  Array.iter (fun f -> Printf.bprintf buf " %h" f) p.V.fpool;
+  Buffer.add_char buf '\n';
+  Printf.bprintf buf "spool %d" (Array.length p.V.spool);
+  Array.iter
+    (fun s -> Printf.bprintf buf " %s" (Textio.quote s))
+    p.V.spool;
+  Buffer.add_char buf '\n';
+  Printf.bprintf buf "funcs %d\n" (Array.length p.V.vfuncs);
+  Array.iter
+    (fun f ->
+      Printf.bprintf buf "func %s %d %d\n"
+        (Textio.quote f.V.vname) f.V.n_regs f.V.n_addr;
+      Printf.bprintf buf "mem %d" (Array.length f.V.vmem_locals);
+      Array.iter
+        (fun (s, v, b) -> Printf.bprintf buf " %d %d %d" s v b)
+        f.V.vmem_locals;
+      Buffer.add_char buf '\n';
+      Printf.bprintf buf "formals %d" (Array.length f.V.vformals);
+      Array.iter
+        (fun fm ->
+          match fm with
+          | I.Fm_reg { slot; fp } ->
+            Printf.bprintf buf " r %d %d" slot (if fp then 1 else 0)
+          | I.Fm_mem { aslot; vid; bytes; fp } ->
+            Printf.bprintf buf " m %d %d %d %d" aslot vid bytes
+              (if fp then 1 else 0))
+        f.V.vformals;
+      Buffer.add_char buf '\n';
+      Printf.bprintf buf "code %d" (Array.length f.V.vcode);
+      Array.iter (fun w -> Printf.bprintf buf " %d" w) f.V.vcode;
+      Buffer.add_char buf '\n')
+    p.V.vfuncs;
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+(** Deserialize bytecode produced by {!to_text}; [src] must be the
+    program the bytecode was lowered from (the artifact's optimized
+    SIR). *)
+let of_text ~(src : Spec_ir.Sir.prog) (s : string)
+    : (V.program, string) Stdlib.result =
+  let lx = Textio.make s in
+  (* token order matters: read sequentially with an explicit loop rather
+     than trusting Array.init's application order *)
+  let read_seq n f =
+    if n < 0 then Textio.fail lx "negative count";
+    let rec go k acc = if k = 0 then acc else go (k - 1) (f () :: acc) in
+    Array.of_list (List.rev (go n []))
+  in
+  try
+    Textio.expect lx version;
+    Textio.expect lx "main";
+    let vmain = Textio.int_tok lx in
+    Textio.expect lx "fpool";
+    let nf = Textio.int_tok lx in
+    let fpool = read_seq nf (fun () -> Textio.float_tok lx) in
+    Textio.expect lx "spool";
+    let ns = Textio.int_tok lx in
+    let spool = read_seq ns (fun () -> Textio.token lx) in
+    Textio.expect lx "funcs";
+    let n = Textio.int_tok lx in
+    let vfuncs =
+      read_seq n (fun () ->
+          Textio.expect lx "func";
+          let vname = Textio.token lx in
+          let n_regs = Textio.int_tok lx in
+          let n_addr = Textio.int_tok lx in
+          Textio.expect lx "mem";
+          let nm = Textio.int_tok lx in
+          let vmem_locals =
+            read_seq nm (fun () ->
+                let s = Textio.int_tok lx in
+                let v = Textio.int_tok lx in
+                let b = Textio.int_tok lx in
+                (s, v, b))
+          in
+          Textio.expect lx "formals";
+          let nfm = Textio.int_tok lx in
+          let vformals =
+            read_seq nfm (fun () ->
+                match Textio.token lx with
+                | "r" ->
+                  let slot = Textio.int_tok lx in
+                  let fp = Textio.bool_tok lx in
+                  I.Fm_reg { slot; fp }
+                | "m" ->
+                  let aslot = Textio.int_tok lx in
+                  let vid = Textio.int_tok lx in
+                  let bytes = Textio.int_tok lx in
+                  let fp = Textio.bool_tok lx in
+                  I.Fm_mem { aslot; vid; bytes; fp }
+                | t -> Textio.fail lx (Printf.sprintf "bad formal kind %S" t))
+          in
+          Textio.expect lx "code";
+          let nc = Textio.int_tok lx in
+          let vcode = read_seq nc (fun () -> Textio.int_tok lx) in
+          { V.vname; vcode; n_regs; n_addr; vmem_locals; vformals })
+    in
+    Textio.expect lx "end";
+    if not (Textio.at_eof lx) then Textio.fail lx "trailing data";
+    Ok { V.vsrc = src; vfuncs; vmain; fpool; spool }
+  with Textio.Error msg -> Error msg

@@ -1,0 +1,198 @@
+(** Pre-compiled tree execution engine for SIR (the "tree" engine).
+
+    Before executing, the engine *compiles* each [Sir.func] into a
+    resolved form: register-resident variables get dense per-frame slots
+    in unboxed [int]/[float] arrays, memory-resident locals get dense
+    address slots, symbol-table and type dispatch are resolved at
+    compile time, and statement dispatch (check-load vs plain assign,
+    advanced-load arming, builtin vs user call) is decided once.
+
+    The compiled representation is exposed because it is the input of
+    the threaded-code lowerer ({!Vmcode}): the bytecode engine inherits
+    every type-resolution and speculation-classification decision from
+    this compiler, which is what keeps the engines byte-identical.
+
+    Observable behaviour — output, return value, and all counters — is
+    identical to {!Interp_ref}; the differential suites in
+    [test/test_engines.ml] and [test/test_fuzz.ml] enforce this for
+    every workload under every pipeline variant and fault plan. *)
+
+open Spec_ir
+
+type value = Vint of int | Vflt of float
+
+exception Runtime_error of string
+
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val as_int : value -> int
+val as_flt : value -> float
+
+(** Instrumentation hooks; all default to no-ops. *)
+type hooks = {
+  mutable on_edge : func:string -> src:int -> dst:int -> unit;
+  mutable on_entry : func:string -> unit;
+  mutable on_mem :
+    site:int option -> addr:int -> is_store:bool -> unit;
+      (** every memory access; [site] is set for indirect references *)
+  mutable on_load :
+    which:[ `Site of int | `Var of int ] ->
+    func:string -> addr:int -> v:value -> unit;
+      (** every memory load, for load-reuse analysis *)
+  mutable on_call : site:int -> callee:string -> unit;
+      (** user-function call about to execute *)
+  mutable on_call_ret : site:int -> callee:string -> unit;
+  mutable on_memory : Memory.t -> unit;
+      (** invoked once, when the memory image is created *)
+}
+
+val no_hooks : unit -> hooks
+
+type counters = {
+  mutable steps : int;
+  mutable mem_loads : int;
+  mutable mem_stores : int;
+  mutable branches : int;
+  mutable calls : int;
+  mutable check_stmts : int;
+      (** executions of ld.c-marked statements; their reloads are counted
+          in [mem_loads] too, but cost nothing on the machine when the
+          ALAT check succeeds *)
+  mutable check_reloads : int;
+      (** ld.c executions whose ALAT entry was gone (a real intervening
+          alias, or injected interference) and had to reload *)
+}
+
+type result = {
+  ret : value;
+  output : string;
+  counters : counters;
+}
+
+(** {1 Compiled representation} *)
+
+(** Resolved reference to a memory-resident variable's address. *)
+type vref =
+  | Rglob of int          (* original vid; address via the globals table *)
+  | Rslot of int          (* frame address-slot of a memory-resident local *)
+  | Rnone of string       (* no stack slot: runtime error with var name *)
+
+(** Int-typed and float-typed compiled expressions.  Type mismatches the
+    tree-walking engine would discover dynamically ([as_int] on a float)
+    are compiled into [Iof_f]/[Fof_i] nodes that evaluate the wrongly
+    typed subtree and raise the same [Runtime_error]. *)
+type iexpr =
+  | Iconst of int
+  | Ireg of int                                  (* register slot *)
+  | Ildv of { vr : vref; vid : int }             (* direct load, int mem var *)
+  | Iilod of { a : iexpr; site : int; spec : bool;
+               which : [ `Site of int | `Var of int ] }
+  | Ilda of vref
+  | Ineg of iexpr
+  | Ilnot of iexpr
+  | If2i of fexpr
+  | Ibin of Sir.binop * iexpr * iexpr            (* int arithmetic *)
+  | Icmp_i of Sir.binop * iexpr * iexpr
+  | Icmp_f of Sir.binop * fexpr * fexpr
+  | Iof_f of fexpr                               (* as_int of a float value *)
+
+and fexpr =
+  | Fconst of float
+  | Freg of int
+  | Fldv of { vr : vref; vid : int }             (* direct load, fp mem var *)
+  | Filod of { a : iexpr; site : int; spec : bool;
+               which : [ `Site of int | `Var of int ] }
+  | Fneg of fexpr
+  | Fi2f of iexpr
+  | Fbin of Sir.binop * fexpr * fexpr            (* fp add/sub/mul/div *)
+  | Fof_i of iexpr                               (* as_flt of an int value *)
+
+(** Either-typed expression, for call arguments and return expressions. *)
+type aexpr = Ai of iexpr | Af of fexpr
+
+(** Advanced-load (ld.a / ld.sa) ALAT arming, resolved at compile time. *)
+type arm =
+  | Arm_none
+  | Arm_ilod of { tvid : int; a : iexpr }   (* re-evaluates the address *)
+  | Arm_var of { tvid : int; vr : vref }
+
+type cstmt =
+  | CSnop
+  | CSseti of { slot : int; e : iexpr; arm : arm }
+  | CSsetf of { slot : int; e : fexpr; arm : arm }
+  | CSstorev_i of { vr : vref; e : iexpr }   (* direct store to int mem var *)
+  | CSstorev_f of { vr : vref; e : fexpr }
+  | CSchk_ilod of { tvid : int; slot : int; fp : bool; a : iexpr; site : int;
+                    which : [ `Site of int | `Var of int ] }
+  | CSchk_lod of { tvid : int; slot : int; fp : bool; vr : vref }
+  | CSistr_i of { a : iexpr; e : iexpr; site : int }
+  | CSistr_f of { a : iexpr; e : fexpr; site : int }
+  | CScall of { target : ctarget; args : aexpr array;
+                ret_slot : int; ret_fp : bool; csite : int }
+  | CSerr of { args : aexpr array; msg : string }
+      (* ill-formed builtin call: evaluate args, count the call, raise *)
+
+and ctarget =
+  | Tmalloc | Tprint_int | Tprint_flt | Tseed | Trnd
+  | Tuser of int                        (* index into compiled functions *)
+  | Tunknown of string                  (* Sir.find_func failure, deferred *)
+
+type cterm =
+  | CTgoto of int
+  | CTcond of iexpr * int * int
+  | CTret_none
+  | CTret of aexpr
+
+type cblock = {
+  cb_phis : bool;                       (* phis present: error if executed *)
+  cb_stmts : cstmt array;
+  cb_chk : bool array;                  (* per-stmt: counts as check stmt *)
+  cb_term : cterm;
+}
+
+type formal =
+  | Fm_reg of { slot : int; fp : bool }
+  | Fm_mem of { aslot : int; vid : int; bytes : int; fp : bool }
+
+type cfunc = {
+  cname : string;
+  cblocks : cblock array;
+  n_slots : int;
+  n_addr : int;
+  mem_locals : (int * int * int) array; (* (addr slot, vid, bytes) *)
+  formals : formal array;
+}
+
+type compiled = {
+  cprog : Sir.prog;
+  cfuncs : cfunc array;
+  main_ix : int;
+}
+
+(** Compile a whole (non-SSA) program.  Cheap relative to any execution:
+    one pass over the statements. *)
+val compile : Sir.prog -> compiled
+
+(** {1 Execution} *)
+
+(** Run a pre-compiled program.  Omitting [hooks] selects the
+    uninstrumented fast path (no closure is ever invoked).  [faults]
+    attaches injected ALAT interference for stress runs. *)
+val run_compiled :
+  ?fuel:int ->
+  ?hooks:hooks ->
+  ?faults:Spec_stress.Faults.injector ->
+  ?heap_bytes:int ->
+  compiled ->
+  result
+
+(** Run [main].  [fuel] bounds the number of executed statements.  The
+    program is compiled first (one cheap pass); callers that execute the
+    same program repeatedly can {!compile} once and use
+    {!run_compiled}. *)
+val run :
+  ?fuel:int ->
+  ?hooks:hooks ->
+  ?faults:Spec_stress.Faults.injector ->
+  ?heap_bytes:int ->
+  Sir.prog ->
+  result

@@ -31,8 +31,13 @@ type t = {
   mutable hp : int;                    (* next free heap address *)
   global_addr : (int, int) Hashtbl.t;  (* var id -> address *)
   (* high-water marks, so a recycled image only re-zeroes what the
-     previous run actually dirtied (see the pool below) *)
-  mutable hw_cell : int;               (* exclusive bound of written cells *)
+     previous run actually dirtied (see the pool below).  The dirty
+     range is tracked per segment: the heap starts 16 MB into the
+     address space, so a single mark would drag the untouched
+     stack-to-heap gap into every scrub — milliseconds of memset that
+     used to dominate short engine runs. *)
+  mutable hw_low : int;                (* written cells below the heap *)
+  mutable hw_heap : int;               (* written cells >= heap_cell0 *)
   mutable data_hw : int;               (* data_locs cells used by layout *)
   mutable stack_hw : int;              (* exclusive bound of stack_locs use *)
 }
@@ -81,16 +86,21 @@ let take_pooled size =
 
 (* Scrub the regions the previous run dirtied, bringing the image back
    to the all-zeros state a fresh allocation guarantees. *)
+let heap_cell0 = heap_base / Types.cell_size
+
 let scrub (m : t) =
-  Array.fill m.ints 0 m.hw_cell 0;
-  Array.fill m.flts 0 m.hw_cell 0.;
+  Array.fill m.ints 0 m.hw_low 0;
+  Array.fill m.flts 0 m.hw_low 0.;
+  Array.fill m.ints heap_cell0 (m.hw_heap - heap_cell0) 0;
+  Array.fill m.flts heap_cell0 (m.hw_heap - heap_cell0) 0.;
   Array.fill m.data_locs 0 m.data_hw (-1);
   Array.fill m.stack_locs 0 m.stack_hw (-1);
   m.heap_n <- 0;
   m.sp <- stack_base;
   m.hp <- heap_base;
   Hashtbl.reset m.global_addr;
-  m.hw_cell <- 0;
+  m.hw_low <- 0;
+  m.hw_heap <- heap_cell0;
   m.data_hw <- 0;
   m.stack_hw <- 0
 
@@ -115,7 +125,8 @@ let create ?(heap_bytes = 24 * 1024 * 1024) (p : Sir.prog) : t =
         sp = stack_base;
         hp = heap_base;
         global_addr = Hashtbl.create 16;
-        hw_cell = 0;
+        hw_low = 0;
+        hw_heap = heap_cell0;
         data_hw = 0;
         stack_hw = 0 }
   in
@@ -145,7 +156,11 @@ let cell addr = addr / Types.cell_size
 let load_int m addr = check m addr "load"; m.ints.(cell addr)
 let load_flt m addr = check m addr "load"; m.flts.(cell addr)
 
-let touch m c = if c >= m.hw_cell then m.hw_cell <- c + 1
+let touch m c =
+  if c >= heap_cell0 then begin
+    if c >= m.hw_heap then m.hw_heap <- c + 1
+  end
+  else if c >= m.hw_low then m.hw_low <- c + 1
 
 let store_int m addr v =
   check m addr "store";

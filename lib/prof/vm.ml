@@ -1,0 +1,1020 @@
+(** Threaded-code execution engine: a tight dispatch loop over the flat
+    bytecode produced by {!Vmcode} (the "vm" engine).
+
+    One closure-free [loop] per activation dispatches on dense integer
+    opcodes (the match compiles to a jump table) over the same unboxed
+    per-frame int/float slot arrays the tree engine uses.  Memory access
+    inlines the bounds check and falls back to {!Memory}'s checked
+    accessors on the slow path, so every fault is raised with the exact
+    message the tree engines produce.
+
+    All speculation semantics carry over: the semantic ALAT is the same
+    unbounded [(frame serial, tag) -> address] table, advanced loads arm
+    it (with the tree engine's re-evaluated-address side effects and its
+    try/with via a per-activation trap continuation), stores invalidate
+    matching addresses, check loads reload only when their entry is
+    gone, and injected interference ({!Spec_stress.Faults}) advances on
+    the same ALAT-operation clock.  Observable behaviour — output,
+    return value, and all counters — is identical to {!Interp} and
+    {!Interp_ref} on every run that terminates; the differential suites
+    in [test/test_engines.ml] and [test/test_fuzz.ml] enforce this
+    across workloads, variants and fault plans. *)
+
+open Spec_ir
+module I = Interp
+module V = Vmcode
+
+type result = I.result
+
+let error = I.error
+
+type state = {
+  vp : V.program;
+  mem : Memory.t;
+  ctrs : I.counters;
+  out : Buffer.t;
+  globals : int array;   (* orig vid -> data-segment address, -1 if none *)
+  mutable rng : int;
+  mutable fuel : int;
+  (* semantic ALAT, identical protocol to the tree engines *)
+  alat : (int * int, int) Hashtbl.t;
+  mutable frame_serial : int;
+  finj : Spec_stress.Faults.injector option;
+  mutable fevents : int;
+  (* return-value registers: callee -> caller, no allocation *)
+  mutable ret_isf : bool;
+  mutable ret_i : int;
+  mutable ret_f : float;
+}
+
+let no_ints : int array = [||]
+let no_flts : float array = [||]
+
+(* ---- ALAT (same semantics and fold-order determinism as Interp) ---- *)
+
+let alat_interfere st =
+  match st.finj with
+  | None -> ()
+  | Some inj ->
+    st.fevents <- st.fevents + 1;
+    Spec_stress.Faults.advance inj ~upto:st.fevents
+      ~flush:(fun () -> Hashtbl.reset st.alat)
+      ~invalidate:(fun rng ->
+        let n = Hashtbl.length st.alat in
+        if n > 0 then begin
+          let k = Spec_stress.Srng.below rng n in
+          let i = ref 0 and victim = ref None in
+          Hashtbl.iter
+            (fun key _ -> if !i = k then victim := Some key; incr i)
+            st.alat;
+          match !victim with
+          | Some key -> Hashtbl.remove st.alat key
+          | None -> ()
+        end)
+
+let alat_arm st serial tvid addr =
+  alat_interfere st;
+  Hashtbl.replace st.alat (serial, tvid) addr
+
+let alat_check st serial tvid addr =
+  alat_interfere st;
+  match Hashtbl.find_opt st.alat (serial, tvid) with
+  | Some a -> a = addr
+  | None -> false
+
+(* The empty-ALAT/no-injector case is every store of a non-speculative
+   run (and most stores of speculative ones): skipping it entirely is
+   unobservable — the interference clock only ticks under an injector,
+   and there is nothing to invalidate. *)
+let alat_invalidate st addr =
+  if st.finj != None || Hashtbl.length st.alat > 0 then begin
+    alat_interfere st;
+    let stale =
+      Hashtbl.fold
+        (fun k a acc -> if a = addr then k :: acc else acc)
+        st.alat []
+    in
+    List.iter (Hashtbl.remove st.alat) stale
+  end
+
+(* ---- memory fast paths ---- *)
+(* The range test avoids `addr + 8` so a near-max_int address cannot
+   wrap into the fast path; out-of-range traffic falls back to the
+   checked accessors, which raise (or, for spec loads, absorb) the
+   exact faults the tree engines see. *)
+
+let data_base = Memory.data_base
+
+let[@inline] ld_i (m : Memory.t) addr =
+  if addr >= data_base && addr <= m.Memory.size - 8 && addr land 7 = 0
+  then Array.unsafe_get m.Memory.ints (addr lsr 3)
+  else Memory.load_int m addr
+
+let[@inline] ld_f (m : Memory.t) addr =
+  if addr >= data_base && addr <= m.Memory.size - 8 && addr land 7 = 0
+  then Array.unsafe_get m.Memory.flts (addr lsr 3)
+  else Memory.load_flt m addr
+
+let[@inline] ld_i_spec (m : Memory.t) addr =
+  if addr >= data_base && addr <= m.Memory.size - 8 && addr land 7 = 0
+  then Array.unsafe_get m.Memory.ints (addr lsr 3)
+  else Memory.load_int_spec m addr
+
+let[@inline] ld_f_spec (m : Memory.t) addr =
+  if addr >= data_base && addr <= m.Memory.size - 8 && addr land 7 = 0
+  then Array.unsafe_get m.Memory.flts (addr lsr 3)
+  else Memory.load_flt_spec m addr
+
+let[@inline] touch (m : Memory.t) c =
+  if c >= Memory.heap_cell0 then begin
+    if c >= m.Memory.hw_heap then m.Memory.hw_heap <- c + 1
+  end
+  else if c >= m.Memory.hw_low then m.Memory.hw_low <- c + 1
+
+let[@inline] st_i (m : Memory.t) addr v =
+  if addr >= data_base && addr <= m.Memory.size - 8 && addr land 7 = 0
+  then begin
+    let c = addr lsr 3 in
+    touch m c;
+    Array.unsafe_set m.Memory.ints c v
+  end
+  else Memory.store_int m addr v
+
+let[@inline] st_f (m : Memory.t) addr v =
+  if addr >= data_base && addr <= m.Memory.size - 8 && addr land 7 = 0
+  then begin
+    let c = addr lsr 3 in
+    touch m c;
+    Array.unsafe_set m.Memory.flts c v
+  end
+  else Memory.store_flt m addr v
+
+let[@inline] glob_addr st g =
+  let a = Array.unsafe_get st.globals g in
+  if a >= 0 then a else Memory.global_addr st.mem g
+
+(* ---- dispatch ---- *)
+
+let rec exec_func st fix (ai : int array) (af : float array) : unit =
+  let vf = Array.unsafe_get st.vp.V.vfuncs fix in
+  st.frame_serial <- st.frame_serial + 1;
+  let serial = st.frame_serial in
+  let nr = vf.V.n_regs in
+  let ints = if nr = 0 then no_ints else Array.make nr 0 in
+  let flts = if nr = 0 then no_flts else Array.make nr 0. in
+  let addrs =
+    if vf.V.n_addr = 0 then no_ints else Array.make vf.V.n_addr 0
+  in
+  let mem = st.mem in
+  let mark = Memory.stack_mark mem in
+  Array.iter
+    (fun (slot, vid, bytes) ->
+      addrs.(slot) <- Memory.push_frame_var mem vid bytes)
+    vf.V.vmem_locals;
+  let nf = Array.length vf.V.vformals in
+  if nf <> Array.length ai then error "arity mismatch calling %s" vf.V.vname;
+  for k = 0 to nf - 1 do
+    match vf.V.vformals.(k) with
+    | I.Fm_reg { slot; fp } ->
+      if fp then flts.(slot) <- af.(k) else ints.(slot) <- ai.(k)
+    | I.Fm_mem { aslot; vid; bytes; fp } ->
+      let addr = Memory.push_frame_var mem vid bytes in
+      addrs.(aslot) <- addr;
+      if fp then Memory.store_flt mem addr af.(k)
+      else Memory.store_int mem addr ai.(k)
+  done;
+  let code = vf.V.vcode in
+  let fpool = st.vp.V.fpool in
+  let spool = st.vp.V.spool in
+  let ctrs = st.ctrs in
+  (* advanced-load arm spans set [trap]: a Runtime_error raised inside
+     one resumes after the span (ld.a address-evaluation try/with) *)
+  let trap = ref (-1) in
+  let[@inline] set_ret rs rfp v =
+    if rs >= 0 then begin
+      if rfp <> 0 then error "expected float value, got int %d" v
+      else Array.unsafe_set ints rs v
+    end
+  in
+  let rec loop pc : unit =
+    match Array.unsafe_get code pc with
+    | 0 (* STEPS *) ->
+      let n = Array.unsafe_get code (pc + 1) in
+      ctrs.I.steps <- ctrs.I.steps + n;
+      st.fuel <- st.fuel - n;
+      if st.fuel <= 0 then error "out of fuel (infinite loop?)";
+      loop (pc + 2)
+    | 1 (* ERR *) ->
+      error "%s" (Array.unsafe_get spool (Array.unsafe_get code (pc + 1)))
+    | 2 (* MOVI *) ->
+      Array.unsafe_set ints
+        (Array.unsafe_get code (pc + 1)) (Array.unsafe_get code (pc + 2));
+      loop (pc + 3)
+    | 3 (* MOVF *) ->
+      Array.unsafe_set flts (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get fpool (Array.unsafe_get code (pc + 2)));
+      loop (pc + 3)
+    | 4 (* MOVR *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2)));
+      loop (pc + 3)
+    | 5 (* MOVRF *) ->
+      Array.unsafe_set flts (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get flts (Array.unsafe_get code (pc + 2)));
+      loop (pc + 3)
+    | 6 (* LDG_I *) ->
+      let addr = glob_addr st (Array.unsafe_get code (pc + 2)) in
+      ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1)) (ld_i mem addr);
+      loop (pc + 3)
+    | 7 (* LDS_I *) ->
+      let addr = Array.unsafe_get addrs (Array.unsafe_get code (pc + 2)) in
+      ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1)) (ld_i mem addr);
+      loop (pc + 3)
+    | 8 (* LDG_F *) ->
+      let addr = glob_addr st (Array.unsafe_get code (pc + 2)) in
+      ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+      Array.unsafe_set flts (Array.unsafe_get code (pc + 1)) (ld_f mem addr);
+      loop (pc + 3)
+    | 9 (* LDS_F *) ->
+      let addr = Array.unsafe_get addrs (Array.unsafe_get code (pc + 2)) in
+      ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+      Array.unsafe_set flts (Array.unsafe_get code (pc + 1)) (ld_f mem addr);
+      loop (pc + 3)
+    | 10 (* ILOAD_I *) ->
+      let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 2)) in
+      ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1)) (ld_i mem addr);
+      loop (pc + 3)
+    | 11 (* ILOAD_SI *) ->
+      let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 2)) in
+      ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (ld_i_spec mem addr);
+      loop (pc + 3)
+    | 12 (* ILOAD_F *) ->
+      let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 2)) in
+      ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+      Array.unsafe_set flts (Array.unsafe_get code (pc + 1)) (ld_f mem addr);
+      loop (pc + 3)
+    | 13 (* ILOAD_SF *) ->
+      let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 2)) in
+      ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+      Array.unsafe_set flts (Array.unsafe_get code (pc + 1))
+        (ld_f_spec mem addr);
+      loop (pc + 3)
+    | 14 (* LDA_G *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (glob_addr st (Array.unsafe_get code (pc + 2)));
+      loop (pc + 3)
+    | 15 (* LDA_S *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get addrs (Array.unsafe_get code (pc + 2)));
+      loop (pc + 3)
+    | 16 (* NEG *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (- (Array.unsafe_get ints (Array.unsafe_get code (pc + 2))));
+      loop (pc + 3)
+    | 17 (* LNOT *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (if Array.unsafe_get ints (Array.unsafe_get code (pc + 2)) = 0
+         then 1 else 0);
+      loop (pc + 3)
+    | 18 (* F2I *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (int_of_float
+           (Array.unsafe_get flts (Array.unsafe_get code (pc + 2))));
+      loop (pc + 3)
+    | 19 (* FNEG *) ->
+      Array.unsafe_set flts (Array.unsafe_get code (pc + 1))
+        (-. (Array.unsafe_get flts (Array.unsafe_get code (pc + 2))));
+      loop (pc + 3)
+    | 20 (* I2F *) ->
+      Array.unsafe_set flts (Array.unsafe_get code (pc + 1))
+        (float_of_int
+           (Array.unsafe_get ints (Array.unsafe_get code (pc + 2))));
+      loop (pc + 3)
+    | 21 (* OF_F *) ->
+      error "expected int value, got float %g"
+        (Array.unsafe_get flts (Array.unsafe_get code (pc + 1)))
+    | 22 (* OF_I *) ->
+      error "expected float value, got int %d"
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 1)))
+    | 23 (* ADD *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+         + Array.unsafe_get ints (Array.unsafe_get code (pc + 3)));
+      loop (pc + 4)
+    | 24 (* SUB *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+         - Array.unsafe_get ints (Array.unsafe_get code (pc + 3)));
+      loop (pc + 4)
+    | 25 (* MUL *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+         * Array.unsafe_get ints (Array.unsafe_get code (pc + 3)));
+      loop (pc + 4)
+    | 26 (* DIV *) ->
+      let vb = Array.unsafe_get ints (Array.unsafe_get code (pc + 3)) in
+      if vb = 0 then error "integer division by zero";
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2)) / vb);
+      loop (pc + 4)
+    | 27 (* REM *) ->
+      let vb = Array.unsafe_get ints (Array.unsafe_get code (pc + 3)) in
+      if vb = 0 then error "integer remainder by zero";
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2)) mod vb);
+      loop (pc + 4)
+    | 28 (* AND *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+         land Array.unsafe_get ints (Array.unsafe_get code (pc + 3)));
+      loop (pc + 4)
+    | 29 (* OR *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+         lor Array.unsafe_get ints (Array.unsafe_get code (pc + 3)));
+      loop (pc + 4)
+    | 30 (* XOR *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+         lxor Array.unsafe_get ints (Array.unsafe_get code (pc + 3)));
+      loop (pc + 4)
+    | 31 (* SHL *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+         lsl (Array.unsafe_get ints (Array.unsafe_get code (pc + 3))
+              land 63));
+      loop (pc + 4)
+    | 32 (* SHR *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+         asr (Array.unsafe_get ints (Array.unsafe_get code (pc + 3))
+              land 63));
+      loop (pc + 4)
+    | 33 (* ADDI *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+         + Array.unsafe_get code (pc + 3));
+      loop (pc + 4)
+    | 34 (* SUBI *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+         - Array.unsafe_get code (pc + 3));
+      loop (pc + 4)
+    | 35 (* MULI *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+         * Array.unsafe_get code (pc + 3));
+      loop (pc + 4)
+    | 36 (* DIVI *) ->
+      let vb = Array.unsafe_get code (pc + 3) in
+      if vb = 0 then error "integer division by zero";
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2)) / vb);
+      loop (pc + 4)
+    | 37 (* REMI *) ->
+      let vb = Array.unsafe_get code (pc + 3) in
+      if vb = 0 then error "integer remainder by zero";
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2)) mod vb);
+      loop (pc + 4)
+    | 38 (* ANDI *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+         land Array.unsafe_get code (pc + 3));
+      loop (pc + 4)
+    | 39 (* ORI *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+         lor Array.unsafe_get code (pc + 3));
+      loop (pc + 4)
+    | 40 (* XORI *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+         lxor Array.unsafe_get code (pc + 3));
+      loop (pc + 4)
+    | 41 (* SHLI *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+         lsl (Array.unsafe_get code (pc + 3) land 63));
+      loop (pc + 4)
+    | 42 (* SHRI *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+         asr (Array.unsafe_get code (pc + 3) land 63));
+      loop (pc + 4)
+    | 43 (* ADD_LD *) ->
+      let va = Array.unsafe_get ints (Array.unsafe_get code (pc + 2)) in
+      let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 3)) in
+      ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (va + ld_i mem addr);
+      loop (pc + 4)
+    | 44 (* SUB_LD *) ->
+      let va = Array.unsafe_get ints (Array.unsafe_get code (pc + 2)) in
+      let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 3)) in
+      ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (va - ld_i mem addr);
+      loop (pc + 4)
+    | 45 (* MUL_LD *) ->
+      let va = Array.unsafe_get ints (Array.unsafe_get code (pc + 2)) in
+      let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 3)) in
+      ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (va * ld_i mem addr);
+      loop (pc + 4)
+    | 46 (* FADD *) ->
+      Array.unsafe_set flts (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get flts (Array.unsafe_get code (pc + 2))
+         +. Array.unsafe_get flts (Array.unsafe_get code (pc + 3)));
+      loop (pc + 4)
+    | 47 (* FSUB *) ->
+      Array.unsafe_set flts (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get flts (Array.unsafe_get code (pc + 2))
+         -. Array.unsafe_get flts (Array.unsafe_get code (pc + 3)));
+      loop (pc + 4)
+    | 48 (* FMUL *) ->
+      Array.unsafe_set flts (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get flts (Array.unsafe_get code (pc + 2))
+         *. Array.unsafe_get flts (Array.unsafe_get code (pc + 3)));
+      loop (pc + 4)
+    | 49 (* FDIV *) ->
+      Array.unsafe_set flts (Array.unsafe_get code (pc + 1))
+        (Array.unsafe_get flts (Array.unsafe_get code (pc + 2))
+         /. Array.unsafe_get flts (Array.unsafe_get code (pc + 3)));
+      loop (pc + 4)
+    | 50 (* FADD_LD *) ->
+      let va = Array.unsafe_get flts (Array.unsafe_get code (pc + 2)) in
+      let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 3)) in
+      ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+      Array.unsafe_set flts (Array.unsafe_get code (pc + 1))
+        (va +. ld_f mem addr);
+      loop (pc + 4)
+    | 51 (* FSUB_LD *) ->
+      let va = Array.unsafe_get flts (Array.unsafe_get code (pc + 2)) in
+      let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 3)) in
+      ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+      Array.unsafe_set flts (Array.unsafe_get code (pc + 1))
+        (va -. ld_f mem addr);
+      loop (pc + 4)
+    | 52 (* FMUL_LD *) ->
+      let va = Array.unsafe_get flts (Array.unsafe_get code (pc + 2)) in
+      let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 3)) in
+      ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+      Array.unsafe_set flts (Array.unsafe_get code (pc + 1))
+        (va *. ld_f mem addr);
+      loop (pc + 4)
+    | 53 (* CMP_LT *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (if Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+            < Array.unsafe_get ints (Array.unsafe_get code (pc + 3))
+         then 1 else 0);
+      loop (pc + 4)
+    | 54 (* CMP_LE *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (if Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+            <= Array.unsafe_get ints (Array.unsafe_get code (pc + 3))
+         then 1 else 0);
+      loop (pc + 4)
+    | 55 (* CMP_GT *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (if Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+            > Array.unsafe_get ints (Array.unsafe_get code (pc + 3))
+         then 1 else 0);
+      loop (pc + 4)
+    | 56 (* CMP_GE *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (if Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+            >= Array.unsafe_get ints (Array.unsafe_get code (pc + 3))
+         then 1 else 0);
+      loop (pc + 4)
+    | 57 (* CMP_EQ *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (if Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+            = Array.unsafe_get ints (Array.unsafe_get code (pc + 3))
+         then 1 else 0);
+      loop (pc + 4)
+    | 58 (* CMP_NE *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (if Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+            <> Array.unsafe_get ints (Array.unsafe_get code (pc + 3))
+         then 1 else 0);
+      loop (pc + 4)
+    | 59 (* CMPI_LT *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (if Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+            < Array.unsafe_get code (pc + 3)
+         then 1 else 0);
+      loop (pc + 4)
+    | 60 (* CMPI_LE *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (if Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+            <= Array.unsafe_get code (pc + 3)
+         then 1 else 0);
+      loop (pc + 4)
+    | 61 (* CMPI_GT *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (if Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+            > Array.unsafe_get code (pc + 3)
+         then 1 else 0);
+      loop (pc + 4)
+    | 62 (* CMPI_GE *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (if Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+            >= Array.unsafe_get code (pc + 3)
+         then 1 else 0);
+      loop (pc + 4)
+    | 63 (* CMPI_EQ *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (if Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+            = Array.unsafe_get code (pc + 3)
+         then 1 else 0);
+      loop (pc + 4)
+    | 64 (* CMPI_NE *) ->
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (if Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+            <> Array.unsafe_get code (pc + 3)
+         then 1 else 0);
+      loop (pc + 4)
+    | 65 (* FCMP_LT *) ->
+      let c =
+        compare
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 2)) : float)
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 3)))
+      in
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (if c < 0 then 1 else 0);
+      loop (pc + 4)
+    | 66 (* FCMP_LE *) ->
+      let c =
+        compare
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 2)) : float)
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 3)))
+      in
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (if c <= 0 then 1 else 0);
+      loop (pc + 4)
+    | 67 (* FCMP_GT *) ->
+      let c =
+        compare
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 2)) : float)
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 3)))
+      in
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (if c > 0 then 1 else 0);
+      loop (pc + 4)
+    | 68 (* FCMP_GE *) ->
+      let c =
+        compare
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 2)) : float)
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 3)))
+      in
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (if c >= 0 then 1 else 0);
+      loop (pc + 4)
+    | 69 (* FCMP_EQ *) ->
+      let c =
+        compare
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 2)) : float)
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 3)))
+      in
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (if c = 0 then 1 else 0);
+      loop (pc + 4)
+    | 70 (* FCMP_NE *) ->
+      let c =
+        compare
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 2)) : float)
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 3)))
+      in
+      Array.unsafe_set ints (Array.unsafe_get code (pc + 1))
+        (if c <> 0 then 1 else 0);
+      loop (pc + 4)
+    | 71 (* STG_I *) ->
+      let v = Array.unsafe_get ints (Array.unsafe_get code (pc + 2)) in
+      let addr = glob_addr st (Array.unsafe_get code (pc + 1)) in
+      ctrs.I.mem_stores <- ctrs.I.mem_stores + 1;
+      alat_invalidate st addr;
+      st_i mem addr v;
+      loop (pc + 3)
+    | 72 (* STS_I *) ->
+      let v = Array.unsafe_get ints (Array.unsafe_get code (pc + 2)) in
+      let addr = Array.unsafe_get addrs (Array.unsafe_get code (pc + 1)) in
+      ctrs.I.mem_stores <- ctrs.I.mem_stores + 1;
+      alat_invalidate st addr;
+      st_i mem addr v;
+      loop (pc + 3)
+    | 73 (* STG_F *) ->
+      let v = Array.unsafe_get flts (Array.unsafe_get code (pc + 2)) in
+      let addr = glob_addr st (Array.unsafe_get code (pc + 1)) in
+      ctrs.I.mem_stores <- ctrs.I.mem_stores + 1;
+      alat_invalidate st addr;
+      st_f mem addr v;
+      loop (pc + 3)
+    | 74 (* STS_F *) ->
+      let v = Array.unsafe_get flts (Array.unsafe_get code (pc + 2)) in
+      let addr = Array.unsafe_get addrs (Array.unsafe_get code (pc + 1)) in
+      ctrs.I.mem_stores <- ctrs.I.mem_stores + 1;
+      alat_invalidate st addr;
+      st_f mem addr v;
+      loop (pc + 3)
+    | 75 (* IST_I *) ->
+      let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 1)) in
+      let v = Array.unsafe_get ints (Array.unsafe_get code (pc + 2)) in
+      ctrs.I.mem_stores <- ctrs.I.mem_stores + 1;
+      alat_invalidate st addr;
+      st_i mem addr v;
+      loop (pc + 3)
+    | 76 (* IST_F *) ->
+      let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 1)) in
+      let v = Array.unsafe_get flts (Array.unsafe_get code (pc + 2)) in
+      ctrs.I.mem_stores <- ctrs.I.mem_stores + 1;
+      alat_invalidate st addr;
+      st_f mem addr v;
+      loop (pc + 3)
+    | 77 (* IST_II *) ->
+      let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 1)) in
+      let v = Array.unsafe_get code (pc + 2) in
+      ctrs.I.mem_stores <- ctrs.I.mem_stores + 1;
+      alat_invalidate st addr;
+      st_i mem addr v;
+      loop (pc + 3)
+    | 78 (* IST_ADD *) ->
+      let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 1)) in
+      let v =
+        Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+        + Array.unsafe_get ints (Array.unsafe_get code (pc + 3))
+      in
+      ctrs.I.mem_stores <- ctrs.I.mem_stores + 1;
+      alat_invalidate st addr;
+      st_i mem addr v;
+      loop (pc + 4)
+    | 79 (* IST_ADDI *) ->
+      let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 1)) in
+      let v =
+        Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+        + Array.unsafe_get code (pc + 3)
+      in
+      ctrs.I.mem_stores <- ctrs.I.mem_stores + 1;
+      alat_invalidate st addr;
+      st_i mem addr v;
+      loop (pc + 4)
+    | 80 (* CHKSTMT *) ->
+      ctrs.I.check_stmts <- ctrs.I.check_stmts + 1;
+      loop (pc + 1)
+    | 81 (* CHK_ILOD_I *) ->
+      ctrs.I.check_stmts <- ctrs.I.check_stmts + 1;
+      let t = Array.unsafe_get code (pc + 1) in
+      let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 3)) in
+      if not (alat_check st serial t addr) then begin
+        ctrs.I.check_reloads <- ctrs.I.check_reloads + 1;
+        ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+        Array.unsafe_set ints (Array.unsafe_get code (pc + 2))
+          (ld_i mem addr);
+        alat_arm st serial t addr
+      end;
+      loop (pc + 4)
+    | 82 (* CHK_ILOD_F *) ->
+      ctrs.I.check_stmts <- ctrs.I.check_stmts + 1;
+      let t = Array.unsafe_get code (pc + 1) in
+      let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 3)) in
+      if not (alat_check st serial t addr) then begin
+        ctrs.I.check_reloads <- ctrs.I.check_reloads + 1;
+        ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+        Array.unsafe_set flts (Array.unsafe_get code (pc + 2))
+          (ld_f mem addr);
+        alat_arm st serial t addr
+      end;
+      loop (pc + 4)
+    | 83 (* CHK_LDG_I *) ->
+      ctrs.I.check_stmts <- ctrs.I.check_stmts + 1;
+      let t = Array.unsafe_get code (pc + 1) in
+      let addr = glob_addr st (Array.unsafe_get code (pc + 3)) in
+      if not (alat_check st serial t addr) then begin
+        ctrs.I.check_reloads <- ctrs.I.check_reloads + 1;
+        ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+        Array.unsafe_set ints (Array.unsafe_get code (pc + 2))
+          (ld_i mem addr);
+        alat_arm st serial t addr
+      end;
+      loop (pc + 4)
+    | 84 (* CHK_LDG_F *) ->
+      ctrs.I.check_stmts <- ctrs.I.check_stmts + 1;
+      let t = Array.unsafe_get code (pc + 1) in
+      let addr = glob_addr st (Array.unsafe_get code (pc + 3)) in
+      if not (alat_check st serial t addr) then begin
+        ctrs.I.check_reloads <- ctrs.I.check_reloads + 1;
+        ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+        Array.unsafe_set flts (Array.unsafe_get code (pc + 2))
+          (ld_f mem addr);
+        alat_arm st serial t addr
+      end;
+      loop (pc + 4)
+    | 85 (* CHK_LDS_I *) ->
+      ctrs.I.check_stmts <- ctrs.I.check_stmts + 1;
+      let t = Array.unsafe_get code (pc + 1) in
+      let addr = Array.unsafe_get addrs (Array.unsafe_get code (pc + 3)) in
+      if not (alat_check st serial t addr) then begin
+        ctrs.I.check_reloads <- ctrs.I.check_reloads + 1;
+        ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+        Array.unsafe_set ints (Array.unsafe_get code (pc + 2))
+          (ld_i mem addr);
+        alat_arm st serial t addr
+      end;
+      loop (pc + 4)
+    | 86 (* CHK_LDS_F *) ->
+      ctrs.I.check_stmts <- ctrs.I.check_stmts + 1;
+      let t = Array.unsafe_get code (pc + 1) in
+      let addr = Array.unsafe_get addrs (Array.unsafe_get code (pc + 3)) in
+      if not (alat_check st serial t addr) then begin
+        ctrs.I.check_reloads <- ctrs.I.check_reloads + 1;
+        ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
+        Array.unsafe_set flts (Array.unsafe_get code (pc + 2))
+          (ld_f mem addr);
+        alat_arm st serial t addr
+      end;
+      loop (pc + 4)
+    | 87 (* ARM_TRY *) ->
+      trap := Array.unsafe_get code (pc + 1);
+      loop (pc + 2)
+    | 88 (* ARM *) ->
+      let t = Array.unsafe_get code (pc + 1) in
+      let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 2)) in
+      alat_arm st serial t addr;
+      trap := -1;
+      loop (pc + 3)
+    | 89 (* ARM_G *) ->
+      let t = Array.unsafe_get code (pc + 1) in
+      alat_arm st serial t (glob_addr st (Array.unsafe_get code (pc + 2)));
+      loop (pc + 3)
+    | 90 (* ARM_S *) ->
+      let t = Array.unsafe_get code (pc + 1) in
+      alat_arm st serial t
+        (Array.unsafe_get addrs (Array.unsafe_get code (pc + 2)));
+      loop (pc + 3)
+    | 91 (* JMP *) -> loop (Array.unsafe_get code (pc + 1))
+    | 92 (* BNZ *) ->
+      ctrs.I.branches <- ctrs.I.branches + 1;
+      if Array.unsafe_get ints (Array.unsafe_get code (pc + 1)) <> 0
+      then loop (Array.unsafe_get code (pc + 2))
+      else loop (Array.unsafe_get code (pc + 3))
+    | 93 (* BR_LT *) ->
+      ctrs.I.branches <- ctrs.I.branches + 1;
+      if Array.unsafe_get ints (Array.unsafe_get code (pc + 1))
+         < Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+      then loop (Array.unsafe_get code (pc + 3))
+      else loop (Array.unsafe_get code (pc + 4))
+    | 94 (* BR_LE *) ->
+      ctrs.I.branches <- ctrs.I.branches + 1;
+      if Array.unsafe_get ints (Array.unsafe_get code (pc + 1))
+         <= Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+      then loop (Array.unsafe_get code (pc + 3))
+      else loop (Array.unsafe_get code (pc + 4))
+    | 95 (* BR_GT *) ->
+      ctrs.I.branches <- ctrs.I.branches + 1;
+      if Array.unsafe_get ints (Array.unsafe_get code (pc + 1))
+         > Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+      then loop (Array.unsafe_get code (pc + 3))
+      else loop (Array.unsafe_get code (pc + 4))
+    | 96 (* BR_GE *) ->
+      ctrs.I.branches <- ctrs.I.branches + 1;
+      if Array.unsafe_get ints (Array.unsafe_get code (pc + 1))
+         >= Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+      then loop (Array.unsafe_get code (pc + 3))
+      else loop (Array.unsafe_get code (pc + 4))
+    | 97 (* BR_EQ *) ->
+      ctrs.I.branches <- ctrs.I.branches + 1;
+      if Array.unsafe_get ints (Array.unsafe_get code (pc + 1))
+         = Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+      then loop (Array.unsafe_get code (pc + 3))
+      else loop (Array.unsafe_get code (pc + 4))
+    | 98 (* BR_NE *) ->
+      ctrs.I.branches <- ctrs.I.branches + 1;
+      if Array.unsafe_get ints (Array.unsafe_get code (pc + 1))
+         <> Array.unsafe_get ints (Array.unsafe_get code (pc + 2))
+      then loop (Array.unsafe_get code (pc + 3))
+      else loop (Array.unsafe_get code (pc + 4))
+    | 99 (* BRI_LT *) ->
+      ctrs.I.branches <- ctrs.I.branches + 1;
+      if Array.unsafe_get ints (Array.unsafe_get code (pc + 1))
+         < Array.unsafe_get code (pc + 2)
+      then loop (Array.unsafe_get code (pc + 3))
+      else loop (Array.unsafe_get code (pc + 4))
+    | 100 (* BRI_LE *) ->
+      ctrs.I.branches <- ctrs.I.branches + 1;
+      if Array.unsafe_get ints (Array.unsafe_get code (pc + 1))
+         <= Array.unsafe_get code (pc + 2)
+      then loop (Array.unsafe_get code (pc + 3))
+      else loop (Array.unsafe_get code (pc + 4))
+    | 101 (* BRI_GT *) ->
+      ctrs.I.branches <- ctrs.I.branches + 1;
+      if Array.unsafe_get ints (Array.unsafe_get code (pc + 1))
+         > Array.unsafe_get code (pc + 2)
+      then loop (Array.unsafe_get code (pc + 3))
+      else loop (Array.unsafe_get code (pc + 4))
+    | 102 (* BRI_GE *) ->
+      ctrs.I.branches <- ctrs.I.branches + 1;
+      if Array.unsafe_get ints (Array.unsafe_get code (pc + 1))
+         >= Array.unsafe_get code (pc + 2)
+      then loop (Array.unsafe_get code (pc + 3))
+      else loop (Array.unsafe_get code (pc + 4))
+    | 103 (* BRI_EQ *) ->
+      ctrs.I.branches <- ctrs.I.branches + 1;
+      if Array.unsafe_get ints (Array.unsafe_get code (pc + 1))
+         = Array.unsafe_get code (pc + 2)
+      then loop (Array.unsafe_get code (pc + 3))
+      else loop (Array.unsafe_get code (pc + 4))
+    | 104 (* BRI_NE *) ->
+      ctrs.I.branches <- ctrs.I.branches + 1;
+      if Array.unsafe_get ints (Array.unsafe_get code (pc + 1))
+         <> Array.unsafe_get code (pc + 2)
+      then loop (Array.unsafe_get code (pc + 3))
+      else loop (Array.unsafe_get code (pc + 4))
+    | 105 (* BRF_LT *) ->
+      ctrs.I.branches <- ctrs.I.branches + 1;
+      let c =
+        compare
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 1)) : float)
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 2)))
+      in
+      if c < 0 then loop (Array.unsafe_get code (pc + 3))
+      else loop (Array.unsafe_get code (pc + 4))
+    | 106 (* BRF_LE *) ->
+      ctrs.I.branches <- ctrs.I.branches + 1;
+      let c =
+        compare
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 1)) : float)
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 2)))
+      in
+      if c <= 0 then loop (Array.unsafe_get code (pc + 3))
+      else loop (Array.unsafe_get code (pc + 4))
+    | 107 (* BRF_GT *) ->
+      ctrs.I.branches <- ctrs.I.branches + 1;
+      let c =
+        compare
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 1)) : float)
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 2)))
+      in
+      if c > 0 then loop (Array.unsafe_get code (pc + 3))
+      else loop (Array.unsafe_get code (pc + 4))
+    | 108 (* BRF_GE *) ->
+      ctrs.I.branches <- ctrs.I.branches + 1;
+      let c =
+        compare
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 1)) : float)
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 2)))
+      in
+      if c >= 0 then loop (Array.unsafe_get code (pc + 3))
+      else loop (Array.unsafe_get code (pc + 4))
+    | 109 (* BRF_EQ *) ->
+      ctrs.I.branches <- ctrs.I.branches + 1;
+      let c =
+        compare
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 1)) : float)
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 2)))
+      in
+      if c = 0 then loop (Array.unsafe_get code (pc + 3))
+      else loop (Array.unsafe_get code (pc + 4))
+    | 110 (* BRF_NE *) ->
+      ctrs.I.branches <- ctrs.I.branches + 1;
+      let c =
+        compare
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 1)) : float)
+          (Array.unsafe_get flts (Array.unsafe_get code (pc + 2)))
+      in
+      if c <> 0 then loop (Array.unsafe_get code (pc + 3))
+      else loop (Array.unsafe_get code (pc + 4))
+    | 111 (* RET0 *) ->
+      st.ret_isf <- false;
+      st.ret_i <- 0
+    | 112 (* RET_I *) ->
+      st.ret_isf <- false;
+      st.ret_i <- Array.unsafe_get ints (Array.unsafe_get code (pc + 1))
+    | 113 (* RET_F *) ->
+      st.ret_isf <- true;
+      st.ret_f <- Array.unsafe_get flts (Array.unsafe_get code (pc + 1))
+    | 114 (* B_MALLOC *) ->
+      let bytes = Array.unsafe_get ints (Array.unsafe_get code (pc + 1)) in
+      ctrs.I.calls <- ctrs.I.calls + 1;
+      set_ret (Array.unsafe_get code (pc + 2)) (Array.unsafe_get code (pc + 3))
+        (Memory.malloc mem ~site:(Array.unsafe_get code (pc + 4)) bytes);
+      loop (pc + 5)
+    | 115 (* B_PRINT_I *) ->
+      let v = Array.unsafe_get ints (Array.unsafe_get code (pc + 1)) in
+      ctrs.I.calls <- ctrs.I.calls + 1;
+      Buffer.add_string st.out (string_of_int v);
+      Buffer.add_char st.out '\n';
+      set_ret (Array.unsafe_get code (pc + 2))
+        (Array.unsafe_get code (pc + 3)) 0;
+      loop (pc + 4)
+    | 116 (* B_PRINT_F *) ->
+      let v = Array.unsafe_get flts (Array.unsafe_get code (pc + 1)) in
+      ctrs.I.calls <- ctrs.I.calls + 1;
+      Buffer.add_string st.out (Printf.sprintf "%.6g" v);
+      Buffer.add_char st.out '\n';
+      set_ret (Array.unsafe_get code (pc + 2))
+        (Array.unsafe_get code (pc + 3)) 0;
+      loop (pc + 4)
+    | 117 (* B_SEED *) ->
+      let v = Array.unsafe_get ints (Array.unsafe_get code (pc + 1)) in
+      ctrs.I.calls <- ctrs.I.calls + 1;
+      st.rng <- v;
+      set_ret (Array.unsafe_get code (pc + 2))
+        (Array.unsafe_get code (pc + 3)) 0;
+      loop (pc + 4)
+    | 118 (* B_RND *) ->
+      let m = Array.unsafe_get ints (Array.unsafe_get code (pc + 1)) in
+      ctrs.I.calls <- ctrs.I.calls + 1;
+      if m <= 0 then error "rnd expects a positive bound";
+      st.rng <-
+        (st.rng * 0x5851F42D4C957F2D + 0x14057B7EF767814F) land max_int;
+      set_ret (Array.unsafe_get code (pc + 2)) (Array.unsafe_get code (pc + 3))
+        ((st.rng lsr 29) mod m);
+      loop (pc + 4)
+    | 119 (* CALL *) ->
+      let fix = Array.unsafe_get code (pc + 1) in
+      let rs = Array.unsafe_get code (pc + 2) in
+      let rfp = Array.unsafe_get code (pc + 3) in
+      let n = Array.unsafe_get code (pc + 4) in
+      let cai = if n = 0 then no_ints else Array.make n 0 in
+      let caf = if n = 0 then no_flts else Array.make n 0. in
+      for k = 0 to n - 1 do
+        let enc = Array.unsafe_get code (pc + 5 + k) in
+        let s = enc lsr 1 in
+        if enc land 1 = 1 then caf.(k) <- Array.unsafe_get flts s
+        else cai.(k) <- Array.unsafe_get ints s
+      done;
+      ctrs.I.calls <- ctrs.I.calls + 1;
+      exec_func st fix cai caf;
+      if rs >= 0 then begin
+        if rfp <> 0 then begin
+          if st.ret_isf then Array.unsafe_set flts rs st.ret_f
+          else error "expected float value, got int %d" st.ret_i
+        end
+        else begin
+          if st.ret_isf then error "expected int value, got float %g" st.ret_f
+          else Array.unsafe_set ints rs st.ret_i
+        end
+      end;
+      loop (pc + 5 + n)
+    | 120 (* CALL_ERR *) ->
+      ctrs.I.calls <- ctrs.I.calls + 1;
+      error "%s" (Array.unsafe_get spool (Array.unsafe_get code (pc + 1)))
+    | 121 (* CALL_UNKNOWN *) ->
+      ctrs.I.calls <- ctrs.I.calls + 1;
+      invalid_arg
+        (Array.unsafe_get spool (Array.unsafe_get code (pc + 1)))
+    | op -> error "vm: corrupt bytecode (opcode %d at %d in %s)" op pc
+              vf.V.vname
+  in
+  let rec go pc =
+    try loop pc
+    with I.Runtime_error _ when !trap >= 0 ->
+      let t = !trap in
+      trap := -1;
+      go t
+  in
+  go 0;
+  Memory.pop_frame mem mark
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Run a lowered program.  [faults] attaches injected ALAT interference
+    for stress runs; the interference clock and victim selection match
+    the tree engines exactly. *)
+let run_program ?(fuel = 200_000_000) ?faults
+    ?(heap_bytes = 24 * 1024 * 1024) (p : V.program) : I.result =
+  if p.V.vmain < 0 then error "program has no main function";
+  let mem = Memory.create ~heap_bytes p.V.vsrc in
+  let syms = p.V.vsrc.Sir.syms in
+  let globals = Array.make (Symtab.count syms) (-1) in
+  List.iter
+    (fun g -> globals.(g) <- Memory.global_addr mem g)
+    p.V.vsrc.Sir.globals;
+  let st =
+    { vp = p; mem;
+      ctrs = { I.steps = 0; mem_loads = 0; mem_stores = 0; branches = 0;
+               calls = 0; check_stmts = 0; check_reloads = 0 };
+      out = Buffer.create 256; globals; rng = 88172645463325252; fuel;
+      alat = Hashtbl.create 32; frame_serial = 0;
+      finj = faults; fevents = 0;
+      ret_isf = false; ret_i = 0; ret_f = 0. }
+  in
+  exec_func st p.V.vmain no_ints no_flts;
+  let ret = if st.ret_isf then I.Vflt st.ret_f else I.Vint st.ret_i in
+  let r = { I.ret; output = Buffer.contents st.out; counters = st.ctrs } in
+  Memory.release mem;
+  r
+
+(** Lower [p] and run [main] (one cheap pass; callers that execute the
+    same program repeatedly should {!Vmcode.compile} once and use
+    {!run_program}). *)
+let run ?fuel ?faults ?heap_bytes (p : Sir.prog) : I.result =
+  run_program ?fuel ?faults ?heap_bytes (Vmcode.compile p)

@@ -1,13 +1,20 @@
-(* Differential suite for the pre-compiled execution engines (PR 2).
+(* Differential suite for the pre-compiled execution engines.
 
-   The fast engines ({!Interp}'s pre-compiled interpreter and the
-   resolved {!Machine} simulator) must be observationally identical to
-   the seed's tree-walking semantics:
+   The fast engines ({!Interp}'s pre-compiled interpreter, the {!Vm}
+   threaded-code bytecode engine, and the resolved {!Machine} simulator)
+   must be observationally identical to the seed's tree-walking
+   semantics:
 
-   - [Interp] vs [Interp_ref] (the frozen seed-semantics oracle): for
-     every workload under every pipeline variant, program output, return
-     value and every counter (steps, mem_loads, mem_stores, branches,
-     calls, check_stmts) must agree exactly.
+   - [Interp] and [Vm] vs [Interp_ref] (the frozen seed-semantics
+     oracle): for every workload under every pipeline variant, program
+     output, return value and every counter (steps, mem_loads,
+     mem_stores, branches, calls, check_stmts, check_reloads) must
+     agree exactly.
+
+   - The compile-cache artifact carries the vm bytecode: a warm hit
+     executes bytecode deserialized from disk (no re-lowering), and a
+     corrupted vm section degrades to fresh lowering, never to a stale
+     or wrong program.
 
    - [Machine]: every perf counter plus the program's return value must
      match the goldens below, which were captured from the seed
@@ -70,9 +77,8 @@ let variants profile =
     "heuristic", Pipeline.Spec_heuristic;
     "aggressive", Pipeline.Aggressive ]
 
-let check_engines_agree ctx prog =
-  let a = Interp.run prog in
-  let b = Interp_ref.run prog in
+(* compare one fast engine's result against the Interp_ref oracle *)
+let check_vs_oracle ctx (a : Interp.result) (b : Interp_ref.result) =
   Alcotest.(check string) (ctx ^ ": output") b.Interp_ref.output
     a.Interp.output;
   (match a.Interp.ret, b.Interp_ref.ret with
@@ -92,6 +98,11 @@ let check_engines_agree ctx prog =
       "calls", ca.Interp.calls, cb.Interp_ref.calls;
       "check_stmts", ca.Interp.check_stmts, cb.Interp_ref.check_stmts;
       "check_reloads", ca.Interp.check_reloads, cb.Interp_ref.check_reloads ]
+
+let check_engines_agree ctx prog =
+  let b = Interp_ref.run prog in
+  check_vs_oracle (ctx ^ "/tree") (Interp.run prog) b;
+  check_vs_oracle (ctx ^ "/vm") (Vm.run prog) b
 
 let diff_workload w () =
   let train_prog = Lower.compile (Spec_workloads.Workloads.train_source w) in
@@ -187,6 +198,114 @@ let golden_workload w () =
       "aggressive", b.Experiments.aggressive ]
 
 (* ------------------------------------------------------------------ *)
+(* vm bytecode in the compile-cache artifact                           *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_dir tag =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "specvm-test-%d-%s" (Unix.getpid ()) tag)
+  in
+  (match Sys.readdir dir with
+   | files -> Array.iter (fun f -> Sys.remove (Filename.concat dir f)) files
+   | exception Sys_error _ -> ());
+  dir
+
+let vm_cache_src =
+  {|
+int A[32];
+int main(){
+  int i; int s; s = 0;
+  for (i = 0; i < 32; i = i + 1) A[i] = i * 2;
+  for (i = 0; i < 32; i = i + 1) s = s + A[i];
+  print_int(s);
+  return 0;
+}
+|}
+
+let replace ~sub ~by s =
+  let ls = String.length s and lsub = String.length sub in
+  let buf = Buffer.create ls in
+  let i = ref 0 in
+  while !i <= ls - lsub do
+    if String.sub s !i lsub = sub then begin
+      Buffer.add_string buf by;
+      i := !i + lsub
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.add_string buf (String.sub s !i (ls - !i));
+  Buffer.contents buf
+
+let vm_cache_roundtrip () =
+  let c = Spec_fdo.Cache.create (fresh_dir "roundtrip") in
+  let compile () =
+    Pipeline.compile_and_optimize ~cache:c vm_cache_src Pipeline.Base
+  in
+  (* an uncached compile lowers bytecode on demand only *)
+  let uncached =
+    Pipeline.compile_and_optimize vm_cache_src Pipeline.Base
+  in
+  Alcotest.(check bool) "uncached vm is lowered on demand" false
+    (Lazy.is_val uncached.Pipeline.vm);
+  (* storing the artifact serializes — and therefore forces — the
+     bytecode on the cold path *)
+  let cold = compile () in
+  Alcotest.(check bool) "cold is not from cache" false
+    cold.Pipeline.from_cache;
+  Alcotest.(check bool) "cold store forces the bytecode" true
+    (Lazy.is_val cold.Pipeline.vm);
+  let cold_vm = Vm.run_program (Lazy.force cold.Pipeline.vm) in
+  let warm = compile () in
+  Alcotest.(check bool) "warm is from cache" true warm.Pipeline.from_cache;
+  (* the artifact carried valid bytecode, so the warm vm is pre-forced:
+     no lowering happened on the hit path *)
+  Alcotest.(check bool) "warm vm comes straight from the artifact" true
+    (Lazy.is_val warm.Pipeline.vm);
+  let warm_vm = Vm.run_program (Lazy.force warm.Pipeline.vm) in
+  check_vs_oracle "vm-cache/warm" warm_vm (Interp_ref.run warm.Pipeline.prog);
+  Alcotest.(check string) "warm vm output matches cold vm"
+    cold_vm.Interp.output warm_vm.Interp.output
+
+let vm_cache_corrupt_section () =
+  let dir = fresh_dir "corrupt-vm" in
+  let c = Spec_fdo.Cache.create dir in
+  let cold =
+    Pipeline.compile_and_optimize ~cache:c vm_cache_src Pipeline.Base
+  in
+  ignore (Vm.run_program (Lazy.force cold.Pipeline.vm) : Interp.result);
+  (* mangle only the vm section's version tag behind the cache's back:
+     the artifact as a whole still parses, so the entry still hits, but
+     the bytecode must be rejected and re-lowered from the program *)
+  (match Sys.readdir dir with
+   | [| f |] ->
+     let path = Filename.concat dir f in
+     let ic = open_in_bin path in
+     let blob = really_input_string ic (in_channel_length ic) in
+     close_in ic;
+     let mangled = replace ~sub:"specvm/1" ~by:"specvm/9" blob in
+     Alcotest.(check bool) "mangle changed the artifact" false
+       (mangled = blob);
+     let oc = open_out_bin path in
+     output_string oc mangled;
+     close_out oc
+   | _ -> Alcotest.fail "expected exactly one artifact");
+  let warm =
+    Pipeline.compile_and_optimize ~cache:c vm_cache_src Pipeline.Base
+  in
+  Alcotest.(check bool) "mangled vm section still hits" true
+    warm.Pipeline.from_cache;
+  Alcotest.(check bool) "rejected bytecode falls back to lazy lowering"
+    false
+    (Lazy.is_val warm.Pipeline.vm);
+  check_vs_oracle "vm-cache/relowered"
+    (Vm.run_program (Lazy.force warm.Pipeline.vm))
+    (Interp_ref.run warm.Pipeline.prog)
+
+(* ------------------------------------------------------------------ *)
 (* --jobs determinism                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -208,7 +327,11 @@ let jobs_determinism () =
 
 let suite =
   [ Alcotest.test_case "parpool: order + nested fan-out" `Quick pool_order;
-    Alcotest.test_case "parpool: exception propagation" `Quick pool_exn ]
+    Alcotest.test_case "parpool: exception propagation" `Quick pool_exn;
+    Alcotest.test_case "vm artifact cache round trip" `Quick
+      vm_cache_roundtrip;
+    Alcotest.test_case "vm artifact corrupt section re-lowers" `Quick
+      vm_cache_corrupt_section ]
   @ List.map
       (fun w ->
         Alcotest.test_case

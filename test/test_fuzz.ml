@@ -7,7 +7,9 @@
    unoptimized interpreter run.  This exercises, in one property: the
    frontend, alias analysis, speculative SSA, speculative SSAPRE, store
    promotion, strength reduction, cleanup, codegen, scheduling, the ALAT,
-   and the interpreter's semantic ALAT. *)
+   and the interpreter's semantic ALAT.  A second differential pits the
+   three interpreter engines (pre-compiled tree, threaded-code vm,
+   tree-walking reference) against each other under fault injection. *)
 
 open Spec_ir
 open Spec_driver
@@ -233,6 +235,60 @@ let prop_recursive =
           = expected)
         (variants_of src))
 
+(* ---- three-way engine differential ---- *)
+
+(* the pre-compiled tree engine, the threaded-code vm and the
+   tree-walking reference must agree bit-for-bit on the same optimized
+   program — outputs, return value, and (tree vs vm) every counter —
+   under every fault plan.  Each engine draws a fresh injector from the
+   same plan and scope, so all three see identical deterministic fault
+   streams. *)
+let fault_plans = [ ""; "inv=50000"; "flush=64"; "flush=16,inv=200000" ]
+
+let engines_agree r name plan_spec =
+  let plan =
+    match Spec_stress.Faults.parse ~seed:7 plan_spec with
+    | Ok p -> p
+    | Error m -> failwith m
+  in
+  let inj () =
+    Spec_stress.Faults.injector_opt plan ~scope:[ "fuzz"; name; plan_spec ]
+  in
+  let tree = Spec_prof.Interp.run ?faults:(inj ()) r.Pipeline.prog in
+  let vm =
+    Spec_prof.Vm.run_program ?faults:(inj ()) (Lazy.force r.Pipeline.vm)
+  in
+  let oracle =
+    Spec_prof.Interp_ref.run ?faults:(inj ()) r.Pipeline.prog
+  in
+  let ret_agrees =
+    match tree.Spec_prof.Interp.ret, oracle.Spec_prof.Interp_ref.ret with
+    | Spec_prof.Interp.Vint x, Spec_prof.Interp_ref.Vint y -> x = y
+    | Spec_prof.Interp.Vflt x, Spec_prof.Interp_ref.Vflt y ->
+      compare x y = 0
+    | _ -> false
+  in
+  tree.Spec_prof.Interp.output = oracle.Spec_prof.Interp_ref.output
+  && vm.Spec_prof.Interp.output = oracle.Spec_prof.Interp_ref.output
+  && ret_agrees
+  && vm.Spec_prof.Interp.ret = tree.Spec_prof.Interp.ret
+  && vm.Spec_prof.Interp.counters = tree.Spec_prof.Interp.counters
+
+let prop_engine_differential =
+  QCheck.Test.make ~count:40
+    ~name:"three-way engine differential (tree/vm/ref, faulted)"
+    (QCheck.make ~print:Fun.id
+       QCheck.Gen.(oneof [ gen_program; gen_control; gen_recursive ]))
+    (fun src ->
+      List.for_all
+        (fun (name, variant, prof) ->
+          let r =
+            Pipeline.compile_and_optimize ~edge_profile:(Some prof) src
+              variant
+          in
+          List.for_all (engines_agree r name) fault_plans)
+        (variants_of src))
+
 let test_fuzz_smoke () =
   (* one deterministic instance of each generator, as a fast smoke test *)
   let pick g = QCheck.Gen.generate1 ~rand:(Random.State.make [| 42 |]) g in
@@ -256,4 +312,5 @@ let suite =
   [ Alcotest.test_case "fuzz smoke" `Quick test_fuzz_smoke;
     QCheck_alcotest.to_alcotest prop_whole_stack;
     QCheck_alcotest.to_alcotest prop_control_shapes;
-    QCheck_alcotest.to_alcotest prop_recursive ]
+    QCheck_alcotest.to_alcotest prop_recursive;
+    QCheck_alcotest.to_alcotest prop_engine_differential ]

@@ -1,7 +1,7 @@
 (* Tests for the misspeculation stress layer: the splittable RNG, fault
    plans and injectors, ALAT interference, the stress sweep's
    correctness/determinism/degradation guarantees, and the pinned
-   [specpre-bench/3] JSON schema (golden check on the committed
+   [specpre-bench/4] JSON schema (golden check on the committed
    baselines and on a freshly emitted dump). *)
 
 open Spec_driver
@@ -264,7 +264,7 @@ let replace ~sub ~by s =
 
 let test_bench_json_schema_committed () =
   (* golden check: every committed BENCH_<date>.json baseline must parse
-     and validate against the pinned specpre-bench/3 schema *)
+     and validate against the pinned specpre-bench/4 schema *)
   let dir = ".." in
   let baselines =
     Sys.readdir dir |> Array.to_list
@@ -281,9 +281,25 @@ let test_bench_json_schema_committed () =
       | Error msg -> Alcotest.failf "%s: %s" f msg)
     baselines
 
+(* hand-built section cells so the dump exercises the engines and mdp
+   validators without paying for a real throughput sweep *)
+let mini_engine_cells =
+  [ { Experiments.e_wname = "art"; e_steps = 1000; e_insns = 2000;
+      e_ref_s = 0.01; e_tree_s = 0.004; e_vm_s = 0.001 } ]
+
+let mini_mdp_cells =
+  [ { Experiments.md_wname = "art";
+      md_policy = Spec_machine.Machine.Mdp_none; md_cycles = 100;
+      md_insns = 200; md_replays = 3 };
+    { Experiments.md_wname = "art";
+      md_policy = Spec_machine.Machine.Mdp_store_set; md_cycles = 90;
+      md_insns = 200; md_replays = 1 } ]
+
 let fresh_dump () =
   Bench_json.dump ~date:"2026-08-07" ~inputs:"train" ~jobs:1
     ~harness_wall_s:0.123
+    ~engines:(Bench_json.engines_json mini_engine_cells)
+    ~mdp:(Bench_json.mdp_json mini_mdp_cells)
     ~stress:(Bench_json.stress_json ~seed:1 (Lazy.force mini_sweep))
     []
 
@@ -302,13 +318,19 @@ let test_bench_json_rejects_drift () =
     [ "renamed stress counter",
       replace ~sub:"\"check_misses\"" ~by:"\"cheks\"" dump;
       "unknown schema tag",
-      replace ~sub:"specpre-bench/3" ~by:"specpre-bench/9" dump;
+      replace ~sub:"specpre-bench/4" ~by:"specpre-bench/9" dump;
+      "pre-engine schema tag",
+      replace ~sub:"specpre-bench/4" ~by:"specpre-bench/3" dump;
       "pre-backend schema tag",
-      replace ~sub:"specpre-bench/3" ~by:"specpre-bench/2" dump;
+      replace ~sub:"specpre-bench/4" ~by:"specpre-bench/2" dump;
       "missing backend dimension",
       replace ~sub:"\"backend\":\"inorder\"," ~by:"" dump;
       "unknown backend name",
       replace ~sub:"\"backend\":\"inorder\"" ~by:"\"backend\":\"vliw\"" dump;
+      "unknown mdp policy name",
+      replace ~sub:"\"mdp\":\"store-set\"" ~by:"\"mdp\":\"psychic\"" dump;
+      "renamed engine counter",
+      replace ~sub:"\"vm_wall_s\"" ~by:"\"vm_walls\"" dump;
       "string where int expected",
       replace ~sub:"\"seed\":1" ~by:"\"seed\":\"one\"" dump;
       "truncated document", String.sub dump 0 (String.length dump - 4) ]
