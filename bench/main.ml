@@ -71,6 +71,7 @@ let stress = ref false
 let stress_seed = ref 1
 let fdo = ref false
 let compile_bench = ref false
+let traffic = ref false
 let backends : Machine.backend list ref = ref [ Machine.Inorder ]
 let engines : Experiments.engine list ref = ref [ Experiments.Etree ]
 
@@ -544,6 +545,46 @@ let micro () =
   micro_engines ()
 
 (* ------------------------------------------------------------------ *)
+(* Compile-service traffic replay (--traffic)                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Memoized traffic-replay cell so the table and the JSON section share
+    one replay.  The replay itself is the gate: it raises
+    [Spec_service.Traffic.Divergence] — failing the run — if any
+    daemon-served compile differs byte-for-byte from a direct
+    in-process compile with the same evidence, if a repeated key is
+    served cold again, or if the daemon's error counter is nonzero
+    after a well-formed request stream. *)
+let traffic_cell_tbl : Spec_service.Traffic.cell option ref = ref None
+
+let traffic_cell () =
+  match !traffic_cell_tbl with
+  | Some cell -> cell
+  | None ->
+    let cell =
+      Spec_service.Traffic.run_traffic_replay ~quick:!quick ~seed:1 ()
+    in
+    traffic_cell_tbl := Some cell;
+    cell
+
+let table_traffic () =
+  section
+    "Compile service: deterministic traffic replay over a unix socket";
+  let c = traffic_cell () in
+  let open Spec_service.Traffic in
+  Printf.printf
+    "requests | units | cold | warm | joined | reports | recompiles\n";
+  Printf.printf "%8d | %5d | %4d | %4d | %6d | %7d | %10d\n" c.t_requests
+    c.t_units c.t_cold c.t_warm c.t_joined c.t_reports c.t_recompiles;
+  Printf.printf
+    "latency p50 %.3f ms  p99 %.3f ms  throughput %.1f req/s  \
+     (%.2f s replay, seed %d)\n"
+    c.t_p50_ms c.t_p99_ms c.t_rps c.t_wall_s c.t_seed;
+  Printf.printf
+    "(every daemon-served compile was byte-identical to a direct \
+     in-process compile)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable bench dump (--json)                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -597,6 +638,11 @@ let json_dump () =
       Some (Bench_json.compile_json (compile_cells ()))
     else None
   in
+  let service_blob =
+    if !traffic || List.mem "traffic" !tables then
+      Some (Spec_service.Traffic.to_json (traffic_cell ()))
+    else None
+  in
   let wall = Unix.gettimeofday () -. t0 in
   let out =
     Bench_json.dump ~date:(date_string ())
@@ -607,7 +653,7 @@ let json_dump () =
       ?pre_pr2_quick_wall_s:(if !quick then Some 13.194 else None)
       ?backends:backends_blob ?engines:engines_blob ?mdp:mdp_blob
       ?stress:stress_blob ?fdo:fdo_blob
-      ?compile:compile_blob blobs
+      ?compile:compile_blob ?service:service_blob blobs
   in
   print_string out;
   match !json_file with
@@ -652,7 +698,7 @@ let known_tables =
     "ablate-sched", table_ablate_sched; "micro", micro;
     "stress", table_stress; "fdo", table_fdo; "compile", table_compile;
     "backends", table_backends; "engines", table_engines;
-    "mdp", table_mdp ]
+    "mdp", table_mdp; "traffic", table_traffic ]
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -664,6 +710,7 @@ let () =
     | "--stress" :: rest -> stress := true; parse rest
     | "--fdo" :: rest -> fdo := true; parse rest
     | "--compile-bench" :: rest -> compile_bench := true; parse rest
+    | "--traffic" :: rest -> traffic := true; parse rest
     | "--stress-seed" :: n :: rest ->
       (match int_of_string_opt n with
        | Some n -> stress_seed := n
@@ -722,6 +769,7 @@ let () =
     if !stress && !tables = [] then [ "stress" ]
     else if !fdo && !tables = [] then [ "fdo" ]
     else if !compile_bench && !tables = [] then [ "compile" ]
+    else if !traffic && !tables = [] then [ "traffic" ]
     else if !tables = [] then
       [ "smvp"; "fig10"; "fig11"; "fig12"; "heuristics"; "rse";
         "ablate-cspec"; "ablate-alat"; "ablate-threshold"; "ablate-sched";

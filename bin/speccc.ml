@@ -17,6 +17,11 @@
      speccc profile record prog.c -o p.sprof    persist a training run
      speccc profile merge -o m.sprof a.sprof b.sprof
      speccc profile stale-check p.sprof edited.c
+     speccc serve --socket svc.sock --cache-dir .c   compile service daemon
+     speccc client compile prog.c --unit u      compile via the daemon
+     speccc client report-profile u p.sprof     online FDO: merge + drift
+     speccc client stats                        daemon counters
+     speccc client shutdown                     clean stop
 
    Persistent FDO: a training run's profile can be saved to a *.sprof
    store (--profile-out), merged across runs with optional exponential
@@ -598,11 +603,217 @@ let profile_cmd =
     [ profile_record_cmd; profile_merge_cmd; profile_show_cmd;
       profile_stale_check_cmd ]
 
+(* ---- serve / client: the compile service ---- *)
+
+module Service = Spec_service
+
+let socket_arg =
+  Arg.(value & opt string "speccc.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"unix-domain socket the daemon listens on (default \
+                 speccc.sock)")
+
+let serve_cmd =
+  let cache_dir =
+    Arg.(value & opt string ".speccc-cache"
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"content-addressed compile cache backing the daemon; \
+                   warm requests skip every optimization pass")
+  in
+  let max_entries =
+    Arg.(value & opt (some int) None
+         & info [ "max-entries" ] ~docv:"N"
+             ~doc:"LRU cap on cached artifacts (default unbounded)")
+  in
+  let decay =
+    Arg.(value & opt float 1.0
+         & info [ "decay" ] ~docv:"L"
+             ~doc:"down-weight a unit's accumulated evidence by L before \
+                   merging each reported profile (exponential decay; 1.0, \
+                   the default, is the plain commutative merge, so report \
+                   order cannot matter)")
+  in
+  let drift =
+    Arg.(value & opt float 0.25
+         & info [ "drift-threshold" ] ~docv:"X"
+             ~doc:"recompile a unit in the background (and atomically \
+                   swap its artifact) when its accumulated evidence \
+                   drifts more than X from the snapshot its current \
+                   artifact was compiled against (0..1)")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose" ] ~doc:"log every request to stderr")
+  in
+  let action socket cache_dir max_entries decay drift verbose jobs =
+    set_jobs jobs;
+    if decay < 0. || decay > 1. then begin
+      Printf.eprintf "speccc: --decay must be in [0, 1]\n";
+      exit 2
+    end;
+    let cfg =
+      { Service.Daemon.sv_cache_dir = cache_dir;
+        sv_max_entries = max_entries; sv_lambda = decay; sv_drift = drift;
+        sv_verbose = verbose }
+    in
+    Service.Daemon.serve cfg ~socket;
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"run the compile service: answer compile requests from the \
+             cache (cold misses run the pipeline on the domain pool, \
+             deduplicated single-flight per key), merge reported \
+             profiles online with decay, and recompile units in the \
+             background when their evidence drifts")
+    Term.(const action $ socket_arg $ cache_dir $ max_entries $ decay
+          $ drift $ verbose $ jobs_arg)
+
+let client_rpc socket req =
+  match Service.Client.with_client socket (fun c -> Service.Client.rpc c req) with
+  | Ok (Ok resp) -> resp
+  | Ok (Error msg) | Error msg ->
+    Printf.eprintf "speccc: %s\n" msg;
+    exit 1
+
+let client_fail msg =
+  Printf.eprintf "speccc: daemon error: %s\n" msg;
+  exit 1
+
+let mode_string = function
+  | `None -> "none"
+  | `Base -> "base"
+  | `Profile -> "profile"
+  | `Heuristic -> "heuristic"
+  | `Aggressive -> "aggressive"
+
+let client_compile_cmd =
+  let unit_arg =
+    Arg.(value & opt (some string) None
+         & info [ "unit" ] ~docv:"NAME"
+             ~doc:"compilation-unit name the daemon keys profile \
+                   evidence by (default: the source file's basename)")
+  in
+  let exec_arg =
+    Arg.(value & flag
+         & info [ "exec" ]
+             ~doc:"also execute on the daemon's vm engine and print the \
+                   program output instead of the optimized program")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 3
+         & info [ "rounds" ] ~docv:"N" ~doc:"promotion rounds (default 3)")
+  in
+  let action socket file unit_name mode exec rounds =
+    let src = read_file file in
+    let unit_name =
+      match unit_name with Some u -> u | None -> Filename.basename file
+    in
+    let req =
+      Service.Proto.Compile
+        { Service.Proto.cq_unit = unit_name; cq_mode = mode_string mode;
+          cq_rounds = rounds; cq_strength = true; cq_exec = exec;
+          cq_src = src }
+    in
+    (match client_rpc socket req with
+     | Service.Proto.Compiled r ->
+       Printf.eprintf "served: %s key=%s digest=%s match=%.4f\n"
+         (match r.Service.Proto.cr_served with
+          | Service.Proto.Cold -> "cold"
+          | Service.Proto.Warm -> "warm"
+          | Service.Proto.Joined -> "joined")
+         r.Service.Proto.cr_key r.Service.Proto.cr_digest
+         (float_of_int r.Service.Proto.cr_match_ppm /. 1e6);
+       if exec then print_string r.Service.Proto.cr_output
+       else print_string r.Service.Proto.cr_prog
+     | Service.Proto.Error m -> client_fail m
+     | _ -> client_fail "unexpected reply");
+    0
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"request a compile from the daemon; prints the optimized \
+             program (or, with --exec, its vm output) on stdout and the \
+             served status (cold/warm/joined + cache key) on stderr")
+    Term.(const action $ socket_arg $ src_arg $ unit_arg $ mode_arg
+          $ exec_arg $ rounds_arg)
+
+let client_report_cmd =
+  let unit_pos =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"UNIT"
+           ~doc:"compilation-unit name")
+  in
+  let store_pos =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"STORE"
+           ~doc:"profile store (*.sprof) to report")
+  in
+  let weight_arg =
+    Arg.(value & opt float 1.0
+         & info [ "weight" ] ~docv:"W"
+             ~doc:"weight of this evidence at merge (default 1.0)")
+  in
+  let action socket unit_name store_path weight =
+    let store_text = read_file store_path in
+    let req =
+      Service.Proto.Report_profile
+        { rq_unit = unit_name; rq_weight = weight; rq_store = store_text }
+    in
+    (match client_rpc socket req with
+     | Service.Proto.Profiled r ->
+       Printf.printf "runs %d\ndigest %s\ndrift %.4f\nrecompiled %s\n"
+         r.Service.Proto.rr_runs r.Service.Proto.rr_digest
+         r.Service.Proto.rr_drift
+         (if r.Service.Proto.rr_recompiled then "yes" else "no")
+     | Service.Proto.Error m -> client_fail m
+     | _ -> client_fail "unexpected reply");
+    0
+  in
+  Cmd.v
+    (Cmd.info "report-profile"
+       ~doc:"report profile evidence for a unit; the daemon merges it \
+             into the unit's store (with the serve-side decay) and \
+             recompiles in the background when the evidence drifts past \
+             the threshold")
+    Term.(const action $ socket_arg $ unit_pos $ store_pos $ weight_arg)
+
+let client_stats_cmd =
+  let action socket =
+    (match client_rpc socket Service.Proto.Stats with
+     | Service.Proto.Stats_reply kvs ->
+       List.iter (fun (k, v) -> Printf.printf "%s %d\n" k v) kvs
+     | Service.Proto.Error m -> client_fail m
+     | _ -> client_fail "unexpected reply");
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"print the daemon's request/cache/FDO counters")
+    Term.(const action $ socket_arg)
+
+let client_shutdown_cmd =
+  let action socket =
+    (match client_rpc socket Service.Proto.Shutdown with
+     | Service.Proto.Bye -> print_endline "bye"
+     | Service.Proto.Error m -> client_fail m
+     | _ -> client_fail "unexpected reply");
+    0
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"ask the daemon to shut down cleanly")
+    Term.(const action $ socket_arg)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:"talk to a running speccc serve daemon over its unix socket")
+    [ client_compile_cmd; client_report_cmd; client_stats_cmd;
+      client_shutdown_cmd ]
+
 let main_cmd =
   Cmd.group
     (Cmd.info "speccc" ~version:"1.0"
        ~doc:"speculative-SSAPRE compiler for the mini-C language \
              (PLDI 2003 reproduction)")
-    [ run_cmd; dump_cmd; stats_cmd; profile_cmd ]
+    [ run_cmd; dump_cmd; stats_cmd; profile_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -54,6 +54,13 @@ echo "== execution-engine smoke (--engine both + vm cache hit) =="
 # machine's output on every pipeline variant.
 sh test/ci_engine.sh _build/default/bin/speccc.exe "$tmp"
 
+echo "== compile-service smoke (daemon + client + drift recompile) =="
+# Start the compile daemon on a private socket and drive it through the
+# client subcommands: cold compile, warm compile (byte-identical),
+# report-profile past the drift threshold (background recompile +
+# artifact swap), stats, clean shutdown.
+sh test/ci_service.sh _build/default/bin/speccc.exe "$tmp"
+
 echo "== bench harness smoke (--quick --stress --jobs 2) =="
 # Runs every workload through every pipeline variant on a 2-domain pool,
 # plus the misspeculation stress grid; the harness aborts if any variant
@@ -78,5 +85,14 @@ echo "== compile-throughput smoke (--compile-bench --quick --jobs 2) =="
 # breakdowns) is kept as an artifact.
 dune exec bench/main.exe -- --compile-bench --quick --jobs 2 --json \
   --json-file compile-smoke.json > /dev/null
+
+echo "== traffic-replay smoke (--traffic --quick --jobs 2) =="
+# Spawns the compile daemon and replays a deterministic mixed
+# cold/warm/report request stream against it; the harness hard-fails if
+# any daemon-served compile diverges byte-for-byte from the offline
+# pipeline.  The service JSON (latency percentiles + throughput) is
+# kept as an artifact.
+dune exec bench/main.exe -- --traffic --quick --jobs 2 --json \
+  --json-file traffic-smoke.json > /dev/null
 
 echo "== ci ok =="

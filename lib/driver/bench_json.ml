@@ -10,18 +10,24 @@
     the tree) that accepts exactly the JSON subset the emitter produces
     plus standard escapes.
 
-    [specpre-bench/4] (this PR) adds the execution-engine dimension:
-    every variant row carries a required [engine] field naming the
+    [specpre-bench/4] added the execution-engine dimension: every
+    variant row carries a required [engine] field naming the
     interpreter engine(s) that validated it ("tree", "vm" or
     "tree+vm"), and every dump carries an [engines] throughput section
     (tree-walking oracle vs pre-compiled tree vs threaded-code vm, with
     speedups and Mstmt/s / Minsn/s rates) plus an [mdp] section sweeping
-    the OoO core's memory-dependence predictors.  /3 dumps (which
-    lacked the engine dimension) are rejected, as are /2 and older. *)
+    the OoO core's memory-dependence predictors.
+
+    [specpre-bench/5] (this PR) adds the optional [service] section:
+    the compile-service traffic replay ([bench/main.exe --traffic]) —
+    request mix, cold/warm/joined split, online-FDO reports and
+    drift-triggered recompiles, divergence count (always 0: the replay
+    hard-fails on any daemon-vs-offline mismatch), p50/p99 latency and
+    throughput.  /4 and older dumps are rejected. *)
 
 open Spec_workloads
 
-let schema_tag = "specpre-bench/4"
+let schema_tag = "specpre-bench/5"
 
 (* ------------------------------------------------------------------ *)
 (* Emission                                                            *)
@@ -278,11 +284,15 @@ let compile_json (cells : Experiments.compile_result list) =
   Buffer.contents buf
 
 (** Assemble the top-level dump.  [workloads] are pre-rendered
-    {!workload_json} blobs; [engines], [mdp], [stress], [fdo] and
-    [compile] are pre-rendered section blobs from the emitters above.
-    [date] is supplied by the caller (the library stays clock-free). *)
+    {!workload_json} blobs; [engines], [mdp], [stress], [fdo],
+    [compile] and [service] are pre-rendered section blobs — the first
+    five from the emitters above, [service] from
+    [Spec_service.Traffic.to_json] (the service library sits above
+    this one, so its emitter lives there; the validator below still
+    pins the section's shape).  [date] is supplied by the caller (the
+    library stays clock-free). *)
 let dump ~date ~inputs ~jobs ~harness_wall_s ?pre_pr2_quick_wall_s ?backends
-    ?engines ?mdp ?stress ?fdo ?compile (workloads : string list) =
+    ?engines ?mdp ?stress ?fdo ?compile ?service (workloads : string list) =
   let buf = Buffer.create 65536 in
   Printf.bprintf buf
     "{\"schema\":%S,\"date\":%S,\"inputs\":%S,\
@@ -326,6 +336,11 @@ let dump ~date ~inputs ~jobs ~harness_wall_s ?pre_pr2_quick_wall_s ?backends
   (match compile with
    | Some s ->
      Buffer.add_string buf ",\"compile\":";
+     Buffer.add_string buf s
+   | None -> ());
+  (match service with
+   | Some s ->
+     Buffer.add_string buf ",\"service\":";
      Buffer.add_string buf s
    | None -> ());
   Buffer.add_string buf "}\n";
@@ -687,12 +702,31 @@ let validate_backends_entry i v =
   side "inorder" [];
   side "ooo" [ "replays_base"; "replays_spec" ]
 
-(** Validate a parsed dump against the [specpre-bench/4] schema.  The
-    [backends], [engines], [mdp], [stress], [fdo] and [compile]
-    sections are optional (present only when the corresponding sweep
-    ran) but fully pinned when present.  Older schema tags — including
-    [specpre-bench/3], which lacked the engine dimension — are
-    rejected. *)
+(* The compile-service traffic replay ([--traffic]). *)
+let validate_service v =
+  let path = [ "service" ] in
+  let f = as_obj path "service" v in
+  List.iter
+    (fun name -> ignore (field path name `Int f))
+    [ "seed"; "requests"; "units"; "cold"; "warm"; "joined"; "reports";
+      "recompiles"; "errors"; "divergences" ];
+  List.iter
+    (fun name -> ignore (field path name `Num f))
+    [ "p50_ms"; "p99_ms"; "wall_s"; "throughput_rps" ];
+  (match List.assoc_opt "divergences" f with
+   | Some (Int 0) -> ()
+   | _ ->
+     raise
+       (Invalid
+          "service.divergences must be 0: the replay hard-fails on any \
+           daemon-vs-offline divergence"))
+
+(** Validate a parsed dump against the [specpre-bench/5] schema.  The
+    [backends], [engines], [mdp], [stress], [fdo], [compile] and
+    [service] sections are optional (present only when the
+    corresponding sweep ran) but fully pinned when present.  Older
+    schema tags — including [specpre-bench/4], which lacked the
+    compile-service dimension — are rejected. *)
 let validate (v : json) : (unit, string) result =
   try
     let f = as_obj [] "bench dump" v in
@@ -753,6 +787,9 @@ let validate (v : json) : (unit, string) result =
        ignore (field [ "compile" ] "total_speedup" `Num cf);
        let cells = as_arr (field [ "compile" ] "workloads" `Arr cf) in
        List.iteri validate_compile_cell cells);
+    (match List.assoc_opt "service" f with
+     | None -> ()
+     | Some sv -> validate_service sv);
     Ok ()
   with Invalid msg -> Error msg
 

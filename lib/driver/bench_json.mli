@@ -1,15 +1,16 @@
-(** Machine-readable bench dump (schema [specpre-bench/4]): emission,
+(** Machine-readable bench dump (schema [specpre-bench/5]): emission,
     parsing, and validation.  See [bench/main.ml] for the harness side
     and [test/test_stress.ml] for the golden schema check.
 
-    /4 adds the execution-engine dimension: variant rows carry a
-    required [engine] field ("tree", "vm" or "tree+vm" — the
-    interpreter engine(s) that validated the row against the machine),
-    and dumps carry an [engines] throughput section plus an [mdp]
-    memory-dependence-predictor sweep.  /3 dumps no longer validate. *)
+    /5 adds the optional [service] section — the compile-service
+    traffic replay ([--traffic]): request mix, cold/warm/joined split,
+    online-FDO reports and drift recompiles, p50/p99 latency and
+    throughput.  Its blob is emitted by [Spec_service.Traffic.to_json]
+    (that library sits above this one); the validator here still pins
+    the section's shape.  /4 dumps no longer validate. *)
 
 (** The schema tag emitted and required by this build,
-    ["specpre-bench/4"]. *)
+    ["specpre-bench/5"]. *)
 val schema_tag : string
 
 (** {1 Emission} *)
@@ -64,7 +65,7 @@ val dump :
   date:string -> inputs:string -> jobs:int -> harness_wall_s:float ->
   ?pre_pr2_quick_wall_s:float -> ?backends:string -> ?engines:string ->
   ?mdp:string -> ?stress:string ->
-  ?fdo:string -> ?compile:string -> string list -> string
+  ?fdo:string -> ?compile:string -> ?service:string -> string list -> string
 
 (** {1 Parsing} *)
 
@@ -81,11 +82,11 @@ val parse : string -> (json, string) result
 
 (** {1 Schema validation} *)
 
-(** Validate a parsed dump against the pinned [specpre-bench/4] shape:
+(** Validate a parsed dump against the pinned [specpre-bench/5] shape:
     every field name and type of the top level, workload entries,
     variant counters, metrics, pass reports, and (when present) the
-    [backends], [engines], [mdp], [stress], [fdo] and [compile]
-    sections.  Older schema tags are rejected. *)
+    [backends], [engines], [mdp], [stress], [fdo], [compile] and
+    [service] sections.  Older schema tags are rejected. *)
 val validate : json -> (unit, string) result
 
 (** Parse and validate in one step. *)

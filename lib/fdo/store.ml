@@ -275,6 +275,57 @@ let decay ~lambda (t : t) : t =
 let merge_weighted ~wa ~wb a b = merge (scale wa a) (scale wb b)
 
 (* ------------------------------------------------------------------ *)
+(* Profile drift                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Every counted record of a store, flattened to a stable string key.
+   Entry counts, edge counts, site execution counts and per-site LOC
+   observation counts all participate: a shift in any of them is
+   evidence the program now behaves differently from what the last
+   compile saw. *)
+let count_profile (t : t) : (string, int) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  let add k c = Hashtbl.replace tbl k (c + try Hashtbl.find tbl k with Not_found -> 0) in
+  List.iter (fun (f, n) -> add ("e:" ^ f) n) t.entries;
+  List.iter
+    (fun ((f, s, d), n) -> add (Printf.sprintf "g:%s:%d:%d" f s d) n)
+    t.edges;
+  List.iter
+    (fun e ->
+      let k = Sitekey.to_string e.e_key in
+      add ("s:" ^ k) e.e_count;
+      List.iter
+        (fun (l, n) ->
+          let ls =
+            match l with
+            | Svar (Some f, v) -> "v:" ^ f ^ ":" ^ v
+            | Svar (None, v) -> "v::" ^ v
+            | Sheap hk -> "h:" ^ Sitekey.to_string hk
+          in
+          add ("l:" ^ k ^ ":" ^ ls) n)
+        e.e_locs)
+    t.sites;
+  tbl
+
+let distance a b =
+  let ta = count_profile a and tb = count_profile b in
+  let num = ref 0 and den = ref 0 in
+  Hashtbl.iter
+    (fun k ca ->
+      let cb = try Hashtbl.find tb k with Not_found -> 0 in
+      num := !num + abs (ca - cb);
+      den := !den + max ca cb)
+    ta;
+  Hashtbl.iter
+    (fun k cb ->
+      if not (Hashtbl.mem ta k) then begin
+        num := !num + cb;
+        den := !den + cb
+      end)
+    tb;
+  if !den = 0 then 0. else float_of_int !num /. float_of_int !den
+
+(* ------------------------------------------------------------------ *)
 (* Writer                                                              *)
 (* ------------------------------------------------------------------ *)
 

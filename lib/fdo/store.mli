@@ -63,6 +63,15 @@ val decay : lambda:float -> t -> t
 
 val merge_weighted : wa:float -> wb:float -> t -> t -> t
 
+(** Normalized drift between two stores' evidence, in [0, 1]: the L1
+    distance over every counted record (entry, edge, site and LOC
+    observation counts) divided by the mass of the pointwise maximum.
+    0 for equal evidence, 1 for disjoint evidence; the compile service
+    recompiles a unit when the accumulated store drifts past a
+    threshold from the snapshot its current artifact was compiled
+    against. *)
+val distance : t -> t -> float
+
 (** Canonical rendering; byte-identical for equal stores. *)
 val write : t -> string
 

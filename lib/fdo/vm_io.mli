@@ -1,0 +1,25 @@
+(** Bytecode serialization ([specvm/1]) for the content-addressed
+    compile cache.
+
+    A [specart/3] artifact stores the optimized SIR {e and} the
+    bytecode {!Spec_prof.Vmcode} lowered from it, so a cache hit hands
+    the vm engine a ready-to-dispatch program with no lowering pass.
+    Same deterministic token-stream discipline as {!Sir_io}: no
+    [Marshal], so artifacts are stable across OCaml versions and safe
+    to inspect.
+
+    The source program is deliberately {e not} part of the format — the
+    artifact's own SIR section supplies it at load time ({!of_text}'s
+    [src]), which keeps the two sections from ever disagreeing. *)
+
+val version : string
+
+(** Serialize the bytecode (without the source program — the cache
+    artifact stores the optimized SIR alongside it). *)
+val to_text : Spec_prof.Vmcode.program -> string
+
+(** Parse serialized bytecode back, wiring [src] in as the program the
+    code was lowered from.  Total: malformed input is [Error _]. *)
+val of_text :
+  src:Spec_ir.Sir.prog -> string ->
+  (Spec_prof.Vmcode.program, string) Stdlib.result

@@ -1,0 +1,39 @@
+(** Threaded-code lowering: resolved SIR to a flat bytecode array.
+
+    Compiles {!Interp}'s resolved tree form one step further, into a
+    dense [int array] instruction stream per function — opcode words
+    with inline operand slots — executed by the dispatch loop in {!Vm}.
+    Lowering from {!Interp.compiled} (rather than from [Sir] directly)
+    means every type-resolution, slot-assignment and
+    speculation-classification decision is inherited from the tree
+    engine, which is what keeps the two engines byte-identical by
+    construction.
+
+    The opcode numbering is private to this module and {!Vm} — the
+    serialized form ([specvm/1], {!Spec_fdo.Vm_io}) carries raw code
+    words, so the two files must stay in sync; the differential suites
+    catch any mismatch immediately. *)
+
+type func = {
+  vname : string;
+  vcode : int array;                     (** flat opcode/operand words *)
+  n_regs : int;                          (** slots incl. temporaries *)
+  n_addr : int;                          (** frame address slots *)
+  vmem_locals : (int * int * int) array; (** (addr slot, vid, bytes) *)
+  vformals : Interp.formal array;
+}
+
+type program = {
+  vsrc : Spec_ir.Sir.prog;   (** the SIR the bytecode was lowered from *)
+  vfuncs : func array;
+  vmain : int;               (** index into [vfuncs], [-1] if no main *)
+  fpool : float array;       (** float-literal pool *)
+  spool : string array;      (** error-message pool *)
+}
+
+(** Lower an already-compiled tree program (shares its resolution
+    decisions). *)
+val of_compiled : Interp.compiled -> program
+
+(** [of_compiled] of {!Interp.compile}. *)
+val compile : Spec_ir.Sir.prog -> program

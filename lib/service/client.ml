@@ -1,0 +1,80 @@
+(* Blocking unix-socket client: one Textio-quoted line per message. *)
+
+type t = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;          (* bytes read past the last response line *)
+  mutable alive : bool;
+}
+
+let connect ?(retries = 40) path =
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok { fd; buf = Buffer.create 4096; alive = true }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with _ -> ());
+      if n > 0 then begin
+        (* the daemon may not have bound the socket yet *)
+        Unix.sleepf 0.05;
+        go (n - 1)
+      end
+      else Error ("connect " ^ path ^ ": " ^ Unix.error_message e)
+  in
+  go retries
+
+let close t =
+  if t.alive then begin
+    t.alive <- false;
+    try Unix.close t.fd with _ -> ()
+  end
+
+let write_all fd s =
+  let n = String.length s in
+  let pos = ref 0 in
+  while !pos < n do
+    pos := !pos + Unix.write_substring fd s !pos (n - !pos)
+  done
+
+(* Read until the buffer holds a newline; return the line before it. *)
+let read_line t =
+  let chunk = Bytes.create 65536 in
+  let rec take () =
+    let s = Buffer.contents t.buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+      Buffer.clear t.buf;
+      Buffer.add_substring t.buf s (i + 1) (String.length s - i - 1);
+      Ok (String.sub s 0 i)
+    | None ->
+      if String.length s > Proto.max_line then
+        Error "response line too large"
+      else begin
+        match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Error "connection closed by daemon"
+        | n ->
+          Buffer.add_subbytes t.buf chunk 0 n;
+          take ()
+        | exception Unix.Unix_error (e, _, _) ->
+          Error ("read: " ^ Unix.error_message e)
+      end
+  in
+  take ()
+
+let rpc t req =
+  if not t.alive then Error "client closed"
+  else
+    match write_all t.fd (Proto.encode_request req ^ "\n") with
+    | () -> (
+      match read_line t with
+      | Error _ as e -> e
+      | Ok line -> Proto.decode_response line)
+    | exception Unix.Unix_error (e, _, _) ->
+      Error ("write: " ^ Unix.error_message e)
+
+let with_client ?retries path f =
+  match connect ?retries path with
+  | Error _ as e -> e
+  | Ok t ->
+    let r = try Ok (f t) with e -> close t; raise e in
+    close t;
+    r

@@ -1,0 +1,20 @@
+(** Blocking line-oriented client for the compile service.
+
+    One request/response pair per {!rpc} call over a unix-domain
+    stream socket.  [connect] retries briefly so a client racing the
+    daemon's [bind] (tests, scripts that background [speccc serve])
+    still attaches.  Errors are returned, never raised. *)
+
+type t
+
+val connect : ?retries:int -> string -> (t, string) result
+
+(** Send one request, read one response line.  Returns [Error _] on
+    transport failure or an undecodable reply. *)
+val rpc : t -> Proto.request -> (Proto.response, string) result
+
+val close : t -> unit
+
+(** [connect], run, [close] (also on exception). *)
+val with_client :
+  ?retries:int -> string -> (t -> 'a) -> ('a, string) result

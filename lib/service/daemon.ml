@@ -1,0 +1,452 @@
+(* The compile service daemon: warm answers from the content-addressed
+   cache, single-flight cold compiles, and the online FDO loop
+   (report -> decayed merge -> drift -> background recompile + swap).
+   See daemon.mli for the architecture. *)
+
+open Spec_driver
+module Store = Spec_fdo.Store
+module Cache = Spec_fdo.Cache
+
+type config = {
+  sv_cache_dir : string;
+  sv_max_entries : int option;
+  sv_lambda : float;
+  sv_drift : float;
+  sv_verbose : bool;
+}
+
+let default_config ~cache_dir =
+  { sv_cache_dir = cache_dir;
+    sv_max_entries = None;
+    sv_lambda = 1.0;
+    sv_drift = 0.25;
+    sv_verbose = false }
+
+(* Per-unit FDO state: accumulated evidence, the snapshot of it the
+   current artifact was compiled against, and enough of the last
+   compile request to rerun it when evidence drifts. *)
+type unit_state = {
+  mutable u_store : Store.t;
+  mutable u_snapshot : Store.t;
+  mutable u_src : string option;
+  mutable u_rounds : int;
+  mutable u_strength : bool;
+  mutable u_current : Pipeline.result option;
+  mutable u_pending : bool;          (* queued for background recompile *)
+}
+
+type t = {
+  cfg : config;
+  tcache : Cache.t;
+  units : (string, unit_state) Hashtbl.t;
+  mutable recompile_q : string list; (* reversed queue of unit names *)
+  mutable t_stopped : bool;
+  mutable c_requests : int;
+  mutable c_cold : int;
+  mutable c_warm : int;
+  mutable c_joined : int;
+  mutable c_reports : int;
+  mutable c_recompiles : int;
+  mutable c_errors : int;
+}
+
+let create cfg =
+  if cfg.sv_lambda < 0. || cfg.sv_lambda > 1. then
+    invalid_arg "Daemon.create: lambda must be in [0, 1]";
+  { cfg;
+    tcache = Cache.create ?max_entries:cfg.sv_max_entries cfg.sv_cache_dir;
+    units = Hashtbl.create 16;
+    recompile_q = [];
+    t_stopped = false;
+    c_requests = 0; c_cold = 0; c_warm = 0; c_joined = 0;
+    c_reports = 0; c_recompiles = 0; c_errors = 0 }
+
+let stopped t = t.t_stopped
+let cache t = t.tcache
+
+let unit_state t name =
+  match Hashtbl.find_opt t.units name with
+  | Some u -> u
+  | None ->
+    let u =
+      { u_store = Store.empty; u_snapshot = Store.empty; u_src = None;
+        u_rounds = 3; u_strength = true; u_current = None;
+        u_pending = false }
+    in
+    Hashtbl.add t.units name u;
+    u
+
+let current_artifact t name =
+  match Hashtbl.find_opt t.units name with
+  | Some u -> u.u_current
+  | None -> None
+
+let unit_stores t =
+  Hashtbl.fold (fun name u acc -> (name, u.u_store) :: acc) t.units []
+  |> List.sort compare
+
+let counters t =
+  let cs = Cache.stats t.tcache in
+  let invalid =
+    Hashtbl.fold
+      (fun _ u n ->
+        match Store.validate u.u_store with Ok () -> n | Error _ -> n + 1)
+      t.units 0
+  in
+  [ "requests", t.c_requests;
+    "cold", t.c_cold;
+    "warm", t.c_warm;
+    "joined", t.c_joined;
+    "reports", t.c_reports;
+    "recompiles", t.c_recompiles;
+    "errors", t.c_errors;
+    "units", Hashtbl.length t.units;
+    "cache_hits", cs.Cache.hits;
+    "cache_misses", cs.Cache.misses;
+    "cache_stores", cs.Cache.stores;
+    "cache_evictions", cs.Cache.evictions;
+    "cache_length", Cache.length t.tcache;
+    "store_invalid", invalid ]
+
+(* ---- compile plans ---- *)
+
+type plan = {
+  p_variant : Pipeline.variant;
+  p_prof : Spec_prof.Profile.t option;   (* edge profile, profile mode only *)
+  p_digest : string option;
+  p_match_ppm : int;
+  p_key : string;
+}
+
+let ppm_of_rate r = int_of_float (r *. 1_000_000. +. 0.5)
+
+(* Resolve a compile request against the unit's accumulated evidence.
+   Profile mode binds the store to the freshly lowered source —
+   exactly what `speccc --profile-in` does — so stale evidence drops
+   sites instead of poisoning the compile. *)
+let plan_of t ~unit_name ~mode ~rounds ~strength src =
+  let finish variant prof digest match_ppm =
+    let config =
+      Spec_ssapre.Ssapre.default_config (Pipeline.mode_of_variant variant)
+    in
+    let key =
+      Pipeline.cache_key ~rounds ~strength ~config ~variant
+        ~edge_profile:(prof <> None) ~profile_digest:digest src
+    in
+    Ok { p_variant = variant; p_prof = prof; p_digest = digest;
+         p_match_ppm = match_ppm; p_key = key }
+  in
+  match mode with
+  | "none" -> finish Pipeline.Noopt None None 1_000_000
+  | "base" -> finish Pipeline.Base None None 1_000_000
+  | "heuristic" -> finish Pipeline.Spec_heuristic None None 1_000_000
+  | "aggressive" -> finish Pipeline.Aggressive None None 1_000_000
+  | "profile" ->
+    let u = unit_state t unit_name in
+    (match Spec_ir.Lower.compile src with
+     | prog0 ->
+       let prof, mr = Store.bind u.u_store prog0 in
+       finish (Pipeline.Spec_profile prof) (Some prof)
+         (Some (Store.digest u.u_store))
+         (ppm_of_rate (Store.match_rate mr))
+     | exception e ->
+       Error (Printf.sprintf "frontend: %s" (Printexc.to_string e)))
+  | m -> Error (Printf.sprintf "unknown mode %S" m)
+
+let run_compile t ~rounds ~strength ~(plan : plan) src =
+  match plan.p_prof with
+  | Some prof ->
+    Pipeline.compile_and_optimize ~rounds ~strength
+      ~edge_profile:(Some prof) ~cache:t.tcache
+      ?profile_digest:plan.p_digest src plan.p_variant
+  | None ->
+    Pipeline.compile_and_optimize ~rounds ~strength ~cache:t.tcache src
+      plan.p_variant
+
+let vm_output (r : Pipeline.result) =
+  match Spec_prof.Vm.run_program (Lazy.force r.Pipeline.vm) with
+  | res -> res.Spec_prof.Interp.output
+  | exception Spec_prof.Interp.Runtime_error m -> "!runtime error: " ^ m
+
+let log t fmt =
+  if t.cfg.sv_verbose then Printf.eprintf ("speccc-serve: " ^^ fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+(* ---- request dispatch ---- *)
+
+let do_compile t memo (c : Proto.compile_req) =
+  match
+    plan_of t ~unit_name:c.Proto.cq_unit ~mode:c.Proto.cq_mode
+      ~rounds:c.Proto.cq_rounds ~strength:c.Proto.cq_strength c.Proto.cq_src
+  with
+  | Error m ->
+    t.c_errors <- t.c_errors + 1;
+    Proto.Error m
+  | Ok plan ->
+    let u = unit_state t c.Proto.cq_unit in
+    u.u_src <- Some c.Proto.cq_src;
+    u.u_rounds <- c.Proto.cq_rounds;
+    u.u_strength <- c.Proto.cq_strength;
+    let result, served =
+      match Hashtbl.find_opt memo plan.p_key with
+      | Some r ->
+        t.c_joined <- t.c_joined + 1;
+        (r, Proto.Joined)
+      | None ->
+        let r =
+          run_compile t ~rounds:c.Proto.cq_rounds
+            ~strength:c.Proto.cq_strength ~plan c.Proto.cq_src
+        in
+        Hashtbl.replace memo plan.p_key r;
+        if r.Pipeline.from_cache then begin
+          t.c_warm <- t.c_warm + 1;
+          (r, Proto.Warm)
+        end
+        else begin
+          t.c_cold <- t.c_cold + 1;
+          (r, Proto.Cold)
+        end
+    in
+    (* a profile-fed compile is the point the artifact catches up with
+       the accumulated evidence: reset the drift baseline *)
+    (match plan.p_variant with
+     | Pipeline.Spec_profile _ ->
+       u.u_current <- Some result;
+       u.u_snapshot <- u.u_store
+     | _ -> ());
+    log t "compile %s %s: %s key=%s" c.Proto.cq_unit c.Proto.cq_mode
+      (match served with
+       | Proto.Cold -> "cold"
+       | Proto.Warm -> "warm"
+       | Proto.Joined -> "joined")
+      plan.p_key;
+    Proto.Compiled
+      { Proto.cr_served = served;
+        cr_key = plan.p_key;
+        cr_digest = (match plan.p_digest with Some d -> d | None -> "-");
+        cr_match_ppm = plan.p_match_ppm;
+        cr_prog = Spec_ir.Pp.prog_to_string result.Pipeline.prog;
+        cr_output = (if c.Proto.cq_exec then vm_output result else "") }
+
+let do_report t ~unit_name ~weight store_text =
+  if not (Float.is_finite weight) || weight < 0. then begin
+    t.c_errors <- t.c_errors + 1;
+    Proto.Error "report-profile: weight must be finite and non-negative"
+  end
+  else
+    match Store.read store_text with
+    | Error m ->
+      t.c_errors <- t.c_errors + 1;
+      Proto.Error ("report-profile: " ^ m)
+    | Ok report ->
+      let u = unit_state t unit_name in
+      u.u_store <-
+        Store.merge_weighted ~wa:t.cfg.sv_lambda ~wb:weight u.u_store report;
+      t.c_reports <- t.c_reports + 1;
+      let drift = Store.distance u.u_snapshot u.u_store in
+      let recompile =
+        drift > t.cfg.sv_drift && u.u_src <> None && not u.u_pending
+      in
+      if recompile then begin
+        u.u_pending <- true;
+        t.recompile_q <- unit_name :: t.recompile_q
+      end;
+      log t "report %s: runs=%d drift=%.3f%s" unit_name u.u_store.Store.runs
+        drift (if recompile then " -> recompile" else "");
+      Proto.Profiled
+        { Proto.rr_runs = u.u_store.Store.runs;
+          rr_digest = Store.digest u.u_store;
+          rr_drift = drift;
+          rr_recompiled = recompile || u.u_pending }
+
+(* Drift-triggered background recompiles: run after every response of
+   the batch is computed, through the same cache (the new evidence
+   digest makes a new key, so this is the cold compile that future
+   warm requests for the unit's profile variant will hit).  The swap
+   of the unit's current artifact is a single mutation — requests
+   never observe a half-updated unit. *)
+let drain_recompiles t =
+  let q = List.rev t.recompile_q in
+  t.recompile_q <- [];
+  List.iter
+    (fun name ->
+      let u = unit_state t name in
+      u.u_pending <- false;
+      match u.u_src with
+      | None -> ()
+      | Some src ->
+        (match
+           plan_of t ~unit_name:name ~mode:"profile" ~rounds:u.u_rounds
+             ~strength:u.u_strength src
+         with
+         | Error m -> log t "recompile %s failed: %s" name m
+         | Ok plan ->
+           let r =
+             run_compile t ~rounds:u.u_rounds ~strength:u.u_strength ~plan
+               src
+           in
+           u.u_current <- Some r;
+           u.u_snapshot <- u.u_store;
+           t.c_recompiles <- t.c_recompiles + 1;
+           log t "recompile %s: key=%s from_cache=%b" name plan.p_key
+             r.Pipeline.from_cache))
+    q
+
+let dispatch t memo (req : Proto.request) : Proto.response =
+  t.c_requests <- t.c_requests + 1;
+  match req with
+  | Proto.Compile c -> do_compile t memo c
+  | Proto.Report_profile { rq_unit; rq_weight; rq_store } ->
+    do_report t ~unit_name:rq_unit ~weight:rq_weight rq_store
+  | Proto.Stats -> Proto.Stats_reply (counters t)
+  | Proto.Shutdown ->
+    t.t_stopped <- true;
+    Proto.Bye
+
+let handle_batch t reqs =
+  let memo = Hashtbl.create 7 in
+  let resps = List.map (dispatch t memo) reqs in
+  drain_recompiles t;
+  resps
+
+let handle t req = List.hd (handle_batch t [ req ])
+
+(* ------------------------------------------------------------------ *)
+(* Socket server                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  cn_fd : Unix.file_descr;
+  cn_buf : Buffer.t;
+  mutable cn_open : bool;
+}
+
+let write_all fd s =
+  let n = String.length s in
+  let pos = ref 0 in
+  while !pos < n do
+    pos := !pos + Unix.write_substring fd s !pos (n - !pos)
+  done
+
+let send conn resp =
+  if conn.cn_open then
+    try write_all conn.cn_fd (Proto.encode_response resp ^ "\n")
+    with Unix.Unix_error _ ->
+      conn.cn_open <- false;
+      (try Unix.close conn.cn_fd with _ -> ())
+
+let close_conn conn =
+  if conn.cn_open then begin
+    conn.cn_open <- false;
+    try Unix.close conn.cn_fd with _ -> ()
+  end
+
+(* Pull every complete line out of a connection's buffer. *)
+let take_lines conn =
+  let s = Buffer.contents conn.cn_buf in
+  let rec go start acc =
+    match String.index_from_opt s start '\n' with
+    | Some i -> go (i + 1) (String.sub s start (i - start) :: acc)
+    | None ->
+      Buffer.clear conn.cn_buf;
+      Buffer.add_substring conn.cn_buf s start (String.length s - start);
+      List.rev acc
+  in
+  go 0 []
+
+let serve cfg ~socket =
+  let t = create cfg in
+  (* a peer closing mid-write must surface as EPIPE, not kill us *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX socket);
+  Unix.listen srv 64;
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let chunk = Bytes.create 65536 in
+  log t "listening on %s (cache %s)" socket cfg.sv_cache_dir;
+  while not t.t_stopped do
+    let fds =
+      srv :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
+    in
+    match Unix.select fds [] [] 1.0 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+      (* accept *)
+      if List.mem srv readable then begin
+        match Unix.accept srv with
+        | fd, _ ->
+          Hashtbl.replace conns fd
+            { cn_fd = fd; cn_buf = Buffer.create 4096; cn_open = true }
+        | exception Unix.Unix_error _ -> ()
+      end;
+      (* read what arrived; 0 bytes = peer closed *)
+      let batch = ref [] in
+      List.iter
+        (fun fd ->
+          if fd <> srv then
+            match Hashtbl.find_opt conns fd with
+            | None -> ()
+            | Some conn -> (
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 ->
+                close_conn conn;
+                Hashtbl.remove conns fd
+              | n ->
+                Buffer.add_subbytes conn.cn_buf chunk 0 n;
+                if Buffer.length conn.cn_buf > Proto.max_line then begin
+                  (* framing is unrecoverable: answer and drop *)
+                  t.c_errors <- t.c_errors + 1;
+                  send conn
+                    (Proto.Error
+                       (Printf.sprintf "request exceeds %d bytes"
+                          Proto.max_line));
+                  close_conn conn;
+                  Hashtbl.remove conns fd
+                end
+                else
+                  List.iter
+                    (fun line -> batch := (conn, line) :: !batch)
+                    (take_lines conn)
+              | exception Unix.Unix_error _ ->
+                close_conn conn;
+                Hashtbl.remove conns fd))
+        readable;
+      let batch = List.rev !batch in
+      (* decode; undecodable lines answered immediately with a
+         structured error, well-formed requests handled as one batch
+         (same-key concurrency dedupes single-flight) *)
+      let good =
+        List.filter_map
+          (fun (conn, line) ->
+            match Proto.decode_request line with
+            | Ok req -> Some (conn, req)
+            | Error m ->
+              t.c_requests <- t.c_requests + 1;
+              t.c_errors <- t.c_errors + 1;
+              send conn (Proto.Error m);
+              None)
+          batch
+      in
+      let resps = handle_batch t (List.map snd good) in
+      List.iter2 (fun (conn, _) resp -> send conn resp) good resps
+  done;
+  Hashtbl.iter (fun _ conn -> close_conn conn) conns;
+  (try Unix.close srv with _ -> ());
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  log t "stopped"
+
+type server = { s_thread : Thread.t; s_socket : string }
+
+let spawn cfg ~socket =
+  { s_thread = Thread.create (fun () -> serve cfg ~socket) ();
+    s_socket = socket }
+
+let stop s =
+  (match Client.connect s.s_socket with
+   | Ok c ->
+     (match Client.rpc c Proto.Shutdown with Ok _ | Error _ -> ());
+     Client.close c
+   | Error _ -> ());
+  Thread.join s.s_thread

@@ -1,0 +1,98 @@
+(** The compile service: a long-running daemon that serves optimized
+    programs out of the content-addressed compile cache and closes the
+    paper's FDO loop online.
+
+    {2 Request handling}
+
+    [compile] requests are answered from {!Spec_fdo.Cache} when warm —
+    including the pre-forced vm bytecode of a [specart/3] artifact —
+    and otherwise run through {!Spec_driver.Pipeline.compile_and_optimize}
+    (whose per-function portion fans out on the {!Spec_driver.Parpool}
+    domain pool).  Requests for the same cache key are deduplicated
+    single-flight: within one scheduling batch exactly one compile
+    runs and every other requester joins its result; across batches
+    the cache itself serves repeats warm.  Either way, N concurrent
+    clients asking for one key cost one cold compile.
+
+    {2 The online FDO loop}
+
+    [report-profile] requests merge evidence into the unit's
+    accumulated {!Spec_fdo.Store} as
+    [merge_weighted ~wa:lambda ~wb:weight] — exponential decay of old
+    evidence when [lambda < 1], plain commutative merge (so report
+    order cannot matter) when [lambda = 1].  When
+    {!Spec_fdo.Store.distance} between the accumulated store and the
+    snapshot the unit's current artifact was compiled against crosses
+    [drift_threshold], the daemon recompiles the unit in the
+    background (after the triggering response is sent) and atomically
+    swaps its current artifact.  Stale evidence is safe by
+    construction: {!Spec_fdo.Store.bind} drops unmatched sites, so a
+    report from an out-of-date source only forgoes speculation.
+
+    The deterministic core ({!create}/{!handle_batch}) is pure state
+    machine — no sockets — which is what the differential,
+    single-flight and online-FDO tests drive.  {!serve} wraps it in a
+    [Unix.select] loop on a unix-domain socket; {!spawn} runs that
+    loop on a background thread for tests and the traffic-replay
+    bench. *)
+
+type config = {
+  sv_cache_dir : string;        (** compile-cache directory *)
+  sv_max_entries : int option;  (** cache LRU bound, [None] = unbounded *)
+  sv_lambda : float;            (** decay of old evidence per report, in [0,1] *)
+  sv_drift : float;             (** recompile when drift exceeds this *)
+  sv_verbose : bool;            (** log requests to stderr *)
+}
+
+val default_config : cache_dir:string -> config
+
+type t
+
+val create : config -> t
+
+(** Handle one scheduling batch of requests; responses come back in
+    request order.  Duplicate compile keys within the batch are
+    compiled once (single-flight); drift-triggered recompiles queued
+    by reports run after every response of the batch is computed. *)
+val handle_batch : t -> Proto.request list -> Proto.response list
+
+(** [handle_batch] of a singleton. *)
+val handle : t -> Proto.request -> Proto.response
+
+(** Monotonic counters: requests, cold, warm, joined, reports,
+    recompiles, errors, units, plus cache hit/miss/store/eviction and
+    [store_invalid] — the number of unit stores failing
+    {!Spec_fdo.Store.validate}, 0 on a healthy daemon. *)
+val counters : t -> (string * int) list
+
+(** True once a [shutdown] request was handled. *)
+val stopped : t -> bool
+
+val cache : t -> Spec_fdo.Cache.t
+
+(** The unit's current artifact: set by profile-fed compiles and
+    atomically swapped by drift-triggered background recompiles. *)
+val current_artifact : t -> string -> Spec_driver.Pipeline.result option
+
+(** Accumulated per-unit profile stores (concurrency tests assert
+    these stay [validate]-clean after mixed-key storms). *)
+val unit_stores : t -> (string * Spec_fdo.Store.t) list
+
+(** {2 Socket server} *)
+
+(** Serve on a unix-domain socket path until a [shutdown] request;
+    binds (replacing any stale socket file), then enters a select
+    loop.  All complete request lines available in one wakeup form one
+    [handle_batch] — concurrent same-key requests dedupe
+    single-flight.  Undecodable lines get structured error replies; a
+    connection whose buffered line exceeds {!Proto.max_line} is
+    answered with an error and closed. *)
+val serve : config -> socket:string -> unit
+
+type server
+
+(** Run {!serve} on a background thread (tests, traffic replay). *)
+val spawn : config -> socket:string -> server
+
+(** Request shutdown over the socket and join the server thread. *)
+val stop : server -> unit

@@ -1,0 +1,175 @@
+(* Wire protocol of the compile service: one Textio-quoted line per
+   message, version-tagged.  See proto.mli. *)
+
+module Textio = Spec_fdo.Textio
+
+let version = "specsvc/1"
+let max_line = 8 * 1024 * 1024
+
+type compile_req = {
+  cq_unit : string;
+  cq_mode : string;
+  cq_rounds : int;
+  cq_strength : bool;
+  cq_exec : bool;
+  cq_src : string;
+}
+
+type request =
+  | Compile of compile_req
+  | Report_profile of {
+      rq_unit : string;
+      rq_weight : float;
+      rq_store : string;
+    }
+  | Stats
+  | Shutdown
+
+type served = Cold | Warm | Joined
+
+type compile_reply = {
+  cr_served : served;
+  cr_key : string;
+  cr_digest : string;
+  cr_match_ppm : int;
+  cr_prog : string;
+  cr_output : string;
+}
+
+type report_reply = {
+  rr_runs : int;
+  rr_digest : string;
+  rr_drift : float;
+  rr_recompiled : bool;
+}
+
+type response =
+  | Compiled of compile_reply
+  | Profiled of report_reply
+  | Stats_reply of (string * int) list
+  | Bye
+  | Error of string
+
+(* ---- encoding ---- *)
+
+let q = Textio.quote
+let b v = if v then "1" else "0"
+
+let served_name = function
+  | Cold -> "cold"
+  | Warm -> "warm"
+  | Joined -> "joined"
+
+let encode_request = function
+  | Compile c ->
+    Printf.sprintf "%s compile %s %s %d %s %s %s" version (q c.cq_unit)
+      (q c.cq_mode) c.cq_rounds (b c.cq_strength) (b c.cq_exec) (q c.cq_src)
+  | Report_profile r ->
+    Printf.sprintf "%s report-profile %s %h %s" version (q r.rq_unit)
+      r.rq_weight (q r.rq_store)
+  | Stats -> version ^ " stats"
+  | Shutdown -> version ^ " shutdown"
+
+let encode_response = function
+  | Compiled r ->
+    Printf.sprintf "%s compiled %s %s %s %d %s %s" version
+      (served_name r.cr_served) (q r.cr_key) (q r.cr_digest) r.cr_match_ppm
+      (q r.cr_prog) (q r.cr_output)
+  | Profiled r ->
+    Printf.sprintf "%s profiled %d %s %h %s" version r.rr_runs
+      (q r.rr_digest) r.rr_drift (b r.rr_recompiled)
+  | Stats_reply kvs ->
+    let buf = Buffer.create 256 in
+    Printf.bprintf buf "%s stats %d" version (List.length kvs);
+    List.iter (fun (k, v) -> Printf.bprintf buf " %s %d" (q k) v) kvs;
+    Buffer.contents buf
+  | Bye -> version ^ " bye"
+  | Error msg -> Printf.sprintf "%s error %s" version (q msg)
+
+(* ---- decoding ---- *)
+
+(* Total: every lexer failure (and any other exception the lexer could
+   raise on adversarial input) becomes [Error _]. *)
+let decode : type a.
+    what:string -> (Textio.lexer -> a) -> string -> (a, string) result =
+ fun ~what f line ->
+  if String.length line > max_line then
+    Error
+      (Printf.sprintf "%s too large (%d bytes, limit %d)" what
+         (String.length line) max_line)
+  else
+    try
+      let lx = Textio.make line in
+      let v = Textio.token lx in
+      if v <> version then
+        Error (Printf.sprintf "unsupported protocol version %S (want %s)" v version)
+      else begin
+        let r = f lx in
+        if not (Textio.at_eof lx) then
+          Textio.fail lx "trailing tokens after message";
+        Ok r
+      end
+    with
+    | Textio.Error msg -> Error msg
+    | e -> Error (Printexc.to_string e)
+
+let decode_request line =
+  decode ~what:"request" (fun lx ->
+      match Textio.token lx with
+      | "compile" ->
+        let cq_unit = Textio.token lx in
+        let cq_mode = Textio.token lx in
+        let cq_rounds = Textio.int_tok lx in
+        let cq_strength = Textio.bool_tok lx in
+        let cq_exec = Textio.bool_tok lx in
+        let cq_src = Textio.token lx in
+        Compile { cq_unit; cq_mode; cq_rounds; cq_strength; cq_exec; cq_src }
+      | "report-profile" ->
+        let rq_unit = Textio.token lx in
+        let rq_weight = Textio.float_tok lx in
+        let rq_store = Textio.token lx in
+        Report_profile { rq_unit; rq_weight; rq_store }
+      | "stats" -> Stats
+      | "shutdown" -> Shutdown
+      | t -> Textio.fail lx (Printf.sprintf "unknown request %S" t))
+    line
+
+let decode_response line =
+  decode ~what:"response" (fun lx ->
+      match Textio.token lx with
+      | "compiled" ->
+        let cr_served =
+          match Textio.token lx with
+          | "cold" -> Cold
+          | "warm" -> Warm
+          | "joined" -> Joined
+          | t -> Textio.fail lx (Printf.sprintf "unknown served tag %S" t)
+        in
+        let cr_key = Textio.token lx in
+        let cr_digest = Textio.token lx in
+        let cr_match_ppm = Textio.int_tok lx in
+        let cr_prog = Textio.token lx in
+        let cr_output = Textio.token lx in
+        Compiled { cr_served; cr_key; cr_digest; cr_match_ppm; cr_prog;
+                   cr_output }
+      | "profiled" ->
+        let rr_runs = Textio.int_tok lx in
+        let rr_digest = Textio.token lx in
+        let rr_drift = Textio.float_tok lx in
+        let rr_recompiled = Textio.bool_tok lx in
+        Profiled { rr_runs; rr_digest; rr_drift; rr_recompiled }
+      | "stats" ->
+        let n = Textio.int_tok lx in
+        if n < 0 || n > 10_000 then
+          Textio.fail lx "stats: bad counter count";
+        let kvs =
+          List.init n (fun _ ->
+              let k = Textio.token lx in
+              let v = Textio.int_tok lx in
+              (k, v))
+        in
+        Stats_reply kvs
+      | "bye" -> Bye
+      | "error" -> Error (Textio.token lx)
+      | t -> Textio.fail lx (Printf.sprintf "unknown response %S" t))
+    line

@@ -1,0 +1,75 @@
+(** Wire protocol ([specsvc/1]) of the compile service.
+
+    One request or response per line: space-separated tokens in the
+    {!Spec_fdo.Textio} quoting discipline (quoted strings escape
+    newlines, so multi-line payloads — sources, profile stores,
+    optimized programs — travel inside a single line).  Every message
+    leads with the version tag; decoding is total: any malformed,
+    truncated, oversized or wrong-version line yields [Error _], never
+    an exception, and the daemon answers it with a structured
+    {!response.Error} reply instead of dying.  The codec round-trips
+    exactly ([decode (encode m) = Ok m]); [test/test_service.ml]
+    fuzzes this property. *)
+
+val version : string
+
+(** Hard ceiling on one encoded line (requests and responses), bytes.
+    The daemon drops connections whose buffered line exceeds it, after
+    replying with a structured error — an oversized request can delay
+    the daemon but never wedge it. *)
+val max_line : int
+
+type compile_req = {
+  cq_unit : string;          (** compilation-unit name (profile identity) *)
+  cq_mode : string;          (** none | base | profile | heuristic | aggressive *)
+  cq_rounds : int;           (** promotion rounds, as [Pipeline.optimize] *)
+  cq_strength : bool;        (** strength reduction + LFTR *)
+  cq_exec : bool;            (** also execute on the vm engine *)
+  cq_src : string;           (** mini-C source text *)
+}
+
+type request =
+  | Compile of compile_req
+  | Report_profile of {
+      rq_unit : string;
+      rq_weight : float;     (** weight of this evidence at merge *)
+      rq_store : string;     (** [specprof/1] store text *)
+    }
+  | Stats
+  | Shutdown
+
+(** How a compile request was satisfied. *)
+type served =
+  | Cold                     (** ran the optimization pipeline *)
+  | Warm                     (** answered from the compile cache *)
+  | Joined                   (** single-flight: rode another request's compile *)
+
+type compile_reply = {
+  cr_served : served;
+  cr_key : string;           (** content-addressed cache key *)
+  cr_digest : string;        (** profile-evidence digest, ["-"] if none *)
+  cr_match_ppm : int;        (** stale-bind match rate in ppm (1000000 = all) *)
+  cr_prog : string;          (** optimized program, [Pp] text *)
+  cr_output : string;        (** vm execution output, [""] unless requested *)
+}
+
+type report_reply = {
+  rr_runs : int;             (** training runs aggregated after the merge *)
+  rr_digest : string;        (** store digest after the merge *)
+  rr_drift : float;          (** {!Spec_fdo.Store.distance} from the snapshot *)
+  rr_recompiled : bool;      (** drift crossed the threshold: artifact swapped *)
+}
+
+type response =
+  | Compiled of compile_reply
+  | Profiled of report_reply
+  | Stats_reply of (string * int) list
+  | Bye
+  | Error of string
+
+(** Encodings are single lines without the trailing newline. *)
+val encode_request : request -> string
+
+val decode_request : string -> (request, string) result
+val encode_response : response -> string
+val decode_response : string -> (response, string) result

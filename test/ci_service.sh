@@ -1,0 +1,79 @@
+#!/bin/sh
+# @ci smoke for the compile service: start a daemon on a private socket,
+# drive it through the client subcommands — cold compile, warm compile
+# (byte-identical output), report-profile past the drift threshold (must
+# trigger a background recompile), a profile-mode compile served from
+# the swapped artifact, stats — then shut it down cleanly and check the
+# daemon exited zero with no protocol errors recorded.
+set -eu
+
+speccc="$1"
+src="$2"
+
+work="$(mktemp -d -t speccc-svc-ci-XXXXXX)"
+sock="$work/svc.sock"
+trap 'rm -rf "$work"' EXIT
+
+"$speccc" serve --socket "$sock" --cache-dir "$work/cache" \
+  --drift-threshold 0.05 --jobs 2 &
+daemon=$!
+# If anything below fails, don't leave the daemon behind.
+trap 'kill "$daemon" 2> /dev/null || true; rm -rf "$work"' EXIT
+
+"$speccc" client compile --socket "$sock" --unit smoke -m base \
+  "$src" > "$work/cold.out" 2> "$work/cold.err"
+grep -q "served: cold" "$work/cold.err" || {
+  echo "service ci: first compile was not served cold:" >&2
+  cat "$work/cold.err" >&2
+  exit 1
+}
+
+"$speccc" client compile --socket "$sock" --unit smoke -m base \
+  "$src" > "$work/warm.out" 2> "$work/warm.err"
+grep -q "served: warm" "$work/warm.err" || {
+  echo "service ci: repeat compile was not served warm:" >&2
+  cat "$work/warm.err" >&2
+  exit 1
+}
+cmp -s "$work/cold.out" "$work/warm.out" || {
+  echo "service ci: warm program differs from cold" >&2
+  exit 1
+}
+
+"$speccc" profile record "$src" -o "$work/p.sprof" > /dev/null
+"$speccc" client report-profile --socket "$sock" smoke "$work/p.sprof" \
+  > "$work/report.out"
+grep -q "recompiled yes" "$work/report.out" || {
+  echo "service ci: drifted report did not trigger a recompile:" >&2
+  cat "$work/report.out" >&2
+  exit 1
+}
+
+"$speccc" client compile --socket "$sock" --unit smoke -m profile --exec \
+  "$src" > "$work/prof.out" 2> "$work/prof.err"
+grep -q "served: warm" "$work/prof.err" || {
+  echo "service ci: profile compile missed the recompiled artifact:" >&2
+  cat "$work/prof.err" >&2
+  exit 1
+}
+
+"$speccc" client stats --socket "$sock" > "$work/stats.out"
+grep -q "^errors 0$" "$work/stats.out" || {
+  echo "service ci: daemon recorded protocol errors:" >&2
+  cat "$work/stats.out" >&2
+  exit 1
+}
+grep -q "^recompiles 1$" "$work/stats.out" || {
+  echo "service ci: expected exactly one drift recompile:" >&2
+  cat "$work/stats.out" >&2
+  exit 1
+}
+
+"$speccc" client shutdown --socket "$sock" > /dev/null
+wait "$daemon" || {
+  echo "service ci: daemon exited non-zero" >&2
+  exit 1
+}
+trap 'rm -rf "$work"' EXIT
+
+echo "service ci ok"

@@ -22,4 +22,5 @@ let () =
       ("engines", Test_engines.suite);
       ("stress", Test_stress.suite);
       ("fdo", Test_fdo.suite);
-      ("backends", Test_backends.suite) ]
+      ("backends", Test_backends.suite);
+      ("service", Test_service.suite) ]
