@@ -49,9 +49,15 @@
      bench/main.exe --table mdp     -- OoO memory-dependence predictor
                                        sweep (store-set, last-violator,
                                        none; "mdp" section in the dump)
+     bench/main.exe --table safety  -- speculative-safety sweep: taint
+                                       checker verdicts per variant plus
+                                       reload-vs-deopt recovery costs
+                                       under forced ALAT interference
+                                       (always in the --json dump as
+                                       "safety")
 
    Tables: smvp fig10 fig11 fig12 heuristics rse stress fdo compile backends
-           engines mdp ablate-cspec ablate-alat ablate-threshold
+           engines mdp safety ablate-cspec ablate-alat ablate-threshold
            ablate-sched micro
 
    Workload results are computed per-(workload, backend) on demand and
@@ -208,6 +214,42 @@ let table_mdp () =
   List.iter (fun c -> print_endline (Experiments.mdp_row cells c)) cells;
   Printf.printf
     "(%d cells; outputs and instruction counts identical across policies)\n"
+    (List.length cells)
+
+(** Memoized speculative-safety cells so the table and the JSON section
+    share one sweep.  The sweep itself is the gate: every recovery leg
+    must reproduce the unoptimized oracle's output byte-for-byte and the
+    two engines must agree on the deopt leg to the counter —
+    [Experiments.Safety_divergence] escapes and fails the run. *)
+let safety_cells_tbl : Experiments.safety_cell list option ref = ref None
+
+let safety_cells () =
+  match !safety_cells_tbl with
+  | Some cells -> cells
+  | None ->
+    let cells =
+      Experiments.run_safety ~quick:!quick ~seed:!stress_seed
+        Spec_workloads.Workloads.all
+    in
+    safety_cells_tbl := Some cells;
+    cells
+
+let table_safety () =
+  section
+    "Speculative safety: taint-checker verdicts + reload-vs-deopt recovery \
+     costs (forced ALAT interference)";
+  let cells = safety_cells () in
+  print_endline Experiments.safety_header;
+  List.iter (fun c -> print_endline (Experiments.safety_row c)) cells;
+  List.iter
+    (fun (c : Experiments.safety_cell) ->
+      List.iter (fun s -> Printf.printf "    %s/%s %s\n" c.Experiments.sf_wname
+                    c.Experiments.sf_variant s)
+        c.Experiments.sf_sites)
+    cells;
+  Printf.printf
+    "(%d cells; every recovery leg byte-identical to the unoptimized \
+     oracle, tree and vm deopt legs in full counter agreement)\n"
     (List.length cells)
 
 let table_smvp () =
@@ -623,6 +665,11 @@ let json_dump () =
      an engine-speedup trail the same way they keep the harness wall *)
   let engines_blob = Some (Bench_json.engines_json (engine_cells ())) in
   let mdp_blob = Some (Bench_json.mdp_json (mdp_cells ())) in
+  (* the safety sweep always rides along: the committed baselines keep a
+     verdict + recovery-cost trail the same way they keep engine speedups *)
+  let safety_blob =
+    Some (Bench_json.safety_json ~seed:!stress_seed (safety_cells ()))
+  in
   let stress_blob =
     if !stress then
       Some (Bench_json.stress_json ~seed:!stress_seed (all_stress_cells ()))
@@ -653,7 +700,7 @@ let json_dump () =
       ?pre_pr2_quick_wall_s:(if !quick then Some 13.194 else None)
       ?backends:backends_blob ?engines:engines_blob ?mdp:mdp_blob
       ?stress:stress_blob ?fdo:fdo_blob
-      ?compile:compile_blob ?service:service_blob blobs
+      ?compile:compile_blob ?safety:safety_blob ?service:service_blob blobs
   in
   print_string out;
   match !json_file with
@@ -698,7 +745,7 @@ let known_tables =
     "ablate-sched", table_ablate_sched; "micro", micro;
     "stress", table_stress; "fdo", table_fdo; "compile", table_compile;
     "backends", table_backends; "engines", table_engines;
-    "mdp", table_mdp; "traffic", table_traffic ]
+    "mdp", table_mdp; "safety", table_safety; "traffic", table_traffic ]
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -773,7 +820,7 @@ let () =
     else if !tables = [] then
       [ "smvp"; "fig10"; "fig11"; "fig12"; "heuristics"; "rse";
         "ablate-cspec"; "ablate-alat"; "ablate-threshold"; "ablate-sched";
-        "fdo"; "compile"; "engines"; "mdp" ]
+        "fdo"; "compile"; "engines"; "mdp"; "safety" ]
       @ (if both_backends () then [ "backends" ] else [])
       @ [ "micro" ]
     else List.rev !tables

@@ -104,8 +104,8 @@ let evidence ?profile_in ?profile_out src =
     let prof, _ = Spec_fdo.Store.bind store prog in
     { ev_prof = prof; ev_digest = Some (Spec_fdo.Store.digest store) }
 
-let optimize_src ?(verify_each = false) ?perturb ?cache ?threshold ~ev src
-    mode =
+let optimize_src ?(verify_each = false) ?(deopt = false) ?(safety = false)
+    ?perturb ?cache ?threshold ~ev src mode =
   let variant = variant_of_mode ev.ev_prof mode in
   let config =
     match threshold with
@@ -115,7 +115,7 @@ let optimize_src ?(verify_each = false) ?perturb ?cache ?threshold ~ev src
         { (Spec_ssapre.Ssapre.default_config (Pipeline.mode_of_variant variant))
           with Spec_ssapre.Ssapre.alias_threshold = t }
   in
-  Pipeline.compile_and_optimize ~verify_each ~config
+  Pipeline.compile_and_optimize ~verify_each ~deopt ~safety ~config
     ~edge_profile:(Some ev.ev_prof) ?perturb ?cache
     ?profile_digest:ev.ev_digest src variant
 
@@ -170,6 +170,50 @@ let threshold_arg =
            ~doc:"speculation frequency threshold: flag an alias as likely \
                  (chi-s) only when the profile says it substantiates more \
                  than this fraction of executions")
+
+(* ---- speculative safety / recovery knobs ---- *)
+
+let safety_arg =
+  Arg.(value
+       & opt (enum [ "off", `Off; "report", `Report; "strict", `Strict ])
+           `Off
+       & info [ "safety" ] ~docv:"MODE"
+           ~doc:"speculative-taint checker over the optimized program: \
+                 $(b,off) (default), $(b,report) (print the per-site \
+                 report), or $(b,strict) (report, and fail the compile \
+                 with a nonzero exit on any CONFIRMED site)")
+
+let recover_arg =
+  Arg.(value
+       & opt (enum [ "reload", `Reload; "deopt", `Deopt ]) `Reload
+       & info [ "recover" ] ~docv:"POLICY"
+           ~doc:"failed-check recovery: $(b,reload) (re-execute the \
+                 load, default) or $(b,deopt) (transfer to the \
+                 unoptimized body at the equivalent point; requires the \
+                 interpreter engines)")
+
+(* Print the checker report; under --safety strict a confirmed site
+   fails the invocation with a one-line diagnostic. *)
+let handle_safety safety (r : Pipeline.result) =
+  match safety, r.Pipeline.safety with
+  | `Off, _ | _, None -> ()
+  | (`Report | `Strict), Some rep ->
+    print_string (Spec_safety.Spectct.to_string rep);
+    if safety = `Strict && not (Spec_safety.Spectct.strict_ok rep)
+    then begin
+      Printf.eprintf
+        "speccc: --safety strict: confirmed speculative-taint sites \
+         (see report above)\n";
+      exit 1
+    end
+
+(* A deopt plan is built over a fresh lowering of the same source:
+   deterministic lowering reproduces the statement/variable ids the
+   descriptors refer to. *)
+let recover_plan recover src =
+  match recover with
+  | `Reload -> None
+  | `Deopt -> Some (Spec_safety.Deopt.make_plan (Lower.compile src))
 
 let open_cache dir = Option.map Spec_fdo.Cache.create dir
 
@@ -242,15 +286,17 @@ let engine_name = function `Tree -> "tree" | `Vm -> "vm"
 
 (* both engines draw a fresh injector from the same plan and scope, so
    they see identical deterministic fault streams *)
-let run_engine plan file (r : Pipeline.result) engine =
+let run_engine plan ?recover file (r : Pipeline.result) engine =
   let fi =
     Spec_stress.Faults.injector_opt plan
       ~scope:[ Filename.basename file; "speccc"; "interp" ]
   in
   let out =
     match engine with
-    | `Tree -> Spec_prof.Interp.run ?faults:fi r.Pipeline.prog
-    | `Vm -> Spec_prof.Vm.run_program ?faults:fi (Lazy.force r.Pipeline.vm)
+    | `Tree -> Spec_prof.Interp.run ?faults:fi ?recover r.Pipeline.prog
+    | `Vm ->
+      Spec_prof.Vm.run_program ?faults:fi ?recover
+        (Lazy.force r.Pipeline.vm)
   in
   (out, fi)
 
@@ -259,9 +305,16 @@ let run_cmd =
     Arg.(value & flag & info [ "machine" ] ~doc:"run on the ITL machine \
                                                  simulator (with counters)")
   in
-  let action file mode machine backend engine verify_each timings jobs
-      faults stress_seed profile_in profile_out cache_dir threshold =
+  let action file mode machine backend engine recover verify_each timings
+      jobs faults stress_seed profile_in profile_out cache_dir threshold =
     set_jobs jobs;
+    if machine && recover = `Deopt then begin
+      Printf.eprintf
+        "speccc: --recover deopt is not supported with --machine \
+         (usage: speccc run --recover deopt [--engine tree|vm|both] \
+         FILE)\n";
+      exit 2
+    end;
     let src = read_file file in
     let plan =
       match faults with
@@ -281,7 +334,8 @@ let run_cmd =
     let cache = open_cache cache_dir in
     let ev = evidence ?profile_in ?profile_out src in
     let r =
-      optimize_src ~verify_each ?perturb ?cache ?threshold ~ev src mode
+      optimize_src ~verify_each ~deopt:(recover = `Deopt) ?perturb ?cache
+        ?threshold ~ev src mode
     in
     if timings then
       prerr_string (Spec_driver.Passes.report_to_string r.Pipeline.report);
@@ -328,8 +382,9 @@ let run_cmd =
        | None -> ())
     end
     else begin
+      let rplan = recover_plan recover src in
       let results =
-        List.map (fun e -> (e, run_engine plan file r e))
+        List.map (fun e -> (e, run_engine plan ?recover:rplan file r e))
           (engine_list engine)
       in
       (match results with
@@ -353,10 +408,11 @@ let run_cmd =
           match fi with
           | Some inj ->
             Printf.eprintf
-              "engine=%s check-reloads=%d alat-flushes=%d \
+              "engine=%s check-reloads=%d deopts=%d alat-flushes=%d \
                alat-invalidations=%d\n"
               (engine_name e)
               out.Spec_prof.Interp.counters.Spec_prof.Interp.check_reloads
+              out.Spec_prof.Interp.counters.Spec_prof.Interp.deopts
               (Spec_stress.Faults.flushes inj)
               (Spec_stress.Faults.invalidations inj)
           | None -> ())
@@ -366,8 +422,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"compile, optimize and execute a program")
     Term.(const action $ src_arg $ mode_arg $ machine $ backend_arg
-          $ engine_arg $ verify_arg $ timings_arg $ jobs_arg $ faults_arg
-          $ stress_seed_arg $ profile_in_arg $ profile_out_arg
+          $ engine_arg $ recover_arg $ verify_arg $ timings_arg $ jobs_arg
+          $ faults_arg $ stress_seed_arg $ profile_in_arg $ profile_out_arg
           $ cache_dir_arg $ threshold_arg)
 
 (* ---- dump ---- *)
@@ -381,9 +437,16 @@ let dump_cmd =
          & info [ "phase"; "p" ] ~docv:"PHASE"
              ~doc:"ast, sir, chimu, ssa, opt (post-PRE), itl")
   in
-  let action file mode phase jobs profile_in profile_out cache_dir
+  let action file mode phase safety jobs profile_in profile_out cache_dir
       threshold =
     set_jobs jobs;
+    (match phase, safety with
+     | (`Ast | `Sir | `Chimu | `Ssa), (`Report | `Strict) ->
+       Printf.eprintf
+         "speccc: --safety needs the optimized program (usage: speccc \
+          dump --phase opt|itl --safety report|strict FILE)\n";
+       exit 2
+     | _ -> ());
     let src = read_file file in
     (* one training run (or store load) per invocation, and only for the
        phases that need evidence at all *)
@@ -417,12 +480,20 @@ let dump_cmd =
        ignore (Spec_ssa.Build_ssa.build p);
        print_endline (Pp.prog_to_string p)
      | `Opt ->
-       let r = optimize_src ?cache ?threshold ~ev:(Lazy.force ev) src mode in
+       let r =
+         optimize_src ~safety:(safety <> `Off) ?cache ?threshold
+           ~ev:(Lazy.force ev) src mode
+       in
        report_cache cache;
+       handle_safety safety r;
        print_endline (Pp.prog_to_string r.Pipeline.prog)
      | `Itl ->
-       let r = optimize_src ?cache ?threshold ~ev:(Lazy.force ev) src mode in
+       let r =
+         optimize_src ~safety:(safety <> `Off) ?cache ?threshold
+           ~ev:(Lazy.force ev) src mode
+       in
        report_cache cache;
+       handle_safety safety r;
        let mp = Spec_codegen.Codegen.lower r.Pipeline.prog in
        List.iter
          (fun name ->
@@ -433,19 +504,21 @@ let dump_cmd =
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"print the IR after a compilation phase")
-    Term.(const action $ src_arg $ mode_arg $ phase $ jobs_arg
-          $ profile_in_arg $ profile_out_arg $ cache_dir_arg
+    Term.(const action $ src_arg $ mode_arg $ phase $ safety_arg
+          $ jobs_arg $ profile_in_arg $ profile_out_arg $ cache_dir_arg
           $ threshold_arg)
 
 (* ---- stats ---- *)
 
 let stats_cmd =
-  let action file backend engine verify_each timings jobs profile_in
-      profile_out cache_dir threshold =
+  let action file backend engine safety recover verify_each timings jobs
+      profile_in profile_out cache_dir threshold =
     set_jobs jobs;
     let src = read_file file in
     let ev = evidence ?profile_in ?profile_out src in
     let cache = open_cache cache_dir in
+    let rplan = recover_plan recover src in
+    let safety_reports = ref [] in
     Printf.printf "backend: %s  engine: %s\n"
       (Spec_machine.Machine.backend_name backend)
       (String.concat "+" (List.map engine_name (engine_list engine)));
@@ -455,10 +528,14 @@ let stats_cmd =
     List.iter
       (fun mode ->
         let r =
-          optimize_src ~verify_each ?cache ?threshold ~ev src mode
+          optimize_src ~verify_each ~deopt:(recover = `Deopt)
+            ~safety:(safety <> `Off) ?cache ?threshold ~ev src mode
         in
         let name = Pipeline.variant_name r.Pipeline.variant in
         reports := (name, r.Pipeline.report) :: !reports;
+        (match r.Pipeline.safety with
+         | Some rep -> safety_reports := (name, rep) :: !safety_reports
+         | None -> ());
         let m = Spec_machine.Machine.run_sir_on backend r.Pipeline.prog in
         (* every requested engine must reproduce the machine's output *)
         let steps =
@@ -466,8 +543,11 @@ let stats_cmd =
             (fun _ e ->
               let i =
                 match e with
-                | `Tree -> Spec_prof.Interp.run r.Pipeline.prog
-                | `Vm -> Spec_prof.Vm.run_program (Lazy.force r.Pipeline.vm)
+                | `Tree ->
+                  Spec_prof.Interp.run ?recover:rplan r.Pipeline.prog
+                | `Vm ->
+                  Spec_prof.Vm.run_program ?recover:rplan
+                    (Lazy.force r.Pipeline.vm)
               in
               if i.Spec_prof.Interp.output <> m.Spec_machine.Machine.output
               then begin
@@ -488,6 +568,24 @@ let stats_cmd =
           p.Spec_machine.Machine.stores steps)
       [ `None; `Base; `Profile; `Heuristic; `Aggressive ];
     report_cache cache;
+    (match safety with
+     | `Off -> ()
+     | `Report | `Strict ->
+       List.iter
+         (fun (name, rep) ->
+           Printf.printf "\n-- safety: %s --\n%s" name
+             (Spec_safety.Spectct.to_string rep))
+         (List.rev !safety_reports);
+       if safety = `Strict
+          && List.exists
+               (fun (_, rep) -> not (Spec_safety.Spectct.strict_ok rep))
+               !safety_reports
+       then begin
+         Printf.eprintf
+           "speccc: --safety strict: confirmed speculative-taint sites \
+            (see reports above)\n";
+         exit 1
+       end);
     if timings then
       List.iter
         (fun (name, report) ->
@@ -498,9 +596,10 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"machine counters for every pipeline variant")
-    Term.(const action $ src_arg $ backend_arg $ engine_arg $ verify_arg
-          $ timings_arg $ jobs_arg $ profile_in_arg $ profile_out_arg
-          $ cache_dir_arg $ threshold_arg)
+    Term.(const action $ src_arg $ backend_arg $ engine_arg $ safety_arg
+          $ recover_arg $ verify_arg $ timings_arg $ jobs_arg
+          $ profile_in_arg $ profile_out_arg $ cache_dir_arg
+          $ threshold_arg)
 
 (* ---- profile ---- *)
 

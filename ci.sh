@@ -54,6 +54,15 @@ echo "== execution-engine smoke (--engine both + vm cache hit) =="
 # machine's output on every pipeline variant.
 sh test/ci_engine.sh _build/default/bin/speccc.exe "$tmp"
 
+echo "== speculative-safety smoke (--safety + --recover deopt) =="
+# The taint checker must CONFIRM the leaky cipher kernel (and --safety
+# strict must fail its compile), pass the constant-time kernel under
+# strict, deopt-based recovery under forced flushes must agree across
+# both engines, and malformed safety/recovery flags must exit non-zero
+# with a usage hint.
+sh test/ci_safety.sh _build/default/bin/speccc.exe \
+  test/safety_smoke.c test/safety_ct.c
+
 echo "== compile-service smoke (daemon + client + drift recompile) =="
 # Start the compile daemon on a private socket and drive it through the
 # client subcommands: cold compile, warm compile (byte-identical),

@@ -18,16 +18,23 @@
     speedups and Mstmt/s / Minsn/s rates) plus an [mdp] section sweeping
     the OoO core's memory-dependence predictors.
 
-    [specpre-bench/5] (this PR) adds the optional [service] section:
-    the compile-service traffic replay ([bench/main.exe --traffic]) —
+    [specpre-bench/5] added the optional [service] section: the
+    compile-service traffic replay ([bench/main.exe --traffic]) —
     request mix, cold/warm/joined split, online-FDO reports and
     drift-triggered recompiles, divergence count (always 0: the replay
     hard-fails on any daemon-vs-offline mismatch), p50/p99 latency and
-    throughput.  /4 and older dumps are rejected. *)
+    throughput.
+
+    [specpre-bench/6] (this PR) adds the [safety] section: the
+    speculative-taint checker's verdict per (workload, speculative
+    variant) — confirmed/plausible counts and the stable site keys —
+    plus the recovery-cost comparison (check misses recovered by
+    reloading vs by deoptimizing, under one forced interference plan).
+    /5 and older dumps are rejected. *)
 
 open Spec_workloads
 
-let schema_tag = "specpre-bench/5"
+let schema_tag = "specpre-bench/6"
 
 (* ------------------------------------------------------------------ *)
 (* Emission                                                            *)
@@ -283,6 +290,42 @@ let compile_json (cells : Experiments.compile_result list) =
   Buffer.add_string buf "]}";
   Buffer.contents buf
 
+let safety_cell_json (c : Experiments.safety_cell) =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf
+    "{\"workload\":%S,\"variant\":%S,\"verdict\":%S,\"confirmed\":%d,\
+     \"plausible\":%d,\"sites\":["
+    c.Experiments.sf_wname c.Experiments.sf_variant c.Experiments.sf_verdict
+    c.Experiments.sf_confirmed c.Experiments.sf_plausible;
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "%S" s)
+    c.Experiments.sf_sites;
+  Printf.bprintf buf
+    "],\"checks\":%d,\"reloads\":%d,\"reload_steps\":%d,\"deopts\":%d,\
+     \"deopt_steps\":%d}"
+    c.Experiments.sf_checks c.Experiments.sf_reloads
+    c.Experiments.sf_reload_steps c.Experiments.sf_deopts
+    c.Experiments.sf_deopt_steps;
+  Buffer.contents buf
+
+(** The speculative-safety sweep as a JSON object: the interference
+    plan the recovery comparison ran under, and one cell per (workload,
+    speculative variant) with the checker's verdict, its stable site
+    keys, and the reload-vs-deopt recovery costs. *)
+let safety_json ~seed (cells : Experiments.safety_cell list) =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "{\"seed\":%d,\"fault_plan\":%S,\"cells\":[" seed
+    (Spec_stress.Faults.to_string (Experiments.safety_fault_plan ~seed));
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (safety_cell_json c))
+    cells;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
 (** Assemble the top-level dump.  [workloads] are pre-rendered
     {!workload_json} blobs; [engines], [mdp], [stress], [fdo],
     [compile] and [service] are pre-rendered section blobs — the first
@@ -292,7 +335,8 @@ let compile_json (cells : Experiments.compile_result list) =
     pins the section's shape).  [date] is supplied by the caller (the
     library stays clock-free). *)
 let dump ~date ~inputs ~jobs ~harness_wall_s ?pre_pr2_quick_wall_s ?backends
-    ?engines ?mdp ?stress ?fdo ?compile ?service (workloads : string list) =
+    ?engines ?mdp ?stress ?fdo ?compile ?safety ?service
+    (workloads : string list) =
   let buf = Buffer.create 65536 in
   Printf.bprintf buf
     "{\"schema\":%S,\"date\":%S,\"inputs\":%S,\
@@ -336,6 +380,11 @@ let dump ~date ~inputs ~jobs ~harness_wall_s ?pre_pr2_quick_wall_s ?backends
   (match compile with
    | Some s ->
      Buffer.add_string buf ",\"compile\":";
+     Buffer.add_string buf s
+   | None -> ());
+  (match safety with
+   | Some s ->
+     Buffer.add_string buf ",\"safety\":";
      Buffer.add_string buf s
    | None -> ());
   (match service with
@@ -702,6 +751,45 @@ let validate_backends_entry i v =
   side "inorder" [];
   side "ooo" [ "replays_base"; "replays_spec" ]
 
+let validate_safety_cell i v =
+  let path = [ Printf.sprintf "safety.cells[%d]" i ] in
+  let f = as_obj path "safety cell" v in
+  List.iter
+    (fun name -> ignore (field path name `Str f))
+    [ "workload"; "variant" ];
+  (match field path "verdict" `Str f with
+   | Str ("unannotated" | "safe" | "leaks") -> ()
+   | Str other ->
+     raise
+       (Invalid
+          (Printf.sprintf "field %s.verdict: unknown verdict %S"
+             (String.concat "." (List.rev path)) other))
+   | _ -> assert false);
+  List.iter
+    (fun name -> ignore (field path name `Int f))
+    [ "confirmed"; "plausible"; "checks"; "reloads"; "reload_steps";
+      "deopts"; "deopt_steps" ];
+  let sites = as_arr (field path "sites" `Arr f) in
+  List.iter
+    (fun s ->
+      match s with
+      | Str _ -> ()
+      | _ ->
+        raise
+          (Invalid
+             (Printf.sprintf "field %s.sites must hold strings"
+                (String.concat "." (List.rev path)))))
+    sites
+
+(* The speculative-safety sweep: checker verdicts + recovery costs. *)
+let validate_safety v =
+  let path = [ "safety" ] in
+  let f = as_obj path "safety" v in
+  ignore (field path "seed" `Int f);
+  ignore (field path "fault_plan" `Str f);
+  let cells = as_arr (field path "cells" `Arr f) in
+  List.iteri validate_safety_cell cells
+
 (* The compile-service traffic replay ([--traffic]). *)
 let validate_service v =
   let path = [ "service" ] in
@@ -721,12 +809,12 @@ let validate_service v =
           "service.divergences must be 0: the replay hard-fails on any \
            daemon-vs-offline divergence"))
 
-(** Validate a parsed dump against the [specpre-bench/5] schema.  The
-    [backends], [engines], [mdp], [stress], [fdo], [compile] and
-    [service] sections are optional (present only when the
+(** Validate a parsed dump against the [specpre-bench/6] schema.  The
+    [backends], [engines], [mdp], [stress], [fdo], [compile], [safety]
+    and [service] sections are optional (present only when the
     corresponding sweep ran) but fully pinned when present.  Older
-    schema tags — including [specpre-bench/4], which lacked the
-    compile-service dimension — are rejected. *)
+    schema tags — including [specpre-bench/5], which lacked the
+    speculative-safety dimension — are rejected. *)
 let validate (v : json) : (unit, string) result =
   try
     let f = as_obj [] "bench dump" v in
@@ -787,6 +875,9 @@ let validate (v : json) : (unit, string) result =
        ignore (field [ "compile" ] "total_speedup" `Num cf);
        let cells = as_arr (field [ "compile" ] "workloads" `Arr cf) in
        List.iteri validate_compile_cell cells);
+    (match List.assoc_opt "safety" f with
+     | None -> ()
+     | Some sv -> validate_safety sv);
     (match List.assoc_opt "service" f with
      | None -> ()
      | Some sv -> validate_service sv);

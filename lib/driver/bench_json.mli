@@ -1,16 +1,15 @@
-(** Machine-readable bench dump (schema [specpre-bench/5]): emission,
+(** Machine-readable bench dump (schema [specpre-bench/6]): emission,
     parsing, and validation.  See [bench/main.ml] for the harness side
     and [test/test_stress.ml] for the golden schema check.
 
-    /5 adds the optional [service] section — the compile-service
-    traffic replay ([--traffic]): request mix, cold/warm/joined split,
-    online-FDO reports and drift recompiles, p50/p99 latency and
-    throughput.  Its blob is emitted by [Spec_service.Traffic.to_json]
-    (that library sits above this one); the validator here still pins
-    the section's shape.  /4 dumps no longer validate. *)
+    /6 adds the [safety] section — the speculative-taint checker's
+    verdict per (workload, speculative variant), the stable site keys
+    it reported, and the reload-vs-deopt recovery-cost comparison under
+    one forced interference plan.  /5 dumps (which lacked the safety
+    dimension) no longer validate. *)
 
 (** The schema tag emitted and required by this build,
-    ["specpre-bench/5"]. *)
+    ["specpre-bench/6"]. *)
 val schema_tag : string
 
 (** {1 Emission} *)
@@ -59,13 +58,22 @@ val compile_cell_json : Experiments.compile_result -> string
     sequential compile's pass breakdown. *)
 val compile_json : Experiments.compile_result list -> string
 
+val safety_cell_json : Experiments.safety_cell -> string
+
+(** The speculative-safety sweep as a JSON object: the interference
+    plan, plus one cell per (workload, speculative variant) with the
+    checker verdict, stable site keys, and reload-vs-deopt recovery
+    costs. *)
+val safety_json : seed:int -> Experiments.safety_cell list -> string
+
 (** Assemble the top-level dump from pre-rendered section blobs.
     [date] is supplied by the caller so the library stays clock-free. *)
 val dump :
   date:string -> inputs:string -> jobs:int -> harness_wall_s:float ->
   ?pre_pr2_quick_wall_s:float -> ?backends:string -> ?engines:string ->
   ?mdp:string -> ?stress:string ->
-  ?fdo:string -> ?compile:string -> ?service:string -> string list -> string
+  ?fdo:string -> ?compile:string -> ?safety:string -> ?service:string ->
+  string list -> string
 
 (** {1 Parsing} *)
 
@@ -82,11 +90,11 @@ val parse : string -> (json, string) result
 
 (** {1 Schema validation} *)
 
-(** Validate a parsed dump against the pinned [specpre-bench/5] shape:
+(** Validate a parsed dump against the pinned [specpre-bench/6] shape:
     every field name and type of the top level, workload entries,
     variant counters, metrics, pass reports, and (when present) the
-    [backends], [engines], [mdp], [stress], [fdo], [compile] and
-    [service] sections.  Older schema tags are rejected. *)
+    [backends], [engines], [mdp], [stress], [fdo], [compile], [safety]
+    and [service] sections.  Older schema tags are rejected. *)
 val validate : json -> (unit, string) result
 
 (** Parse and validate in one step. *)

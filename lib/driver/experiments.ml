@@ -1166,3 +1166,142 @@ let ablate_alat ?(quick = false) (w : Workloads.workload) sizes =
       let p = m.Machine.perf in
       (entries, p.Machine.checks, p.Machine.check_misses))
     sizes
+
+(* ------------------------------------------------------------------ *)
+(* Speculative-safety sweep (--table safety)                           *)
+(* ------------------------------------------------------------------ *)
+
+exception Safety_divergence of string
+
+(** One (workload, variant) row of the safety sweep: the speculative-taint
+    checker's verdict on the deopt-capable optimized program, the stable
+    site keys it reported, and the cost of the two recovery policies under
+    one forced interference plan — the same build re-run with check misses
+    recovered by reloading vs by deoptimizing into the unoptimized body.
+    The deopt leg runs on both interpreter engines with the same
+    scope-derived fault stream and must agree to the counter, and every
+    run must reproduce the unoptimized oracle's output byte-for-byte. *)
+type safety_cell = {
+  sf_wname : string;
+  sf_variant : string;
+  sf_verdict : string;      (** "unannotated" | "safe" | "leaks" *)
+  sf_confirmed : int;
+  sf_plausible : int;
+  sf_sites : string list;   (** tier + kind + stable site key, program order *)
+  sf_checks : int;          (** ld.c executions on the reload leg *)
+  sf_reloads : int;         (** check misses recovered by reloading *)
+  sf_reload_steps : int;    (** tree-engine steps, reload recovery *)
+  sf_deopts : int;          (** check misses recovered by deoptimizing *)
+  sf_deopt_steps : int;     (** tree-engine steps, deopt recovery *)
+}
+
+(* the interference plan the recovery comparison runs under: periodic
+   full ALAT flushes, frequent enough to fire on every kernel with
+   checks, seeded so the stream is reproducible per scope *)
+let safety_fault_plan ~seed =
+  { (Spec_stress.Faults.null seed) with Spec_stress.Faults.flush_period = 25 }
+
+let safety_diverged ~workload ~variant ~leg msg =
+  raise
+    (Safety_divergence
+       (Printf.sprintf "safety %s/%s (%s): %s" workload variant leg msg))
+
+let safety_variant ~quick ~seed (w : Workloads.workload) profile
+    (vname, variant) : safety_cell =
+  let params = if quick then w.Workloads.train else w.Workloads.ref_ in
+  let src = w.Workloads.source params in
+  let prog = Lower.compile src in
+  let r =
+    Pipeline.optimize ~edge_profile:(Some profile) ~deopt:true ~safety:true
+      prog variant
+  in
+  let report =
+    match r.Pipeline.safety with
+    | Some rep -> rep
+    | None -> failwith "safety sweep: pipeline dropped the safety report"
+  in
+  let verdict, confirmed, plausible = Spec_safety.Spectct.cells report in
+  let dplan = Spec_safety.Deopt.make_plan (Lower.compile src) in
+  (* the Aggressive variant has no runtime checks, so on kernels with
+     real aliasing it legitimately diverges from the unoptimized oracle
+     (as in the main harness); it is held to its own fault-free output
+     instead — faults only ever remove ALAT entries, so a faulted run
+     must still reproduce it exactly *)
+  let expected =
+    if variant = Pipeline.Aggressive then
+      (Interp.run r.Pipeline.prog).Interp.output
+    else (Interp_ref.run (Lower.compile src)).Interp_ref.output
+  in
+  let plan = safety_fault_plan ~seed in
+  let inj leg =
+    Spec_stress.Faults.injector plan
+      ~scope:[ w.Workloads.name; vname; "safety"; leg ]
+  in
+  let check leg (i : Interp.result) =
+    if i.Interp.output <> expected then
+      safety_diverged ~workload:w.Workloads.name ~variant:vname ~leg
+        "output diverged from the unoptimized oracle"
+  in
+  let reload = Interp.run ~faults:(inj "reload") r.Pipeline.prog in
+  check "reload" reload;
+  (* both engines replay the same fault stream (they share the ALAT
+     operation clock), so the deopt legs must agree exactly *)
+  let deo_tree =
+    Interp.run ~faults:(inj "deopt") ~recover:dplan r.Pipeline.prog
+  in
+  check "deopt-tree" deo_tree;
+  let deo_vm = Vm.run ~faults:(inj "deopt") ~recover:dplan r.Pipeline.prog in
+  check "deopt-vm" deo_vm;
+  if deo_vm.Interp.output <> deo_tree.Interp.output
+     || deo_vm.Interp.ret <> deo_tree.Interp.ret
+     || deo_vm.Interp.counters <> deo_tree.Interp.counters
+  then
+    safety_diverged ~workload:w.Workloads.name ~variant:vname ~leg:"deopt-vm"
+      "vm engine disagreed with the tree engine";
+  { sf_wname = w.Workloads.name;
+    sf_variant = vname;
+    sf_verdict = verdict;
+    sf_confirmed = confirmed;
+    sf_plausible = plausible;
+    sf_sites = Spec_safety.Spectct.site_lines report;
+    sf_checks = reload.Interp.counters.Interp.check_stmts;
+    sf_reloads = reload.Interp.counters.Interp.check_reloads;
+    sf_reload_steps = reload.Interp.counters.Interp.steps;
+    sf_deopts = deo_tree.Interp.counters.Interp.deopts;
+    sf_deopt_steps = deo_tree.Interp.counters.Interp.steps }
+
+let safety_variants =
+  [ "profile", `Profile; "heuristic", `Heuristic; "aggressive", `Aggressive ]
+
+(** Safety-sweep one workload: checker verdict + recovery-cost cells for
+    each speculative variant.  The profile is collected inside the task so
+    cells are self-contained (deterministic under any [--jobs]). *)
+let safety_workload ?(quick = false) ?(seed = 1) (w : Workloads.workload) :
+    safety_cell list =
+  let train_prog = Lower.compile (Workloads.train_source w) in
+  let profile, _ = Profiler.profile train_prog in
+  List.map
+    (fun (vname, v) ->
+      let variant =
+        match v with
+        | `Profile -> Pipeline.Spec_profile profile
+        | `Heuristic -> Pipeline.Spec_heuristic
+        | `Aggressive -> Pipeline.Aggressive
+      in
+      safety_variant ~quick ~seed w profile (vname, variant))
+    safety_variants
+
+(** The full safety sweep, one workload per pool task. *)
+let run_safety ?(quick = false) ?(seed = 1) (ws : Workloads.workload list) :
+    safety_cell list =
+  List.concat (Parpool.parmap (fun w -> safety_workload ~quick ~seed w) ws)
+
+let safety_header =
+  "benchmark | variant    | verdict     | conf | plaus | checks | reloads | \
+   steps(rel) | deopts | steps(deo)"
+
+let safety_row (c : safety_cell) =
+  Printf.sprintf
+    "%-9s | %-10s | %-11s | %4d | %5d | %6d | %7d | %10d | %6d | %10d"
+    c.sf_wname c.sf_variant c.sf_verdict c.sf_confirmed c.sf_plausible
+    c.sf_checks c.sf_reloads c.sf_reload_steps c.sf_deopts c.sf_deopt_steps

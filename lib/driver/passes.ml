@@ -36,12 +36,13 @@ open Spec_ssapre
 (* Analysis cache                                                      *)
 (* ------------------------------------------------------------------ *)
 
-type analysis = Points_to | Chi_mu | Dominators
+type analysis = Points_to | Chi_mu | Dominators | Safety
 
 let analysis_name = function
   | Points_to -> "points-to"
   | Chi_mu -> "chi-mu"
   | Dominators -> "dominators"
+  | Safety -> "safety"
 
 (** Recomputation/reuse counters, for observability and for the tests
     that pin down how much work the cache saves versus the old pipeline
@@ -52,14 +53,17 @@ type counters = {
   mutable modref_runs : int;
   mutable annot_runs : int;
   mutable dom_runs : int;        (** per-function dominator computations *)
+  mutable safety_runs : int;     (** speculative-taint checker computations *)
   mutable points_to_hits : int;
   mutable annot_hits : int;
   mutable dom_hits : int;
+  mutable safety_hits : int;
 }
 
 let fresh_counters () =
   { steensgaard_runs = 0; modref_runs = 0; annot_runs = 0; dom_runs = 0;
-    points_to_hits = 0; annot_hits = 0; dom_hits = 0 }
+    safety_runs = 0; points_to_hits = 0; annot_hits = 0; dom_hits = 0;
+    safety_hits = 0 }
 
 type cache = {
   cprog : Sir.prog;
@@ -67,12 +71,15 @@ type cache = {
     (Spec_alias.Steensgaard.solution * Spec_alias.Modref.t) option;
   mutable chi_mu : Spec_alias.Annotate.info option;
   doms : (string, Dom.t) Hashtbl.t;
+  mutable safety : Spec_safety.Taint.report option;
+      (** speculative-taint report over the current program text; any
+          transform that clobbers χ/μ also clobbers this *)
   counters : counters;
 }
 
 let create_cache prog =
   { cprog = prog; points_to = None; chi_mu = None;
-    doms = Hashtbl.create 8; counters = fresh_counters () }
+    doms = Hashtbl.create 8; safety = None; counters = fresh_counters () }
 
 let points_to cache =
   match cache.points_to with
@@ -114,10 +121,29 @@ let dom_of cache (f : Sir.func) =
     Hashtbl.replace cache.doms f.Sir.fname d;
     d
 
+(** Cached speculative-taint report; recomputed whenever the program
+    text changed since the last check (it shares χ/μ's invalidation
+    trigger: both describe the current statements). *)
+let safety_of cache =
+  match cache.safety with
+  | Some r ->
+    cache.counters.safety_hits <- cache.counters.safety_hits + 1;
+    r
+  | None ->
+    let sol, _ = points_to cache in
+    let r = Spec_safety.Taint.check ~pt:sol cache.cprog in
+    cache.counters.safety_runs <- cache.counters.safety_runs + 1;
+    cache.safety <- Some r;
+    r
+
 let invalidate cache = function
   | Points_to -> cache.points_to <- None
-  | Chi_mu -> cache.chi_mu <- None
+  | Chi_mu ->
+    cache.chi_mu <- None;
+    (* the taint report describes the same statement-level text *)
+    cache.safety <- None
   | Dominators -> Hashtbl.reset cache.doms
+  | Safety -> cache.safety <- None
 
 (* ------------------------------------------------------------------ *)
 (* Pass context, outcomes, registry                                    *)
@@ -383,6 +409,18 @@ let p_cleanup =
               "propagated", st.Cleanup.propagated;
               "removed", st.Cleanup.removed ] }) }
 
+let p_spec_safety =
+  { pname = "spec-safety";
+    pdescr = "speculative-taint safety checker over the optimized IR";
+    prun =
+      (fun ctx ->
+        let rep = safety_of ctx.cache in
+        { touched = false;
+          invalidates = [];
+          counters =
+            [ "confirmed", rep.Spec_safety.Taint.rp_confirmed;
+              "plausible", rep.Spec_safety.Taint.rp_plausible ] }) }
+
 let p_strip_checks =
   { pname = "strip-checks";
     pdescr = "drop runtime checks (Aggressive upper-bound variant)";
@@ -396,7 +434,8 @@ let p_strip_checks =
 let () =
   List.iter register
     [ p_annotate; p_flags; p_split_edges; p_build_ssa; p_refine; p_ssapre;
-      p_out_of_ssa; p_store_promo; p_strength; p_cleanup; p_strip_checks ]
+      p_out_of_ssa; p_store_promo; p_strength; p_cleanup; p_spec_safety;
+      p_strip_checks ]
 
 (* ------------------------------------------------------------------ *)
 (* Manager: scheduling, timing, verification                           *)
@@ -662,7 +701,7 @@ let round_task ~verify_each ~dom_cached ~annot_info ~config (view : Sir.prog)
     sr_ssapre = st; sr_verified = !verified }
 
 let post_task ~verify_each ~dom_cached ~annot_info ~config ~perturb ~strength
-    ~strip (view : Sir.prog) (f : Sir.func) : seg_result =
+    ~strip ~deopt_vbase (view : Sir.prog) (f : Sir.func) : seg_result =
   let steps, verified, sp, check = seg_env ~verify_each view f in
   let dom, dom_ran, dom_hit =
     match dom_cached with
@@ -693,7 +732,17 @@ let post_task ~verify_each ~dom_cached ~annot_info ~config ~perturb ~strength
     check "strength" ~ssa_dom:None
   end;
   sp.step "cleanup" (fun () ->
-      let st = Cleanup.run_func view f in
+      (* deopt descriptors transfer lowering-era register state, so the
+         variables they name must survive dead-code elimination *)
+      let pin =
+        match deopt_vbase with
+        | None -> None
+        | Some vbase ->
+          Some
+            (fun v ->
+              (Symtab.orig view.Sir.syms v).Symtab.vid < vbase)
+      in
+      let st = Cleanup.run_func ?pin view f in
       ( st.Cleanup.folded + st.Cleanup.propagated + st.Cleanup.removed > 0,
         [ ("folded", st.Cleanup.folded);
           ("propagated", st.Cleanup.propagated);
@@ -887,7 +936,7 @@ let seg_record mgr step_names (results : seg_result list) =
       record_run mgr name ~dt:!dt ~touched:!touched ~counters)
     step_names
 
-let seg_run mgr step_names task =
+let seg_run mgr step_names task : seg_result list =
   let ctx = mgr.mctx in
   let vbase = Symtab.count ctx.prog.Sir.syms in
   let sbase = ctx.prog.Sir.next_stmt in
@@ -896,7 +945,8 @@ let seg_run mgr step_names task =
   seg_record mgr step_names results;
   (* statement-level chi/mu lists are wiped inside the segment *)
   invalidate ctx.cache Chi_mu;
-  ctx.in_ssa <- false
+  ctx.in_ssa <- false;
+  results
 
 (** The refinement prepass as one fused parallel segment: an [annotate]
     barrier, then per-function split-edges / build-ssa / refine /
@@ -907,10 +957,12 @@ let fused_prepass mgr =
   let ctx = mgr.mctx in
   run_pass mgr "annotate";
   let verify_each = mgr.verify_each in
-  seg_run mgr [ "split-edges"; "build-ssa"; "refine"; "out-of-ssa" ]
-    (fun view f ->
-      prepass_task ~verify_each
-        ~dom_cached:(Hashtbl.find_opt ctx.cache.doms f.Sir.fname) view f)
+  ignore
+    (seg_run mgr [ "split-edges"; "build-ssa"; "refine"; "out-of-ssa" ]
+       (fun view f ->
+         prepass_task ~verify_each
+           ~dom_cached:(Hashtbl.find_opt ctx.cache.doms f.Sir.fname) view f)
+     : seg_result list)
 
 (** One promotion round as a fused parallel segment: [annotate] and
     [flags] barriers, then per-function split-edges / build-ssa / ssapre
@@ -921,16 +973,25 @@ let fused_round mgr =
   run_pass mgr "flags";
   let annot_info = annot ~refinements:ctx.refinements ctx.cache in
   let verify_each = mgr.verify_each and config = ctx.config in
-  seg_run mgr [ "split-edges"; "build-ssa"; "ssapre"; "out-of-ssa" ]
-    (fun view f ->
-      round_task ~verify_each
-        ~dom_cached:(Hashtbl.find_opt ctx.cache.doms f.Sir.fname)
-        ~annot_info ~config view f)
+  ignore
+    (seg_run mgr [ "split-edges"; "build-ssa"; "ssapre"; "out-of-ssa" ]
+       (fun view f ->
+         round_task ~verify_each
+           ~dom_cached:(Hashtbl.find_opt ctx.cache.doms f.Sir.fname)
+           ~annot_info ~config view f)
+     : seg_result list)
 
 (** The post-rounds tail as a fused parallel segment: an [annotate]
     barrier (the store promoter's annotation), then per-function
-    store-promo / strength / cleanup / strip-checks tasks. *)
-let fused_post mgr ~strength ~strip =
+    store-promo / strength / cleanup / strip-checks tasks.
+
+    With [deopt_vbase] set, cleanup pins lowering-era variables (their
+    values feed deoptimization descriptors).  Returns, per function,
+    whether a sub-pass transformed it in a way that breaks the
+    deopt state mapping: store promotion defers memory effects and
+    linear-function test replacement retires induction variables, so
+    any function they touched must not keep descriptors. *)
+let fused_post mgr ?deopt_vbase ~strength ~strip () : (string * bool) list =
   let ctx = mgr.mctx in
   (* barrier annotation, timed under store-promo as in the sequential
      schedule (where the pass's own run pays for the cache miss) *)
@@ -943,14 +1004,30 @@ let fused_post mgr ~strength ~strip =
     [ "store-promo" ] @ (if strength then [ "strength" ] else [])
     @ [ "cleanup" ] @ (if strip then [ "strip-checks" ] else [])
   in
-  seg_run mgr names (fun view f ->
-      post_task ~verify_each
-        ~dom_cached:(Hashtbl.find_opt ctx.cache.doms f.Sir.fname)
-        ~annot_info ~config ~perturb ~strength ~strip view f);
+  let results =
+    seg_run mgr names (fun view f ->
+        post_task ~verify_each
+          ~dom_cached:(Hashtbl.find_opt ctx.cache.doms f.Sir.fname)
+          ~annot_info ~config ~perturb ~strength ~strip ~deopt_vbase view f)
+  in
   (match Hashtbl.find_opt mgr.mstats "store-promo" with
    | Some st -> st.ps_time <- st.ps_time +. annot_dt
    | None -> ());
-  mgr.mtotal <- mgr.mtotal +. annot_dt
+  mgr.mtotal <- mgr.mtotal +. annot_dt;
+  List.map
+    (fun r ->
+      let counter step key =
+        List.fold_left
+          (fun acc s ->
+            if s.sg_name = step then
+              acc + (try List.assoc key s.sg_counters with Not_found -> 0)
+            else acc)
+          0 r.sr_steps
+      in
+      ( r.sr_fname,
+        counter "store-promo" "promoted" > 0 || counter "strength" "lftr" > 0
+      ))
+    results
 
 let report mgr =
   { rp_passes =
@@ -965,10 +1042,10 @@ let report mgr =
 
 let counters_to_string c =
   Printf.sprintf
-    "analyses: steensgaard=%d modref=%d annotate=%d dom=%d \
-     (hits: points-to=%d annotate=%d dom=%d)"
-    c.steensgaard_runs c.modref_runs c.annot_runs c.dom_runs
-    c.points_to_hits c.annot_hits c.dom_hits
+    "analyses: steensgaard=%d modref=%d annotate=%d dom=%d safety=%d \
+     (hits: points-to=%d annotate=%d dom=%d safety=%d)"
+    c.steensgaard_runs c.modref_runs c.annot_runs c.dom_runs c.safety_runs
+    c.points_to_hits c.annot_hits c.dom_hits c.safety_hits
 
 let report_to_string r =
   let buf = Buffer.create 1024 in
@@ -1015,10 +1092,12 @@ let report_to_json r =
   Buffer.add_string buf
     (Printf.sprintf
        "],\"analyses\":{\"steensgaard_runs\":%d,\"modref_runs\":%d,\
-        \"annot_runs\":%d,\"dom_runs\":%d,\"points_to_hits\":%d,\
-        \"annot_hits\":%d,\"dom_hits\":%d},\"verified\":%d,\
+        \"annot_runs\":%d,\"dom_runs\":%d,\"safety_runs\":%d,\
+        \"points_to_hits\":%d,\"annot_hits\":%d,\"dom_hits\":%d,\
+        \"safety_hits\":%d},\"verified\":%d,\
         \"total_ms\":%.3f}"
        c.steensgaard_runs c.modref_runs c.annot_runs c.dom_runs
-       c.points_to_hits c.annot_hits c.dom_hits r.rp_verified
+       c.safety_runs c.points_to_hits c.annot_hits c.dom_hits
+       c.safety_hits r.rp_verified
        (r.rp_total_time *. 1000.));
   Buffer.contents buf

@@ -6,12 +6,13 @@
 
     Registered passes: [annotate], [flags], [split-edges], [build-ssa],
     [refine], [ssapre], [out-of-ssa], [store-promo], [strength],
-    [cleanup], [strip-checks].  [Spec_driver.Pipeline] schedules them;
-    tests and tools may also drive a {!manager} directly. *)
+    [cleanup], [spec-safety], [strip-checks].  [Spec_driver.Pipeline]
+    schedules them; tests and tools may also drive a {!manager}
+    directly. *)
 
 (** {1 Cached analyses} *)
 
-type analysis = Points_to | Chi_mu | Dominators
+type analysis = Points_to | Chi_mu | Dominators | Safety
 
 val analysis_name : analysis -> string
 
@@ -22,9 +23,11 @@ type counters = {
   mutable modref_runs : int;
   mutable annot_runs : int;
   mutable dom_runs : int;        (** per-function dominator computations *)
+  mutable safety_runs : int;     (** speculative-taint checker computations *)
   mutable points_to_hits : int;
   mutable annot_hits : int;
   mutable dom_hits : int;
+  mutable safety_hits : int;
 }
 
 type cache
@@ -45,6 +48,12 @@ val annot :
 (** Memoized per-function dominator tree; recomputed only after a pass
     invalidated [Dominators] (i.e. mutated the CFG). *)
 val dom_of : cache -> Spec_ir.Sir.func -> Spec_cfg.Dom.t
+
+(** Memoized speculative-taint report over the current program text
+    (runs {!Spec_safety.Taint.check} against the cached points-to
+    solution); invalidated together with [Chi_mu], since both describe
+    the statement-level text. *)
+val safety_of : cache -> Spec_safety.Taint.report
 
 val invalidate : cache -> analysis -> unit
 
@@ -141,8 +150,13 @@ val fused_round : manager -> unit
 
 (** [annotate] barrier (timed under store-promo, as in the sequential
     schedule), then per-function store-promo / strength? / cleanup /
-    strip-checks?. *)
-val fused_post : manager -> strength:bool -> strip:bool -> unit
+    strip-checks?.  [deopt_vbase] makes cleanup pin lowering-era
+    variables (deoptimization state).  Returns, per function, whether
+    store promotion or LFTR transformed it — such functions must not
+    keep deoptimization descriptors. *)
+val fused_post :
+  manager -> ?deopt_vbase:int -> strength:bool -> strip:bool -> unit ->
+  (string * bool) list
 
 val counters_to_string : counters -> string
 val report_to_string : report -> string

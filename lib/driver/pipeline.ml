@@ -54,7 +54,10 @@ type result = {
   vm : Vmcode.program Lazy.t;
       (** threaded-code lowering of [prog] for the vm engine; already
           forced on a cache hit whose artifact carried valid bytecode
-          (the [specart/3] vm section), lowered on demand otherwise *)
+          (the [specart/4] vm section), lowered on demand otherwise *)
+  safety : Spec_safety.Taint.report option;
+      (** speculative-taint report over the optimized program, present
+          when the compile ran with [~safety:true] *)
 }
 
 let mode_of_variant = function
@@ -78,9 +81,23 @@ let round_schedule = [ "annotate"; "flags"; "split-edges"; "build-ssa";
     speculation; [verify_each] validates CFG and SSA invariants between
     passes, naming the offending pass on failure; [perturb]
     adversarially corrupts the speculation-flag assignment (stress
-    harness). *)
+    harness).
+
+    [deopt] compiles in deoptimization support: cleanup pins
+    lowering-era variables, every surviving check statement gets a
+    descriptor mapping optimized live state back to the unoptimized
+    program point, and functions transformed by store promotion or LFTR
+    (whose state mapping the descriptors cannot express) have their
+    descriptors cleared again — the engines fall back to reload
+    recovery there.  Off by default so existing compiles stay
+    byte-identical.
+
+    [safety] runs the [spec-safety] pass after optimization (one more
+    pass-timing row) and surfaces the speculative-taint report in the
+    result. *)
 let optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
-    ?(strength = true) ?(verify_each = false) ?perturb (prog : Sir.prog)
+    ?(strength = true) ?(verify_each = false) ?(deopt = false)
+    ?(safety = false) ?perturb (prog : Sir.prog)
     (variant : variant) : result =
   let mode = mode_of_variant variant in
   let base_cfg =
@@ -101,8 +118,14 @@ let optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
   if variant = Noopt then
     { prog; stats = Ssapre.zero_stats; variant;
       report = Passes.empty_report (); from_cache = false;
-      vm = lazy (Vmcode.compile prog) }
+      vm = lazy (Vmcode.compile prog);
+      safety =
+        if safety then Some (Spec_safety.Taint.check prog) else None }
   else begin
+    (* deoptimization baseline: everything below these marks is
+       lowering-era state, reproducible by re-lowering the same source *)
+    let vbase = Symtab.count prog.Sir.syms in
+    let sbase = prog.Sir.next_stmt in
     let mgr = Passes.create ~verify_each ?perturb ~mode ~config:cfg prog in
     (* the same logical schedule as [prepass_schedule] / [round_schedule],
        fused: whole-program analyses run as sequential barriers and the
@@ -115,10 +138,30 @@ let optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
     (* store promotion (SPRE of stores): runs on the de-versioned program
        with a fresh annotation; speculative policies allow promotion past
        unlikely-aliasing stores with ld.c recovery *)
-    Passes.fused_post mgr ~strength ~strip:(variant = Aggressive);
+    let hazards =
+      Passes.fused_post mgr
+        ?deopt_vbase:(if deopt then Some vbase else None)
+        ~strength ~strip:(variant = Aggressive) ()
+    in
+    if deopt then begin
+      ignore (Spec_safety.Deopt.attach prog ~sbase ~vbase : int);
+      List.iter
+        (fun (fname, unsafe) ->
+           if unsafe then
+             ignore
+               (Spec_safety.Deopt.clear_func (Sir.find_func prog fname)
+                : int))
+        hazards
+    end;
+    let safety_report =
+      if safety then begin
+        Passes.run_pass mgr "spec-safety";
+        Some (Passes.safety_of (Passes.context mgr).Passes.cache)
+      end else None
+    in
     { prog; stats = (Passes.context mgr).Passes.ssapre_total; variant;
       report = Passes.report mgr; from_cache = false;
-      vm = lazy (Vmcode.compile prog) }
+      vm = lazy (Vmcode.compile prog); safety = safety_report }
   end
 
 (* ------------------------------------------------------------------ *)
@@ -142,8 +185,12 @@ type artifact = {
 (* /2: the fused parallel pipeline renames temporaries after their
    committed ids and renumbers segment-allocated statement ids, so
    optimized programs differ textually from /1 artifacts.
-   /3: a [vm] section carrying the specvm/1 bytecode. *)
-let artifact_version = "specart/3"
+   /3: a [vm] section carrying the specvm/1 bytecode.
+   /4: the program section is specsir/2 (secret bits + deoptimization
+   descriptors), the vm section specvm/2, and the cache key includes
+   the deopt flag — a deopt compile pins variables and attaches
+   descriptors, so its output differs from a plain compile's. *)
+let artifact_version = "specart/4"
 
 let write_artifact (r : result) : string =
   let buf = Buffer.create 65536 in
@@ -200,12 +247,13 @@ let read_artifact (s : string) : (artifact, string) Stdlib.result =
    schema versions, the source text, the variant and its knobs, and the
    digest of the profile evidence.  [verify_each] is excluded (it checks
    invariants; it never changes the output). *)
-let cache_key ~rounds ~strength ~(config : Ssapre.config) ~variant
+let cache_key ~rounds ~strength ~deopt ~(config : Ssapre.config) ~variant
     ~edge_profile ~profile_digest src =
   let fp =
     String.concat "\x00"
       [ artifact_version; Spec_fdo.Sir_io.version; src; variant_name variant;
         string_of_int rounds; string_of_bool strength;
+        (if deopt then "deopt" else "-");
         string_of_bool config.Ssapre.control_spec;
         string_of_bool config.Ssapre.cspec_always;
         Printf.sprintf "%h" config.Ssapre.cspec_ratio;
@@ -227,12 +275,12 @@ let cache_key ~rounds ~strength ~(config : Ssapre.config) ~variant
     perturbation always bypasses the cache (stress runs are meant to be
     recomputed). *)
 let compile_and_optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
-    ?(strength = true) ?verify_each ?perturb ?cache ?profile_digest src
-    variant =
+    ?(strength = true) ?(deopt = false) ?(safety = false) ?verify_each
+    ?perturb ?cache ?profile_digest src variant =
   let cold () =
     let prog = Lower.compile src in
-    optimize ~rounds ~config ~edge_profile ~strength ?verify_each ?perturb
-      prog variant
+    optimize ~rounds ~config ~edge_profile ~strength ~deopt ~safety
+      ?verify_each ?perturb prog variant
   in
   let cfg =
     match config with
@@ -251,7 +299,7 @@ let compile_and_optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
   match cache with
   | Some c when not bypass ->
     let key =
-      cache_key ~rounds ~strength ~config:cfg ~variant
+      cache_key ~rounds ~strength ~deopt ~config:cfg ~variant
         ~edge_profile:(edge_profile <> None) ~profile_digest src
     in
     (match Spec_fdo.Cache.find c key with
@@ -263,8 +311,17 @@ let compile_and_optimize ?(rounds = 3) ?(config = None) ?(edge_profile = None)
             | Some v -> Lazy.from_val v
             | None -> lazy (Vmcode.compile a.a_prog)
           in
+          let sr =
+            (* warm hits re-run the (cheap) checker over the
+               deserialized program rather than persisting the report *)
+            if safety then
+              Some (Spec_safety.Taint.check
+                      ~pt:(Spec_alias.Steensgaard.solve a.a_prog) a.a_prog)
+            else None
+          in
           { prog = a.a_prog; stats = a.a_stats; variant;
-            report = Passes.empty_report (); from_cache = true; vm }
+            report = Passes.empty_report (); from_cache = true; vm;
+            safety = sr }
         | Error _ ->
           (* corrupt artifact: recount as a miss and recompile over it *)
           let st = Spec_fdo.Cache.stats c in

@@ -32,7 +32,10 @@ type result = {
   vm : Spec_prof.Vmcode.program Lazy.t;
       (** threaded-code lowering of [prog] for the vm engine; already
           forced on a cache hit whose artifact carried valid bytecode
-          (the [specart/3] vm section), lowered on demand otherwise *)
+          (the [specart/4] vm section), lowered on demand otherwise *)
+  safety : Spec_safety.Taint.report option;
+      (** speculative-taint report over the optimized program, present
+          when the compile ran with [~safety:true] *)
 }
 
 val mode_of_variant : variant -> Spec_spec.Flags.mode
@@ -49,19 +52,29 @@ val round_schedule : string list
     [verify_each] validates CFG and SSA invariants between passes,
     raising [Passes.Verify_error] naming the offending pass; [perturb]
     adversarially corrupts the speculation-flag assignment (stress
-    harness — outputs must stay correct, only slower). *)
+    harness — outputs must stay correct, only slower).
+
+    [deopt] (default off) compiles in deoptimization support: cleanup
+    pins lowering-era variables, surviving check statements get
+    descriptors mapping optimized live state to the unoptimized program
+    point, and functions transformed by store promotion or LFTR have
+    their descriptors cleared (engines fall back to reload recovery
+    there).  [safety] (default off) runs the [spec-safety] pass after
+    optimization and surfaces the taint report in the result. *)
 val optimize :
   ?rounds:int ->
   ?config:Spec_ssapre.Ssapre.config option ->
   ?edge_profile:Spec_prof.Profile.t option ->
   ?strength:bool ->
   ?verify_each:bool ->
+  ?deopt:bool ->
+  ?safety:bool ->
   ?perturb:Spec_spec.Flags.perturbation ->
   Spec_ir.Sir.prog ->
   variant ->
   result
 
-(** Cached-compile artifact ([specart/3]): the optimized program, its
+(** Cached-compile artifact ([specart/4]): the optimized program, its
     SSAPRE totals, the cold compile's pass report as provenance, and the
     threaded-code bytecode so a warm compile skips vm lowering. *)
 type artifact = {
@@ -83,6 +96,7 @@ val read_artifact : string -> (artifact, string) Stdlib.result
 val cache_key :
   rounds:int ->
   strength:bool ->
+  deopt:bool ->
   config:Spec_ssapre.Ssapre.config ->
   variant:variant ->
   edge_profile:bool ->
@@ -101,6 +115,8 @@ val compile_and_optimize :
   ?config:Spec_ssapre.Ssapre.config option ->
   ?edge_profile:Spec_prof.Profile.t option ->
   ?strength:bool ->
+  ?deopt:bool ->
+  ?safety:bool ->
   ?verify_each:bool ->
   ?perturb:Spec_spec.Flags.perturbation ->
   ?cache:Spec_fdo.Cache.t ->

@@ -1,4 +1,4 @@
-(** Full-fidelity SIR serialization ([specsir/1]) for the compile cache.
+(** Full-fidelity SIR serialization ([specsir/2]) for the compile cache.
 
     A cache hit must hand back a program byte-for-byte equivalent to the
     one the optimizer produced — same variable table (including SSA
@@ -7,11 +7,19 @@
     frequencies and predecessor lists.  The format is a deterministic
     token stream (writer below, recursive-descent reader after it, via
     {!Textio}); no [Marshal], so artifacts are stable across OCaml
-    versions and safe to inspect. *)
+    versions and safe to inspect.
+
+    [specsir/2] adds the speculative-safety metadata: per-variable
+    [secret] contract bits and per-check deoptimization descriptors.
+    Old [specsir/1] text still reads, degrading soundly: every variable
+    is public (the checker reports the program as unannotated) and no
+    check carries a descriptor (recovery falls back to the reload
+    path). *)
 
 open Spec_ir
 
-let version = "specsir/1"
+let version = "specsir/2"
+let version_v1 = "specsir/1"
 
 let q = Textio.quote
 
@@ -115,8 +123,15 @@ let rec write_expr buf (e : Sir.expr) =
     write_expr buf b
 
 let write_stmt buf (s : Sir.stmt) =
-  Printf.bprintf buf "stmt %d %s %d %d %d" s.Sir.sid (mark_tag s.Sir.mark)
-    s.Sir.check_of
+  Printf.bprintf buf "stmt %d %s %d" s.Sir.sid (mark_tag s.Sir.mark)
+    s.Sir.check_of;
+  (match s.Sir.deopt with
+   | None -> Buffer.add_string buf " -"
+   | Some d ->
+     Printf.bprintf buf " d %d %d" d.Sir.dp_target
+       (List.length d.Sir.dp_vars);
+     List.iter (fun v -> Printf.bprintf buf " %d" v) d.Sir.dp_vars);
+  Printf.bprintf buf " %d %d"
     (List.length s.Sir.mus)
     (List.length s.Sir.chis);
   (match s.Sir.kind with
@@ -192,12 +207,13 @@ let write (p : Sir.prog) : string =
   Printf.bprintf buf "vars %d\n" (Symtab.count syms);
   Symtab.iter
     (fun (v : Symtab.var) ->
-      Printf.bprintf buf "v %s %d %d %s %d %s %s %s %s %s\n"
+      Printf.bprintf buf "v %s %d %d %s %d %s %s %s %s %s %s\n"
         (storage_tag v.Symtab.vstorage)
         v.Symtab.vver v.Symtab.vorig
         (bool_str v.Symtab.vaddr_taken)
         v.Symtab.vsize
         (bool_str v.Symtab.varray)
+        (bool_str v.Symtab.vsecret)
         (ty_str v.Symtab.vty) (ty_str v.Symtab.velt)
         (match v.Symtab.vfunc with Some f -> q f | None -> "-")
         (q v.Symtab.vname))
@@ -253,11 +269,22 @@ let rec read_expr lx : Sir.expr =
 
 let read_ints lx n = List.init n (fun _ -> Textio.int_tok lx)
 
-let read_stmt lx : Sir.stmt =
+let read_stmt ~v2 lx : Sir.stmt =
   Textio.expect lx "stmt";
   let sid = Textio.int_tok lx in
   let mark = mark_of_tag lx (Textio.token lx) in
   let check_of = Textio.int_tok lx in
+  let deopt =
+    if not v2 then None
+    else
+      match Textio.token lx with
+      | "-" -> None
+      | "d" ->
+        let target = Textio.int_tok lx in
+        let n = Textio.int_tok lx in
+        Some { Sir.dp_target = target; dp_vars = read_ints lx n }
+      | w -> Textio.fail lx (Printf.sprintf "bad deopt tag %S" w)
+  in
   let nmus = Textio.int_tok lx in
   let nchis = Textio.int_tok lx in
   let kind =
@@ -305,9 +332,9 @@ let read_stmt lx : Sir.stmt =
         let spec = Textio.bool_tok lx in
         { Sir.chi_lhs = lhs; chi_rhs = rhs; chi_var = var; chi_spec = spec })
   in
-  { Sir.sid; kind; mus; chis; mark; check_of }
+  { Sir.sid; kind; mus; chis; mark; check_of; deopt }
 
-let read_block lx : Sir.bb =
+let read_block ~v2 lx : Sir.bb =
   Textio.expect lx "block";
   let bid = Textio.int_tok lx in
   let freq = Textio.float_tok lx in
@@ -326,7 +353,7 @@ let read_block lx : Sir.bb =
         { Sir.phi_var = var; phi_lhs = lhs; phi_args = args;
           phi_live = live })
   in
-  let stmts = List.init nstmts (fun _ -> read_stmt lx) in
+  let stmts = List.init nstmts (fun _ -> read_stmt ~v2 lx) in
   let term =
     Textio.expect lx "term";
     match Textio.token lx with
@@ -342,7 +369,7 @@ let read_block lx : Sir.bb =
   in
   { Sir.bid; phis; stmts; term; preds; freq }
 
-let read_func lx : Sir.func =
+let read_func ~v2 lx : Sir.func =
   Textio.expect lx "func";
   let fret = ty_of_string lx (Textio.token lx) in
   let nformals = Textio.int_tok lx in
@@ -351,15 +378,23 @@ let read_func lx : Sir.func =
   let flocals = read_ints lx nlocals in
   let nblocks = Textio.int_tok lx in
   let fname = Textio.token lx in
-  let blocks = List.init nblocks (fun _ -> read_block lx) in
+  let blocks = List.init nblocks (fun _ -> read_block ~v2 lx) in
   { Sir.fname; fret; fformals;
     fblocks = Vec.of_list Sir.dummy_bb blocks; flocals }
 
-(** Parse what {!write} emits. *)
+(** Parse what {!write} emits.  [specsir/1] input (no contracts, no
+    deopt descriptors) is accepted and degrades soundly. *)
 let read (s : string) : (Sir.prog, string) result =
   let lx = Textio.make s in
   try
-    Textio.expect lx version;
+    let v2 =
+      match Textio.token lx with
+      | w when w = version -> true
+      | w when w = version_v1 -> false
+      | w ->
+        Textio.fail lx
+          (Printf.sprintf "expected %S or %S, got %S" version version_v1 w)
+    in
     let p = Sir.create_prog () in
     Textio.expect lx "vars";
     let nvars = Textio.int_tok lx in
@@ -371,6 +406,7 @@ let read (s : string) : (Sir.prog, string) result =
       let addr = Textio.bool_tok lx in
       let size = Textio.int_tok lx in
       let arr = Textio.bool_tok lx in
+      let secret = if v2 then Textio.bool_tok lx else false in
       let ty = ty_of_string lx (Textio.token lx) in
       let elt = ty_of_string lx (Textio.token lx) in
       let vfunc = match Textio.token lx with "-" -> None | f -> Some f in
@@ -378,7 +414,7 @@ let read (s : string) : (Sir.prog, string) result =
       Vec.push p.Sir.syms.Symtab.vars
         { Symtab.vid; vname = name; vty = ty; vstorage = storage; vfunc;
           vsize = size; velt = elt; varray = arr; vaddr_taken = addr;
-          vorig; vver }
+          vsecret = secret; vorig; vver }
     done;
     Textio.expect lx "globals";
     let ng = Textio.int_tok lx in
@@ -401,7 +437,7 @@ let read (s : string) : (Sir.prog, string) result =
     Textio.expect lx "funcs";
     let nfuncs = Textio.int_tok lx in
     for _ = 1 to nfuncs do
-      let f = read_func lx in
+      let f = read_func ~v2 lx in
       Hashtbl.replace p.Sir.funcs f.Sir.fname f;
       p.Sir.func_order <- p.Sir.func_order @ [ f.Sir.fname ]
     done;

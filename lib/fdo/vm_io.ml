@@ -1,9 +1,12 @@
-(** Bytecode serialization ([specvm/1]) for the content-addressed
+(** Bytecode serialization ([specvm/2]) for the content-addressed
     compile cache.
 
-    A [specart/3] artifact stores the optimized SIR *and* the bytecode
+    A [specart/4] artifact stores the optimized SIR *and* the bytecode
     {!Spec_prof.Vmcode} lowered from it, so a cache hit hands the vm
-    engine a ready-to-dispatch program with no lowering pass.  Same
+    engine a ready-to-dispatch program with no lowering pass.
+    [specvm/2] additionally carries each function's per-check
+    deoptimization descriptor table, so warm hits can run under
+    [--recover deopt] without relowering.  Same
     deterministic token-stream discipline as {!Sir_io}: writer below,
     recursive-descent reader after it, via {!Textio}; no [Marshal], so
     artifacts are stable across OCaml versions and safe to inspect.
@@ -15,7 +18,7 @@
 module V = Spec_prof.Vmcode
 module I = Spec_prof.Interp
 
-let version = "specvm/1"
+let version = "specvm/2"
 
 (** Serialize the bytecode (without the source program — the cache
     artifact stores the optimized SIR alongside it). *)
@@ -54,6 +57,24 @@ let to_text (p : V.program) : string =
       Buffer.add_char buf '\n';
       Printf.bprintf buf "code %d" (Array.length f.V.vcode);
       Array.iter (fun w -> Printf.bprintf buf " %d" w) f.V.vcode;
+      Buffer.add_char buf '\n';
+      (* pc-sorted for a deterministic byte stream (hashtable order is
+         not stable across runs) *)
+      let dds =
+        List.sort
+          (fun (a, _) (b, _) -> compare a b)
+          (Hashtbl.fold (fun pc d acc -> (pc, d) :: acc) f.V.vdeopt [])
+      in
+      Printf.bprintf buf "deopt %d" (List.length dds);
+      List.iter
+        (fun (pc, ((d : I.cdeopt), refund)) ->
+          Printf.bprintf buf " %d %d %d %d" pc d.I.d_sid refund
+            (Array.length d.I.d_vars);
+          Array.iter
+            (fun (vid, slot, fp) ->
+              Printf.bprintf buf " %d %d %d" vid slot (if fp then 1 else 0))
+            d.I.d_vars)
+        dds;
       Buffer.add_char buf '\n')
     p.V.vfuncs;
   Buffer.add_string buf "end\n";
@@ -119,7 +140,24 @@ let of_text ~(src : Spec_ir.Sir.prog) (s : string)
           Textio.expect lx "code";
           let nc = Textio.int_tok lx in
           let vcode = read_seq nc (fun () -> Textio.int_tok lx) in
-          { V.vname; vcode; n_regs; n_addr; vmem_locals; vformals })
+          Textio.expect lx "deopt";
+          let nd = Textio.int_tok lx in
+          let vdeopt = Hashtbl.create (max 1 nd) in
+          for _ = 1 to nd do
+            let pc = Textio.int_tok lx in
+            let d_sid = Textio.int_tok lx in
+            let refund = Textio.int_tok lx in
+            let nv = Textio.int_tok lx in
+            let d_vars =
+              read_seq nv (fun () ->
+                  let vid = Textio.int_tok lx in
+                  let slot = Textio.int_tok lx in
+                  let fp = Textio.bool_tok lx in
+                  (vid, slot, fp))
+            in
+            Hashtbl.replace vdeopt pc ({ I.d_sid; d_vars }, refund)
+          done;
+          { V.vname; vcode; n_regs; n_addr; vmem_locals; vformals; vdeopt })
     in
     Textio.expect lx "end";
     if not (Textio.at_eof lx) then Textio.fail lx "trailing data";

@@ -35,9 +35,11 @@ type stmt =
   | Scontinue of pos
 
 type decl =
-  | Dglobal of pos * ty * string * int option
-  | Dfunc of pos * ty option * string * (ty * string) list * stmt list
-      (** return type ([None] = void), name, formals, body *)
+  | Dglobal of pos * ty * string * int option * bool
+      (** type, name, array size, [secret] contract *)
+  | Dfunc of pos * ty option * string * (ty * string * bool) list * stmt list
+      (** return type ([None] = void), name, formals (type, name,
+          [secret] contract), body *)
 
 type program = decl list
 

@@ -12,7 +12,7 @@ type lexeme = { tok : token; line : int }
 
 let keywords =
   [ "int"; "float"; "void"; "if"; "else"; "while"; "for"; "return";
-    "break"; "continue" ]
+    "break"; "continue"; "secret" ]
 
 let is_digit c = c >= '0' && c <= '9'
 let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'

@@ -483,17 +483,20 @@ let lower (ast : Ast.program) : Sir.prog =
   (* pass 1: globals and signatures *)
   List.iter
     (function
-      | Dglobal (pos, t, name, size) ->
+      | Dglobal (pos, t, name, size, secret) ->
         if List.mem_assoc name !globals_scope then
           error pos "duplicate global %s" name;
         let ty = Ast.to_ir_ty t in
         let v =
           match size with
-          | None -> Symtab.add syms ~name ~ty ~storage:Symtab.Sglobal ~func:None ()
+          | None ->
+            Symtab.add syms ~name ~ty ~storage:Symtab.Sglobal ~func:None
+              ~secret ()
           | Some n ->
             if n <= 0 then error pos "array size must be positive";
             Symtab.add syms ~name ~ty:(Types.Tptr ty) ~storage:Symtab.Sglobal
-              ~func:None ~size:(n * Types.cell_size) ~elt:ty ~is_array:true ()
+              ~func:None ~size:(n * Types.cell_size) ~elt:ty ~is_array:true
+              ~secret ()
         in
         prog.Sir.globals <- prog.Sir.globals @ [ v.Symtab.vid ];
         globals_scope := (name, v.Symtab.vid) :: !globals_scope
@@ -503,7 +506,7 @@ let lower (ast : Ast.program) : Sir.prog =
         Hashtbl.replace fsigs name
           { sig_ret =
               (match ret with Some t -> Ast.to_ir_ty t | None -> Types.Tvoid);
-            sig_formals = List.map (fun (t, _) -> Ast.to_ir_ty t) formals })
+            sig_formals = List.map (fun (t, _, _) -> Ast.to_ir_ty t) formals })
     ast;
   (* pass 2: function bodies *)
   List.iter
@@ -515,9 +518,9 @@ let lower (ast : Ast.program) : Sir.prog =
         in
         let formal_vars =
           List.map
-            (fun (t, n) ->
+            (fun (t, n, secret) ->
               Symtab.add syms ~name:n ~ty:(Ast.to_ir_ty t)
-                ~storage:Symtab.Sformal ~func:(Some name) ())
+                ~storage:Symtab.Sformal ~func:(Some name) ~secret ())
             formals
         in
         let f =
@@ -531,7 +534,7 @@ let lower (ast : Ast.program) : Sir.prog =
         env.scopes <- [ !globals_scope ];
         push_scope env;
         List.iter2
-          (fun (_, n) v -> bind_var env n v.Symtab.vid)
+          (fun (_, n, _) v -> bind_var env n v.Symtab.vid)
           formals formal_vars;
         push_scope env;
         List.iter (lower_stmt env) body;

@@ -35,6 +35,8 @@ let is_kw st k = match peek_tok st with Lexer.Tkw q -> q = k | _ -> false
 
 let accept_punct st p = if is_punct st p then (advance st; true) else false
 
+let accept_kw st k = if is_kw st k then (advance st; true) else false
+
 (* ---- types ---- *)
 
 let base_ty st =
@@ -257,21 +259,27 @@ and parse_stmts st =
 
 let parse_decl st =
   let ln = line st in
+  (* [secret] marks a public/secret contract on a global or, inside a
+     formal list, on a parameter *)
+  let secret = accept_kw st "secret" in
   let ret =
     if is_kw st "void" then (advance st; None)
     else Some (parse_ty st)
   in
   let name = eat_ident st in
   if is_punct st "(" then begin
+    if secret then
+      error ln "secret applies to globals and parameters, not functions";
     advance st;
     let formals =
       if accept_punct st ")" then []
       else begin
         let rec more acc =
+          let sec = accept_kw st "secret" in
           let t = parse_ty st in
           let n = eat_ident st in
-          if accept_punct st "," then more ((t, n) :: acc)
-          else begin eat_punct st ")"; List.rev ((t, n) :: acc) end
+          if accept_punct st "," then more ((t, n, sec) :: acc)
+          else begin eat_punct st ")"; List.rev ((t, n, sec) :: acc) end
         in
         more []
       end
@@ -295,7 +303,7 @@ let parse_decl st =
       else None
     in
     eat_punct st ";";
-    Dglobal (ln, t, name, size)
+    Dglobal (ln, t, name, size, secret)
   end
 
 (** Parse a complete mini-C program from source text.

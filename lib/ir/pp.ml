@@ -44,6 +44,11 @@ let pp_stmt syms fmt s =
   let pp_lists fmt () =
     if s.mark = Mchk && s.check_of >= 0 then
       Fmt.pf fmt " (covers s%d)" s.check_of;
+    (match s.deopt with
+     | None -> ()
+     | Some d ->
+       Fmt.pf fmt " (deopt s%d [%a])" d.dp_target
+         (Fmt.list ~sep:Fmt.sp Fmt.int) d.dp_vars);
     if s.mus <> [] then
       Fmt.pf fmt "  {%a}" (Fmt.list ~sep:Fmt.comma (pp_mu syms)) s.mus;
     if s.chis <> [] then
@@ -97,7 +102,8 @@ let pp_prog fmt p =
   List.iter
     (fun g ->
       let v = Symtab.var p.syms g in
-      Fmt.pf fmt "global %a %s[%d]@."
+      Fmt.pf fmt "global %s%a %s[%d]@."
+        (if v.Symtab.vsecret then "secret " else "")
         Types.pp v.Symtab.vty v.Symtab.vname v.Symtab.vsize)
     p.globals;
   iter_funcs (fun f -> Fmt.pf fmt "%a@.@." (pp_func p.syms) f) p

@@ -66,6 +66,19 @@ type stmt_kind =
   | Call of call_info
   | Snop
 
+(** Deoptimization descriptor attached to a check statement: on check
+    failure the engine may transfer to the *unoptimized* function body at
+    statement [dp_target] (a lowering-era statement id, which survives
+    optimization unchanged), carrying the values of the lowering-era
+    register-resident variables [dp_vars] read out of the optimized
+    frame.  Built by {!Spec_safety.Deopt.attach} after the optimization
+    rounds; cleared again for any function a later sub-pass transforms in
+    a way that breaks the state mapping. *)
+type deopt = {
+  dp_target : int;
+  dp_vars : int list;
+}
+
 type stmt = {
   sid : int;
   mutable kind : stmt_kind;
@@ -75,6 +88,9 @@ type stmt = {
   mutable check_of : int;
       (** for [Mchk] statements: the statement id of the weak update this
           check guards, [-1] otherwise *)
+  mutable deopt : deopt option;
+      (** for [Mchk] statements: recovery descriptor, if one could be
+          soundly constructed *)
 }
 
 type phi = {
@@ -147,7 +163,8 @@ let site_info p s = Hashtbl.find_opt p.sites s
 let new_stmt p kind =
   let sid = p.next_stmt in
   p.next_stmt <- sid + 1;
-  { sid; kind; mus = []; chis = []; mark = Mnone; check_of = -1 }
+  { sid; kind; mus = []; chis = []; mark = Mnone; check_of = -1;
+    deopt = None }
 
 let dummy_bb =
   { bid = -1; phis = []; stmts = []; term = Tret None; preds = []; freq = 0. }

@@ -23,6 +23,8 @@ type var = {
   velt : Types.ty;             (** element type for arrays; [vty] otherwise *)
   varray : bool;               (** declared as an array *)
   mutable vaddr_taken : bool;
+  vsecret : bool;              (** carries secret data (speculative-safety
+                                   contract); versions inherit the flag *)
   vorig : int;                 (** original variable id; [vid] if not a version *)
   vver : int;                  (** SSA version number; 0 before renaming *)
 }
@@ -32,7 +34,7 @@ type t = { vars : var Vec.t }
 let dummy_var =
   { vid = -1; vname = "?"; vty = Types.Tvoid; vstorage = Stemp; vfunc = None;
     vsize = 0; velt = Types.Tvoid; varray = false; vaddr_taken = false;
-    vorig = -1; vver = 0 }
+    vsecret = false; vorig = -1; vver = 0 }
 
 let create () = { vars = Vec.create dummy_var }
 
@@ -40,11 +42,11 @@ let var t id = Vec.get t.vars id
 let count t = Vec.length t.vars
 
 let add t ~name ~ty ~storage ~func ?(size = Types.size_of ty) ?(elt = ty)
-    ?(is_array = false) () =
+    ?(is_array = false) ?(secret = false) () =
   let vid = Vec.length t.vars in
   let v = { vid; vname = name; vty = ty; vstorage = storage; vfunc = func;
             vsize = size; velt = elt; varray = is_array;
-            vaddr_taken = false; vorig = vid; vver = 0 } in
+            vaddr_taken = false; vsecret = secret; vorig = vid; vver = 0 } in
   Vec.push t.vars v;
   v
 
@@ -79,6 +81,10 @@ let is_mem t id =
   | Svirtual -> false
 
 let is_virtual t id = (var t id).vstorage = Svirtual
+
+(** The variable (or the original behind an SSA version) is covered by a
+    [secret] contract. *)
+let is_secret t id = (orig t id).vsecret
 
 let set_addr_taken t id =
   let v = orig t id in

@@ -81,6 +81,10 @@ type counters = {
   mutable check_reloads : int;
       (** ld.c executions whose ALAT entry was gone (a real intervening
           alias, or injected interference) and had to reload *)
+  mutable deopts : int;
+      (** failed checks recovered by deoptimization instead of reload:
+          the engine abandoned the optimized frame and finished the
+          function in its unoptimized body *)
 }
 
 type result = {
@@ -138,6 +142,16 @@ type arm =
   | Arm_ilod of { tvid : int; a : iexpr }   (* re-evaluates the address *)
   | Arm_var of { tvid : int; vr : vref }
 
+(** A check statement's deoptimization descriptor, resolved against this
+    engine's register slots: on a failed check (when the run supplies a
+    recovery plan) the listed slots are read out of the frame and handed
+    to {!Spec_safety.Deopt.deoptimize} as the continuation's seed
+    state. *)
+type cdeopt = {
+  d_sid : int;                        (* lowering-era target statement id *)
+  d_vars : (int * int * bool) array;  (* (orig vid, register slot, is_fp) *)
+}
+
 type cstmt =
   | CSnop
   | CSseti of { slot : int; e : iexpr; arm : arm }
@@ -145,8 +159,10 @@ type cstmt =
   | CSstorev_i of { vr : vref; e : iexpr }   (* direct store to int mem var *)
   | CSstorev_f of { vr : vref; e : fexpr }
   | CSchk_ilod of { tvid : int; slot : int; fp : bool; a : iexpr; site : int;
-                    which : [ `Site of int | `Var of int ] }
-  | CSchk_lod of { tvid : int; slot : int; fp : bool; vr : vref }
+                    which : [ `Site of int | `Var of int ];
+                    dd : cdeopt option }
+  | CSchk_lod of { tvid : int; slot : int; fp : bool; vr : vref;
+                   dd : cdeopt option }
   | CSistr_i of { a : iexpr; e : iexpr; site : int }
   | CSistr_f of { a : iexpr; e : fexpr; site : int }
   | CScall of { target : ctarget; args : aexpr array;
@@ -298,6 +314,21 @@ let compile_a env ~spec (e : Sir.expr) : aexpr =
     Af (compile_f env ~spec e)
   else Ai (compile_i env ~spec e)
 
+(* Resolve a check's deopt descriptor against this function's register
+   slots.  Descriptor variables are lowering-era originals; pinning in
+   cleanup keeps their assignments alive, so the slots hold live
+   values. *)
+let cdeopt_of env (s : Sir.stmt) : cdeopt option =
+  match s.Sir.deopt with
+  | None -> None
+  | Some d ->
+    Some { d_sid = d.Sir.dp_target;
+           d_vars =
+             Array.of_list
+               (List.map
+                  (fun v -> (v, reg_slot env v, is_fp_var env v))
+                  d.Sir.dp_vars) }
+
 let compile_stmt env ~func_ix (s : Sir.stmt) : cstmt =
   let syms = env.prog.Sir.syms in
   let spec = s.Sir.mark = Sir.Mcspec || s.Sir.mark = Sir.Msa in
@@ -309,7 +340,8 @@ let compile_stmt env ~func_ix (s : Sir.stmt) : cstmt =
     when s.Sir.mark = Sir.Mchk && not (Symtab.is_mem syms vid) ->
     CSchk_ilod { tvid = (orig_of env vid).Symtab.vid;
                  slot = reg_slot env vid; fp = Types.is_fp ty;
-                 a = compile_i env ~spec a; site; which = `Site site }
+                 a = compile_i env ~spec a; site; which = `Site site;
+                 dd = cdeopt_of env s }
   (* same, for a check of a direct (global / address-taken) variable load *)
   | Sir.Stid (vid, Sir.Lod g)
     when s.Sir.mark = Sir.Mchk
@@ -317,7 +349,7 @@ let compile_stmt env ~func_ix (s : Sir.stmt) : cstmt =
          && Symtab.is_mem syms g ->
     CSchk_lod { tvid = (orig_of env vid).Symtab.vid;
                 slot = reg_slot env vid; fp = is_fp_var env g;
-                vr = vref_of env g }
+                vr = vref_of env g; dd = cdeopt_of env s }
   | Sir.Stid (vid, e) ->
     if Symtab.is_mem syms vid then begin
       if is_fp_var env vid then
@@ -499,6 +531,9 @@ type state = {
      ALAT operations since the interpreter has no cycle clock *)
   finj : Spec_stress.Faults.injector option;
   mutable fevents : int;
+  (* deopt recovery plan: failed checks carrying a descriptor finish the
+     function in its unoptimized body instead of reloading *)
+  recover : Spec_safety.Deopt.plan option;
 }
 
 type frame = {
@@ -508,6 +543,11 @@ type frame = {
   flts : float array;    (* fp register slots *)
   addrs : int array;     (* memory-resident local -> address *)
 }
+
+(** Raised by a deoptimizing check: the continuation already executed
+    the rest of the function, so the carried value is the function's
+    return value; caught in [exec_func] before the frame pops. *)
+exception Deopt_return of value
 
 let no_addrs : int array = [||]
 
@@ -712,35 +752,42 @@ let rec exec_stmt st (fr : frame) (s : cstmt) : unit =
     st.ctrs.mem_stores <- st.ctrs.mem_stores + 1;
     alat_invalidate st addr;
     Memory.store_flt st.mem addr v
-  | CSchk_ilod { tvid; slot; fp; a; site; which } ->
+  | CSchk_ilod { tvid; slot; fp; a; site; which; dd } ->
     let addr = eval_i st fr a in
     if not (alat_check st fr.serial tvid addr) then begin
-      st.ctrs.check_reloads <- st.ctrs.check_reloads + 1;
-      st.ctrs.mem_loads <- st.ctrs.mem_loads + 1;
-      if st.instr then st.hooks.on_mem ~site:(Some site) ~addr ~is_store:false;
-      if fp then begin
-        let v = Memory.load_flt st.mem addr in
+      match st.recover, dd with
+      | Some pl, Some d -> do_deopt st fr pl d
+      | _ ->
+        st.ctrs.check_reloads <- st.ctrs.check_reloads + 1;
+        st.ctrs.mem_loads <- st.ctrs.mem_loads + 1;
         if st.instr then
-          st.hooks.on_load ~which ~func:fr.cf.cname ~addr ~v:(Vflt v);
-        fr.flts.(slot) <- v
-      end
-      else begin
-        let v = Memory.load_int st.mem addr in
-        if st.instr then
-          st.hooks.on_load ~which ~func:fr.cf.cname ~addr ~v:(Vint v);
-        fr.ints.(slot) <- v
-      end;
-      alat_arm st fr.serial tvid addr
+          st.hooks.on_mem ~site:(Some site) ~addr ~is_store:false;
+        if fp then begin
+          let v = Memory.load_flt st.mem addr in
+          if st.instr then
+            st.hooks.on_load ~which ~func:fr.cf.cname ~addr ~v:(Vflt v);
+          fr.flts.(slot) <- v
+        end
+        else begin
+          let v = Memory.load_int st.mem addr in
+          if st.instr then
+            st.hooks.on_load ~which ~func:fr.cf.cname ~addr ~v:(Vint v);
+          fr.ints.(slot) <- v
+        end;
+        alat_arm st fr.serial tvid addr
     end
-  | CSchk_lod { tvid; slot; fp; vr } ->
+  | CSchk_lod { tvid; slot; fp; vr; dd } ->
     let addr = resolve_addr st fr vr in
     if not (alat_check st fr.serial tvid addr) then begin
-      st.ctrs.check_reloads <- st.ctrs.check_reloads + 1;
-      if st.instr then st.hooks.on_mem ~site:None ~addr ~is_store:false;
-      st.ctrs.mem_loads <- st.ctrs.mem_loads + 1;
-      if fp then fr.flts.(slot) <- Memory.load_flt st.mem addr
-      else fr.ints.(slot) <- Memory.load_int st.mem addr;
-      alat_arm st fr.serial tvid addr
+      match st.recover, dd with
+      | Some pl, Some d -> do_deopt st fr pl d
+      | _ ->
+        st.ctrs.check_reloads <- st.ctrs.check_reloads + 1;
+        if st.instr then st.hooks.on_mem ~site:None ~addr ~is_store:false;
+        st.ctrs.mem_loads <- st.ctrs.mem_loads + 1;
+        if fp then fr.flts.(slot) <- Memory.load_flt st.mem addr
+        else fr.ints.(slot) <- Memory.load_int st.mem addr;
+        alat_arm st fr.serial tvid addr
     end
   | CSistr_i { a; e; site } ->
     let addr = eval_i st fr a in
@@ -762,6 +809,121 @@ let rec exec_stmt st (fr : frame) (s : cstmt) : unit =
     Array.iter (fun a -> ignore (eval_a st fr a : value)) args;
     st.ctrs.calls <- st.ctrs.calls + 1;
     error "%s" msg
+
+(* Deopt recovery: read the descriptor's slots out of the optimized
+   frame, run the unoptimized continuation (all effects through hooks
+   against this engine's state), and unwind to [exec_func] with the
+   continuation's return value.  Instrumentation closures are not
+   invoked during the continuation — only counters accumulate — so the
+   tree and vm engines stay counter-identical under recovery. *)
+and do_deopt st (fr : frame) (pl : Spec_safety.Deopt.plan) (d : cdeopt)
+  : unit =
+  let module D = Spec_safety.Deopt in
+  st.ctrs.deopts <- st.ctrs.deopts + 1;
+  let regs =
+    Array.fold_right
+      (fun (vid, slot, fp) acc ->
+        (vid,
+         if fp then D.Vflt fr.flts.(slot) else D.Vint fr.ints.(slot))
+        :: acc)
+      d.d_vars []
+  in
+  (* orig vid -> frame address of memory-resident locals and formals *)
+  let frame_addr = Hashtbl.create 8 in
+  Array.iter
+    (fun (slot, vid, _) -> Hashtbl.replace frame_addr vid fr.addrs.(slot))
+    fr.cf.mem_locals;
+  Array.iter
+    (function
+      | Fm_mem { aslot; vid; _ } ->
+        Hashtbl.replace frame_addr vid fr.addrs.(aslot)
+      | Fm_reg _ -> ())
+    fr.cf.formals;
+  let h =
+    { D.h_load =
+        (fun ty addr ->
+          st.ctrs.mem_loads <- st.ctrs.mem_loads + 1;
+          if Types.is_fp ty then D.Vflt (Memory.load_flt st.mem addr)
+          else D.Vint (Memory.load_int st.mem addr));
+      D.h_store =
+        (fun ty addr v ->
+          st.ctrs.mem_stores <- st.ctrs.mem_stores + 1;
+          alat_invalidate st addr;
+          if Types.is_fp ty then Memory.store_flt st.mem addr (D.as_flt v)
+          else Memory.store_int st.mem addr (D.as_int v));
+      D.h_addr_of =
+        (fun vid ->
+          match Hashtbl.find_opt frame_addr vid with
+          | Some a -> a
+          | None ->
+            let a = st.globals.(vid) in
+            if a >= 0 then a else Memory.global_addr st.mem vid);
+      D.h_spend = (fun () -> spend st);
+      D.h_branch =
+        (fun () -> st.ctrs.branches <- st.ctrs.branches + 1);
+      D.h_call = (fun ~site name argv -> deopt_call st ~site name argv) }
+  in
+  let ret =
+    try D.deoptimize pl h ~fname:fr.cf.cname ~target:d.d_sid ~regs
+    with D.Error msg -> raise (Runtime_error msg)
+  in
+  raise (Deopt_return
+           (match ret with D.Vint i -> Vint i | D.Vflt f -> Vflt f))
+
+(* Call dispatch for the deopt continuation: builtins mirror
+   [Interp_ref.call] exactly; user calls re-enter this engine's
+   (optimized) bodies. *)
+and deopt_call st ~site name (argv : Spec_safety.Deopt.value list)
+  : Spec_safety.Deopt.value =
+  let module D = Spec_safety.Deopt in
+  st.ctrs.calls <- st.ctrs.calls + 1;
+  match name, argv with
+  | "malloc", [ D.Vint bytes ] ->
+    D.Vint (Memory.malloc st.mem ~site bytes)
+  | "malloc", _ -> raise (Runtime_error "malloc expects one int")
+  | "print_int", [ D.Vint i ] ->
+    Buffer.add_string st.out (string_of_int i);
+    Buffer.add_char st.out '\n';
+    D.Vint 0
+  | "print_int", _ -> raise (Runtime_error "print_int expects one int")
+  | "print_flt", [ D.Vflt f ] ->
+    Buffer.add_string st.out (Printf.sprintf "%.6g" f);
+    Buffer.add_char st.out '\n';
+    D.Vint 0
+  | "print_flt", _ -> raise (Runtime_error "print_flt expects one float")
+  | "seed", [ D.Vint s ] ->
+    st.rng <- s;
+    D.Vint 0
+  | "seed", _ -> raise (Runtime_error "seed expects one int")
+  | "rnd", [ D.Vint m ] ->
+    if m <= 0 then raise (Runtime_error "rnd expects a positive bound");
+    st.rng <- (st.rng * 0x5851F42D4C957F2D + 0x14057B7EF767814F) land max_int;
+    D.Vint ((st.rng lsr 29) mod m)
+  | "rnd", _ -> raise (Runtime_error "rnd expects one int")
+  | _ ->
+    let ix = ref (-1) in
+    Array.iteri
+      (fun i cf -> if cf.cname = name then ix := i)
+      st.comp.cfuncs;
+    if !ix < 0 then invalid_arg ("Sir.find_func: no function " ^ name);
+    let callee = st.comp.cfuncs.(!ix) in
+    let n = List.length argv in
+    let ai = if n = 0 then no_addrs else Array.make n 0 in
+    let af = if n = 0 then no_flts else Array.make n 0. in
+    List.iteri
+      (fun k v ->
+        let fp =
+          if k < Array.length callee.formals then
+            match callee.formals.(k) with
+            | Fm_reg { fp; _ } | Fm_mem { fp; _ } -> fp
+          else false
+        in
+        try if fp then af.(k) <- D.as_flt v else ai.(k) <- D.as_int v
+        with D.Error msg -> raise (Runtime_error msg))
+      argv;
+    (match exec_func st !ix ai af with
+     | Vint i -> D.Vint i
+     | Vflt f -> D.Vflt f)
 
 and exec_arm st fr = function
   | Arm_none -> ()
@@ -855,7 +1017,9 @@ and exec_func st ix (ai : int array) (af : float array) : value =
       if fp then Memory.store_flt st.mem addr af.(k)
       else Memory.store_int st.mem addr ai.(k)
   done;
-  let ret = exec_blocks st fr in
+  let ret =
+    try exec_blocks st fr with Deopt_return v -> v
+  in
   Memory.pop_frame st.mem mark;
   ret
 
@@ -893,8 +1057,11 @@ and exec_blocks st (fr : frame) : value =
 
 (** Run a pre-compiled program.  Omitting [hooks] selects the
     uninstrumented fast path (no closure is ever invoked).  [faults]
-    attaches injected ALAT interference for stress runs. *)
-let run_compiled ?(fuel = 200_000_000) ?hooks ?faults
+    attaches injected ALAT interference for stress runs.  [recover]
+    supplies a deoptimization plan: failed checks whose statements carry
+    descriptors finish their function in the unoptimized body instead of
+    reloading. *)
+let run_compiled ?(fuel = 200_000_000) ?hooks ?faults ?recover
     ?(heap_bytes = 24 * 1024 * 1024) (comp : compiled) : result =
   if comp.main_ix < 0 then error "program has no main function";
   let instr, hooks =
@@ -909,10 +1076,10 @@ let run_compiled ?(fuel = 200_000_000) ?hooks ?faults
   let st =
     { comp; mem; hooks; instr;
       ctrs = { steps = 0; mem_loads = 0; mem_stores = 0; branches = 0;
-               calls = 0; check_stmts = 0; check_reloads = 0 };
+               calls = 0; check_stmts = 0; check_reloads = 0; deopts = 0 };
       out = Buffer.create 256; globals; rng = 88172645463325252; fuel;
       alat = Hashtbl.create 32; frame_serial = 0;
-      finj = faults; fevents = 0 }
+      finj = faults; fevents = 0; recover }
   in
   if instr then hooks.on_memory st.mem;
   let ret = exec_func st comp.main_ix no_addrs no_flts in
@@ -924,7 +1091,7 @@ let run_compiled ?(fuel = 200_000_000) ?hooks ?faults
     program is compiled first (one cheap pass); callers that execute the
     same program repeatedly can {!compile} once and use
     {!run_compiled}. *)
-let run ?fuel ?hooks ?faults ?heap_bytes (p : Sir.prog) : result =
+let run ?fuel ?hooks ?faults ?recover ?heap_bytes (p : Sir.prog) : result =
   if not (Hashtbl.mem p.Sir.funcs "main") then
     error "program has no main function";
-  run_compiled ?fuel ?hooks ?faults ?heap_bytes (compile p)
+  run_compiled ?fuel ?hooks ?faults ?recover ?heap_bytes (compile p)

@@ -60,6 +60,9 @@ type counters = {
   mutable check_reloads : int;
       (** ld.c executions whose ALAT entry was gone (a real intervening
           alias, or injected interference) and had to reload *)
+  mutable deopts : int;
+      (** failed checks recovered by deoptimization instead of reload
+          (only under [?recover]) *)
 }
 
 type result = {
@@ -115,6 +118,13 @@ type arm =
   | Arm_ilod of { tvid : int; a : iexpr }   (* re-evaluates the address *)
   | Arm_var of { tvid : int; vr : vref }
 
+(** A check statement's deoptimization descriptor, resolved against this
+    engine's register slots. *)
+type cdeopt = {
+  d_sid : int;                        (* lowering-era target statement id *)
+  d_vars : (int * int * bool) array;  (* (orig vid, register slot, is_fp) *)
+}
+
 type cstmt =
   | CSnop
   | CSseti of { slot : int; e : iexpr; arm : arm }
@@ -122,8 +132,10 @@ type cstmt =
   | CSstorev_i of { vr : vref; e : iexpr }   (* direct store to int mem var *)
   | CSstorev_f of { vr : vref; e : fexpr }
   | CSchk_ilod of { tvid : int; slot : int; fp : bool; a : iexpr; site : int;
-                    which : [ `Site of int | `Var of int ] }
-  | CSchk_lod of { tvid : int; slot : int; fp : bool; vr : vref }
+                    which : [ `Site of int | `Var of int ];
+                    dd : cdeopt option }
+  | CSchk_lod of { tvid : int; slot : int; fp : bool; vr : vref;
+                   dd : cdeopt option }
   | CSistr_i of { a : iexpr; e : iexpr; site : int }
   | CSistr_f of { a : iexpr; e : fexpr; site : int }
   | CScall of { target : ctarget; args : aexpr array;
@@ -176,11 +188,16 @@ val compile : Sir.prog -> compiled
 
 (** Run a pre-compiled program.  Omitting [hooks] selects the
     uninstrumented fast path (no closure is ever invoked).  [faults]
-    attaches injected ALAT interference for stress runs. *)
+    attaches injected ALAT interference for stress runs.  [recover]
+    supplies a deoptimization plan (built over a fresh lowering of the
+    same source): failed checks whose statements carry descriptors
+    finish their function in the unoptimized body instead of
+    reloading. *)
 val run_compiled :
   ?fuel:int ->
   ?hooks:hooks ->
   ?faults:Spec_stress.Faults.injector ->
+  ?recover:Spec_safety.Deopt.plan ->
   ?heap_bytes:int ->
   compiled ->
   result
@@ -193,6 +210,7 @@ val run :
   ?fuel:int ->
   ?hooks:hooks ->
   ?faults:Spec_stress.Faults.injector ->
+  ?recover:Spec_safety.Deopt.plan ->
   ?heap_bytes:int ->
   Sir.prog ->
   result

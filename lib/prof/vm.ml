@@ -45,7 +45,15 @@ type state = {
   mutable ret_isf : bool;
   mutable ret_i : int;
   mutable ret_f : float;
+  (* deopt recovery plan: failed checks whose pc has a descriptor finish
+     the function in its unoptimized body instead of reloading *)
+  recover : Spec_safety.Deopt.plan option;
 }
+
+(** Raised after a deoptimizing check's continuation has run: the return
+    registers are already set, so the activation just unwinds to its
+    frame pop. *)
+exception Deopt_done
 
 let no_ints : int array = [||]
 let no_flts : float array = [||]
@@ -195,6 +203,20 @@ let rec exec_func st fix (ai : int array) (af : float array) : unit =
       if rfp <> 0 then error "expected float value, got int %d" v
       else Array.unsafe_set ints rs v
     end
+  in
+  (* failed check at [pc]: deoptimize instead of reloading when a plan is
+     attached and the opcode carries a descriptor.  [vm_deopt] never
+     returns normally (it raises [Deopt_done]); the [true] keeps the
+     reload path conditional on the [false] branches. *)
+  let deopting pc =
+    match st.recover with
+    | None -> false
+    | Some pl ->
+      (match Hashtbl.find_opt vf.V.vdeopt pc with
+       | None -> false
+       | Some (d, refund) ->
+         vm_deopt st pl vf ints flts addrs d refund;
+         true)
   in
   let rec loop pc : unit =
     match Array.unsafe_get code pc with
@@ -671,7 +693,7 @@ let rec exec_func st fix (ai : int array) (af : float array) : unit =
       ctrs.I.check_stmts <- ctrs.I.check_stmts + 1;
       let t = Array.unsafe_get code (pc + 1) in
       let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 3)) in
-      if not (alat_check st serial t addr) then begin
+      if not (alat_check st serial t addr) && not (deopting pc) then begin
         ctrs.I.check_reloads <- ctrs.I.check_reloads + 1;
         ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
         Array.unsafe_set ints (Array.unsafe_get code (pc + 2))
@@ -683,7 +705,7 @@ let rec exec_func st fix (ai : int array) (af : float array) : unit =
       ctrs.I.check_stmts <- ctrs.I.check_stmts + 1;
       let t = Array.unsafe_get code (pc + 1) in
       let addr = Array.unsafe_get ints (Array.unsafe_get code (pc + 3)) in
-      if not (alat_check st serial t addr) then begin
+      if not (alat_check st serial t addr) && not (deopting pc) then begin
         ctrs.I.check_reloads <- ctrs.I.check_reloads + 1;
         ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
         Array.unsafe_set flts (Array.unsafe_get code (pc + 2))
@@ -695,7 +717,7 @@ let rec exec_func st fix (ai : int array) (af : float array) : unit =
       ctrs.I.check_stmts <- ctrs.I.check_stmts + 1;
       let t = Array.unsafe_get code (pc + 1) in
       let addr = glob_addr st (Array.unsafe_get code (pc + 3)) in
-      if not (alat_check st serial t addr) then begin
+      if not (alat_check st serial t addr) && not (deopting pc) then begin
         ctrs.I.check_reloads <- ctrs.I.check_reloads + 1;
         ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
         Array.unsafe_set ints (Array.unsafe_get code (pc + 2))
@@ -707,7 +729,7 @@ let rec exec_func st fix (ai : int array) (af : float array) : unit =
       ctrs.I.check_stmts <- ctrs.I.check_stmts + 1;
       let t = Array.unsafe_get code (pc + 1) in
       let addr = glob_addr st (Array.unsafe_get code (pc + 3)) in
-      if not (alat_check st serial t addr) then begin
+      if not (alat_check st serial t addr) && not (deopting pc) then begin
         ctrs.I.check_reloads <- ctrs.I.check_reloads + 1;
         ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
         Array.unsafe_set flts (Array.unsafe_get code (pc + 2))
@@ -719,7 +741,7 @@ let rec exec_func st fix (ai : int array) (af : float array) : unit =
       ctrs.I.check_stmts <- ctrs.I.check_stmts + 1;
       let t = Array.unsafe_get code (pc + 1) in
       let addr = Array.unsafe_get addrs (Array.unsafe_get code (pc + 3)) in
-      if not (alat_check st serial t addr) then begin
+      if not (alat_check st serial t addr) && not (deopting pc) then begin
         ctrs.I.check_reloads <- ctrs.I.check_reloads + 1;
         ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
         Array.unsafe_set ints (Array.unsafe_get code (pc + 2))
@@ -731,7 +753,7 @@ let rec exec_func st fix (ai : int array) (af : float array) : unit =
       ctrs.I.check_stmts <- ctrs.I.check_stmts + 1;
       let t = Array.unsafe_get code (pc + 1) in
       let addr = Array.unsafe_get addrs (Array.unsafe_get code (pc + 3)) in
-      if not (alat_check st serial t addr) then begin
+      if not (alat_check st serial t addr) && not (deopting pc) then begin
         ctrs.I.check_reloads <- ctrs.I.check_reloads + 1;
         ctrs.I.mem_loads <- ctrs.I.mem_loads + 1;
         Array.unsafe_set flts (Array.unsafe_get code (pc + 2))
@@ -979,8 +1001,128 @@ let rec exec_func st fix (ai : int array) (af : float array) : unit =
       trap := -1;
       go t
   in
-  go 0;
+  (try go 0 with Deopt_done -> ());
   Memory.pop_frame mem mark
+
+(* Deoptimization: transfer the live register state into the
+   unoptimized body and finish the function there.  Hook-side counter
+   updates mirror [Interp.do_deopt] exactly, which keeps the two
+   engines' counters identical under [--recover deopt]. *)
+and vm_deopt st (pl : Spec_safety.Deopt.plan) (vf : V.func)
+    (ints : int array) (flts : float array) (addrs : int array)
+    (d : I.cdeopt) (refund : int) : unit =
+  let module D = Spec_safety.Deopt in
+  st.ctrs.I.deopts <- st.ctrs.I.deopts + 1;
+  (* the block's steps were charged up-front at its STEPS opcode; credit
+     back the statements (and terminator) the deopt skips, so step and
+     fuel accounting match the per-statement tree engine exactly *)
+  st.ctrs.I.steps <- st.ctrs.I.steps - refund;
+  st.fuel <- st.fuel + refund;
+  let regs =
+    Array.fold_right
+      (fun (vid, slot, fp) acc ->
+        (vid, if fp then D.Vflt flts.(slot) else D.Vint ints.(slot)) :: acc)
+      d.I.d_vars []
+  in
+  (* orig vid -> frame address of memory-resident locals and formals *)
+  let frame_addr = Hashtbl.create 8 in
+  Array.iter
+    (fun (slot, vid, _) -> Hashtbl.replace frame_addr vid addrs.(slot))
+    vf.V.vmem_locals;
+  Array.iter
+    (function
+      | I.Fm_mem { aslot; vid; _ } ->
+        Hashtbl.replace frame_addr vid addrs.(aslot)
+      | I.Fm_reg _ -> ())
+    vf.V.vformals;
+  let h =
+    { D.h_load =
+        (fun ty addr ->
+          st.ctrs.I.mem_loads <- st.ctrs.I.mem_loads + 1;
+          if Types.is_fp ty then D.Vflt (Memory.load_flt st.mem addr)
+          else D.Vint (Memory.load_int st.mem addr));
+      D.h_store =
+        (fun ty addr v ->
+          st.ctrs.I.mem_stores <- st.ctrs.I.mem_stores + 1;
+          alat_invalidate st addr;
+          if Types.is_fp ty then Memory.store_flt st.mem addr (D.as_flt v)
+          else Memory.store_int st.mem addr (D.as_int v));
+      D.h_addr_of =
+        (fun vid ->
+          match Hashtbl.find_opt frame_addr vid with
+          | Some a -> a
+          | None -> glob_addr st vid);
+      D.h_spend =
+        (fun () ->
+          st.ctrs.I.steps <- st.ctrs.I.steps + 1;
+          st.fuel <- st.fuel - 1;
+          if st.fuel <= 0 then error "out of fuel (infinite loop?)");
+      D.h_branch =
+        (fun () -> st.ctrs.I.branches <- st.ctrs.I.branches + 1);
+      D.h_call = (fun ~site name argv -> vm_deopt_call st ~site name argv) }
+  in
+  let ret =
+    try D.deoptimize pl h ~fname:vf.V.vname ~target:d.I.d_sid ~regs
+    with D.Error msg -> raise (I.Runtime_error msg)
+  in
+  (match ret with
+   | D.Vint i -> st.ret_isf <- false; st.ret_i <- i
+   | D.Vflt f -> st.ret_isf <- true; st.ret_f <- f);
+  raise Deopt_done
+
+(* Call dispatch for the deopt continuation: builtins mirror
+   [Interp_ref.call] exactly; user calls re-enter this engine's
+   (optimized) bytecode bodies. *)
+and vm_deopt_call st ~site name (argv : Spec_safety.Deopt.value list)
+  : Spec_safety.Deopt.value =
+  let module D = Spec_safety.Deopt in
+  st.ctrs.I.calls <- st.ctrs.I.calls + 1;
+  match name, argv with
+  | "malloc", [ D.Vint bytes ] ->
+    D.Vint (Memory.malloc st.mem ~site bytes)
+  | "malloc", _ -> raise (I.Runtime_error "malloc expects one int")
+  | "print_int", [ D.Vint i ] ->
+    Buffer.add_string st.out (string_of_int i);
+    Buffer.add_char st.out '\n';
+    D.Vint 0
+  | "print_int", _ -> raise (I.Runtime_error "print_int expects one int")
+  | "print_flt", [ D.Vflt f ] ->
+    Buffer.add_string st.out (Printf.sprintf "%.6g" f);
+    Buffer.add_char st.out '\n';
+    D.Vint 0
+  | "print_flt", _ -> raise (I.Runtime_error "print_flt expects one float")
+  | "seed", [ D.Vint s ] ->
+    st.rng <- s;
+    D.Vint 0
+  | "seed", _ -> raise (I.Runtime_error "seed expects one int")
+  | "rnd", [ D.Vint m ] ->
+    if m <= 0 then raise (I.Runtime_error "rnd expects a positive bound");
+    st.rng <- (st.rng * 0x5851F42D4C957F2D + 0x14057B7EF767814F) land max_int;
+    D.Vint ((st.rng lsr 29) mod m)
+  | "rnd", _ -> raise (I.Runtime_error "rnd expects one int")
+  | _ ->
+    let ix = ref (-1) in
+    Array.iteri
+      (fun i f -> if f.V.vname = name then ix := i)
+      st.vp.V.vfuncs;
+    if !ix < 0 then invalid_arg ("Sir.find_func: no function " ^ name);
+    let callee = st.vp.V.vfuncs.(!ix) in
+    let n = List.length argv in
+    let cai = if n = 0 then no_ints else Array.make n 0 in
+    let caf = if n = 0 then no_flts else Array.make n 0. in
+    List.iteri
+      (fun k v ->
+        let fp =
+          if k < Array.length callee.V.vformals then
+            match callee.V.vformals.(k) with
+            | I.Fm_reg { fp; _ } | I.Fm_mem { fp; _ } -> fp
+          else false
+        in
+        try if fp then caf.(k) <- D.as_flt v else cai.(k) <- D.as_int v
+        with D.Error msg -> raise (I.Runtime_error msg))
+      argv;
+    exec_func st !ix cai caf;
+    if st.ret_isf then D.Vflt st.ret_f else D.Vint st.ret_i
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
@@ -988,8 +1130,10 @@ let rec exec_func st fix (ai : int array) (af : float array) : unit =
 
 (** Run a lowered program.  [faults] attaches injected ALAT interference
     for stress runs; the interference clock and victim selection match
-    the tree engines exactly. *)
-let run_program ?(fuel = 200_000_000) ?faults
+    the tree engines exactly.  [recover] supplies a deoptimization plan:
+    failed checks whose pc carries a descriptor finish their function in
+    the unoptimized body instead of reloading. *)
+let run_program ?(fuel = 200_000_000) ?faults ?recover
     ?(heap_bytes = 24 * 1024 * 1024) (p : V.program) : I.result =
   if p.V.vmain < 0 then error "program has no main function";
   let mem = Memory.create ~heap_bytes p.V.vsrc in
@@ -1001,11 +1145,11 @@ let run_program ?(fuel = 200_000_000) ?faults
   let st =
     { vp = p; mem;
       ctrs = { I.steps = 0; mem_loads = 0; mem_stores = 0; branches = 0;
-               calls = 0; check_stmts = 0; check_reloads = 0 };
+               calls = 0; check_stmts = 0; check_reloads = 0; deopts = 0 };
       out = Buffer.create 256; globals; rng = 88172645463325252; fuel;
       alat = Hashtbl.create 32; frame_serial = 0;
       finj = faults; fevents = 0;
-      ret_isf = false; ret_i = 0; ret_f = 0. }
+      ret_isf = false; ret_i = 0; ret_f = 0.; recover }
   in
   exec_func st p.V.vmain no_ints no_flts;
   let ret = if st.ret_isf then I.Vflt st.ret_f else I.Vint st.ret_i in
@@ -1016,5 +1160,5 @@ let run_program ?(fuel = 200_000_000) ?faults
 (** Lower [p] and run [main] (one cheap pass; callers that execute the
     same program repeatedly should {!Vmcode.compile} once and use
     {!run_program}). *)
-let run ?fuel ?faults ?heap_bytes (p : Sir.prog) : I.result =
-  run_program ?fuel ?faults ?heap_bytes (Vmcode.compile p)
+let run ?fuel ?faults ?recover ?heap_bytes (p : Sir.prog) : I.result =
+  run_program ?fuel ?faults ?recover ?heap_bytes (Vmcode.compile p)

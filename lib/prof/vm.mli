@@ -21,16 +21,21 @@ val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** Execute pre-lowered bytecode from [main].  [fuel] bounds the step
     count (default 200M, spent per block exactly as the tree engines
     spend it); [faults] injects ALAT interference on the shared clock;
+    [recover] supplies a deoptimization plan — failed checks whose pc
+    carries a descriptor finish their function in the unoptimized body
+    instead of reloading (counted in [deopts], not [check_reloads]);
     [heap_bytes] sizes the heap (default 24MB).  Raises
     {!Interp.Runtime_error} on any fault, with the tree engines'
     message. *)
 val run_program :
-  ?fuel:int -> ?faults:Spec_stress.Faults.injector -> ?heap_bytes:int ->
+  ?fuel:int -> ?faults:Spec_stress.Faults.injector ->
+  ?recover:Spec_safety.Deopt.plan -> ?heap_bytes:int ->
   Vmcode.program -> Interp.result
 
 (** Lower [p] and run [main] in one step (one cheap pass; callers that
     execute the same program repeatedly should {!Vmcode.compile} once
     and use {!run_program}). *)
 val run :
-  ?fuel:int -> ?faults:Spec_stress.Faults.injector -> ?heap_bytes:int ->
+  ?fuel:int -> ?faults:Spec_stress.Faults.injector ->
+  ?recover:Spec_safety.Deopt.plan -> ?heap_bytes:int ->
   Spec_ir.Sir.prog -> Interp.result

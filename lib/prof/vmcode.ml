@@ -184,6 +184,13 @@ type func = {
   n_addr : int;
   vmem_locals : (int * int * int) array; (* (addr slot, vid, bytes) *)
   vformals : I.formal array;
+  vdeopt : (int, I.cdeopt * int) Hashtbl.t;
+      (* check-opcode pc -> deoptimization descriptor plus the step
+         refund: the block's steps were charged up-front, so a mid-block
+         deopt credits back the statements (and terminator) that will
+         not execute, keeping counters and fuel identical to the
+         per-statement tree engine (slot numbering is
+         the tree compiler's, which the bytecode shares) *)
 }
 
 type program = {
@@ -235,6 +242,9 @@ type em = {
   mutable n_temps : int;                 (* high-water of temp use *)
   pools : pools;
   mutable patches : (int * int) list;    (* (code pos, block id) *)
+  mutable dlist : (int * (I.cdeopt * int)) list;
+      (* (check-opcode pc, (descriptor, step refund)) *)
+  mutable refund : int;  (* block steps after the statement being lowered *)
 }
 
 let emit em v =
@@ -448,13 +458,25 @@ let lower_stmt em (s : I.cstmt) =
      | I.Rglob g -> e3 em op_stg_f g v
      | I.Rslot s -> e3 em op_sts_f s v
      | I.Rnone n -> no_slot_err em n)
-  | I.CSchk_ilod { tvid; slot; fp; a; _ } ->
+  | I.CSchk_ilod { tvid; slot; fp; a; dd; _ } ->
     let sa = slot_i em 0 a in
+    (match dd with
+     | Some d -> em.dlist <- (em.len, (d, em.refund)) :: em.dlist
+     | None -> ());
     e4 em (if fp then op_chk_ilod_f else op_chk_ilod_i) tvid slot sa
-  | I.CSchk_lod { tvid; slot; fp; vr } ->
+  | I.CSchk_lod { tvid; slot; fp; vr; dd } ->
+    let record () =
+      match dd with
+      | Some d -> em.dlist <- (em.len, (d, em.refund)) :: em.dlist
+      | None -> ()
+    in
     (match vr with
-     | I.Rglob g -> e4 em (if fp then op_chk_ldg_f else op_chk_ldg_i) tvid slot g
-     | I.Rslot s -> e4 em (if fp then op_chk_lds_f else op_chk_lds_i) tvid slot s
+     | I.Rglob g ->
+       record ();
+       e4 em (if fp then op_chk_ldg_f else op_chk_ldg_i) tvid slot g
+     | I.Rslot s ->
+       record ();
+       e4 em (if fp then op_chk_lds_f else op_chk_lds_i) tvid slot s
      | I.Rnone n -> e1 em op_chkstmt; no_slot_err em n)
   | I.CSistr_i { a; e; _ } ->
     let sa = slot_i em 0 a in
@@ -570,7 +592,7 @@ let lower_term em (t : I.cterm) =
 
 let lower_func pools (cf : I.cfunc) : func =
   let em = { code = Array.make 256 0; len = 0; n_slots = cf.I.n_slots;
-             n_temps = 0; pools; patches = [] } in
+             n_temps = 0; pools; patches = []; dlist = []; refund = 0 } in
   let n = Array.length cf.I.cblocks in
   let offsets = Array.make n 0 in
   for bid = 0 to n - 1 do
@@ -583,6 +605,7 @@ let lower_func pools (cf : I.cfunc) : func =
       e2 em op_steps (Array.length stmts + 1);
       Array.iteri
         (fun k s ->
+          em.refund <- Array.length stmts - k;
           if b.I.cb_chk.(k) && not (lowers_to_chk_op s) then
             e1 em op_chkstmt;
           lower_stmt em s)
@@ -591,12 +614,15 @@ let lower_func pools (cf : I.cfunc) : func =
     end
   done;
   List.iter (fun (pos, bid) -> em.code.(pos) <- offsets.(bid)) em.patches;
+  let vdeopt = Hashtbl.create (max 1 (List.length em.dlist)) in
+  List.iter (fun (pc, d) -> Hashtbl.replace vdeopt pc d) em.dlist;
   { vname = cf.I.cname;
     vcode = Array.sub em.code 0 em.len;
     n_regs = cf.I.n_slots + em.n_temps;
     n_addr = cf.I.n_addr;
     vmem_locals = cf.I.mem_locals;
-    vformals = cf.I.formals }
+    vformals = cf.I.formals;
+    vdeopt }
 
 (** Lower an already tree-compiled program. *)
 let of_compiled (comp : I.compiled) : program =

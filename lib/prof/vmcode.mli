@@ -10,7 +10,7 @@
     construction.
 
     The opcode numbering is private to this module and {!Vm} — the
-    serialized form ([specvm/1], {!Spec_fdo.Vm_io}) carries raw code
+    serialized form ([specvm/2], {!Spec_fdo.Vm_io}) carries raw code
     words, so the two files must stay in sync; the differential suites
     catch any mismatch immediately. *)
 
@@ -21,6 +21,12 @@ type func = {
   n_addr : int;                          (** frame address slots *)
   vmem_locals : (int * int * int) array; (** (addr slot, vid, bytes) *)
   vformals : Interp.formal array;
+  vdeopt : (int, Interp.cdeopt * int) Hashtbl.t;
+      (** check-opcode pc -> (deoptimization descriptor, step refund).
+          Slot numbering is the tree compiler's, which the bytecode
+          shares; the refund undoes the block's up-front step charge for
+          the statements a mid-block deopt never executes, keeping the
+          step counter identical to the tree engine's. *)
 }
 
 type program = {

@@ -1,0 +1,338 @@
+(** Deoptimization-based check recovery.
+
+    The engines' default recovery for a failed ld.c is *reload*: fetch
+    the current value from memory, re-arm the ALAT entry, and continue
+    in the optimized code.  This module implements the alternative the
+    paper's framework leaves open: *deoptimize* — abandon the optimized
+    frame and resume execution in the unoptimized function body at the
+    program point equivalent to the check.
+
+    Two halves:
+
+    - {b Descriptor construction} ({!attach}): after the optimization
+      rounds, each [Mchk] statement gets a {!Sir.deopt} descriptor
+      mapping the optimized check site back to a lowering-era statement
+      id.  Lowering-era ids survive every segment commit unchanged
+      ([Passes.seg_commit] only renumbers ids allocated inside a
+      segment), so a second, deterministic lowering of the same source
+      reproduces the target statement exactly.  The anchor is found by
+      scanning forward from the check for the first statement that
+      already existed at lowering time, skipping compiler temporaries
+      and nops; if an unrecognizable statement intervenes, no
+      descriptor is attached and the engine falls back to reload
+      (always sound).  The descriptor's variable list is the function's
+      lowering-era register-resident variables: their frame slots are
+      the state transferred into the continuation.
+
+    - {b Continuation execution} ({!deoptimize}): an engine-neutral
+      tree-walking executor over the *unoptimized* program, semantically
+      identical to {!Interp_ref} (same arithmetic, comparison promotion,
+      shift masking, error strings, and zero-default uninitialized
+      reads).  It owns only the register file; every effect — memory
+      loads/stores (with ALAT invalidation), address resolution of
+      memory-resident variables, fuel, branch accounting, and calls
+      (builtins and user functions alike) — goes through {!hooks}
+      provided by the host engine, so output, memory state and counters
+      accumulate in the host run as if the continuation were native
+      code. *)
+
+open Spec_ir
+
+(* ------------------------------------------------------------------ *)
+(* Descriptor construction                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Lowering-era register-resident variables of [f]: the state a
+    continuation may read before writing.  Memory-resident variables
+    are not transferred — they live at the same addresses in the host
+    frame and are read through {!hooks.h_addr_of}. *)
+let transfer_vars syms ~vbase (f : Sir.func) : int list =
+  let acc = ref [] in
+  Symtab.iter
+    (fun v ->
+      if
+        v.Symtab.vid < vbase
+        && v.Symtab.vorig = v.Symtab.vid
+        && v.Symtab.vfunc = Some f.Sir.fname
+        && (match v.Symtab.vstorage with
+            | Symtab.Slocal | Symtab.Sformal | Symtab.Stemp -> true
+            | Symtab.Sglobal | Symtab.Svirtual -> false)
+        && not (Symtab.is_mem syms v.Symtab.vid)
+      then acc := v.Symtab.vid :: !acc)
+    syms;
+  List.rev !acc
+
+(** Attach descriptors to every check statement whose equivalent
+    unoptimized program point can be identified.  [sbase]/[vbase] are
+    the statement counter and symbol count snapshotted right after
+    lowering: ids below them are lowering-era.  Returns the number of
+    descriptors attached. *)
+let attach (p : Sir.prog) ~sbase ~vbase : int =
+  let attached = ref 0 in
+  Sir.iter_funcs
+    (fun f ->
+      let dvars = lazy (transfer_vars p.Sir.syms ~vbase f) in
+      Vec.iter
+        (fun (b : Sir.bb) ->
+          (* First statement at-or-after the scan start that existed at
+             lowering time; optimizer temporaries and nops carry no
+             original state and are skipped. *)
+          let rec anchor = function
+            | [] -> None
+            | (s : Sir.stmt) :: rest ->
+              if s.Sir.sid < sbase then Some s.Sir.sid
+              else (
+                match s.Sir.kind with
+                | Sir.Snop -> anchor rest
+                | Sir.Stid (v, _)
+                  when (Symtab.orig p.Sir.syms v).Symtab.vid >= vbase ->
+                  anchor rest
+                | _ -> None)
+          in
+          let rec walk = function
+            | [] -> ()
+            | (s : Sir.stmt) :: rest ->
+              (if s.Sir.mark = Sir.Mchk then
+                 match anchor (s :: rest) with
+                 | Some t ->
+                   s.Sir.deopt <-
+                     Some { Sir.dp_target = t; Sir.dp_vars = Lazy.force dvars };
+                   incr attached
+                 | None -> s.Sir.deopt <- None);
+              walk rest
+          in
+          walk b.Sir.stmts)
+        f.Sir.fblocks)
+    p;
+  !attached
+
+(** Drop every descriptor in [f] — used when a later sub-pass transforms
+    the function in a way that breaks the state mapping (store promotion
+    moves memory effects; LFTR retires induction variables).  Returns
+    the number cleared. *)
+let clear_func (f : Sir.func) : int =
+  let n = ref 0 in
+  Vec.iter
+    (fun (b : Sir.bb) ->
+      List.iter
+        (fun (s : Sir.stmt) ->
+          if s.Sir.deopt <> None then begin
+            incr n;
+            s.Sir.deopt <- None
+          end)
+        b.Sir.stmts)
+    f.Sir.fblocks;
+  !n
+
+let count (p : Sir.prog) : int =
+  let n = ref 0 in
+  Sir.iter_funcs
+    (fun f ->
+      Vec.iter
+        (fun (b : Sir.bb) ->
+          List.iter
+            (fun (s : Sir.stmt) -> if s.Sir.deopt <> None then incr n)
+            b.Sir.stmts)
+        f.Sir.fblocks)
+    p;
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* Runtime plan                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** A recovery plan: the unoptimized program (a fresh lowering of the
+    same source the optimized program came from) plus a lazily built
+    per-function index from lowering-era statement ids to (block,
+    statement-offset) positions. *)
+type plan = {
+  dp_prog : Sir.prog;
+  dp_index : (string, (int, int * int) Hashtbl.t) Hashtbl.t;
+}
+
+let make_plan (uprog : Sir.prog) : plan =
+  { dp_prog = uprog; dp_index = Hashtbl.create 8 }
+
+let func_index pl fname =
+  match Hashtbl.find_opt pl.dp_index fname with
+  | Some ix -> ix
+  | None ->
+    let f = Sir.find_func pl.dp_prog fname in
+    let ix = Hashtbl.create 64 in
+    Vec.iter
+      (fun (b : Sir.bb) ->
+        List.iteri
+          (fun i (s : Sir.stmt) -> Hashtbl.replace ix s.Sir.sid (b.Sir.bid, i))
+          b.Sir.stmts)
+      f.Sir.fblocks;
+    Hashtbl.replace pl.dp_index fname ix;
+    ix
+
+(* ------------------------------------------------------------------ *)
+(* Continuation executor                                               *)
+(* ------------------------------------------------------------------ *)
+
+type value = Vint of int | Vflt of float
+
+(** Executor-local runtime fault; host engines convert it to their own
+    [Runtime_error], preserving the message (which follows the engines'
+    shared message discipline). *)
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let as_int = function
+  | Vint i -> i
+  | Vflt f -> error "expected int value, got float %g" f
+
+let as_flt = function
+  | Vflt f -> f
+  | Vint i -> error "expected float value, got int %d" i
+
+let zero_of ty = if Types.is_fp ty then Vflt 0. else Vint 0
+
+(** Host services.  Every hook mutates host state (memory image,
+    counters, fuel, ALAT, output buffer, rng), so the continuation's
+    effects are indistinguishable from native execution. *)
+type hooks = {
+  h_load : Types.ty -> int -> value;
+      (** typed memory load; counts a [mem_loads] *)
+  h_store : Types.ty -> int -> value -> unit;
+      (** typed memory store; counts a [mem_stores] and invalidates
+          matching ALAT entries *)
+  h_addr_of : int -> int;
+      (** absolute address of a memory-resident variable (original,
+          lowering-era id): a global, or a slot in the host frame *)
+  h_spend : unit -> unit;
+      (** one statement's (or terminator's) worth of fuel and steps *)
+  h_branch : unit -> unit;  (** one conditional branch *)
+  h_call : site:int -> string -> value list -> value;
+      (** counts the call and dispatches it: builtins against host
+          state, user functions through the host's own (optimized)
+          execution path *)
+}
+
+(* Mirrors Interp_ref.eval_binop exactly: IEEE float division,
+   trapping integer division, 63-masked shifts, and comparisons by
+   [compare] with int-to-float promotion. *)
+let eval_binop op ty a b =
+  match op, ty with
+  | Sir.Add, Types.Tflt -> Vflt (as_flt a +. as_flt b)
+  | Sir.Sub, Types.Tflt -> Vflt (as_flt a -. as_flt b)
+  | Sir.Mul, Types.Tflt -> Vflt (as_flt a *. as_flt b)
+  | Sir.Div, Types.Tflt ->
+    let d = as_flt b in
+    Vflt (as_flt a /. d)
+  | Sir.Add, _ -> Vint (as_int a + as_int b)
+  | Sir.Sub, _ -> Vint (as_int a - as_int b)
+  | Sir.Mul, _ -> Vint (as_int a * as_int b)
+  | Sir.Div, _ ->
+    let d = as_int b in
+    if d = 0 then error "integer division by zero" else Vint (as_int a / d)
+  | Sir.Rem, _ ->
+    let d = as_int b in
+    if d = 0 then error "integer remainder by zero" else Vint (as_int a mod d)
+  | Sir.Band, _ -> Vint (as_int a land as_int b)
+  | Sir.Bor, _ -> Vint (as_int a lor as_int b)
+  | Sir.Bxor, _ -> Vint (as_int a lxor as_int b)
+  | Sir.Shl, _ -> Vint (as_int a lsl (as_int b land 63))
+  | Sir.Shr, _ -> Vint (as_int a asr (as_int b land 63))
+  | (Sir.Lt | Sir.Le | Sir.Gt | Sir.Ge | Sir.Eq | Sir.Ne), _ ->
+    let cmp =
+      match a, b with
+      | Vflt x, Vflt y -> compare x y
+      | Vint x, Vint y -> compare x y
+      | Vint x, Vflt y -> compare (float_of_int x) y
+      | Vflt x, Vint y -> compare x (float_of_int y)
+    in
+    let r =
+      match op with
+      | Sir.Lt -> cmp < 0 | Sir.Le -> cmp <= 0
+      | Sir.Gt -> cmp > 0 | Sir.Ge -> cmp >= 0
+      | Sir.Eq -> cmp = 0 | Sir.Ne -> cmp <> 0
+      | _ -> assert false
+    in
+    Vint (if r then 1 else 0)
+
+(** Execute the unoptimized body of [fname] from lowering-era statement
+    [target] to the function's return, seeding the continuation's
+    register file with [regs] (original variable id, value) read out of
+    the optimized frame.  Unseeded registers read as deterministic
+    zeros, matching {!Interp_ref}.  Returns the function's return
+    value. *)
+let deoptimize (pl : plan) (h : hooks) ~fname ~target
+    ~(regs : (int * value) list) : value =
+  let f = Sir.find_func pl.dp_prog fname in
+  let syms = pl.dp_prog.Sir.syms in
+  let bid0, idx0 =
+    match Hashtbl.find_opt (func_index pl fname) target with
+    | Some loc -> loc
+    | None -> error "deopt target s%d not found in %s" target fname
+  in
+  let rtab : (int, value) Hashtbl.t = Hashtbl.create 32 in
+  List.iter (fun (v, x) -> Hashtbl.replace rtab v x) regs;
+  let read_reg vid =
+    let v = Symtab.orig syms vid in
+    match Hashtbl.find_opt rtab v.Symtab.vid with
+    | Some x -> x
+    | None -> zero_of v.Symtab.vty
+  in
+  let write_reg vid x =
+    Hashtbl.replace rtab (Symtab.orig syms vid).Symtab.vid x
+  in
+  let addr_of vid = h.h_addr_of (Symtab.orig syms vid).Symtab.vid in
+  let rec eval (e : Sir.expr) : value =
+    match e with
+    | Sir.Const (Sir.Cint i) -> Vint i
+    | Sir.Const (Sir.Cflt f) -> Vflt f
+    | Sir.Lod vid ->
+      if Symtab.is_mem syms vid then
+        let v = Symtab.orig syms vid in
+        h.h_load v.Symtab.vty (addr_of vid)
+      else read_reg vid
+    | Sir.Ilod (ty, a, _site) -> h.h_load ty (as_int (eval a))
+    | Sir.Lda vid -> Vint (addr_of vid)
+    | Sir.Unop (Sir.Neg, Types.Tflt, e) -> Vflt (-.as_flt (eval e))
+    | Sir.Unop (Sir.Neg, _, e) -> Vint (- (as_int (eval e)))
+    | Sir.Unop (Sir.Lnot, _, e) -> Vint (if as_int (eval e) = 0 then 1 else 0)
+    | Sir.Unop (Sir.I2f, _, e) -> Vflt (float_of_int (as_int (eval e)))
+    | Sir.Unop (Sir.F2i, _, e) -> Vint (int_of_float (as_flt (eval e)))
+    | Sir.Binop (op, ty, a, b) ->
+      let va = eval a in
+      let vb = eval b in
+      eval_binop op ty va vb
+  in
+  let exec_stmt (s : Sir.stmt) =
+    h.h_spend ();
+    match s.Sir.kind with
+    | Sir.Snop -> ()
+    | Sir.Stid (vid, e) ->
+      let value = eval e in
+      if Symtab.is_mem syms vid then
+        let v = Symtab.orig syms vid in
+        h.h_store v.Symtab.vty (addr_of vid) value
+      else write_reg vid value
+    | Sir.Istr (ty, a, e, _site) ->
+      let addr = as_int (eval a) in
+      let value = eval e in
+      h.h_store ty addr value
+    | Sir.Call { callee; args; ret; csite } ->
+      let argv = List.map eval args in
+      let result = h.h_call ~site:csite callee argv in
+      (match ret with Some r -> write_reg r result | None -> ())
+  in
+  let rec run_block bid idx : value =
+    let b = Sir.block f bid in
+    if b.Sir.phis <> [] then
+      error "deopt continuation cannot execute SSA-form code";
+    List.iteri (fun i s -> if i >= idx then exec_stmt s) b.Sir.stmts;
+    h.h_spend ();
+    match b.Sir.term with
+    | Sir.Tgoto next -> run_block next 0
+    | Sir.Tcond (c, t, e) ->
+      h.h_branch ();
+      run_block (if as_int (eval c) <> 0 then t else e) 0
+    | Sir.Tret None -> Vint 0
+    | Sir.Tret (Some e) -> eval e
+  in
+  run_block bid0 idx0

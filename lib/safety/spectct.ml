@@ -1,0 +1,50 @@
+(** Rendering and aggregation of speculative-taint reports.
+
+    The textual form is the contract for [speccc --safety] and for the
+    goldens in [test/test_safety.ml]: one line per site, keyed by the
+    stable {!Taint.site_key} (function, report kind, deversioned
+    expression, ordinal), followed by a per-function verdict summary.
+    Keys deliberately contain no statement ids, site ids or SSA version
+    numbers so that reports diff cleanly across pipeline changes. *)
+
+open Taint
+
+let site_line s =
+  Printf.sprintf "%s %s %s" (tier_str s.r_tier) (rkind_str s.r_kind)
+    (site_key s)
+
+(** All site lines of a report, program order. *)
+let site_lines (r : report) : string list =
+  List.concat_map (fun fr -> List.map site_line fr.fr_sites) r.rp_funcs
+
+let summary_line (r : report) =
+  Printf.sprintf "safety: %s (%d confirmed, %d plausible)"
+    (verdict_str r.rp_verdict) r.rp_confirmed r.rp_plausible
+
+(** Full textual report: per-function verdicts, site lines, and the
+    program summary. *)
+let to_string (r : report) : string =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun fr ->
+      Buffer.add_string b
+        (Printf.sprintf "func %s: %s\n" fr.fr_name
+           (verdict_str fr.fr_verdict));
+      List.iter
+        (fun s ->
+          Buffer.add_string b ("  " ^ site_line s);
+          Buffer.add_char b '\n')
+        fr.fr_sites)
+    r.rp_funcs;
+  Buffer.add_string b (summary_line r);
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(** Strict mode fails the compile on any confirmed report; plausible
+    reports alone only warn. *)
+let strict_ok (r : report) = r.rp_confirmed = 0
+
+(** Per-report verdict counts keyed for the bench JSON [safety]
+    section: (verdict string, confirmed, plausible). *)
+let cells (r : report) : string * int * int =
+  (verdict_str r.rp_verdict, r.rp_confirmed, r.rp_plausible)

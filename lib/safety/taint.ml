@@ -1,0 +1,404 @@
+(** Speculative-taint checker over optimized SIR.
+
+    After speculative PRE has run, a function's blocks contain advanced
+    loads ([Madv]/[Msa]), control-speculative computations ([Mcspec]) and
+    their covering checks ([Mchk]).  Between an advanced load and the
+    commit of its check, the loaded value is *transient*: on an
+    architecture that executes the ld.a eagerly, the value may have been
+    produced by a squashed-but-observable micro-architectural path.  This
+    module runs a forward may-dataflow over the optimized IR that tracks
+
+    - which values are derived from [secret]-annotated storage
+      (two tiers: CONFIRMED when the derivation is syntactic, PLAUSIBLE
+      when it only follows from the Steensgaard may-point-to solution);
+    - which values are speculative and not yet covered by a committed
+      check — the *speculation window*.
+
+    It reports every site where secret-derived data reaches an address
+    operand of a speculatively executed load (the Spectre-v1 shape), and
+    every site where a value that is both secret-tainted and still
+    unchecked reaches any address operand or branch condition.
+
+    Deliberate simplifications, documented here and in DESIGN.md §3.9:
+    taint is not tracked through memory cells (a secret stored to memory
+    and reloaded is rediscovered only via the points-to tier), and calls
+    are assumed to return public data. *)
+
+open Spec_ir
+open Spec_alias
+open Sir
+
+type tier = Confirmed | Plausible
+
+type rkind =
+  | Rspec_addr      (** speculative load at a secret-derived address *)
+  | Rtransient_flow (** tainted+unchecked value reaches an address or branch *)
+
+type site = {
+  r_func : string;
+  r_kind : rkind;
+  r_tier : tier;
+  r_expr : string;   (** deversioned rendering of the offending expression *)
+  r_ord : int;       (** ordinal among same-key reports in the function *)
+  r_sid : int;       (** statement id, [-1] for terminator reports *)
+}
+
+type verdict = Vunannotated | Vsafe | Vleaks
+
+type func_report = {
+  fr_name : string;
+  fr_verdict : verdict;
+  fr_sites : site list;
+}
+
+type report = {
+  rp_verdict : verdict;
+  rp_funcs : func_report list;
+  rp_confirmed : int;
+  rp_plausible : int;
+}
+
+let rkind_str = function
+  | Rspec_addr -> "spec-addr"
+  | Rtransient_flow -> "transient-flow"
+
+let tier_str = function Confirmed -> "CONFIRMED" | Plausible -> "PLAUSIBLE"
+
+let verdict_str = function
+  | Vunannotated -> "unannotated"
+  | Vsafe -> "safe"
+  | Vleaks -> "leaks"
+
+(* ------------------------------------------------------------------ *)
+(* Deversioned, site-id-free expression rendering for stable keys      *)
+(* ------------------------------------------------------------------ *)
+
+let base_name syms v = (Symtab.orig syms v).Symtab.vname
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+
+let unop_str = function
+  | Neg -> "-" | Lnot -> "!" | I2f -> "(float)" | F2i -> "(int)"
+
+let rec render syms = function
+  | Const (Cint i) -> string_of_int i
+  | Const (Cflt f) -> Printf.sprintf "%g" f
+  | Lod v -> base_name syms v
+  | Ilod (_, a, _) -> Printf.sprintf "*(%s)" (render syms a)
+  | Lda v -> "&" ^ base_name syms v
+  | Unop (o, _, e) -> Printf.sprintf "%s(%s)" (unop_str o) (render syms e)
+  | Binop (o, _, a, b) ->
+    Printf.sprintf "(%s %s %s)" (render syms a) (binop_str o) (render syms b)
+
+let site_key s =
+  Printf.sprintf "%s:%s:%s#%d" s.r_func (rkind_str s.r_kind) s.r_expr s.r_ord
+
+(* ------------------------------------------------------------------ *)
+(* Dataflow state                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Three bit-sets over variable ids: confirmed-tainted, plausibly
+   tainted (a superset), and unchecked-speculative.  [Bytes] rather than
+   [bool array] keeps per-block copies cheap. *)
+type state = { conf : Bytes.t; plaus : Bytes.t; unchk : Bytes.t }
+
+let mk_state n =
+  { conf = Bytes.make n '\000'; plaus = Bytes.make n '\000';
+    unchk = Bytes.make n '\000' }
+
+let copy_state st =
+  { conf = Bytes.copy st.conf; plaus = Bytes.copy st.plaus;
+    unchk = Bytes.copy st.unchk }
+
+let get b v = Bytes.get b v <> '\000'
+let set b v x = Bytes.set b v (if x then '\001' else '\000')
+
+(* Union [src] into [dst]; returns true if [dst] grew. *)
+let join_into dst src =
+  let grew = ref false in
+  let u d s =
+    for i = 0 to Bytes.length d - 1 do
+      if Bytes.get s i <> '\000' && Bytes.get d i = '\000' then begin
+        Bytes.set d i '\001'; grew := true
+      end
+    done
+  in
+  u dst.conf src.conf; u dst.plaus src.plaus; u dst.unchk src.unchk;
+  !grew
+
+(* ------------------------------------------------------------------ *)
+(* Expression taint                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type etaint = { ec : bool; ep : bool; eu : bool }
+
+let e_bot = { ec = false; ep = false; eu = false }
+let e_join a b = { ec = a.ec || b.ec; ep = a.ep || b.ep; eu = a.eu || b.eu }
+
+(* Does the address expression syntactically name secret storage?  True
+   for [&s] / [s] where [s]'s original variable carries the [secret]
+   contract: the canonical lowering of [key[i]] is
+   [Ilod (ty, &key + i*8, site)]. *)
+let rec addr_names_secret syms = function
+  | Lda v | Lod v -> Symtab.is_secret syms v
+  | Const _ -> false
+  | Ilod (_, a, _) -> addr_names_secret syms a
+  | Unop (_, _, e) -> addr_names_secret syms e
+  | Binop (_, _, a, b) ->
+    addr_names_secret syms a || addr_names_secret syms b
+
+type ctx = {
+  syms : Symtab.t;
+  pt : Steensgaard.solution option;
+  secret_classes : (int, unit) Hashtbl.t;
+      (** Steensgaard classes containing at least one secret variable *)
+}
+
+let site_may_read_secret ctx site =
+  match ctx.pt with
+  | None -> false
+  | Some sol ->
+    (match Steensgaard.class_of_site sol site with
+     | None -> false
+     | Some c -> Hashtbl.mem ctx.secret_classes c)
+
+let rec etaint ctx st = function
+  | Const _ -> e_bot
+  | Lod v ->
+    if Symtab.is_secret ctx.syms v then
+      { ec = true; ep = true; eu = get st.unchk v }
+    else
+      { ec = get st.conf v; ep = get st.plaus v; eu = get st.unchk v }
+  | Lda _ -> e_bot
+  | Ilod (_, a, site) ->
+    let at = etaint ctx st a in
+    let syn = addr_names_secret ctx.syms a in
+    let cls = site_may_read_secret ctx site in
+    (* The loaded value is secret if it comes out of secret storage
+       (syntactically or per points-to), and inherits the address's own
+       taint: data loaded at a secret-derived index is secret-derived. *)
+    { ec = at.ec || syn;
+      ep = at.ep || syn || cls;
+      eu = at.eu }
+  | Unop (_, _, e) -> etaint ctx st e
+  | Binop (_, _, a, b) -> e_join (etaint ctx st a) (etaint ctx st b)
+
+(* ------------------------------------------------------------------ *)
+(* Transfer functions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let is_spec_mark = function Madv | Msa | Mcspec -> true | Mnone | Mchk -> false
+
+let def_taint st v (t : etaint) =
+  set st.conf v t.ec;
+  set st.plaus v (t.ec || t.ep);
+  set st.unchk v t.eu
+
+let transfer_stmt ctx st s =
+  (match s.kind with
+   | Stid (v, e) ->
+     let t = etaint ctx st e in
+     let eu =
+       if s.mark = Mchk then false          (* check commits: window closes *)
+       else t.eu || is_spec_mark s.mark     (* speculative def opens it *)
+     in
+     def_taint st v { t with eu }
+   | Call { ret = Some r; _ } -> def_taint st r e_bot
+   | Call { ret = None; _ } | Istr _ | Snop -> ());
+  (* chi defs: weak may-updates keep the version chain flowing *)
+  List.iter
+    (fun c ->
+      if c.chi_lhs >= 0 && c.chi_rhs >= 0 then begin
+        set st.conf c.chi_lhs (get st.conf c.chi_rhs);
+        set st.plaus c.chi_lhs (get st.plaus c.chi_rhs);
+        set st.unchk c.chi_lhs (get st.unchk c.chi_rhs)
+      end)
+    s.chis
+
+let transfer_phis ctx st b =
+  ignore ctx;
+  List.iter
+    (fun p ->
+      if p.phi_lhs >= 0 then begin
+        let c = ref false and pl = ref false and u = ref false in
+        Array.iter
+          (fun a ->
+            if a >= 0 then begin
+              c := !c || get st.conf a;
+              pl := !pl || get st.plaus a;
+              u := !u || get st.unchk a
+            end)
+          p.phi_args;
+        set st.conf p.phi_lhs !c;
+        set st.plaus p.phi_lhs !pl;
+        set st.unchk p.phi_lhs !u
+      end)
+    b.phis
+
+(* ------------------------------------------------------------------ *)
+(* Report collection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type collector = {
+  mutable sites : (rkind * tier * string * int) list;  (* rev order; sid *)
+}
+
+let tier_of (t : etaint) = if t.ec then Confirmed else Plausible
+
+(* R1: a speculatively executed load whose address is secret-derived.
+   The load itself is transient, so a tainted address leaks through the
+   cache no matter whether the value is ever committed. *)
+let collect_spec_addr ctx st coll s =
+  if is_spec_mark s.mark then
+    List.iter
+      (fun e ->
+        iter_subexprs
+          (function
+            | Ilod (_, a, _) ->
+              let at = etaint ctx st a in
+              if at.ec || at.ep then
+                coll.sites <-
+                  (Rspec_addr, tier_of at, render ctx.syms a, s.sid)
+                  :: coll.sites
+            | _ -> ())
+          e)
+      (stmt_exprs s.kind)
+
+(* R2: a value that is both secret-tainted and still inside an open
+   speculation window reaches an address operand or branch condition. *)
+let transient e (t : etaint) = ignore e; (t.ec || t.ep) && t.eu
+
+let collect_transient ctx st coll s =
+  let check_addr a =
+    let t = etaint ctx st a in
+    if transient a t then
+      coll.sites <-
+        (Rtransient_flow, tier_of t, render ctx.syms a, s.sid) :: coll.sites
+  in
+  List.iter
+    (fun e ->
+      iter_subexprs
+        (function Ilod (_, a, _) -> check_addr a | _ -> ())
+        e)
+    (stmt_exprs s.kind);
+  match s.kind with Istr (_, a, _, _) -> check_addr a | _ -> ()
+
+let collect_term ctx st coll = function
+  | Tcond (e, _, _) ->
+    let t = etaint ctx st e in
+    if transient e t then
+      coll.sites <-
+        (Rtransient_flow, tier_of t, render ctx.syms e, -1) :: coll.sites
+  | Tgoto _ | Tret _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Per-function fixpoint                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_func ctx (f : func) : site list =
+  let n = Symtab.count ctx.syms in
+  let nb = n_blocks f in
+  let ins = Array.init nb (fun _ -> mk_state n) in
+  (* Secret formals are tainted from entry. *)
+  List.iter
+    (fun v ->
+      if Symtab.is_secret ctx.syms v then begin
+        set ins.(entry_bid).conf v true;
+        set ins.(entry_bid).plaus v true
+      end)
+    f.fformals;
+  let inq = Array.make nb false in
+  let q = Queue.create () in
+  Queue.add entry_bid q;
+  inq.(entry_bid) <- true;
+  while not (Queue.is_empty q) do
+    let bid = Queue.pop q in
+    inq.(bid) <- false;
+    let b = block f bid in
+    let st = copy_state ins.(bid) in
+    transfer_phis ctx st b;
+    List.iter (fun s -> transfer_stmt ctx st s) b.stmts;
+    List.iter
+      (fun s ->
+        if join_into ins.(s) st && not inq.(s) then begin
+          Queue.add s q; inq.(s) <- true
+        end)
+      (succs b)
+  done;
+  (* Second pass with converged states: collect reports in block order. *)
+  let coll = { sites = [] } in
+  Vec.iter
+    (fun b ->
+      let st = copy_state ins.(b.bid) in
+      transfer_phis ctx st b;
+      List.iter
+        (fun s ->
+          collect_spec_addr ctx st coll s;
+          collect_transient ctx st coll s;
+          transfer_stmt ctx st s)
+        b.stmts;
+      collect_term ctx st coll b.term)
+    f.fblocks;
+  (* Assign ordinals per (kind, expr) key, preserving program order. *)
+  let seen = Hashtbl.create 8 in
+  List.rev_map
+    (fun (k, t, e, sid) ->
+      let key = (k, e) in
+      let ord = try Hashtbl.find seen key with Not_found -> 0 in
+      Hashtbl.replace seen key (ord + 1);
+      { r_func = f.fname; r_kind = k; r_tier = t; r_expr = e;
+        r_ord = ord; r_sid = sid })
+    coll.sites
+  |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prog_has_secrets (p : prog) =
+  let found = ref false in
+  Symtab.iter
+    (fun v -> if v.Symtab.vsecret && v.Symtab.vid = v.Symtab.vorig then
+        found := true)
+    p.syms;
+  !found
+
+let check ?pt (p : prog) : report =
+  let secret_classes = Hashtbl.create 8 in
+  (match pt with
+   | None -> ()
+   | Some sol ->
+     Symtab.iter
+       (fun v ->
+         if v.Symtab.vsecret && v.Symtab.vid = v.Symtab.vorig then
+           match Steensgaard.class_of_var sol v.Symtab.vid with
+           | Some c -> Hashtbl.replace secret_classes c ()
+           | None -> ())
+       p.syms);
+  let ctx = { syms = p.syms; pt; secret_classes } in
+  let annotated = prog_has_secrets p in
+  let funcs = ref [] in
+  iter_funcs
+    (fun f ->
+      let sites = if annotated then check_func ctx f else [] in
+      let v =
+        if not annotated then Vunannotated
+        else if sites = [] then Vsafe
+        else Vleaks
+      in
+      funcs := { fr_name = f.fname; fr_verdict = v; fr_sites = sites }
+               :: !funcs)
+    p;
+  let funcs = List.rev !funcs in
+  let all = List.concat_map (fun fr -> fr.fr_sites) funcs in
+  let count t = List.length (List.filter (fun s -> s.r_tier = t) all) in
+  let verdict =
+    if not annotated then Vunannotated
+    else if all = [] then Vsafe
+    else Vleaks
+  in
+  { rp_verdict = verdict; rp_funcs = funcs;
+    rp_confirmed = count Confirmed; rp_plausible = count Plausible }

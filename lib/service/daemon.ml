@@ -130,7 +130,7 @@ let plan_of t ~unit_name ~mode ~rounds ~strength src =
       Spec_ssapre.Ssapre.default_config (Pipeline.mode_of_variant variant)
     in
     let key =
-      Pipeline.cache_key ~rounds ~strength ~config ~variant
+      Pipeline.cache_key ~rounds ~strength ~deopt:false ~config ~variant
         ~edge_profile:(prof <> None) ~profile_digest:digest src
     in
     Ok { p_variant = variant; p_prof = prof; p_digest = digest;

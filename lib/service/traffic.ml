@@ -76,8 +76,8 @@ let offline_key ~variant ~edge_profile ~profile_digest src =
   let config =
     Spec_ssapre.Ssapre.default_config (Pipeline.mode_of_variant variant)
   in
-  Pipeline.cache_key ~rounds ~strength ~config ~variant ~edge_profile
-    ~profile_digest src
+  Pipeline.cache_key ~rounds ~strength ~deopt:false ~config ~variant
+    ~edge_profile ~profile_digest src
 
 let offline_tbl : (string, offline) Hashtbl.t = Hashtbl.create 64
 

@@ -164,7 +164,8 @@ let propagate_block (st : stats) syms (b : Sir.bb) =
 
 (* ---- liveness-based dead code elimination ---- *)
 
-let dce_func (st : stats) (prog : Sir.prog) (f : Sir.func) =
+let dce_func ?(pin = fun _ -> false) (st : stats) (prog : Sir.prog)
+    (f : Sir.func) =
   let syms = prog.Sir.syms in
   Sir.recompute_preds f;
   let n = Sir.n_blocks f in
@@ -236,8 +237,8 @@ let dce_func (st : stats) (prog : Sir.prog) (f : Sir.func) =
         (fun (s : Sir.stmt) ->
           let keep =
             match s.Sir.kind, s.Sir.mark with
-            | Sir.Stid (v, rhs), Sir.Mnone when reg v && not (IS.mem v !live)
-              ->
+            | Sir.Stid (v, rhs), Sir.Mnone
+              when reg v && not (IS.mem v !live) && not (pin v) ->
               (* dead; safe to drop only if the RHS cannot fault *)
               let has_load = ref false in
               Sir.iter_subexprs
@@ -270,7 +271,7 @@ let dce_func (st : stats) (prog : Sir.prog) (f : Sir.func) =
     running the three iterations per function is equivalent to the
     whole-program [run] below (which interleaves functions per
     iteration). *)
-let run_func (prog : Sir.prog) (f : Sir.func) : stats =
+let run_func ?pin (prog : Sir.prog) (f : Sir.func) : stats =
   let st = { folded = 0; propagated = 0; removed = 0 } in
   let syms = prog.Sir.syms in
   for _pass = 1 to 3 do
@@ -283,7 +284,7 @@ let run_func (prog : Sir.prog) (f : Sir.func) : stats =
         b.Sir.term <- Sir.map_term_exprs (fold_expr st) b.Sir.term;
         propagate_block st syms b)
       f.Sir.fblocks;
-    dce_func st prog f
+    dce_func ?pin st prog f
   done;
   st
 

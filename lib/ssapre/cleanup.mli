@@ -13,8 +13,13 @@ type stats = {
 val run : Spec_ir.Sir.prog -> stats
 
 (** Per-function variant for the parallel pipeline; equivalent to [run]
-    restricted to one function (cleanup has no cross-function state). *)
-val run_func : Spec_ir.Sir.prog -> Spec_ir.Sir.func -> stats
+    restricted to one function (cleanup has no cross-function state).
+    [pin v] protects variable [v]'s assignments from dead-code
+    elimination — deoptimization descriptors transfer lowering-era
+    register state, so those variables must stay materialized even when
+    the optimized code no longer reads them. *)
+val run_func :
+  ?pin:(int -> bool) -> Spec_ir.Sir.prog -> Spec_ir.Sir.func -> stats
 
 (** Accumulate [b]'s counters into [a]. *)
 val add_stats : stats -> stats -> unit

@@ -635,7 +635,129 @@ int main() {
 |}
           p.size p.seed p.reps) }
 
-let all = [ art; ammp; equake; gzip; mcf; parser; twolf; vpr ]
+(* ------------------------------------------------------------------ *)
+(* cipher: table-based cipher round over a secret key (leaky)          *)
+(* ------------------------------------------------------------------ *)
+
+let cipher =
+  { name = "cipher";
+    description = "table-based cipher round: the sbox lookup at a \
+                   key-derived index is re-loaded across the in-place \
+                   state update, so speculation advances a \
+                   secret-addressed load (flagged by the safety checker)";
+    fp = false;
+    train = { size = 64; reps = 3; seed = 41 };
+    ref_ = { size = 512; reps = 6; seed = 97 };
+    source =
+      (fun p ->
+        sprintf
+          {|
+secret int key[16];
+int* tab[2];
+int SIZE;
+
+void init() {
+  SIZE = %d;
+  tab[0] = (int*)malloc(256 * 8);
+  tab[1] = (int*)malloc(SIZE * 8);
+  int* sbox; sbox = tab[0];
+  int* st; st = tab[1];
+  for (int i = 0; i < 256; i++) sbox[i] = rnd(256);
+  for (int i = 0; i < SIZE; i++) st[i] = rnd(256);
+  for (int i = 0; i < 16; i++) key[i] = rnd(256);
+}
+
+int round() {
+  int* sbox; sbox = tab[0];
+  int* st; st = tab[1];
+  int acc; acc = 0;
+  for (int i = 0; i < SIZE; i++) {
+    int k; k = key[i & 15];
+    int idx; idx = (st[i] + k) & 255;
+    int t; t = sbox[idx];
+    // st came from the same pointer table as sbox, so this in-place
+    // update may clobber the sbox as far as the compiler can prove;
+    // speculating the re-load below advances a secret-indexed load
+    st[i] = (st[i] + t) & 255;
+    acc = acc + sbox[idx] + t;
+  }
+  return acc;
+}
+
+int main() {
+  seed(%d);
+  init();
+  int total; total = 0;
+  for (int r = 0; r < %d; r++) total = total + round();
+  print_int(total);
+  return 0;
+}
+|}
+          p.size p.seed p.reps) }
+
+(* ------------------------------------------------------------------ *)
+(* ctsel: constant-time select over the same tables (safe)             *)
+(* ------------------------------------------------------------------ *)
+
+let ctsel =
+  { name = "ctsel";
+    description = "constant-time select: the secret key only ever feeds \
+                   bit-masks, every load and store address is public, so \
+                   the same speculation is flagged clean by the checker";
+    fp = false;
+    train = { size = 96; reps = 3; seed = 59 };
+    ref_ = { size = 768; reps = 5; seed = 131 };
+    source =
+      (fun p ->
+        sprintf
+          {|
+secret int key[16];
+int* tab[2];
+int SIZE;
+
+void init() {
+  SIZE = %d;
+  tab[0] = (int*)malloc(SIZE * 8);
+  tab[1] = (int*)malloc(SIZE * 8);
+  int* a; a = tab[0];
+  int* b; b = tab[1];
+  for (int i = 0; i < SIZE; i++) {
+    a[i] = rnd(1000);
+    b[i] = rnd(1000);
+  }
+  for (int i = 0; i < 16; i++) key[i] = rnd(2);
+}
+
+int blend() {
+  int* a; a = tab[0];
+  int* b; b = tab[1];
+  int acc; acc = 0;
+  for (int i = 0; i < SIZE; i++) {
+    int k; k = key[i & 15];
+    int mask; mask = 0 - (k & 1);
+    int x; x = a[i];
+    // maybe-aliasing sibling-table update at a public index: the a[i]
+    // re-load below is speculated exactly like cipher's sbox re-load,
+    // but its address never depends on the key
+    b[i] = (b[i] + x) & 1023;
+    int sel; sel = (a[i] & mask) | (b[i] & (mask ^ (0 - 1)));
+    acc = acc + sel;
+  }
+  return acc;
+}
+
+int main() {
+  seed(%d);
+  init();
+  int total; total = 0;
+  for (int r = 0; r < %d; r++) total = total + blend();
+  print_int(total);
+  return 0;
+}
+|}
+          p.size p.seed p.reps) }
+
+let all = [ art; ammp; equake; gzip; mcf; parser; twolf; vpr; cipher; ctsel ]
 
 let find name =
   match List.find_opt (fun w -> w.name = name) all with

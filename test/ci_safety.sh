@@ -1,0 +1,91 @@
+#!/bin/sh
+# @ci smoke for the speculative-safety subsystem: the checker must
+# CONFIRM the leaky cipher kernel (and --safety strict must fail its
+# compile), pass the constant-time kernel under strict, and deopt-based
+# recovery under forced ALAT flushes must agree across both interpreter
+# engines while actually exercising the deopt path.  Malformed
+# safety/recovery flag spellings must die with a non-zero exit and a
+# one-line usage hint, never compile anyway.
+set -eu
+
+speccc="$1"
+leaky="$2"
+ct="$3"
+
+work="$(mktemp -d -t speccc-safety-ci-XXXXXX)"
+trap 'rm -rf "$work"' EXIT
+
+# -- checker verdicts ------------------------------------------------
+
+"$speccc" stats --safety report "$leaky" > "$work/leaky.out" 2>&1 || {
+  echo "safety ci: report mode must not fail the compile" >&2
+  exit 1
+}
+grep -q "CONFIRMED spec-addr round:spec-addr:(sbox + (idx \* 8))#0" \
+  "$work/leaky.out" || {
+  echo "safety ci: leaky kernel missing the confirmed site:" >&2
+  cat "$work/leaky.out" >&2
+  exit 1
+}
+grep -q "safety: leaks" "$work/leaky.out" || {
+  echo "safety ci: leaky kernel not flagged as leaking" >&2
+  exit 1
+}
+
+if "$speccc" stats --safety strict "$leaky" > /dev/null 2>&1; then
+  echo "safety ci: strict mode accepted the leaky kernel" >&2
+  exit 1
+fi
+
+"$speccc" stats --safety strict "$ct" > "$work/ct.out" 2>&1 || {
+  echo "safety ci: strict mode rejected the constant-time kernel:" >&2
+  cat "$work/ct.out" >&2
+  exit 1
+}
+grep -q "safety: safe" "$work/ct.out" || {
+  echo "safety ci: constant-time kernel not flagged safe" >&2
+  exit 1
+}
+
+# -- deopt recovery under forced interference ------------------------
+
+# speccc itself hard-fails on any tree/vm divergence under --engine both
+"$speccc" run --mode heuristic --engine both --recover deopt \
+  --faults flush=16 "$leaky" > "$work/deopt.out" 2>&1 || {
+  echo "safety ci: deopt recovery run failed:" >&2
+  cat "$work/deopt.out" >&2
+  exit 1
+}
+grep -q "engine=tree .*deopts=[1-9]" "$work/deopt.out" || {
+  echo "safety ci: forced flushes never exercised the deopt path:" >&2
+  cat "$work/deopt.out" >&2
+  exit 1
+}
+
+# -- error paths must exit non-zero with a usage hint ----------------
+
+expect_fail() {
+  what="$1"; shift
+  if "$@" > "$work/err.out" 2>&1; then
+    echo "safety ci: $what exited zero" >&2
+    exit 1
+  fi
+  grep -qi "usage\|invalid value\|unknown option" "$work/err.out" || {
+    echo "safety ci: $what gave no usage hint:" >&2
+    cat "$work/err.out" >&2
+    exit 1
+  }
+}
+
+expect_fail "bad --safety spelling" \
+  "$speccc" stats --safety bogus "$leaky"
+expect_fail "bad --recover spelling" \
+  "$speccc" run --recover bogus "$leaky"
+expect_fail "unknown option" \
+  "$speccc" stats --frobnicate "$leaky"
+expect_fail "--recover deopt with --machine" \
+  "$speccc" run --machine --recover deopt "$leaky"
+expect_fail "--safety on a pre-optimization phase" \
+  "$speccc" dump --phase ast --safety report "$leaky"
+
+echo "safety ci ok"

@@ -1,0 +1,44 @@
+// @ci constant-time kernel: the same speculation shape as
+// safety_smoke.c (a re-load advanced across a maybe-aliasing sibling
+// store), but the secret key only ever feeds bit-masks — every address
+// is public, so the checker must pass it under --safety strict.
+secret int key[16];
+int* tab[2];
+int SIZE;
+
+void init() {
+  SIZE = 48;
+  tab[0] = (int*)malloc(SIZE * 8);
+  tab[1] = (int*)malloc(SIZE * 8);
+  int* a; a = tab[0];
+  int* b; b = tab[1];
+  for (int i = 0; i < SIZE; i++) {
+    a[i] = rnd(1000);
+    b[i] = rnd(1000);
+  }
+  for (int i = 0; i < 16; i++) key[i] = rnd(2);
+}
+
+int blend() {
+  int* a; a = tab[0];
+  int* b; b = tab[1];
+  int acc; acc = 0;
+  for (int i = 0; i < SIZE; i++) {
+    int k; k = key[i & 15];
+    int mask; mask = 0 - (k & 1);
+    int x; x = a[i];
+    b[i] = (b[i] + x) & 1023;
+    int sel; sel = (a[i] & mask) | (b[i] & (mask ^ (0 - 1)));
+    acc = acc + sel;
+  }
+  return acc;
+}
+
+int main() {
+  seed(13);
+  init();
+  int total; total = 0;
+  for (int r = 0; r < 3; r++) total = total + blend();
+  print_int(total);
+  return 0;
+}

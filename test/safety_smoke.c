@@ -1,0 +1,41 @@
+// @ci leaky kernel: a table-based cipher round whose sbox re-load is
+// speculated across a maybe-aliasing state update at a key-derived
+// index — the safety checker must CONFIRM a spec-addr site here, and
+// --safety strict must fail the compile.
+secret int key[16];
+int* tab[2];
+int SIZE;
+
+void init() {
+  SIZE = 32;
+  tab[0] = (int*)malloc(256 * 8);
+  tab[1] = (int*)malloc(SIZE * 8);
+  int* sbox; sbox = tab[0];
+  int* st; st = tab[1];
+  for (int i = 0; i < 256; i++) sbox[i] = rnd(256);
+  for (int i = 0; i < SIZE; i++) st[i] = rnd(256);
+  for (int i = 0; i < 16; i++) key[i] = rnd(256);
+}
+
+int round() {
+  int* sbox; sbox = tab[0];
+  int* st; st = tab[1];
+  int acc; acc = 0;
+  for (int i = 0; i < SIZE; i++) {
+    int k; k = key[i & 15];
+    int idx; idx = (st[i] + k) & 255;
+    int t; t = sbox[idx];
+    st[i] = (st[i] + t) & 255;
+    acc = acc + sbox[idx] + t;
+  }
+  return acc;
+}
+
+int main() {
+  seed(7);
+  init();
+  int total; total = 0;
+  for (int r = 0; r < 3; r++) total = total + round();
+  print_int(total);
+  return 0;
+}

@@ -162,6 +162,16 @@ let machine_goldens = [
   ("vpr", "profile", (125157, 151138, 36010, 10773, 750, 0, 3000, 0, 6256, 17273, 0, 86, 0));
   ("vpr", "heuristic", (125157, 151138, 36010, 10773, 750, 0, 3000, 0, 6256, 17273, 0, 86, 0));
   ("vpr", "aggressive", (119157, 148138, 36010, 10773, 750, 0, 0, 0, 6256, 17273, 0, 85, 0));
+  ("cipher", "noopt", (11766, 8696, 1481, 1229, 0, 0, 0, 0, 531, 1607, 0, 62, 0));
+  ("cipher", "base", (9549, 7326, 1153, 780, 0, 0, 0, 0, 531, 1607, 0, 50, 0));
+  ("cipher", "profile", (9741, 6942, 769, 396, 192, 0, 192, 0, 531, 1607, 0, 50, 0));
+  ("cipher", "heuristic", (9741, 6942, 769, 396, 192, 0, 192, 0, 531, 1607, 0, 50, 0));
+  ("cipher", "aggressive", (8973, 6750, 769, 396, 192, 0, 0, 0, 531, 1607, 0, 50, 0));
+  ("ctsel", "noopt", (15859, 10134, 1066, 1838, 0, 0, 0, 0, 499, 1221, 0, 62, 0));
+  ("ctsel", "base", (11976, 7802, 577, 1452, 0, 0, 0, 0, 499, 1221, 0, 50, 0));
+  ("ctsel", "profile", (11976, 7802, 577, 876, 288, 0, 288, 0, 499, 1221, 0, 49, 0));
+  ("ctsel", "heuristic", (11976, 7802, 577, 876, 288, 0, 288, 0, 499, 1221, 0, 49, 0));
+  ("ctsel", "aggressive", (11400, 7514, 577, 876, 288, 0, 0, 0, 499, 1221, 0, 48, 0));
 ]
 
 let tuple_to_list (a, b, c, d, e, f, g, h, i, j, k, l, m) =
@@ -286,7 +296,7 @@ let vm_cache_corrupt_section () =
      let ic = open_in_bin path in
      let blob = really_input_string ic (in_channel_length ic) in
      close_in ic;
-     let mangled = replace ~sub:"specvm/1" ~by:"specvm/9" blob in
+     let mangled = replace ~sub:"specvm/2" ~by:"specvm/9" blob in
      Alcotest.(check bool) "mangle changed the artifact" false
        (mangled = blob);
      let oc = open_out_bin path in

@@ -295,6 +295,105 @@ let test_sir_io_roundtrip () =
       (interp_output back);
     check_str "write is a fixpoint" text (Sir_io.write back)
 
+(* ---- specsir/2: safety metadata (contracts + deopt descriptors) ---- *)
+
+let cipher_src =
+  Spec_workloads.Workloads.train_source
+    (List.find
+       (fun w -> w.Spec_workloads.Workloads.name = "cipher")
+       Spec_workloads.Workloads.all)
+
+let n_secret (p : Sir.prog) =
+  let n = ref 0 in
+  Symtab.iter (fun v -> if v.Symtab.vsecret then incr n) p.Sir.syms;
+  !n
+
+let test_sir_io_safety_roundtrip () =
+  (* secret contract bits and deopt descriptors are compile inputs for
+     the safety subsystem: a cache hit losing either would silently
+     change verdicts or recovery, so the round trip must keep both *)
+  let r =
+    Pipeline.compile_and_optimize ~deopt:true cipher_src
+      Pipeline.Spec_heuristic
+  in
+  let text = Sir_io.write r.Pipeline.prog in
+  match Sir_io.read text with
+  | Error e -> Alcotest.fail ("sir_io read failed: " ^ e)
+  | Ok back ->
+    check_bool "program carries secrets" true (n_secret r.Pipeline.prog > 0);
+    check_int "secret bits preserved"
+      (n_secret r.Pipeline.prog) (n_secret back);
+    check_bool "program carries descriptors" true
+      (Spec_safety.Deopt.count r.Pipeline.prog > 0);
+    check_int "deopt descriptors preserved"
+      (Spec_safety.Deopt.count r.Pipeline.prog)
+      (Spec_safety.Deopt.count back);
+    check_str "checker report identical on both sides"
+      (Spec_safety.Spectct.to_string (Spec_safety.Taint.check r.Pipeline.prog))
+      (Spec_safety.Spectct.to_string (Spec_safety.Taint.check back));
+    check_str "write is a fixpoint" text (Sir_io.write back)
+
+(* drop the [i]th whitespace token of [line]; safety metadata occupies
+   fixed early fields, ahead of any quoted token, so this is exact *)
+let drop_tok i line =
+  String.split_on_char ' ' line
+  |> List.filteri (fun j _ -> j <> i)
+  |> String.concat " "
+
+let test_sir_io_v1_degrades () =
+  (* rebuild a [specsir/1] document from a /2 one: drop the version
+     bump, every per-variable secret bit (token 7 of each [v] line) and
+     every statement's deopt token (token 4, "-" on a no-deopt compile).
+     Old artifacts must still load, as all-public and descriptor-free *)
+  let r = Pipeline.compile_and_optimize cipher_src Pipeline.Base in
+  check_bool "v2 program carries secrets" true (n_secret r.Pipeline.prog > 0);
+  let v1 =
+    Sir_io.write r.Pipeline.prog
+    |> String.split_on_char '\n'
+    |> List.map (fun line ->
+           if line = "specsir/2" then "specsir/1"
+           else if String.length line > 2 && String.sub line 0 2 = "v " then
+             drop_tok 7 line
+           else if String.length line > 5 && String.sub line 0 5 = "stmt "
+           then drop_tok 4 line
+           else line)
+    |> String.concat "\n"
+  in
+  match Sir_io.read v1 with
+  | Error e -> Alcotest.fail ("specsir/1 read failed: " ^ e)
+  | Ok back ->
+    check_int "every variable degrades to public" 0 (n_secret back);
+    check_int "no descriptors" 0 (Spec_safety.Deopt.count back);
+    check_str "checker refuses to claim anything" "unannotated"
+      (Spec_safety.Taint.verdict_str
+         (Spec_safety.Taint.check back).Spec_safety.Taint.rp_verdict);
+    check_str "degraded program still runs identically"
+      (interp_output r.Pipeline.prog) (interp_output back)
+
+let test_sir_io_rejects_drift () =
+  let r = Pipeline.compile_and_optimize ~deopt:true cipher_src Pipeline.Base in
+  let text = Sir_io.write r.Pipeline.prog in
+  (* replace the first occurrence: enough to corrupt a header *)
+  let sub ~sub:s ~by t =
+    let ls = String.length s and lt = String.length t in
+    let rec find i =
+      if i > lt - ls then t
+      else if String.sub t i ls = s then
+        String.sub t 0 i ^ by ^ String.sub t (i + ls) (lt - i - ls)
+      else find (i + 1)
+    in
+    find 0
+  in
+  List.iter
+    (fun (what, bad) ->
+      match Sir_io.read bad with
+      | Ok _ -> Alcotest.failf "serializer drift accepted: %s" what
+      | Error _ -> ())
+    [ "unknown version tag", sub ~sub:"specsir/2" ~by:"specsir/9" text;
+      "mangled section header", sub ~sub:"\nvars " ~by:"\nvarz " text;
+      "mangled statement header", sub ~sub:"\nstmt " ~by:"\nstm " text;
+      "truncated document", String.sub text 0 (String.length text - 4) ]
+
 let test_artifact_roundtrip () =
   let r = Pipeline.compile_and_optimize base_src Pipeline.Base in
   let blob = Pipeline.write_artifact r in
@@ -463,6 +562,12 @@ let suite =
     Alcotest.test_case "merged profile, same decisions" `Quick
       test_merge_same_decisions;
     Alcotest.test_case "sir_io round trip" `Quick test_sir_io_roundtrip;
+    Alcotest.test_case "sir_io safety metadata round trip" `Quick
+      test_sir_io_safety_roundtrip;
+    Alcotest.test_case "sir_io reads specsir/1 all-public" `Quick
+      test_sir_io_v1_degrades;
+    Alcotest.test_case "sir_io rejects drift" `Quick
+      test_sir_io_rejects_drift;
     Alcotest.test_case "artifact round trip" `Quick test_artifact_roundtrip;
     Alcotest.test_case "cache blob store" `Quick test_cache_blob_store;
     Alcotest.test_case "cache eviction" `Quick test_cache_eviction;

@@ -289,6 +289,88 @@ let prop_engine_differential =
           List.for_all (engines_agree r name) fault_plans)
         (variants_of src))
 
+(* ---- deoptimization-recovery differential ---- *)
+
+(* with [~recover], a missed check deoptimizes into the unoptimized body
+   instead of re-running the load: under flush/invalidate/capacity fault
+   plans both engines must still reproduce the unoptimized oracle
+   bit-for-bit and agree with each other on every counter (the vm's
+   step refund included) *)
+let deopt_fault_plans =
+  [ "flush=16"; "inv=200000"; "alat=2"; "flush=16,inv=100000" ]
+
+let deopt_engines_agree r dplan expected name plan_spec =
+  let plan =
+    match Spec_stress.Faults.parse ~seed:11 plan_spec with
+    | Ok p -> p
+    | Error m -> failwith m
+  in
+  let inj () =
+    Spec_stress.Faults.injector_opt plan
+      ~scope:[ "fuzz-deopt"; name; plan_spec ]
+  in
+  let tree =
+    Spec_prof.Interp.run ?faults:(inj ()) ~recover:dplan r.Pipeline.prog
+  in
+  let vm =
+    Spec_prof.Vm.run ?faults:(inj ()) ~recover:dplan r.Pipeline.prog
+  in
+  let ok =
+    tree.Spec_prof.Interp.output = expected
+    && vm.Spec_prof.Interp.output = expected
+    && vm.Spec_prof.Interp.ret = tree.Spec_prof.Interp.ret
+    && vm.Spec_prof.Interp.counters = tree.Spec_prof.Interp.counters
+  in
+  (ok, tree.Spec_prof.Interp.counters.Spec_prof.Interp.deopts)
+
+let prop_deopt_recovery =
+  QCheck.Test.make ~count:15
+    ~name:"deopt recovery differential (tree/vm, faulted)"
+    (QCheck.make ~print:Fun.id
+       QCheck.Gen.(oneof [ gen_program; gen_control; gen_recursive ]))
+    (fun src ->
+      let expected =
+        (Spec_prof.Interp_ref.run (Lower.compile src))
+          .Spec_prof.Interp_ref.output
+      in
+      let dplan = Spec_safety.Deopt.make_plan (Lower.compile src) in
+      List.for_all
+        (fun (name, variant, prof) ->
+          let r =
+            Pipeline.compile_and_optimize ~edge_profile:(Some prof)
+              ~deopt:true src variant
+          in
+          List.for_all
+            (fun plan -> fst (deopt_engines_agree r dplan expected name plan))
+            deopt_fault_plans)
+        (variants_of src))
+
+let test_deopt_forced_faults () =
+  (* deterministic leg with a kernel whose descriptors are known to
+     survive the pipeline: forced periodic flushes must actually drive
+     the deopt path, not just fall back to reloads *)
+  let src =
+    Spec_workloads.Workloads.train_source
+      (List.find
+         (fun w -> w.Spec_workloads.Workloads.name = "cipher")
+         Spec_workloads.Workloads.all)
+  in
+  let expected =
+    (Spec_prof.Interp_ref.run (Lower.compile src)).Spec_prof.Interp_ref.output
+  in
+  let dplan = Spec_safety.Deopt.make_plan (Lower.compile src) in
+  let r =
+    Pipeline.compile_and_optimize ~deopt:true src Pipeline.Spec_heuristic
+  in
+  let total = ref 0 in
+  List.iter
+    (fun plan ->
+      let ok, deopts = deopt_engines_agree r dplan expected "cipher" plan in
+      check_bool (plan ^ " engines agree on the oracle output") true ok;
+      total := !total + deopts)
+    deopt_fault_plans;
+  check_bool "forced faults exercised the deopt path" true (!total > 0)
+
 let test_fuzz_smoke () =
   (* one deterministic instance of each generator, as a fast smoke test *)
   let pick g = QCheck.Gen.generate1 ~rand:(Random.State.make [| 42 |]) g in
@@ -313,4 +395,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_whole_stack;
     QCheck_alcotest.to_alcotest prop_control_shapes;
     QCheck_alcotest.to_alcotest prop_recursive;
-    QCheck_alcotest.to_alcotest prop_engine_differential ]
+    QCheck_alcotest.to_alcotest prop_engine_differential;
+    Alcotest.test_case "deopt recovery under forced faults" `Quick
+      test_deopt_forced_faults;
+    QCheck_alcotest.to_alcotest prop_deopt_recovery ]

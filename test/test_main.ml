@@ -21,6 +21,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("engines", Test_engines.suite);
       ("stress", Test_stress.suite);
+      ("safety", Test_safety.suite);
       ("fdo", Test_fdo.suite);
       ("backends", Test_backends.suite);
       ("service", Test_service.suite) ]

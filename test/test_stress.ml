@@ -1,7 +1,7 @@
 (* Tests for the misspeculation stress layer: the splittable RNG, fault
    plans and injectors, ALAT interference, the stress sweep's
    correctness/determinism/degradation guarantees, and the pinned
-   [specpre-bench/5] JSON schema (golden check on the committed
+   [specpre-bench/6] JSON schema (golden check on the committed
    baselines and on a freshly emitted dump). *)
 
 open Spec_driver
@@ -264,7 +264,7 @@ let replace ~sub ~by s =
 
 let test_bench_json_schema_committed () =
   (* golden check: every committed BENCH_<date>.json baseline must parse
-     and validate against the pinned specpre-bench/5 schema *)
+     and validate against the pinned specpre-bench/6 schema *)
   let dir = ".." in
   let baselines =
     Sys.readdir dir |> Array.to_list
@@ -295,12 +295,24 @@ let mini_mdp_cells =
       md_policy = Spec_machine.Machine.Mdp_store_set; md_cycles = 90;
       md_insns = 200; md_replays = 1 } ]
 
+let mini_safety_cells =
+  [ { Experiments.sf_wname = "cipher"; sf_variant = "heuristic";
+      sf_verdict = "leaks"; sf_confirmed = 1; sf_plausible = 0;
+      sf_sites = [ "CONFIRMED spec-addr round:spec-addr:(sbox + (idx * 8))#0" ];
+      sf_checks = 480; sf_reloads = 12; sf_reload_steps = 9000;
+      sf_deopts = 3; sf_deopt_steps = 7000 };
+    { Experiments.sf_wname = "ctsel"; sf_variant = "profile";
+      sf_verdict = "safe"; sf_confirmed = 0; sf_plausible = 0;
+      sf_sites = []; sf_checks = 288; sf_reloads = 0; sf_reload_steps = 5000;
+      sf_deopts = 0; sf_deopt_steps = 5000 } ]
+
 let fresh_dump () =
   Bench_json.dump ~date:"2026-08-07" ~inputs:"train" ~jobs:1
     ~harness_wall_s:0.123
     ~engines:(Bench_json.engines_json mini_engine_cells)
     ~mdp:(Bench_json.mdp_json mini_mdp_cells)
     ~stress:(Bench_json.stress_json ~seed:1 (Lazy.force mini_sweep))
+    ~safety:(Bench_json.safety_json ~seed:1 mini_safety_cells)
     []
 
 let test_bench_json_schema_stress_section () =
@@ -318,11 +330,19 @@ let test_bench_json_rejects_drift () =
     [ "renamed stress counter",
       replace ~sub:"\"check_misses\"" ~by:"\"cheks\"" dump;
       "unknown schema tag",
-      replace ~sub:"specpre-bench/5" ~by:"specpre-bench/9" dump;
+      replace ~sub:"specpre-bench/6" ~by:"specpre-bench/9" dump;
+      "pre-safety schema tag",
+      replace ~sub:"specpre-bench/6" ~by:"specpre-bench/5" dump;
       "pre-engine schema tag",
-      replace ~sub:"specpre-bench/5" ~by:"specpre-bench/3" dump;
+      replace ~sub:"specpre-bench/6" ~by:"specpre-bench/3" dump;
       "pre-backend schema tag",
-      replace ~sub:"specpre-bench/5" ~by:"specpre-bench/2" dump;
+      replace ~sub:"specpre-bench/6" ~by:"specpre-bench/2" dump;
+      "unknown safety verdict",
+      replace ~sub:"\"verdict\":\"leaks\"" ~by:"\"verdict\":\"spooky\"" dump;
+      "renamed safety counter",
+      replace ~sub:"\"deopt_steps\"" ~by:"\"deopt_step\"" dump;
+      "int where site string expected",
+      replace ~sub:"\"sites\":[]" ~by:"\"sites\":[7]" dump;
       "missing backend dimension",
       replace ~sub:"\"backend\":\"inorder\"," ~by:"" dump;
       "unknown backend name",
