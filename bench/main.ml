@@ -78,6 +78,7 @@ let stress_seed = ref 1
 let fdo = ref false
 let compile_bench = ref false
 let traffic = ref false
+let svc_shards = ref 1
 let backends : Machine.backend list ref = ref [ Machine.Inorder ]
 let engines : Experiments.engine list ref = ref [ Experiments.Etree ]
 
@@ -609,22 +610,60 @@ let traffic_cell () =
     traffic_cell_tbl := Some cell;
     cell
 
+(** Memoized sharded replay ([--shards n], n > 1): the same seeded
+    request stream against an n-wide key-routed topology, still
+    byte-diffed per request against the in-process offline arm. *)
+let shards_cell_tbl : Spec_service.Traffic.cell option ref = ref None
+
+let shards_cell () =
+  match !shards_cell_tbl with
+  | Some cell -> cell
+  | None ->
+    let cell =
+      Spec_service.Traffic.run_traffic_replay ~quick:!quick ~seed:1
+        ~shards:!svc_shards ()
+    in
+    shards_cell_tbl := Some cell;
+    cell
+
 let table_traffic () =
   section
     "Compile service: deterministic traffic replay over a unix socket";
   let c = traffic_cell () in
   let open Spec_service.Traffic in
   Printf.printf
-    "requests | units | cold | warm | joined | reports | recompiles\n";
-  Printf.printf "%8d | %5d | %4d | %4d | %6d | %7d | %10d\n" c.t_requests
-    c.t_units c.t_cold c.t_warm c.t_joined c.t_reports c.t_recompiles;
+    "requests | units | cold | warm | joined | parked | reports | recompiles\n";
+  Printf.printf "%8d | %5d | %4d | %4d | %6d | %6d | %7d | %10d\n"
+    c.t_requests c.t_units c.t_cold c.t_warm c.t_joined c.t_parked
+    c.t_reports c.t_recompiles;
   Printf.printf
     "latency p50 %.3f ms  p99 %.3f ms  throughput %.1f req/s  \
      (%.2f s replay, seed %d)\n"
     c.t_p50_ms c.t_p99_ms c.t_rps c.t_wall_s c.t_seed;
   Printf.printf
     "(every daemon-served compile was byte-identical to a direct \
-     in-process compile)\n"
+     in-process compile)\n";
+  if !svc_shards > 1 then begin
+    section
+      (Printf.sprintf
+         "Compile service: same replay against %d key-routed shards"
+         !svc_shards);
+    let c = shards_cell () in
+    Printf.printf
+      "shard | requests | cold | warm | joined | parked | reports | \
+       recompiles | p50 ms | p99 ms\n";
+    List.iter
+      (fun s ->
+        Printf.printf
+          "%5d | %8d | %4d | %4d | %6d | %6d | %7d | %10d | %6.3f | %6.3f\n"
+          s.s_shard s.s_requests s.s_cold s.s_warm s.s_joined s.s_parked
+          s.s_reports s.s_recompiles s.s_p50_ms s.s_p99_ms)
+      c.t_per_shard;
+    Printf.printf
+      "aggregate: p50 %.3f ms  p99 %.3f ms  throughput %.1f req/s  \
+       (%.2f s replay, 0 divergences from the unsharded oracle)\n"
+      c.t_p50_ms c.t_p99_ms c.t_rps c.t_wall_s
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable bench dump (--json)                                *)
@@ -690,6 +729,11 @@ let json_dump () =
       Some (Spec_service.Traffic.to_json (traffic_cell ()))
     else None
   in
+  let shards_blob =
+    if (!traffic || List.mem "traffic" !tables) && !svc_shards > 1 then
+      Some (Spec_service.Traffic.shards_to_json (shards_cell ()))
+    else None
+  in
   let wall = Unix.gettimeofday () -. t0 in
   let out =
     Bench_json.dump ~date:(date_string ())
@@ -700,7 +744,8 @@ let json_dump () =
       ?pre_pr2_quick_wall_s:(if !quick then Some 13.194 else None)
       ?backends:backends_blob ?engines:engines_blob ?mdp:mdp_blob
       ?stress:stress_blob ?fdo:fdo_blob
-      ?compile:compile_blob ?safety:safety_blob ?service:service_blob blobs
+      ?compile:compile_blob ?safety:safety_blob ?service:service_blob
+      ?shards:shards_blob blobs
   in
   print_string out;
   match !json_file with
@@ -758,6 +803,13 @@ let () =
     | "--fdo" :: rest -> fdo := true; parse rest
     | "--compile-bench" :: rest -> compile_bench := true; parse rest
     | "--traffic" :: rest -> traffic := true; parse rest
+    | "--shards" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 -> svc_shards := n
+       | _ ->
+         Printf.eprintf "--shards expects a positive integer, got %s\n" n;
+         exit 2);
+      parse rest
     | "--stress-seed" :: n :: rest ->
       (match int_of_string_opt n with
        | Some n -> stress_seed := n

@@ -744,10 +744,22 @@ let serve_cmd =
     Arg.(value & flag
          & info [ "verbose" ] ~doc:"log every request to stderr")
   in
-  let action socket cache_dir max_entries decay drift verbose jobs =
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"run N daemon cores behind one router, each owning a \
+                   disjoint slice of the compile cache and profile \
+                   stores; requests route by cache-key / unit-digest \
+                   prefix, stats and shutdown fan out (default 1)")
+  in
+  let action socket cache_dir max_entries decay drift verbose shards jobs =
     set_jobs jobs;
     if decay < 0. || decay > 1. then begin
       Printf.eprintf "speccc: --decay must be in [0, 1]\n";
+      exit 2
+    end;
+    if shards < 1 then begin
+      Printf.eprintf "speccc: --shards must be at least 1\n";
       exit 2
     end;
     let cfg =
@@ -755,18 +767,20 @@ let serve_cmd =
         sv_max_entries = max_entries; sv_lambda = decay; sv_drift = drift;
         sv_verbose = verbose }
     in
-    Service.Daemon.serve cfg ~socket;
+    Service.Shard.serve ~shards cfg ~socket;
     0
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"run the compile service: answer compile requests from the \
              cache (cold misses run the pipeline on the domain pool, \
-             deduplicated single-flight per key), merge reported \
-             profiles online with decay, and recompile units in the \
-             background when their evidence drifts")
+             deduplicated through a single-flight registry that \
+             persists across wakeups), merge reported profiles online \
+             with decay, recompile units in the background when their \
+             evidence drifts, and with --shards N route requests \
+             across N cores each owning a disjoint cache/store slice")
     Term.(const action $ socket_arg $ cache_dir $ max_entries $ decay
-          $ drift $ verbose $ jobs_arg)
+          $ drift $ verbose $ shards $ jobs_arg)
 
 let client_rpc socket req =
   match Service.Client.with_client socket (fun c -> Service.Client.rpc c req) with
@@ -820,7 +834,8 @@ let client_compile_cmd =
          (match r.Service.Proto.cr_served with
           | Service.Proto.Cold -> "cold"
           | Service.Proto.Warm -> "warm"
-          | Service.Proto.Joined -> "joined")
+          | Service.Proto.Joined -> "joined"
+          | Service.Proto.Parked -> "parked")
          r.Service.Proto.cr_key r.Service.Proto.cr_digest
          (float_of_int r.Service.Proto.cr_match_ppm /. 1e6);
        if exec then print_string r.Service.Proto.cr_output
@@ -833,7 +848,8 @@ let client_compile_cmd =
     (Cmd.info "compile"
        ~doc:"request a compile from the daemon; prints the optimized \
              program (or, with --exec, its vm output) on stdout and the \
-             served status (cold/warm/joined + cache key) on stderr")
+             served status (cold/warm/joined/parked + cache key) on \
+             stderr")
     Term.(const action $ socket_arg $ src_arg $ unit_arg $ mode_arg
           $ exec_arg $ rounds_arg)
 
@@ -886,7 +902,9 @@ let client_stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"print the daemon's request/cache/FDO counters")
+       ~doc:"print the service's request/cache/FDO counters: the shard \
+             count, the aggregate under plain names, then one \
+             shard<i>.<name> row per shard per counter")
     Term.(const action $ socket_arg)
 
 let client_shutdown_cmd =

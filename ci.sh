@@ -70,6 +70,15 @@ echo "== compile-service smoke (daemon + client + drift recompile) =="
 # artifact swap), stats, clean shutdown.
 sh test/ci_service.sh _build/default/bin/speccc.exe "$tmp"
 
+echo "== sharded-service smoke (serve --shards 2 + client storm) =="
+# Start a 2-shard topology and storm it: three concurrent same-key
+# clients must cost exactly one cold compile (cross-wakeup
+# single-flight), a mixed-key round must go cold then warm with
+# byte-identical programs, and the aggregated stats (shard count,
+# per-shard rows summing to the aggregate, zero errors) must be sane
+# through a clean shutdown.
+sh test/ci_shard.sh _build/default/bin/speccc.exe "$tmp"
+
 echo "== bench harness smoke (--quick --stress --jobs 2) =="
 # Runs every workload through every pipeline variant on a 2-domain pool,
 # plus the misspeculation stress grid; the harness aborts if any variant
@@ -103,5 +112,13 @@ echo "== traffic-replay smoke (--traffic --quick --jobs 2) =="
 # kept as an artifact.
 dune exec bench/main.exe -- --traffic --quick --jobs 2 --json \
   --json-file traffic-smoke.json > /dev/null
+
+echo "== sharded traffic-replay smoke (--traffic --shards 2 --quick) =="
+# The same replay against a 2-shard topology: requests route by
+# cache-key/unit prefix, the offline mirror still byte-checks every
+# answer (hard-fail on divergence), and the JSON artifact gains the
+# per-shard + aggregate "shards" section.
+dune exec bench/main.exe -- --traffic --shards 2 --quick --jobs 2 --json \
+  --json-file shard-smoke.json > /dev/null
 
 echo "== ci ok =="

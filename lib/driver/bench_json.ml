@@ -25,16 +25,26 @@
     hard-fails on any daemon-vs-offline mismatch), p50/p99 latency and
     throughput.
 
-    [specpre-bench/6] (this PR) adds the [safety] section: the
+    [specpre-bench/6] added the [safety] section: the
     speculative-taint checker's verdict per (workload, speculative
     variant) — confirmed/plausible counts and the stable site keys —
     plus the recovery-cost comparison (check misses recovered by
     reloading vs by deoptimizing, under one forced interference plan).
-    /5 and older dumps are rejected. *)
+
+    [specpre-bench/7] (this PR) adds the sharded compile service:
+    the [service] section gains the required [parked] counter
+    (cross-wakeup single-flight joins), and the optional [shards]
+    section records a key-routed multi-shard traffic replay
+    ([bench/main.exe --traffic --shards n]) — topology width,
+    aggregate latency/throughput, and one row per shard with its
+    request/served/FDO counters and latency percentiles.  [per_shard]
+    must hold exactly [shards] rows and [divergences] must be 0 (the
+    replay hard-fails if a sharded answer differs by one byte from
+    the unsharded oracle).  /6 and older dumps are rejected. *)
 
 open Spec_workloads
 
-let schema_tag = "specpre-bench/6"
+let schema_tag = "specpre-bench/7"
 
 (* ------------------------------------------------------------------ *)
 (* Emission                                                            *)
@@ -328,14 +338,14 @@ let safety_json ~seed (cells : Experiments.safety_cell list) =
 
 (** Assemble the top-level dump.  [workloads] are pre-rendered
     {!workload_json} blobs; [engines], [mdp], [stress], [fdo],
-    [compile] and [service] are pre-rendered section blobs — the first
-    five from the emitters above, [service] from
-    [Spec_service.Traffic.to_json] (the service library sits above
-    this one, so its emitter lives there; the validator below still
-    pins the section's shape).  [date] is supplied by the caller (the
-    library stays clock-free). *)
+    [compile], [service] and [shards] are pre-rendered section blobs —
+    the first five from the emitters above, [service] and [shards]
+    from [Spec_service.Traffic.to_json]/[shards_to_json] (the service
+    library sits above this one, so its emitters live there; the
+    validators below still pin the sections' shapes).  [date] is
+    supplied by the caller (the library stays clock-free). *)
 let dump ~date ~inputs ~jobs ~harness_wall_s ?pre_pr2_quick_wall_s ?backends
-    ?engines ?mdp ?stress ?fdo ?compile ?safety ?service
+    ?engines ?mdp ?stress ?fdo ?compile ?safety ?service ?shards
     (workloads : string list) =
   let buf = Buffer.create 65536 in
   Printf.bprintf buf
@@ -390,6 +400,11 @@ let dump ~date ~inputs ~jobs ~harness_wall_s ?pre_pr2_quick_wall_s ?backends
   (match service with
    | Some s ->
      Buffer.add_string buf ",\"service\":";
+     Buffer.add_string buf s
+   | None -> ());
+  (match shards with
+   | Some s ->
+     Buffer.add_string buf ",\"shards\":";
      Buffer.add_string buf s
    | None -> ());
   Buffer.add_string buf "}\n";
@@ -796,8 +811,8 @@ let validate_service v =
   let f = as_obj path "service" v in
   List.iter
     (fun name -> ignore (field path name `Int f))
-    [ "seed"; "requests"; "units"; "cold"; "warm"; "joined"; "reports";
-      "recompiles"; "errors"; "divergences" ];
+    [ "seed"; "requests"; "units"; "cold"; "warm"; "joined"; "parked";
+      "reports"; "recompiles"; "errors"; "divergences" ];
   List.iter
     (fun name -> ignore (field path name `Num f))
     [ "p50_ms"; "p99_ms"; "wall_s"; "throughput_rps" ];
@@ -809,12 +824,61 @@ let validate_service v =
           "service.divergences must be 0: the replay hard-fails on any \
            daemon-vs-offline divergence"))
 
-(** Validate a parsed dump against the [specpre-bench/6] schema.  The
-    [backends], [engines], [mdp], [stress], [fdo], [compile], [safety]
-    and [service] sections are optional (present only when the
-    corresponding sweep ran) but fully pinned when present.  Older
-    schema tags — including [specpre-bench/5], which lacked the
-    speculative-safety dimension — are rejected. *)
+(* One shard's row of the sharded traffic replay. *)
+let validate_shard_cell i v =
+  let path = [ Printf.sprintf "shards.per_shard[%d]" i ] in
+  let f = as_obj path "shard cell" v in
+  List.iter
+    (fun name -> ignore (field path name `Int f))
+    [ "shard"; "requests"; "cold"; "warm"; "joined"; "parked"; "reports";
+      "recompiles"; "cache_hit_ppm"; "drift_ppm_max" ];
+  List.iter
+    (fun name -> ignore (field path name `Num f))
+    [ "p50_ms"; "p99_ms" ];
+  match List.assoc_opt "shard" f with
+  | Some (Int s) when s = i -> ()
+  | _ ->
+    raise
+      (Invalid
+         (Printf.sprintf "shards.per_shard[%d].shard must be %d" i i))
+
+(* The sharded traffic replay ([--traffic --shards n]). *)
+let validate_shards v =
+  let path = [ "shards" ] in
+  let f = as_obj path "shards" v in
+  List.iter
+    (fun name -> ignore (field path name `Int f))
+    [ "seed"; "shards"; "requests"; "units"; "divergences" ];
+  List.iter
+    (fun name -> ignore (field path name `Num f))
+    [ "p50_ms"; "p99_ms"; "wall_s"; "throughput_rps" ];
+  (match List.assoc_opt "divergences" f with
+   | Some (Int 0) -> ()
+   | _ ->
+     raise
+       (Invalid
+          "shards.divergences must be 0: the sharded replay hard-fails on \
+           any byte-level divergence from the unsharded oracle"));
+  let n =
+    match List.assoc_opt "shards" f with
+    | Some (Int n) when n >= 1 -> n
+    | _ -> raise (Invalid "shards.shards must be a positive integer")
+  in
+  let rows = as_arr (field path "per_shard" `Arr f) in
+  if List.length rows <> n then
+    raise
+      (Invalid
+         (Printf.sprintf "shards.per_shard: expected %d rows, got %d" n
+            (List.length rows)));
+  List.iteri validate_shard_cell rows
+
+(** Validate a parsed dump against the [specpre-bench/7] schema.  The
+    [backends], [engines], [mdp], [stress], [fdo], [compile],
+    [safety], [service] and [shards] sections are optional (present
+    only when the corresponding sweep ran) but fully pinned when
+    present.  Older schema tags — including [specpre-bench/6], whose
+    [service] section lacked the [parked] counter and which had no
+    [shards] section — are rejected. *)
 let validate (v : json) : (unit, string) result =
   try
     let f = as_obj [] "bench dump" v in
@@ -881,6 +945,9 @@ let validate (v : json) : (unit, string) result =
     (match List.assoc_opt "service" f with
      | None -> ()
      | Some sv -> validate_service sv);
+    (match List.assoc_opt "shards" f with
+     | None -> ()
+     | Some sv -> validate_shards sv);
     Ok ()
   with Invalid msg -> Error msg
 

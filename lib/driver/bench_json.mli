@@ -1,15 +1,16 @@
-(** Machine-readable bench dump (schema [specpre-bench/6]): emission,
+(** Machine-readable bench dump (schema [specpre-bench/7]): emission,
     parsing, and validation.  See [bench/main.ml] for the harness side
     and [test/test_stress.ml] for the golden schema check.
 
-    /6 adds the [safety] section — the speculative-taint checker's
-    verdict per (workload, speculative variant), the stable site keys
-    it reported, and the reload-vs-deopt recovery-cost comparison under
-    one forced interference plan.  /5 dumps (which lacked the safety
-    dimension) no longer validate. *)
+    /7 adds the sharded compile service: the [service] section gains
+    the required [parked] counter (cross-wakeup single-flight joins)
+    and the optional [shards] section records a key-routed multi-shard
+    traffic replay — topology width, aggregate latency/throughput, and
+    one pinned row per shard.  /6 dumps (no [parked], no [shards])
+    no longer validate. *)
 
 (** The schema tag emitted and required by this build,
-    ["specpre-bench/6"]. *)
+    ["specpre-bench/7"]. *)
 val schema_tag : string
 
 (** {1 Emission} *)
@@ -73,7 +74,7 @@ val dump :
   ?pre_pr2_quick_wall_s:float -> ?backends:string -> ?engines:string ->
   ?mdp:string -> ?stress:string ->
   ?fdo:string -> ?compile:string -> ?safety:string -> ?service:string ->
-  string list -> string
+  ?shards:string -> string list -> string
 
 (** {1 Parsing} *)
 
@@ -90,11 +91,13 @@ val parse : string -> (json, string) result
 
 (** {1 Schema validation} *)
 
-(** Validate a parsed dump against the pinned [specpre-bench/6] shape:
+(** Validate a parsed dump against the pinned [specpre-bench/7] shape:
     every field name and type of the top level, workload entries,
     variant counters, metrics, pass reports, and (when present) the
-    [backends], [engines], [mdp], [stress], [fdo], [compile], [safety]
-    and [service] sections.  Older schema tags are rejected. *)
+    [backends], [engines], [mdp], [stress], [fdo], [compile],
+    [safety], [service] and [shards] sections ([shards.per_shard] must
+    hold exactly [shards.shards] rows).  Older schema tags are
+    rejected. *)
 val validate : json -> (unit, string) result
 
 (** Parse and validate in one step. *)

@@ -27,3 +27,17 @@ val store : t -> string -> string -> unit
 
 (** Number of artifacts currently on disk. *)
 val length : t -> int
+
+(** Stable key-prefix partition: which of [shards] slices owns a hex
+    key.  Deterministic across restarts (folds the leading hex digits;
+    never [Hashtbl.hash]), total over valid keys, and uniform enough
+    for MD5 keys.  The compile service routes cache-keyed requests with
+    this. *)
+val shard_of_key : shards:int -> string -> int
+
+(** [shard_dir dir i] is shard [i]'s slice of cache directory [dir]
+    ([dir/shard-<i>]); creates [dir] itself on demand so
+    [create (shard_dir dir i)] works on a fresh path.  Distinct shards
+    get disjoint directories, so their artifact sets are disjoint by
+    construction. *)
+val shard_dir : string -> int -> string

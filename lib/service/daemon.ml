@@ -1,7 +1,9 @@
-(* The compile service daemon: warm answers from the content-addressed
-   cache, single-flight cold compiles, and the online FDO loop
-   (report -> decayed merge -> drift -> background recompile + swap).
-   See daemon.mli for the architecture. *)
+(* The compile service daemon core: warm answers from the
+   content-addressed cache, a cross-wakeup single-flight registry for
+   cold compiles, and the online FDO loop (report -> decayed merge ->
+   drift -> background recompile + swap).  The core is a deterministic
+   state machine — no sockets; the socket router (including the
+   single-shard case) lives in shard.ml.  See daemon.mli. *)
 
 open Spec_driver
 module Store = Spec_fdo.Store
@@ -35,16 +37,61 @@ type unit_state = {
   mutable u_pending : bool;          (* queued for background recompile *)
 }
 
+(* ---- compile plans ---- *)
+
+type plan = {
+  p_variant : Pipeline.variant;
+  p_prof : Spec_prof.Profile.t option;   (* edge profile, profile mode only *)
+  p_digest : string option;
+  p_match_ppm : int;
+  p_key : string;
+}
+
+(* ---- the single-flight registry ---- *)
+
+(* A waiter's place in line: the creator runs the compile (and is
+   served cold or warm depending on the cache); everyone else rides
+   it — joined when they arrived in the same wakeup as the creator,
+   parked when they arrived in a later one. *)
+type waiter_kind = Wcreator | Wjoined | Wparked
+
+type waiter = {
+  w_id : int;
+  w_kind : waiter_kind;
+  w_exec : bool;
+}
+
+(* One in-flight compile key.  Created at submission, completed by
+   {!complete_one}; persists across wakeups, so same-key requests from
+   any number of batches cost exactly one compile.  The plan (and, for
+   profile mode, the evidence snapshot it bound) is fixed at creation:
+   reports merged while the flight is pending do not retroactively
+   change what the waiters were promised. *)
+type flight = {
+  fl_plan : plan;                    (* p_key is the registry key *)
+  fl_unit : string;
+  fl_rounds : int;
+  fl_strength : bool;
+  fl_src : string;
+  fl_epoch : int;                    (* wakeup that created the flight *)
+  fl_snapshot : Store.t;             (* unit evidence bound by the plan *)
+  mutable fl_waiters : waiter list;  (* reversed; creator is last *)
+}
+
 type t = {
   cfg : config;
   tcache : Cache.t;
   units : (string, unit_state) Hashtbl.t;
+  inflight : (string, flight) Hashtbl.t;
+  flight_q : string Queue.t;         (* completion order = creation order *)
+  mutable epoch : int;               (* current wakeup *)
   mutable recompile_q : string list; (* reversed queue of unit names *)
   mutable t_stopped : bool;
   mutable c_requests : int;
   mutable c_cold : int;
   mutable c_warm : int;
   mutable c_joined : int;
+  mutable c_parked : int;
   mutable c_reports : int;
   mutable c_recompiles : int;
   mutable c_errors : int;
@@ -56,9 +103,12 @@ let create cfg =
   { cfg;
     tcache = Cache.create ?max_entries:cfg.sv_max_entries cfg.sv_cache_dir;
     units = Hashtbl.create 16;
+    inflight = Hashtbl.create 16;
+    flight_q = Queue.create ();
+    epoch = 0;
     recompile_q = [];
     t_stopped = false;
-    c_requests = 0; c_cold = 0; c_warm = 0; c_joined = 0;
+    c_requests = 0; c_cold = 0; c_warm = 0; c_joined = 0; c_parked = 0;
     c_reports = 0; c_recompiles = 0; c_errors = 0 }
 
 let stopped t = t.t_stopped
@@ -93,30 +143,36 @@ let counters t =
         match Store.validate u.u_store with Ok () -> n | Error _ -> n + 1)
       t.units 0
   in
+  let drift_ppm_max =
+    Hashtbl.fold
+      (fun _ u m ->
+        max m
+          (int_of_float
+             (Store.distance u.u_snapshot u.u_store *. 1_000_000. +. 0.5)))
+      t.units 0
+  in
+  let lookups = cs.Cache.hits + cs.Cache.misses in
+  let hit_ppm =
+    if lookups = 0 then 0 else cs.Cache.hits * 1_000_000 / lookups
+  in
   [ "requests", t.c_requests;
     "cold", t.c_cold;
     "warm", t.c_warm;
     "joined", t.c_joined;
+    "parked", t.c_parked;
     "reports", t.c_reports;
     "recompiles", t.c_recompiles;
     "errors", t.c_errors;
     "units", Hashtbl.length t.units;
+    "inflight", Hashtbl.length t.inflight;
     "cache_hits", cs.Cache.hits;
     "cache_misses", cs.Cache.misses;
     "cache_stores", cs.Cache.stores;
     "cache_evictions", cs.Cache.evictions;
+    "cache_hit_ppm", hit_ppm;
     "cache_length", Cache.length t.tcache;
+    "store_drift_ppm_max", drift_ppm_max;
     "store_invalid", invalid ]
-
-(* ---- compile plans ---- *)
-
-type plan = {
-  p_variant : Pipeline.variant;
-  p_prof : Spec_prof.Profile.t option;   (* edge profile, profile mode only *)
-  p_digest : string option;
-  p_match_ppm : int;
-  p_key : string;
-}
 
 let ppm_of_rate r = int_of_float (r *. 1_000_000. +. 0.5)
 
@@ -153,6 +209,45 @@ let plan_of t ~unit_name ~mode ~rounds ~strength src =
        Error (Printf.sprintf "frontend: %s" (Printexc.to_string e)))
   | m -> Error (Printf.sprintf "unknown mode %S" m)
 
+(* The routing key of a request, before any shard-local state is
+   consulted — what the shard router partitions on.  Non-profile
+   compile modes are pure functions of the request, so they route by
+   their full content-addressed cache key; profile compiles and
+   reports depend on (and mutate) the unit's accumulated store, so
+   they route by unit; stats and shutdown fan out. *)
+type route =
+  | Rkey of string
+  | Runit of string
+  | Rall
+
+let static_key ~mode ~rounds ~strength src =
+  let finish variant =
+    let config =
+      Spec_ssapre.Ssapre.default_config (Pipeline.mode_of_variant variant)
+    in
+    Some
+      (Pipeline.cache_key ~rounds ~strength ~deopt:false ~config ~variant
+         ~edge_profile:false ~profile_digest:None src)
+  in
+  match mode with
+  | "none" -> finish Pipeline.Noopt
+  | "base" -> finish Pipeline.Base
+  | "heuristic" -> finish Pipeline.Spec_heuristic
+  | "aggressive" -> finish Pipeline.Aggressive
+  | _ -> None
+
+let route_of (req : Proto.request) : route =
+  match req with
+  | Proto.Compile c ->
+    (match
+       static_key ~mode:c.Proto.cq_mode ~rounds:c.Proto.cq_rounds
+         ~strength:c.Proto.cq_strength c.Proto.cq_src
+     with
+     | Some key -> Rkey key
+     | None -> Runit c.Proto.cq_unit)
+  | Proto.Report_profile { rq_unit; _ } -> Runit rq_unit
+  | Proto.Stats | Proto.Shutdown -> Rall
+
 let run_compile t ~rounds ~strength ~(plan : plan) src =
   match plan.p_prof with
   | Some prof ->
@@ -172,61 +267,15 @@ let log t fmt =
   if t.cfg.sv_verbose then Printf.eprintf ("speccc-serve: " ^^ fmt ^^ "\n%!")
   else Printf.ifprintf stderr fmt
 
-(* ---- request dispatch ---- *)
+(* ---- request submission ---- *)
 
-let do_compile t memo (c : Proto.compile_req) =
-  match
-    plan_of t ~unit_name:c.Proto.cq_unit ~mode:c.Proto.cq_mode
-      ~rounds:c.Proto.cq_rounds ~strength:c.Proto.cq_strength c.Proto.cq_src
-  with
-  | Error m ->
-    t.c_errors <- t.c_errors + 1;
-    Proto.Error m
-  | Ok plan ->
-    let u = unit_state t c.Proto.cq_unit in
-    u.u_src <- Some c.Proto.cq_src;
-    u.u_rounds <- c.Proto.cq_rounds;
-    u.u_strength <- c.Proto.cq_strength;
-    let result, served =
-      match Hashtbl.find_opt memo plan.p_key with
-      | Some r ->
-        t.c_joined <- t.c_joined + 1;
-        (r, Proto.Joined)
-      | None ->
-        let r =
-          run_compile t ~rounds:c.Proto.cq_rounds
-            ~strength:c.Proto.cq_strength ~plan c.Proto.cq_src
-        in
-        Hashtbl.replace memo plan.p_key r;
-        if r.Pipeline.from_cache then begin
-          t.c_warm <- t.c_warm + 1;
-          (r, Proto.Warm)
-        end
-        else begin
-          t.c_cold <- t.c_cold + 1;
-          (r, Proto.Cold)
-        end
-    in
-    (* a profile-fed compile is the point the artifact catches up with
-       the accumulated evidence: reset the drift baseline *)
-    (match plan.p_variant with
-     | Pipeline.Spec_profile _ ->
-       u.u_current <- Some result;
-       u.u_snapshot <- u.u_store
-     | _ -> ());
-    log t "compile %s %s: %s key=%s" c.Proto.cq_unit c.Proto.cq_mode
-      (match served with
-       | Proto.Cold -> "cold"
-       | Proto.Warm -> "warm"
-       | Proto.Joined -> "joined")
-      plan.p_key;
-    Proto.Compiled
-      { Proto.cr_served = served;
-        cr_key = plan.p_key;
-        cr_digest = (match plan.p_digest with Some d -> d | None -> "-");
-        cr_match_ppm = plan.p_match_ppm;
-        cr_prog = Spec_ir.Pp.prog_to_string result.Pipeline.prog;
-        cr_output = (if c.Proto.cq_exec then vm_output result else "") }
+type submitted =
+  | Immediate of Proto.response
+  | Parked_on of string
+
+let begin_wakeup t = t.epoch <- t.epoch + 1
+
+let has_inflight t = not (Queue.is_empty t.flight_q)
 
 let do_report t ~unit_name ~weight store_text =
   if not (Float.is_finite weight) || weight < 0. then begin
@@ -259,12 +308,89 @@ let do_report t ~unit_name ~weight store_text =
           rr_drift = drift;
           rr_recompiled = recompile || u.u_pending }
 
-(* Drift-triggered background recompiles: run after every response of
-   the batch is computed, through the same cache (the new evidence
-   digest makes a new key, so this is the cold compile that future
-   warm requests for the unit's profile variant will hit).  The swap
-   of the unit's current artifact is a single mutation — requests
-   never observe a half-updated unit. *)
+(* Submit one request under the caller-chosen waiter [id].  Reports,
+   stats, shutdown and malformed compiles are answered immediately;
+   every well-formed compile goes through the single-flight registry:
+   the first request for a key creates the flight (and will be served
+   cold or warm when it completes), later ones ride it — [joined]
+   within the creating wakeup, [parked] across wakeups. *)
+let submit t ~id (req : Proto.request) : submitted =
+  t.c_requests <- t.c_requests + 1;
+  match req with
+  | Proto.Report_profile { rq_unit; rq_weight; rq_store } ->
+    Immediate (do_report t ~unit_name:rq_unit ~weight:rq_weight rq_store)
+  | Proto.Stats -> Immediate (Proto.Stats_reply (counters t))
+  | Proto.Shutdown ->
+    t.t_stopped <- true;
+    Immediate Proto.Bye
+  | Proto.Compile c -> (
+    match
+      plan_of t ~unit_name:c.Proto.cq_unit ~mode:c.Proto.cq_mode
+        ~rounds:c.Proto.cq_rounds ~strength:c.Proto.cq_strength
+        c.Proto.cq_src
+    with
+    | Error m ->
+      t.c_errors <- t.c_errors + 1;
+      Immediate (Proto.Error m)
+    | Ok plan ->
+      (* Only profile-mode compiles touch unit FDO state: stateless
+         modes route by cache key in the sharded topology, so letting
+         them record unit sources would scatter a unit's state across
+         key-routed cores and make [--shards n] diverge from
+         [--shards 1]. *)
+      let snapshot =
+        if c.Proto.cq_mode = "profile" then begin
+          let u = unit_state t c.Proto.cq_unit in
+          u.u_src <- Some c.Proto.cq_src;
+          u.u_rounds <- c.Proto.cq_rounds;
+          u.u_strength <- c.Proto.cq_strength;
+          u.u_store
+        end
+        else Store.empty
+      in
+      (match Hashtbl.find_opt t.inflight plan.p_key with
+       | Some fl ->
+         let kind =
+           if fl.fl_epoch = t.epoch then begin
+             t.c_joined <- t.c_joined + 1;
+             Wjoined
+           end
+           else begin
+             t.c_parked <- t.c_parked + 1;
+             Wparked
+           end
+         in
+         fl.fl_waiters <-
+           { w_id = id; w_kind = kind; w_exec = c.Proto.cq_exec }
+           :: fl.fl_waiters;
+         log t "compile %s %s: %s in-flight key=%s" c.Proto.cq_unit
+           c.Proto.cq_mode
+           (match kind with Wjoined -> "joined" | _ -> "parked")
+           plan.p_key;
+         Parked_on plan.p_key
+       | None ->
+         let fl =
+           { fl_plan = plan;
+             fl_unit = c.Proto.cq_unit;
+             fl_rounds = c.Proto.cq_rounds;
+             fl_strength = c.Proto.cq_strength;
+             fl_src = c.Proto.cq_src;
+             fl_epoch = t.epoch;
+             fl_snapshot = snapshot;
+             fl_waiters =
+               [ { w_id = id; w_kind = Wcreator; w_exec = c.Proto.cq_exec } ]
+           }
+         in
+         Hashtbl.add t.inflight plan.p_key fl;
+         Queue.add plan.p_key t.flight_q;
+         Parked_on plan.p_key))
+
+(* Drift-triggered background recompiles: run once the registry is
+   empty (after every waiter of the wakeup is answered), through the
+   same cache (the new evidence digest makes a new key, so this is the
+   cold compile that future warm requests for the unit's profile
+   variant will hit).  The swap of the unit's current artifact is a
+   single mutation — requests never observe a half-updated unit. *)
 let drain_recompiles t =
   let q = List.rev t.recompile_q in
   t.recompile_q <- [];
@@ -292,161 +418,96 @@ let drain_recompiles t =
              r.Pipeline.from_cache))
     q
 
-let dispatch t memo (req : Proto.request) : Proto.response =
-  t.c_requests <- t.c_requests + 1;
-  match req with
-  | Proto.Compile c -> do_compile t memo c
-  | Proto.Report_profile { rq_unit; rq_weight; rq_store } ->
-    do_report t ~unit_name:rq_unit ~weight:rq_weight rq_store
-  | Proto.Stats -> Proto.Stats_reply (counters t)
-  | Proto.Shutdown ->
-    t.t_stopped <- true;
-    Proto.Bye
+let quiesce t = if not (has_inflight t) then drain_recompiles t
 
+(* Land the oldest in-flight compile and answer all of its waiters, in
+   submission order.  The creator's tag records how the compile was
+   actually satisfied (cold pipeline run or warm cache hit); joiners
+   keep the joined/parked tag fixed at submission. *)
+let complete_one t : (int * Proto.response) list =
+  match Queue.take_opt t.flight_q with
+  | None -> []
+  | Some key ->
+    let fl =
+      match Hashtbl.find_opt t.inflight key with
+      | Some fl -> fl
+      | None -> assert false (* queue and registry are one-to-one *)
+    in
+    Hashtbl.remove t.inflight key;
+    let r =
+      run_compile t ~rounds:fl.fl_rounds ~strength:fl.fl_strength
+        ~plan:fl.fl_plan fl.fl_src
+    in
+    (* a profile-fed compile is the point the artifact catches up with
+       the evidence its plan bound: reset the drift baseline to the
+       snapshot fixed at submission *)
+    (match fl.fl_plan.p_variant with
+     | Pipeline.Spec_profile _ ->
+       let u = unit_state t fl.fl_unit in
+       u.u_current <- Some r;
+       u.u_snapshot <- fl.fl_snapshot
+     | _ -> ());
+    let creator_tag =
+      if r.Pipeline.from_cache then begin
+        t.c_warm <- t.c_warm + 1;
+        Proto.Warm
+      end
+      else begin
+        t.c_cold <- t.c_cold + 1;
+        Proto.Cold
+      end
+    in
+    log t "compile %s: %s key=%s waiters=%d" fl.fl_unit
+      (match creator_tag with Proto.Cold -> "cold" | _ -> "warm")
+      key
+      (List.length fl.fl_waiters);
+    let prog_text = Spec_ir.Pp.prog_to_string r.Pipeline.prog in
+    let out = lazy (vm_output r) in
+    let plan = fl.fl_plan in
+    List.rev_map
+      (fun w ->
+        let served =
+          match w.w_kind with
+          | Wcreator -> creator_tag
+          | Wjoined -> Proto.Joined
+          | Wparked -> Proto.Parked
+        in
+        ( w.w_id,
+          Proto.Compiled
+            { Proto.cr_served = served;
+              cr_key = plan.p_key;
+              cr_digest =
+                (match plan.p_digest with Some d -> d | None -> "-");
+              cr_match_ppm = plan.p_match_ppm;
+              cr_prog = prog_text;
+              cr_output = (if w.w_exec then Lazy.force out else "") } ))
+      fl.fl_waiters
+
+(* ---- the synchronous facade ---- *)
+
+(* One wakeup's worth of requests, fully drained: submit everything,
+   land every flight, run queued recompiles, and hand the responses
+   back in request order.  Same-key requests within the batch dedupe
+   as creator + joined; the parked tag only appears when wakeups are
+   interleaved by the caller (the socket router, or the registry
+   tests) via submit/complete_one directly. *)
 let handle_batch t reqs =
-  let memo = Hashtbl.create 7 in
-  let resps = List.map (dispatch t memo) reqs in
+  begin_wakeup t;
+  let n = List.length reqs in
+  let out = Array.make n None in
+  List.iteri
+    (fun i req ->
+      match submit t ~id:i req with
+      | Immediate resp -> out.(i) <- Some resp
+      | Parked_on _ -> ())
+    reqs;
+  while has_inflight t do
+    List.iter (fun (id, resp) -> out.(id) <- Some resp) (complete_one t)
+  done;
   drain_recompiles t;
-  resps
+  Array.to_list out
+  |> List.map (function
+       | Some resp -> resp
+       | None -> assert false (* every waiter was answered above *))
 
 let handle t req = List.hd (handle_batch t [ req ])
-
-(* ------------------------------------------------------------------ *)
-(* Socket server                                                       *)
-(* ------------------------------------------------------------------ *)
-
-type conn = {
-  cn_fd : Unix.file_descr;
-  cn_buf : Buffer.t;
-  mutable cn_open : bool;
-}
-
-let write_all fd s =
-  let n = String.length s in
-  let pos = ref 0 in
-  while !pos < n do
-    pos := !pos + Unix.write_substring fd s !pos (n - !pos)
-  done
-
-let send conn resp =
-  if conn.cn_open then
-    try write_all conn.cn_fd (Proto.encode_response resp ^ "\n")
-    with Unix.Unix_error _ ->
-      conn.cn_open <- false;
-      (try Unix.close conn.cn_fd with _ -> ())
-
-let close_conn conn =
-  if conn.cn_open then begin
-    conn.cn_open <- false;
-    try Unix.close conn.cn_fd with _ -> ()
-  end
-
-(* Pull every complete line out of a connection's buffer. *)
-let take_lines conn =
-  let s = Buffer.contents conn.cn_buf in
-  let rec go start acc =
-    match String.index_from_opt s start '\n' with
-    | Some i -> go (i + 1) (String.sub s start (i - start) :: acc)
-    | None ->
-      Buffer.clear conn.cn_buf;
-      Buffer.add_substring conn.cn_buf s start (String.length s - start);
-      List.rev acc
-  in
-  go 0 []
-
-let serve cfg ~socket =
-  let t = create cfg in
-  (* a peer closing mid-write must surface as EPIPE, not kill us *)
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-   with Invalid_argument _ -> ());
-  (try Unix.unlink socket with Unix.Unix_error _ -> ());
-  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind srv (Unix.ADDR_UNIX socket);
-  Unix.listen srv 64;
-  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
-  let chunk = Bytes.create 65536 in
-  log t "listening on %s (cache %s)" socket cfg.sv_cache_dir;
-  while not t.t_stopped do
-    let fds =
-      srv :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
-    in
-    match Unix.select fds [] [] 1.0 with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | readable, _, _ ->
-      (* accept *)
-      if List.mem srv readable then begin
-        match Unix.accept srv with
-        | fd, _ ->
-          Hashtbl.replace conns fd
-            { cn_fd = fd; cn_buf = Buffer.create 4096; cn_open = true }
-        | exception Unix.Unix_error _ -> ()
-      end;
-      (* read what arrived; 0 bytes = peer closed *)
-      let batch = ref [] in
-      List.iter
-        (fun fd ->
-          if fd <> srv then
-            match Hashtbl.find_opt conns fd with
-            | None -> ()
-            | Some conn -> (
-              match Unix.read fd chunk 0 (Bytes.length chunk) with
-              | 0 ->
-                close_conn conn;
-                Hashtbl.remove conns fd
-              | n ->
-                Buffer.add_subbytes conn.cn_buf chunk 0 n;
-                if Buffer.length conn.cn_buf > Proto.max_line then begin
-                  (* framing is unrecoverable: answer and drop *)
-                  t.c_errors <- t.c_errors + 1;
-                  send conn
-                    (Proto.Error
-                       (Printf.sprintf "request exceeds %d bytes"
-                          Proto.max_line));
-                  close_conn conn;
-                  Hashtbl.remove conns fd
-                end
-                else
-                  List.iter
-                    (fun line -> batch := (conn, line) :: !batch)
-                    (take_lines conn)
-              | exception Unix.Unix_error _ ->
-                close_conn conn;
-                Hashtbl.remove conns fd))
-        readable;
-      let batch = List.rev !batch in
-      (* decode; undecodable lines answered immediately with a
-         structured error, well-formed requests handled as one batch
-         (same-key concurrency dedupes single-flight) *)
-      let good =
-        List.filter_map
-          (fun (conn, line) ->
-            match Proto.decode_request line with
-            | Ok req -> Some (conn, req)
-            | Error m ->
-              t.c_requests <- t.c_requests + 1;
-              t.c_errors <- t.c_errors + 1;
-              send conn (Proto.Error m);
-              None)
-          batch
-      in
-      let resps = handle_batch t (List.map snd good) in
-      List.iter2 (fun (conn, _) resp -> send conn resp) good resps
-  done;
-  Hashtbl.iter (fun _ conn -> close_conn conn) conns;
-  (try Unix.close srv with _ -> ());
-  (try Unix.unlink socket with Unix.Unix_error _ -> ());
-  log t "stopped"
-
-type server = { s_thread : Thread.t; s_socket : string }
-
-let spawn cfg ~socket =
-  { s_thread = Thread.create (fun () -> serve cfg ~socket) ();
-    s_socket = socket }
-
-let stop s =
-  (match Client.connect s.s_socket with
-   | Ok c ->
-     (match Client.rpc c Proto.Shutdown with Ok _ | Error _ -> ());
-     Client.close c
-   | Error _ -> ());
-  Thread.join s.s_thread

@@ -1,6 +1,8 @@
-(** The compile service: a long-running daemon that serves optimized
-    programs out of the content-addressed compile cache and closes the
-    paper's FDO loop online.
+(** The compile service daemon core: a deterministic state machine
+    that serves optimized programs out of the content-addressed
+    compile cache and closes the paper's FDO loop online.  No sockets
+    here — the select-loop router (sharded, or [--shards 1]) lives in
+    {!Shard}.
 
     {2 Request handling}
 
@@ -9,10 +11,14 @@
     and otherwise run through {!Spec_driver.Pipeline.compile_and_optimize}
     (whose per-function portion fans out on the {!Spec_driver.Parpool}
     domain pool).  Requests for the same cache key are deduplicated
-    single-flight: within one scheduling batch exactly one compile
-    runs and every other requester joins its result; across batches
-    the cache itself serves repeats warm.  Either way, N concurrent
-    clients asking for one key cost one cold compile.
+    through a single-flight registry that {e persists across select
+    wakeups}: the first request for a key creates an in-flight entry,
+    later same-key requests park on it — tagged [joined] when they
+    arrive in the same wakeup as the creator, [parked] when they
+    arrive in a later one — and all are answered when the one compile
+    lands.  N clients asking for one key, across any number of
+    wakeups, cost exactly one cold compile; once a flight completes
+    the cache itself serves repeats warm.
 
     {2 The online FDO loop}
 
@@ -24,17 +30,10 @@
     {!Spec_fdo.Store.distance} between the accumulated store and the
     snapshot the unit's current artifact was compiled against crosses
     [drift_threshold], the daemon recompiles the unit in the
-    background (after the triggering response is sent) and atomically
-    swaps its current artifact.  Stale evidence is safe by
-    construction: {!Spec_fdo.Store.bind} drops unmatched sites, so a
-    report from an out-of-date source only forgoes speculation.
-
-    The deterministic core ({!create}/{!handle_batch}) is pure state
-    machine — no sockets — which is what the differential,
-    single-flight and online-FDO tests drive.  {!serve} wraps it in a
-    [Unix.select] loop on a unix-domain socket; {!spawn} runs that
-    loop on a background thread for tests and the traffic-replay
-    bench. *)
+    background (once the registry is quiet) and atomically swaps its
+    current artifact.  Stale evidence is safe by construction:
+    {!Spec_fdo.Store.bind} drops unmatched sites, so a report from an
+    out-of-date source only forgoes speculation. *)
 
 type config = {
   sv_cache_dir : string;        (** compile-cache directory *)
@@ -50,17 +49,85 @@ type t
 
 val create : config -> t
 
+(** {2 Synchronous facade}
+
+    One wakeup's worth of requests, fully drained. *)
+
 (** Handle one scheduling batch of requests; responses come back in
     request order.  Duplicate compile keys within the batch are
-    compiled once (single-flight); drift-triggered recompiles queued
-    by reports run after every response of the batch is computed. *)
+    compiled once (single-flight: one creator, the rest [joined]);
+    keys already in flight from an earlier {!begin_wakeup} are ridden
+    as [parked].  Drift-triggered recompiles queued by reports run
+    after every flight of the batch has landed. *)
 val handle_batch : t -> Proto.request list -> Proto.response list
 
 (** [handle_batch] of a singleton. *)
 val handle : t -> Proto.request -> Proto.response
 
-(** Monotonic counters: requests, cold, warm, joined, reports,
-    recompiles, errors, units, plus cache hit/miss/store/eviction and
+(** {2 Incremental interface}
+
+    What the socket router drives: submission and completion are
+    decoupled, so same-key requests arriving between completions —
+    i.e. in later select wakeups — park on the existing flight
+    instead of compiling again. *)
+
+(** Verdict of {!submit}: answered now, or parked on the in-flight
+    compile of the returned cache key. *)
+type submitted =
+  | Immediate of Proto.response
+  | Parked_on of string
+
+(** Start a new wakeup (epoch).  Compile submissions after this point
+    that join a flight created in an earlier wakeup are tagged
+    [parked] rather than [joined]. *)
+val begin_wakeup : t -> unit
+
+(** Submit one request under a caller-chosen waiter id (returned with
+    the response by {!complete_one}).  Reports, stats, shutdown and
+    malformed requests are answered immediately; well-formed compiles
+    always go through the registry. *)
+val submit : t -> id:int -> Proto.request -> submitted
+
+(** Whether any flight is pending. *)
+val has_inflight : t -> bool
+
+(** Land the oldest in-flight compile (creation order) and answer all
+    of its waiters, in submission order: [(id, response)] for every
+    waiter recorded by {!submit}.  [[]] when the registry is empty.
+    The creator's [served] tag is [cold] or [warm] by how the compile
+    was actually satisfied; joiners keep the [joined]/[parked] tag
+    fixed at submission. *)
+val complete_one : t -> (int * Proto.response) list
+
+(** Run queued drift-triggered recompiles, provided the registry is
+    empty (responses first, maintenance second). *)
+val quiesce : t -> unit
+
+(** {2 Routing}
+
+    How the shard router partitions requests — exposed from the core
+    so router and daemon can never disagree on key derivation. *)
+
+type route =
+  | Rkey of string   (** by content-addressed cache key (stateless modes) *)
+  | Runit of string  (** by compilation unit (profile compiles, reports) *)
+  | Rall             (** fan out to every shard (stats, shutdown) *)
+
+(** The cache key of a compile request whose mode is a pure function
+    of the request ([none]/[base]/[heuristic]/[aggressive]); [None]
+    for [profile] (whose key depends on the unit's accumulated
+    evidence) and unknown modes. *)
+val static_key :
+  mode:string -> rounds:int -> strength:bool -> string -> string option
+
+val route_of : Proto.request -> route
+
+(** {2 Introspection} *)
+
+(** Monotonic counters: requests, cold, warm, joined, parked, reports,
+    recompiles, errors, units, inflight, plus cache
+    hit/miss/store/eviction/hit-ppm/length, [store_drift_ppm_max] —
+    the worst per-unit drift from its compiled snapshot in ppm — and
     [store_invalid] — the number of unit stores failing
     {!Spec_fdo.Store.validate}, 0 on a healthy daemon. *)
 val counters : t -> (string * int) list
@@ -77,22 +144,3 @@ val current_artifact : t -> string -> Spec_driver.Pipeline.result option
 (** Accumulated per-unit profile stores (concurrency tests assert
     these stay [validate]-clean after mixed-key storms). *)
 val unit_stores : t -> (string * Spec_fdo.Store.t) list
-
-(** {2 Socket server} *)
-
-(** Serve on a unix-domain socket path until a [shutdown] request;
-    binds (replacing any stale socket file), then enters a select
-    loop.  All complete request lines available in one wakeup form one
-    [handle_batch] — concurrent same-key requests dedupe
-    single-flight.  Undecodable lines get structured error replies; a
-    connection whose buffered line exceeds {!Proto.max_line} is
-    answered with an error and closed. *)
-val serve : config -> socket:string -> unit
-
-type server
-
-(** Run {!serve} on a background thread (tests, traffic replay). *)
-val spawn : config -> socket:string -> server
-
-(** Request shutdown over the socket and join the server thread. *)
-val stop : server -> unit

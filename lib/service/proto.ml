@@ -3,7 +3,7 @@
 
 module Textio = Spec_fdo.Textio
 
-let version = "specsvc/1"
+let version = "specsvc/2"
 let max_line = 8 * 1024 * 1024
 
 type compile_req = {
@@ -25,7 +25,7 @@ type request =
   | Stats
   | Shutdown
 
-type served = Cold | Warm | Joined
+type served = Cold | Warm | Joined | Parked
 
 type compile_reply = {
   cr_served : served;
@@ -59,6 +59,7 @@ let served_name = function
   | Cold -> "cold"
   | Warm -> "warm"
   | Joined -> "joined"
+  | Parked -> "parked"
 
 let encode_request = function
   | Compile c ->
@@ -143,6 +144,7 @@ let decode_response line =
           | "cold" -> Cold
           | "warm" -> Warm
           | "joined" -> Joined
+          | "parked" -> Parked
           | t -> Textio.fail lx (Printf.sprintf "unknown served tag %S" t)
         in
         let cr_key = Textio.token lx in

@@ -1,4 +1,10 @@
-(** Wire protocol ([specsvc/1]) of the compile service.
+(** Wire protocol ([specsvc/2]) of the compile service.
+
+    [specsvc/2] added the [parked] served tag: a request that joined a
+    compile already in flight from an {e earlier} select wakeup (the
+    cross-wakeup single-flight registry), where [joined] means riding a
+    compile submitted in the same wakeup.  [specsvc/1] lines are
+    rejected like any other version mismatch.
 
     One request or response per line: space-separated tokens in the
     {!Spec_fdo.Textio} quoting discipline (quoted strings escape
@@ -42,7 +48,10 @@ type request =
 type served =
   | Cold                     (** ran the optimization pipeline *)
   | Warm                     (** answered from the compile cache *)
-  | Joined                   (** single-flight: rode another request's compile *)
+  | Joined                   (** single-flight: rode a compile submitted in
+                                 the same wakeup *)
+  | Parked                   (** single-flight: parked on a compile already
+                                 in flight from an earlier wakeup *)
 
 type compile_reply = {
   cr_served : served;

@@ -1,0 +1,307 @@
+(* The shard router: N daemon cores behind one select loop, each
+   owning a disjoint slice of the profile store and compile cache,
+   with requests routed by key prefix and stats/shutdown fanned out.
+   See shard.mli. *)
+
+module Store = Spec_fdo.Store
+module Cache = Spec_fdo.Cache
+
+type t = {
+  sh_cfg : Daemon.config;
+  sh_n : int;
+  sh_cores : Daemon.t array;
+  mutable sh_requests : int;   (* router-terminated: stats/shutdown/bad *)
+  mutable sh_errors : int;     (* undecodable lines *)
+  mutable sh_stopped : bool;
+}
+
+let create cfg ~shards =
+  if shards < 1 then invalid_arg "Shard.create: shards < 1";
+  let cores =
+    Array.init shards (fun i ->
+        (* one core keeps the flat layout so [--shards 1] is exactly
+           the old daemon on disk *)
+        let dir =
+          if shards = 1 then cfg.Daemon.sv_cache_dir
+          else Cache.shard_dir cfg.Daemon.sv_cache_dir i
+        in
+        Daemon.create { cfg with Daemon.sv_cache_dir = dir })
+  in
+  { sh_cfg = cfg; sh_n = shards; sh_cores = cores;
+    sh_requests = 0; sh_errors = 0; sh_stopped = false }
+
+let shards t = t.sh_n
+let core t i = t.sh_cores.(i)
+let stopped t = t.sh_stopped
+
+let log t fmt =
+  if t.sh_cfg.Daemon.sv_verbose then
+    Printf.eprintf ("speccc-serve: " ^^ fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+(* ---- routing ---- *)
+
+let shard_of t (req : Proto.request) : int option =
+  match Daemon.route_of req with
+  | Daemon.Rkey key -> Some (Cache.shard_of_key ~shards:t.sh_n key)
+  | Daemon.Runit u -> Some (Store.shard_of_unit ~shards:t.sh_n u)
+  | Daemon.Rall -> None
+
+(* ---- aggregated stats ---- *)
+
+(* Counters that sum across shards; [cache_hit_ppm] is re-derived from
+   the summed hit/miss totals and [store_drift_ppm_max] is a max, so
+   neither is summed. *)
+let agg_max = [ "store_drift_ppm_max" ]
+let agg_skip = [ "cache_hit_ppm" ]
+
+let counters t =
+  let per = Array.map Daemon.counters t.sh_cores in
+  let sum name = Array.fold_left (fun a kvs -> a + List.assoc name kvs) 0 per in
+  let maxv name =
+    Array.fold_left (fun a kvs -> max a (List.assoc name kvs)) 0 per
+  in
+  let hits = sum "cache_hits" and misses = sum "cache_misses" in
+  let hit_ppm =
+    if hits + misses = 0 then 0 else hits * 1_000_000 / (hits + misses)
+  in
+  let aggregate =
+    List.map
+      (fun (name, _) ->
+        if List.mem name agg_skip then (name, hit_ppm)
+        else if List.mem name agg_max then (name, maxv name)
+        else if name = "requests" then (name, sum name + t.sh_requests)
+        else if name = "errors" then (name, sum name + t.sh_errors)
+        else (name, sum name))
+      per.(0)
+  in
+  let per_shard =
+    Array.to_list per
+    |> List.mapi (fun i kvs ->
+           List.map (fun (k, v) -> (Printf.sprintf "shard%d.%s" i k, v)) kvs)
+    |> List.concat
+  in
+  (("shards", t.sh_n) :: aggregate) @ per_shard
+
+(* ---- deterministic facade (tests, differential sweeps) ---- *)
+
+let handle_batch t reqs =
+  Array.iter Daemon.begin_wakeup t.sh_cores;
+  let n = List.length reqs in
+  let out = Array.make n None in
+  List.iteri
+    (fun i req ->
+      match shard_of t req with
+      | None ->
+        t.sh_requests <- t.sh_requests + 1;
+        (match req with
+         | Proto.Shutdown ->
+           t.sh_stopped <- true;
+           out.(i) <- Some Proto.Bye
+         | _ -> out.(i) <- Some (Proto.Stats_reply (counters t)))
+      | Some s -> (
+        match Daemon.submit t.sh_cores.(s) ~id:i req with
+        | Daemon.Immediate resp -> out.(i) <- Some resp
+        | Daemon.Parked_on _ -> ()))
+    reqs;
+  Array.iter
+    (fun core ->
+      while Daemon.has_inflight core do
+        List.iter
+          (fun (id, resp) -> out.(id) <- Some resp)
+          (Daemon.complete_one core)
+      done;
+      Daemon.quiesce core)
+    t.sh_cores;
+  Array.to_list out
+  |> List.map (function
+       | Some resp -> resp
+       | None -> assert false (* every submission is answered above *))
+
+let handle t req = List.hd (handle_batch t [ req ])
+
+(* ------------------------------------------------------------------ *)
+(* Socket server                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  cn_fd : Unix.file_descr;
+  cn_buf : Buffer.t;
+  mutable cn_open : bool;
+}
+
+let write_all fd s =
+  let n = String.length s in
+  let pos = ref 0 in
+  while !pos < n do
+    pos := !pos + Unix.write_substring fd s !pos (n - !pos)
+  done
+
+let send conn resp =
+  if conn.cn_open then
+    try write_all conn.cn_fd (Proto.encode_response resp ^ "\n")
+    with Unix.Unix_error _ ->
+      conn.cn_open <- false;
+      (try Unix.close conn.cn_fd with _ -> ())
+
+let close_conn conn =
+  if conn.cn_open then begin
+    conn.cn_open <- false;
+    try Unix.close conn.cn_fd with _ -> ()
+  end
+
+(* Pull every complete line out of a connection's buffer. *)
+let take_lines conn =
+  let s = Buffer.contents conn.cn_buf in
+  let rec go start acc =
+    match String.index_from_opt s start '\n' with
+    | Some i -> go (i + 1) (String.sub s start (i - start) :: acc)
+    | None ->
+      Buffer.clear conn.cn_buf;
+      Buffer.add_substring conn.cn_buf s start (String.length s - start);
+      List.rev acc
+  in
+  go 0 []
+
+let serve ?(shards = 1) cfg ~socket =
+  let t = create cfg ~shards in
+  (* a peer closing mid-write must surface as EPIPE, not kill us *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX socket);
+  Unix.listen srv 64;
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  (* waiter id -> connection, for responses landed by complete_one;
+     ids are globally unique so cores can share one table *)
+  let waiters : (int, conn) Hashtbl.t = Hashtbl.create 16 in
+  let next_id = ref 0 in
+  let chunk = Bytes.create 65536 in
+  let answer (id, resp) =
+    match Hashtbl.find_opt waiters id with
+    | Some conn ->
+      Hashtbl.remove waiters id;
+      send conn resp
+    | None -> ()
+  in
+  let pending () = Array.exists Daemon.has_inflight t.sh_cores in
+  log t "listening on %s (cache %s, %d shard%s)" socket
+    t.sh_cfg.Daemon.sv_cache_dir shards (if shards = 1 then "" else "s");
+  while not t.sh_stopped do
+    let fds = srv :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+    (* poll (don't sleep) while compiles are in flight, so parked
+       waiters are answered promptly and new same-key arrivals can
+       still ride the flight *)
+    let timeout = if pending () then 0.0 else 1.0 in
+    match Unix.select fds [] [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+      (* accept *)
+      if List.mem srv readable then begin
+        match Unix.accept srv with
+        | fd, _ ->
+          Hashtbl.replace conns fd
+            { cn_fd = fd; cn_buf = Buffer.create 4096; cn_open = true }
+        | exception Unix.Unix_error _ -> ()
+      end;
+      (* read what arrived; 0 bytes = peer closed *)
+      let batch = ref [] in
+      List.iter
+        (fun fd ->
+          if fd <> srv then
+            match Hashtbl.find_opt conns fd with
+            | None -> ()
+            | Some conn -> (
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 ->
+                close_conn conn;
+                Hashtbl.remove conns fd
+              | n ->
+                Buffer.add_subbytes conn.cn_buf chunk 0 n;
+                if Buffer.length conn.cn_buf > Proto.max_line then begin
+                  (* framing is unrecoverable: answer and drop *)
+                  t.sh_requests <- t.sh_requests + 1;
+                  t.sh_errors <- t.sh_errors + 1;
+                  send conn
+                    (Proto.Error
+                       (Printf.sprintf "request exceeds %d bytes"
+                          Proto.max_line));
+                  close_conn conn;
+                  Hashtbl.remove conns fd
+                end
+                else
+                  List.iter
+                    (fun line -> batch := (conn, line) :: !batch)
+                    (take_lines conn)
+              | exception Unix.Unix_error _ ->
+                close_conn conn;
+                Hashtbl.remove conns fd))
+        readable;
+      let batch = List.rev !batch in
+      (* decode; undecodable lines answered immediately with a
+         structured error, well-formed requests submitted to their
+         owning shard — this wakeup's same-key requests join the
+         creator, requests whose key is already in flight from an
+         earlier wakeup park on it *)
+      if batch <> [] then Array.iter Daemon.begin_wakeup t.sh_cores;
+      List.iter
+        (fun (conn, line) ->
+          match Proto.decode_request line with
+          | Error m ->
+            t.sh_requests <- t.sh_requests + 1;
+            t.sh_errors <- t.sh_errors + 1;
+            send conn (Proto.Error m)
+          | Ok req -> (
+            match shard_of t req with
+            | None ->
+              t.sh_requests <- t.sh_requests + 1;
+              (match req with
+               | Proto.Shutdown ->
+                 t.sh_stopped <- true;
+                 send conn Proto.Bye
+               | _ -> send conn (Proto.Stats_reply (counters t)))
+            | Some s ->
+              let id = !next_id in
+              incr next_id;
+              Hashtbl.replace waiters id conn;
+              (match Daemon.submit t.sh_cores.(s) ~id req with
+               | Daemon.Immediate resp -> answer (id, resp)
+               | Daemon.Parked_on _ -> ())))
+        batch;
+      (* land at most one flight per core per wakeup: compiles overlap
+         with accepting new requests, which is what lets a later
+         wakeup's same-key request park instead of recompiling *)
+      Array.iter
+        (fun core ->
+          if Daemon.has_inflight core then
+            List.iter answer (Daemon.complete_one core)
+          else Daemon.quiesce core)
+        t.sh_cores
+  done;
+  (* answer stragglers parked behind the shutdown before closing *)
+  Array.iter
+    (fun core ->
+      while Daemon.has_inflight core do
+        List.iter answer (Daemon.complete_one core)
+      done;
+      Daemon.quiesce core)
+    t.sh_cores;
+  Hashtbl.iter (fun _ conn -> close_conn conn) conns;
+  (try Unix.close srv with _ -> ());
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  log t "stopped"
+
+type server = { s_thread : Thread.t; s_socket : string }
+
+let spawn ?(shards = 1) cfg ~socket =
+  { s_thread = Thread.create (fun () -> serve ~shards cfg ~socket) ();
+    s_socket = socket }
+
+let stop s =
+  (match Client.connect s.s_socket with
+   | Ok c ->
+     (match Client.rpc c Proto.Shutdown with Ok _ | Error _ -> ());
+     Client.close c
+   | Error _ -> ());
+  Thread.join s.s_thread

@@ -1,0 +1,90 @@
+(** The shard router: horizontal scale-out of the compile service.
+
+    [create cfg ~shards:n] builds [n] {!Daemon} cores, each owning a
+    {e disjoint} slice of the state: core [i] gets its own compile
+    cache directory ([shard-<i>/] under the configured cache dir; the
+    flat layout when [n = 1]) and the profile stores of exactly the
+    units that hash to it.  Requests route deterministically:
+
+    - stateless compile modes ([none]/[base]/[heuristic]/[aggressive])
+      by their content-addressed cache key
+      ({!Spec_fdo.Cache.shard_of_key} over {!Daemon.static_key} — the
+      same source always lands on the same core, so its cache entry is
+      written and read on one shard only);
+    - [profile] compiles and [report-profile] by
+      {!Spec_fdo.Store.shard_of_unit}, so a unit's accumulated
+      evidence, drift tracking and current artifact live together;
+    - [stats] and [shutdown] fan out: stats are aggregated by the
+      router (per-shard counters summed, [cache_hit_ppm] re-derived,
+      [store_drift_ppm_max] maxed) without disturbing per-core request
+      counters, shutdown stops the whole topology.
+
+    Both hash rules fold a hex-digest prefix mod [n] — stable across
+    restarts and independent of [Hashtbl.hash], so a warm cache
+    written by one serve run is warm for the next.
+
+    {!serve} runs all cores behind one [Unix.select] loop: each wakeup
+    submits newly arrived requests to their owning cores, then lands
+    {e at most one} in-flight compile per core before polling again.
+    Compiles therefore overlap with request intake, which is what
+    makes the cross-wakeup single-flight registry real: a same-key
+    request arriving while the compile is in flight parks on it
+    ([parked] served tag) instead of compiling again, whatever wakeup
+    it arrives in. *)
+
+type t
+
+(** [create cfg ~shards] with [shards >= 1].  The per-shard cache
+    directories are created eagerly (flat at [shards = 1], so a
+    single-shard service is exactly the old daemon on disk). *)
+val create : Daemon.config -> shards:int -> t
+
+val shards : t -> int
+
+(** Direct access to shard [i]'s core (tests: disjointness,
+    per-shard counters). *)
+val core : t -> int -> Daemon.t
+
+(** The owning shard of a request, or [None] for fan-out requests
+    ([stats], [shutdown]). *)
+val shard_of : t -> Proto.request -> int option
+
+(** Aggregated counters: [("shards", n)], then the aggregate under the
+    plain {!Daemon.counters} names (sums; [cache_hit_ppm] re-derived
+    from summed hits/misses; [store_drift_ppm_max] maxed; requests and
+    errors include router-terminated traffic — stats, shutdown,
+    undecodable lines), then one ["shard<i>.<name>"] row per shard per
+    counter. *)
+val counters : t -> (string * int) list
+
+(** True once a [shutdown] request was handled. *)
+val stopped : t -> bool
+
+(** Handle one scheduling batch: route each request to its owning
+    core (stats/shutdown terminate at the router), land every flight,
+    run queued recompiles, and return responses in request order.
+    Deterministic — the differential sweep asserts sharded topologies
+    answer byte-identically to [--shards 1]. *)
+val handle_batch : t -> Proto.request list -> Proto.response list
+
+(** [handle_batch] of a singleton. *)
+val handle : t -> Proto.request -> Proto.response
+
+(** {2 Socket server} *)
+
+(** Serve on a unix-domain socket path until a [shutdown] request;
+    binds (replacing any stale socket file), then enters the select
+    loop described above.  Undecodable lines get structured error
+    replies; a connection whose buffered line exceeds
+    {!Proto.max_line} is answered with an error and closed.  Flights
+    still in the registry when shutdown arrives are landed and their
+    waiters answered before the socket is torn down. *)
+val serve : ?shards:int -> Daemon.config -> socket:string -> unit
+
+type server
+
+(** Run {!serve} on a background thread (tests, traffic replay). *)
+val spawn : ?shards:int -> Daemon.config -> socket:string -> server
+
+(** Request shutdown over the socket and join the server thread. *)
+val stop : server -> unit

@@ -1,7 +1,8 @@
 #!/bin/sh
 # @ci smoke for the compile service: start a daemon on a private socket,
 # drive it through the client subcommands — cold compile, warm compile
-# (byte-identical output), report-profile past the drift threshold (must
+# (byte-identical output), a profile-mode compile registering the unit
+# in the FDO loop, report-profile past the drift threshold (must
 # trigger a background recompile), a profile-mode compile served from
 # the swapped artifact, stats — then shut it down cleanly and check the
 # daemon exited zero with no protocol errors recorded.
@@ -37,6 +38,18 @@ grep -q "served: warm" "$work/warm.err" || {
 }
 cmp -s "$work/cold.out" "$work/warm.out" || {
   echo "service ci: warm program differs from cold" >&2
+  exit 1
+}
+
+# Register the unit in the FDO loop: only profile-mode compiles bind a
+# unit's source (stateless modes route by cache key under --shards and
+# deliberately leave unit state alone), so the drifted report below has
+# an artifact to refresh.
+"$speccc" client compile --socket "$sock" --unit smoke -m profile \
+  "$src" > "$work/reg.out" 2> "$work/reg.err"
+grep -q "served: cold" "$work/reg.err" || {
+  echo "service ci: registering profile compile was not served cold:" >&2
+  cat "$work/reg.err" >&2
   exit 1
 }
 

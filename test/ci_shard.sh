@@ -1,0 +1,99 @@
+#!/bin/sh
+# @ci smoke for the sharded compile service: start a 2-shard topology on
+# a private socket, storm it with three concurrent same-key clients (the
+# cross-wakeup single-flight registry must serve exactly one cold
+# compile), drive a mixed-key round across every stateless mode twice
+# (second round all warm, byte-identical), then check the aggregated
+# stats are sane — shard count, zero errors, deterministic cold count,
+# per-shard rows summing to the aggregate — and shut down cleanly.
+set -eu
+
+speccc="$1"
+src="$2"
+
+work="$(mktemp -d -t speccc-shard-ci-XXXXXX)"
+sock="$work/svc.sock"
+trap 'rm -rf "$work"' EXIT
+
+"$speccc" serve --socket "$sock" --shards 2 --cache-dir "$work/cache" \
+  --jobs 2 &
+daemon=$!
+# If anything below fails, don't leave the daemon behind.
+trap 'kill "$daemon" 2> /dev/null || true; rm -rf "$work"' EXIT
+
+# Same-key storm: three concurrent clients ask for one key; the
+# single-flight registry must compile it exactly once (the others are
+# joined, parked, or warm depending on arrival timing) and every client
+# must get the same program.
+for i in 1 2 3; do
+  "$speccc" client compile --socket "$sock" --unit storm -m heuristic \
+    "$src" > "$work/storm.$i.out" 2> "$work/storm.$i.err" &
+  eval "storm_$i=\$!"
+done
+wait "$storm_1" "$storm_2" "$storm_3"
+cmp -s "$work/storm.1.out" "$work/storm.2.out" || {
+  echo "shard ci: storm clients got different programs (1 vs 2)" >&2
+  exit 1
+}
+cmp -s "$work/storm.1.out" "$work/storm.3.out" || {
+  echo "shard ci: storm clients got different programs (1 vs 3)" >&2
+  exit 1
+}
+
+"$speccc" client stats --socket "$sock" > "$work/storm-stats.out"
+grep -q "^cold 1$" "$work/storm-stats.out" || {
+  echo "shard ci: same-key storm cost more than one cold compile:" >&2
+  cat "$work/storm-stats.out" >&2
+  exit 1
+}
+
+# Mixed-key round: every stateless mode, cold then warm; the warm
+# program must be byte-identical to the cold one.
+for mode in none base aggressive heuristic; do
+  "$speccc" client compile --socket "$sock" --unit mixed -m "$mode" \
+    "$src" > "$work/$mode.1.out" 2> "$work/$mode.1.err"
+done
+for mode in none base aggressive heuristic; do
+  "$speccc" client compile --socket "$sock" --unit mixed -m "$mode" \
+    "$src" > "$work/$mode.2.out" 2> "$work/$mode.2.err"
+  grep -q "served: warm" "$work/$mode.2.err" || {
+    echo "shard ci: repeat $mode compile was not served warm:" >&2
+    cat "$work/$mode.2.err" >&2
+    exit 1
+  }
+  cmp -s "$work/$mode.1.out" "$work/$mode.2.out" || {
+    echo "shard ci: warm $mode program differs from cold" >&2
+    exit 1
+  }
+done
+
+# Aggregate sanity: topology width, no protocol errors, the storm key
+# plus the three new mixed keys = exactly 4 cold compiles, and the
+# per-shard rows re-add to the aggregate.
+"$speccc" client stats --socket "$sock" > "$work/stats.out"
+for want in "^shards 2$" "^errors 0$" "^cold 4$" "^parked " \
+  "^shard0\.requests " "^shard1\.requests " "^shard0\.parked "; do
+  grep -q "$want" "$work/stats.out" || {
+    echo "shard ci: stats missing expected row $want:" >&2
+    cat "$work/stats.out" >&2
+    exit 1
+  }
+done
+awk '
+  $1 == "cold"         { agg = $2 }
+  $1 ~ /^shard[0-9]+\.cold$/ { sum += $2 }
+  END { exit !(agg == sum) }
+' "$work/stats.out" || {
+  echo "shard ci: per-shard cold rows do not sum to the aggregate:" >&2
+  cat "$work/stats.out" >&2
+  exit 1
+}
+
+"$speccc" client shutdown --socket "$sock" > /dev/null
+wait "$daemon" || {
+  echo "shard ci: daemon exited non-zero" >&2
+  exit 1
+}
+trap 'rm -rf "$work"' EXIT
+
+echo "shard ci ok"

@@ -24,4 +24,5 @@ let () =
       ("safety", Test_safety.suite);
       ("fdo", Test_fdo.suite);
       ("backends", Test_backends.suite);
-      ("service", Test_service.suite) ]
+      ("service", Test_service.suite);
+      ("shard", Test_shard.suite) ]

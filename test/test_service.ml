@@ -8,8 +8,9 @@
    batches, store health under mixed-key storms, online-FDO semantics
    (report order independence with lambda = 1, background-recompile
    equivalence with the offline merge + compile, stale-report
-   soundness), and the [service] section of the specpre-bench/5
-   schema. *)
+   soundness), and the [service] section of the specpre-bench/7
+   schema.  The sharded router on top of the daemon core is covered
+   in test_shard.ml. *)
 
 open Spec_ir
 open Spec_fdo
@@ -154,6 +155,10 @@ let test_proto_roundtrip_units () =
       Proto.Compiled
         { Proto.cr_served = Proto.Joined; cr_key = ""; cr_digest = "";
           cr_match_ppm = 0; cr_prog = ""; cr_output = "tab\there" };
+      Proto.Compiled
+        { Proto.cr_served = Proto.Parked; cr_key = String.make 32 '0';
+          cr_digest = String.make 32 'b'; cr_match_ppm = 500_000;
+          cr_prog = "func f()\n{\n}\n"; cr_output = "" };
       Proto.Profiled
         { Proto.rr_runs = 3; rr_digest = String.make 32 'f';
           rr_drift = 0.125; rr_recompiled = true };
@@ -178,26 +183,28 @@ let test_proto_rejects () =
   must_err "empty line" (Proto.decode_request "");
   must_err "garbage" (Proto.decode_request "ceci n'est pas une requete");
   must_err "wrong version" (Proto.decode_request "specsvc/0 stats");
-  must_err "future version" (Proto.decode_request "specsvc/2 stats");
-  must_err "unknown verb" (Proto.decode_request "specsvc/1 frobnicate");
-  must_err "truncated compile" (Proto.decode_request "specsvc/1 compile u");
+  must_err "old version (no parked tag)"
+    (Proto.decode_request "specsvc/1 stats");
+  must_err "future version" (Proto.decode_request "specsvc/3 stats");
+  must_err "unknown verb" (Proto.decode_request "specsvc/2 frobnicate");
+  must_err "truncated compile" (Proto.decode_request "specsvc/2 compile u");
   must_err "bad int"
-    (Proto.decode_request "specsvc/1 compile u base x 1 0 src");
+    (Proto.decode_request "specsvc/2 compile u base x 1 0 src");
   must_err "bad bool"
-    (Proto.decode_request "specsvc/1 compile u base 3 yes 0 src");
+    (Proto.decode_request "specsvc/2 compile u base 3 yes 0 src");
   must_err "unterminated quote"
-    (Proto.decode_request "specsvc/1 compile \"u base 3 1 0 src");
-  must_err "trailing tokens" (Proto.decode_request "specsvc/1 stats extra");
+    (Proto.decode_request "specsvc/2 compile \"u base 3 1 0 src");
+  must_err "trailing tokens" (Proto.decode_request "specsvc/2 stats extra");
   must_err "oversized"
     (Proto.decode_request
-       ("specsvc/1 compile u base 3 1 0 "
+       ("specsvc/2 compile u base 3 1 0 "
        ^ String.make (Proto.max_line + 1) 's'));
   must_err "negative stats count"
-    (Proto.decode_response "specsvc/1 stats -1");
+    (Proto.decode_response "specsvc/2 stats -1");
   must_err "absurd stats count"
-    (Proto.decode_response "specsvc/1 stats 99999");
+    (Proto.decode_response "specsvc/2 stats 99999");
   must_err "unknown served tag"
-    (Proto.decode_response "specsvc/1 compiled tepid k d 0 p o")
+    (Proto.decode_response "specsvc/2 compiled tepid k d 0 p o")
 
 (* ---- codec: fuzz ---- *)
 
@@ -248,7 +255,7 @@ let fuzz_decode_total =
   let gen =
     QCheck.Gen.(
       pair bool gen_wild_string
-      |> map (fun (tagged, s) -> if tagged then "specsvc/1 " ^ s else s))
+      |> map (fun (tagged, s) -> if tagged then "specsvc/2 " ^ s else s))
   in
   QCheck.Test.make ~count:1000 ~name:"codec fuzz: decode is total"
     (QCheck.make ~print:(fun s -> s) gen) (fun line ->
@@ -310,17 +317,18 @@ let test_socket_malformed () =
       (Printf.sprintf "specsvc-mal-%d.sock" (Unix.getpid ()))
   in
   let cfg = Daemon.default_config ~cache_dir:(fresh_dir "mal") in
-  let server = Daemon.spawn cfg ~socket:sock in
+  let server = Shard.spawn cfg ~socket:sock in
   (* every malformed line gets a structured error reply on the same
      connection, and the daemon survives all of them *)
   let malformed =
     [ "definitely not a request";
       "specsvc/0 stats";
-      "specsvc/1 frobnicate";
-      "specsvc/1 compile u";
-      "specsvc/1 compile u base NaN 1 0 src";
-      "specsvc/1 compile \"unterminated";
-      "specsvc/1 stats trailing" ]
+      "specsvc/1 stats";
+      "specsvc/2 frobnicate";
+      "specsvc/2 compile u";
+      "specsvc/2 compile u base NaN 1 0 src";
+      "specsvc/2 compile \"unterminated";
+      "specsvc/2 stats trailing" ]
   in
   List.iter
     (fun line ->
@@ -356,7 +364,7 @@ let test_socket_malformed () =
       | Ok _ -> Alcotest.fail "stats: wrong reply"
       | Error e -> Alcotest.fail ("stats failed: " ^ e));
      Client.close c);
-  Daemon.stop server
+  Shard.stop server
 
 (* ---- differential: daemon == direct pipeline ---- *)
 
